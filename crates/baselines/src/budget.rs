@@ -1,0 +1,168 @@
+//! Memory budgeting: converts a total sketch memory budget into the
+//! per-scheme knob so the accuracy figures sweep all schemes at equal
+//! memory (the x-axis of Figures 11, 12).
+
+use crate::{CurveSketch, FourierSketch, OmniWindowAvg, PersistCms};
+use wavesketch::{BasicWaveSketch, SketchConfig, SelectorKind};
+
+/// Common layout parameters shared by every scheme in a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepLayout {
+    /// Hash rows `d`.
+    pub rows: usize,
+    /// Buckets per row `w`.
+    pub width: usize,
+    /// First absolute window of the measurement period.
+    pub period_start: u64,
+    /// Period length in microsecond windows.
+    pub period_windows: usize,
+    /// Wavelet depth for WaveSketch.
+    pub levels: u32,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl SweepLayout {
+    /// The paper's layout: d=3, w=256, L=8 over a 20 ms period of 8.192 μs
+    /// windows (§7.1 Parameter Setting).
+    pub fn paper(period_start: u64, period_windows: usize) -> Self {
+        Self {
+            rows: 3,
+            width: 256,
+            period_start,
+            period_windows,
+            levels: 8,
+            seed: 0xABCD,
+        }
+    }
+
+    fn buckets(&self) -> usize {
+        self.rows * self.width
+    }
+
+    /// Per-bucket byte budget for `total_bytes` of sketch memory.
+    pub fn per_bucket_bytes(&self, total_bytes: usize) -> usize {
+        total_bytes / self.buckets()
+    }
+
+    /// Builds a WaveSketch whose `K` fits the byte budget
+    /// (`fixed + 4·approx_len + 6·K ≤ per-bucket bytes`).
+    pub fn wavesketch(&self, total_bytes: usize, selector: SelectorKind) -> BasicWaveSketch {
+        let per = self.per_bucket_bytes(total_bytes);
+        let max_windows = self.period_windows.next_power_of_two();
+        let approx_len = max_windows.div_ceil(1 << self.levels);
+        let fixed = 10 + 6 * self.levels as usize;
+        let k = per.saturating_sub(fixed + 4 * approx_len) / 6;
+        let config = SketchConfig::builder()
+            .rows(self.rows)
+            .width(self.width)
+            .levels(self.levels)
+            // Floor of 2: the hardware selector needs one slot per parity.
+            .topk(k.max(2))
+            .max_windows(max_windows)
+            .selector(selector)
+            .seed(self.seed)
+            .build();
+        BasicWaveSketch::new(config)
+    }
+
+    /// Builds an OmniWindow-Avg with `m = per-bucket bytes / 4` sub-windows.
+    pub fn omniwindow(&self, total_bytes: usize) -> OmniWindowAvg {
+        let m = (self.per_bucket_bytes(total_bytes) / 4)
+            .clamp(1, self.period_windows);
+        OmniWindowAvg::new(
+            self.rows,
+            self.width,
+            m,
+            self.period_start,
+            self.period_windows,
+            self.seed,
+        )
+    }
+
+    /// Builds a Fourier sketch with `k = per-bucket bytes / 10` coefficients.
+    pub fn fourier(&self, total_bytes: usize) -> FourierSketch {
+        let k = (self.per_bucket_bytes(total_bytes) / 10).max(1);
+        FourierSketch::new(
+            self.rows,
+            self.width,
+            k,
+            self.period_start,
+            self.period_windows,
+            self.seed,
+        )
+    }
+
+    /// Builds a Persist-CMS with `knots = per-bucket bytes / 8`.
+    pub fn persist_cms(&self, total_bytes: usize) -> PersistCms {
+        let knots = (self.per_bucket_bytes(total_bytes) / 8).max(3);
+        PersistCms::new(
+            self.rows,
+            self.width,
+            knots,
+            self.period_start,
+            self.period_windows,
+            self.seed,
+        )
+    }
+
+    /// All four schemes at the same budget, boxed for uniform sweeping.
+    pub fn all_schemes(&self, total_bytes: usize) -> Vec<Box<dyn CurveSketch>> {
+        vec![
+            Box::new(self.wavesketch(total_bytes, SelectorKind::Ideal)),
+            Box::new(self.omniwindow(total_bytes)),
+            Box::new(self.fourier(total_bytes)),
+            Box::new(self.persist_cms(total_bytes)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> SweepLayout {
+        SweepLayout::paper(0, 2442)
+    }
+
+    #[test]
+    fn all_schemes_land_close_to_the_budget() {
+        let budget = 500 * 1024;
+        for scheme in layout().all_schemes(budget) {
+            let used = scheme.memory_bytes();
+            assert!(
+                used <= budget + budget / 5,
+                "{} uses {used} of {budget}",
+                scheme.name()
+            );
+            assert!(
+                used >= budget / 4,
+                "{} wastes the budget: {used} of {budget}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_budget_means_bigger_knobs() {
+        let l = layout();
+        assert!(l.omniwindow(1 << 20).sub_windows > l.omniwindow(1 << 18).sub_windows);
+        assert!(l.fourier(1 << 20).topk > l.fourier(1 << 18).topk);
+        assert!(l.persist_cms(1 << 20).knots > l.persist_cms(1 << 18).knots);
+    }
+
+    #[test]
+    fn omniwindow_never_exceeds_native_resolution() {
+        // A huge budget caps m at one sub-window per microsecond window.
+        let l = layout();
+        assert_eq!(l.omniwindow(1 << 30).sub_windows, 2442);
+    }
+
+    #[test]
+    fn wavesketch_k_grows_with_budget() {
+        let l = layout();
+        let small = l.wavesketch(200 * 1024, SelectorKind::Ideal);
+        let big = l.wavesketch(1600 * 1024, SelectorKind::Ideal);
+        assert!(big.config().topk > small.config().topk);
+    }
+}

@@ -1,0 +1,197 @@
+//! A self-contained radix-2 iterative FFT over `f64` complex numbers —
+//! enough for the Fourier top-k baseline; no external crate needed
+//! (DESIGN.md §5 dependency policy).
+
+/// A complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Builds `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place iterative Cooley–Tukey FFT. `inverse` applies the conjugate
+/// transform and the `1/n` scaling.
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two.
+pub fn fft(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.re *= scale;
+            x.im *= scale;
+        }
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len().max(1).next_power_of_two();
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    data.resize(n, Complex::default());
+    fft(&mut data, false);
+    data
+}
+
+/// Keeps the `k` largest-magnitude coefficients (zeroing the rest) and
+/// returns the inverse transform's real part. Hermitian pairs are counted
+/// individually, matching a storage budget of `k` complex values.
+pub fn topk_reconstruct(signal: &[f64], k: usize) -> Vec<f64> {
+    let mut spec = fft_real(signal);
+    let mut order: Vec<usize> = (0..spec.len()).collect();
+    order.sort_by(|&a, &b| {
+        spec[b]
+            .norm_sq()
+            .partial_cmp(&spec[a].norm_sq())
+            .expect("no NaNs in spectrum")
+    });
+    let keep: std::collections::HashSet<usize> = order.into_iter().take(k).collect();
+    for (i, c) in spec.iter_mut().enumerate() {
+        if !keep.contains(&i) {
+            *c = Complex::default();
+        }
+    }
+    fft(&mut spec, true);
+    spec.truncate(signal.len().max(1).next_power_of_two());
+    spec.into_iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let signal = [3.0, 1.0, -2.0, 7.5, 0.0, 0.0, 4.0, 4.0];
+        let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        let back: Vec<f64> = data.iter().map(|c| c.re).collect();
+        assert_close(&back, &signal, 1e-9);
+    }
+
+    #[test]
+    fn dc_component_is_the_sum() {
+        let spec = fft_real(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((spec[0].re - 10.0).abs() < 1e-9);
+        assert!(spec[0].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin_pair() {
+        let n = 64;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 4.0 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal);
+        let energy: f64 = spec.iter().map(Complex::norm_sq).sum();
+        let bin = spec[4].norm_sq() + spec[n - 4].norm_sq();
+        assert!(bin / energy > 0.99, "tone energy must sit in bins ±4");
+    }
+
+    #[test]
+    fn full_k_reconstruction_is_lossless() {
+        let signal = [5.0, 0.0, 2.0, 9.0, 1.0, 1.0, 0.0, 3.0];
+        let rec = topk_reconstruct(&signal, 8);
+        assert_close(&rec, &signal, 1e-9);
+    }
+
+    #[test]
+    fn small_k_keeps_the_dominant_structure() {
+        // DC + one strong tone; k=3 (DC + pair) reconstructs it nearly
+        // exactly, discarding weak noise bins.
+        let n = 64;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| {
+                10.0 + 5.0 * (2.0 * std::f64::consts::PI * 8.0 * i as f64 / n as f64).cos()
+                    + 0.01 * ((i * 37 % 11) as f64)
+            })
+            .collect();
+        let rec = topk_reconstruct(&signal, 3);
+        for (i, (&x, &y)) in signal.iter().zip(&rec).enumerate() {
+            assert!((x - y).abs() < 0.2, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn non_pow2_signals_are_padded() {
+        let rec = topk_reconstruct(&[1.0, 2.0, 3.0], 4);
+        assert_eq!(rec.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_pow2() {
+        let mut data = vec![Complex::default(); 3];
+        fft(&mut data, false);
+    }
+}

@@ -1,0 +1,168 @@
+//! Fourier top-k baseline (§7.1): per bucket, transform the window-counter
+//! series with a DFT and keep only the `k` largest-magnitude frequency
+//! coefficients. The spectrum is global, so localized microsecond bursts
+//! smear — the weakness WaveSketch's multi-resolution analysis avoids.
+
+use crate::fft::topk_reconstruct;
+use crate::traits::CurveSketch;
+use wavesketch::basic::WindowSeries;
+use wavesketch::FlowKey;
+
+/// The Fourier top-k sketch. Buckets buffer their window series densely (a
+/// CPU-side baseline — the paper notes only WaveSketch and OmniWindow-Avg
+/// suit the data plane); its *accounted* memory is the `k` complex
+/// coefficients plus indices a deployment would keep and upload.
+pub struct FourierSketch {
+    rows: usize,
+    width: usize,
+    /// Retained coefficients per bucket.
+    pub topk: usize,
+    period_start: u64,
+    period_windows: usize,
+    seed: u64,
+    /// Dense per-bucket counters (internal buffering only).
+    cells: Vec<Vec<i64>>,
+}
+
+impl FourierSketch {
+    /// Creates a sketch of `rows × width` buckets keeping `topk`
+    /// coefficients each, covering the given measurement period.
+    pub fn new(
+        rows: usize,
+        width: usize,
+        topk: usize,
+        period_start: u64,
+        period_windows: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(topk > 0);
+        Self {
+            rows,
+            width,
+            topk,
+            period_start,
+            period_windows,
+            seed,
+            cells: vec![Vec::new(); rows * width],
+        }
+    }
+}
+
+impl CurveSketch for FourierSketch {
+    fn name(&self) -> &'static str {
+        "Fourier"
+    }
+
+    fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
+        if window < self.period_start {
+            return;
+        }
+        let off = (window - self.period_start) as usize;
+        if off >= self.period_windows {
+            return;
+        }
+        for row in 0..self.rows {
+            let col = (flow.hash(row as u64, self.seed) % self.width as u64) as usize;
+            let cell = &mut self.cells[row * self.width + col];
+            if cell.len() <= off {
+                cell.resize(off + 1, 0);
+            }
+            cell[off] += value;
+        }
+    }
+
+    fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        let mut best: Option<WindowSeries> = None;
+        for row in 0..self.rows {
+            let col = (flow.hash(row as u64, self.seed) % self.width as u64) as usize;
+            let cell = &self.cells[row * self.width + col];
+            if cell.is_empty() {
+                continue;
+            }
+            let signal: Vec<f64> = cell.iter().map(|&c| c as f64).collect();
+            let mut rec = topk_reconstruct(&signal, self.topk);
+            for v in &mut rec {
+                if *v < 0.0 {
+                    *v = 0.0; // counts cannot be negative
+                }
+            }
+            let series = WindowSeries {
+                start_window: self.period_start,
+                values: rec,
+            };
+            let replace = match &best {
+                None => true,
+                Some(b) => series.total() < b.total(),
+            };
+            if replace {
+                best = Some(series);
+            }
+        }
+        best
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // 8 B complex value + 2 B frequency index per retained coefficient.
+        self.rows * self.width * self.topk * 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_spectrum_reconstructs_exactly() {
+        let mut s = FourierSketch::new(2, 16, 64, 0, 64, 3);
+        let f = FlowKey::from_id(1);
+        for (w, v) in [(0u64, 500i64), (3, 700), (10, 100)] {
+            s.update(&f, w, v);
+        }
+        let curve = s.query(&f).unwrap();
+        assert!((curve.at(0) - 500.0).abs() < 1e-6);
+        assert!((curve.at(3) - 700.0).abs() < 1e-6);
+        assert!((curve.at(10) - 100.0).abs() < 1e-6);
+        assert!(curve.at(5) < 1e-6);
+    }
+
+    #[test]
+    fn tiny_k_smears_local_bursts() {
+        // A single-window spike needs many frequency bins; k=2 must smear it.
+        let mut s = FourierSketch::new(1, 4, 2, 0, 64, 3);
+        let f = FlowKey::from_id(1);
+        s.update(&f, 20, 64_000);
+        let curve = s.query(&f).unwrap();
+        assert!(
+            curve.at(20) < 64_000.0 * 0.5,
+            "spike must lose energy: {}",
+            curve.at(20)
+        );
+    }
+
+    #[test]
+    fn dc_energy_is_preserved_with_k1() {
+        // k=1 keeps the DC bin → totals survive (before clamping effects).
+        let mut s = FourierSketch::new(1, 4, 1, 0, 64, 3);
+        let f = FlowKey::from_id(1);
+        s.update(&f, 0, 1000);
+        s.update(&f, 32, 1000);
+        let curve = s.query(&f).unwrap();
+        // The DC reconstruction spreads 2000 over the padded length.
+        assert!((curve.total() - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn out_of_period_updates_ignored() {
+        let mut s = FourierSketch::new(1, 4, 4, 100, 32, 3);
+        let f = FlowKey::from_id(1);
+        s.update(&f, 99, 100);
+        s.update(&f, 200, 100);
+        assert!(s.query(&f).is_none());
+    }
+
+    #[test]
+    fn memory_accounting_uses_k_not_buffer() {
+        let s = FourierSketch::new(2, 8, 16, 0, 4096, 3);
+        assert_eq!(s.memory_bytes(), 2 * 8 * 16 * 10);
+    }
+}

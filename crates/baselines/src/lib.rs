@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # umon-baselines — counter-series compressors μMon compares against
+//!
+//! The three baselines of §7.1, all exposed behind one [`CurveSketch`] trait
+//! so the accuracy harness (Figures 11, 12, 17, 18) treats every scheme —
+//! including WaveSketch itself — uniformly:
+//!
+//! * [`OmniWindowAvg`] — sub-window averaging: each bucket splits the
+//!   measurement period into `m` coarse sub-windows and reports each
+//!   microsecond window as its sub-window average. Data-plane friendly.
+//! * [`FourierSketch`] — per-bucket DFT keeping the `k` largest-magnitude
+//!   frequency coefficients (our own radix-2 FFT in [`fft`]).
+//! * [`PersistCms`] — a persistent Count-Min: each cell tracks the
+//!   cumulative count over time compressed as a bounded piecewise-linear
+//!   curve; window rates are slope differences.
+//!
+//! [`budget`] converts a total memory budget into the per-scheme knob
+//! (sub-window count, coefficient count, knot count, or WaveSketch `K`).
+//!
+//! ```
+//! use umon_baselines::budget::SweepLayout;
+//! use umon_baselines::CurveSketch;
+//! use wavesketch::FlowKey;
+//!
+//! // Every scheme at a 400 kB budget over a 2442-window period.
+//! let layout = SweepLayout::paper(0, 2442);
+//! for mut scheme in layout.all_schemes(400 * 1024) {
+//!     let flow = FlowKey::from_id(1);
+//!     scheme.update(&flow, 100, 1500);
+//!     let curve = scheme.query(&flow).expect("recorded");
+//!     assert!(curve.total() >= 1500.0 - 1e-6, "{}", scheme.name());
+//! }
+//! ```
+
+pub mod budget;
+pub mod fft;
+mod fourier;
+mod omniwindow;
+mod persist;
+mod traits;
+
+pub use fourier::FourierSketch;
+pub use omniwindow::OmniWindowAvg;
+pub use persist::PersistCms;
+pub use traits::CurveSketch;

@@ -1,0 +1,184 @@
+//! OmniWindow-Avg: sub-window averaging (§7.1 Baseline).
+//!
+//! Each Count-Min bucket divides the measurement period into `m` coarse
+//! sub-windows; because memory is limited, each sub-window is much wider
+//! than a microsecond window. A queried microsecond window reports its
+//! sub-window's average — the per-sub-window byte count spread uniformly
+//! over the microsecond windows it covers.
+
+use crate::traits::CurveSketch;
+use wavesketch::basic::WindowSeries;
+use wavesketch::FlowKey;
+
+/// OmniWindow-Avg configuration and state.
+pub struct OmniWindowAvg {
+    rows: usize,
+    width: usize,
+    /// Sub-windows per bucket.
+    pub sub_windows: usize,
+    /// First absolute window of the measurement period.
+    period_start: u64,
+    /// Period length in microsecond windows.
+    period_windows: usize,
+    seed: u64,
+    /// `cells[row*width + col][sub]` = bytes.
+    cells: Vec<Vec<i64>>,
+}
+
+impl OmniWindowAvg {
+    /// Creates a sketch with `rows × width` buckets of `sub_windows`
+    /// counters covering `[period_start, period_start + period_windows)`.
+    pub fn new(
+        rows: usize,
+        width: usize,
+        sub_windows: usize,
+        period_start: u64,
+        period_windows: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(sub_windows > 0 && period_windows >= sub_windows);
+        Self {
+            rows,
+            width,
+            sub_windows,
+            period_start,
+            period_windows,
+            seed,
+            cells: vec![vec![0; sub_windows]; rows * width],
+        }
+    }
+
+    /// Microsecond windows per sub-window (ceiling).
+    pub fn windows_per_sub(&self) -> usize {
+        self.period_windows.div_ceil(self.sub_windows)
+    }
+
+    fn sub_of(&self, window: u64) -> Option<usize> {
+        if window < self.period_start {
+            return None;
+        }
+        let off = (window - self.period_start) as usize;
+        if off >= self.period_windows {
+            return None;
+        }
+        Some((off / self.windows_per_sub()).min(self.sub_windows - 1))
+    }
+
+    fn bucket_series(&self, idx: usize) -> WindowSeries {
+        let per = self.windows_per_sub();
+        let mut values = Vec::with_capacity(self.period_windows);
+        for off in 0..self.period_windows {
+            let sub = (off / per).min(self.sub_windows - 1);
+            // Actual windows this sub-window covers (the last may be short).
+            let covered = per.min(self.period_windows - (off / per) * per);
+            values.push(self.cells[idx][sub] as f64 / covered.max(1) as f64);
+        }
+        WindowSeries {
+            start_window: self.period_start,
+            values,
+        }
+    }
+}
+
+impl CurveSketch for OmniWindowAvg {
+    fn name(&self) -> &'static str {
+        "OmniWindow-Avg"
+    }
+
+    fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
+        let Some(sub) = self.sub_of(window) else {
+            return; // outside the measurement period
+        };
+        for row in 0..self.rows {
+            let col = (flow.hash(row as u64, self.seed) % self.width as u64) as usize;
+            self.cells[row * self.width + col][sub] += value;
+        }
+    }
+
+    fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        let mut best: Option<WindowSeries> = None;
+        for row in 0..self.rows {
+            let col = (flow.hash(row as u64, self.seed) % self.width as u64) as usize;
+            let idx = row * self.width + col;
+            if self.cells[idx].iter().all(|&c| c == 0) {
+                continue;
+            }
+            let series = self.bucket_series(idx);
+            let replace = match &best {
+                None => true,
+                Some(b) => series.total() < b.total(),
+            };
+            if replace {
+                best = Some(series);
+            }
+        }
+        best
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // 4 bytes per sub-window counter.
+        self.rows * self.width * self.sub_windows * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch(subs: usize) -> OmniWindowAvg {
+        OmniWindowAvg::new(2, 16, subs, 0, 64, 7)
+    }
+
+    #[test]
+    fn averages_within_sub_windows() {
+        let mut s = sketch(8); // 64 windows / 8 subs = 8 windows per sub
+        let f = FlowKey::from_id(1);
+        s.update(&f, 0, 800);
+        let curve = s.query(&f).unwrap();
+        // 800 bytes spread over windows 0..8.
+        for w in 0..8 {
+            assert!((curve.at(w) - 100.0).abs() < 1e-9);
+        }
+        assert_eq!(curve.at(8), 0.0);
+    }
+
+    #[test]
+    fn preserves_totals() {
+        let mut s = sketch(4);
+        let f = FlowKey::from_id(2);
+        s.update(&f, 5, 300);
+        s.update(&f, 40, 700);
+        assert!((s.query(&f).unwrap().total() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loses_subwindow_scale_bursts() {
+        // The failure mode Figure 13 shows: a 1-window spike is flattened.
+        let mut s = sketch(4); // 16 windows per sub
+        let f = FlowKey::from_id(3);
+        s.update(&f, 20, 16_000);
+        let curve = s.query(&f).unwrap();
+        assert!((curve.at(20) - 1000.0).abs() < 1e-9, "spike flattened to the average");
+    }
+
+    #[test]
+    fn ignores_out_of_period_updates() {
+        let mut s = OmniWindowAvg::new(1, 4, 4, 100, 64, 1);
+        let f = FlowKey::from_id(4);
+        s.update(&f, 99, 500); // before period
+        s.update(&f, 200, 500); // after period
+        assert!(s.query(&f).is_none());
+    }
+
+    #[test]
+    fn memory_scales_with_sub_windows() {
+        assert_eq!(sketch(8).memory_bytes(), 2 * 16 * 8 * 4);
+        assert!(sketch(16).memory_bytes() > sketch(8).memory_bytes());
+    }
+
+    #[test]
+    fn unseen_flow_is_none() {
+        let s = sketch(8);
+        assert!(s.query(&FlowKey::from_id(9)).is_none());
+    }
+}

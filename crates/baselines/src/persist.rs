@@ -1,0 +1,299 @@
+//! Persist-CMS baseline (§7.1): a persistent Count-Min sketch in the style
+//! of persistent data sketches — each cell keeps the *cumulative* count as a
+//! function of time, compressed to a bounded piecewise-linear curve, and a
+//! window's rate is the difference of the interpolated cumulative values at
+//! its edges.
+//!
+//! The original uses a *one-pass* online piecewise-linear approximation; we
+//! implement the bounded-knot one-pass variant: each cell stores at most
+//! `knots` turning points `(window, cumulative)` appended greedily (with
+//! collinear extension). Once the budget is exhausted the cell can no longer
+//! record turning points — the final segment simply extends to the current
+//! cumulative total, exactly the degradation a single-pass bounded-memory
+//! PLA suffers on bursty data (no retrospective knot optimization is
+//! possible in a stream).
+
+use crate::traits::CurveSketch;
+use wavesketch::basic::WindowSeries;
+use wavesketch::FlowKey;
+
+/// One cell: a monotone piecewise-linear cumulative curve.
+#[derive(Debug, Clone, Default)]
+struct PlaCell {
+    /// Turning points `(window_offset, cumulative_bytes_after_window)`.
+    knots: Vec<(u32, f64)>,
+    /// Offset of the window currently accumulating.
+    cur_window: Option<u32>,
+    /// Cumulative total including the current window.
+    cum: f64,
+}
+
+impl PlaCell {
+    /// Adds `value` at window offset `off` (offsets non-decreasing).
+    fn update(&mut self, off: u32, value: i64, budget: usize) {
+        match self.cur_window {
+            None => {
+                // Anchor the curve just before the first active window.
+                self.knots.push((off, 0.0));
+                self.cur_window = Some(off);
+            }
+            Some(cur) if off > cur => {
+                // Close the finished window with a knot at its right edge.
+                self.push_knot(cur + 1, self.cum, budget);
+                self.cur_window = Some(off);
+                // If there was a gap, pin the curve flat across it.
+                if off > cur + 1 {
+                    self.push_knot(off, self.cum, budget);
+                }
+            }
+            _ => {}
+        }
+        self.cum += value as f64;
+    }
+
+    fn push_knot(&mut self, w: u32, cum: f64, budget: usize) {
+        // Collinear with the previous segment? Extend instead of adding.
+        if self.knots.len() >= 2 {
+            let (x1, y1) = self.knots[self.knots.len() - 2];
+            let (x2, y2) = self.knots[self.knots.len() - 1];
+            let slope_prev = (y2 - y1) / f64::max((x2 - x1) as f64, 1e-12);
+            let slope_new = (cum - y2) / f64::max((w - x2) as f64, 1e-12);
+            if (slope_prev - slope_new).abs() < 1e-9 {
+                *self.knots.last_mut().expect("non-empty") = (w, cum);
+                return;
+            }
+        }
+        if self.knots.len() >= budget {
+            // One-pass PLA out of budget: no further turning points can be
+            // recorded; the final segment will extend to the running total.
+            return;
+        }
+        self.knots.push((w, cum));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.cur_window.is_none()
+    }
+
+    /// Reconstructed per-window byte counts over `[0, len)`.
+    ///
+    /// Single pass over the segments: the rate inside a segment is its
+    /// slope, so each window's count is the cumulative difference across
+    /// its edges — computed by walking the knot list once, O(len + knots).
+    fn series(&self, len: usize) -> Vec<f64> {
+        let mut pts = self.knots.clone();
+        if let Some(cur) = self.cur_window {
+            pts.push((cur + 1, self.cum));
+        }
+        let mut out = Vec::with_capacity(len);
+        if pts.is_empty() {
+            out.resize(len, 0.0);
+            return out;
+        }
+        let cum_at = |pts: &[(u32, f64)], seg: &mut usize, w: f64| -> f64 {
+            while *seg + 1 < pts.len() && (pts[*seg + 1].0 as f64) < w {
+                *seg += 1;
+            }
+            if w <= pts[0].0 as f64 {
+                return pts[0].1;
+            }
+            if *seg + 1 >= pts.len() {
+                return pts[pts.len() - 1].1;
+            }
+            let (x0, y0) = pts[*seg];
+            let (x1, y1) = pts[*seg + 1];
+            if w >= x1 as f64 {
+                return y1;
+            }
+            let frac = (w - x0 as f64) / f64::max((x1 - x0) as f64, 1e-12);
+            y0 + frac * (y1 - y0)
+        };
+        let mut seg = 0usize;
+        let mut prev = cum_at(&pts, &mut seg, 0.0);
+        for w in 0..len {
+            let next = cum_at(&pts, &mut seg, w as f64 + 1.0);
+            out.push((next - prev).max(0.0));
+            prev = next;
+        }
+        out
+    }
+}
+
+/// The persistent Count-Min sketch.
+pub struct PersistCms {
+    rows: usize,
+    width: usize,
+    /// Knot budget per cell.
+    pub knots: usize,
+    period_start: u64,
+    period_windows: usize,
+    seed: u64,
+    cells: Vec<PlaCell>,
+}
+
+impl PersistCms {
+    /// Creates a sketch of `rows × width` cells with `knots` turning points
+    /// each over the given measurement period.
+    pub fn new(
+        rows: usize,
+        width: usize,
+        knots: usize,
+        period_start: u64,
+        period_windows: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(knots >= 3, "need at least 3 knots for a useful PLA");
+        Self {
+            rows,
+            width,
+            knots,
+            period_start,
+            period_windows,
+            seed,
+            cells: vec![PlaCell::default(); rows * width],
+        }
+    }
+}
+
+impl CurveSketch for PersistCms {
+    fn name(&self) -> &'static str {
+        "Persist-CMS"
+    }
+
+    fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
+        if window < self.period_start {
+            return;
+        }
+        let off = (window - self.period_start) as usize;
+        if off >= self.period_windows {
+            return;
+        }
+        for row in 0..self.rows {
+            let col = (flow.hash(row as u64, self.seed) % self.width as u64) as usize;
+            self.cells[row * self.width + col].update(off as u32, value, self.knots);
+        }
+    }
+
+    fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        let mut best: Option<WindowSeries> = None;
+        for row in 0..self.rows {
+            let col = (flow.hash(row as u64, self.seed) % self.width as u64) as usize;
+            let cell = &self.cells[row * self.width + col];
+            if cell.is_empty() {
+                continue;
+            }
+            let series = WindowSeries {
+                start_window: self.period_start,
+                values: cell.series(self.period_windows),
+            };
+            let replace = match &best {
+                None => true,
+                Some(b) => series.total() < b.total(),
+            };
+            if replace {
+                best = Some(series);
+            }
+        }
+        best
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // 4 B window + 4 B cumulative value per knot.
+        self.rows * self.width * self.knots * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_flow_is_exact_with_few_knots() {
+        // A perfectly linear cumulative curve needs only two knots.
+        let mut s = PersistCms::new(1, 4, 4, 0, 64, 3);
+        let f = FlowKey::from_id(1);
+        for w in 0..64 {
+            s.update(&f, w, 1000);
+        }
+        let curve = s.query(&f).unwrap();
+        for w in 0..64u64 {
+            assert!(
+                (curve.at(w) - 1000.0).abs() < 1.0,
+                "window {w}: {}",
+                curve.at(w)
+            );
+        }
+    }
+
+    #[test]
+    fn totals_are_preserved() {
+        let mut s = PersistCms::new(2, 8, 6, 0, 128, 3);
+        let f = FlowKey::from_id(2);
+        let mut total = 0i64;
+        for w in (0..128).step_by(3) {
+            let v = 100 + (w as i64 % 17) * 10;
+            s.update(&f, w, v);
+            total += v;
+        }
+        let est = s.query(&f).unwrap().total();
+        assert!(
+            (est - total as f64).abs() / (total as f64) < 0.02,
+            "est {est} vs {total}"
+        );
+    }
+
+    #[test]
+    fn small_budget_smooths_rate_changes() {
+        // Square-wave rate alternating every 8 windows: 8 edges need ~9
+        // knots to track exactly; with a 4-knot budget the off-periods must
+        // leak volume somewhere.
+        let mut s = PersistCms::new(1, 4, 4, 0, 64, 3);
+        let f = FlowKey::from_id(3);
+        for w in 0..64u64 {
+            if (w / 8) % 2 == 0 {
+                s.update(&f, w, 2000);
+            }
+        }
+        let curve = s.query(&f).unwrap();
+        let leak: f64 = (0..64u64)
+            .filter(|w| (w / 8) % 2 == 1)
+            .map(|w| curve.at(w))
+            .sum();
+        assert!(leak > 100.0, "4-knot PLA cannot be edge-exact, leak {leak}");
+    }
+
+    #[test]
+    fn gaps_are_pinned_flat() {
+        let mut s = PersistCms::new(1, 4, 16, 0, 64, 3);
+        let f = FlowKey::from_id(4);
+        s.update(&f, 0, 1000);
+        s.update(&f, 50, 500);
+        let curve = s.query(&f).unwrap();
+        // Windows 10..40 sit in the pinned-flat gap: near-zero rate.
+        for w in 10..40u64 {
+            assert!(curve.at(w) < 50.0, "window {w}: {}", curve.at(w));
+        }
+    }
+
+    #[test]
+    fn memory_scales_with_knots() {
+        let a = PersistCms::new(1, 4, 8, 0, 64, 3);
+        let b = PersistCms::new(1, 4, 16, 0, 64, 3);
+        assert_eq!(a.memory_bytes() * 2, b.memory_bytes());
+    }
+
+    #[test]
+    fn unseen_flow_is_none() {
+        let s = PersistCms::new(1, 4, 4, 0, 64, 3);
+        assert!(s.query(&FlowKey::from_id(9)).is_none());
+    }
+
+    #[test]
+    fn knot_budget_is_respected() {
+        let mut cell = PlaCell::default();
+        for w in 0..1000u32 {
+            cell.update(w, ((w * 7919) % 503) as i64, 10);
+        }
+        assert!(cell.knots.len() <= 10);
+    }
+}

@@ -1,0 +1,82 @@
+//! The common interface of all curve-measurement schemes.
+
+use wavesketch::basic::WindowSeries;
+use wavesketch::{BasicWaveSketch, FlowKey, FullWaveSketch};
+
+/// A scheme that measures per-flow rate curves at microsecond windows.
+///
+/// Implemented by the three baselines and by both WaveSketch versions so the
+/// accuracy harness can sweep them uniformly.
+pub trait CurveSketch {
+    /// Scheme name for reports and figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Records `value` bytes for `flow` at absolute window `window`.
+    fn update(&mut self, flow: &FlowKey, window: u64, value: i64);
+
+    /// The reconstructed rate curve of `flow` (`None` if never seen).
+    fn query(&self, flow: &FlowKey) -> Option<WindowSeries>;
+
+    /// In-dataplane / upload memory of the scheme in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+impl CurveSketch for BasicWaveSketch {
+    fn name(&self) -> &'static str {
+        "WaveSketch"
+    }
+
+    fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
+        BasicWaveSketch::update(self, flow, window, value);
+    }
+
+    fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        BasicWaveSketch::query(self, flow)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        BasicWaveSketch::memory_bytes(self)
+    }
+}
+
+impl CurveSketch for FullWaveSketch {
+    fn name(&self) -> &'static str {
+        "WaveSketch-Full"
+    }
+
+    fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
+        FullWaveSketch::update(self, flow, window, value);
+    }
+
+    fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        FullWaveSketch::query(self, flow)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        FullWaveSketch::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesketch::SketchConfig;
+
+    #[test]
+    fn wavesketch_implements_the_trait() {
+        let config = SketchConfig::builder()
+            .rows(2)
+            .width(16)
+            .levels(4)
+            .topk(32)
+            .max_windows(64)
+            .build();
+        let mut s: Box<dyn CurveSketch> = Box::new(BasicWaveSketch::new(config));
+        let f = FlowKey::from_id(1);
+        s.update(&f, 3, 700);
+        let curve = s.query(&f).unwrap();
+        assert_eq!(curve.at(3), 700.0);
+        assert_eq!(s.name(), "WaveSketch");
+        assert!(s.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the baseline compressors' invariants.
+
+use proptest::prelude::*;
+use umon_baselines::{CurveSketch, FourierSketch, OmniWindowAvg, PersistCms};
+use wavesketch::FlowKey;
+
+const PERIOD: usize = 256;
+
+/// Random packet streams: (flow, window, bytes) with windows in-period.
+fn stream() -> impl Strategy<Value = Vec<(u64, u64, i64)>> {
+    proptest::collection::vec((0u64..12, 0u64..PERIOD as u64, 1i64..5_000), 1..200)
+}
+
+/// Sorts by window (schemes assume a timeline).
+fn sorted(mut s: Vec<(u64, u64, i64)>) -> Vec<(u64, u64, i64)> {
+    s.sort_by_key(|&(_, w, _)| w);
+    s
+}
+
+proptest! {
+    /// OmniWindow-Avg preserves per-bucket totals exactly: averaging moves
+    /// volume within sub-windows, never across the period boundary.
+    #[test]
+    fn omniwindow_preserves_totals(s in stream(), subs in 1usize..64) {
+        let s = sorted(s);
+        let mut sketch = OmniWindowAvg::new(1, 8, subs.min(PERIOD), 0, PERIOD, 7);
+        let mut totals: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+        for &(f, w, v) in &s {
+            sketch.update(&FlowKey::from_id(f), w, v);
+            *totals.entry(FlowKey::from_id(f).hash(0, 7) % 8).or_default() += v;
+        }
+        for (bucket, total) in totals {
+            // Find some flow hashing to this bucket and query it: the curve
+            // total equals the bucket total (single row → no min-selection).
+            let f = s.iter().map(|&(f, _, _)| f)
+                .find(|&f| FlowKey::from_id(f).hash(0, 7) % 8 == bucket)
+                .expect("bucket has a flow");
+            let est = sketch.query(&FlowKey::from_id(f)).expect("recorded").total();
+            prop_assert!((est - total as f64).abs() < 1e-6,
+                         "bucket {}: {} vs {}", bucket, est, total);
+        }
+    }
+
+    /// Persist-CMS never loses total volume either: the cumulative curve is
+    /// pinned to the running total at the open end.
+    #[test]
+    fn persist_preserves_totals(s in stream(), knots in 3usize..40) {
+        let s = sorted(s);
+        let mut sketch = PersistCms::new(1, 4, knots, 0, PERIOD, 7);
+        let mut total_by_flow: std::collections::HashMap<u64, i64> = Default::default();
+        for &(f, w, v) in &s {
+            sketch.update(&FlowKey::from_id(f), w, v);
+            *total_by_flow.entry(f).or_default() += v;
+        }
+        // A flow alone in its bucket reconstructs at least its own volume
+        // (collisions only add). Check the Count-Min inequality for all.
+        for (&f, &truth) in &total_by_flow {
+            let est = sketch.query(&FlowKey::from_id(f)).expect("recorded").total();
+            prop_assert!(est >= truth as f64 - 1.0, "flow {f}: est {est} < {truth}");
+        }
+    }
+
+    /// Fourier with a full coefficient budget is lossless up to clamping.
+    #[test]
+    fn fourier_full_k_is_lossless(s in stream()) {
+        let s = sorted(s);
+        let mut sketch = FourierSketch::new(1, 4, PERIOD.next_power_of_two(), 0, PERIOD, 7);
+        let mut dense: std::collections::HashMap<(u64, u64), i64> = Default::default();
+        for &(f, w, v) in &s {
+            sketch.update(&FlowKey::from_id(f), w, v);
+            let bucket = FlowKey::from_id(f).hash(0, 7) % 4;
+            *dense.entry((bucket, w)).or_default() += v;
+        }
+        for &(f, _, _) in &s {
+            let key = FlowKey::from_id(f);
+            let bucket = key.hash(0, 7) % 4;
+            let curve = sketch.query(&key).expect("recorded");
+            for w in 0..PERIOD as u64 {
+                let truth = dense.get(&(bucket, w)).copied().unwrap_or(0) as f64;
+                prop_assert!((curve.at(w) - truth).abs() < 1e-3,
+                             "flow {f} window {w}: {} vs {truth}", curve.at(w));
+            }
+        }
+    }
+
+    /// All schemes agree on which flows exist: a queried flow that was
+    /// recorded returns Some, an unrecorded flow in an empty sketch None.
+    #[test]
+    fn presence_semantics(s in stream()) {
+        let s = sorted(s);
+        let schemes: Vec<Box<dyn CurveSketch>> = vec![
+            Box::new(OmniWindowAvg::new(2, 8, 16, 0, PERIOD, 7)),
+            Box::new(FourierSketch::new(2, 8, 8, 0, PERIOD, 7)),
+            Box::new(PersistCms::new(2, 8, 8, 0, PERIOD, 7)),
+        ];
+        for mut sketch in schemes {
+            for &(f, w, v) in &s {
+                sketch.update(&FlowKey::from_id(f), w, v);
+            }
+            for &(f, _, _) in &s {
+                prop_assert!(sketch.query(&FlowKey::from_id(f)).is_some(),
+                             "{}: recorded flow must be queryable", sketch.name());
+            }
+        }
+    }
+}

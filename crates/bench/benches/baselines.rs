@@ -1,0 +1,97 @@
+//! Criterion benchmarks comparing update and query costs across all
+//! curve-measurement schemes at equal memory (400 KB).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use umon_baselines::budget::SweepLayout;
+use umon_baselines::CurveSketch;
+use wavesketch::{FlowKey, SelectorKind};
+
+const BUDGET: usize = 400 * 1024;
+const PERIOD_WINDOWS: usize = 2442;
+
+fn stream(packets: usize, flows: u64) -> Vec<(FlowKey, u64, i64)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mut window = 0u64;
+    (0..packets)
+        .map(|_| {
+            if rng.gen_bool(0.1) {
+                window = (window + rng.gen_range(1..3)).min(PERIOD_WINDOWS as u64 - 1);
+            }
+            (
+                FlowKey::from_id(rng.gen_range(0..flows)),
+                window,
+                rng.gen_range(64..1500),
+            )
+        })
+        .collect()
+}
+
+fn schemes(layout: &SweepLayout) -> Vec<Box<dyn CurveSketch>> {
+    vec![
+        Box::new(layout.wavesketch(BUDGET, SelectorKind::Ideal)),
+        Box::new(layout.omniwindow(BUDGET)),
+        Box::new(layout.fourier(BUDGET)),
+        Box::new(layout.persist_cms(BUDGET)),
+    ]
+}
+
+fn bench_scheme_updates(c: &mut Criterion) {
+    let layout = SweepLayout::paper(0, PERIOD_WINDOWS);
+    let packets = stream(100_000, 300);
+    let mut group = c.benchmark_group("scheme_update_100k");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    for proto in schemes(&layout) {
+        let name = proto.name();
+        drop(proto);
+        group.bench_function(name, |b| {
+            b.iter_with_setup(
+                || {
+                    schemes(&layout)
+                        .into_iter()
+                        .find(|s| s.name() == name)
+                        .expect("scheme exists")
+                },
+                |mut s| {
+                    for (f, w, v) in &packets {
+                        s.update(black_box(f), *w, *v);
+                    }
+                    s.memory_bytes()
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheme_queries(c: &mut Criterion) {
+    let layout = SweepLayout::paper(0, PERIOD_WINDOWS);
+    let packets = stream(100_000, 300);
+    let mut group = c.benchmark_group("scheme_query");
+    for mut s in schemes(&layout) {
+        for (f, w, v) in &packets {
+            s.update(f, *w, *v);
+        }
+        let name = s.name();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for id in 0..50u64 {
+                    if let Some(curve) = s.query(black_box(&FlowKey::from_id(id))) {
+                        total += curve.total();
+                    }
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scheme_updates, bench_scheme_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the simulator substrate: packet-event
+//! throughput on the dumbbell and fat-tree topologies.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use umon_netsim::{CongestionControl, FlowId, FlowSpec, SimConfig, Simulator, Topology};
+
+fn quick_config() -> SimConfig {
+    SimConfig {
+        end_ns: 3_000_000,
+        clock_error_ns: 0,
+        collect_queue_dist: false,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_dumbbell(c: &mut Criterion) {
+    let flows: Vec<FlowSpec> = (0..4)
+        .map(|i| FlowSpec {
+            id: FlowId(i),
+            src: (i % 4) as usize,
+            dst: 4 + (i % 4) as usize,
+            size_bytes: 1_000_000,
+            start_ns: i * 10_000,
+            cc: CongestionControl::Dcqcn,
+        })
+        .collect();
+    // 4 MB = 4000 packets, ~4 hops each ≈ 32k packet events.
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(4_000));
+    group.bench_function("dumbbell_4x1MB_dcqcn", |b| {
+        b.iter(|| {
+            let topo = Topology::dumbbell(4, 100.0, 1000);
+            let r = Simulator::new(topo, flows.clone(), quick_config()).run();
+            r.telemetry.tx_records.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fat_tree(c: &mut Criterion) {
+    let flows: Vec<FlowSpec> = (0..64)
+        .map(|i| FlowSpec {
+            id: FlowId(i),
+            src: (i % 16) as usize,
+            dst: ((i + 5) % 16) as usize,
+            size_bytes: 100_000,
+            start_ns: i * 5_000,
+            cc: CongestionControl::Dcqcn,
+        })
+        .collect();
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(6_400));
+    group.bench_function("fat_tree_64x100KB_dcqcn", |b| {
+        b.iter(|| {
+            let topo = Topology::fat_tree(4, 100.0, 1000);
+            let r = Simulator::new(topo, flows.clone(), quick_config()).run();
+            r.telemetry.tx_records.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dumbbell, bench_fat_tree
+}
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Criterion micro-benchmarks for the WaveSketch core: the O(1) amortized
+//! update claim (Appendix B), transform/reconstruct costs, and ideal vs
+//! hardware selection.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wavesketch::select::{CoeffSelector, IdealTopK};
+use wavesketch::streaming::StreamingTransform;
+use wavesketch::{BasicWaveSketch, FlowKey, FullWaveSketch, Selector, SelectorKind, SketchConfig};
+
+fn config(selector: SelectorKind) -> SketchConfig {
+    SketchConfig::builder()
+        .rows(3)
+        .width(256)
+        .levels(8)
+        .topk(64)
+        .max_windows(4096)
+        .heavy_rows(256)
+        .selector(selector)
+        .build()
+}
+
+/// A packet stream: (flow, window, bytes), windows non-decreasing and
+/// bounded to one measurement period (no epoch rollovers).
+fn stream(packets: usize, flows: u64, seed: u64) -> Vec<(FlowKey, u64, i64)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut window = 0u64;
+    (0..packets)
+        .map(|_| {
+            if rng.gen_bool(0.2) {
+                window = (window + rng.gen_range(1..4)).min(4000);
+            }
+            (
+                FlowKey::from_id(rng.gen_range(0..flows)),
+                window,
+                rng.gen_range(64..1500),
+            )
+        })
+        .collect()
+}
+
+fn bench_update(c: &mut Criterion) {
+    let packets = stream(100_000, 500, 1);
+    let mut group = c.benchmark_group("update");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+
+    group.bench_function("basic_ideal", |b| {
+        b.iter(|| {
+            let mut s = BasicWaveSketch::new(config(SelectorKind::Ideal));
+            for (f, w, v) in &packets {
+                s.update(black_box(f), *w, *v);
+            }
+            s.active_buckets()
+        })
+    });
+    group.bench_function("basic_hw", |b| {
+        b.iter(|| {
+            let mut s =
+                BasicWaveSketch::new(config(SelectorKind::HwThreshold { even: 100, odd: 100 }));
+            for (f, w, v) in &packets {
+                s.update(black_box(f), *w, *v);
+            }
+            s.active_buckets()
+        })
+    });
+    group.bench_function("full_ideal", |b| {
+        b.iter(|| {
+            let mut s = FullWaveSketch::new(config(SelectorKind::Ideal));
+            for (f, w, v) in &packets {
+                s.update(black_box(f), *w, *v);
+            }
+            s.heavy_flows().len()
+        })
+    });
+    group.finish();
+}
+
+/// Appendix B: amortized update cost must be flat in the stream density
+/// (packets per window). Criterion surfaces the per-element cost directly.
+fn bench_amortized_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_per_density");
+    for pkts_per_window in [1usize, 8, 64] {
+        let n_windows = 2048usize;
+        let packets: Vec<(u64, i64)> = (0..n_windows)
+            .flat_map(|w| (0..pkts_per_window).map(move |_| (w as u64, 1000i64)))
+            .collect();
+        group.throughput(Throughput::Elements(packets.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pkts_per_window),
+            &packets,
+            |b, packets| {
+                b.iter(|| {
+                    let mut t = StreamingTransform::new(
+                        8,
+                        4096,
+                        Selector::new(SelectorKind::Ideal, 64),
+                    );
+                    let mut cur = (0u64, 0i64);
+                    for &(w, v) in packets {
+                        if w == cur.0 {
+                            cur.1 += v;
+                        } else {
+                            t.push(cur.0 as u32, cur.1);
+                            cur = (w, v);
+                        }
+                    }
+                    t.approx_total()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transform_reconstruct(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let series: Vec<(u32, i64)> = (0..4096u32).map(|w| (w, rng.gen_range(0..100_000))).collect();
+    c.bench_function("streaming_transform_4096", |b| {
+        b.iter(|| {
+            let mut t = StreamingTransform::new(8, 4096, IdealTopK::new(64));
+            for &(w, v) in &series {
+                t.push(w, v);
+            }
+            t.finish()
+        })
+    });
+    let coeffs = {
+        let mut t = StreamingTransform::new(8, 4096, IdealTopK::new(64));
+        for &(w, v) in &series {
+            t.push(w, v);
+        }
+        t.finish()
+    };
+    c.bench_function("reconstruct_4096", |b| {
+        b.iter(|| wavesketch::reconstruct::reconstruct(black_box(&coeffs)))
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let candidates: Vec<wavesketch::select::Candidate> = (0..10_000)
+        .map(|i| wavesketch::select::Candidate {
+            level: i % 8,
+            idx: i,
+            val: rng.gen_range(-100_000i64..100_000),
+        })
+        .collect();
+    let mut group = c.benchmark_group("selection_10k_candidates");
+    group.bench_function("ideal_topk_64", |b| {
+        b.iter(|| {
+            let mut s = IdealTopK::new(64);
+            for &cand in &candidates {
+                s.offer(cand);
+            }
+            s.len()
+        })
+    });
+    group.bench_function("hw_threshold_64", |b| {
+        b.iter(|| {
+            let mut s = wavesketch::select::HwThresholdSelector::new(64, 20_000, 20_000);
+            for &cand in &candidates {
+                s.offer(cand);
+            }
+            s.len()
+        })
+    });
+    group.finish();
+}
+
+/// §8 future work: Agg-Evict pre-aggregation in front of the sketch. On a
+/// dense stream most packets merge in the buffer and never touch the
+/// sketch's hash rows.
+fn bench_aggevict(c: &mut Criterion) {
+    // A dense stream: few flows, many packets per window.
+    let packets = stream(100_000, 16, 5);
+    let mut group = c.benchmark_group("aggevict");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            let mut s = BasicWaveSketch::new(config(SelectorKind::Ideal));
+            for (f, w, v) in &packets {
+                s.update(black_box(f), *w, *v);
+            }
+            s.active_buckets()
+        })
+    });
+    group.bench_function("buffered_256_slots", |b| {
+        b.iter(|| {
+            let mut s = BasicWaveSketch::new(config(SelectorKind::Ideal));
+            let mut buf = wavesketch::AggEvictBuffer::new(256);
+            {
+                let mut sink = |k: &FlowKey, w: u64, v: i64| s.update(k, w, v);
+                for (f, w, v) in &packets {
+                    buf.offer(black_box(f), *w, *v, &mut sink);
+                }
+                buf.flush(&mut sink);
+            }
+            s.active_buckets()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_update, bench_amortized_density, bench_transform_reconstruct, bench_selection,
+              bench_aggevict
+}
+criterion_main!(benches);

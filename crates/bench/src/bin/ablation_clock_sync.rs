@@ -1,0 +1,64 @@
+//! Ablation: time-synchronization sensitivity (§6.1) — μMon requires
+//! nanosecond-level PTP-class sync; NTP's millisecond errors break the
+//! event/rate alignment. We sweep the per-node clock-error bound and
+//! measure event recall at a fixed ±2-window matching tolerance.
+
+use umon_bench::{save_results, PERIOD_NS};
+use umon_netsim::{SimConfig, Simulator, Topology};
+use umon_workloads::{WorkloadKind, WorkloadParams};
+use umon::{Analyzer, HostAgentConfig, SwitchAgent, SwitchAgentConfig};
+
+fn main() {
+    println!("\nAblation: clock error vs event-match recall (tolerance = 2 windows)");
+    println!("{:>14} {:>10} {:>8}", "clock error", "episodes", "recall");
+    let tolerance = 2 * 8192; // two microsecond-level windows (§6.1)
+    let mut rows = Vec::new();
+    for error_ns in [0i64, 100, 1_000, 8_192, 100_000, 1_000_000] {
+        let params = WorkloadParams::paper(WorkloadKind::Hadoop, 0.35, 23);
+        let flows = params.generate();
+        let topo = Topology::fat_tree(4, 100.0, 1000);
+        let config = SimConfig {
+            end_ns: PERIOD_NS + 5_000_000,
+            seed: 23,
+            clock_error_ns: error_ns,
+            ..SimConfig::default()
+        };
+        let result = Simulator::new(topo, flows, config).run();
+        let mut analyzer = Analyzer::new(HostAgentConfig::default().sketch);
+        for switch in 16..36 {
+            let mut agent = SwitchAgent::new(
+                switch,
+                SwitchAgentConfig {
+                    sampling_shift: 4,
+                    ..Default::default()
+                },
+            );
+            agent.ingest(&result.telemetry.mirror_candidates);
+            analyzer.add_mirrors(agent.drain());
+        }
+        // Heavy episodes only (≥ KMax): detectable by construction, so any
+        // recall loss comes from timestamp misalignment.
+        let stats = analyzer.match_episodes(
+            &result.telemetry.episodes,
+            200 * 1024,
+            u32::MAX,
+            tolerance,
+        );
+        let label = if error_ns < 1000 {
+            format!("±{error_ns} ns")
+        } else if error_ns < 1_000_000 {
+            format!("±{} us", error_ns / 1000)
+        } else {
+            format!("±{} ms", error_ns / 1_000_000)
+        };
+        println!("{label:>14} {:>10} {:>8.3}", stats.episodes, stats.recall());
+        rows.push(serde_json::json!({
+            "clock_error_ns": error_ns,
+            "episodes": stats.episodes,
+            "recall": stats.recall(),
+        }));
+    }
+    println!("\n→ PTP-class errors (≤ 1 us) keep recall intact; NTP-class errors");
+    println!("  (≥ 100 us - ms) misalign mirrors and episodes (§6.1's argument).");
+    save_results("ablation_clock_sync", &serde_json::json!(rows));
+}

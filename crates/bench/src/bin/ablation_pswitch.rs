@@ -1,0 +1,113 @@
+//! Extension experiment (§5 discussion): commodity-switch μEvent capture
+//! (ACL match on CE + PSN sampling + packet mirroring) vs a
+//! programmable-switch design (direct queue observation, in-dataplane flow
+//! dedup, batch reporting). Compares recall, flow coverage and report
+//! bandwidth on the same workload.
+
+use umon_bench::{save_results, PERIOD_NS};
+use umon_netsim::{SimConfig, Simulator, Topology};
+use umon_workloads::{WorkloadKind, WorkloadParams};
+use umon::{Analyzer, HostAgentConfig, PSwitchAgent, PSwitchConfig, SwitchAgent, SwitchAgentConfig};
+
+fn main() {
+    // Re-run the workload with the burst tap enabled (threshold = KMin).
+    let params = WorkloadParams::paper(WorkloadKind::Hadoop, 0.35, 24);
+    let flows = params.generate();
+    let topo = Topology::fat_tree(4, 100.0, 1000);
+    let config = SimConfig {
+        end_ns: PERIOD_NS + 5_000_000,
+        seed: 24,
+        burst_capture_threshold: Some(20 * 1024),
+        ..SimConfig::default()
+    };
+    let result = Simulator::new(topo, flows, config).run();
+    let episodes = &result.telemetry.episodes;
+    let heavy: Vec<_> = episodes.iter().filter(|e| e.max_qlen >= 200 * 1024).collect();
+    println!(
+        "\nworkload: Hadoop 35% — {} episodes ({} above KMax)",
+        episodes.len(),
+        heavy.len()
+    );
+
+    // Commodity path: ACL mirror at 1/64.
+    let mut analyzer = Analyzer::new(HostAgentConfig::default().sketch);
+    let mut mirror_bytes = 0u64;
+    for switch in 16..36 {
+        let mut agent = SwitchAgent::new(switch, SwitchAgentConfig::default());
+        agent.ingest(&result.telemetry.mirror_candidates);
+        mirror_bytes += agent
+            .mirrored()
+            .iter()
+            .map(|m| m.wire_bytes as u64)
+            .sum::<u64>();
+        analyzer.add_mirrors(agent.drain());
+    }
+    let acl = analyzer.match_episodes(episodes, 200 * 1024, u32::MAX, 10_000);
+
+    // Programmable path: direct queue watch, dedup, batch report.
+    let ps_cfg = PSwitchConfig::default();
+    let mut ps_events = Vec::new();
+    for switch in 16..36 {
+        let mut agent = PSwitchAgent::new(switch, ps_cfg);
+        agent.ingest(&result.telemetry.burst_records);
+        ps_events.extend(agent.finish());
+    }
+    let ps_bytes = PSwitchAgent::report_bytes(&ps_cfg, &ps_events);
+    // Recall of heavy episodes: an episode is detected if a captured event
+    // on the same (switch, port) overlaps it.
+    let mut detected = 0usize;
+    let mut flows_sum = 0usize;
+    for ep in &heavy {
+        let hit = ps_events.iter().find(|e| {
+            e.switch == ep.switch
+                && e.port == ep.port
+                && e.start_ns <= ep.end_ns + 10_000
+                && ep.start_ns <= e.end_ns + 10_000
+        });
+        if let Some(e) = hit {
+            detected += 1;
+            flows_sum += e.flows.len();
+        }
+    }
+    let ps_recall = if heavy.is_empty() {
+        1.0
+    } else {
+        detected as f64 / heavy.len() as f64
+    };
+    let ps_flows = if detected == 0 {
+        0.0
+    } else {
+        flows_sum as f64 / detected as f64
+    };
+
+    let span_s = PERIOD_NS as f64 / 1e9;
+    println!("\n{:<28} {:>10} {:>12} {:>14}", "capture design", "recall", "flows/event", "report bw");
+    println!(
+        "{:<28} {:>10.3} {:>12.1} {:>11.1} Mbps",
+        "commodity ACL mirror 1/64",
+        acl.recall(),
+        acl.mean_flows_captured,
+        mirror_bytes as f64 * 8.0 / span_s / 1e6
+    );
+    println!(
+        "{:<28} {:>10.3} {:>12.1} {:>11.1} Mbps",
+        "programmable queue watch",
+        ps_recall,
+        ps_flows,
+        ps_bytes as f64 * 8.0 / span_s / 1e6
+    );
+    println!("\n→ direct queue observation sees every heavy episode and every");
+    println!("  involved flow while batch reporting cuts the bandwidth — the");
+    println!("  paper's argument for adopting ConQuest-style designs when");
+    println!("  programmable switches are available (§5).");
+    assert!(ps_recall >= acl.recall() - 1e-9);
+    save_results(
+        "ablation_pswitch",
+        &serde_json::json!({
+            "acl": {"recall": acl.recall(), "flows_per_event": acl.mean_flows_captured,
+                     "bandwidth_mbps": mirror_bytes as f64 * 8.0 / span_s / 1e6},
+            "pswitch": {"recall": ps_recall, "flows_per_event": ps_flows,
+                         "bandwidth_mbps": ps_bytes as f64 * 8.0 / span_s / 1e6},
+        }),
+    );
+}

@@ -1,0 +1,65 @@
+//! Ablation: the wavelet depth `L` and coefficient budget `K` trade-off of
+//! §4.2 — deeper decomposition shrinks the approximation array (better
+//! compression, more computation/state per update); larger `K` keeps more
+//! detail (better accuracy, bigger reports).
+
+use umon_bench::{evaluate_scheme, fmt_metrics, run_paper_workload, save_results, PERIOD_WINDOWS};
+use umon_baselines::CurveSketch;
+use umon_workloads::WorkloadKind;
+use wavesketch::{BasicWaveSketch, SelectorKind, SketchConfig};
+
+fn build(levels: u32, k: usize) -> BasicWaveSketch {
+    BasicWaveSketch::new(
+        SketchConfig::builder()
+            .rows(3)
+            .width(256)
+            .levels(levels)
+            .topk(k)
+            .max_windows(PERIOD_WINDOWS.next_power_of_two())
+            .selector(SelectorKind::Ideal)
+            .build(),
+    )
+}
+
+fn main() {
+    let (_flows, result) = run_paper_workload(WorkloadKind::WebSearch, 0.25, 21);
+    let records = &result.telemetry.tx_records;
+    let mut rows = Vec::new();
+
+    println!("\nAblation: wavelet depth L (K = 64)");
+    println!("{:>3} {:>10} {:>12}  accuracy", "L", "memory KB", "report B/bkt");
+    for levels in [4u32, 6, 8, 10] {
+        let proto = build(levels, 64);
+        let mem_kb = proto.memory_bytes() / 1024;
+        let report = proto.config().report_bytes_per_bucket();
+        let (m, _) = evaluate_scheme(records, 16, || {
+            Box::new(build(levels, 64)) as Box<dyn CurveSketch>
+        });
+        println!("{levels:>3} {mem_kb:>10} {report:>12}  {}", fmt_metrics(&m));
+        rows.push(serde_json::json!({
+            "levels": levels, "k": 64, "memory_kb": mem_kb,
+            "report_bytes_per_bucket": report,
+            "are": m.are, "cosine": m.cosine, "energy": m.energy,
+            "euclidean": m.euclidean,
+        }));
+    }
+
+    println!("\nAblation: coefficient budget K (L = 8)");
+    println!("{:>4} {:>10} {:>12}  accuracy", "K", "memory KB", "report B/bkt");
+    for k in [16usize, 32, 64, 128, 256] {
+        let proto = build(8, k);
+        let mem_kb = proto.memory_bytes() / 1024;
+        let report = proto.config().report_bytes_per_bucket();
+        let (m, _) = evaluate_scheme(records, 16, || {
+            Box::new(build(8, k)) as Box<dyn CurveSketch>
+        });
+        println!("{k:>4} {mem_kb:>10} {report:>12}  {}", fmt_metrics(&m));
+        rows.push(serde_json::json!({
+            "levels": 8, "k": k, "memory_kb": mem_kb,
+            "report_bytes_per_bucket": report,
+            "are": m.are, "cosine": m.cosine, "energy": m.energy,
+            "euclidean": m.euclidean,
+        }));
+    }
+    save_results("ablation_wavelet_params", &serde_json::json!(rows));
+}

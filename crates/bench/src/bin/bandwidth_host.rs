@@ -1,0 +1,51 @@
+//! §7.1 "Bandwidth usage": the per-host report upload bandwidth of the
+//! WaveSketch host agent (~5 Mbps in the paper) against the cost of
+//! per-packet head mirroring (the Valinor/Lumina-style comparison: 64 B on
+//! the wire for every packet).
+
+use umon_bench::{run_paper_workload, save_results, PERIOD_NS};
+use umon_workloads::WorkloadKind;
+use umon::{HostAgent, HostAgentConfig};
+
+fn main() {
+    let (_flows, result) = run_paper_workload(WorkloadKind::Hadoop, 0.15, 7);
+    let span_ns = PERIOD_NS;
+
+    let mut total_bps = 0.0;
+    let mut max_bps = 0.0f64;
+    let mut total_pkts = 0u64;
+    for host in 0..16 {
+        let mut agent = HostAgent::new(host, HostAgentConfig::default());
+        agent.ingest(&result.telemetry.tx_records);
+        total_pkts += agent.packets;
+        let reports = agent.finish();
+        let bps = HostAgent::report_bandwidth_bps(&reports, span_ns);
+        total_bps += bps;
+        max_bps = max_bps.max(bps);
+    }
+    let avg_mbps = total_bps / 16.0 / 1e6;
+
+    // Per-packet head mirroring cost over the same traffic.
+    let mirror_bits = total_pkts * 64 * 8;
+    let mirror_avg_mbps = mirror_bits as f64 / (span_ns as f64 / 1e9) / 16.0 / 1e6;
+
+    println!("\nHost-side measurement bandwidth (Hadoop 15%, 20 ms period):");
+    println!("  WaveSketch reports: avg {avg_mbps:.2} Mbps/host (max {:.2})", max_bps / 1e6);
+    println!("  64 B/packet head mirroring: avg {mirror_avg_mbps:.2} Mbps/host");
+    println!(
+        "  WaveSketch uses {:.3}% of the mirroring bandwidth",
+        100.0 * avg_mbps / mirror_avg_mbps
+    );
+    assert!(
+        avg_mbps < mirror_avg_mbps / 10.0,
+        "WaveSketch must be an order of magnitude cheaper than mirroring"
+    );
+    save_results(
+        "bandwidth_host",
+        &serde_json::json!({
+            "wavesketch_avg_mbps": avg_mbps,
+            "wavesketch_max_mbps": max_bps / 1e6,
+            "mirroring_avg_mbps": mirror_avg_mbps,
+        }),
+    );
+}

@@ -1,0 +1,44 @@
+//! §4.2 compression-ratio analysis: the `(n/2^L + α·K)/n` model and the
+//! measured wire size of real bucket epochs at the paper's example
+//! parameters (L=8, K=32, n=2000, α=1.5 → ratio ≈ 0.028).
+
+use umon_bench::save_results;
+use wavesketch::select::IdealTopK;
+use wavesketch::streaming::StreamingTransform;
+use wavesketch::BucketReport;
+
+fn main() {
+    println!("\n§4.2 compression ratio: model vs measured");
+    println!("{:>6} {:>4} {:>6} {:>10} {:>10}", "n", "L", "K", "model", "measured");
+    let mut rows = Vec::new();
+    for (n, l, k) in [
+        (2000usize, 8u32, 32usize),
+        (2000, 8, 64),
+        (500, 8, 32),
+        (10_000, 8, 32),
+        (2000, 6, 32),
+    ] {
+        let alpha = 1.5;
+        let cap = n.next_power_of_two();
+        let model = (cap as f64 / (1u64 << l) as f64 + alpha * k as f64) / n as f64;
+        // Measure on a bursty synthetic series.
+        let mut t = StreamingTransform::new(l, cap, IdealTopK::new(k));
+        for i in 0..n as u32 {
+            let base = ((i as i64 * 2654435761) % 997).abs();
+            let burst = if i % 97 == 0 { 50_000 } else { 0 };
+            t.push(i, base + burst);
+        }
+        let report = BucketReport::from_coeffs(0, t.finish());
+        let measured = report.wire_bytes() as f64 / (4.0 * n as f64);
+        println!("{n:>6} {l:>4} {k:>6} {model:>10.4} {measured:>10.4}");
+        rows.push(serde_json::json!({
+            "n": n, "L": l, "K": k, "model": model, "measured": measured,
+        }));
+        assert!(
+            (measured - model).abs() / model < 0.5,
+            "measured ratio must track the model"
+        );
+    }
+    println!("\npaper example (n=2000, L=8, K=32): expected ≈ 0.028");
+    save_results("compression_ratio", &serde_json::json!(rows));
+}

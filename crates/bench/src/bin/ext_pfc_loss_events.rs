@@ -1,0 +1,94 @@
+//! Extension experiment: the two μEvent classes beyond microbursts that §5
+//! names — PFC pause storms (lossless fabrics) and packet loss (lossy
+//! fabrics with deflect-on-drop) — detected end-to-end from the new
+//! telemetry taps.
+
+use umon_bench::save_results;
+use umon_netsim::sim::PfcConfig;
+use umon_netsim::{CongestionControl, SimConfig, Simulator, Topology};
+use umon_workloads::incast_burst;
+use umon::{loss_events, pause_storms};
+
+fn main() {
+    // A harsh 8:1 incast with fixed-rate senders (no backoff) stresses the
+    // receiver downlink.
+    let mk_flows = || {
+        incast_burst(
+            0,
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            0,
+            1_000_000,
+            500_000,
+            CongestionControl::FixedRate(100.0),
+        )
+    };
+
+    // Lossless fabric: PFC on, small buffers.
+    let topo = Topology::fat_tree(4, 100.0, 1000);
+    let config = SimConfig {
+        switch_buffer_bytes: 600 * 1024,
+        pfc: Some(PfcConfig {
+            xoff_bytes: 300 * 1024,
+            xon_bytes: 200 * 1024,
+        }),
+        end_ns: 20_000_000,
+        seed: 25,
+        ..SimConfig::default()
+    };
+    let lossless = Simulator::new(topo, mk_flows(), config).run();
+    let storms = pause_storms(&lossless.telemetry.pause_records, 100_000, 3);
+    println!("\nLossless fabric (PFC XOFF 300 KiB / XON 200 KiB):");
+    println!(
+        "  drops: {}   pause transitions: {}   detected pause storms: {}",
+        lossless.telemetry.drops,
+        lossless.telemetry.pause_records.len(),
+        storms.len()
+    );
+    for s in storms.iter().take(5) {
+        println!(
+            "  storm at node {} port {}: {} XOFFs over {:.1} us, paused {:.0}% of the time",
+            s.node,
+            s.port,
+            s.xoffs,
+            (s.end_ns - s.start_ns) as f64 / 1000.0,
+            s.paused_fraction() * 100.0
+        );
+    }
+    assert_eq!(lossless.telemetry.drops, 0, "PFC fabric must be lossless");
+    assert!(!storms.is_empty(), "the incast must cause repeated pausing");
+
+    // Lossy fabric: PFC off, deflect-on-drop on.
+    let topo = Topology::fat_tree(4, 100.0, 1000);
+    let config = SimConfig {
+        switch_buffer_bytes: 600 * 1024,
+        deflect_on_drop: true,
+        end_ns: 20_000_000,
+        seed: 25,
+        ..SimConfig::default()
+    };
+    let lossy = Simulator::new(topo, mk_flows(), config).run();
+    let losses = loss_events(&lossy.telemetry.drop_records, 50_000);
+    println!("\nLossy fabric (same buffers, deflect-on-drop):");
+    println!(
+        "  drops: {}   loss events: {}",
+        lossy.telemetry.drops,
+        losses.len()
+    );
+    for e in losses.iter().take(5) {
+        println!(
+            "  loss at switch {} port {}: {} packets / {} B, victims {:?}",
+            e.switch, e.port, e.packets, e.bytes, e.victims
+        );
+    }
+    assert!(lossy.telemetry.drops > 0, "without PFC this incast must drop");
+    assert!(!losses.is_empty());
+    save_results(
+        "ext_pfc_loss_events",
+        &serde_json::json!({
+            "lossless": {"drops": lossless.telemetry.drops,
+                          "pause_transitions": lossless.telemetry.pause_records.len(),
+                          "storms": storms.len()},
+            "lossy": {"drops": lossy.telemetry.drops, "loss_events": losses.len()},
+        }),
+    );
+}

@@ -1,0 +1,123 @@
+//! Figure 10: congestion event detection and replay — the full μMon
+//! pipeline on one fat-tree workload:
+//!
+//! * (a) a time × link map of detected congestion events,
+//! * (b) the CDF of event durations, and
+//! * (c) a replay of the longest event: the rate curves of the involved
+//!   flows around the event, reconstructed from WaveSketch reports.
+
+use std::collections::HashMap;
+use umon_bench::{run_paper_workload, save_results, WINDOW_SHIFT};
+use umon_workloads::WorkloadKind;
+use umon::{Analyzer, HostAgent, HostAgentConfig, SwitchAgent, SwitchAgentConfig};
+
+fn main() {
+    let (flows, result) = run_paper_workload(WorkloadKind::Hadoop, 0.15, 10);
+    let host_of_flow: HashMap<u64, usize> =
+        flows.iter().map(|f| (f.id.0, f.src)).collect();
+
+    // Host agents feed the analyzer with WaveSketch reports.
+    let agent_cfg = HostAgentConfig::default();
+    let mut analyzer = Analyzer::new(agent_cfg.sketch.clone());
+    for host in 0..16 {
+        let mut agent = HostAgent::new(host, agent_cfg.clone());
+        agent.ingest(&result.telemetry.tx_records);
+        analyzer.add_reports(agent.finish());
+    }
+    // Switch agents mirror CE packets at 1/8 sampling.
+    let sw_cfg = SwitchAgentConfig {
+        sampling_shift: 3,
+        ..Default::default()
+    };
+    for switch in 16..36 {
+        let mut agent = SwitchAgent::new(switch, sw_cfg);
+        agent.ingest(&result.telemetry.mirror_candidates);
+        analyzer.add_mirrors(agent.drain());
+    }
+
+    // (a) event map.
+    let events = analyzer.cluster_events(50_000);
+    println!("\nFigure 10a: congestion event map (switch-port = link id)");
+    println!("{:>8} {:>6} {:>12} {:>10}", "link", "flows", "start (us)", "dur (us)");
+    for e in events.iter().take(20) {
+        println!(
+            "{:>5}/{:<2} {:>6} {:>12.1} {:>10.1}",
+            e.switch,
+            e.vlan,
+            e.flows.len(),
+            e.start_ns as f64 / 1000.0,
+            e.duration_ns() as f64 / 1000.0
+        );
+    }
+    println!("({} events total)", events.len());
+    assert!(!events.is_empty(), "the workload must congest some links");
+
+    // (b) duration CDF.
+    let mut durations: Vec<f64> = events
+        .iter()
+        .map(|e| e.duration_ns() as f64 / 1000.0)
+        .collect();
+    durations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("\nFigure 10b: congestion duration CDF (us)");
+    for q in [0.25, 0.5, 0.75, 0.9, 0.99] {
+        let idx = ((durations.len() as f64 * q) as usize).min(durations.len() - 1);
+        println!("  p{:<4} {:>8.1} us", (q * 100.0) as u32, durations[idx]);
+    }
+
+    // (c) replay the longest event with cause/victim classification (B2).
+    let longest = events
+        .iter()
+        .max_by_key(|e| e.duration_ns())
+        .expect("events exist");
+    let margin_windows = 20u64;
+    let (windows, curves) = analyzer.replay_event(
+        longest,
+        margin_windows * 8192,
+        WINDOW_SHIFT,
+        |f| host_of_flow.get(&f).copied(),
+    );
+    println!(
+        "\nFigure 10c: replay of the longest event (link {}/{}, {:.1} us, {} flows)",
+        longest.switch,
+        longest.vlan,
+        longest.duration_ns() as f64 / 1000.0,
+        longest.flows.len()
+    );
+    let window_ns = 1u64 << WINDOW_SHIFT;
+    // Pre-event and during-event ranges within the replay window.
+    let pre = 0..margin_windows as usize;
+    let during_end = windows.len().saturating_sub(margin_windows as usize);
+    let during = margin_windows as usize..during_end.max(margin_windows as usize + 1);
+    for (flow, values) in curves.iter().take(8) {
+        let peak = values.iter().cloned().fold(0.0, f64::max) * 8.0 / window_ns as f64;
+        let role = umon::classify_event_role(values, pre.clone(), during.clone());
+        println!(
+            "  flow {flow:>6}: peak {:>6.1} Gbps, role {:?}",
+            peak, role
+        );
+    }
+    let roles: Vec<umon::EventRole> = curves
+        .iter()
+        .map(|(_, v)| umon::classify_event_role(v, pre.clone(), during.clone()))
+        .collect();
+    let contributors = roles.iter().filter(|r| **r == umon::EventRole::Contributor).count();
+    println!(
+        "  → {} contributor(s) ramped into the event; {} victim(s)/bystander(s)",
+        contributors,
+        roles.len() - contributors
+    );
+    assert!(!curves.is_empty(), "replay must recover at least one flow curve");
+    assert!(
+        contributors >= 1,
+        "a congestion event must have at least one bursting contributor"
+    );
+    save_results(
+        "fig10_event_replay",
+        &serde_json::json!({
+            "events": events.len(),
+            "duration_us_p50": durations[durations.len() / 2],
+            "replay_flows": curves.len(),
+            "replay_windows": windows.len(),
+        }),
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 11: accuracy vs. memory on the 15%-load Facebook Hadoop workload,
+//! 8.192 μs windows, all schemes at equal memory.
+
+use umon_bench::accuracy::{report, sweep};
+use umon_bench::{run_paper_workload, save_results};
+use umon_workloads::WorkloadKind;
+
+fn main() {
+    let kind = WorkloadKind::Hadoop;
+    let load = 0.15;
+    eprintln!("simulating {} at {:.0}% load ...", kind.name(), load * 100.0);
+    let (_flows, result) = run_paper_workload(kind, load, 11);
+    eprintln!(
+        "  {} egress packets, {} flows",
+        result.telemetry.tx_records.len(),
+        result.flows.len()
+    );
+    let budgets_kb = [200, 400, 800, 1600];
+    let points = sweep(&result.telemetry.tx_records, 16, &budgets_kb);
+    let json = report(kind, load, &points);
+    save_results("fig11_accuracy_hadoop15", &json);
+}

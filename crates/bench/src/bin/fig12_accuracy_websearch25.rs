@@ -1,0 +1,22 @@
+//! Figure 12: accuracy vs. memory on the 25%-load WebSearch workload,
+//! 8.192 μs windows, all schemes at equal memory.
+
+use umon_bench::accuracy::{report, sweep};
+use umon_bench::{run_paper_workload, save_results};
+use umon_workloads::WorkloadKind;
+
+fn main() {
+    let kind = WorkloadKind::WebSearch;
+    let load = 0.25;
+    eprintln!("simulating {} at {:.0}% load ...", kind.name(), load * 100.0);
+    let (_flows, result) = run_paper_workload(kind, load, 12);
+    eprintln!(
+        "  {} egress packets, {} flows",
+        result.telemetry.tx_records.len(),
+        result.flows.len()
+    );
+    let budgets_kb = [200, 400, 800, 1600];
+    let points = sweep(&result.telemetry.tx_records, 16, &budgets_kb);
+    let json = report(kind, load, &points);
+    save_results("fig12_accuracy_websearch25", &json);
+}

@@ -1,0 +1,105 @@
+//! Figure 14: congestion-event recall and captured-flow coverage vs. the
+//! episode's maximum queue length, for sampling ratios 1/1 … 1/256, on
+//! three workload/load combinations.
+
+use umon_bench::{run_paper_workload, save_results};
+use umon_workloads::WorkloadKind;
+use umon::{Analyzer, SwitchAgent, SwitchAgentConfig};
+use wavesketch::SketchConfig;
+
+const QLEN_BINS_KB: [(u32, u32); 6] = [
+    (0, 50),
+    (50, 100),
+    (100, 150),
+    (150, 200),
+    (200, 250),
+    (250, u32::MAX / 1024),
+];
+
+fn main() {
+    let combos = [
+        (WorkloadKind::WebSearch, 0.35),
+        (WorkloadKind::Hadoop, 0.15),
+        (WorkloadKind::Hadoop, 0.35),
+    ];
+    let shifts = [0u32, 2, 4, 6, 7, 8]; // 1/1, 1/4, 1/16, 1/64, 1/128, 1/256
+    let mut all = Vec::new();
+    for (kind, load) in combos {
+        eprintln!("simulating {} {:.0}% ...", kind.name(), load * 100.0);
+        let (_flows, result) = run_paper_workload(kind, load, 14);
+        let episodes = &result.telemetry.episodes;
+        println!(
+            "\nFigure 14 — {} at {:.0}% load: {} ground-truth episodes, {} CE packets",
+            kind.name(),
+            load * 100.0,
+            episodes.len(),
+            result.telemetry.mirror_candidates.len()
+        );
+        println!(
+            "{:>10} | {}",
+            "sampling",
+            QLEN_BINS_KB
+                .iter()
+                .map(|&(lo, hi)| if hi > 1000 {
+                    format!("{:>5}+ KB", lo)
+                } else {
+                    format!("{:>3}-{:<3}KB", lo, hi)
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        for &shift in &shifts {
+            // Mirror with this sampling ratio on every switch.
+            let cfg = SketchConfig::builder().build();
+            let mut analyzer = Analyzer::new(cfg);
+            let sw_cfg = SwitchAgentConfig {
+                sampling_shift: shift,
+                ..Default::default()
+            };
+            for switch in 16..36 {
+                let mut agent = SwitchAgent::new(switch, sw_cfg);
+                agent.ingest(&result.telemetry.mirror_candidates);
+                analyzer.add_mirrors(agent.drain());
+            }
+            let mut recalls = Vec::new();
+            let mut flow_counts = Vec::new();
+            for &(lo_kb, hi_kb) in &QLEN_BINS_KB {
+                let stats = analyzer.match_episodes(
+                    episodes,
+                    lo_kb * 1024,
+                    hi_kb.saturating_mul(1024),
+                    10_000,
+                );
+                recalls.push((stats.episodes, stats.recall()));
+                flow_counts.push(stats.mean_flows_captured);
+            }
+            println!(
+                "{:>10} | {}   flows: {}",
+                format!("1/{}", 1u64 << shift),
+                recalls
+                    .iter()
+                    .map(|&(n, r)| if n == 0 {
+                        "    -    ".to_string()
+                    } else {
+                        format!("{:>8.2} ", r)
+                    })
+                    .collect::<String>(),
+                flow_counts
+                    .iter()
+                    .map(|f| format!("{f:>5.1}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            all.push(serde_json::json!({
+                "workload": kind.name(),
+                "load": load,
+                "sampling": format!("1/{}", 1u64 << shift),
+                "bins_kb": QLEN_BINS_KB.iter().map(|&(lo, _)| lo).collect::<Vec<u32>>(),
+                "episodes": recalls.iter().map(|&(n, _)| n).collect::<Vec<usize>>(),
+                "recall": recalls.iter().map(|&(_, r)| r).collect::<Vec<f64>>(),
+                "mean_flows": flow_counts,
+            }));
+        }
+    }
+    save_results("fig14_event_recall", &serde_json::json!(all));
+}

@@ -1,0 +1,52 @@
+//! Figure 15: maximum per-switch mirror bandwidth vs. sampling ratio for
+//! the four workload/load combinations.
+
+use umon_bench::{run_paper_workload, save_results, PERIOD_NS};
+use umon_workloads::WorkloadKind;
+use umon::{SwitchAgent, SwitchAgentConfig};
+
+fn main() {
+    let combos = [
+        (WorkloadKind::Hadoop, 0.15),
+        (WorkloadKind::Hadoop, 0.35),
+        (WorkloadKind::WebSearch, 0.15),
+        (WorkloadKind::WebSearch, 0.35),
+    ];
+    let shifts: Vec<u32> = (0..=7).collect(); // 1/1 .. 1/128
+    println!("\nFigure 15: max mirror bandwidth per switch (Mbps)");
+    print!("{:<26}", "workload");
+    for &s in &shifts {
+        print!("{:>9}", format!("1/{}", 1u64 << s));
+    }
+    println!();
+    let mut all = Vec::new();
+    for (kind, load) in combos {
+        eprintln!("simulating {} {:.0}% ...", kind.name(), load * 100.0);
+        let (_flows, result) = run_paper_workload(kind, load, 15);
+        print!("{:<26}", format!("{} {:.0}%", kind.name(), load * 100.0));
+        let mut series = Vec::new();
+        for &shift in &shifts {
+            let sw_cfg = SwitchAgentConfig {
+                sampling_shift: shift,
+                ..Default::default()
+            };
+            // Max over switches of the mirror bandwidth.
+            let mut max_bps = 0.0f64;
+            for switch in 16..36 {
+                let mut agent = SwitchAgent::new(switch, sw_cfg);
+                agent.ingest(&result.telemetry.mirror_candidates);
+                max_bps = max_bps.max(agent.mirror_bandwidth_bps(PERIOD_NS));
+            }
+            print!("{:>9.1}", max_bps / 1e6);
+            series.push(max_bps / 1e6);
+        }
+        println!();
+        all.push(serde_json::json!({
+            "workload": kind.name(),
+            "load": load,
+            "ratios": shifts.iter().map(|&s| 1u64 << s).collect::<Vec<u64>>(),
+            "max_mbps": series,
+        }));
+    }
+    save_results("fig15_bandwidth", &serde_json::json!(all));
+}

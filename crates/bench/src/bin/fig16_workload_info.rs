@@ -1,0 +1,81 @@
+//! Figure 16: workload information — flow-size CDFs, port-level flow
+//! inter-arrival CDFs, and the time-weighted queue-length distribution of
+//! the simulated fabrics.
+
+use umon_bench::{run_paper_workload, save_results};
+use umon_workloads::{hadoop, inter_arrival_cdf, websearch, WorkloadKind, WorkloadParams};
+
+fn main() {
+    // (a) flow size CDFs (the distributions themselves).
+    println!("\nFigure 16a: flow size CDF breakpoints");
+    for d in [hadoop(), websearch()] {
+        println!("  {} (mean {:.0} B):", d.name, d.mean());
+        for q in [0.25, 0.5, 0.75, 0.9, 0.99] {
+            println!("    p{:<4} {:>12} B", (q * 100.0) as u32, d.quantile(q));
+        }
+    }
+
+    // (b) inter-arrival CDFs at host access ports.
+    println!("\nFigure 16b: flow inter-arrival time at a port (us)");
+    let mut json_b = Vec::new();
+    for (kind, load) in [
+        (WorkloadKind::Hadoop, 0.15),
+        (WorkloadKind::Hadoop, 0.35),
+        (WorkloadKind::WebSearch, 0.15),
+        (WorkloadKind::WebSearch, 0.35),
+    ] {
+        let flows = WorkloadParams::paper(kind, load, 16).generate();
+        let cdf = inter_arrival_cdf(&flows, 16);
+        let q = |p: f64| -> f64 {
+            if cdf.is_empty() {
+                return f64::NAN;
+            }
+            let idx = ((cdf.len() as f64 * p) as usize).min(cdf.len() - 1);
+            cdf[idx].0 / 1000.0
+        };
+        println!(
+            "  {} {:>3.0}%: p20 {:>8.1}  p50 {:>8.1}  p90 {:>8.1}",
+            kind.name(),
+            load * 100.0,
+            q(0.2),
+            q(0.5),
+            q(0.9)
+        );
+        json_b.push(serde_json::json!({
+            "workload": kind.name(), "load": load,
+            "p20_us": q(0.2), "p50_us": q(0.5), "p90_us": q(0.9),
+        }));
+    }
+
+    // (c) queue-length distribution from the simulations.
+    println!("\nFigure 16c: queue length distribution (fraction of port-time)");
+    let mut json_c = Vec::new();
+    for (kind, load) in [
+        (WorkloadKind::Hadoop, 0.15),
+        (WorkloadKind::Hadoop, 0.35),
+        (WorkloadKind::WebSearch, 0.15),
+        (WorkloadKind::WebSearch, 0.35),
+    ] {
+        eprintln!("simulating {} {:.0}% ...", kind.name(), load * 100.0);
+        let (_flows, result) = run_paper_workload(kind, load, 16);
+        let dist = result.telemetry.queue_dist.expect("collected");
+        let above_20k = dist.fraction_at_or_above(20 * 1024);
+        let above_200k = dist.fraction_at_or_above(200 * 1024);
+        println!(
+            "  {} {:>3.0}%:  ≥KMin(20KiB) {:>8.5}   ≥KMax(200KiB) {:>8.5}",
+            kind.name(),
+            load * 100.0,
+            above_20k,
+            above_200k
+        );
+        json_c.push(serde_json::json!({
+            "workload": kind.name(), "load": load,
+            "frac_above_kmin": above_20k,
+            "frac_above_kmax": above_200k,
+        }));
+    }
+    save_results(
+        "fig16_workload_info",
+        &serde_json::json!({"inter_arrival": json_b, "queue": json_c}),
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 17: accuracy by flow length on the 25%-load WebSearch workload
+//! (one fixed memory budget, flows grouped into log-scale length buckets).
+
+use umon_bench::accuracy::{report_by_flow_size, sweep};
+use umon_bench::{run_paper_workload, save_results};
+use umon_workloads::WorkloadKind;
+
+fn main() {
+    let (_flows, result) = run_paper_workload(WorkloadKind::WebSearch, 0.25, 17);
+    let budget_kb = 400;
+    let points = sweep(&result.telemetry.tx_records, 16, &[budget_kb]);
+    let json = report_by_flow_size(&points, budget_kb * 1024);
+    save_results("fig17_flow_size_websearch", &json);
+}

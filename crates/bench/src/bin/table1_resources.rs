@@ -1,0 +1,42 @@
+//! Table 1: PISA pipeline resource usage of a full-version WaveSketch with
+//! a heavy part (h=256, L=8, K=64) and a light part (w=256, L=8, K=64, D=1),
+//! from the analytical resource model (the Tofino2-compiler substitute
+//! documented in DESIGN.md).
+
+use umon_bench::save_results;
+use wavesketch::{PipelineBudget, ResourceUsage, SketchConfig};
+
+fn main() {
+    let config = SketchConfig::builder()
+        .rows(1) // D = 1 light row, as in Table 1
+        .width(256)
+        .levels(8)
+        .topk(64)
+        .max_windows(4096)
+        .heavy_rows(256)
+        .build();
+    let usage = ResourceUsage::model(&config);
+    let budget = PipelineBudget::default();
+
+    println!("\nTable 1: resource usage of a full-version WaveSketch");
+    println!("(heavy h=256, L=8, K=64; light w=256, L=8, K=64, D=1)\n");
+    println!("{:<24} {:>8} {:>10}", "Resource", "Usage", "Percentage");
+    let mut rows = Vec::new();
+    for (name, used, pct) in usage.percentages(&budget) {
+        println!("{:<24} {:>8} {:>9.2}%", name, used, pct);
+        rows.push(serde_json::json!({
+            "resource": name,
+            "usage": used,
+            "percentage": pct,
+        }));
+    }
+    assert!(usage.fits(&budget), "must fit a Tofino2-class pipeline");
+    println!("\nfits the pipeline budget: yes");
+
+    println!("\nFigure 7 stage plan (per light row; heavy part co-resident):");
+    println!("{:>6} {:<44} {:>6}", "stage", "operation", "SALUs");
+    for (stage, op, salus) in ResourceUsage::stage_plan(&config) {
+        println!("{stage:>6} {op:<44} {salus:>6}");
+    }
+    save_results("table1_resources", &serde_json::json!(rows));
+}

@@ -1,0 +1,37 @@
+//! Table 2: packet and flow counts of the six simulation workloads
+//! (WebSearch and Facebook Hadoop at 15/25/35% load, 20 ms periods).
+
+use umon_bench::save_results;
+use umon_workloads::{WorkloadKind, WorkloadParams, WorkloadStats};
+
+fn main() {
+    println!("\nTable 2: simulation workloads (20 ms arrival window, 16 hosts, 100 Gbps)");
+    println!(
+        "{:<18} {:>6} {:>10} {:>8} {:>14}",
+        "workload", "load", "packets", "flows", "mean flow (B)"
+    );
+    let mut rows = Vec::new();
+    for kind in [WorkloadKind::WebSearch, WorkloadKind::Hadoop] {
+        for load in [0.15, 0.25, 0.35] {
+            let params = WorkloadParams::paper(kind, load, 2024);
+            let flows = params.generate();
+            let stats = WorkloadStats::compute(&flows, 1000);
+            println!(
+                "{:<18} {:>5.0}% {:>10} {:>8} {:>14.0}",
+                kind.name(),
+                load * 100.0,
+                stats.packets,
+                stats.flows,
+                stats.mean_flow_bytes
+            );
+            rows.push(serde_json::json!({
+                "workload": kind.name(),
+                "load": load,
+                "packets": stats.packets,
+                "flows": stats.flows,
+                "mean_flow_bytes": stats.mean_flow_bytes,
+            }));
+        }
+    }
+    save_results("table2_workloads", &serde_json::json!(rows));
+}

@@ -1,0 +1,153 @@
+//! Minimal argument parsing for the `umon` CLI — a handful of `--key value`
+//! flags per subcommand, no external parser needed (DESIGN.md §5 dependency
+//! policy).
+
+use std::collections::HashMap;
+
+/// Parsed command line: the subcommand name and its `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `umon help`".into()))?;
+        if command.starts_with('-') {
+            return Err(ArgError(format!(
+                "expected a subcommand before flags, got {command:?}"
+            )));
+        }
+        let mut flags = HashMap::new();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {arg:?}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            if flags.insert(key.to_string(), value).is_some() {
+                return Err(ArgError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Self { command, flags })
+    }
+
+    /// A string flag, or `default` when absent.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<String, ArgError> {
+        self.flags
+            .get(key)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// A numeric flag parsed as `T`, or `default` when absent.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Rejects flags outside `allowed` so typos fail loudly.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{key} for `{}` (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse(&["simulate", "--load", "0.25", "--workload", "hadoop"]).unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.str_or("workload", "x"), "hadoop");
+        assert_eq!(a.num_or("load", 0.0).unwrap(), 0.25);
+        assert_eq!(a.num_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--load", "1"]).is_err());
+    }
+
+    #[test]
+    fn dangling_flag_value_is_an_error() {
+        assert!(parse(&["simulate", "--load"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_rejected() {
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected_by_check() {
+        let a = parse(&["detect", "--sampling", "64", "--oops", "1"]).unwrap();
+        assert!(a.check_known(&["sampling", "trace"]).is_err());
+        let a = parse(&["detect", "--sampling", "64"]).unwrap();
+        assert!(a.check_known(&["sampling", "trace"]).is_ok());
+    }
+
+    #[test]
+    fn require_reports_the_key() {
+        let a = parse(&["measure"]).unwrap();
+        let e = a.require("trace").unwrap_err();
+        assert!(e.0.contains("--trace"));
+    }
+
+    #[test]
+    fn bad_numbers_name_the_flag() {
+        let a = parse(&["simulate", "--load", "abc"]).unwrap();
+        let e = a.num_or("load", 0.0f64).unwrap_err();
+        assert!(e.0.contains("--load"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Terminal rendering helpers: ASCII rate curves and aligned tables.
+
+/// Renders a rate curve as an ASCII strip chart: one character per window,
+/// height-coded 0–9 against `max` (auto-scaled when `max` is `None`).
+/// Returns the chart line plus a scale caption.
+pub fn sparkline(values: &[f64], max: Option<f64>) -> (String, String) {
+    let peak = max.unwrap_or_else(|| values.iter().cloned().fold(0.0, f64::max));
+    if peak <= 0.0 {
+        return ("0".repeat(values.len()), "scale: flat".to_string());
+    }
+    let line: String = values
+        .iter()
+        .map(|&v| {
+            let level = ((v / peak) * 9.0).round().clamp(0.0, 9.0) as u32;
+            char::from_digit(level, 10).expect("0..=9")
+        })
+        .collect();
+    (line, format!("scale: 9 = {peak:.1}"))
+}
+
+/// Down-samples a curve to at most `width` points by averaging fixed-size
+/// chunks, so long curves fit a terminal row without losing their shape.
+pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
+    if values.is_empty() || width == 0 {
+        return Vec::new();
+    }
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(width);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Formats a bits-per-second figure with an adaptive unit.
+pub fn fmt_bps(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} Gbps", bps / 1e9)
+    } else if bps >= 1e6 {
+        format!("{:.2} Mbps", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.2} Kbps", bps / 1e3)
+    } else {
+        format!("{bps:.0} bps")
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_peak() {
+        let (line, caption) = sparkline(&[0.0, 5.0, 10.0], None);
+        assert_eq!(line, "059");
+        assert!(caption.contains("10.0"));
+    }
+
+    #[test]
+    fn sparkline_flat_curve() {
+        let (line, caption) = sparkline(&[0.0, 0.0], None);
+        assert_eq!(line, "00");
+        assert!(caption.contains("flat"));
+    }
+
+    #[test]
+    fn sparkline_with_fixed_scale() {
+        let (line, _) = sparkline(&[50.0], Some(100.0));
+        assert_eq!(line, "5");
+    }
+
+    #[test]
+    fn downsample_preserves_short_inputs() {
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn downsample_averages_chunks() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = downsample(&values, 10);
+        assert_eq!(out.len(), 10);
+        assert!((out[0] - 4.5).abs() < 1e-9); // mean of 0..10
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_bps(5.2e9), "5.20 Gbps");
+        assert_eq!(fmt_bps(42e6), "42.00 Mbps");
+        assert_eq!(fmt_bps(900.0), "900 bps");
+        assert_eq!(fmt_ns(8_192), "8.2 us");
+        assert_eq!(fmt_ns(20_000_000), "20.00 ms");
+        assert_eq!(fmt_ns(55), "55 ns");
+    }
+}

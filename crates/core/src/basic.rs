@@ -1,0 +1,367 @@
+//! The basic WaveSketch (§4.2, Figure 6): a Count-Min-style array of
+//! `d × w` [`WaveBucket`]s. Updates hash the flow key into one bucket per
+//! row; queries reconstruct each of the `d` candidate buckets and return the
+//! one with the smallest total (the Count-Min minimum generalized to curves).
+
+use crate::bucket::WaveBucket;
+use crate::config::SketchConfig;
+use crate::flow::FlowKey;
+use crate::report::BucketReport;
+
+/// A reconstructed flow-rate curve: per-window values anchored at an
+/// absolute window id. Mirrors `umon_metrics::RateCurve` but lives here so
+/// the core crate has no dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSeries {
+    /// Absolute window id of `values[0]`.
+    pub start_window: u64,
+    /// Reconstructed per-window values.
+    pub values: Vec<f64>,
+}
+
+impl WindowSeries {
+    /// Builds the union series from a set of per-epoch reports (epochs of one
+    /// bucket never overlap).
+    pub fn from_reports(reports: &[BucketReport]) -> Option<Self> {
+        if reports.is_empty() {
+            return None;
+        }
+        let start = reports.iter().map(|r| r.w0).min().expect("non-empty");
+        let end = reports
+            .iter()
+            .map(|r| r.w0 + r.padded_len as u64)
+            .max()
+            .expect("non-empty");
+        let mut values = vec![0.0; (end - start) as usize];
+        for r in reports {
+            let rec = r.reconstruct();
+            let base = (r.w0 - start) as usize;
+            for (i, v) in rec.into_iter().enumerate() {
+                values[base + i] += v;
+            }
+        }
+        Some(Self {
+            start_window: start,
+            values,
+        })
+    }
+
+    /// The absolute window id one past the last value.
+    pub fn end_window(&self) -> u64 {
+        self.start_window + self.values.len() as u64
+    }
+
+    /// Value at absolute window `w` (0 outside the series span).
+    pub fn at(&self, w: u64) -> f64 {
+        if w < self.start_window {
+            return 0.0;
+        }
+        self.values
+            .get((w - self.start_window) as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Overlays `other` onto this series: within `other`'s span, this
+    /// series takes `other`'s values (extending the span if needed). Used by
+    /// the full-version query to prefer exact heavy-part values where the
+    /// heavy bucket has coverage while keeping the light part's history for
+    /// windows before the flow was elected heavy.
+    pub fn overlay(&mut self, other: &WindowSeries) {
+        if other.values.is_empty() {
+            return;
+        }
+        let new_start = self.start_window.min(other.start_window);
+        let new_end = self.end_window().max(other.end_window());
+        if new_start < self.start_window || new_end > self.end_window() {
+            let mut values = vec![0.0; (new_end - new_start) as usize];
+            for (i, &v) in self.values.iter().enumerate() {
+                values[(self.start_window - new_start) as usize + i] = v;
+            }
+            self.start_window = new_start;
+            self.values = values;
+        }
+        for (i, &v) in other.values.iter().enumerate() {
+            let idx = (other.start_window - self.start_window) as usize + i;
+            self.values[idx] = v;
+        }
+    }
+
+    /// Pointwise subtraction of `other`, clamped at zero. Used when removing
+    /// heavy-flow contributions from a light-part curve (§4.2 full version).
+    pub fn subtract_clamped(&mut self, other: &WindowSeries) {
+        for (offset, v) in other.values.iter().enumerate() {
+            let w = other.start_window + offset as u64;
+            if w < self.start_window {
+                continue;
+            }
+            let idx = (w - self.start_window) as usize;
+            if let Some(slot) = self.values.get_mut(idx) {
+                *slot = (*slot - v).max(0.0);
+            }
+        }
+    }
+}
+
+/// The basic WaveSketch.
+pub struct BasicWaveSketch {
+    config: SketchConfig,
+    /// Row-major bucket array: `buckets[row * width + col]`.
+    buckets: Vec<WaveBucket>,
+}
+
+impl BasicWaveSketch {
+    /// Creates an empty sketch.
+    pub fn new(config: SketchConfig) -> Self {
+        let buckets = (0..config.rows * config.width)
+            .map(|_| WaveBucket::new(&config))
+            .collect();
+        Self { config, buckets }
+    }
+
+    /// The sketch configuration.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// Bucket index for `flow` in `row`.
+    #[inline]
+    fn index(&self, flow: &FlowKey, row: usize) -> usize {
+        let col = (flow.hash(row as u64, self.config.seed) % self.config.width as u64) as usize;
+        row * self.config.width + col
+    }
+
+    /// Records `value` (bytes or packets) for `flow` at absolute window
+    /// `window` — the sketch update of Algorithm 1 applied to all `d` rows.
+    pub fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
+        for row in 0..self.config.rows {
+            let idx = self.index(flow, row);
+            self.buckets[idx].update(window, value);
+        }
+    }
+
+    /// Queries the flow's reconstructed rate curve: reconstructs the `d`
+    /// candidate buckets and returns the one with the smallest total volume
+    /// (least over-counted by collisions). `None` if the flow hit no bucket.
+    pub fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        let mut best: Option<WindowSeries> = None;
+        for row in 0..self.config.rows {
+            let idx = self.index(flow, row);
+            let reports = self.buckets[idx].snapshot();
+            if let Some(series) = WindowSeries::from_reports(&reports) {
+                let replace = match &best {
+                    None => true,
+                    Some(b) => series.total() < b.total(),
+                };
+                if replace {
+                    best = Some(series);
+                }
+            }
+        }
+        best
+    }
+
+    /// Raw per-bucket reports of the flow's `d` candidate buckets (for
+    /// analyzers that need every row, e.g. the full version's subtraction).
+    pub fn query_reports(&self, flow: &FlowKey) -> Vec<(u32, u32, Vec<BucketReport>)> {
+        (0..self.config.rows)
+            .map(|row| {
+                let col = (flow.hash(row as u64, self.config.seed) % self.config.width as u64) as u32;
+                let idx = row * self.config.width + col as usize;
+                (row as u32, col, self.buckets[idx].snapshot())
+            })
+            .collect()
+    }
+
+    /// Drains every bucket into a list of `(row, col, reports)` entries and
+    /// resets the sketch for the next measurement period.
+    pub fn drain(&mut self) -> Vec<(u32, u32, Vec<BucketReport>)> {
+        let mut out = Vec::new();
+        for row in 0..self.config.rows {
+            for col in 0..self.config.width {
+                let idx = row * self.config.width + col;
+                let reports = self.buckets[idx].drain();
+                if !reports.is_empty() {
+                    out.push((row as u32, col as u32, reports));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of buckets that have recorded at least one packet.
+    pub fn active_buckets(&self) -> usize {
+        self.buckets.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Configured in-dataplane memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.config.basic_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectorKind;
+
+    fn config(w: usize, k: usize) -> SketchConfig {
+        SketchConfig::builder()
+            .rows(3)
+            .width(w)
+            .levels(4)
+            .topk(k)
+            .max_windows(256)
+            .selector(SelectorKind::Ideal)
+            .build()
+    }
+
+    #[test]
+    fn single_flow_reconstructs_exactly_with_big_k() {
+        let mut s = BasicWaveSketch::new(config(64, 256));
+        let f = FlowKey::from_id(1);
+        let pattern = [(0u64, 1000i64), (1, 2000), (3, 500), (10, 1500)];
+        for (w, v) in pattern {
+            s.update(&f, w, v);
+        }
+        let curve = s.query(&f).expect("flow present");
+        for (w, v) in pattern {
+            assert!((curve.at(w) - v as f64).abs() < 1e-9, "window {w}");
+        }
+        assert_eq!(curve.at(2), 0.0);
+    }
+
+    #[test]
+    fn unknown_flow_queries_to_none_mostly() {
+        // An unseen flow may collide with a recorded one, but with an empty
+        // sketch the query must be None.
+        let s = BasicWaveSketch::new(config(64, 16));
+        assert!(s.query(&FlowKey::from_id(9)).is_none());
+    }
+
+    #[test]
+    fn query_never_underestimates_total_for_recorded_flow() {
+        // Count-Min property lifted to curves: collisions only add volume.
+        let mut s = BasicWaveSketch::new(config(8, 64)); // tiny width → collisions
+        let mut totals = std::collections::HashMap::new();
+        for id in 0..50u64 {
+            let f = FlowKey::from_id(id);
+            let bytes = 100 * (id as i64 + 1);
+            s.update(&f, id % 32, bytes);
+            *totals.entry(id).or_insert(0i64) += bytes;
+        }
+        for (id, true_total) in totals {
+            let est = s.query(&FlowKey::from_id(id)).unwrap().total();
+            assert!(
+                est >= true_total as f64 - 1e-6,
+                "flow {id}: est {est} < true {true_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_resets_and_reports_active_buckets_only() {
+        let mut s = BasicWaveSketch::new(config(64, 16));
+        s.update(&FlowKey::from_id(1), 5, 100);
+        let drained = s.drain();
+        // One flow hits d=3 buckets (possibly fewer if rows collide — they
+        // can't across rows since indices are row-scoped).
+        assert_eq!(drained.len(), 3);
+        assert_eq!(s.active_buckets(), 0);
+        assert!(s.query(&FlowKey::from_id(1)).is_none());
+    }
+
+    #[test]
+    fn two_flows_in_different_buckets_do_not_interfere() {
+        let mut s = BasicWaveSketch::new(config(256, 64));
+        let (a, b) = (FlowKey::from_id(1), FlowKey::from_id(2));
+        s.update(&a, 0, 111);
+        s.update(&b, 0, 999);
+        // With w=256 and 2 flows a full 3-row collision is vanishingly
+        // unlikely; the min-total query isolates each flow.
+        let qa = s.query(&a).unwrap().total();
+        assert!((qa - 111.0).abs() < 1e-6 || (qa - 1110.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_series_merges_multiple_epochs() {
+        let mut bucket = WaveBucket::with_params(2, 4, 16, SelectorKind::Ideal);
+        for w in 0..8 {
+            bucket.update(w, 10 * (w as i64 + 1));
+        }
+        let series = WindowSeries::from_reports(&bucket.drain()).unwrap();
+        assert_eq!(series.start_window, 0);
+        for w in 0..8u64 {
+            assert!((series.at(w) - 10.0 * (w as f64 + 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overlay_prefers_other_within_its_span() {
+        let mut base = WindowSeries {
+            start_window: 10,
+            values: vec![5.0, 5.0, 5.0, 5.0],
+        };
+        let exact = WindowSeries {
+            start_window: 12,
+            values: vec![1.0, 2.0],
+        };
+        base.overlay(&exact);
+        assert_eq!(base.values, vec![5.0, 5.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn overlay_extends_the_span_when_needed() {
+        let mut base = WindowSeries {
+            start_window: 10,
+            values: vec![5.0],
+        };
+        let other = WindowSeries {
+            start_window: 8,
+            values: vec![1.0, 1.0],
+        };
+        base.overlay(&other);
+        assert_eq!(base.start_window, 8);
+        assert_eq!(base.values, vec![1.0, 1.0, 5.0]);
+        // And extending forward.
+        let tail = WindowSeries {
+            start_window: 12,
+            values: vec![9.0],
+        };
+        base.overlay(&tail);
+        assert_eq!(base.values, vec![1.0, 1.0, 5.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn overlay_with_empty_other_is_a_noop() {
+        let mut base = WindowSeries {
+            start_window: 3,
+            values: vec![7.0],
+        };
+        base.overlay(&WindowSeries {
+            start_window: 0,
+            values: vec![],
+        });
+        assert_eq!(base.values, vec![7.0]);
+        assert_eq!(base.start_window, 3);
+    }
+
+    #[test]
+    fn subtract_clamped_removes_overlap_only() {
+        let mut a = WindowSeries {
+            start_window: 10,
+            values: vec![5.0, 5.0, 5.0],
+        };
+        let b = WindowSeries {
+            start_window: 11,
+            values: vec![2.0, 10.0],
+        };
+        a.subtract_clamped(&b);
+        assert_eq!(a.values, vec![5.0, 3.0, 0.0]);
+    }
+}

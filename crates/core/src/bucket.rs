@@ -1,0 +1,306 @@
+//! A complete WaveSketch counter bucket (Figure 6): initial window `w0`,
+//! current offset `i`, current counter `c`, approximation set `A` and detail
+//! set `D`, with the counting → transformation → compression pipeline of
+//! Algorithm 1 and automatic epoch rollover for flows outliving one
+//! measurement period ("longer flows are handled in multiple reporting
+//! periods", §7.1).
+
+use crate::config::SketchConfig;
+use crate::report::BucketReport;
+use crate::select::{Selector, SelectorKind};
+use crate::streaming::StreamingTransform;
+
+/// One bucket of the sketch. Counts values per microsecond-level window and
+/// compresses finished windows online.
+#[derive(Debug, Clone)]
+pub struct WaveBucket {
+    levels: u32,
+    max_windows: usize,
+    topk: usize,
+    selector_kind: SelectorKind,
+    /// Absolute window id of the epoch start; `None` until the first packet.
+    w0: Option<u64>,
+    /// Offset of the window currently being counted.
+    i: u32,
+    /// Count accumulated in the current window.
+    c: i64,
+    xform: StreamingTransform<Selector>,
+    /// Reports of epochs that rolled over before being drained.
+    completed: Vec<BucketReport>,
+}
+
+impl WaveBucket {
+    /// Creates an empty bucket from a sketch configuration.
+    pub fn new(config: &SketchConfig) -> Self {
+        Self::with_params(config.levels, config.max_windows, config.topk, config.selector)
+    }
+
+    /// Creates an empty bucket from explicit parameters.
+    pub fn with_params(
+        levels: u32,
+        max_windows: usize,
+        topk: usize,
+        selector_kind: SelectorKind,
+    ) -> Self {
+        Self {
+            levels,
+            max_windows,
+            topk,
+            selector_kind,
+            w0: None,
+            i: 0,
+            c: 0,
+            xform: StreamingTransform::new(levels, max_windows, Selector::new(selector_kind, topk)),
+            completed: Vec::new(),
+        }
+    }
+
+    /// True if no packet has ever hit this bucket (in the current or any
+    /// completed epoch).
+    pub fn is_empty(&self) -> bool {
+        self.w0.is_none() && self.completed.is_empty()
+    }
+
+    /// The absolute window id that starts the current epoch.
+    pub fn epoch_start(&self) -> Option<u64> {
+        self.w0
+    }
+
+    /// The `Counting` procedure of Algorithm 1: adds `value` at absolute
+    /// window `window`.
+    ///
+    /// Packets must arrive in non-decreasing window order (they do on a real
+    /// timeline); a packet for an older window than the current one is folded
+    /// into the current window rather than lost, since the data plane cannot
+    /// rewind.
+    pub fn update(&mut self, window: u64, value: i64) {
+        let w0 = match self.w0 {
+            None => {
+                // First packet of the epoch initializes w0.
+                self.w0 = Some(window);
+                self.i = 0;
+                self.c = value;
+                return;
+            }
+            Some(w0) => w0,
+        };
+
+        let offset = window.saturating_sub(w0);
+        if offset >= self.max_windows as u64 {
+            // Epoch capacity exhausted: seal it and start a new epoch at the
+            // incoming window.
+            self.rollover();
+            self.w0 = Some(window);
+            self.i = 0;
+            self.c = value;
+            return;
+        }
+        let offset = offset as u32;
+
+        if offset <= self.i {
+            // Same window (or a clock-skew straggler): accumulate.
+            self.c += value;
+        } else {
+            // The counted window is finished — transform and compress it,
+            // then start counting the new window.
+            self.xform.push(self.i, self.c);
+            self.i = offset;
+            self.c = value;
+        }
+    }
+
+    /// Seals the current epoch into `completed` and resets streaming state.
+    fn rollover(&mut self) {
+        let mut xform = std::mem::replace(
+            &mut self.xform,
+            StreamingTransform::new(
+                self.levels,
+                self.max_windows,
+                Selector::new(self.selector_kind, self.topk),
+            ),
+        );
+        if let Some(w0) = self.w0.take() {
+            xform.push(self.i, self.c);
+            let coeffs = xform.finish();
+            if coeffs.padded_len > 0 {
+                self.completed.push(BucketReport::from_coeffs(w0, coeffs));
+            }
+        }
+        self.i = 0;
+        self.c = 0;
+    }
+
+    /// Drains the bucket: seals the current epoch and returns all reports,
+    /// leaving the bucket empty. This is what a host agent calls at the end
+    /// of every reporting period.
+    pub fn drain(&mut self) -> Vec<BucketReport> {
+        self.rollover();
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Non-destructive query: reports for all completed epochs plus a
+    /// snapshot of the in-progress epoch (including the still-open window).
+    pub fn snapshot(&self) -> Vec<BucketReport> {
+        let mut out = self.completed.clone();
+        if let Some(w0) = self.w0 {
+            let mut copy = self.xform.clone();
+            copy.push(self.i, self.c);
+            let coeffs = copy.finish();
+            if coeffs.padded_len > 0 {
+                out.push(BucketReport::from_coeffs(w0, coeffs));
+            }
+        }
+        out
+    }
+
+    /// Total bytes recorded in the current epoch so far (the approximation
+    /// array plus the open window counter).
+    pub fn current_epoch_total(&self) -> i64 {
+        self.xform.approx_total() + self.c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconstruct::reconstruct;
+    use crate::select::SelectorKind;
+
+    fn bucket(levels: u32, max_windows: usize, k: usize) -> WaveBucket {
+        WaveBucket::with_params(levels, max_windows, k, SelectorKind::Ideal)
+    }
+
+    #[test]
+    fn first_packet_initializes_w0() {
+        let mut b = bucket(3, 64, 16);
+        assert!(b.is_empty());
+        b.update(1000, 500);
+        assert_eq!(b.epoch_start(), Some(1000));
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn same_window_accumulates() {
+        let mut b = bucket(3, 64, 16);
+        b.update(10, 100);
+        b.update(10, 50);
+        let reports = b.drain();
+        assert_eq!(reports.len(), 1);
+        let rec = reconstruct(&reports[0].coeffs());
+        assert_eq!(rec[0], 150.0);
+    }
+
+    #[test]
+    fn drain_then_reuse_starts_a_fresh_epoch() {
+        let mut b = bucket(3, 64, 16);
+        b.update(10, 100);
+        let first = b.drain();
+        assert_eq!(first[0].w0, 10);
+        assert!(b.is_empty());
+        b.update(500, 7);
+        let second = b.drain();
+        assert_eq!(second[0].w0, 500);
+        let rec = reconstruct(&second[0].coeffs());
+        assert_eq!(rec[0], 7.0);
+    }
+
+    #[test]
+    fn capacity_overflow_rolls_into_a_new_epoch() {
+        let mut b = bucket(3, 8, 16);
+        b.update(0, 1);
+        b.update(7, 2);
+        b.update(8, 3); // exceeds max_windows=8 → rollover
+        b.update(9, 4);
+        let reports = b.drain();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].w0, 0);
+        assert_eq!(reports[1].w0, 8);
+        let rec0 = reconstruct(&reports[0].coeffs());
+        assert_eq!(rec0[0], 1.0);
+        assert_eq!(rec0[7], 2.0);
+        let rec1 = reconstruct(&reports[1].coeffs());
+        assert_eq!(rec1[0], 3.0);
+        assert_eq!(rec1[1], 4.0);
+    }
+
+    #[test]
+    fn straggler_packets_fold_into_current_window() {
+        let mut b = bucket(3, 64, 16);
+        b.update(10, 100);
+        b.update(12, 10);
+        b.update(11, 5); // late packet: counted in window 12's counter
+        let reports = b.drain();
+        let rec = reconstruct(&reports[0].coeffs());
+        assert_eq!(rec[0], 100.0);
+        assert_eq!(rec[2], 15.0);
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive() {
+        let mut b = bucket(3, 64, 16);
+        b.update(10, 100);
+        b.update(13, 40);
+        let snap = b.snapshot();
+        assert_eq!(snap.len(), 1);
+        let rec = reconstruct(&snap[0].coeffs());
+        assert_eq!(rec[0], 100.0);
+        assert_eq!(rec[3], 40.0);
+        // Bucket still live.
+        b.update(14, 1);
+        let fin = b.drain();
+        let rec = reconstruct(&fin[0].coeffs());
+        assert_eq!(rec[4], 1.0);
+    }
+
+    #[test]
+    fn drain_of_empty_bucket_is_empty() {
+        let mut b = bucket(3, 64, 16);
+        assert!(b.drain().is_empty());
+    }
+
+    #[test]
+    fn current_epoch_total_tracks_bytes() {
+        let mut b = bucket(3, 64, 16);
+        b.update(0, 10);
+        b.update(1, 20);
+        b.update(5, 30);
+        assert_eq!(b.current_epoch_total(), 60);
+    }
+
+    #[test]
+    fn long_flow_reconstructs_across_epochs() {
+        let mut b = bucket(2, 4, 64);
+        for w in 0..12 {
+            b.update(w, (w as i64 + 1) * 10);
+        }
+        let reports = b.drain();
+        assert_eq!(reports.len(), 3);
+        let mut all = Vec::new();
+        for r in &reports {
+            let rec = reconstruct(&r.coeffs());
+            all.extend(rec.into_iter().take(4));
+        }
+        let expect: Vec<f64> = (0..12).map(|w| (w as f64 + 1.0) * 10.0).collect();
+        for (i, (&got, &want)) in all.iter().zip(&expect).enumerate() {
+            assert!((got - want).abs() < 1e-9, "window {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn hw_selector_bucket_also_roundtrips() {
+        let mut b = WaveBucket::with_params(
+            4,
+            64,
+            32,
+            SelectorKind::HwThreshold { even: 0, odd: 0 },
+        );
+        for w in 0..16 {
+            b.update(w, 100 + w as i64);
+        }
+        let reports = b.drain();
+        let rec = reconstruct(&reports[0].coeffs());
+        for w in 0..16usize {
+            assert!((rec[w] - (100.0 + w as f64)).abs() < 1e-9);
+        }
+    }
+}

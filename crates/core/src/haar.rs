@@ -1,0 +1,231 @@
+//! Offline reference implementation of the unnormalized Haar transform used
+//! by WaveSketch (§4.1–4.2) and its exact inverse.
+//!
+//! The paper drops the `1/√2` energy-normalization factor so that the forward
+//! transform needs only integer addition and subtraction (the factor is
+//! reintroduced as a *selection weight*, see [`crate::select`]). Concretely,
+//! one decomposition step maps a pair of adjacent values `(x0, x1)` to an
+//! approximation `a = x0 + x1` and a detail `d = x0 - x1`; the inverse is
+//! `x0 = (a + d) / 2`, `x1 = (a - d) / 2`. Repeating the step on the
+//! approximation sequence for `L` levels yields the layout of Figure 5:
+//! `[a_L..., d_L..., d_{L-1}..., ..., d_1...]`.
+
+/// Coefficients of an `L`-level unnormalized Haar decomposition.
+///
+/// `approx[p]` is the sum of the input block `[p·2^L, (p+1)·2^L)`.
+/// `details[l][q]` (with *loop level* `l` in `0..L`, matching Algorithm 1) is
+/// `sum(block [q·2^{l+1}, q·2^{l+1}+2^l)) − sum(block [q·2^{l+1}+2^l, (q+1)·2^{l+1}))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaarCoefficients {
+    /// Last-level approximation coefficients (block sums).
+    pub approx: Vec<i64>,
+    /// `details[l]` holds the loop-level-`l` detail coefficients.
+    pub details: Vec<Vec<i64>>,
+    /// Length of the (padded) input the coefficients describe.
+    pub padded_len: usize,
+}
+
+impl HaarCoefficients {
+    /// The decomposition depth that was applied.
+    pub fn levels(&self) -> u32 {
+        self.details.len() as u32
+    }
+}
+
+/// Pads `signal` with zeros to the next power of two (at least 1).
+pub fn pad_to_pow2(signal: &[i64]) -> Vec<i64> {
+    let n = signal.len().max(1).next_power_of_two();
+    let mut out = signal.to_vec();
+    out.resize(n, 0);
+    out
+}
+
+/// Forward unnormalized Haar transform over `levels` levels.
+///
+/// The input is zero-padded to a power of two. If the padded length is
+/// shorter than `2^levels`, the decomposition stops once a single
+/// approximation coefficient remains (the effective depth is
+/// `min(levels, log2(padded_len))`), mirroring Algorithm 2's
+/// `min(max_level, L-1)` iteration bound.
+pub fn transform(signal: &[i64], levels: u32) -> HaarCoefficients {
+    let padded = pad_to_pow2(signal);
+    let padded_len = padded.len();
+    let effective = levels.min(padded_len.trailing_zeros());
+
+    let mut details: Vec<Vec<i64>> = Vec::with_capacity(effective as usize);
+    let mut cur = padded;
+    for _ in 0..effective {
+        let half = cur.len() / 2;
+        let mut next = Vec::with_capacity(half);
+        let mut det = Vec::with_capacity(half);
+        for q in 0..half {
+            let x0 = cur[2 * q];
+            let x1 = cur[2 * q + 1];
+            next.push(x0 + x1);
+            det.push(x0 - x1);
+        }
+        details.push(det);
+        cur = next;
+    }
+    HaarCoefficients {
+        approx: cur,
+        details,
+        padded_len,
+    }
+}
+
+/// Inverse transform; exact when no coefficients were zeroed.
+///
+/// Reconstruction is done in `f64` because halving odd sums is not exact in
+/// integers — this matches the paper, where reconstruction happens on the
+/// analyzer, not in the data plane.
+pub fn inverse(coeffs: &HaarCoefficients) -> Vec<f64> {
+    let mut cur: Vec<f64> = coeffs.approx.iter().map(|&a| a as f64).collect();
+    for det in coeffs.details.iter().rev() {
+        let mut next = Vec::with_capacity(cur.len() * 2);
+        for (q, &a) in cur.iter().enumerate() {
+            let d = det.get(q).copied().unwrap_or(0) as f64;
+            next.push((a + d) / 2.0);
+            next.push((a - d) / 2.0);
+        }
+        cur = next;
+    }
+    cur.truncate(coeffs.padded_len);
+    cur
+}
+
+/// Energy-normalized value of a detail coefficient at loop level `l`
+/// (0-based): the unnormalized value times `2^{-(l+1)/2}`.
+///
+/// Discarding a coefficient increases the squared L2 reconstruction error by
+/// exactly the square of this value (Appendix A), which is why selection
+/// ranks by it.
+pub fn normalized_weight(level: u32) -> f64 {
+    0.5f64.powf((level as f64 + 1.0) / 2.0)
+}
+
+/// Squared-magnitude comparison of two weighted detail coefficients without
+/// floating point: returns the ordering of
+/// `|a|²·2^{-(la+1)}` vs `|b|²·2^{-(lb+1)}` via cross-multiplication in
+/// `u128`. This is the exact comparison the ideal top-k uses.
+pub fn weighted_cmp(a_val: i64, a_level: u32, b_val: i64, b_level: u32) -> std::cmp::Ordering {
+    let a2 = (a_val.unsigned_abs() as u128).pow(2);
+    let b2 = (b_val.unsigned_abs() as u128).pow(2);
+    // a2 / 2^{la+1} vs b2 / 2^{lb+1}  ⇔  a2 · 2^{lb+1} vs b2 · 2^{la+1}
+    let lhs = a2 << (b_level + 1).min(64);
+    let rhs = b2 << (a_level + 1).min(64);
+    lhs.cmp(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(signal: &[i64], levels: u32) {
+        let coeffs = transform(signal, levels);
+        let rec = inverse(&coeffs);
+        for (i, &x) in signal.iter().enumerate() {
+            assert!(
+                (rec[i] - x as f64).abs() < 1e-9,
+                "mismatch at {i}: {} vs {}",
+                rec[i],
+                x
+            );
+        }
+        // Padding reconstructs as zero.
+        for &r in &rec[signal.len()..] {
+            assert!(r.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure5_example_transforms_as_in_the_paper() {
+        // Figure 5's running example: the original signal [7,9,6,3,2,4,4,6]
+        // decomposes to a11..a14 = 16,9,6,10 and d11..d14 = -2,3,-2,-2 at
+        // level 1, a21,a22 = 25,16 / d21,d22 = 7,-4 at level 2, and
+        // a31 = 41 / d31 = 9 at level 3.
+        let signal = [7, 9, 6, 3, 2, 4, 4, 6];
+        let c = transform(&signal, 3);
+        assert_eq!(c.approx, vec![41]);
+        assert_eq!(c.details[2], vec![9]); // d31
+        assert_eq!(c.details[1], vec![7, -4]); // d21, d22
+        assert_eq!(c.details[0], vec![-2, 3, -2, -2]); // d11..d14
+    }
+
+    #[test]
+    fn figure5_compression_reconstructs_the_paper_waveform() {
+        // Figure 5 drops the three smallest level-1 details (d11, d13, d14),
+        // keeping [41, 9, 7, -4, 0, 3, 0, 0]; the paper's reconstruction is
+        // [8, 8, 6, 3, 3, 3, 5, 5].
+        let c = HaarCoefficients {
+            approx: vec![41],
+            details: vec![vec![0, 3, 0, 0], vec![7, -4], vec![9]],
+            padded_len: 8,
+        };
+        assert_eq!(inverse(&c), vec![8.0, 8.0, 6.0, 3.0, 3.0, 3.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn roundtrip_exact_for_various_lengths() {
+        roundtrip(&[5], 3);
+        roundtrip(&[1, 2], 1);
+        roundtrip(&[1, 2, 3], 4);
+        roundtrip(&[10, 0, 0, 7, 0, 0, 0, 0, 3], 8);
+        let long: Vec<i64> = (0..1000).map(|i| (i * 37) % 101).collect();
+        roundtrip(&long, 8);
+    }
+
+    #[test]
+    fn roundtrip_with_negative_values() {
+        roundtrip(&[-5, 3, -2, 8, 0, -1], 3);
+    }
+
+    #[test]
+    fn shallow_levels_cap_at_signal_depth() {
+        // Signal of padded length 4 can only decompose 2 levels even if L=8.
+        let c = transform(&[1, 2, 3, 4], 8);
+        assert_eq!(c.levels(), 2);
+        assert_eq!(c.approx, vec![10]);
+    }
+
+    #[test]
+    fn approx_entries_are_block_sums() {
+        let signal: Vec<i64> = (1..=8).collect();
+        let c = transform(&signal, 2);
+        // Blocks of 4: [1+2+3+4, 5+6+7+8].
+        assert_eq!(c.approx, vec![10, 26]);
+    }
+
+    #[test]
+    fn empty_signal_transforms_to_zero() {
+        let c = transform(&[], 3);
+        assert_eq!(c.padded_len, 1);
+        assert_eq!(inverse(&c), vec![0.0]);
+    }
+
+    #[test]
+    fn normalized_weight_follows_the_paper_sequence() {
+        // §4.3: "as the level increases, the weights are 1/√2, 1/2, 1/(2√2), 1/4, …"
+        let w: Vec<f64> = (0..4).map(normalized_weight).collect();
+        assert!((w[0] - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!((w[2] - 1.0 / (2.0 * 2f64.sqrt())).abs() < 1e-12);
+        assert!((w[3] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cmp_matches_float_comparison() {
+        let cases = [
+            (100i64, 0u32, 100i64, 1u32),
+            (-50, 2, 49, 2),
+            (7, 0, 10, 2),
+            (1 << 30, 7, (1 << 30) + 1, 7),
+        ];
+        for (av, al, bv, bl) in cases {
+            let float = (av.abs() as f64 * normalized_weight(al))
+                .partial_cmp(&(bv.abs() as f64 * normalized_weight(bl)))
+                .unwrap();
+            assert_eq!(weighted_cmp(av, al, bv, bl), float, "case {av},{al} vs {bv},{bl}");
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Hardware (PISA) implementation model of WaveSketch (§4.3).
+//!
+//! Two things live here:
+//!
+//! 1. **Threshold calibration** — the hardware version replaces the weighted
+//!    top-k with per-parity thresholds. Per the paper, thresholds are chosen
+//!    offline by running the *ideal* WaveSketch over sample traces and taking
+//!    the median of the minimum retained (weighted) values across buckets,
+//!    mapped into the shifted comparison domain.
+//! 2. **Pipeline resource model** — a substitute for the paper's Tofino2
+//!    compiler report (Table 1). We model the Figure 7 pipeline stage by
+//!    stage and account registers, stateful ALUs, hash bits, VLIW slots,
+//!    gateways and SRAM against a Tofino2-like per-pipeline budget. The
+//!    structural claims of the paper hold by construction: SALUs dominate
+//!    because every bucket variable needs one, and SALU count is independent
+//!    of the bucket count `W` and coefficient budget `K`.
+
+use crate::config::SketchConfig;
+use crate::select::{Candidate, HwThresholdSelector, IdealTopK};
+use crate::streaming::StreamingTransform;
+use crate::select::CoeffSelector;
+
+/// Calibrated thresholds for [`crate::select::SelectorKind::HwThreshold`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwSelectorConfig {
+    /// Shifted-domain threshold for even loop levels.
+    pub even: u64,
+    /// Shifted-domain threshold for odd loop levels.
+    pub odd: u64,
+}
+
+impl HwSelectorConfig {
+    /// Converts into the [`crate::select::SelectorKind`] variant.
+    pub fn kind(&self) -> crate::select::SelectorKind {
+        crate::select::SelectorKind::HwThreshold {
+            even: self.even,
+            odd: self.odd,
+        }
+    }
+}
+
+/// Calibrates hardware thresholds from sample flow traces (§4.3: "we treat
+/// the median value of minimum values in priority queues as a threshold
+/// reference").
+///
+/// Each trace is a window series `(offset, count)` of one sample flow. For
+/// every trace we run the ideal top-k selection with the target `K` and
+/// record the weakest retained coefficient's *shifted* magnitude per parity
+/// class; the calibrated threshold is the per-class median. Traces that
+/// retain fewer than `K` coefficients contribute a zero (no filtering
+/// needed for flows that sparse).
+pub fn calibrate_thresholds(
+    traces: &[Vec<(u32, i64)>],
+    levels: u32,
+    max_windows: usize,
+    k: usize,
+) -> HwSelectorConfig {
+    let mut mins_even: Vec<u64> = Vec::new();
+    let mut mins_odd: Vec<u64> = Vec::new();
+    for trace in traces {
+        if trace.is_empty() {
+            continue;
+        }
+        let mut t = StreamingTransform::new(levels, max_windows, IdealTopK::new(k));
+        for &(offset, count) in trace {
+            t.push(offset, count);
+        }
+        let retained = t.finish().details;
+        let full = retained.len() >= k;
+        let (mut weak_even, mut weak_odd) = (u64::MAX, u64::MAX);
+        for c in &retained {
+            let mag = HwThresholdSelector::shifted_magnitude(&c.clone());
+            if c.level % 2 == 0 {
+                weak_even = weak_even.min(mag);
+            } else {
+                weak_odd = weak_odd.min(mag);
+            }
+        }
+        // A trace that never filled its budget needs no threshold.
+        let floor = |weak: u64| if full && weak != u64::MAX { weak } else { 0 };
+        mins_even.push(floor(weak_even));
+        mins_odd.push(floor(weak_odd));
+    }
+    HwSelectorConfig {
+        even: median(&mut mins_even),
+        odd: median(&mut mins_odd),
+    }
+}
+
+fn median(values: &mut [u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    values[values.len() / 2]
+}
+
+/// Offers every candidate of an already-collected set through a hardware
+/// selector and reports how many of the ideal top-k survive — a quick
+/// fidelity probe for a calibration.
+pub fn selection_overlap(
+    candidates: &[Candidate],
+    k: usize,
+    hw: HwSelectorConfig,
+) -> f64 {
+    if candidates.is_empty() {
+        return 1.0;
+    }
+    let mut ideal = IdealTopK::new(k);
+    let mut hw_sel = HwThresholdSelector::new(k, hw.even, hw.odd);
+    for c in candidates {
+        ideal.offer(*c);
+        hw_sel.offer(*c);
+    }
+    let ideal_set: std::collections::HashSet<(u32, u32)> = ideal
+        .retained()
+        .iter()
+        .map(|c| (c.level, c.idx))
+        .collect();
+    if ideal_set.is_empty() {
+        return 1.0;
+    }
+    let hit = hw_sel
+        .retained()
+        .iter()
+        .filter(|c| ideal_set.contains(&(c.level, c.idx)))
+        .count();
+    hit as f64 / ideal_set.len() as f64
+}
+
+// ---------------------------------------------------------------------------
+// PISA pipeline resource model (Table 1 substitute)
+// ---------------------------------------------------------------------------
+
+/// Per-pipeline resource budget of a Tofino2-class switching ASIC.
+///
+/// These are the public ballpark figures used across the SketchLib /
+/// FlyMon literature: 20 MAU stages; per stage 16 exact-match crossbar
+/// groups, ~830 hash bits (we budget at chip level below), 16 gateways,
+/// 80 SRAM blocks, 48 map-RAM blocks, 64 VLIW instruction slots and 4
+/// stateful ALUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineBudget {
+    /// Number of match-action stages.
+    pub stages: u32,
+    /// Exact-match input crossbar bytes, chip total.
+    pub xbar_bytes: u32,
+    /// Hash bits, chip total.
+    pub hash_bits: u32,
+    /// Gateways, chip total.
+    pub gateways: u32,
+    /// SRAM blocks, chip total.
+    pub sram_blocks: u32,
+    /// Map RAM blocks, chip total.
+    pub map_ram_blocks: u32,
+    /// VLIW instruction slots, chip total.
+    pub vliw_slots: u32,
+    /// Stateful ALUs, chip total.
+    pub salus: u32,
+}
+
+impl Default for PipelineBudget {
+    fn default() -> Self {
+        // Tofino2-class totals (20 stages × per-stage capacity).
+        Self {
+            stages: 20,
+            xbar_bytes: 20 * 128,
+            hash_bits: 20 * 332,
+            gateways: 20 * 16,
+            sram_blocks: 20 * 65,
+            map_ram_blocks: 20 * 39,
+            vliw_slots: 20 * 25,
+            salus: 20 * 4 - 16, // 64 usable for user logic
+        }
+    }
+}
+
+/// Absolute resource consumption of a WaveSketch program and its percentage
+/// of the budget — the rows of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceUsage {
+    /// Exact-match input crossbar bytes.
+    pub xbar_bytes: u32,
+    /// Hash bits consumed.
+    pub hash_bits: u32,
+    /// Gateways consumed.
+    pub gateways: u32,
+    /// SRAM blocks consumed.
+    pub sram_blocks: u32,
+    /// Map RAM blocks consumed.
+    pub map_ram_blocks: u32,
+    /// VLIW instruction slots consumed.
+    pub vliw_slots: u32,
+    /// Stateful ALUs consumed.
+    pub salus: u32,
+}
+
+impl ResourceUsage {
+    /// Models the full-version WaveSketch pipeline of Figure 7.
+    ///
+    /// Stage accounting:
+    /// * Stage 1 — window id & epoch init: `w0` register (1 SALU), offset
+    ///   compute, one hash call for the heavy index plus `d` for the light
+    ///   rows.
+    /// * Stage 2 — counter update/reset: `i` and `c` registers.
+    /// * Stages 3–4 — `L` parallel partial-detail registers (1 SALU each).
+    /// * Stage 5 — parity shift (VLIW only).
+    /// * Stages 6–7 — two threshold filters + two retained-coefficient
+    ///   stores (`D_even`, `D_odd`), plus the approximation array.
+    /// * Heavy part adds key match/vote registers; the vote and key each
+    ///   need a SALU.
+    pub fn model(config: &SketchConfig) -> Self {
+        let l = config.levels;
+        let d = config.rows as u32;
+
+        // Stateful ALUs: one per register variable per part.
+        // Light part: w0, i, c, approx, L partials, D_even, D_odd  = 5 + L.
+        // Heavy part: key, vote, w0, i, c, approx, L partials, 2 stores = 7 + L.
+        // Per-row replication of the light part registers (d rows).
+        let light_salus = d * (5 + l);
+        let heavy_salus = 7 + l + 2;
+        let salus = light_salus + heavy_salus;
+
+        // Hash bits: each light row hashes the 104-bit 5-tuple; the heavy
+        // index adds one more hash; window/bucket index extraction reuses
+        // hash outputs (16 bits each).
+        let hash_bits = (d + 1) * 104 + (d + 1) * 16 + 152;
+
+        // Crossbar bytes: 13-byte key per hash consumer + metadata moves.
+        let xbar_bytes = (d + 1) * 13 * 4 + 20;
+
+        // Gateways: window-finished check, epoch-overflow check, per-level
+        // position comparisons (one per level), two threshold compares,
+        // heavy-part vote compare and key compare.
+        let gateways = 2 + l + 2 + 2;
+
+        // SRAM: register arrays sized by bytes / 16 KB blocks, minimum one
+        // block per logical array.
+        let bucket_arrays = config.width as u32; // light buckets per row
+        let bytes_light = d * bucket_arrays * config.bucket_bytes() as u32;
+        let bytes_heavy = config.heavy_rows as u32 * (config.bucket_bytes() as u32 + 17);
+        let sram_blocks = ((bytes_light + bytes_heavy) / (16 * 1024)).max(1)
+            + (5 + l) // one block minimum per logical register array
+            + 9;
+
+        // Map RAM accompanies stateful tables (~60% of SRAM rule of thumb).
+        let map_ram_blocks = (sram_blocks * 3) / 4;
+
+        // VLIW slots: arithmetic on each variable (add/sub/reset), the
+        // parity shifts, sign select per level, plus header/metadata moves.
+        let vliw_slots = 3 * (5 + l) + 2 * l + 10;
+
+        Self {
+            xbar_bytes,
+            hash_bits,
+            gateways,
+            sram_blocks,
+            map_ram_blocks,
+            vliw_slots,
+            salus,
+        }
+    }
+
+    /// The Figure 7 stage plan: which logical operation occupies each
+    /// pipeline stage and the stateful resources it anchors there. Returned
+    /// as `(stage, operation, salus)` rows; the SALU totals across stages
+    /// equal [`Self::model`]'s light-part count for one row plus the heavy
+    /// part (replication across `d` light rows multiplies stages 2–7's
+    /// register usage, not the stage count).
+    pub fn stage_plan(config: &SketchConfig) -> Vec<(u32, String, u32)> {
+        let l = config.levels;
+        // Detail levels pack two per stage in the parallel region (Fig. 7
+        // shows levels spread over stages 3-4).
+        let detail_stages = l.div_ceil(2);
+        let mut plan = vec![
+            (1, "window id, epoch init (w0), heavy key match".to_string(), 2),
+            (2, "counter update/reset (i, c), heavy vote".to_string(), 3),
+        ];
+        for s in 0..detail_stages {
+            let lo = 2 * s;
+            let hi = (2 * s + 1).min(l - 1);
+            plan.push((
+                3 + s,
+                if lo == hi {
+                    format!("partial detail level {lo}")
+                } else {
+                    format!("partial details levels {lo}-{hi}")
+                },
+                (hi - lo + 1),
+            ));
+        }
+        let next = 3 + detail_stages;
+        plan.push((next, "parity shift + threshold filters".to_string(), 0));
+        plan.push((next + 1, "retained stores D_odd / D_even".to_string(), 2));
+        plan.push((next + 2, "approximation array A".to_string(), 1));
+        plan
+    }
+
+    /// Percentage rows against `budget`, in Table 1 order:
+    /// (xbar, hash bits, gateway, SRAM, map RAM, VLIW, SALU).
+    pub fn percentages(&self, budget: &PipelineBudget) -> [(String, u32, f64); 7] {
+        let pct = |used: u32, cap: u32| 100.0 * used as f64 / cap as f64;
+        [
+            (
+                "Exact Match Input xbar".into(),
+                self.xbar_bytes,
+                pct(self.xbar_bytes, budget.xbar_bytes),
+            ),
+            ("Hash Bit".into(), self.hash_bits, pct(self.hash_bits, budget.hash_bits)),
+            ("Gateway".into(), self.gateways, pct(self.gateways, budget.gateways)),
+            ("SRAM".into(), self.sram_blocks, pct(self.sram_blocks, budget.sram_blocks)),
+            (
+                "Map RAM".into(),
+                self.map_ram_blocks,
+                pct(self.map_ram_blocks, budget.map_ram_blocks),
+            ),
+            ("VLIW Instr".into(), self.vliw_slots, pct(self.vliw_slots, budget.vliw_slots)),
+            ("Stateful ALU".into(), self.salus, pct(self.salus, budget.salus)),
+        ]
+    }
+
+    /// True if every resource fits the budget.
+    pub fn fits(&self, budget: &PipelineBudget) -> bool {
+        self.xbar_bytes <= budget.xbar_bytes
+            && self.hash_bits <= budget.hash_bits
+            && self.gateways <= budget.gateways
+            && self.sram_blocks <= budget.sram_blocks
+            && self.map_ram_blocks <= budget.map_ram_blocks
+            && self.vliw_slots <= budget.vliw_slots
+            && self.salus <= budget.salus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectorKind;
+
+    fn table1_config() -> SketchConfig {
+        // Table 1: heavy h=256, L=8, K=64; light w=256, L=8, K=64, D=1.
+        SketchConfig::builder()
+            .rows(1)
+            .width(256)
+            .levels(8)
+            .topk(64)
+            .max_windows(4096)
+            .heavy_rows(256)
+            .build()
+    }
+
+    #[test]
+    fn calibration_produces_nonzero_thresholds_for_rich_traces() {
+        // Bursty traces with many competing coefficients force real minima.
+        let traces: Vec<Vec<(u32, i64)>> = (0..9)
+            .map(|t| {
+                (0..256u32)
+                    .map(|i| (i, ((i as i64 * 31 + t * 17) % 100) + if i % 37 == 0 { 5000 } else { 0 }))
+                    .collect()
+            })
+            .collect();
+        let cfg = calibrate_thresholds(&traces, 8, 256, 8);
+        assert!(cfg.even > 0, "even threshold must be calibrated");
+        assert!(cfg.odd > 0, "odd threshold must be calibrated");
+    }
+
+    #[test]
+    fn calibration_of_sparse_traces_is_permissive() {
+        // Flows with fewer coefficients than K need no filtering.
+        let traces = vec![vec![(0u32, 5i64), (1, 3)]; 5];
+        let cfg = calibrate_thresholds(&traces, 4, 64, 32);
+        assert_eq!(cfg.even, 0);
+        assert_eq!(cfg.odd, 0);
+    }
+
+    #[test]
+    fn calibrated_hw_selection_overlaps_ideal_substantially() {
+        // Build a realistic candidate population, calibrate on half of the
+        // traces, probe overlap on the other half.
+        let mk_trace = |seed: i64| -> Vec<(u32, i64)> {
+            (0..512u32)
+                .map(|i| {
+                    let base = ((i as i64).wrapping_mul(2654435761 + seed) % 97).abs();
+                    let burst = if (i as i64 + seed) % 53 == 0 { 20_000 } else { 0 };
+                    (i, base + burst)
+                })
+                .collect()
+        };
+        let calib: Vec<_> = (0..10).map(mk_trace).collect();
+        let cfg = calibrate_thresholds(&calib, 8, 512, 16);
+
+        let probe = mk_trace(999);
+        let mut t = StreamingTransform::new(8, 512, IdealTopK::new(100_000));
+        for (i, v) in probe {
+            t.push(i, v);
+        }
+        let candidates = t.finish().details;
+        let overlap = selection_overlap(&candidates, 16, cfg);
+        assert!(overlap >= 0.5, "overlap {overlap} too low for a sane calibration");
+    }
+
+    #[test]
+    fn table1_structure_salu_dominates() {
+        let usage = ResourceUsage::model(&table1_config());
+        let budget = PipelineBudget::default();
+        let rows = usage.percentages(&budget);
+        let salu_pct = rows[6].2;
+        for (name, _, pct) in &rows[..6] {
+            assert!(
+                *pct < salu_pct,
+                "{name} ({pct}%) must not exceed the SALU share ({salu_pct}%)"
+            );
+        }
+        assert!(usage.fits(&budget), "Table 1 config must fit a Tofino2");
+    }
+
+    #[test]
+    fn salu_usage_is_independent_of_w_and_k() {
+        // §7.1: "increasing the number of buckets (W) and retained
+        // coefficients (K) does not result in an increased SALU usage".
+        let base = ResourceUsage::model(&table1_config());
+        let more_w = ResourceUsage::model(
+            &SketchConfig::builder()
+                .rows(1)
+                .width(1024)
+                .levels(8)
+                .topk(64)
+                .max_windows(4096)
+                .heavy_rows(256)
+                .build(),
+        );
+        let more_k = ResourceUsage::model(
+            &SketchConfig::builder()
+                .rows(1)
+                .width(256)
+                .levels(8)
+                .topk(256)
+                .max_windows(4096)
+                .heavy_rows(256)
+                .build(),
+        );
+        assert_eq!(base.salus, more_w.salus);
+        assert_eq!(base.salus, more_k.salus);
+        // But SRAM does grow.
+        assert!(more_w.sram_blocks > base.sram_blocks);
+    }
+
+    #[test]
+    fn stage_plan_fits_a_pisa_pipeline() {
+        let plan = ResourceUsage::stage_plan(&table1_config());
+        // L=8 packs into 4 detail stages → 9 stages total, well under the
+        // 20-stage budget.
+        let last_stage = plan.iter().map(|&(s, _, _)| s).max().unwrap();
+        assert!(last_stage <= PipelineBudget::default().stages);
+        // Stages are contiguous from 1.
+        let stages: Vec<u32> = plan.iter().map(|&(s, _, _)| s).collect();
+        assert_eq!(stages, (1..=last_stage).collect::<Vec<u32>>());
+        // All L detail levels are placed.
+        let detail_salus: u32 = plan
+            .iter()
+            .filter(|(_, op, _)| op.contains("partial detail"))
+            .map(|&(_, _, n)| n)
+            .sum();
+        assert_eq!(detail_salus, 8);
+    }
+
+    #[test]
+    fn deeper_decomposition_costs_more_salus() {
+        let shallow = ResourceUsage::model(
+            &SketchConfig::builder().rows(1).levels(4).max_windows(4096).build(),
+        );
+        let deep = ResourceUsage::model(
+            &SketchConfig::builder().rows(1).levels(12).max_windows(8192).build(),
+        );
+        assert!(deep.salus > shallow.salus);
+    }
+
+    #[test]
+    fn hw_selector_kind_roundtrip() {
+        let cfg = HwSelectorConfig { even: 10, odd: 20 };
+        match cfg.kind() {
+            SelectorKind::HwThreshold { even, odd } => {
+                assert_eq!(even, 10);
+                assert_eq!(odd, 20);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Analyzer-side reconstruction of a window-counter series from compressed
+//! wavelet coefficients (Algorithm 2).
+//!
+//! Reconstruction starts from the deepest level: each approximation
+//! coefficient `a` and its (possibly discarded ⇒ zero) detail `d` expand into
+//! two shallower approximations `(a + d) / 2` and `(a − d) / 2`, repeated
+//! until window granularity is reached. It runs in `f64` — the analyzer is a
+//! CPU, and halving odd sums is not exact in integers.
+
+use crate::streaming::EpochCoefficients;
+use std::collections::HashMap;
+
+/// Reconstructs the per-window series of one epoch.
+///
+/// The result has `padded_len` entries; windows the flow never touched
+/// reconstruct to (approximately) zero. Negative reconstruction artifacts are
+/// *not* clamped here — callers that know counts are non-negative can clamp.
+pub fn reconstruct(coeffs: &EpochCoefficients) -> Vec<f64> {
+    if coeffs.padded_len == 0 {
+        return Vec::new();
+    }
+    // Effective depth: the transform stops early for short sequences.
+    let top = coeffs.levels.min(coeffs.padded_len.trailing_zeros());
+
+    // Index the retained details by (level, idx) for O(1) lookup.
+    let mut details: HashMap<(u32, u32), i64> = HashMap::with_capacity(coeffs.details.len());
+    for c in &coeffs.details {
+        details.insert((c.level, c.idx), c.val);
+    }
+
+    // Start at block size 2^top; the approximation array stores one entry per
+    // 2^levels windows, which equals 2^top unless the sequence is shorter
+    // than one block (then a single entry covers everything).
+    let blocks = coeffs.padded_len >> top;
+    let mut cur: Vec<f64> = (0..blocks)
+        .map(|p| coeffs.approx.get(p).copied().unwrap_or(0) as f64)
+        .collect();
+
+    for l in (0..top).rev() {
+        let mut next = Vec::with_capacity(cur.len() * 2);
+        for (q, &a) in cur.iter().enumerate() {
+            let d = details.get(&(l, q as u32)).copied().unwrap_or(0) as f64;
+            next.push((a + d) / 2.0);
+            next.push((a - d) / 2.0);
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Reconstructs and clamps negatives to zero (counts cannot be negative;
+/// small negative artifacts appear when detail coefficients are discarded).
+pub fn reconstruct_non_negative(coeffs: &EpochCoefficients) -> Vec<f64> {
+    let mut v = reconstruct(coeffs);
+    for x in &mut v {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::IdealTopK;
+    use crate::streaming::StreamingTransform;
+
+    fn via_stream(signal: &[i64], levels: u32, k: usize) -> Vec<f64> {
+        let cap = signal.len().next_power_of_two().max(1 << levels);
+        let mut t = StreamingTransform::new(levels, cap, IdealTopK::new(k));
+        for (i, &v) in signal.iter().enumerate() {
+            if v != 0 {
+                t.push(i as u32, v);
+            }
+        }
+        reconstruct(&t.finish())
+    }
+
+    #[test]
+    fn lossless_roundtrip_through_streaming_transform() {
+        let signal = [7, 9, 6, 3, 2, 4, 4, 6];
+        let rec = via_stream(&signal, 3, 1024);
+        for (i, &x) in signal.iter().enumerate() {
+            assert!((rec[i] - x as f64).abs() < 1e-9, "window {i}");
+        }
+    }
+
+    #[test]
+    fn lossless_roundtrip_with_gaps_and_deep_levels() {
+        let mut signal = vec![0i64; 300];
+        signal[3] = 40;
+        signal[100] = 7;
+        signal[101] = 9;
+        signal[299] = 1000;
+        let rec = via_stream(&signal, 8, 4096);
+        assert_eq!(rec.len(), 512);
+        for (i, &x) in signal.iter().enumerate() {
+            assert!((rec[i] - x as f64).abs() < 1e-9, "window {i}: {} vs {x}", rec[i]);
+        }
+        for &r in &rec[300..] {
+            assert!(r.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn total_volume_is_preserved_even_under_heavy_compression() {
+        // All approximation coefficients are kept, so the series total is
+        // exact no matter how few details survive (§4.2).
+        let signal: Vec<i64> = (0..256).map(|i| (i * 13) % 97).collect();
+        let rec = via_stream(&signal, 4, 2); // keep only 2 details
+        let total_true: i64 = signal.iter().sum();
+        let total_rec: f64 = rec.iter().sum();
+        assert!((total_rec - total_true as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_limited_reconstruction_keeps_the_dominant_spike() {
+        // One huge spike among small noise: with K=1 the spike's detail
+        // coefficients dominate and the spike must survive compression.
+        let mut signal = vec![1i64; 64];
+        signal[20] = 100_000;
+        let rec = via_stream(&signal, 6, 8);
+        let max_pos = rec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_pos, 20, "spike must reconstruct at its window");
+        assert!(rec[20] > 50_000.0);
+    }
+
+    #[test]
+    fn empty_epoch_reconstructs_empty() {
+        let t: StreamingTransform<IdealTopK> = StreamingTransform::new(3, 8, IdealTopK::new(4));
+        assert!(reconstruct(&t.finish()).is_empty());
+    }
+
+    #[test]
+    fn clamped_reconstruction_has_no_negatives() {
+        let mut signal = vec![0i64; 128];
+        signal[5] = 1000;
+        signal[6] = 3;
+        let rec = reconstruct_non_negative(&{
+            let mut t = StreamingTransform::new(7, 128, IdealTopK::new(2));
+            for (i, &v) in signal.iter().enumerate() {
+                if v != 0 {
+                    t.push(i as u32, v);
+                }
+            }
+            t.finish()
+        });
+        assert!(rec.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn single_window_epoch() {
+        let rec = via_stream(&[42], 8, 4);
+        assert_eq!(rec, vec![42.0]);
+    }
+}

@@ -1,0 +1,229 @@
+//! The wire format a measurement point ships to the μMon analyzer and its
+//! bandwidth accounting.
+//!
+//! Per §4.2, only `w0`, the approximation set `A` and the retained detail set
+//! `D` travel to the analyzer: bandwidth is `O(n/2^L + K)` per bucket, with a
+//! metadata factor α > 1 for each detail coefficient's level and index.
+
+use crate::select::Candidate;
+use crate::streaming::EpochCoefficients;
+use serde::{Deserialize, Serialize};
+
+/// A retained detail coefficient on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetailRecord {
+    /// Loop level (0-based, spans `2^{level+1}` windows).
+    pub level: u32,
+    /// Position index within the level.
+    pub idx: u32,
+    /// Unnormalized coefficient value.
+    pub val: i64,
+}
+
+impl From<Candidate> for DetailRecord {
+    fn from(c: Candidate) -> Self {
+        Self {
+            level: c.level,
+            idx: c.idx,
+            val: c.val,
+        }
+    }
+}
+
+/// The compressed record of one bucket epoch: everything needed to
+/// reconstruct the epoch's window series at the analyzer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketReport {
+    /// Absolute window id of the first window in the epoch.
+    pub w0: u64,
+    /// Wavelet depth the bucket ran with.
+    pub levels: u32,
+    /// Padded epoch length in windows (power of two).
+    pub padded_len: usize,
+    /// Approximation coefficients (block sums over `2^levels` windows).
+    pub approx: Vec<i64>,
+    /// Retained detail coefficients.
+    pub details: Vec<DetailRecord>,
+}
+
+impl BucketReport {
+    /// Packs finished epoch coefficients into a report.
+    pub fn from_coeffs(w0: u64, coeffs: EpochCoefficients) -> Self {
+        Self {
+            w0,
+            levels: coeffs.levels,
+            padded_len: coeffs.padded_len,
+            approx: coeffs.approx,
+            details: coeffs.details.into_iter().map(DetailRecord::from).collect(),
+        }
+    }
+
+    /// Rebuilds the coefficient set for [`crate::reconstruct::reconstruct`].
+    pub fn coeffs(&self) -> EpochCoefficients {
+        EpochCoefficients {
+            levels: self.levels,
+            padded_len: self.padded_len,
+            approx: self.approx.clone(),
+            details: self
+                .details
+                .iter()
+                .map(|d| Candidate {
+                    level: d.level,
+                    idx: d.idx,
+                    val: d.val,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructed per-window values (non-negative clamped), anchored at
+    /// [`Self::w0`].
+    pub fn reconstruct(&self) -> Vec<f64> {
+        crate::reconstruct::reconstruct_non_negative(&self.coeffs())
+    }
+
+    /// Total bytes of the epoch (exact — approximation coefficients are block
+    /// sums and all of them are retained).
+    pub fn total(&self) -> i64 {
+        self.approx.iter().sum()
+    }
+
+    /// On-the-wire size in bytes: 4 (w0, relative to the period base) +
+    /// 4 per approximation coefficient + 6 per detail (4 value + 2 packed
+    /// level/index metadata — the α factor of §4.2).
+    pub fn wire_bytes(&self) -> usize {
+        4 + 4 * self.approx.len() + 6 * self.details.len()
+    }
+
+    /// Compression ratio vs. shipping one 4-byte counter per (padded) window.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.padded_len == 0 {
+            return 1.0;
+        }
+        self.wire_bytes() as f64 / (4.0 * self.padded_len as f64)
+    }
+}
+
+/// A full sketch report: every active bucket's epochs from one measurement
+/// period, as uploaded by a host agent.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SketchReport {
+    /// Reports from the heavy part, tagged with the exact flow key bytes.
+    pub heavy: Vec<(Vec<u8>, Vec<BucketReport>)>,
+    /// Reports from the light part, tagged with (row, bucket index).
+    pub light: Vec<(u32, u32, Vec<BucketReport>)>,
+}
+
+impl SketchReport {
+    /// Total wire size in bytes, including per-entry tags (13-byte flow key
+    /// for heavy entries, 3-byte row/index for light entries).
+    pub fn wire_bytes(&self) -> usize {
+        let heavy: usize = self
+            .heavy
+            .iter()
+            .map(|(k, rs)| k.len() + rs.iter().map(BucketReport::wire_bytes).sum::<usize>())
+            .sum();
+        let light: usize = self
+            .light
+            .iter()
+            .map(|(_, _, rs)| 3 + rs.iter().map(BucketReport::wire_bytes).sum::<usize>())
+            .sum();
+        heavy + light
+    }
+
+    /// Number of bucket-epoch records carried.
+    pub fn epoch_count(&self) -> usize {
+        self.heavy.iter().map(|(_, r)| r.len()).sum::<usize>()
+            + self.light.iter().map(|(_, _, r)| r.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{IdealTopK, CoeffSelector};
+    use crate::streaming::StreamingTransform;
+
+    fn sample_report() -> BucketReport {
+        let mut t = StreamingTransform::new(3, 16, IdealTopK::new(64));
+        for (i, v) in [(0u32, 10i64), (1, 20), (5, 5), (9, 40)] {
+            t.push(i, v);
+        }
+        BucketReport::from_coeffs(100, t.finish())
+    }
+
+    #[test]
+    fn coeffs_roundtrip_through_report() {
+        let r = sample_report();
+        let rec = r.reconstruct();
+        assert_eq!(rec.len(), r.padded_len);
+        assert!((rec[0] - 10.0).abs() < 1e-9);
+        assert!((rec[9] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_is_exact() {
+        assert_eq!(sample_report().total(), 75);
+    }
+
+    #[test]
+    fn wire_bytes_counts_all_fields() {
+        let r = sample_report();
+        assert_eq!(r.wire_bytes(), 4 + 4 * r.approx.len() + 6 * r.details.len());
+    }
+
+    #[test]
+    fn compression_ratio_shrinks_for_long_epochs() {
+        // 2048-window epoch, L=8, K=32: ratio should be near the paper's
+        // 0.028 example (§4.2).
+        let mut t = StreamingTransform::new(8, 2048, IdealTopK::new(32));
+        for i in 0..2000u32 {
+            t.push(i, ((i * 7919) % 1501) as i64);
+        }
+        let r = BucketReport::from_coeffs(0, t.finish());
+        let ratio = r.compression_ratio();
+        assert!(ratio < 0.05, "ratio {ratio} too large");
+        assert!(ratio > 0.005, "ratio {ratio} implausibly small");
+    }
+
+    #[test]
+    fn empty_selector_keeps_reports_small_but_valid() {
+        let mut t = StreamingTransform::new(2, 8, IdealTopK::new(1));
+        t.push(0, 100);
+        let r = BucketReport::from_coeffs(0, t.finish());
+        assert!(r.wire_bytes() >= 8);
+        assert!(!r.reconstruct().is_empty());
+    }
+
+    #[test]
+    fn sketch_report_accounting() {
+        let r = sample_report();
+        let mut sr = SketchReport::default();
+        sr.heavy.push((vec![0u8; 13], vec![r.clone()]));
+        sr.light.push((0, 5, vec![r.clone(), r.clone()]));
+        assert_eq!(sr.epoch_count(), 3);
+        assert_eq!(sr.wire_bytes(), 13 + r.wire_bytes() + 3 + 2 * r.wire_bytes());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = sample_report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BucketReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn details_are_offered_nonzero_only() {
+        // A constant signal has zero detail coefficients everywhere — the
+        // selector must not waste slots on them.
+        let mut sel = IdealTopK::new(8);
+        let mut t = StreamingTransform::new(3, 16, IdealTopK::new(8));
+        for i in 0..16u32 {
+            t.push(i, 42);
+        }
+        let out = t.finish();
+        assert!(out.details.iter().all(|c| c.val != 0));
+        sel.reset();
+    }
+}

@@ -1,0 +1,313 @@
+//! The online (streaming) wavelet transform of Algorithm 1.
+//!
+//! Window counters arrive one at a time, in increasing offset order, possibly
+//! with gaps (windows in which no packet arrived are implicitly zero). Each
+//! finished counter is folded into:
+//!
+//! * the last-level approximation entry `A[i >> L]`, and
+//! * the in-flight ("partial") detail coefficient of every level `l`, with
+//!   sign chosen by bit `l` of the offset: `+c` if the counter falls in the
+//!   first half of the coefficient's span, `-c` otherwise.
+//!
+//! When the offset moves past a level's current span, the finished partial
+//! detail is handed to the compression stage (the [`CoeffSelector`]).
+
+use crate::select::{Candidate, CoeffSelector};
+
+/// In-flight detail coefficient of one level (`_details[l]` in Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Partial {
+    /// Position index `i >> (l+1)` this partial accumulates for.
+    idx: u32,
+    /// Accumulated value.
+    val: i64,
+}
+
+/// Streaming Haar transform state for one bucket epoch.
+///
+/// Generic over the selector so the ideal and hardware variants share all
+/// transform logic.
+#[derive(Debug, Clone)]
+pub struct StreamingTransform<S> {
+    levels: u32,
+    approx: Vec<i64>,
+    partials: Vec<Partial>,
+    selector: S,
+    /// Highest offset pushed so far, or `None` before the first push.
+    last_offset: Option<u32>,
+}
+
+impl<S: CoeffSelector> StreamingTransform<S> {
+    /// Creates transform state for sequences of up to `max_windows` windows
+    /// decomposed over `levels` levels.
+    pub fn new(levels: u32, max_windows: usize, selector: S) -> Self {
+        let approx_len = max_windows.div_ceil(1 << levels);
+        Self {
+            levels,
+            approx: vec![0; approx_len],
+            partials: vec![Partial { idx: 0, val: 0 }; levels as usize],
+            selector,
+            last_offset: None,
+        }
+    }
+
+    /// Number of levels `L`.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Read access to the selector (e.g. to inspect retained coefficients).
+    pub fn selector(&self) -> &S {
+        &self.selector
+    }
+
+    /// Sum of the approximation array — the total count folded into finished
+    /// windows so far (approximation coefficients are block sums).
+    pub fn approx_total(&self) -> i64 {
+        self.approx.iter().sum()
+    }
+
+    /// Folds the finished counter of window-offset `offset` with value
+    /// `count` into the transform (the `Transformation` procedure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if offsets do not arrive in strictly increasing order or exceed
+    /// the configured capacity.
+    pub fn push(&mut self, offset: u32, count: i64) {
+        if let Some(last) = self.last_offset {
+            assert!(offset > last, "offsets must strictly increase ({offset} after {last})");
+        }
+        let pos_a = (offset >> self.levels) as usize;
+        assert!(
+            pos_a < self.approx.len(),
+            "offset {offset} exceeds capacity ({} approx entries)",
+            self.approx.len()
+        );
+        self.approx[pos_a] += count;
+
+        for l in 0..self.levels {
+            let pos_d = offset >> (l + 1);
+            let partial = &mut self.partials[l as usize];
+            if pos_d > partial.idx {
+                // The previous span at this level is complete — compress it.
+                let finished = Candidate {
+                    level: l,
+                    idx: partial.idx,
+                    val: partial.val,
+                };
+                self.selector.offer(finished);
+                *partial = Partial { idx: pos_d, val: 0 };
+            }
+            if (offset >> l) & 1 == 0 {
+                partial.val += count;
+            } else {
+                partial.val -= count;
+            }
+        }
+        self.last_offset = Some(offset);
+    }
+
+    /// Flushes all in-flight partial details and returns the epoch's
+    /// coefficients. `self` is consumed; the caller starts a fresh epoch.
+    ///
+    /// Only levels whose span is not wider than the padded sequence are
+    /// flushed: a partial at a level spanning more than the whole padded
+    /// sequence is redundant (reconstruction starts at the padded length) and
+    /// would only waste top-k slots.
+    pub fn finish(mut self) -> EpochCoefficients {
+        let len = match self.last_offset {
+            None => {
+                return EpochCoefficients {
+                    levels: self.levels,
+                    padded_len: 0,
+                    approx: Vec::new(),
+                    details: Vec::new(),
+                }
+            }
+            Some(last) => last as usize + 1,
+        };
+        let padded_len = len.next_power_of_two();
+        let top = self.levels.min(padded_len.trailing_zeros());
+        for l in 0..top {
+            let partial = self.partials[l as usize];
+            self.selector.offer(Candidate {
+                level: l,
+                idx: partial.idx,
+                val: partial.val,
+            });
+        }
+        let blocks = padded_len.div_ceil(1 << self.levels).max(1);
+        self.approx.truncate(blocks);
+        EpochCoefficients {
+            levels: self.levels,
+            padded_len,
+            approx: self.approx,
+            details: self.selector.retained(),
+        }
+    }
+
+    /// Like [`finish`](Self::finish) but non-destructive: clones the state
+    /// and finishes the clone. Used for mid-epoch queries.
+    pub fn snapshot(&self) -> EpochCoefficients
+    where
+        S: Clone,
+    {
+        self.clone().finish()
+    }
+}
+
+/// The compressed output of one epoch: everything the analyzer needs to
+/// reconstruct the window series (plus `w0`, kept by the bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochCoefficients {
+    /// Decomposition depth the transform ran with.
+    pub levels: u32,
+    /// Padded sequence length (power of two, 0 for an empty epoch).
+    pub padded_len: usize,
+    /// Last-level approximation coefficients (block sums), truncated to the
+    /// blocks the epoch actually touched.
+    pub approx: Vec<i64>,
+    /// Retained detail coefficients.
+    pub details: Vec<Candidate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar;
+    use crate::select::IdealTopK;
+
+    /// Streams `signal` (dense) through the online transform with a selector
+    /// big enough to keep everything.
+    fn stream_all(signal: &[i64], levels: u32) -> EpochCoefficients {
+        let mut t = StreamingTransform::new(
+            levels,
+            signal.len().next_power_of_two().max(1 << levels),
+            IdealTopK::new(4096),
+        );
+        for (i, &v) in signal.iter().enumerate() {
+            t.push(i as u32, v);
+        }
+        t.finish()
+    }
+
+    /// Compares streaming coefficients against the offline reference.
+    fn assert_matches_offline(signal: &[i64], levels: u32) {
+        let online = stream_all(signal, levels);
+        let offline = haar::transform(signal, levels);
+        assert_eq!(
+            online.approx,
+            offline.approx,
+            "approx mismatch for {signal:?}"
+        );
+        // Collect offline non-zero details as (level, idx) → val.
+        let mut expected = std::collections::BTreeMap::new();
+        for (l, det) in offline.details.iter().enumerate() {
+            for (q, &v) in det.iter().enumerate() {
+                if v != 0 {
+                    expected.insert((l as u32, q as u32), v);
+                }
+            }
+        }
+        let mut got = std::collections::BTreeMap::new();
+        for c in &online.details {
+            if c.val != 0 {
+                got.insert((c.level, c.idx), c.val);
+            }
+        }
+        assert_eq!(got, expected, "details mismatch for {signal:?}");
+    }
+
+    #[test]
+    fn dense_sequences_match_offline_transform() {
+        assert_matches_offline(&[7, 9, 6, 3, 2, 4, 4, 6], 3);
+        assert_matches_offline(&[1], 3);
+        assert_matches_offline(&[5, 5, 5, 5], 2);
+        let long: Vec<i64> = (0..200).map(|i| (i * i) % 23).collect();
+        assert_matches_offline(&long, 4);
+    }
+
+    #[test]
+    fn sparse_sequence_equals_zero_filled_dense_sequence() {
+        // Push only offsets 1, 6, 7 — equivalent to a dense sequence with
+        // zeros elsewhere.
+        let mut t = StreamingTransform::new(3, 8, IdealTopK::new(64));
+        t.push(1, 10);
+        t.push(6, 4);
+        t.push(7, 2);
+        let online = t.finish();
+        let dense = [0, 10, 0, 0, 0, 0, 4, 2];
+        let offline = haar::transform(&dense, 3);
+        assert_eq!(online.approx, offline.approx);
+        for c in &online.details {
+            assert_eq!(
+                offline.details[c.level as usize][c.idx as usize], c.val,
+                "coefficient {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_skipping_flushes_stale_partials() {
+        // Offsets 0 then 5: the level-0 partial for idx 0 must be flushed
+        // when offset 5 (idx 2) arrives, not merged into it.
+        let mut t = StreamingTransform::new(2, 8, IdealTopK::new(64));
+        t.push(0, 8);
+        t.push(5, 4);
+        let out = t.finish();
+        let d0: Vec<&Candidate> = out.details.iter().filter(|c| c.level == 0).collect();
+        // idx 0 → +8; idx 2 → -4 (offset 5 is the odd half).
+        assert!(d0.iter().any(|c| c.idx == 0 && c.val == 8));
+        assert!(d0.iter().any(|c| c.idx == 2 && c.val == -4));
+    }
+
+    #[test]
+    fn empty_epoch_finishes_empty() {
+        let t = StreamingTransform::new(3, 8, IdealTopK::new(4));
+        let out = t.finish();
+        assert_eq!(out.padded_len, 0);
+        assert!(out.approx.is_empty());
+        assert!(out.details.is_empty());
+    }
+
+    #[test]
+    fn short_epoch_truncates_approx_to_touched_blocks() {
+        // Capacity 4096 with L=8 has 16 approx entries, but a 3-window epoch
+        // needs only one block.
+        let mut t = StreamingTransform::new(8, 4096, IdealTopK::new(16));
+        t.push(0, 1);
+        t.push(2, 1);
+        let out = t.finish();
+        assert_eq!(out.padded_len, 4);
+        assert_eq!(out.approx, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_non_monotonic_offsets() {
+        let mut t = StreamingTransform::new(2, 8, IdealTopK::new(4));
+        t.push(3, 1);
+        t.push(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn rejects_offset_beyond_capacity() {
+        let mut t = StreamingTransform::new(2, 8, IdealTopK::new(4));
+        t.push(8, 1);
+    }
+
+    #[test]
+    fn snapshot_does_not_disturb_streaming() {
+        let mut t = StreamingTransform::new(3, 8, IdealTopK::new(64));
+        t.push(0, 3);
+        t.push(1, 5);
+        let snap = t.snapshot();
+        assert_eq!(snap.approx, vec![8]);
+        // Continue streaming after the snapshot.
+        t.push(4, 2);
+        let fin = t.finish();
+        assert_eq!(fin.approx, vec![10]);
+    }
+}

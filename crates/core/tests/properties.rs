@@ -1,0 +1,274 @@
+//! Property-based tests for the WaveSketch core invariants (DESIGN.md §6).
+
+use proptest::prelude::*;
+use wavesketch::haar;
+use wavesketch::reconstruct::reconstruct;
+use wavesketch::select::{Candidate, CoeffSelector, HwThresholdSelector, IdealTopK};
+use wavesketch::streaming::StreamingTransform;
+use wavesketch::{BasicWaveSketch, FlowKey, SketchConfig, WaveBucket};
+
+/// A sparse window series: strictly increasing offsets with positive counts.
+fn sparse_series(max_offset: u32) -> impl Strategy<Value = Vec<(u32, i64)>> {
+    proptest::collection::btree_map(0..max_offset, 1i64..100_000, 0..64)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    /// Offline Haar transform round-trips exactly for any signal.
+    #[test]
+    fn offline_roundtrip(signal in proptest::collection::vec(-50_000i64..50_000, 0..300),
+                         levels in 1u32..10) {
+        let coeffs = haar::transform(&signal, levels);
+        let rec = haar::inverse(&coeffs);
+        for (i, &x) in signal.iter().enumerate() {
+            prop_assert!((rec[i] - x as f64).abs() < 1e-6);
+        }
+        for &r in &rec[signal.len()..] {
+            prop_assert!(r.abs() < 1e-6);
+        }
+    }
+
+    /// Streaming transform + reconstruction with an unbounded selector is
+    /// lossless for any sparse series.
+    #[test]
+    fn streaming_roundtrip(series in sparse_series(512), levels in 1u32..9) {
+        let mut t = StreamingTransform::new(levels, 512, IdealTopK::new(1 << 16));
+        for &(off, v) in &series {
+            t.push(off, v);
+        }
+        let rec = reconstruct(&t.finish());
+        let mut dense = vec![0i64; rec.len()];
+        for &(off, v) in &series {
+            dense[off as usize] = v;
+        }
+        for (i, &x) in dense.iter().enumerate() {
+            prop_assert!((rec[i] - x as f64).abs() < 1e-6,
+                         "window {}: {} vs {}", i, rec[i], x);
+        }
+    }
+
+    /// Streaming coefficients equal the offline transform of the dense
+    /// zero-filled series (approximations always, details where retained).
+    #[test]
+    fn streaming_matches_offline(series in sparse_series(256), levels in 1u32..8) {
+        let mut dense = vec![0i64; 256];
+        for &(off, v) in &series {
+            dense[off as usize] = v;
+        }
+        let mut t = StreamingTransform::new(levels, 256, IdealTopK::new(1 << 16));
+        for &(off, v) in &series {
+            t.push(off, v);
+        }
+        let online = t.finish();
+        if online.padded_len == 0 {
+            return Ok(()); // empty series
+        }
+        let offline = haar::transform(&dense[..online.padded_len], levels);
+        prop_assert_eq!(&online.approx, &offline.approx);
+        for c in &online.details {
+            prop_assert_eq!(offline.details[c.level as usize][c.idx as usize], c.val);
+        }
+    }
+
+    /// Total volume survives any compression level because approximation
+    /// coefficients are never discarded.
+    #[test]
+    fn total_always_exact(series in sparse_series(512), k in 1usize..16) {
+        let mut t = StreamingTransform::new(6, 512, IdealTopK::new(k));
+        let mut total = 0i64;
+        for &(off, v) in &series {
+            t.push(off, v);
+            total += v;
+        }
+        let rec = reconstruct(&t.finish());
+        let rec_total: f64 = rec.iter().sum();
+        prop_assert!((rec_total - total as f64).abs() < 1e-6);
+    }
+
+    /// Appendix A optimality on random signals: the ideal selection's L2
+    /// error never exceeds that of 32 random same-size selections.
+    #[test]
+    fn ideal_selection_beats_random_subsets(
+        signal in proptest::collection::vec(0i64..10_000, 16..64),
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let levels = 4u32;
+        let k = 4usize;
+        let full = haar::transform(&signal, levels);
+        let mut positions = Vec::new();
+        for (l, det) in full.details.iter().enumerate() {
+            for (q, &v) in det.iter().enumerate() {
+                if v != 0 {
+                    positions.push(Candidate { level: l as u32, idx: q as u32, val: v });
+                }
+            }
+        }
+        let err_of = |keep: &[Candidate]| -> f64 {
+            let mut det: Vec<Vec<i64>> = full.details.iter().map(|d| vec![0; d.len()]).collect();
+            for c in keep {
+                det[c.level as usize][c.idx as usize] = c.val;
+            }
+            let rec = haar::inverse(&haar::HaarCoefficients {
+                approx: full.approx.clone(),
+                details: det,
+                padded_len: full.padded_len,
+            });
+            // L2 optimality (Appendix A) holds over the padded vector — the
+            // padding windows are part of the reconstruction target too.
+            let mut padded = signal.clone();
+            padded.resize(full.padded_len, 0);
+            padded.iter().zip(&rec).map(|(&a, &b)| (a as f64 - b).powi(2)).sum()
+        };
+        let mut sel = IdealTopK::new(k);
+        for &c in &positions {
+            sel.offer(c);
+        }
+        let ideal_err = err_of(&sel.retained());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            if positions.is_empty() {
+                break;
+            }
+            let subset: Vec<Candidate> = (0..k.min(positions.len()))
+                .map(|_| positions[rng.gen_range(0..positions.len())])
+                .collect();
+            prop_assert!(ideal_err <= err_of(&subset) + 1e-6);
+        }
+    }
+
+    /// A bucket never under-reports total volume, for any update pattern
+    /// (monotone or with stragglers) and any selector budget.
+    #[test]
+    fn bucket_total_conserved(updates in proptest::collection::vec((0u64..600, 1i64..10_000), 1..80),
+                              k in 1usize..32) {
+        let mut sorted = updates.clone();
+        sorted.sort_by_key(|&(w, _)| w);
+        let mut bucket = WaveBucket::with_params(5, 256, k, wavesketch::SelectorKind::Ideal);
+        let mut total = 0i64;
+        for &(w, v) in &sorted {
+            bucket.update(w, v);
+            total += v;
+        }
+        let reports = bucket.drain();
+        let rep_total: i64 = reports.iter().map(|r| r.total()).sum();
+        prop_assert_eq!(rep_total, total);
+    }
+
+    /// Count-Min property lifted to curves: for any flow population, the
+    /// queried total of a recorded flow is never below its true total.
+    #[test]
+    fn sketch_never_undercounts(flows in proptest::collection::vec((0u64..40, 0u64..64, 1i64..5_000), 1..120)) {
+        let config = SketchConfig::builder()
+            .rows(3)
+            .width(16)
+            .levels(4)
+            .topk(16)
+            .max_windows(64)
+            .build();
+        let mut sketch = BasicWaveSketch::new(config);
+        let mut truth = std::collections::HashMap::new();
+        let mut by_window = flows.clone();
+        by_window.sort_by_key(|&(_, w, _)| w);
+        for &(id, w, v) in &by_window {
+            sketch.update(&FlowKey::from_id(id), w, v);
+            *truth.entry(id).or_insert(0i64) += v;
+        }
+        for (id, true_total) in truth {
+            let est = sketch.query(&FlowKey::from_id(id)).expect("recorded flow").total();
+            prop_assert!(est >= true_total as f64 - 1e-6,
+                         "flow {} est {} < truth {}", id, est, true_total);
+        }
+    }
+
+    /// Full-version conservation: whatever the flow mix, vote churn and
+    /// elections, a queried flow's total never undercounts the truth (the
+    /// light part counts everything; the heavy overlay only substitutes
+    /// exact values).
+    #[test]
+    fn full_sketch_never_undercounts(
+        flows in proptest::collection::vec((0u64..30, 0u64..128, 1i64..5_000), 1..150),
+    ) {
+        let config = SketchConfig::builder()
+            .rows(2)
+            .width(8)
+            .levels(5)
+            .topk(512)
+            .max_windows(128)
+            .heavy_rows(4) // tiny → guaranteed vote churn
+            .build();
+        let mut sketch = wavesketch::FullWaveSketch::new(config);
+        let mut truth = std::collections::HashMap::new();
+        let mut by_window = flows.clone();
+        by_window.sort_by_key(|&(_, w, _)| w);
+        for &(id, w, v) in &by_window {
+            sketch.update(&FlowKey::from_id(id), w, v);
+            *truth.entry(id).or_insert(0i64) += v;
+        }
+        for (id, true_total) in truth {
+            let est = sketch.query(&FlowKey::from_id(id)).expect("recorded").total();
+            prop_assert!(
+                est >= true_total as f64 - 1e-6,
+                "flow {} est {} < truth {}", id, est, true_total
+            );
+        }
+    }
+
+    /// Agg-Evict equivalence under arbitrary streams: buffering + eviction
+    /// never changes what the sketch learns.
+    #[test]
+    fn aggevict_is_transparent(
+        flows in proptest::collection::vec((0u64..10, 0u64..64, 1i64..1_000), 1..120),
+        slots in 1usize..32,
+    ) {
+        let config = || SketchConfig::builder()
+            .rows(2)
+            .width(16)
+            .levels(4)
+            .topk(64)
+            .max_windows(64)
+            .build();
+        let mut by_window = flows.clone();
+        by_window.sort_by_key(|&(_, w, _)| w);
+        let mut direct = BasicWaveSketch::new(config());
+        for &(f, w, v) in &by_window {
+            direct.update(&FlowKey::from_id(f), w, v);
+        }
+        let mut buffered = BasicWaveSketch::new(config());
+        let mut buffer = wavesketch::AggEvictBuffer::new(slots);
+        {
+            let mut sink = |k: &FlowKey, w: u64, v: i64| buffered.update(k, w, v);
+            for &(f, w, v) in &by_window {
+                buffer.offer(&FlowKey::from_id(f), w, v, &mut sink);
+            }
+            buffer.flush(&mut sink);
+        }
+        for &(f, _, _) in &by_window {
+            let key = FlowKey::from_id(f);
+            prop_assert_eq!(direct.query(&key), buffered.query(&key));
+        }
+    }
+
+    /// The hardware selector with zero thresholds and huge capacity retains
+    /// exactly the nonzero candidates the ideal selector would (same set).
+    #[test]
+    fn hw_with_zero_threshold_equals_ideal_at_large_k(series in sparse_series(128)) {
+        let run = |mut sel: Box<dyn FnMut(Candidate)>| {
+            let mut t = StreamingTransform::new(4, 128, IdealTopK::new(1 << 16));
+            for &(off, v) in &series {
+                t.push(off, v);
+            }
+            for c in t.finish().details {
+                sel(c);
+            }
+        };
+        let mut ideal = IdealTopK::new(1 << 16);
+        run(Box::new(|c| ideal.offer(c)));
+        let mut hw = HwThresholdSelector::new(1 << 16, 0, 0);
+        run(Box::new(|c| hw.offer(c)));
+        let to_set = |v: Vec<Candidate>| -> std::collections::BTreeSet<(u32, u32, i64)> {
+            v.into_iter().map(|c| (c.level, c.idx, c.val)).collect()
+        };
+        prop_assert_eq!(to_set(ideal.retained()), to_set(hw.retained()));
+    }
+}

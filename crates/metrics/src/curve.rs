@@ -1,0 +1,132 @@
+//! Rate-curve helpers: converting per-window byte counts into rates and
+//! aligning curves that start at different absolute windows.
+
+/// A flow-rate curve: per-window sample values anchored at an absolute
+/// window id. Window ids are the global microsecond-level window indices used
+/// throughout μMon (nanosecond timestamp right-shifted by `log2(window_ns)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateCurve {
+    /// Absolute window id of `samples[0]`.
+    pub start_window: u64,
+    /// One sample per window (bytes, packets, or Gbps — caller's choice).
+    pub samples: Vec<f64>,
+}
+
+impl RateCurve {
+    /// Creates a curve anchored at `start_window`.
+    pub fn new(start_window: u64, samples: Vec<f64>) -> Self {
+        Self {
+            start_window,
+            samples,
+        }
+    }
+
+    /// The absolute window id one past the last sample.
+    pub fn end_window(&self) -> u64 {
+        self.start_window + self.samples.len() as u64
+    }
+
+    /// Value at absolute window `w`, or 0 outside the curve's span.
+    pub fn at(&self, w: u64) -> f64 {
+        if w < self.start_window {
+            return 0.0;
+        }
+        let idx = (w - self.start_window) as usize;
+        self.samples.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all samples (total bytes if the samples are per-window bytes).
+    pub fn total(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Slice of the curve covering `[from, to)` absolute windows, zero-padded
+    /// where the curve has no data.
+    pub fn window_range(&self, from: u64, to: u64) -> Vec<f64> {
+        assert!(from <= to, "window_range requires from <= to");
+        (from..to).map(|w| self.at(w)).collect()
+    }
+}
+
+/// Aligns two curves onto the union of their spans, zero-padding both, and
+/// returns `(truth, estimate)` sample vectors of equal length. Metrics are
+/// then directly applicable. Returns empty vectors if both curves are empty.
+pub fn align_curves(truth: &RateCurve, estimate: &RateCurve) -> (Vec<f64>, Vec<f64>) {
+    if truth.samples.is_empty() && estimate.samples.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let from = match (truth.samples.is_empty(), estimate.samples.is_empty()) {
+        (false, false) => truth.start_window.min(estimate.start_window),
+        (false, true) => truth.start_window,
+        (true, false) => estimate.start_window,
+        (true, true) => unreachable!(),
+    };
+    let to = truth.end_window().max(estimate.end_window());
+    (truth.window_range(from, to), estimate.window_range(from, to))
+}
+
+/// Converts per-window byte counts to Gbps given the window length in
+/// nanoseconds: `bytes * 8 / window_ns` gives bits per nanosecond == Gbps.
+pub fn counts_to_gbps(byte_counts: &[f64], window_ns: u64) -> Vec<f64> {
+    let w = window_ns as f64;
+    byte_counts.iter().map(|b| b * 8.0 / w).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_returns_zero_outside_span() {
+        let c = RateCurve::new(10, vec![1.0, 2.0]);
+        assert_eq!(c.at(9), 0.0);
+        assert_eq!(c.at(10), 1.0);
+        assert_eq!(c.at(11), 2.0);
+        assert_eq!(c.at(12), 0.0);
+    }
+
+    #[test]
+    fn align_pads_disjoint_curves() {
+        let t = RateCurve::new(0, vec![1.0, 1.0]);
+        let e = RateCurve::new(3, vec![2.0]);
+        let (tv, ev) = align_curves(&t, &e);
+        assert_eq!(tv, vec![1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(ev, vec![0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn align_handles_one_empty_curve() {
+        let t = RateCurve::new(5, vec![3.0]);
+        let e = RateCurve::new(0, vec![]);
+        let (tv, ev) = align_curves(&t, &e);
+        assert_eq!(tv, vec![3.0]);
+        assert_eq!(ev, vec![0.0]);
+    }
+
+    #[test]
+    fn align_both_empty_is_empty() {
+        let t = RateCurve::new(0, vec![]);
+        let (tv, ev) = align_curves(&t, &t.clone());
+        assert!(tv.is_empty() && ev.is_empty());
+    }
+
+    #[test]
+    fn gbps_conversion_for_8192ns_window() {
+        // 10 KB in an 8.192 us window = 10240*8 bits / 8192 ns = 10 Gbps.
+        let out = counts_to_gbps(&[10240.0], 8192);
+        assert!((out[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_range_subsets_and_pads() {
+        let c = RateCurve::new(2, vec![5.0, 6.0, 7.0]);
+        assert_eq!(c.window_range(0, 6), vec![0.0, 0.0, 5.0, 6.0, 7.0, 0.0]);
+        assert_eq!(c.window_range(3, 4), vec![6.0]);
+        assert!(c.window_range(4, 4).is_empty());
+    }
+
+    #[test]
+    fn total_sums_samples() {
+        assert_eq!(RateCurve::new(0, vec![1.0, 2.5]).total(), 3.5);
+    }
+}

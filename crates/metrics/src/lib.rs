@@ -1,0 +1,198 @@
+#![warn(missing_docs)]
+
+//! Accuracy metrics for comparing a true flow-rate curve against an estimate.
+//!
+//! These are the four metrics of μMon's Appendix E: Euclidean distance,
+//! average relative error (ARE), cosine similarity and energy similarity.
+//! Each operates on a pair of equal-length sample series — in μMon these are
+//! per-window byte (or packet) counts, which are proportional to rates, so the
+//! metrics are identical whether applied to counts or to Gbps values scaled by
+//! a common factor (except Euclidean distance, which scales linearly).
+
+mod curve;
+mod summary;
+
+pub use curve::{align_curves, counts_to_gbps, RateCurve};
+pub use summary::{MetricSummary, WorkloadAccuracy};
+
+/// Euclidean (L2) distance between the true curve `f` and the estimate `g`.
+///
+/// Lower is better; 0 means the estimate is exact.
+///
+/// # Panics
+///
+/// Panics if the two series have different lengths.
+pub fn euclidean_distance(f: &[f64], g: &[f64]) -> f64 {
+    assert_eq_len(f, g);
+    f.iter()
+        .zip(g)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Average relative error: `mean(|f(t) - g(t)| / f(t))`.
+///
+/// Windows where the true value is zero are skipped, mirroring the common
+/// sketching-literature convention (a relative error against a zero ground
+/// truth is undefined); if every true sample is zero the ARE is defined as the
+/// mean absolute estimate (so an all-zero estimate of an all-zero truth is 0).
+///
+/// Lower is better; 0 means the estimate is exact on every non-zero window.
+pub fn average_relative_error(f: &[f64], g: &[f64]) -> f64 {
+    assert_eq_len(f, g);
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (a, b) in f.iter().zip(g) {
+        if *a != 0.0 {
+            sum += (a - b).abs() / a.abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return g.iter().map(|b| b.abs()).sum::<f64>() / g.len().max(1) as f64;
+    }
+    sum / n as f64
+}
+
+/// Cosine similarity between the two curves viewed as vectors.
+///
+/// In `[0, 1]` for non-negative curves (1 is best). If exactly one curve is
+/// all-zero the similarity is 0; if both are all-zero it is 1 (they agree).
+pub fn cosine_similarity(f: &[f64], g: &[f64]) -> f64 {
+    assert_eq_len(f, g);
+    let dot: f64 = f.iter().zip(g).map(|(a, b)| a * b).sum();
+    let nf: f64 = f.iter().map(|a| a * a).sum::<f64>().sqrt();
+    let ng: f64 = g.iter().map(|b| b * b).sum::<f64>().sqrt();
+    if nf == 0.0 && ng == 0.0 {
+        return 1.0;
+    }
+    if nf == 0.0 || ng == 0.0 {
+        return 0.0;
+    }
+    dot / (nf * ng)
+}
+
+/// Energy similarity: the ratio of the smaller to the larger signal energy
+/// (square-root form, per Appendix E).
+///
+/// In `[0, 1]`; 1 means the curves carry identical energy. Both-zero curves
+/// score 1, exactly one zero curve scores 0.
+pub fn energy_similarity(f: &[f64], g: &[f64]) -> f64 {
+    assert_eq_len(f, g);
+    let ef: f64 = f.iter().map(|a| a * a).sum();
+    let eg: f64 = g.iter().map(|b| b * b).sum();
+    if ef == 0.0 && eg == 0.0 {
+        return 1.0;
+    }
+    if ef == 0.0 || eg == 0.0 {
+        return 0.0;
+    }
+    if ef <= eg {
+        (ef / eg).sqrt()
+    } else {
+        (eg / ef).sqrt()
+    }
+}
+
+/// All four Appendix-E metrics computed for one truth/estimate pair.
+pub fn all_metrics(truth: &[f64], estimate: &[f64]) -> MetricSummary {
+    MetricSummary {
+        euclidean: euclidean_distance(truth, estimate),
+        are: average_relative_error(truth, estimate),
+        cosine: cosine_similarity(truth, estimate),
+        energy: energy_similarity(truth, estimate),
+    }
+}
+
+fn assert_eq_len(f: &[f64], g: &[f64]) {
+    assert_eq!(
+        f.len(),
+        g.len(),
+        "metric inputs must have equal length ({} vs {})",
+        f.len(),
+        g.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_of_identical_curves_is_zero() {
+        let f = [1.0, 2.0, 3.0, 0.0];
+        assert_eq!(euclidean_distance(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let f = [3.0, 0.0];
+        let g = [0.0, 4.0];
+        assert!((euclidean_distance(&f, &g) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn are_skips_zero_truth_windows() {
+        let f = [0.0, 10.0];
+        let g = [5.0, 5.0];
+        // Only the second window counts: |10-5|/10 = 0.5.
+        assert!((average_relative_error(&f, &g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn are_of_all_zero_truth_is_mean_abs_estimate() {
+        let f = [0.0, 0.0];
+        assert!((average_relative_error(&f, &[2.0, 4.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(average_relative_error(&f, &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_perfect_score() {
+        let f = [1.0, 2.0, 3.0];
+        assert!((cosine_similarity(&f, &f) - 1.0).abs() < 1e-12);
+        // A scaled copy still has cosine 1 (angle is what matters).
+        let g = [2.0, 4.0, 6.0];
+        assert!((cosine_similarity(&f, &g) - 1.0).abs() < 1e-12);
+        // Orthogonal vectors score 0.
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_zero_vector_conventions() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn energy_similarity_is_symmetric_ratio() {
+        let f = [2.0, 0.0];
+        let g = [4.0, 0.0];
+        // Energies 4 and 16, sqrt(4/16) = 0.5, either argument order.
+        assert!((energy_similarity(&f, &g) - 0.5).abs() < 1e-12);
+        assert!((energy_similarity(&g, &f) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_zero_vector_conventions() {
+        assert_eq!(energy_similarity(&[0.0], &[0.0]), 1.0);
+        assert_eq!(energy_similarity(&[0.0], &[3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        euclidean_distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_metrics_agree_with_individual_calls() {
+        let f = [1.0, 5.0, 2.0, 0.0];
+        let g = [1.5, 4.0, 2.0, 1.0];
+        let m = all_metrics(&f, &g);
+        assert_eq!(m.euclidean, euclidean_distance(&f, &g));
+        assert_eq!(m.are, average_relative_error(&f, &g));
+        assert_eq!(m.cosine, cosine_similarity(&f, &g));
+        assert_eq!(m.energy, energy_similarity(&f, &g));
+    }
+}

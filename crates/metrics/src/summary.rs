@@ -1,0 +1,97 @@
+//! Aggregation of per-flow metrics into workload-level averages, the way the
+//! paper reports them ("we use the above metrics for each flow and calculate
+//! the average value as the metric of the workload", §7.1).
+
+/// The four Appendix-E metrics for a single truth/estimate pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Euclidean (L2) distance — lower is better.
+    pub euclidean: f64,
+    /// Average relative error — lower is better.
+    pub are: f64,
+    /// Cosine similarity — closer to 1 is better.
+    pub cosine: f64,
+    /// Energy similarity — closer to 1 is better.
+    pub energy: f64,
+}
+
+/// Running average of [`MetricSummary`] values over the flows of a workload.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadAccuracy {
+    sum_euclidean: f64,
+    sum_are: f64,
+    sum_cosine: f64,
+    sum_energy: f64,
+    flows: usize,
+}
+
+impl WorkloadAccuracy {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one flow's metrics.
+    pub fn add(&mut self, m: MetricSummary) {
+        self.sum_euclidean += m.euclidean;
+        self.sum_are += m.are;
+        self.sum_cosine += m.cosine;
+        self.sum_energy += m.energy;
+        self.flows += 1;
+    }
+
+    /// Number of flows accumulated so far.
+    pub fn flow_count(&self) -> usize {
+        self.flows
+    }
+
+    /// The per-flow average of each metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no flows were added.
+    pub fn mean(&self) -> MetricSummary {
+        assert!(self.flows > 0, "no flows accumulated");
+        let n = self.flows as f64;
+        MetricSummary {
+            euclidean: self.sum_euclidean / n,
+            are: self.sum_are / n,
+            cosine: self.sum_cosine / n,
+            energy: self.sum_energy / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_averages_each_metric_independently() {
+        let mut acc = WorkloadAccuracy::new();
+        acc.add(MetricSummary {
+            euclidean: 2.0,
+            are: 0.2,
+            cosine: 0.8,
+            energy: 0.6,
+        });
+        acc.add(MetricSummary {
+            euclidean: 4.0,
+            are: 0.4,
+            cosine: 1.0,
+            energy: 1.0,
+        });
+        let m = acc.mean();
+        assert_eq!(acc.flow_count(), 2);
+        assert!((m.euclidean - 3.0).abs() < 1e-12);
+        assert!((m.are - 0.3).abs() < 1e-12);
+        assert!((m.cosine - 0.9).abs() < 1e-12);
+        assert!((m.energy - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no flows")]
+    fn mean_of_empty_accumulator_panics() {
+        WorkloadAccuracy::new().mean();
+    }
+}

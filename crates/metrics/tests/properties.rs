@@ -1,0 +1,105 @@
+//! Property-based tests for the Appendix-E metric invariants.
+
+use proptest::prelude::*;
+use umon_metrics::{
+    align_curves, all_metrics, average_relative_error, cosine_similarity, counts_to_gbps,
+    energy_similarity, euclidean_distance, RateCurve,
+};
+
+fn curve() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e6, 1..64)
+}
+
+proptest! {
+    /// Identity: every metric scores a curve perfectly against itself.
+    #[test]
+    fn metrics_are_perfect_on_identical_curves(f in curve()) {
+        let m = all_metrics(&f, &f);
+        prop_assert_eq!(m.euclidean, 0.0);
+        prop_assert_eq!(m.are, 0.0);
+        prop_assert!((m.cosine - 1.0).abs() < 1e-9);
+        prop_assert!((m.energy - 1.0).abs() < 1e-9);
+    }
+
+    /// Bounds: cosine and energy similarity live in [0, 1] for non-negative
+    /// curves; Euclidean and ARE are non-negative.
+    #[test]
+    fn metric_bounds(f in curve(), g in curve()) {
+        let n = f.len().min(g.len());
+        let (f, g) = (&f[..n], &g[..n]);
+        prop_assert!(euclidean_distance(f, g) >= 0.0);
+        prop_assert!(average_relative_error(f, g) >= 0.0);
+        let c = cosine_similarity(f, g);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&c), "cosine {c}");
+        let e = energy_similarity(f, g);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&e), "energy {e}");
+    }
+
+    /// Symmetry: Euclidean, cosine and energy are symmetric in their
+    /// arguments (ARE deliberately is not — it normalizes by the truth).
+    #[test]
+    fn symmetric_metrics(f in curve(), g in curve()) {
+        let n = f.len().min(g.len());
+        let (f, g) = (&f[..n], &g[..n]);
+        prop_assert!((euclidean_distance(f, g) - euclidean_distance(g, f)).abs() < 1e-9);
+        prop_assert!((cosine_similarity(f, g) - cosine_similarity(g, f)).abs() < 1e-12);
+        prop_assert!((energy_similarity(f, g) - energy_similarity(g, f)).abs() < 1e-12);
+    }
+
+    /// Scale behavior: scaling both curves by the same factor preserves
+    /// cosine, energy and ARE, and scales Euclidean linearly.
+    #[test]
+    fn common_scaling(f in curve(), g in curve(), k in 0.1f64..100.0) {
+        let n = f.len().min(g.len());
+        let (f, g) = (&f[..n], &g[..n]);
+        let fk: Vec<f64> = f.iter().map(|x| x * k).collect();
+        let gk: Vec<f64> = g.iter().map(|x| x * k).collect();
+        prop_assert!((cosine_similarity(f, g) - cosine_similarity(&fk, &gk)).abs() < 1e-9);
+        prop_assert!((energy_similarity(f, g) - energy_similarity(&fk, &gk)).abs() < 1e-9);
+        prop_assert!((average_relative_error(f, g) - average_relative_error(&fk, &gk)).abs() < 1e-9);
+        let e1 = euclidean_distance(f, g) * k;
+        let e2 = euclidean_distance(&fk, &gk);
+        prop_assert!((e1 - e2).abs() <= 1e-9 * e1.max(1.0));
+    }
+
+    /// Triangle inequality for the Euclidean distance.
+    #[test]
+    fn euclidean_triangle(f in curve(), g in curve(), h in curve()) {
+        let n = f.len().min(g.len()).min(h.len());
+        let (f, g, h) = (&f[..n], &g[..n], &h[..n]);
+        prop_assert!(
+            euclidean_distance(f, h)
+                <= euclidean_distance(f, g) + euclidean_distance(g, h) + 1e-9
+        );
+    }
+
+    /// align_curves produces equal-length vectors that preserve each
+    /// curve's values at its own windows.
+    #[test]
+    fn alignment_preserves_values(
+        s1 in 0u64..50, v1 in curve(),
+        s2 in 0u64..50, v2 in curve(),
+    ) {
+        let a = RateCurve::new(s1, v1.clone());
+        let b = RateCurve::new(s2, v2.clone());
+        let (av, bv) = align_curves(&a, &b);
+        prop_assert_eq!(av.len(), bv.len());
+        let from = s1.min(s2);
+        for (i, &x) in v1.iter().enumerate() {
+            prop_assert_eq!(av[(s1 - from) as usize + i], x);
+        }
+        for (i, &x) in v2.iter().enumerate() {
+            prop_assert_eq!(bv[(s2 - from) as usize + i], x);
+        }
+    }
+
+    /// Gbps conversion is linear in the byte counts.
+    #[test]
+    fn gbps_linear(f in curve(), shift in 10u32..20) {
+        let window_ns = 1u64 << shift;
+        let out = counts_to_gbps(&f, window_ns);
+        for (i, &b) in f.iter().enumerate() {
+            prop_assert!((out[i] - b * 8.0 / window_ns as f64).abs() < 1e-9);
+        }
+    }
+}

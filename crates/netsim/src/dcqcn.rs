@@ -1,0 +1,282 @@
+//! DCQCN reaction-point (sender) state machine.
+//!
+//! Implements the rate-based control loop of the DCQCN paper the evaluation
+//! uses (§7.2 keeps "parameters consistent with the original paper"):
+//!
+//! * On CNP: `Rt ← Rc`, `Rc ← Rc · (1 − α/2)`, `α ← (1 − g)·α + g`, and the
+//!   increase state machine restarts.
+//! * Without CNPs, `α` decays every `alpha_timer_ns`: `α ← (1 − g)·α`.
+//! * Rate increases fire on a timer (`rate_timer_ns`) or a byte counter
+//!   (`byte_counter`), whichever first, stepping through fast recovery
+//!   (`Rc ← (Rt + Rc)/2`), additive increase (`Rt += Rai`), and hyper
+//!   increase (`Rt += Rhai`).
+
+/// DCQCN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcqcnParams {
+    /// Line rate (and initial rate — RDMA flows start at full speed) in Gbps.
+    pub line_rate_gbps: f64,
+    /// Minimum sending rate in Gbps.
+    pub min_rate_gbps: f64,
+    /// EWMA gain `g` for α.
+    pub g: f64,
+    /// α decay / CNP-absence timer in ns (55 μs in the original paper).
+    pub alpha_timer_ns: u64,
+    /// Rate-increase timer period in ns (55 μs).
+    pub rate_timer_ns: u64,
+    /// Rate-increase byte counter threshold (10 MB).
+    pub byte_counter: u64,
+    /// Additive increase step in Gbps (40 Mbps).
+    pub rai_gbps: f64,
+    /// Hyper increase step in Gbps (400 Mbps).
+    pub rhai_gbps: f64,
+    /// Fast-recovery iterations before additive increase (F = 5).
+    pub fast_recovery_rounds: u32,
+    /// Minimum gap between CNPs honoured by the NP, in ns (50 μs).
+    pub cnp_interval_ns: u64,
+}
+
+impl Default for DcqcnParams {
+    fn default() -> Self {
+        Self {
+            line_rate_gbps: 100.0,
+            min_rate_gbps: 0.1,
+            g: 1.0 / 256.0,
+            alpha_timer_ns: 55_000,
+            rate_timer_ns: 55_000,
+            byte_counter: 10 * 1024 * 1024,
+            rai_gbps: 0.04,
+            rhai_gbps: 0.4,
+            fast_recovery_rounds: 5,
+            cnp_interval_ns: 50_000,
+        }
+    }
+}
+
+/// Per-flow reaction-point state.
+#[derive(Debug, Clone)]
+pub struct DcqcnState {
+    /// Current sending rate in Gbps.
+    pub rc_gbps: f64,
+    /// Target rate in Gbps.
+    pub rt_gbps: f64,
+    /// Congestion estimate α.
+    pub alpha: f64,
+    /// Successive timer-driven increase events since the last CNP.
+    timer_rounds: u32,
+    /// Successive byte-counter-driven increase events since the last CNP.
+    byte_rounds: u32,
+    /// Bytes sent since the last byte-counter increase.
+    bytes_since_increase: u64,
+    /// Generation counter: bumping invalidates in-flight timer events.
+    pub generation: u64,
+    /// True once a CNP has ever been received (before that, α stays put).
+    saw_cnp: bool,
+}
+
+impl DcqcnState {
+    /// Fresh state at line rate.
+    pub fn new(params: &DcqcnParams) -> Self {
+        Self {
+            rc_gbps: params.line_rate_gbps,
+            rt_gbps: params.line_rate_gbps,
+            alpha: 1.0,
+            timer_rounds: 0,
+            byte_rounds: 0,
+            bytes_since_increase: 0,
+            generation: 0,
+            saw_cnp: false,
+        }
+    }
+
+    /// Handles a CNP: multiplicative decrease and state reset.
+    pub fn on_cnp(&mut self, params: &DcqcnParams) {
+        self.rt_gbps = self.rc_gbps;
+        self.rc_gbps = (self.rc_gbps * (1.0 - self.alpha / 2.0)).max(params.min_rate_gbps);
+        self.alpha = ((1.0 - params.g) * self.alpha + params.g).min(1.0);
+        self.timer_rounds = 0;
+        self.byte_rounds = 0;
+        self.bytes_since_increase = 0;
+        self.generation += 1;
+        self.saw_cnp = true;
+    }
+
+    /// α decay on an idle alpha-timer expiry (no CNP in the period).
+    pub fn on_alpha_timer(&mut self, params: &DcqcnParams) {
+        if self.saw_cnp {
+            self.alpha *= 1.0 - params.g;
+        }
+    }
+
+    /// Accounts `bytes` sent; returns true if the byte counter tripped (the
+    /// caller should then call [`Self::on_rate_increase`] with
+    /// `by_timer = false`).
+    pub fn on_bytes_sent(&mut self, bytes: u64, params: &DcqcnParams) -> bool {
+        self.bytes_since_increase += bytes;
+        if self.bytes_since_increase >= params.byte_counter {
+            self.bytes_since_increase = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One rate-increase event (timer- or byte-driven). Follows the DCQCN
+    /// staging: fast recovery while `max(T, B) ≤ F`, hyper increase once
+    /// `min(T, B) > F`, additive increase otherwise.
+    pub fn on_rate_increase(&mut self, by_timer: bool, params: &DcqcnParams) {
+        if by_timer {
+            self.timer_rounds += 1;
+        } else {
+            self.byte_rounds += 1;
+        }
+        let t = self.timer_rounds;
+        let b = self.byte_rounds;
+        let f = params.fast_recovery_rounds;
+        if t.max(b) <= f {
+            // Fast recovery: halve toward the target.
+        } else if t.min(b) > f {
+            self.rt_gbps = (self.rt_gbps + params.rhai_gbps).min(params.line_rate_gbps);
+        } else {
+            self.rt_gbps = (self.rt_gbps + params.rai_gbps).min(params.line_rate_gbps);
+        }
+        self.rc_gbps = ((self.rt_gbps + self.rc_gbps) / 2.0).min(params.line_rate_gbps);
+    }
+
+    /// Nanoseconds to serialize `bytes` at the current rate.
+    pub fn pacing_delay_ns(&self, bytes: u32) -> u64 {
+        let ns = bytes as f64 * 8.0 / self.rc_gbps;
+        (ns.ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DcqcnParams {
+        DcqcnParams::default()
+    }
+
+    #[test]
+    fn flows_start_at_line_rate() {
+        let s = DcqcnState::new(&params());
+        assert_eq!(s.rc_gbps, 100.0);
+        assert_eq!(s.alpha, 1.0);
+    }
+
+    #[test]
+    fn first_cnp_halves_the_rate() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        s.on_cnp(&p);
+        // α = 1 → Rc · (1 − 0.5) = 50.
+        assert!((s.rc_gbps - 50.0).abs() < 1e-9);
+        assert!((s.rt_gbps - 100.0).abs() < 1e-9);
+        assert!(s.alpha <= 1.0);
+    }
+
+    #[test]
+    fn repeated_cnps_respect_min_rate() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        for _ in 0..200 {
+            s.on_cnp(&p);
+        }
+        assert!(s.rc_gbps >= p.min_rate_gbps - 1e-12);
+    }
+
+    #[test]
+    fn alpha_decays_without_cnps() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        s.on_cnp(&p);
+        let a0 = s.alpha;
+        s.on_alpha_timer(&p);
+        assert!(s.alpha < a0);
+    }
+
+    #[test]
+    fn alpha_does_not_decay_before_any_cnp() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        s.on_alpha_timer(&p);
+        assert_eq!(s.alpha, 1.0);
+    }
+
+    #[test]
+    fn fast_recovery_converges_to_target() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        s.on_cnp(&p); // Rc 50, Rt 100
+        for _ in 0..p.fast_recovery_rounds {
+            s.on_rate_increase(true, &p);
+        }
+        // 50 → 75 → 87.5 → 93.75 → 96.875 → 98.4375
+        assert!(s.rc_gbps > 98.0 && s.rc_gbps < 100.0);
+        assert!((s.rt_gbps - 100.0).abs() < 1e-9, "fast recovery must not move Rt");
+    }
+
+    #[test]
+    fn additive_then_hyper_increase_raise_target() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        s.on_cnp(&p);
+        for _ in 0..p.fast_recovery_rounds + 1 {
+            s.on_rate_increase(true, &p);
+        }
+        // Timer rounds beyond F with byte rounds still ≤ F → additive.
+        let rt_after_ai = s.rt_gbps;
+        assert!(rt_after_ai <= 100.0);
+        // Drive byte rounds past F too → hyper increase.
+        for _ in 0..p.fast_recovery_rounds + 1 {
+            s.on_rate_increase(false, &p);
+        }
+        let before = s.rt_gbps;
+        s.on_rate_increase(false, &p);
+        assert!((s.rt_gbps - before - p.rhai_gbps).abs() < 1e-9 || s.rt_gbps == 100.0);
+    }
+
+    #[test]
+    fn rate_never_exceeds_line_rate() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        s.on_cnp(&p);
+        for i in 0..1000 {
+            s.on_rate_increase(i % 2 == 0, &p);
+            assert!(s.rc_gbps <= p.line_rate_gbps + 1e-9);
+            assert!(s.rt_gbps <= p.line_rate_gbps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn byte_counter_trips_every_threshold() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        let mut trips = 0;
+        for _ in 0..30 {
+            if s.on_bytes_sent(1024 * 1024, &p) {
+                trips += 1;
+            }
+        }
+        assert_eq!(trips, 3); // 30 MB / 10 MB
+    }
+
+    #[test]
+    fn pacing_delay_matches_rate() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        assert_eq!(s.pacing_delay_ns(1000), 80); // 100 Gbps
+        s.rc_gbps = 10.0;
+        assert_eq!(s.pacing_delay_ns(1000), 800);
+    }
+
+    #[test]
+    fn cnp_bumps_generation_to_cancel_stale_timers() {
+        let p = params();
+        let mut s = DcqcnState::new(&p);
+        let g0 = s.generation;
+        s.on_cnp(&p);
+        assert_eq!(s.generation, g0 + 1);
+    }
+}

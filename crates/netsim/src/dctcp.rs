@@ -1,0 +1,222 @@
+//! A DCTCP-style window-based sender, used for the TCP-flow use cases
+//! (Figure 9a) and for generating ECN-reactive windowed traffic.
+//!
+//! This is the textbook DCTCP control law on top of per-packet ACK clocking:
+//! the sender keeps an EWMA `α` of the fraction of ECN-echo ACKs per window
+//! and once per window cuts `cwnd ← cwnd · (1 − α/2)` if any mark was seen;
+//! otherwise it grows by slow start or one MSS per window.
+
+/// DCTCP parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DctcpParams {
+    /// EWMA gain for α (1/16 in the DCTCP paper).
+    pub g: f64,
+    /// Initial congestion window in packets.
+    pub init_cwnd: f64,
+    /// Slow-start threshold in packets.
+    pub init_ssthresh: f64,
+    /// Maximum window in packets (receiver/buffer bound).
+    pub max_cwnd: f64,
+}
+
+impl Default for DctcpParams {
+    fn default() -> Self {
+        Self {
+            g: 1.0 / 16.0,
+            init_cwnd: 10.0,
+            init_ssthresh: 256.0,
+            max_cwnd: 512.0,
+        }
+    }
+}
+
+/// Per-flow DCTCP sender state.
+#[derive(Debug, Clone)]
+pub struct DctcpState {
+    /// Congestion window in packets (fractional growth allowed).
+    pub cwnd: f64,
+    /// Slow-start threshold in packets.
+    pub ssthresh: f64,
+    /// EWMA of the marked fraction.
+    pub alpha: f64,
+    /// Next sequence number to send.
+    pub next_seq: u64,
+    /// Highest cumulative ACK received.
+    pub acked: u64,
+    /// Window-observation state: end of the current observation window.
+    window_end: u64,
+    /// ACKs and marks observed in the current window.
+    acks_in_window: u64,
+    marks_in_window: u64,
+}
+
+impl DctcpState {
+    /// Fresh state.
+    pub fn new(params: &DctcpParams) -> Self {
+        Self {
+            cwnd: params.init_cwnd,
+            ssthresh: params.init_ssthresh,
+            alpha: 0.0,
+            next_seq: 0,
+            acked: 0,
+            window_end: 0,
+            acks_in_window: 0,
+            marks_in_window: 0,
+        }
+    }
+
+    /// Packets currently allowed in flight.
+    pub fn in_flight_budget(&self) -> u64 {
+        let inflight = self.next_seq.saturating_sub(self.acked);
+        (self.cwnd.floor() as u64).saturating_sub(inflight)
+    }
+
+    /// Handles a cumulative ACK for `ack_seq` with ECN echo `ece`.
+    ///
+    /// Window accounting follows DCTCP: once a full window of ACKs has been
+    /// observed (the ACK passes `window_end`), α updates and the window cut
+    /// (if marks were seen) applies.
+    pub fn on_ack(&mut self, ack_seq: u64, ece: bool, params: &DctcpParams) {
+        if ack_seq <= self.acked {
+            return; // duplicate / stale
+        }
+        let newly = ack_seq - self.acked;
+        self.acked = ack_seq;
+        self.acks_in_window += newly;
+        if ece {
+            self.marks_in_window += newly;
+        }
+
+        // Per-ACK growth.
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + newly as f64).min(params.max_cwnd);
+        } else {
+            self.cwnd = (self.cwnd + newly as f64 / self.cwnd).min(params.max_cwnd);
+        }
+
+        if ack_seq >= self.window_end {
+            // One observation window complete.
+            let frac = if self.acks_in_window > 0 {
+                self.marks_in_window as f64 / self.acks_in_window as f64
+            } else {
+                0.0
+            };
+            self.alpha = (1.0 - params.g) * self.alpha + params.g * frac;
+            if self.marks_in_window > 0 {
+                self.cwnd = (self.cwnd * (1.0 - self.alpha / 2.0)).max(1.0);
+                self.ssthresh = self.cwnd;
+            }
+            self.acks_in_window = 0;
+            self.marks_in_window = 0;
+            self.window_end = self.next_seq;
+        }
+    }
+
+    /// Registers that packet `seq` was handed to the NIC.
+    pub fn on_send(&mut self, seq: u64) {
+        debug_assert_eq!(seq, self.next_seq);
+        self.next_seq = seq + 1;
+        if self.window_end == 0 {
+            self.window_end = self.next_seq;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DctcpParams {
+        DctcpParams::default()
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let p = params();
+        let mut s = DctcpState::new(&p);
+        // Send and ACK ten packets without marks: cwnd 10 → 20.
+        for i in 0..10 {
+            s.on_send(i);
+        }
+        for i in 0..10 {
+            s.on_ack(i + 1, false, &p);
+        }
+        assert!((s.cwnd - 20.0).abs() < 1e-9);
+        assert_eq!(s.alpha, 0.0);
+    }
+
+    #[test]
+    fn marks_update_alpha_and_cut_window() {
+        let p = params();
+        let mut s = DctcpState::new(&p);
+        for i in 0..10 {
+            s.on_send(i);
+        }
+        // Half the ACKs carry ECN echo.
+        for i in 0..10 {
+            s.on_ack(i + 1, i % 2 == 0, &p);
+        }
+        assert!(s.alpha > 0.0, "alpha must rise after marks");
+        assert!(s.cwnd < 20.0, "window must be cut below pure slow start");
+        assert_eq!(s.ssthresh, s.cwnd);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let p = DctcpParams {
+            init_cwnd: 100.0,
+            init_ssthresh: 1.0, // force CA
+            ..params()
+        };
+        let mut s = DctcpState::new(&p);
+        for i in 0..100 {
+            s.on_send(i);
+        }
+        for i in 0..100 {
+            s.on_ack(i + 1, false, &p);
+        }
+        // ~1 MSS growth over a full window.
+        assert!(s.cwnd > 100.9 && s.cwnd < 102.1, "cwnd {}", s.cwnd);
+    }
+
+    #[test]
+    fn budget_respects_inflight() {
+        let p = params();
+        let mut s = DctcpState::new(&p);
+        assert_eq!(s.in_flight_budget(), 10);
+        for i in 0..10 {
+            s.on_send(i);
+        }
+        assert_eq!(s.in_flight_budget(), 0);
+        s.on_ack(4, false, &p);
+        assert!(s.in_flight_budget() > 0);
+    }
+
+    #[test]
+    fn duplicate_acks_are_ignored() {
+        let p = params();
+        let mut s = DctcpState::new(&p);
+        for i in 0..5 {
+            s.on_send(i);
+        }
+        s.on_ack(3, false, &p);
+        let cwnd = s.cwnd;
+        s.on_ack(3, true, &p);
+        assert_eq!(s.cwnd, cwnd);
+        assert_eq!(s.acked, 3);
+    }
+
+    #[test]
+    fn window_never_collapses_below_one() {
+        let p = params();
+        let mut s = DctcpState::new(&p);
+        s.alpha = 1.0;
+        for round in 0..50u64 {
+            let seq = s.next_seq;
+            s.on_send(seq);
+            s.on_ack(seq + 1, true, &p);
+            let _ = round;
+            assert!(s.cwnd >= 1.0);
+        }
+    }
+}

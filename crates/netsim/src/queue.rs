@@ -1,0 +1,250 @@
+//! Output ports: FIFO byte queues with RED/ECN marking at DCQCN thresholds
+//! and tail drop at the buffer limit.
+
+use crate::packet::{EcnCodepoint, Packet};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// RED-style ECN marking configuration (the DCQCN switch-side setting).
+///
+/// Paper defaults (§7.2): `kmin = 20 KiB`, `kmax = 200 KiB`, `pmax = 0.01`.
+/// A packet enqueued while the instantaneous queue length is
+///
+/// * below `kmin` is never marked,
+/// * above `kmax` is always marked,
+/// * in between is marked with probability `pmax · (q − kmin)/(kmax − kmin)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcnConfig {
+    /// Lower marking threshold in bytes.
+    pub kmin: u32,
+    /// Upper marking threshold in bytes.
+    pub kmax: u32,
+    /// Marking probability at `kmax`.
+    pub pmax: f64,
+}
+
+impl Default for EcnConfig {
+    fn default() -> Self {
+        Self {
+            kmin: 20 * 1024,
+            kmax: 200 * 1024,
+            pmax: 0.01,
+        }
+    }
+}
+
+impl EcnConfig {
+    /// Decides whether to mark a packet arriving at queue length `qlen`
+    /// bytes, drawing randomness from `rng` (only in the linear region).
+    pub fn should_mark<R: Rng>(&self, qlen: u32, rng: &mut R) -> bool {
+        if qlen <= self.kmin {
+            false
+        } else if qlen >= self.kmax {
+            true
+        } else {
+            let p = self.pmax * (qlen - self.kmin) as f64 / (self.kmax - self.kmin) as f64;
+            rng.gen_bool(p.clamp(0.0, 1.0))
+        }
+    }
+}
+
+/// What happened to a packet offered to a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Queued, not ECN-marked.
+    Queued,
+    /// Queued and CE-marked on entry.
+    QueuedMarked,
+    /// Tail-dropped: the buffer was full.
+    Dropped,
+}
+
+/// One output port: a FIFO of packets draining at the link rate.
+///
+/// The port itself is passive — the simulator schedules dequeue events; the
+/// port just tracks bytes, marking and drops.
+#[derive(Debug, Clone)]
+pub struct OutPort {
+    queue: VecDeque<Packet>,
+    qlen_bytes: u32,
+    /// Buffer capacity in bytes (tail drop beyond).
+    pub capacity: u32,
+    /// ECN marking config; `None` disables marking (host egress ports).
+    pub ecn: Option<EcnConfig>,
+    /// True while the link is transmitting the head packet.
+    pub busy: bool,
+    /// PFC pause refcount: paused while > 0 (several congested downstream
+    /// queues can pause the same port; each sends its own resume).
+    pub pause_count: u32,
+    /// Total packets dropped at this port.
+    pub drops: u64,
+    /// Total bytes dropped at this port.
+    pub dropped_bytes: u64,
+}
+
+impl OutPort {
+    /// Creates an empty port with the given buffer capacity.
+    pub fn new(capacity: u32, ecn: Option<EcnConfig>) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            qlen_bytes: 0,
+            capacity,
+            ecn,
+            busy: false,
+            pause_count: 0,
+            drops: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    /// True while at least one downstream PFC pause holds this port.
+    pub fn is_paused(&self) -> bool {
+        self.pause_count > 0
+    }
+
+    /// Current queue length in bytes (not counting the in-flight packet).
+    pub fn qlen_bytes(&self) -> u32 {
+        self.qlen_bytes
+    }
+
+    /// Packets currently queued.
+    pub fn qlen_packets(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offers a packet: marks (per ECN config, only ECT packets) and queues
+    /// it, or tail-drops it if the buffer is full.
+    pub fn enqueue<R: Rng>(&mut self, mut packet: Packet, rng: &mut R) -> EnqueueOutcome {
+        if self.qlen_bytes + packet.size > self.capacity {
+            self.drops += 1;
+            self.dropped_bytes += packet.size as u64;
+            return EnqueueOutcome::Dropped;
+        }
+        let mut marked = false;
+        if let Some(ecn) = self.ecn {
+            if packet.ecn == EcnCodepoint::Ect && ecn.should_mark(self.qlen_bytes, rng) {
+                packet.ecn = EcnCodepoint::Ce;
+                marked = true;
+            }
+        }
+        self.qlen_bytes += packet.size;
+        self.queue.push_back(packet);
+        if marked {
+            EnqueueOutcome::QueuedMarked
+        } else {
+            EnqueueOutcome::Queued
+        }
+    }
+
+    /// Removes and returns the head packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let p = self.queue.pop_front()?;
+        self.qlen_bytes -= p.size;
+        Some(p)
+    }
+
+    /// Peeks the head packet.
+    pub fn head(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn pkt(size: u32) -> Packet {
+        Packet::data(FlowId(1), 0, 1, size, 0, 0)
+    }
+
+    #[test]
+    fn fifo_order_and_byte_accounting() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut port = OutPort::new(10_000, None);
+        for psn in 0..3 {
+            let mut p = pkt(1000);
+            p.psn = psn;
+            assert_eq!(port.enqueue(p, &mut rng), EnqueueOutcome::Queued);
+        }
+        assert_eq!(port.qlen_bytes(), 3000);
+        assert_eq!(port.dequeue().unwrap().psn, 0);
+        assert_eq!(port.dequeue().unwrap().psn, 1);
+        assert_eq!(port.qlen_bytes(), 1000);
+    }
+
+    #[test]
+    fn tail_drop_at_capacity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut port = OutPort::new(2500, None);
+        assert_eq!(port.enqueue(pkt(1000), &mut rng), EnqueueOutcome::Queued);
+        assert_eq!(port.enqueue(pkt(1000), &mut rng), EnqueueOutcome::Queued);
+        assert_eq!(port.enqueue(pkt(1000), &mut rng), EnqueueOutcome::Dropped);
+        assert_eq!(port.drops, 1);
+        assert_eq!(port.dropped_bytes, 1000);
+        assert_eq!(port.qlen_bytes(), 2000, "dropped packet must not count");
+    }
+
+    #[test]
+    fn no_marking_below_kmin() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ecn = EcnConfig::default();
+        for _ in 0..1000 {
+            assert!(!ecn.should_mark(20 * 1024, &mut rng));
+        }
+    }
+
+    #[test]
+    fn always_mark_above_kmax() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ecn = EcnConfig::default();
+        assert!(ecn.should_mark(200 * 1024, &mut rng));
+        assert!(ecn.should_mark(1 << 20, &mut rng));
+    }
+
+    #[test]
+    fn linear_region_marks_at_roughly_pmax_scaled() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ecn = EcnConfig {
+            kmin: 0,
+            kmax: 100,
+            pmax: 0.5,
+        };
+        // At qlen 50 the probability is 0.25.
+        let marks = (0..100_000)
+            .filter(|_| ecn.should_mark(50, &mut rng))
+            .count();
+        let rate = marks as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn marked_packets_become_ce_in_queue() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut port = OutPort::new(1 << 20, Some(EcnConfig {
+            kmin: 0,
+            kmax: 1, // everything at qlen >= 1 byte is marked
+            pmax: 1.0,
+        }));
+        port.enqueue(pkt(1000), &mut rng); // qlen 0 at decision → not marked
+        let out = port.enqueue(pkt(1000), &mut rng);
+        assert_eq!(out, EnqueueOutcome::QueuedMarked);
+        port.dequeue();
+        assert!(port.dequeue().unwrap().is_ce());
+    }
+
+    #[test]
+    fn non_ect_packets_are_never_marked() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut port = OutPort::new(1 << 20, Some(EcnConfig {
+            kmin: 0,
+            kmax: 1,
+            pmax: 1.0,
+        }));
+        port.enqueue(pkt(1000), &mut rng);
+        let cnp = Packet::cnp(FlowId(1), 1, 0, 0, 0);
+        assert_eq!(port.enqueue(cnp, &mut rng), EnqueueOutcome::Queued);
+    }
+}

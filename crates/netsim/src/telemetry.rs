@@ -1,0 +1,382 @@
+//! Ground-truth telemetry taps: everything the μMon evaluation needs to
+//! compare against — per-flow egress records, CE-marked packet sightings
+//! (mirror candidates), queue episodes and a time-weighted queue-length
+//! distribution — plus the per-node clock model that exercises the
+//! analyzer's time alignment (§6.1).
+
+use crate::packet::FlowId;
+use crate::topology::{NodeId, PortId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One data packet leaving its source host (ground truth for rate curves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxRecord {
+    /// Sending host.
+    pub host: NodeId,
+    /// Flow id.
+    pub flow: FlowId,
+    /// True simulation time of NIC enqueue, in ns.
+    pub ts_ns: u64,
+    /// Wire bytes.
+    pub bytes: u32,
+}
+
+/// A CE-marked data packet observed leaving a switch — the candidate set the
+/// μEvent ACL mirror rule matches against (§5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MirrorCandidate {
+    /// Switch the packet traversed.
+    pub switch: NodeId,
+    /// Egress port at that switch.
+    pub port: PortId,
+    /// Switch-local timestamp (true time + that switch's clock offset), ns.
+    pub ts_ns: u64,
+    /// Flow id.
+    pub flow: FlowId,
+    /// Packet sequence number (the field the sampler masks).
+    pub psn: u64,
+    /// Wire bytes (what mirroring would cost).
+    pub bytes: u32,
+}
+
+/// A PFC pause-state change at an upstream port, caused by a congested
+/// downstream queue (lossless-fabric mode). `on == true` is XOFF, `false`
+/// is XON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseRecord {
+    /// The node whose egress port was paused/resumed.
+    pub node: NodeId,
+    /// The paused/resumed port on that node.
+    pub port: PortId,
+    /// The congested switch that triggered the change.
+    pub triggered_by: NodeId,
+    /// True time of the change, ns.
+    pub ts_ns: u64,
+    /// XOFF (`true`) or XON (`false`).
+    pub on: bool,
+}
+
+/// A packet dropped at a switch (deflect-on-drop tap, §5): with the option
+/// enabled, switches report dropped packets to the analyzer so loss events
+/// become visible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropRecord {
+    /// Switch where the drop happened.
+    pub switch: NodeId,
+    /// Egress port whose buffer was full.
+    pub port: PortId,
+    /// Switch-local timestamp, ns.
+    pub ts_ns: u64,
+    /// Flow the packet belonged to.
+    pub flow: FlowId,
+    /// Sequence number of the dropped packet.
+    pub psn: u64,
+    /// Wire bytes of the dropped packet.
+    pub bytes: u32,
+}
+
+/// An in-dataplane burst observation (programmable-switch mode, §5): a data
+/// packet enqueued while the queue was at or above the capture threshold,
+/// with the instantaneous queue length — what a ConQuest/BurstRadar-style
+/// P4 program sees directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstRecord {
+    /// Observing switch.
+    pub switch: NodeId,
+    /// Congested egress port.
+    pub port: PortId,
+    /// Switch-local timestamp, ns.
+    pub ts_ns: u64,
+    /// Flow of the enqueued packet.
+    pub flow: FlowId,
+    /// Instantaneous queue length at enqueue, bytes.
+    pub qlen_bytes: u32,
+}
+
+/// A congestion episode at one switch port: a maximal interval during which
+/// the queue is at or above the ECN `kmin` threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueEpisode {
+    /// Switch node.
+    pub switch: NodeId,
+    /// Port.
+    pub port: PortId,
+    /// True time the queue first reached `kmin`, ns.
+    pub start_ns: u64,
+    /// True time the queue dropped back below `kmin`, ns.
+    pub end_ns: u64,
+    /// Maximum queue length reached during the episode, bytes.
+    pub max_qlen: u32,
+}
+
+impl QueueEpisode {
+    /// Episode duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Online per-port episode tracker.
+#[derive(Debug, Clone)]
+pub(crate) struct EpisodeTracker {
+    kmin: u32,
+    active: Option<(u64, u32)>, // (start_ns, max_qlen)
+}
+
+impl EpisodeTracker {
+    pub(crate) fn new(kmin: u32) -> Self {
+        Self { kmin, active: None }
+    }
+
+    /// Observes a queue-length change; returns a finished episode if one
+    /// just closed.
+    pub(crate) fn observe(&mut self, now_ns: u64, qlen: u32) -> Option<(u64, u64, u32)> {
+        match self.active {
+            None if qlen >= self.kmin => {
+                self.active = Some((now_ns, qlen));
+                None
+            }
+            Some((start, max)) if qlen < self.kmin => {
+                self.active = None;
+                Some((start, now_ns, max))
+            }
+            Some((start, max)) => {
+                self.active = Some((start, max.max(qlen)));
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Force-closes an open episode at simulation end.
+    pub(crate) fn flush(&mut self, now_ns: u64) -> Option<(u64, u64, u32)> {
+        self.active.take().map(|(start, max)| (start, now_ns, max))
+    }
+}
+
+/// Time-weighted queue-length distribution (for Fig. 16c): accumulates, per
+/// length bucket, the nanoseconds the queue spent at that length.
+#[derive(Debug, Clone)]
+pub struct QueueLengthDist {
+    /// Bucket width in bytes.
+    pub bucket_bytes: u32,
+    /// `weight_ns[i]` = time spent with qlen in `[i·w, (i+1)·w)`.
+    pub weight_ns: Vec<u64>,
+    last_change_ns: u64,
+    last_qlen: u32,
+}
+
+impl QueueLengthDist {
+    /// New distribution with the given bucket width.
+    pub fn new(bucket_bytes: u32) -> Self {
+        Self {
+            bucket_bytes,
+            weight_ns: Vec::new(),
+            last_change_ns: 0,
+            last_qlen: 0,
+        }
+    }
+
+    /// Records a queue-length change at `now_ns`.
+    pub fn observe(&mut self, now_ns: u64, qlen: u32) {
+        let dt = now_ns.saturating_sub(self.last_change_ns);
+        if dt > 0 {
+            let idx = (self.last_qlen / self.bucket_bytes) as usize;
+            if idx >= self.weight_ns.len() {
+                self.weight_ns.resize(idx + 1, 0);
+            }
+            self.weight_ns[idx] += dt;
+        }
+        self.last_change_ns = now_ns;
+        self.last_qlen = qlen;
+    }
+
+    /// Closes the distribution at simulation end.
+    pub fn finish(&mut self, end_ns: u64) {
+        self.observe(end_ns, self.last_qlen);
+    }
+
+    /// CDF points `(qlen_upper_bytes, fraction_of_time)`.
+    pub fn cdf(&self) -> Vec<(u32, f64)> {
+        let total: u64 = self.weight_ns.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut acc = 0u64;
+        self.weight_ns
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                acc += w;
+                ((i as u32 + 1) * self.bucket_bytes, acc as f64 / total as f64)
+            })
+            .collect()
+    }
+
+    /// Fraction of time the queue length was at or above `threshold` bytes.
+    pub fn fraction_at_or_above(&self, threshold: u32) -> f64 {
+        let total: u64 = self.weight_ns.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let first = (threshold / self.bucket_bytes) as usize;
+        let above: u64 = self.weight_ns.iter().skip(first).sum();
+        above as f64 / total as f64
+    }
+
+    /// Merges another distribution into this one (same bucket width).
+    pub fn merge(&mut self, other: &QueueLengthDist) {
+        assert_eq!(self.bucket_bytes, other.bucket_bytes);
+        if other.weight_ns.len() > self.weight_ns.len() {
+            self.weight_ns.resize(other.weight_ns.len(), 0);
+        }
+        for (i, &w) in other.weight_ns.iter().enumerate() {
+            self.weight_ns[i] += w;
+        }
+    }
+}
+
+/// Per-node clock model: nanosecond-accurate PTP-style synchronization with
+/// a bounded residual offset per node (§6.1: errors "do not extend beyond
+/// two microsecond-level windows").
+#[derive(Debug, Clone)]
+pub struct ClockModel {
+    offsets_ns: Vec<i64>,
+}
+
+impl ClockModel {
+    /// Perfect clocks (all offsets zero).
+    pub fn perfect(num_nodes: usize) -> Self {
+        Self {
+            offsets_ns: vec![0; num_nodes],
+        }
+    }
+
+    /// Clocks with uniform residual offsets in `[-bound, +bound]` ns.
+    pub fn ptp(num_nodes: usize, bound_ns: i64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC10C);
+        Self {
+            offsets_ns: (0..num_nodes)
+                .map(|_| rng.gen_range(-bound_ns..=bound_ns))
+                .collect(),
+        }
+    }
+
+    /// Local timestamp at `node` for true time `true_ns`.
+    pub fn local_time(&self, node: NodeId, true_ns: u64) -> u64 {
+        let t = true_ns as i64 + self.offsets_ns[node];
+        t.max(0) as u64
+    }
+
+    /// The residual offset of `node` in ns.
+    pub fn offset(&self, node: NodeId) -> i64 {
+        self.offsets_ns[node]
+    }
+}
+
+/// All telemetry collected during one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Source-host egress records (ground truth for μFlow curves).
+    pub tx_records: Vec<TxRecord>,
+    /// CE-marked data packets observed at switch egress.
+    pub mirror_candidates: Vec<MirrorCandidate>,
+    /// Finished queue episodes (queue ≥ kmin).
+    pub episodes: Vec<QueueEpisode>,
+    /// PFC pause-state changes (empty unless lossless mode is enabled).
+    pub pause_records: Vec<PauseRecord>,
+    /// Dropped data packets (the deflect-on-drop tap).
+    pub drop_records: Vec<DropRecord>,
+    /// In-dataplane burst observations (programmable-switch mode).
+    pub burst_records: Vec<BurstRecord>,
+    /// Aggregate time-weighted queue-length distribution over all fabric
+    /// ports.
+    pub queue_dist: Option<QueueLengthDist>,
+    /// Total packets dropped in the fabric (buffer overflows plus injected
+    /// random losses).
+    pub drops: u64,
+    /// Packets lost to injected random link/ASIC errors (fault injection).
+    pub random_losses: u64,
+    /// Total data bytes delivered to destination hosts.
+    pub delivered_bytes: u64,
+    /// Total data bytes injected by source hosts.
+    pub injected_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_tracker_detects_maximal_intervals() {
+        let mut t = EpisodeTracker::new(100);
+        assert!(t.observe(0, 50).is_none());
+        assert!(t.observe(10, 100).is_none()); // opens
+        assert!(t.observe(20, 250).is_none()); // max grows
+        assert!(t.observe(30, 120).is_none());
+        let (start, end, max) = t.observe(40, 99).unwrap(); // closes
+        assert_eq!((start, end, max), (10, 40, 250));
+        // A second episode can open afterwards.
+        assert!(t.observe(50, 500).is_none());
+        let flushed = t.flush(60).unwrap();
+        assert_eq!(flushed, (50, 60, 500));
+    }
+
+    #[test]
+    fn episode_tracker_ignores_subthreshold_noise() {
+        let mut t = EpisodeTracker::new(100);
+        for ts in 0..50 {
+            assert!(t.observe(ts, 99).is_none());
+        }
+        assert!(t.flush(50).is_none());
+    }
+
+    #[test]
+    fn queue_dist_weights_time_not_samples() {
+        let mut d = QueueLengthDist::new(10);
+        d.observe(0, 5); // qlen 0 for 0 ns
+        d.observe(100, 25); // qlen 5 (bucket 0) for 100 ns
+        d.observe(110, 0); // qlen 25 (bucket 2) for 10 ns
+        d.finish(200); // qlen 0 (bucket 0) for 90 ns
+        let total: u64 = d.weight_ns.iter().sum();
+        assert_eq!(total, 200);
+        assert_eq!(d.weight_ns[0], 190);
+        assert_eq!(d.weight_ns[2], 10);
+        assert!((d.fraction_at_or_above(20) - 0.05).abs() < 1e-12);
+        let cdf = d.cdf();
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_dist_merge_adds_weights() {
+        let mut a = QueueLengthDist::new(10);
+        a.observe(0, 15);
+        a.finish(100);
+        let mut b = QueueLengthDist::new(10);
+        b.observe(0, 15);
+        b.finish(300);
+        a.merge(&b);
+        assert_eq!(a.weight_ns[1], 400);
+    }
+
+    #[test]
+    fn ptp_clock_offsets_are_bounded_and_deterministic() {
+        let c1 = ClockModel::ptp(30, 200, 42);
+        let c2 = ClockModel::ptp(30, 200, 42);
+        for n in 0..30 {
+            assert_eq!(c1.offset(n), c2.offset(n));
+            assert!(c1.offset(n).abs() <= 200);
+        }
+        // Local time applies the offset.
+        let n0 = c1.offset(0);
+        assert_eq!(c1.local_time(0, 10_000), (10_000i64 + n0) as u64);
+    }
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = ClockModel::perfect(5);
+        assert_eq!(c.local_time(3, 777), 777);
+    }
+}

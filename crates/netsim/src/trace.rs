@@ -1,0 +1,171 @@
+//! Trace export/import: serializes the simulator's telemetry taps to a
+//! simple line-oriented CSV so traces can be archived, diffed across runs,
+//! or analyzed with external tooling — and reloaded to re-drive the μMon
+//! agents without re-simulating.
+
+use crate::packet::FlowId;
+use crate::telemetry::{MirrorCandidate, TxRecord};
+use std::io::{BufRead, Write};
+
+/// Writes TX records as `tx,host,flow,ts_ns,bytes` lines.
+pub fn write_tx_records<W: Write>(out: &mut W, records: &[TxRecord]) -> std::io::Result<()> {
+    for r in records {
+        writeln!(out, "tx,{},{},{},{}", r.host, r.flow.0, r.ts_ns, r.bytes)?;
+    }
+    Ok(())
+}
+
+/// Writes mirror candidates as `ce,switch,port,ts_ns,flow,psn,bytes` lines.
+pub fn write_mirror_candidates<W: Write>(
+    out: &mut W,
+    records: &[MirrorCandidate],
+) -> std::io::Result<()> {
+    for m in records {
+        writeln!(
+            out,
+            "ce,{},{},{},{},{},{}",
+            m.switch, m.port, m.ts_ns, m.flow.0, m.psn, m.bytes
+        )?;
+    }
+    Ok(())
+}
+
+/// An error from trace parsing: the line number and a description.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Reads a mixed trace back into `(tx_records, mirror_candidates)`.
+/// Unknown record tags are rejected (a trace is a contract, not a log).
+pub fn read_trace<R: BufRead>(
+    input: R,
+) -> Result<(Vec<TxRecord>, Vec<MirrorCandidate>), ParseError> {
+    let mut tx = Vec::new();
+    let mut ce = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| ParseError {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.trim().split(',').collect();
+        let err = |message: &str| ParseError {
+            line: lineno,
+            message: message.to_string(),
+        };
+        let num = |s: &str| -> Result<u64, ParseError> {
+            s.parse().map_err(|_| err(&format!("bad number {s:?}")))
+        };
+        match fields.first() {
+            Some(&"tx") => {
+                if fields.len() != 5 {
+                    return Err(err("tx records need 5 fields"));
+                }
+                tx.push(TxRecord {
+                    host: num(fields[1])? as usize,
+                    flow: FlowId(num(fields[2])?),
+                    ts_ns: num(fields[3])?,
+                    bytes: num(fields[4])? as u32,
+                });
+            }
+            Some(&"ce") => {
+                if fields.len() != 7 {
+                    return Err(err("ce records need 7 fields"));
+                }
+                ce.push(MirrorCandidate {
+                    switch: num(fields[1])? as usize,
+                    port: num(fields[2])? as usize,
+                    ts_ns: num(fields[3])?,
+                    flow: FlowId(num(fields[4])?),
+                    psn: num(fields[5])?,
+                    bytes: num(fields[6])? as u32,
+                });
+            }
+            Some(tag) => return Err(err(&format!("unknown record tag {tag:?}"))),
+            None => unreachable!("split always yields one field"),
+        }
+    }
+    Ok((tx, ce))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tx() -> Vec<TxRecord> {
+        vec![
+            TxRecord {
+                host: 3,
+                flow: FlowId(7),
+                ts_ns: 12345,
+                bytes: 1000,
+            },
+            TxRecord {
+                host: 0,
+                flow: FlowId(8),
+                ts_ns: 20000,
+                bytes: 64,
+            },
+        ]
+    }
+
+    fn sample_ce() -> Vec<MirrorCandidate> {
+        vec![MirrorCandidate {
+            switch: 20,
+            port: 2,
+            ts_ns: 555,
+            flow: FlowId(7),
+            psn: 42,
+            bytes: 1000,
+        }]
+    }
+
+    #[test]
+    fn roundtrip_mixed_trace() {
+        let mut buf = Vec::new();
+        write_tx_records(&mut buf, &sample_tx()).unwrap();
+        write_mirror_candidates(&mut buf, &sample_ce()).unwrap();
+        let (tx, ce) = read_trace(&buf[..]).unwrap();
+        assert_eq!(tx, sample_tx());
+        assert_eq!(ce, sample_ce());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let input = "# a trace\n\ntx,0,1,100,500\n";
+        let (tx, ce) = read_trace(input.as_bytes()).unwrap();
+        assert_eq!(tx.len(), 1);
+        assert!(ce.is_empty());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected_with_line_number() {
+        let input = "tx,0,1,100,500\nbogus,1,2\n";
+        let e = read_trace(input.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown record tag"));
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        let e = read_trace("tx,0,x,100,500\n".as_bytes()).unwrap_err();
+        assert!(e.message.contains("bad number"));
+        let e = read_trace("tx,0,1,100\n".as_bytes()).unwrap_err();
+        assert!(e.message.contains("5 fields"));
+    }
+}

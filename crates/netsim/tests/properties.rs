@@ -1,0 +1,140 @@
+//! Property-based tests for the simulator's conservation and ordering
+//! invariants (DESIGN.md §6) over randomized workloads.
+
+use proptest::prelude::*;
+use umon_netsim::{
+    CongestionControl, FlowId, FlowSpec, PfcConfig, SimConfig, Simulator, Topology,
+};
+
+/// Random small flow sets on the fat-tree.
+fn flows_strategy() -> impl Strategy<Value = Vec<FlowSpec>> {
+    proptest::collection::vec(
+        (0usize..16, 0usize..16, 1_000u64..300_000, 0u64..2_000_000),
+        1..24,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .filter(|(_, (s, d, _, _))| s != d)
+            .map(|(i, (src, dst, size, start))| FlowSpec {
+                id: FlowId(i as u64),
+                src,
+                dst,
+                size_bytes: size,
+                start_ns: start,
+                cc: CongestionControl::Dcqcn,
+            })
+            .collect()
+    })
+}
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig {
+        end_ns: 30_000_000,
+        seed,
+        clock_error_ns: 0,
+        collect_queue_dist: false,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bytes are conserved: injected = delivered + dropped-or-inflight, and
+    /// per-flow accounting agrees with the global tallies.
+    #[test]
+    fn byte_conservation(flows in flows_strategy(), seed in 0u64..100) {
+        if flows.is_empty() {
+            return Ok(());
+        }
+        let topo = Topology::fat_tree(4, 100.0, 1000);
+        let r = Simulator::new(topo, flows.clone(), config(seed)).run();
+        let sent: u64 = r.flows.iter().map(|f| f.sent_bytes).sum();
+        let delivered: u64 = r.flows.iter().map(|f| f.delivered_bytes).sum();
+        prop_assert_eq!(r.telemetry.injected_bytes, sent);
+        prop_assert_eq!(r.telemetry.delivered_bytes, delivered);
+        prop_assert!(delivered <= sent);
+        // With a 30 ms horizon and ≤ 300 kB flows, everything completes and
+        // nothing can be in flight; losses are the only shortfall.
+        for f in &r.flows {
+            prop_assert_eq!(f.sent_bytes, f.spec.size_bytes);
+        }
+    }
+
+    /// Per-flow packets are delivered in PSN order (FIFO queues + per-flow
+    /// stable ECMP ⇒ no reordering) — checked via the mirror tap, which
+    /// preserves observation order per switch.
+    #[test]
+    fn no_reordering_at_any_tap(flows in flows_strategy(), seed in 0u64..100) {
+        if flows.is_empty() {
+            return Ok(());
+        }
+        let topo = Topology::fat_tree(4, 100.0, 1000);
+        let r = Simulator::new(topo, flows, config(seed)).run();
+        // TX records: per flow, PSNs increase with timestamps.
+        let mut last: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for t in &r.telemetry.tx_records {
+            let _ = t; // psn is not in TxRecord; ordering is by construction
+        }
+        // Mirror candidates: per (switch, port, flow) the PSN sequence must
+        // be non-decreasing in record order (they are logged in event order).
+        let mut seen: std::collections::HashMap<(usize, usize, u64), u64> =
+            std::collections::HashMap::new();
+        for m in &r.telemetry.mirror_candidates {
+            if let Some(prev) = seen.insert((m.switch, m.port, m.flow.0), m.psn) {
+                prop_assert!(m.psn > prev, "reordered PSN {} after {}", m.psn, prev);
+            }
+        }
+        last.clear();
+    }
+
+    /// Episodes are well-formed: positive extent within the run, max queue
+    /// at least the KMin threshold, and per-port episodes non-overlapping.
+    #[test]
+    fn episodes_are_well_formed(flows in flows_strategy(), seed in 0u64..100) {
+        if flows.is_empty() {
+            return Ok(());
+        }
+        let topo = Topology::fat_tree(4, 100.0, 1000);
+        let cfg = config(seed);
+        let kmin = cfg.ecn.kmin;
+        let r = Simulator::new(topo, flows, cfg).run();
+        let mut per_port: std::collections::HashMap<(usize, usize), Vec<(u64, u64)>> =
+            std::collections::HashMap::new();
+        for e in &r.telemetry.episodes {
+            prop_assert!(e.end_ns >= e.start_ns);
+            prop_assert!(e.end_ns <= r.end_ns);
+            prop_assert!(e.max_qlen >= kmin);
+            per_port.entry((e.switch, e.port)).or_default().push((e.start_ns, e.end_ns));
+        }
+        for spans in per_port.values_mut() {
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "episodes overlap: {w:?}");
+            }
+        }
+    }
+
+    /// With PFC enabled the fabric never drops, regardless of workload.
+    #[test]
+    fn pfc_is_always_lossless(flows in flows_strategy(), seed in 0u64..50) {
+        if flows.is_empty() {
+            return Ok(());
+        }
+        let topo = Topology::fat_tree(4, 100.0, 1000);
+        let mut cfg = config(seed);
+        cfg.switch_buffer_bytes = 1024 * 1024;
+        cfg.pfc = Some(PfcConfig {
+            xoff_bytes: 500 * 1024,
+            xon_bytes: 400 * 1024,
+        });
+        let r = Simulator::new(topo, flows, cfg).run();
+        prop_assert_eq!(r.telemetry.drops, 0);
+        // All flows complete within the generous horizon.
+        for f in &r.flows {
+            prop_assert_eq!(f.delivered_bytes, f.spec.size_bytes,
+                            "flow {:?} incomplete under PFC", f.spec.id);
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! The μMon analyzer (§6): network-wide synchronized analysis.
+//!
+//! Collects period reports from every host agent and mirrored packets from
+//! every switch agent, then offers:
+//!
+//! * **flow-rate queries** — reconstructing a flow's microsecond-level curve
+//!   from the heavy part directly or from the light part with heavy-flow
+//!   subtraction (§4.2 full-version query),
+//! * **event clustering** — grouping mirrored packets per (switch, VLAN)
+//!   into detected congestion events split on idle gaps,
+//! * **recall/coverage evaluation** against the simulator's ground-truth
+//!   queue episodes (Figure 14), and
+//! * **event replay** — the Figure 10c join of detected events with the
+//!   rate curves of the involved flows.
+
+use crate::host_agent::PeriodReport;
+use crate::switch_agent::MirroredPacket;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use umon_netsim::QueueEpisode;
+use wavesketch::basic::WindowSeries;
+use wavesketch::{BucketReport, FlowKey, SketchConfig};
+
+/// A congestion event reconstructed from mirrored packets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectedEvent {
+    /// Switch the event was mirrored from.
+    pub switch: usize,
+    /// VLAN tag (port + 1).
+    pub vlan: u16,
+    /// First mirrored-packet timestamp (switch-local), ns.
+    pub start_ns: u64,
+    /// Last mirrored-packet timestamp, ns.
+    pub end_ns: u64,
+    /// Distinct flows among the mirrored packets.
+    pub flows: BTreeSet<u64>,
+    /// Mirrored packets in the event.
+    pub packets: usize,
+}
+
+impl DetectedEvent {
+    /// Event duration in ns (0 for a single-packet event).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Recall/coverage statistics against ground truth (one Figure 14 cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventMatchStats {
+    /// Ground-truth episodes considered.
+    pub episodes: usize,
+    /// Episodes with at least one mirrored packet inside (± tolerance).
+    pub detected: usize,
+    /// Mean distinct flows captured per detected episode.
+    pub mean_flows_captured: f64,
+}
+
+impl EventMatchStats {
+    /// Recall = detected / episodes (1.0 for an empty set).
+    pub fn recall(&self) -> f64 {
+        if self.episodes == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.episodes as f64
+        }
+    }
+}
+
+/// The analyzer: a store of host reports and mirrored packets plus the
+/// sketch configuration needed to reconstruct curves.
+///
+/// ```
+/// use umon::{Analyzer, HostAgent, HostAgentConfig};
+///
+/// let config = HostAgentConfig::default();
+/// let mut agent = HostAgent::new(0, config.clone());
+/// agent.observe(5, 10 << 13, 1000); // flow 5, window 10, 1 kB
+/// agent.observe(5, 12 << 13, 2000);
+///
+/// let mut analyzer = Analyzer::new(config.sketch.clone());
+/// analyzer.add_reports(agent.finish());
+/// let curve = analyzer.flow_curve(0, 5).expect("flow was measured");
+/// assert_eq!(curve.at(10), 1000.0);
+/// assert_eq!(curve.at(11), 0.0);
+/// assert_eq!(curve.at(12), 2000.0);
+/// ```
+pub struct Analyzer {
+    sketch_config: SketchConfig,
+    /// Host reports keyed by host.
+    reports: HashMap<usize, Vec<PeriodReport>>,
+    /// All mirrored packets.
+    mirrors: Vec<MirroredPacket>,
+}
+
+impl Analyzer {
+    /// Creates an analyzer that reconstructs against `sketch_config` (must
+    /// match the host agents' configuration).
+    pub fn new(sketch_config: SketchConfig) -> Self {
+        Self {
+            sketch_config,
+            reports: HashMap::new(),
+            mirrors: Vec::new(),
+        }
+    }
+
+    /// Ingests one host's period reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a report was produced under a different sketch
+    /// configuration — hashing and wavelet depth must match for
+    /// reconstruction to mean anything.
+    pub fn add_reports(&mut self, reports: Vec<PeriodReport>) {
+        let expected = self.sketch_config.fingerprint();
+        for r in reports {
+            assert_eq!(
+                r.config_fingerprint, expected,
+                "host {} report was built under a different sketch config",
+                r.host
+            );
+            self.reports.entry(r.host).or_default().push(r);
+        }
+    }
+
+    /// Ingests mirrored packets from a switch agent.
+    pub fn add_mirrors(&mut self, mirrors: Vec<MirroredPacket>) {
+        self.mirrors.extend(mirrors);
+    }
+
+    /// All mirrored packets seen so far.
+    pub fn mirrors(&self) -> &[MirroredPacket] {
+        &self.mirrors
+    }
+
+    /// Reconstructs the rate curve of `flow_id` as measured at `host`.
+    ///
+    /// Heavy-part records are collision-free and used directly; otherwise
+    /// the light part is reconstructed with heavy-flow subtraction, taking
+    /// the minimum-total row (the Count-Min query lifted to curves).
+    pub fn flow_curve(&self, host: usize, flow_id: u64) -> Option<WindowSeries> {
+        let reports = self.reports.get(&host)?;
+        let key = FlowKey::from_id(flow_id);
+        let packed = key.pack().to_vec();
+
+        // Heavy path: concatenate heavy records across periods. The heavy
+        // bucket is exact within its epochs but misses any history from
+        // before the flow's election, so it is overlaid onto the light-part
+        // estimate rather than used alone.
+        let mut heavy_reports: Vec<BucketReport> = Vec::new();
+        for pr in reports {
+            for (k, brs) in &pr.report.heavy {
+                if *k == packed {
+                    heavy_reports.extend(brs.iter().cloned());
+                }
+            }
+        }
+        if !heavy_reports.is_empty() {
+            let heavy = WindowSeries::from_reports(&heavy_reports);
+            let light = self.query_light_with_subtraction(reports, &key, &packed);
+            return match (light, heavy) {
+                (Some(mut l), Some(h)) => {
+                    // Each heavy epoch's opening window may be partial (the
+                    // flow's packets in that window before it took the slot
+                    // were counted light-only): keep the larger source
+                    // there. Both upper-bound the truth.
+                    let starts: Vec<u64> = heavy_reports.iter().map(|r| r.w0).collect();
+                    let light_at: Vec<f64> = starts.iter().map(|&w| l.at(w)).collect();
+                    l.overlay(&h);
+                    for (&w, &lv) in starts.iter().zip(&light_at) {
+                        let idx = (w - l.start_window) as usize;
+                        l.values[idx] = l.values[idx].max(lv);
+                    }
+                    Some(l)
+                }
+                (l, h) => h.or(l),
+            };
+        }
+
+        self.query_light_with_subtraction(reports, &key, &packed)
+    }
+
+    /// Light-part reconstruction with heavy-flow subtraction, min-total over
+    /// rows (the Count-Min query lifted to curves).
+    fn query_light_with_subtraction(
+        &self,
+        reports: &[PeriodReport],
+        key: &FlowKey,
+        packed: &[u8],
+    ) -> Option<WindowSeries> {
+        let cfg = &self.sketch_config;
+        let mut best: Option<WindowSeries> = None;
+        for row in 0..cfg.rows {
+            let col = (key.hash(row as u64, cfg.seed) % cfg.width as u64) as u32;
+            let mut bucket_reports: Vec<BucketReport> = Vec::new();
+            let mut heavy_in_bucket: Vec<BucketReport> = Vec::new();
+            for pr in reports {
+                for (r, c, brs) in &pr.report.light {
+                    if *r == row as u32 && *c == col {
+                        bucket_reports.extend(brs.iter().cloned());
+                    }
+                }
+                // Heavy flows that share this light bucket inflated it.
+                for (k, brs) in &pr.report.heavy {
+                    if *k == packed {
+                        continue;
+                    }
+                    let other = unpack_key(k);
+                    let ocol = (other.hash(row as u64, cfg.seed) % cfg.width as u64) as u32;
+                    if ocol == col {
+                        heavy_in_bucket.extend(brs.iter().cloned());
+                    }
+                }
+            }
+            let Some(mut series) = WindowSeries::from_reports(&bucket_reports) else {
+                continue;
+            };
+            if let Some(hseries) = WindowSeries::from_reports(&heavy_in_bucket) {
+                series.subtract_clamped(&hseries);
+            }
+            let replace = match &best {
+                None => true,
+                Some(b) => series.total() < b.total(),
+            };
+            if replace {
+                best = Some(series);
+            }
+        }
+        best
+    }
+
+    /// Clusters mirrored packets into detected events: per (switch, VLAN),
+    /// packets closer than `gap_ns` belong to the same event.
+    pub fn cluster_events(&self, gap_ns: u64) -> Vec<DetectedEvent> {
+        let mut by_port: BTreeMap<(usize, u16), Vec<&MirroredPacket>> = BTreeMap::new();
+        for m in &self.mirrors {
+            by_port.entry((m.switch, m.vlan)).or_default().push(m);
+        }
+        let mut events = Vec::new();
+        for ((switch, vlan), mut packets) in by_port {
+            packets.sort_by_key(|m| m.ts_ns);
+            let mut cur: Option<DetectedEvent> = None;
+            for m in packets {
+                match cur.as_mut() {
+                    Some(ev) if m.ts_ns.saturating_sub(ev.end_ns) <= gap_ns => {
+                        ev.end_ns = m.ts_ns;
+                        ev.flows.insert(m.flow);
+                        ev.packets += 1;
+                    }
+                    _ => {
+                        if let Some(done) = cur.take() {
+                            events.push(done);
+                        }
+                        cur = Some(DetectedEvent {
+                            switch,
+                            vlan,
+                            start_ns: m.ts_ns,
+                            end_ns: m.ts_ns,
+                            flows: BTreeSet::from([m.flow]),
+                            packets: 1,
+                        });
+                    }
+                }
+            }
+            if let Some(done) = cur.take() {
+                events.push(done);
+            }
+        }
+        events
+    }
+
+    /// Evaluates detection against ground-truth episodes whose max queue
+    /// length falls in `[qlen_min, qlen_max)` bytes. An episode counts as
+    /// detected if any mirrored packet from the same switch/port lands
+    /// within its span extended by `tolerance_ns` on both sides (absorbing
+    /// clock offsets and the marking-to-egress delay).
+    pub fn match_episodes(
+        &self,
+        episodes: &[QueueEpisode],
+        qlen_min: u32,
+        qlen_max: u32,
+        tolerance_ns: u64,
+    ) -> EventMatchStats {
+        // Index mirrors per (switch, port).
+        let mut by_port: HashMap<(usize, u16), Vec<&MirroredPacket>> = HashMap::new();
+        for m in &self.mirrors {
+            by_port.entry((m.switch, m.vlan)).or_default().push(m);
+        }
+        for v in by_port.values_mut() {
+            v.sort_by_key(|m| m.ts_ns);
+        }
+        let mut considered = 0usize;
+        let mut detected = 0usize;
+        let mut flows_sum = 0usize;
+        for ep in episodes {
+            if ep.max_qlen < qlen_min || ep.max_qlen >= qlen_max {
+                continue;
+            }
+            considered += 1;
+            let vlan = ep.port as u16 + 1;
+            let lo = ep.start_ns.saturating_sub(tolerance_ns);
+            let hi = ep.end_ns + tolerance_ns;
+            if let Some(ms) = by_port.get(&(ep.switch, vlan)) {
+                let inside: BTreeSet<u64> = ms
+                    .iter()
+                    .filter(|m| m.ts_ns >= lo && m.ts_ns <= hi)
+                    .map(|m| m.flow)
+                    .collect();
+                if !inside.is_empty() {
+                    detected += 1;
+                    flows_sum += inside.len();
+                }
+            }
+        }
+        EventMatchStats {
+            episodes: considered,
+            detected,
+            mean_flows_captured: if detected == 0 {
+                0.0
+            } else {
+                flows_sum as f64 / detected as f64
+            },
+        }
+    }
+
+    /// The host's total egress rate curve, reconstructed from its reports
+    /// alone: every packet lands in exactly one bucket per light row, so the
+    /// sum of one row's bucket reconstructions is the host's aggregate
+    /// traffic (heavy flows are counted in the light part too — §4.2's
+    /// simultaneous update — so no heavy-part term is needed).
+    pub fn host_rate_curve(&self, host: usize) -> Option<WindowSeries> {
+        let reports = self.reports.get(&host)?;
+        let mut all: Vec<BucketReport> = Vec::new();
+        for pr in reports {
+            for (row, _, brs) in &pr.report.light {
+                if *row == 0 {
+                    all.extend(brs.iter().cloned());
+                }
+            }
+        }
+        // `from_reports` sums overlapping epochs — exactly what aggregating
+        // different buckets over the same timeline needs.
+        WindowSeries::from_reports(&all)
+    }
+
+    /// The Figure 10a congestion map: per link (switch, VLAN), the list of
+    /// detected event time spans, sorted by event count descending — the
+    /// operator's "which links hurt" view.
+    pub fn congestion_map(&self, gap_ns: u64) -> Vec<((usize, u16), Vec<(u64, u64)>)> {
+        let mut per_link: BTreeMap<(usize, u16), Vec<(u64, u64)>> = BTreeMap::new();
+        for e in self.cluster_events(gap_ns) {
+            per_link
+                .entry((e.switch, e.vlan))
+                .or_default()
+                .push((e.start_ns, e.end_ns));
+        }
+        let mut out: Vec<_> = per_link.into_iter().collect();
+        out.sort_by_key(|(_, spans)| std::cmp::Reverse(spans.len()));
+        out
+    }
+
+    /// The Figure 10b duration distribution: sorted event durations in ns
+    /// with their empirical CDF.
+    pub fn duration_cdf(&self, gap_ns: u64) -> Vec<(u64, f64)> {
+        let mut durations: Vec<u64> = self
+            .cluster_events(gap_ns)
+            .iter()
+            .map(DetectedEvent::duration_ns)
+            .collect();
+        durations.sort_unstable();
+        let n = durations.len() as f64;
+        durations
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (d, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Event replay (Figure 10c): the rate curves of the event's flows over
+    /// `[event.start − margin, event.end + margin]`, sampled per window.
+    /// `host_of_flow` maps a flow to the host that measured it (its source).
+    ///
+    /// Returns `(window_ids, per-flow curves)` where each curve is
+    /// `(flow_id, bytes-per-window values)`.
+    pub fn replay_event(
+        &self,
+        event: &DetectedEvent,
+        margin_ns: u64,
+        window_shift: u32,
+        host_of_flow: impl Fn(u64) -> Option<usize>,
+    ) -> (Vec<u64>, Vec<(u64, Vec<f64>)>) {
+        let from = event.start_ns.saturating_sub(margin_ns) >> window_shift;
+        let to = ((event.end_ns + margin_ns) >> window_shift) + 1;
+        let windows: Vec<u64> = (from..to).collect();
+        let mut curves = Vec::new();
+        for &flow in &event.flows {
+            let Some(host) = host_of_flow(flow) else {
+                continue;
+            };
+            let Some(series) = self.flow_curve(host, flow) else {
+                continue;
+            };
+            let values: Vec<f64> = windows.iter().map(|&w| series.at(w)).collect();
+            curves.push((flow, values));
+        }
+        (windows, curves)
+    }
+}
+
+/// Unpacks a 13-byte key back into a [`FlowKey`].
+fn unpack_key(bytes: &[u8]) -> FlowKey {
+    assert_eq!(bytes.len(), 13, "packed flow keys are 13 bytes");
+    FlowKey {
+        src_ip: [bytes[0], bytes[1], bytes[2], bytes[3]],
+        dst_ip: [bytes[4], bytes[5], bytes[6], bytes[7]],
+        src_port: u16::from_be_bytes([bytes[8], bytes[9]]),
+        dst_port: u16::from_be_bytes([bytes[10], bytes[11]]),
+        proto: bytes[12],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_agent::{HostAgent, HostAgentConfig};
+
+    fn agent_config() -> HostAgentConfig {
+        HostAgentConfig {
+            sketch: SketchConfig::builder()
+                .rows(2)
+                .width(32)
+                .levels(4)
+                .topk(64)
+                .max_windows(4096)
+                .heavy_rows(16)
+                .build(),
+            period_ns: 100_000_000,
+            window_shift: 13,
+        }
+    }
+
+    fn mirror(switch: usize, vlan: u16, ts: u64, flow: u64) -> MirroredPacket {
+        MirroredPacket {
+            switch,
+            vlan,
+            ts_ns: ts,
+            flow,
+            psn: 0,
+            wire_bytes: 1064,
+            orig_bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn flow_curve_roundtrips_through_agent_and_analyzer() {
+        let cfg = agent_config();
+        let mut agent = HostAgent::new(0, cfg.clone());
+        // Flow 5 sends 1 kB in windows 10, 11 and 20 (ts = window << 13).
+        for w in [10u64, 11, 20] {
+            agent.observe(5, w << 13, 1000);
+        }
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        analyzer.add_reports(agent.finish());
+        let curve = analyzer.flow_curve(0, 5).expect("flow recorded");
+        assert!((curve.at(10) - 1000.0).abs() < 1e-6);
+        assert!((curve.at(11) - 1000.0).abs() < 1e-6);
+        assert!((curve.at(20) - 1000.0).abs() < 1e-6);
+        assert_eq!(curve.at(15), 0.0);
+    }
+
+    #[test]
+    fn unknown_flow_or_host_is_none() {
+        let cfg = agent_config();
+        let analyzer = Analyzer::new(cfg.sketch);
+        assert!(analyzer.flow_curve(0, 1).is_none());
+    }
+
+    #[test]
+    fn clustering_splits_on_gaps_and_ports() {
+        let cfg = agent_config();
+        let mut analyzer = Analyzer::new(cfg.sketch);
+        analyzer.add_mirrors(vec![
+            mirror(20, 1, 1000, 1),
+            mirror(20, 1, 2000, 2),
+            mirror(20, 1, 100_000, 1), // > gap → new event
+            mirror(20, 2, 1500, 3),    // other port → own event
+        ]);
+        let events = analyzer.cluster_events(50_000);
+        assert_eq!(events.len(), 3);
+        let first = events.iter().find(|e| e.vlan == 1 && e.start_ns == 1000).unwrap();
+        assert_eq!(first.packets, 2);
+        assert_eq!(first.flows.len(), 2);
+    }
+
+    #[test]
+    fn host_rate_curve_sums_all_flows() {
+        let cfg = agent_config();
+        let mut agent = HostAgent::new(0, cfg.clone());
+        // Three flows in overlapping windows (time-ordered observations).
+        agent.observe(1, 10 << 13, 1000);
+        agent.observe(2, 10 << 13, 500);
+        agent.observe(3, 11 << 13, 700);
+        agent.observe(1, 12 << 13, 250);
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        analyzer.add_reports(agent.finish());
+        let curve = analyzer.host_rate_curve(0).expect("host measured");
+        assert!((curve.at(10) - 1500.0).abs() < 1e-6, "window 10: {}", curve.at(10));
+        assert!((curve.at(11) - 700.0).abs() < 1e-6);
+        assert!((curve.at(12) - 250.0).abs() < 1e-6);
+        assert!((curve.total() - 2450.0).abs() < 1e-6);
+        assert!(analyzer.host_rate_curve(5).is_none());
+    }
+
+    #[test]
+    fn congestion_map_ranks_links_by_event_count() {
+        let cfg = agent_config();
+        let mut analyzer = Analyzer::new(cfg.sketch);
+        // Link (20, 1): two events; link (21, 3): one.
+        analyzer.add_mirrors(vec![
+            mirror(20, 1, 1_000, 1),
+            mirror(20, 1, 200_000, 1),
+            mirror(21, 3, 5_000, 2),
+        ]);
+        let map = analyzer.congestion_map(50_000);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[0].0, (20, 1));
+        assert_eq!(map[0].1.len(), 2);
+        assert_eq!(map[1].0, (21, 3));
+    }
+
+    #[test]
+    fn duration_cdf_is_monotone_and_complete() {
+        let cfg = agent_config();
+        let mut analyzer = Analyzer::new(cfg.sketch);
+        analyzer.add_mirrors(vec![
+            mirror(20, 1, 0, 1),
+            mirror(20, 1, 30_000, 1), // 30 μs event
+            mirror(20, 2, 0, 2),      // 0-duration event
+        ]);
+        let cdf = analyzer.duration_cdf(50_000);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf[0].0, 0);
+        assert_eq!(cdf[1].0, 30_000);
+        assert!((cdf[1].1 - 1.0).abs() < 1e-12);
+        assert!(cdf[0].1 <= cdf[1].1);
+    }
+
+    #[test]
+    fn match_episodes_computes_recall_by_qlen_bin() {
+        let cfg = agent_config();
+        let mut analyzer = Analyzer::new(cfg.sketch);
+        analyzer.add_mirrors(vec![mirror(20, 1, 5_000, 1)]);
+        let episodes = vec![
+            QueueEpisode {
+                switch: 20,
+                port: 0,
+                start_ns: 4_000,
+                end_ns: 6_000,
+                max_qlen: 100_000,
+            },
+            QueueEpisode {
+                switch: 20,
+                port: 0,
+                start_ns: 50_000,
+                end_ns: 60_000,
+                max_qlen: 120_000,
+            },
+        ];
+        let stats = analyzer.match_episodes(&episodes, 0, u32::MAX, 1_000);
+        assert_eq!(stats.episodes, 2);
+        assert_eq!(stats.detected, 1);
+        assert!((stats.recall() - 0.5).abs() < 1e-12);
+        // Binning filters by max queue length.
+        let only_big = analyzer.match_episodes(&episodes, 110_000, u32::MAX, 1_000);
+        assert_eq!(only_big.episodes, 1);
+        assert_eq!(only_big.detected, 0);
+    }
+
+    #[test]
+    fn tolerance_absorbs_clock_offset() {
+        let cfg = agent_config();
+        let mut analyzer = Analyzer::new(cfg.sketch);
+        // Mirror timestamped 300 ns after the episode end (clock skew).
+        analyzer.add_mirrors(vec![mirror(20, 1, 6_300, 1)]);
+        let ep = QueueEpisode {
+            switch: 20,
+            port: 0,
+            start_ns: 4_000,
+            end_ns: 6_000,
+            max_qlen: 50_000,
+        };
+        let strict = analyzer.match_episodes(&[ep], 0, u32::MAX, 100);
+        assert_eq!(strict.detected, 0);
+        let tolerant = analyzer.match_episodes(&[ep], 0, u32::MAX, 500);
+        assert_eq!(tolerant.detected, 1);
+    }
+
+    #[test]
+    fn replay_joins_mirrors_with_rate_curves() {
+        let cfg = agent_config();
+        let mut agent = HostAgent::new(0, cfg.clone());
+        for w in 0..50u64 {
+            agent.observe(5, w << 13, 2000);
+        }
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        analyzer.add_reports(agent.finish());
+        let event = DetectedEvent {
+            switch: 20,
+            vlan: 1,
+            start_ns: 20 << 13,
+            end_ns: 25 << 13,
+            flows: BTreeSet::from([5u64]),
+            packets: 3,
+        };
+        let (windows, curves) = analyzer.replay_event(&event, 2 << 13, 13, |_| Some(0));
+        assert_eq!(curves.len(), 1);
+        assert_eq!(curves[0].0, 5);
+        assert_eq!(windows.len(), curves[0].1.len());
+        // Every replayed window inside the flow's life shows its rate.
+        assert!(curves[0].1.iter().all(|&v| (v - 2000.0).abs() < 1e-6));
+        assert_eq!(windows[0], 18);
+    }
+
+    #[test]
+    fn mismatched_sketch_configs_are_rejected() {
+        let cfg = agent_config();
+        let mut agent = HostAgent::new(0, cfg.clone());
+        agent.observe(1, 0, 100);
+        let reports = agent.finish();
+        // An analyzer built with a different width must refuse the report.
+        let other = SketchConfig::builder()
+            .rows(2)
+            .width(64) // differs from the agent's 32
+            .levels(4)
+            .topk(64)
+            .max_windows(4096)
+            .heavy_rows(16)
+            .build();
+        let mut analyzer = Analyzer::new(other);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            analyzer.add_reports(reports);
+        }));
+        assert!(result.is_err(), "config mismatch must be rejected");
+    }
+
+    #[test]
+    fn unpack_key_inverts_pack() {
+        let k = FlowKey::from_v4([1, 2, 3, 4], [9, 8, 7, 6], 0xABCD, 4791, 17);
+        assert_eq!(unpack_key(&k.pack()), k);
+    }
+}

@@ -1,0 +1,250 @@
+//! Extended μEvent analysis: PFC pause storms and packet-loss events.
+//!
+//! §5 lists PFC storms, packet loss, microbursts and load imbalance as the
+//! μEvents of interest. The ACL/mirror path covers queue-driven events; this
+//! module analyzes the two complementary taps — PFC pause frames (lossless
+//! fabrics) and deflect-on-drop reports.
+
+use std::collections::BTreeMap;
+use umon_netsim::telemetry::{DropRecord, PauseRecord};
+
+/// A sustained PFC pause episode on one upstream port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PauseStorm {
+    /// The paused node.
+    pub node: usize,
+    /// The paused port.
+    pub port: usize,
+    /// First XOFF of the episode, ns.
+    pub start_ns: u64,
+    /// Final XON of the episode, ns.
+    pub end_ns: u64,
+    /// Number of XOFF assertions merged into this episode.
+    pub xoffs: usize,
+    /// Total time spent paused within the episode, ns.
+    pub paused_ns: u64,
+}
+
+impl PauseStorm {
+    /// Fraction of the episode the port spent paused.
+    pub fn paused_fraction(&self) -> f64 {
+        if self.end_ns == self.start_ns {
+            return 1.0;
+        }
+        self.paused_ns as f64 / (self.end_ns - self.start_ns) as f64
+    }
+}
+
+/// Clusters pause records into storms: per (node, port), consecutive
+/// XOFF→XON cycles closer than `gap_ns` merge into one storm. A storm is
+/// only reported when it contains at least `min_xoffs` assertions —
+/// isolated pauses are normal in a lossless fabric; repeated rapid pausing
+/// is the pathology.
+pub fn pause_storms(records: &[PauseRecord], gap_ns: u64, min_xoffs: usize) -> Vec<PauseStorm> {
+    // Per port: the XOFF/XON cycle list.
+    let mut by_port: BTreeMap<(usize, usize), Vec<&PauseRecord>> = BTreeMap::new();
+    for r in records {
+        by_port.entry((r.node, r.port)).or_default().push(r);
+    }
+    let mut storms = Vec::new();
+    for ((node, port), mut recs) in by_port {
+        recs.sort_by_key(|r| (r.ts_ns, !r.on));
+        // Build (xoff_ts, xon_ts) cycles, tracking the pause refcount so
+        // overlapping assertions from several triggers merge correctly.
+        let mut cycles: Vec<(u64, u64)> = Vec::new();
+        let mut depth = 0usize;
+        let mut opened = 0u64;
+        for r in recs {
+            if r.on {
+                if depth == 0 {
+                    opened = r.ts_ns;
+                }
+                depth += 1;
+            } else if depth > 0 {
+                depth -= 1;
+                if depth == 0 {
+                    cycles.push((opened, r.ts_ns));
+                }
+            }
+        }
+        // Merge cycles into storms on the gap threshold.
+        let mut cur: Option<PauseStorm> = None;
+        for (start, end) in cycles {
+            match cur.as_mut() {
+                Some(s) if start.saturating_sub(s.end_ns) <= gap_ns => {
+                    s.end_ns = end;
+                    s.xoffs += 1;
+                    s.paused_ns += end - start;
+                }
+                _ => {
+                    if let Some(s) = cur.take() {
+                        if s.xoffs >= min_xoffs {
+                            storms.push(s);
+                        }
+                    }
+                    cur = Some(PauseStorm {
+                        node,
+                        port,
+                        start_ns: start,
+                        end_ns: end,
+                        xoffs: 1,
+                        paused_ns: end - start,
+                    });
+                }
+            }
+        }
+        if let Some(s) = cur.take() {
+            if s.xoffs >= min_xoffs {
+                storms.push(s);
+            }
+        }
+    }
+    storms
+}
+
+/// A packet-loss event: a burst of drops at one switch port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossEvent {
+    /// Dropping switch.
+    pub switch: usize,
+    /// Egress port.
+    pub port: usize,
+    /// First drop, ns.
+    pub start_ns: u64,
+    /// Last drop, ns.
+    pub end_ns: u64,
+    /// Packets lost.
+    pub packets: usize,
+    /// Bytes lost.
+    pub bytes: u64,
+    /// Victim flows, sorted.
+    pub victims: Vec<u64>,
+}
+
+/// Clusters deflect-on-drop reports into loss events split on `gap_ns`.
+pub fn loss_events(records: &[DropRecord], gap_ns: u64) -> Vec<LossEvent> {
+    let mut by_port: BTreeMap<(usize, usize), Vec<&DropRecord>> = BTreeMap::new();
+    for r in records {
+        by_port.entry((r.switch, r.port)).or_default().push(r);
+    }
+    let mut events = Vec::new();
+    for ((switch, port), mut recs) in by_port {
+        recs.sort_by_key(|r| r.ts_ns);
+        let mut cur: Option<LossEvent> = None;
+        for r in recs {
+            match cur.as_mut() {
+                Some(e) if r.ts_ns.saturating_sub(e.end_ns) <= gap_ns => {
+                    e.end_ns = r.ts_ns;
+                    e.packets += 1;
+                    e.bytes += r.bytes as u64;
+                    if !e.victims.contains(&r.flow.0) {
+                        e.victims.push(r.flow.0);
+                    }
+                }
+                _ => {
+                    if let Some(mut done) = cur.take() {
+                        done.victims.sort_unstable();
+                        events.push(done);
+                    }
+                    cur = Some(LossEvent {
+                        switch,
+                        port,
+                        start_ns: r.ts_ns,
+                        end_ns: r.ts_ns,
+                        packets: 1,
+                        bytes: r.bytes as u64,
+                        victims: vec![r.flow.0],
+                    });
+                }
+            }
+        }
+        if let Some(mut done) = cur.take() {
+            done.victims.sort_unstable();
+            events.push(done);
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umon_netsim::FlowId;
+
+    fn pause(node: usize, ts: u64, on: bool) -> PauseRecord {
+        PauseRecord {
+            node,
+            port: 0,
+            triggered_by: 99,
+            ts_ns: ts,
+            on,
+        }
+    }
+
+    #[test]
+    fn storms_merge_rapid_cycles() {
+        let records = vec![
+            pause(1, 1000, true),
+            pause(1, 2000, false),
+            pause(1, 2500, true),
+            pause(1, 4000, false),
+            // 200 μs quiet, then an isolated pause — not part of the storm.
+            pause(1, 204_000, true),
+            pause(1, 205_000, false),
+        ];
+        let storms = pause_storms(&records, 50_000, 2);
+        assert_eq!(storms.len(), 1);
+        let s = &storms[0];
+        assert_eq!((s.start_ns, s.end_ns), (1000, 4000));
+        assert_eq!(s.xoffs, 2);
+        assert_eq!(s.paused_ns, 1000 + 1500);
+        assert!((s.paused_fraction() - 2500.0 / 3000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_xoffs_refcount_into_one_cycle() {
+        // Two triggers pause the same port before the first resumes.
+        let records = vec![
+            pause(1, 1000, true),
+            pause(1, 1200, true),
+            pause(1, 1500, false),
+            pause(1, 2000, false), // only now fully resumed
+        ];
+        let storms = pause_storms(&records, 10_000, 1);
+        assert_eq!(storms.len(), 1);
+        assert_eq!(storms[0].paused_ns, 1000);
+        assert_eq!(storms[0].xoffs, 1);
+    }
+
+    #[test]
+    fn min_xoffs_filters_isolated_pauses() {
+        let records = vec![pause(1, 0, true), pause(1, 10, false)];
+        assert!(pause_storms(&records, 1000, 2).is_empty());
+        assert_eq!(pause_storms(&records, 1000, 1).len(), 1);
+    }
+
+    #[test]
+    fn loss_events_cluster_and_count_victims() {
+        let drop = |ts: u64, flow: u64| DropRecord {
+            switch: 20,
+            port: 1,
+            ts_ns: ts,
+            flow: FlowId(flow),
+            psn: 0,
+            bytes: 1000,
+        };
+        let records = vec![drop(100, 1), drop(200, 2), drop(250, 1), drop(90_000, 3)];
+        let events = loss_events(&records, 10_000);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].packets, 3);
+        assert_eq!(events[0].bytes, 3000);
+        assert_eq!(events[0].victims, vec![1, 2]);
+        assert_eq!(events[1].victims, vec![3]);
+    }
+
+    #[test]
+    fn empty_inputs_yield_no_events() {
+        assert!(pause_storms(&[], 1000, 1).is_empty());
+        assert!(loss_events(&[], 1000).is_empty());
+    }
+}

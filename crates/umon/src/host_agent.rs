@@ -1,0 +1,261 @@
+//! The μFlow host agent: a full WaveSketch fed by the host's egress packet
+//! stream, drained into an uploadable report every measurement period.
+
+use umon_netsim::TxRecord;
+use wavesketch::{FlowKey, FullWaveSketch, SketchConfig, SketchReport};
+
+/// Host-agent configuration.
+#[derive(Debug, Clone)]
+pub struct HostAgentConfig {
+    /// Sketch layout and wavelet parameters.
+    pub sketch: SketchConfig,
+    /// Measurement / reporting period in ns (paper: 20 ms).
+    pub period_ns: u64,
+    /// Window id = local timestamp >> this shift (13 → 8.192 μs windows).
+    pub window_shift: u32,
+}
+
+impl Default for HostAgentConfig {
+    fn default() -> Self {
+        Self {
+            sketch: SketchConfig::builder()
+                .rows(3)
+                .width(256)
+                .levels(8)
+                .topk(64)
+                .max_windows(4096)
+                .heavy_rows(256)
+                .build(),
+            period_ns: 20_000_000,
+            window_shift: wavesketch::DEFAULT_WINDOW_SHIFT,
+        }
+    }
+}
+
+/// One uploaded report: the sketch contents of one measurement period.
+/// Serializable so reports can be archived and replayed into an analyzer
+/// offline.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PeriodReport {
+    /// Period index (`floor(local_ts / period_ns)`).
+    pub period: u64,
+    /// Reporting host.
+    pub host: usize,
+    /// Fingerprint of the sketch configuration that produced the report —
+    /// the analyzer can only reconstruct reports matching its own config.
+    pub config_fingerprint: u64,
+    /// The drained sketch.
+    pub report: SketchReport,
+}
+
+impl PeriodReport {
+    /// Upload size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        self.report.wire_bytes()
+    }
+}
+
+/// The per-host measurement agent.
+///
+/// ```
+/// use umon::{HostAgent, HostAgentConfig};
+///
+/// let mut agent = HostAgent::new(0, HostAgentConfig::default());
+/// // One packet of 1500 B at t = 1 ms for flow 7.
+/// agent.observe(7, 1_000_000, 1500);
+/// let reports = agent.finish();
+/// assert_eq!(reports.len(), 1);
+/// assert!(reports[0].wire_bytes() > 0);
+/// ```
+pub struct HostAgent {
+    /// This host's node id.
+    pub host: usize,
+    config: HostAgentConfig,
+    sketch: FullWaveSketch,
+    current_period: Option<u64>,
+    finished: Vec<PeriodReport>,
+    /// Total packets observed.
+    pub packets: u64,
+    /// Total bytes observed.
+    pub bytes: u64,
+}
+
+impl HostAgent {
+    /// Creates an agent for `host`.
+    pub fn new(host: usize, config: HostAgentConfig) -> Self {
+        let sketch = FullWaveSketch::new(config.sketch.clone());
+        Self {
+            host,
+            config,
+            sketch,
+            current_period: None,
+            finished: Vec::new(),
+            packets: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Observes one egress packet (already timestamped with the host's local
+    /// clock). Records must arrive in non-decreasing timestamp order.
+    pub fn observe(&mut self, flow_id: u64, local_ts_ns: u64, bytes: u32) {
+        let period = local_ts_ns / self.config.period_ns;
+        match self.current_period {
+            None => self.current_period = Some(period),
+            Some(cur) if period > cur => {
+                self.flush_period(cur);
+                self.current_period = Some(period);
+            }
+            _ => {}
+        }
+        let window = local_ts_ns >> self.config.window_shift;
+        let key = FlowKey::from_id(flow_id);
+        self.sketch.update(&key, window, bytes as i64);
+        self.packets += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Convenience: feeds every record of this host from a simulation tap.
+    pub fn ingest(&mut self, records: &[TxRecord]) {
+        for r in records {
+            if r.host == self.host {
+                self.observe(r.flow.0, r.ts_ns, r.bytes);
+            }
+        }
+    }
+
+    fn flush_period(&mut self, period: u64) {
+        let report = self.sketch.drain();
+        if report.epoch_count() > 0 {
+            self.finished.push(PeriodReport {
+                period,
+                host: self.host,
+                config_fingerprint: self.config.sketch.fingerprint(),
+                report,
+            });
+        }
+    }
+
+    /// Flushes the in-progress period and returns all reports collected so
+    /// far, leaving the agent empty.
+    pub fn finish(mut self) -> Vec<PeriodReport> {
+        if let Some(cur) = self.current_period.take() {
+            self.flush_period(cur);
+        }
+        self.finished
+    }
+
+    /// Average upload bandwidth in bits per second given the observation
+    /// span, for the §7.1 "~5 Mbps per host" accounting. Includes the
+    /// still-open period's projected upload.
+    pub fn report_bandwidth_bps(reports: &[PeriodReport], span_ns: u64) -> f64 {
+        if span_ns == 0 {
+            return 0.0;
+        }
+        let bits: usize = reports.iter().map(|r| r.wire_bytes() * 8).sum();
+        bits as f64 / (span_ns as f64 / 1e9)
+    }
+
+    /// The sketch configuration (for analyzer-side reconstruction).
+    pub fn config(&self) -> &HostAgentConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> HostAgentConfig {
+        HostAgentConfig {
+            sketch: SketchConfig::builder()
+                .rows(2)
+                .width(32)
+                .levels(4)
+                .topk(32)
+                .max_windows(4096)
+                .heavy_rows(16)
+                .build(),
+            period_ns: 1_000_000, // 1 ms periods for fast tests
+            window_shift: 13,
+        }
+    }
+
+    #[test]
+    fn packets_accumulate_into_reports() {
+        let mut agent = HostAgent::new(0, small_config());
+        for i in 0..100u64 {
+            agent.observe(1, i * 10_000, 1000);
+        }
+        let reports = agent.finish();
+        assert_eq!(reports.len(), 1, "all packets in one period");
+        assert!(reports[0].wire_bytes() > 0);
+    }
+
+    #[test]
+    fn period_boundaries_split_reports() {
+        let mut agent = HostAgent::new(0, small_config());
+        agent.observe(1, 100, 1000); // period 0
+        agent.observe(1, 1_500_000, 1000); // period 1
+        agent.observe(1, 2_500_000, 1000); // period 2
+        let reports = agent.finish();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].period, 0);
+        assert_eq!(reports[2].period, 2);
+    }
+
+    #[test]
+    fn ingest_filters_by_host() {
+        use umon_netsim::FlowId;
+        let mut agent = HostAgent::new(3, small_config());
+        let records = vec![
+            TxRecord { host: 3, flow: FlowId(1), ts_ns: 0, bytes: 500 },
+            TxRecord { host: 4, flow: FlowId(2), ts_ns: 10, bytes: 500 },
+            TxRecord { host: 3, flow: FlowId(1), ts_ns: 20, bytes: 500 },
+        ];
+        agent.ingest(&records);
+        assert_eq!(agent.packets, 2);
+        assert_eq!(agent.bytes, 1000);
+    }
+
+    #[test]
+    fn bandwidth_accounting_follows_report_sizes() {
+        let mut agent = HostAgent::new(0, small_config());
+        for i in 0..1000u64 {
+            agent.observe(i % 7, i * 1000, 1000);
+        }
+        let reports = agent.finish();
+        let bits: usize = reports.iter().map(|r| r.wire_bytes() * 8).sum();
+        let bps = HostAgent::report_bandwidth_bps(&reports, 1_000_000);
+        assert!((bps - bits as f64 * 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_agent_produces_no_reports() {
+        let agent = HostAgent::new(0, small_config());
+        assert!(agent.finish().is_empty());
+    }
+
+    #[test]
+    fn period_reports_roundtrip_through_serde() {
+        let mut agent = HostAgent::new(2, small_config());
+        agent.observe(9, 12_345, 777);
+        agent.observe(9, 50_000, 223);
+        let reports = agent.finish();
+        let json = serde_json::to_string(&reports).unwrap();
+        let back: Vec<PeriodReport> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), reports.len());
+        assert_eq!(back[0].host, 2);
+        assert_eq!(back[0].config_fingerprint, reports[0].config_fingerprint);
+        assert_eq!(back[0].wire_bytes(), reports[0].wire_bytes());
+    }
+
+    #[test]
+    fn default_config_matches_paper_settings() {
+        let c = HostAgentConfig::default();
+        assert_eq!(c.period_ns, 20_000_000);
+        assert_eq!(c.window_shift, 13);
+        assert_eq!(c.sketch.rows, 3);
+        assert_eq!(c.sketch.width, 256);
+        assert_eq!(c.sketch.levels, 8);
+    }
+}

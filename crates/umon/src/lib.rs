@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # umon — the μMon system: μFlow host agents, μEvent switch agents and
+//! the network-wide analyzer
+//!
+//! Ties the WaveSketch measurement core to the simulated data center:
+//!
+//! * [`host_agent`] — runs a full WaveSketch per host over the host's egress
+//!   packet stream, draining an uploadable report every measurement period
+//!   and accounting the report bandwidth (§3, §4; the "~5 Mbps per host" of
+//!   §7.1).
+//! * [`switch_agent`] — the μEvent capture of §5: an ACL rule matching
+//!   CE-marked packets, PSN low-bit sampling at `1/2^w`, and remote
+//!   mirroring with per-port VLAN tags and switch-local timestamps.
+//! * [`analyzer`] — network-wide synchronized analysis (§6): collects host
+//!   reports and mirrored packets, clusters mirrors into congestion events,
+//!   reconstructs flow-rate curves, and replays events by joining the two.
+//! * [`usecases`] — the §6.2 analyses: underutilization gap detection and
+//!   congestion-control convergence/fairness checks.
+
+pub mod analyzer;
+pub mod events;
+pub mod host_agent;
+pub mod pswitch;
+pub mod switch_agent;
+pub mod usecases;
+
+pub use analyzer::{Analyzer, DetectedEvent, EventMatchStats};
+pub use events::{loss_events, pause_storms, LossEvent, PauseStorm};
+pub use pswitch::{PSwitchAgent, PSwitchConfig, PSwitchEvent};
+pub use host_agent::{HostAgent, HostAgentConfig, PeriodReport};
+pub use switch_agent::{MirroredPacket, SamplerField, SwitchAgent, SwitchAgentConfig};
+pub use usecases::{classify_event_role, fairness_index, find_gaps, EventRole, GapReport};

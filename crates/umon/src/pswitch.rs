@@ -1,0 +1,204 @@
+//! Programmable-switch μEvent capture (§5's extension): when programmable
+//! switches are available, μMon can observe queues directly in the data
+//! plane instead of inferring congestion from ECN marks. This agent models
+//! a ConQuest/BurstRadar-style P4 program:
+//!
+//! * it sees every data packet enqueued above a queue threshold together
+//!   with the instantaneous queue length (the simulator's burst tap),
+//! * deduplicates flows in the data plane within an event (a small flow
+//!   cache, feasible in SRAM), and
+//! * batch-reports events to the analyzer: one compact record per event
+//!   with the flow list and peak queue length, instead of mirroring whole
+//!   packets.
+
+use std::collections::BTreeSet;
+use umon_netsim::telemetry::BurstRecord;
+
+/// Configuration of the programmable capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PSwitchConfig {
+    /// Records further apart than this close the event (ns).
+    pub gap_ns: u64,
+    /// Report framing overhead per event (header, timestamps, qlen), bytes.
+    pub event_header_bytes: u32,
+    /// Bytes per reported flow entry (flow key + per-flow byte count).
+    pub flow_entry_bytes: u32,
+}
+
+impl Default for PSwitchConfig {
+    fn default() -> Self {
+        Self {
+            gap_ns: 50_000,
+            event_header_bytes: 40,
+            flow_entry_bytes: 17,
+        }
+    }
+}
+
+/// One batch-reported in-dataplane event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PSwitchEvent {
+    /// Observing switch.
+    pub switch: usize,
+    /// Congested port.
+    pub port: usize,
+    /// First over-threshold enqueue, ns (switch-local).
+    pub start_ns: u64,
+    /// Last over-threshold enqueue, ns.
+    pub end_ns: u64,
+    /// Peak instantaneous queue length seen, bytes.
+    pub max_qlen: u32,
+    /// Distinct flows observed above the threshold.
+    pub flows: BTreeSet<u64>,
+    /// Over-threshold packets observed.
+    pub packets: usize,
+}
+
+/// The per-switch programmable capture agent.
+#[derive(Debug, Clone)]
+pub struct PSwitchAgent {
+    /// The switch this agent runs on.
+    pub switch: usize,
+    config: PSwitchConfig,
+    /// Open event per port.
+    open: std::collections::HashMap<usize, PSwitchEvent>,
+    finished: Vec<PSwitchEvent>,
+}
+
+impl PSwitchAgent {
+    /// Creates an agent for `switch`.
+    pub fn new(switch: usize, config: PSwitchConfig) -> Self {
+        Self {
+            switch,
+            config,
+            open: std::collections::HashMap::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Offers one burst record (records must be time-ordered per port, as
+    /// the simulator produces them).
+    pub fn offer(&mut self, r: &BurstRecord) {
+        debug_assert_eq!(r.switch, self.switch);
+        match self.open.get_mut(&r.port) {
+            Some(ev) if r.ts_ns.saturating_sub(ev.end_ns) <= self.config.gap_ns => {
+                ev.end_ns = r.ts_ns;
+                ev.max_qlen = ev.max_qlen.max(r.qlen_bytes);
+                ev.flows.insert(r.flow.0);
+                ev.packets += 1;
+            }
+            _ => {
+                if let Some(done) = self.open.remove(&r.port) {
+                    self.finished.push(done);
+                }
+                self.open.insert(
+                    r.port,
+                    PSwitchEvent {
+                        switch: self.switch,
+                        port: r.port,
+                        start_ns: r.ts_ns,
+                        end_ns: r.ts_ns,
+                        max_qlen: r.qlen_bytes,
+                        flows: BTreeSet::from([r.flow.0]),
+                        packets: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Feeds every record belonging to this switch.
+    pub fn ingest(&mut self, records: &[BurstRecord]) {
+        for r in records {
+            if r.switch == self.switch {
+                self.offer(r);
+            }
+        }
+    }
+
+    /// Closes open events and returns everything captured.
+    pub fn finish(mut self) -> Vec<PSwitchEvent> {
+        let mut open: Vec<PSwitchEvent> = self.open.drain().map(|(_, e)| e).collect();
+        open.sort_by_key(|e| (e.port, e.start_ns));
+        self.finished.extend(open);
+        self.finished.sort_by_key(|e| (e.port, e.start_ns));
+        self.finished
+    }
+
+    /// Report bytes for a set of events under this agent's framing: batch
+    /// reporting sends one header plus one entry per distinct flow per
+    /// event — no packet payloads.
+    pub fn report_bytes(config: &PSwitchConfig, events: &[PSwitchEvent]) -> u64 {
+        events
+            .iter()
+            .map(|e| {
+                config.event_header_bytes as u64
+                    + e.flows.len() as u64 * config.flow_entry_bytes as u64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umon_netsim::FlowId;
+
+    fn rec(port: usize, ts: u64, flow: u64, qlen: u32) -> BurstRecord {
+        BurstRecord {
+            switch: 20,
+            port,
+            ts_ns: ts,
+            flow: FlowId(flow),
+            qlen_bytes: qlen,
+        }
+    }
+
+    #[test]
+    fn events_split_on_gap_and_track_peak() {
+        let mut a = PSwitchAgent::new(20, PSwitchConfig::default());
+        a.ingest(&[
+            rec(0, 1000, 1, 30_000),
+            rec(0, 2000, 2, 250_000),
+            rec(0, 3000, 1, 100_000),
+            rec(0, 90_000, 3, 40_000), // > 50 μs gap → new event
+        ]);
+        let events = a.finish();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].max_qlen, 250_000);
+        assert_eq!(events[0].flows.len(), 2);
+        assert_eq!(events[0].packets, 3);
+        assert_eq!(events[1].flows.len(), 1);
+    }
+
+    #[test]
+    fn ports_are_independent() {
+        let mut a = PSwitchAgent::new(20, PSwitchConfig::default());
+        a.ingest(&[rec(0, 1000, 1, 30_000), rec(1, 1500, 2, 30_000)]);
+        let events = a.finish();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn flow_dedup_keeps_reports_compact() {
+        let mut a = PSwitchAgent::new(20, PSwitchConfig::default());
+        // 1000 packets of the same flow: one event, one flow entry.
+        for i in 0..1000u64 {
+            a.offer(&rec(0, 1000 + i * 10, 7, 50_000));
+        }
+        let events = a.finish();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].flows.len(), 1);
+        let bytes = PSwitchAgent::report_bytes(&PSwitchConfig::default(), &events);
+        assert_eq!(bytes, 40 + 17);
+    }
+
+    #[test]
+    fn ingest_filters_by_switch() {
+        let mut a = PSwitchAgent::new(20, PSwitchConfig::default());
+        let mut other = rec(0, 100, 1, 30_000);
+        other.switch = 21;
+        a.ingest(&[rec(0, 100, 1, 30_000), other]);
+        assert_eq!(a.finish().len(), 1);
+    }
+}

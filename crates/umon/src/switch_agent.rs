@@ -1,0 +1,356 @@
+//! The μEvent switch agent (§5): matches CE-marked packets with an ACL-style
+//! rule, samples them on the low bits of their sequence number, and mirrors
+//! the survivors to the analyzer with a per-port VLAN tag and a switch-local
+//! timestamp.
+//!
+//! On a real commodity switch this is one ACL rule (match ECN == 0b11 and
+//! `PSN & mask == 0`) bound to a remote-mirror action — the agent here
+//! applies exactly that predicate to the simulator's mirror-candidate tap.
+
+use umon_netsim::MirrorCandidate;
+
+/// Which per-packet field the sampling predicate masks (§5 footnote: "a
+/// more general method is to match timestamps, a random number, or checksum
+/// that varies per packet" for traffic without sequence numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerField {
+    /// The RoCEv2 PSN / TCP sequence number — uniform for in-order flows.
+    #[default]
+    SequenceNumber,
+    /// The arrival timestamp's low bits — works for any protocol; slightly
+    /// correlated with packet pacing.
+    Timestamp,
+    /// A checksum-like per-packet hash of (flow, psn) — protocol-agnostic
+    /// and uncorrelated.
+    Checksum,
+}
+
+/// Switch-agent configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchAgentConfig {
+    /// Sampling shift `w`: a packet is mirrored iff the sampled field's
+    /// lowest `w` bits are zero, i.e. with ratio `1/2^w` (Figure 8).
+    /// 0 mirrors every CE packet.
+    pub sampling_shift: u32,
+    /// The field the sampler masks.
+    pub field: SamplerField,
+    /// Mirror only the first `truncate_bytes` of each packet (0 = whole
+    /// packet). Real deployments often mirror headers only.
+    pub truncate_bytes: u32,
+    /// Overhead added per mirrored packet (encapsulation: VLAN tag +
+    /// mirror header + timestamp), bytes.
+    pub encap_bytes: u32,
+}
+
+impl Default for SwitchAgentConfig {
+    fn default() -> Self {
+        Self {
+            sampling_shift: 6, // 1/64, the paper's headline setting
+            field: SamplerField::SequenceNumber,
+            truncate_bytes: 0,
+            encap_bytes: 22,
+        }
+    }
+}
+
+impl SwitchAgentConfig {
+    /// The sampling ratio `1/2^w` as a float.
+    pub fn sampling_ratio(&self) -> f64 {
+        1.0 / (1u64 << self.sampling_shift) as f64
+    }
+}
+
+/// A packet the switch mirrored to the analyzer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MirroredPacket {
+    /// Originating switch.
+    pub switch: usize,
+    /// VLAN tag identifying the egress port the event was observed on.
+    pub vlan: u16,
+    /// Switch-local timestamp, ns.
+    pub ts_ns: u64,
+    /// Flow id recovered from the mirrored headers.
+    pub flow: u64,
+    /// Sequence number of the mirrored packet.
+    pub psn: u64,
+    /// Bytes this mirror copy puts on the wire (after truncation + encap).
+    pub wire_bytes: u32,
+    /// Original packet size.
+    pub orig_bytes: u32,
+}
+
+/// The per-switch μEvent agent.
+#[derive(Debug, Clone)]
+pub struct SwitchAgent {
+    /// The switch this agent is configured on.
+    pub switch: usize,
+    config: SwitchAgentConfig,
+    mirrored: Vec<MirroredPacket>,
+    /// CE packets inspected (matched the ECN part of the rule).
+    pub ce_seen: u64,
+    /// CE packets passing the sampling predicate.
+    pub ce_mirrored: u64,
+}
+
+impl SwitchAgent {
+    /// Creates an agent for `switch`.
+    pub fn new(switch: usize, config: SwitchAgentConfig) -> Self {
+        Self {
+            switch,
+            config,
+            mirrored: Vec::new(),
+            ce_seen: 0,
+            ce_mirrored: 0,
+        }
+    }
+
+    /// The ACL predicate: mask the configured field's low bits (Figure 8).
+    #[inline]
+    pub fn sample_hit(&self, c: &MirrorCandidate) -> bool {
+        let mask = (1u64 << self.config.sampling_shift) - 1;
+        let field = match self.config.field {
+            SamplerField::SequenceNumber => c.psn,
+            SamplerField::Timestamp => c.ts_ns >> 7, // ~128 ns resolution
+            SamplerField::Checksum => {
+                // A cheap per-packet "checksum": mixes flow and PSN so the
+                // predicate is uniform even for protocols without sequence
+                // numbers.
+                let mut x = c.flow.0 ^ c.psn.rotate_left(17) ^ 0x9E37_79B9;
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                x ^ (x >> 33)
+            }
+        };
+        field & mask == 0
+    }
+
+    /// Offers one CE-marked packet observed at this switch's egress; mirrors
+    /// it if the sampler hits.
+    pub fn offer(&mut self, c: &MirrorCandidate) {
+        debug_assert_eq!(c.switch, self.switch);
+        self.ce_seen += 1;
+        if !self.sample_hit(c) {
+            return;
+        }
+        self.ce_mirrored += 1;
+        let payload = if self.config.truncate_bytes == 0 {
+            c.bytes
+        } else {
+            c.bytes.min(self.config.truncate_bytes)
+        };
+        self.mirrored.push(MirroredPacket {
+            switch: self.switch,
+            vlan: c.port as u16 + 1, // VLAN 0 is reserved
+            ts_ns: c.ts_ns,
+            flow: c.flow.0,
+            psn: c.psn,
+            wire_bytes: payload + self.config.encap_bytes,
+            orig_bytes: c.bytes,
+        });
+    }
+
+    /// Feeds every candidate belonging to this switch from a simulation tap.
+    pub fn ingest(&mut self, candidates: &[MirrorCandidate]) {
+        for c in candidates {
+            if c.switch == self.switch {
+                self.offer(c);
+            }
+        }
+    }
+
+    /// All mirrored packets so far.
+    pub fn mirrored(&self) -> &[MirroredPacket] {
+        &self.mirrored
+    }
+
+    /// Takes the mirrored packets, leaving the agent empty.
+    pub fn drain(&mut self) -> Vec<MirroredPacket> {
+        std::mem::take(&mut self.mirrored)
+    }
+
+    /// Mirror bandwidth in bits per second over `span_ns` (Figure 15's
+    /// per-switch cost).
+    pub fn mirror_bandwidth_bps(&self, span_ns: u64) -> f64 {
+        if span_ns == 0 {
+            return 0.0;
+        }
+        let bits: u64 = self.mirrored.iter().map(|m| m.wire_bytes as u64 * 8).sum();
+        bits as f64 / (span_ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umon_netsim::FlowId;
+
+    fn candidate(psn: u64, port: usize) -> MirrorCandidate {
+        MirrorCandidate {
+            switch: 20,
+            port,
+            ts_ns: psn * 100,
+            flow: FlowId(7),
+            psn,
+            bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn sampling_ratio_is_exactly_one_over_2w() {
+        let mut agent = SwitchAgent::new(
+            20,
+            SwitchAgentConfig {
+                sampling_shift: 3,
+                ..Default::default()
+            },
+        );
+        for psn in 0..800 {
+            agent.offer(&candidate(psn, 0));
+        }
+        // PSNs 0..800 dense: exactly 100 have psn % 8 == 0.
+        assert_eq!(agent.ce_mirrored, 100);
+        assert_eq!(agent.ce_seen, 800);
+    }
+
+    #[test]
+    fn shift_zero_mirrors_everything() {
+        let mut agent = SwitchAgent::new(
+            20,
+            SwitchAgentConfig {
+                sampling_shift: 0,
+                ..Default::default()
+            },
+        );
+        for psn in 0..10 {
+            agent.offer(&candidate(psn, 0));
+        }
+        assert_eq!(agent.mirrored().len(), 10);
+    }
+
+    #[test]
+    fn vlan_tags_distinguish_ports() {
+        let mut agent = SwitchAgent::new(
+            20,
+            SwitchAgentConfig {
+                sampling_shift: 0,
+                ..Default::default()
+            },
+        );
+        agent.offer(&candidate(0, 2));
+        agent.offer(&candidate(8, 5));
+        let m = agent.mirrored();
+        assert_eq!(m[0].vlan, 3);
+        assert_eq!(m[1].vlan, 6);
+    }
+
+    #[test]
+    fn truncation_caps_mirror_bytes() {
+        let mut agent = SwitchAgent::new(
+            20,
+            SwitchAgentConfig {
+                sampling_shift: 0,
+                truncate_bytes: 64,
+                ..Default::default()
+            },
+        );
+        agent.offer(&candidate(0, 0));
+        assert_eq!(agent.mirrored()[0].wire_bytes, 64 + 22);
+        assert_eq!(agent.mirrored()[0].orig_bytes, 1000);
+    }
+
+    #[test]
+    fn bandwidth_scales_inversely_with_sampling() {
+        let run = |shift: u32| -> f64 {
+            let mut agent = SwitchAgent::new(
+                20,
+                SwitchAgentConfig {
+                    sampling_shift: shift,
+                    ..Default::default()
+                },
+            );
+            for psn in 0..4096 {
+                agent.offer(&candidate(psn, 0));
+            }
+            agent.mirror_bandwidth_bps(1_000_000)
+        };
+        let full = run(0);
+        let sampled = run(6);
+        assert!((full / sampled - 64.0).abs() < 0.5, "ratio {}", full / sampled);
+    }
+
+    #[test]
+    fn ingest_filters_by_switch() {
+        let mut agent = SwitchAgent::new(20, SwitchAgentConfig::default());
+        let mut other = candidate(0, 0);
+        other.switch = 21;
+        agent.ingest(&[candidate(0, 0), other]);
+        assert_eq!(agent.ce_seen, 1);
+    }
+
+    #[test]
+    fn all_sampler_fields_achieve_the_target_ratio() {
+        // Dense PSN stream: every field variant must sample close to 1/2^w.
+        for field in [
+            SamplerField::SequenceNumber,
+            SamplerField::Timestamp,
+            SamplerField::Checksum,
+        ] {
+            let mut agent = SwitchAgent::new(
+                20,
+                SwitchAgentConfig {
+                    sampling_shift: 4, // 1/16
+                    field,
+                    ..Default::default()
+                },
+            );
+            for psn in 0..16_000u64 {
+                // Irregular but dense timestamps.
+                let mut c = candidate(psn, 0);
+                c.ts_ns = psn * 137 + (psn % 7) * 31;
+                agent.offer(&c);
+            }
+            let ratio = agent.ce_mirrored as f64 / agent.ce_seen as f64;
+            assert!(
+                (ratio - 1.0 / 16.0).abs() < 0.02,
+                "{field:?}: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_sampler_is_uniform_across_flows() {
+        // Unlike PSN sampling, the checksum field must not systematically
+        // favor flows whose PSNs start at 0 — sample many single-packet
+        // flows and check the hit rate.
+        let mut agent = SwitchAgent::new(
+            20,
+            SwitchAgentConfig {
+                sampling_shift: 3, // 1/8
+                field: SamplerField::Checksum,
+                ..Default::default()
+            },
+        );
+        for f in 0..8000u64 {
+            let mut c = candidate(0, 0); // every flow's first packet: psn 0
+            c.flow = umon_netsim::FlowId(f);
+            agent.offer(&c);
+        }
+        let ratio = agent.ce_mirrored as f64 / agent.ce_seen as f64;
+        assert!((ratio - 0.125).abs() < 0.02, "ratio {ratio}");
+        // PSN sampling on the same stream would mirror 100% (all psn 0).
+    }
+
+    #[test]
+    fn drain_empties_the_agent() {
+        let mut agent = SwitchAgent::new(
+            20,
+            SwitchAgentConfig {
+                sampling_shift: 0,
+                ..Default::default()
+            },
+        );
+        agent.offer(&candidate(0, 0));
+        assert_eq!(agent.drain().len(), 1);
+        assert!(agent.mirrored().is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! The §6.2 use-case analyses on microsecond-level rate curves:
+//! underutilization gap detection (the "intermittent rate curve" diagnosis
+//! of Figure 9a) and congestion-control convergence/fairness metrics.
+
+/// A detected transmission gap in a rate curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapReport {
+    /// First idle window (index into the curve).
+    pub start: usize,
+    /// Length of the gap in windows.
+    pub windows: usize,
+}
+
+/// Finds idle gaps inside a flow's active span: maximal runs of at least
+/// `min_windows` consecutive windows below `idle_threshold`, strictly
+/// between the first and last active windows (leading/trailing idleness is
+/// not a "gap" — the flow simply hadn't started / had finished).
+///
+/// Many gaps in a throughput-starved flow indicate the *host* cannot feed
+/// the network (§6.2: "the under-throughput is caused by the host").
+pub fn find_gaps(curve: &[f64], idle_threshold: f64, min_windows: usize) -> Vec<GapReport> {
+    let first_active = curve.iter().position(|&v| v > idle_threshold);
+    let last_active = curve.iter().rposition(|&v| v > idle_threshold);
+    let (Some(first), Some(last)) = (first_active, last_active) else {
+        return Vec::new();
+    };
+    let mut gaps = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for i in first..=last {
+        if curve[i] <= idle_threshold {
+            run_start.get_or_insert(i);
+        } else if let Some(s) = run_start.take() {
+            if i - s >= min_windows {
+                gaps.push(GapReport {
+                    start: s,
+                    windows: i - s,
+                });
+            }
+        }
+    }
+    gaps
+}
+
+/// Fraction of a flow's active span spent idle (sum of gap windows over the
+/// active span length).
+pub fn idle_fraction(curve: &[f64], idle_threshold: f64, min_windows: usize) -> f64 {
+    let first = curve.iter().position(|&v| v > idle_threshold);
+    let last = curve.iter().rposition(|&v| v > idle_threshold);
+    let (Some(first), Some(last)) = (first, last) else {
+        return 0.0;
+    };
+    let span = last - first + 1;
+    let idle: usize = find_gaps(curve, idle_threshold, min_windows)
+        .iter()
+        .map(|g| g.windows)
+        .sum();
+    idle as f64 / span as f64
+}
+
+/// How a flow relates to a congestion event (§6.2 / B2: "distinguish the
+/// root cause and the event's subsequent impact on victim flows").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventRole {
+    /// The flow ramped up into the event: little traffic before, high rate
+    /// during — the burst that caused (or co-caused) the congestion.
+    Contributor,
+    /// The flow was established before the event and lost rate during it.
+    Victim,
+    /// Present but neither pattern is clear (e.g. steady throughout).
+    Bystander,
+}
+
+/// Classifies one flow's role in an event from its rate curve.
+///
+/// `curve` spans the replay range; `pre` is the slice of window indices
+/// before the event and `during` the indices inside it. A flow whose
+/// during-rate is at least double its pre-rate is a [`EventRole::Contributor`];
+/// one that loses at least a third of an established pre-rate is a
+/// [`EventRole::Victim`].
+pub fn classify_event_role(
+    curve: &[f64],
+    pre: std::ops::Range<usize>,
+    during: std::ops::Range<usize>,
+) -> EventRole {
+    let mean = |r: std::ops::Range<usize>| -> f64 {
+        let vals: Vec<f64> = curve
+            .get(r.clone())
+            .map(|s| s.to_vec())
+            .unwrap_or_default();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let pre_rate = mean(pre);
+    let during_rate = mean(during);
+    if during_rate > 2.0 * pre_rate && during_rate > 0.0 {
+        EventRole::Contributor
+    } else if pre_rate > 0.0 && during_rate < (2.0 / 3.0) * pre_rate {
+        EventRole::Victim
+    } else {
+        EventRole::Bystander
+    }
+}
+
+/// Jain's fairness index over the per-flow average rates in a window range:
+/// `(Σx)² / (n · Σx²)`. 1.0 = perfectly fair; `1/n` = one flow hogs all.
+pub fn fairness_index(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sq: f64 = rates.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (rates.len() as f64 * sq)
+}
+
+/// Convergence time: the first window index after `from` where the curve
+/// stays within `band` (relative) of `target` for `hold` consecutive
+/// windows. `None` if it never converges.
+pub fn convergence_window(
+    curve: &[f64],
+    from: usize,
+    target: f64,
+    band: f64,
+    hold: usize,
+) -> Option<usize> {
+    if target <= 0.0 {
+        return None;
+    }
+    let within = |v: f64| (v - target).abs() / target <= band;
+    let mut run = 0usize;
+    for (i, &v) in curve.iter().enumerate().skip(from) {
+        if within(v) {
+            run += 1;
+            if run >= hold {
+                return Some(i + 1 - hold);
+            }
+        } else {
+            run = 0;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_inside_active_span_are_found() {
+        let curve = [0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0];
+        let gaps = find_gaps(&curve, 0.5, 2);
+        assert_eq!(gaps, vec![GapReport { start: 4, windows: 3 }]);
+    }
+
+    #[test]
+    fn leading_and_trailing_idleness_is_not_a_gap() {
+        let curve = [0.0, 0.0, 5.0, 5.0, 0.0, 0.0];
+        assert!(find_gaps(&curve, 0.5, 1).is_empty());
+    }
+
+    #[test]
+    fn short_dips_below_min_windows_are_ignored() {
+        let curve = [5.0, 0.0, 5.0];
+        assert!(find_gaps(&curve, 0.5, 2).is_empty());
+        assert_eq!(find_gaps(&curve, 0.5, 1).len(), 1);
+    }
+
+    #[test]
+    fn all_idle_curve_has_no_gaps() {
+        assert!(find_gaps(&[0.0; 8], 0.5, 1).is_empty());
+    }
+
+    #[test]
+    fn idle_fraction_measures_gappiness() {
+        // Active span 0..=9, gaps at 2-3 and 6-8 → 5/10 idle.
+        let curve = [5.0, 5.0, 0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 0.0, 5.0];
+        assert!((idle_fraction(&curve, 0.5, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contributor_ramps_into_the_event() {
+        // Quiet before, bursting during.
+        let curve = [0.0, 0.0, 0.0, 90.0, 100.0, 95.0];
+        assert_eq!(classify_event_role(&curve, 0..3, 3..6), EventRole::Contributor);
+    }
+
+    #[test]
+    fn victim_loses_established_rate() {
+        let curve = [80.0, 80.0, 80.0, 30.0, 25.0, 35.0];
+        assert_eq!(classify_event_role(&curve, 0..3, 3..6), EventRole::Victim);
+    }
+
+    #[test]
+    fn steady_flow_is_a_bystander() {
+        let curve = [50.0, 52.0, 49.0, 51.0, 50.0, 50.0];
+        assert_eq!(classify_event_role(&curve, 0..3, 3..6), EventRole::Bystander);
+    }
+
+    #[test]
+    fn empty_ranges_are_bystanders() {
+        let curve = [1.0, 2.0];
+        assert_eq!(classify_event_role(&curve, 0..0, 0..0), EventRole::Bystander);
+    }
+
+    #[test]
+    fn fairness_bounds() {
+        assert!((fairness_index(&[10.0, 10.0, 10.0]) - 1.0).abs() < 1e-12);
+        let skew = fairness_index(&[30.0, 0.0, 0.0]);
+        assert!((skew - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fairness_index(&[]), 1.0);
+        assert_eq!(fairness_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn convergence_finds_the_settling_point() {
+        // Oscillates, then settles at 50 from index 6.
+        let curve = [100.0, 20.0, 80.0, 30.0, 70.0, 45.0, 50.0, 51.0, 49.0, 50.0];
+        let w = convergence_window(&curve, 0, 50.0, 0.05, 3).unwrap();
+        assert_eq!(w, 6);
+    }
+
+    #[test]
+    fn convergence_none_when_never_settling() {
+        let curve = [100.0, 0.0, 100.0, 0.0];
+        assert!(convergence_window(&curve, 0, 50.0, 0.1, 2).is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! The counter-amplification analysis of §2.3 / Figure 3: how many more
+//! per-flow counters a 10 μs measurement window needs compared to 10 ms.
+//!
+//! For a flow `f` active for `t_f` at granularity `δ`, the counter demand is
+//! `n(f, δ) = ceil(t_f / δ)`; the workload total is `N(δ) = Σ_f n(f, δ)` and
+//! Figure 3 plots the increase factor `N(10 μs) / N(10 ms)`.
+
+/// Counter demand of one workload at one granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterDemand {
+    /// Window granularity in ns.
+    pub granularity_ns: u64,
+    /// Total counters `N(δ)` across all flows.
+    pub counters: u64,
+}
+
+impl CounterDemand {
+    /// Computes `N(δ)` from per-flow active durations (ns).
+    pub fn compute(durations_ns: &[u64], granularity_ns: u64) -> Self {
+        assert!(granularity_ns > 0);
+        let counters = durations_ns
+            .iter()
+            .map(|&t| t.max(1).div_ceil(granularity_ns))
+            .sum();
+        Self {
+            granularity_ns,
+            counters,
+        }
+    }
+}
+
+/// The Figure 3 increase factor `N(fine) / N(coarse)` for a set of flow
+/// durations (ns). Returns 0 for an empty workload.
+pub fn counter_increase_factor(durations_ns: &[u64], fine_ns: u64, coarse_ns: u64) -> f64 {
+    if durations_ns.is_empty() {
+        return 0.0;
+    }
+    let fine = CounterDemand::compute(durations_ns, fine_ns);
+    let coarse = CounterDemand::compute(durations_ns, coarse_ns);
+    fine.counters as f64 / coarse.counters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_short_flow_amplifies_by_duration_over_fine_window() {
+        // A 1 ms flow: 100 counters at 10 μs, 1 counter at 10 ms → 100x.
+        let f = counter_increase_factor(&[1_000_000], 10_000, 10_000_000);
+        assert_eq!(f, 100.0);
+    }
+
+    #[test]
+    fn sub_window_flows_need_one_counter_at_both_granularities() {
+        let f = counter_increase_factor(&[5_000], 10_000, 10_000_000);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn zero_duration_flows_count_as_one_window() {
+        let d = CounterDemand::compute(&[0], 10_000);
+        assert_eq!(d.counters, 1);
+    }
+
+    #[test]
+    fn mix_of_long_and_short_flows() {
+        // Long 10 ms flow: 1000 vs 1; 10 short flows: 1 vs 1 each.
+        let mut durations = vec![10_000_000];
+        durations.extend(std::iter::repeat_n(1_000, 10));
+        let f = counter_increase_factor(&durations, 10_000, 10_000_000);
+        // N(10us) = 1000 + 10 = 1010; N(10ms) = 1 + 10 = 11.
+        assert!((f - 1010.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_flows_amplify_more() {
+        let short = counter_increase_factor(&[100_000; 10], 10_000, 10_000_000);
+        let long = counter_increase_factor(&[5_000_000; 10], 10_000, 10_000_000);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        assert_eq!(counter_increase_factor(&[], 10_000, 10_000_000), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Flow-size distributions as piecewise-linear CDFs.
+//!
+//! The WebSearch and Hadoop breakpoints below follow the publicly used
+//! approximations of the DCTCP web-search and Facebook Hadoop flow-size
+//! distributions (heavy-tailed megabyte flows vs. a sea of sub-10 kB flows
+//! with a thin large tail). Absolute fidelity to the original traces is not
+//! required for the reproduction — what matters is the contrast the paper's
+//! figures exercise: WebSearch has few, long flows; Hadoop has many, short
+//! ones (Table 2, Figure 16a).
+
+use rand::Rng;
+
+/// A flow-size distribution given as CDF breakpoints `(bytes, probability)`.
+/// Sampling inverts the CDF with linear interpolation between breakpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSizeDistribution {
+    /// Human-readable name (used in reports and figures).
+    pub name: &'static str,
+    points: Vec<(f64, f64)>,
+}
+
+impl FlowSizeDistribution {
+    /// Builds a distribution from CDF breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the points are strictly increasing in both coordinates,
+    /// start at probability 0 and end at probability 1.
+    pub fn new(name: &'static str, points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two breakpoints");
+        assert_eq!(points[0].1, 0.0, "CDF must start at 0");
+        assert_eq!(points.last().unwrap().1, 1.0, "CDF must end at 1");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must strictly increase");
+            assert!(w[0].1 <= w[1].1, "CDF must be non-decreasing");
+        }
+        Self { name, points }
+    }
+
+    /// Inverse-CDF sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        self.quantile(rng.gen_range(0.0..1.0))
+    }
+
+    /// The size at CDF value `p` (linear interpolation).
+    pub fn quantile(&self, p: f64) -> u64 {
+        let p = p.clamp(0.0, 1.0);
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if p <= p1 {
+                if p1 == p0 {
+                    return x1 as u64;
+                }
+                let frac = (p - p0) / (p1 - p0);
+                return (x0 + frac * (x1 - x0)).round().max(1.0) as u64;
+            }
+        }
+        self.points.last().unwrap().0 as u64
+    }
+
+    /// Mean flow size in bytes (piecewise-linear integral of the quantile).
+    pub fn mean(&self) -> f64 {
+        let mut mean = 0.0;
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            mean += (p1 - p0) * (x0 + x1) / 2.0;
+        }
+        mean
+    }
+
+    /// The CDF breakpoints (for plotting Figure 16a).
+    pub fn breakpoints(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// The DCTCP WebSearch flow-size distribution: heavy-tailed, mean ≈ 1.6 MB.
+pub fn websearch() -> FlowSizeDistribution {
+    FlowSizeDistribution::new(
+        "WebSearch",
+        vec![
+            (6_000.0, 0.0),
+            (10_000.0, 0.15),
+            (13_000.0, 0.2),
+            (19_000.0, 0.3),
+            (33_000.0, 0.4),
+            (53_000.0, 0.53),
+            (133_000.0, 0.6),
+            (667_000.0, 0.7),
+            (1_333_000.0, 0.8),
+            (3_333_000.0, 0.9),
+            (6_667_000.0, 0.97),
+            (20_000_000.0, 1.0),
+        ],
+    )
+}
+
+/// The Facebook Hadoop flow-size distribution: dominated by small flows,
+/// mean ≈ 122 kB because of the thin large tail.
+pub fn hadoop() -> FlowSizeDistribution {
+    FlowSizeDistribution::new(
+        "Facebook Hadoop",
+        vec![
+            (100.0, 0.0),
+            (180.0, 0.1),
+            (250.0, 0.2),
+            (560.0, 0.4),
+            (900.0, 0.5),
+            (1_100.0, 0.6),
+            (1_870.0, 0.7),
+            (3_160.0, 0.8),
+            (10_000.0, 0.9),
+            (40_000.0, 0.95),
+            (400_000.0, 0.98),
+            (3_800_000.0, 0.99),
+            (10_000_000.0, 0.999),
+            (30_000_000.0, 1.0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn quantile_interpolates_between_breakpoints() {
+        let d = FlowSizeDistribution::new("t", vec![(100.0, 0.0), (200.0, 1.0)]);
+        assert_eq!(d.quantile(0.0), 100);
+        assert_eq!(d.quantile(0.5), 150);
+        assert_eq!(d.quantile(1.0), 200);
+    }
+
+    #[test]
+    fn sample_mean_approaches_analytic_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for d in [websearch(), hadoop()] {
+            let n = 200_000;
+            let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+            let sample_mean = sum / n as f64;
+            let analytic = d.mean();
+            let rel = (sample_mean - analytic).abs() / analytic;
+            assert!(rel < 0.05, "{}: sample {sample_mean} vs analytic {analytic}", d.name);
+        }
+    }
+
+    #[test]
+    fn websearch_flows_are_much_larger_than_hadoop() {
+        // The contrast Table 2 relies on: at equal load WebSearch has ~30x
+        // fewer flows, i.e. ~30x larger mean size.
+        let ratio = websearch().mean() / hadoop().mean();
+        assert!(ratio > 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn hadoop_median_is_sub_kilobyte() {
+        assert!(hadoop().quantile(0.5) <= 1000);
+        assert!(websearch().quantile(0.5) > 10_000);
+    }
+
+    #[test]
+    fn samples_stay_within_support() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let d = websearch();
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((6_000..=20_000_000).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CDF must start at 0")]
+    fn rejects_bad_cdf() {
+        FlowSizeDistribution::new("bad", vec![(1.0, 0.5), (2.0, 1.0)]);
+    }
+}

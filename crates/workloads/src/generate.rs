@@ -1,0 +1,255 @@
+//! Flow-list generation: Poisson arrivals scaled to a target load, on-off
+//! background flows and incast bursts.
+
+use crate::dist::{hadoop, websearch, FlowSizeDistribution};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use umon_netsim::{CongestionControl, FlowId, FlowSpec};
+
+/// Which of the paper's workload mixes to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// DCTCP WebSearch flow sizes.
+    WebSearch,
+    /// Facebook Hadoop flow sizes.
+    Hadoop,
+}
+
+impl WorkloadKind {
+    /// The flow-size distribution for this mix.
+    pub fn distribution(&self) -> FlowSizeDistribution {
+        match self {
+            WorkloadKind::WebSearch => websearch(),
+            WorkloadKind::Hadoop => hadoop(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::WebSearch => "WebSearch",
+            WorkloadKind::Hadoop => "Facebook Hadoop",
+        }
+    }
+}
+
+/// Parameters for a simulated measurement period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Traffic mix.
+    pub kind: WorkloadKind,
+    /// Target average load on host access links, 0..1 (paper: 0.15/0.25/0.35).
+    pub load: f64,
+    /// Number of hosts traffic is spread over.
+    pub num_hosts: usize,
+    /// Access-link rate in Gbps (paper: 100).
+    pub link_gbps: f64,
+    /// Arrival-window length in ns (paper: 20 ms). Flows keep running after
+    /// this point; only arrivals stop.
+    pub duration_ns: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Congestion control for generated flows.
+    pub cc: CongestionControl,
+}
+
+impl WorkloadParams {
+    /// Paper-default parameters for `kind` at `load` on the k=4 fat-tree.
+    pub fn paper(kind: WorkloadKind, load: f64, seed: u64) -> Self {
+        Self {
+            kind,
+            load,
+            num_hosts: 16,
+            link_gbps: 100.0,
+            duration_ns: 20_000_000,
+            seed,
+            cc: CongestionControl::Dcqcn,
+        }
+    }
+
+    /// Expected flow count: `load · hosts · rate · duration / mean_size`.
+    pub fn expected_flows(&self) -> f64 {
+        let bytes_per_ns = self.link_gbps / 8.0; // per host
+        let total_bytes =
+            self.load * self.num_hosts as f64 * bytes_per_ns * self.duration_ns as f64;
+        total_bytes / self.kind.distribution().mean()
+    }
+
+    /// Generates the flow list: Poisson arrivals over `duration_ns`, sizes
+    /// from the mix's distribution, uniformly random distinct (src, dst)
+    /// host pairs. Deterministic in `seed`.
+    pub fn generate(&self) -> Vec<FlowSpec> {
+        assert!(self.num_hosts >= 2, "need at least two hosts");
+        assert!(self.load > 0.0 && self.load < 1.0, "load must be in (0,1)");
+        let dist = self.kind.distribution();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        // Poisson process: exponential inter-arrivals with rate λ flows/ns.
+        let lambda = self.expected_flows() / self.duration_ns as f64;
+        let mut flows = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Inverse-CDF exponential sample.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / lambda;
+            if t >= self.duration_ns as f64 {
+                break;
+            }
+            let src = rng.gen_range(0..self.num_hosts);
+            let dst = loop {
+                let d = rng.gen_range(0..self.num_hosts);
+                if d != src {
+                    break d;
+                }
+            };
+            flows.push(FlowSpec {
+                id: FlowId(flows.len() as u64),
+                src,
+                dst,
+                size_bytes: dist.sample(&mut rng),
+                start_ns: t as u64,
+                cc: self.cc,
+            });
+        }
+        flows
+    }
+}
+
+/// An on-off background flow: bursts of `on_ns` at `rate_gbps` separated by
+/// `off_ns` of silence, for `repeats` periods — the contention pattern the
+/// paper's testbed experiments use (Figures 1, 9b, 13). Each burst is one
+/// fixed-rate flow.
+#[allow(clippy::too_many_arguments)] // each arg is one physical knob of the pattern
+pub fn on_off_background(
+    first_id: u64,
+    src: usize,
+    dst: usize,
+    rate_gbps: f64,
+    on_ns: u64,
+    off_ns: u64,
+    repeats: usize,
+    start_ns: u64,
+) -> Vec<FlowSpec> {
+    let bytes_per_burst = (rate_gbps / 8.0 * on_ns as f64) as u64;
+    (0..repeats)
+        .map(|i| FlowSpec {
+            id: FlowId(first_id + i as u64),
+            src,
+            dst,
+            size_bytes: bytes_per_burst.max(1),
+            start_ns: start_ns + i as u64 * (on_ns + off_ns),
+            cc: CongestionControl::FixedRate(rate_gbps),
+        })
+        .collect()
+}
+
+/// An incast burst: `fan_in` senders each send `bytes` to `dst` at `start_ns`
+/// (microsecond-scale synchronized arrival, the microburst trigger of §2.1).
+pub fn incast_burst(
+    first_id: u64,
+    senders: &[usize],
+    dst: usize,
+    bytes: u64,
+    start_ns: u64,
+    cc: CongestionControl,
+) -> Vec<FlowSpec> {
+    senders
+        .iter()
+        .enumerate()
+        .map(|(i, &src)| FlowSpec {
+            id: FlowId(first_id + i as u64),
+            src,
+            dst,
+            size_bytes: bytes,
+            start_ns,
+            cc,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = WorkloadParams::paper(WorkloadKind::Hadoop, 0.15, 42);
+        let a = p.generate();
+        let b = p.generate();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn flow_count_tracks_expectation() {
+        let p = WorkloadParams::paper(WorkloadKind::Hadoop, 0.15, 1);
+        let flows = p.generate();
+        let expected = p.expected_flows();
+        let got = flows.len() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.15,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn hadoop_has_many_more_flows_than_websearch_at_equal_load() {
+        let h = WorkloadParams::paper(WorkloadKind::Hadoop, 0.15, 1).generate();
+        let w = WorkloadParams::paper(WorkloadKind::WebSearch, 0.15, 1).generate();
+        assert!(
+            h.len() > 5 * w.len(),
+            "hadoop {} vs websearch {}",
+            h.len(),
+            w.len()
+        );
+    }
+
+    #[test]
+    fn total_volume_matches_load() {
+        let p = WorkloadParams::paper(WorkloadKind::WebSearch, 0.25, 3);
+        let flows = p.generate();
+        let total: u64 = flows.iter().map(|f| f.size_bytes).sum();
+        let expected = 0.25 * 16.0 * 100.0e9 / 8.0 * 0.020; // bytes
+        let rel = (total as f64 - expected).abs() / expected;
+        assert!(rel < 0.35, "total {total} vs expected {expected}");
+    }
+
+    #[test]
+    fn arrivals_are_within_window_and_sorted() {
+        let p = WorkloadParams::paper(WorkloadKind::Hadoop, 0.35, 5);
+        let flows = p.generate();
+        let mut last = 0;
+        for f in &flows {
+            assert!(f.start_ns < p.duration_ns);
+            assert!(f.start_ns >= last);
+            last = f.start_ns;
+            assert_ne!(f.src, f.dst);
+            assert!(f.src < 16 && f.dst < 16);
+        }
+    }
+
+    #[test]
+    fn higher_load_generates_more_flows() {
+        let lo = WorkloadParams::paper(WorkloadKind::Hadoop, 0.15, 7).generate();
+        let hi = WorkloadParams::paper(WorkloadKind::Hadoop, 0.35, 7).generate();
+        assert!(hi.len() > lo.len());
+    }
+
+    #[test]
+    fn on_off_pattern_spacing() {
+        let bursts = on_off_background(100, 0, 1, 40.0, 50_000, 50_000, 3, 1_000);
+        assert_eq!(bursts.len(), 3);
+        assert_eq!(bursts[0].start_ns, 1_000);
+        assert_eq!(bursts[1].start_ns, 101_000);
+        // 40 Gbps for 50 μs = 250 kB.
+        assert_eq!(bursts[0].size_bytes, 250_000);
+        assert!(matches!(bursts[0].cc, CongestionControl::FixedRate(r) if r == 40.0));
+    }
+
+    #[test]
+    fn incast_targets_one_destination() {
+        let flows = incast_burst(0, &[1, 2, 3], 9, 64_000, 500, CongestionControl::Dcqcn);
+        assert_eq!(flows.len(), 3);
+        assert!(flows.iter().all(|f| f.dst == 9 && f.start_ns == 500));
+    }
+}

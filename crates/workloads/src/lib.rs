@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # umon-workloads — data-center workload generation
+//!
+//! Seeded generators for the two traffic mixes the μMon evaluation uses
+//! (§7 Workloads, Appendix D):
+//!
+//! * **DCTCP WebSearch** — large flows, heavy-tailed ([`websearch`]),
+//! * **Facebook Hadoop** — many small flows ([`hadoop`]),
+//!
+//! with Poisson flow arrivals scaled to a target link load, plus the
+//! testbed-style generators (on-off background flows, incast bursts) and the
+//! workload statistics of Table 2 / Figure 16 and the counter-amplification
+//! analysis of Figure 3.
+
+mod amplification;
+mod custom;
+mod dist;
+mod generate;
+mod stats;
+
+pub use amplification::{counter_increase_factor, CounterDemand};
+pub use custom::{parse_flow_specs, write_flow_specs, FlowSpecError};
+pub use dist::{hadoop, websearch, FlowSizeDistribution};
+pub use generate::{incast_burst, on_off_background, WorkloadKind, WorkloadParams};
+pub use stats::{cdf_points, inter_arrival_cdf, WorkloadStats};

@@ -1,0 +1,132 @@
+//! Workload statistics — the numbers of Table 2 and Figure 16.
+
+use umon_netsim::FlowSpec;
+
+/// Summary statistics of a generated workload (Table 2 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Number of flows.
+    pub flows: usize,
+    /// Total application bytes.
+    pub total_bytes: u64,
+    /// Estimated packet count at the given MTU.
+    pub packets: u64,
+    /// Mean flow size in bytes.
+    pub mean_flow_bytes: f64,
+}
+
+impl WorkloadStats {
+    /// Computes statistics for `flows` at `mtu` bytes per packet.
+    pub fn compute(flows: &[FlowSpec], mtu: u32) -> Self {
+        let total_bytes: u64 = flows.iter().map(|f| f.size_bytes).sum();
+        let packets: u64 = flows
+            .iter()
+            .map(|f| f.size_bytes.div_ceil(mtu as u64))
+            .sum();
+        Self {
+            flows: flows.len(),
+            total_bytes,
+            packets,
+            mean_flow_bytes: if flows.is_empty() {
+                0.0
+            } else {
+                total_bytes as f64 / flows.len() as f64
+            },
+        }
+    }
+}
+
+/// Empirical CDF points `(value, probability)` of a sample set, suitable for
+/// plotting (Figure 16a on flow sizes, 16b on inter-arrival times).
+pub fn cdf_points(samples: &[f64]) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Flow inter-arrival times observed at each source host's access port
+/// (Figure 16b is measured at a ToR port, which sees exactly the flows of
+/// the host behind it in this topology), merged over all ports, in ns.
+pub fn inter_arrival_cdf(flows: &[FlowSpec], num_hosts: usize) -> Vec<(f64, f64)> {
+    let mut per_host: Vec<Vec<u64>> = vec![Vec::new(); num_hosts];
+    for f in flows {
+        per_host[f.src].push(f.start_ns);
+    }
+    let mut gaps = Vec::new();
+    for mut arrivals in per_host {
+        arrivals.sort_unstable();
+        for w in arrivals.windows(2) {
+            gaps.push((w[1] - w[0]) as f64);
+        }
+    }
+    cdf_points(&gaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umon_netsim::{CongestionControl, FlowId};
+
+    fn flow(id: u64, src: usize, size: u64, start: u64) -> FlowSpec {
+        FlowSpec {
+            id: FlowId(id),
+            src,
+            dst: 15,
+            size_bytes: size,
+            start_ns: start,
+            cc: CongestionControl::Dcqcn,
+        }
+    }
+
+    #[test]
+    fn stats_count_packets_with_ceiling_division() {
+        let flows = vec![flow(0, 0, 2500, 0), flow(1, 1, 1000, 5)];
+        let s = WorkloadStats::compute(&flows, 1000);
+        assert_eq!(s.flows, 2);
+        assert_eq!(s.total_bytes, 3500);
+        assert_eq!(s.packets, 3 + 1);
+        assert!((s.mean_flow_bytes - 1750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let pts = cdf_points(&[5.0, 1.0, 3.0, 3.0]);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].0, 1.0);
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn inter_arrival_groups_by_source_host() {
+        // Host 0 sees arrivals at 0, 100, 300 → gaps 100, 200.
+        // Host 1 sees a single arrival → no gaps.
+        let flows = vec![
+            flow(0, 0, 100, 0),
+            flow(1, 0, 100, 100),
+            flow(2, 1, 100, 50),
+            flow(3, 0, 100, 300),
+        ];
+        let cdf = inter_arrival_cdf(&flows, 2);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf[0].0, 100.0);
+        assert_eq!(cdf[1].0, 200.0);
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_cdfs() {
+        assert!(cdf_points(&[]).is_empty());
+        assert!(inter_arrival_cdf(&[], 4).is_empty());
+    }
+}

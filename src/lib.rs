@@ -1,0 +1,18 @@
+//! Umbrella crate for the μMon reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real implementation:
+//!
+//! * [`wavesketch`] — the paper's core contribution (§4)
+//! * [`umon_netsim`] — the packet-level data-center simulator (§7 setup)
+//! * [`umon_workloads`] — WebSearch / Facebook Hadoop workload generators
+//! * [`umon_baselines`] — Persist-CMS, OmniWindow-Avg and Fourier baselines
+//! * [`umon`] — host agent, μEvent switch agent and the μMon analyzer (§5, §6)
+//! * [`umon_metrics`] — the accuracy metrics of Appendix E
+
+pub use umon;
+pub use umon_baselines;
+pub use umon_metrics;
+pub use umon_netsim;
+pub use umon_workloads;
+pub use wavesketch;

@@ -1,0 +1,208 @@
+//! End-to-end integration tests spanning the whole μMon pipeline:
+//! simulator → host agents → switch agents → analyzer.
+
+use std::collections::HashMap;
+use umon_repro::umon::{Analyzer, HostAgent, HostAgentConfig, SwitchAgent, SwitchAgentConfig};
+use umon_repro::umon_metrics::{all_metrics, WorkloadAccuracy};
+use umon_repro::umon_netsim::{
+    CongestionControl, FlowId, FlowSpec, SimConfig, Simulator, Topology,
+};
+use umon_repro::umon_workloads::{incast_burst, WorkloadKind, WorkloadParams};
+
+fn small_workload() -> (Vec<FlowSpec>, umon_repro::umon_netsim::SimResult) {
+    let params = WorkloadParams {
+        duration_ns: 5_000_000,
+        ..WorkloadParams::paper(WorkloadKind::Hadoop, 0.15, 99)
+    };
+    let flows = params.generate();
+    let topo = Topology::fat_tree(4, 100.0, 1000);
+    let config = SimConfig {
+        end_ns: 8_000_000,
+        seed: 99,
+        ..SimConfig::default()
+    };
+    let result = Simulator::new(topo, flows.clone(), config).run();
+    (flows, result)
+}
+
+#[test]
+fn measured_curves_track_ground_truth() {
+    let (_flows, result) = small_workload();
+    let agent_cfg = HostAgentConfig::default();
+    let mut analyzer = Analyzer::new(agent_cfg.sketch.clone());
+    for host in 0..16 {
+        let mut agent = HostAgent::new(host, agent_cfg.clone());
+        agent.ingest(&result.telemetry.tx_records);
+        analyzer.add_reports(agent.finish());
+    }
+    // Ground truth per (host, flow).
+    let mut truth: HashMap<(usize, u64), HashMap<u64, f64>> = HashMap::new();
+    for r in &result.telemetry.tx_records {
+        *truth
+            .entry((r.host, r.flow.0))
+            .or_default()
+            .entry(r.ts_ns >> 13)
+            .or_insert(0.0) += r.bytes as f64;
+    }
+    let mut acc = WorkloadAccuracy::new();
+    for ((host, flow), windows) in &truth {
+        let start = *windows.keys().min().unwrap();
+        let end = *windows.keys().max().unwrap() + 1;
+        let t: Vec<f64> = (start..end)
+            .map(|w| windows.get(&w).copied().unwrap_or(0.0))
+            .collect();
+        let curve = analyzer
+            .flow_curve(*host, *flow)
+            .expect("every flow must be queryable");
+        let est: Vec<f64> = (start..end).map(|w| curve.at(w)).collect();
+        acc.add(all_metrics(&t, &est));
+    }
+    let mean = acc.mean();
+    // The paper's headline: <10% ARE and >90% energy similarity (§7.1).
+    assert!(mean.are < 0.10, "mean ARE {} must be below 10%", mean.are);
+    assert!(
+        mean.energy > 0.90,
+        "mean energy similarity {} must exceed 90%",
+        mean.energy
+    );
+    assert!(mean.cosine > 0.90, "mean cosine {}", mean.cosine);
+}
+
+#[test]
+fn incast_event_is_detected_and_replayed() {
+    let topo = Topology::fat_tree(4, 100.0, 1000);
+    let flows = incast_burst(0, &[4, 5, 6, 7], 0, 512_000, 1_000_000, CongestionControl::Dcqcn);
+    let host_of_flow: HashMap<u64, usize> = flows.iter().map(|f| (f.id.0, f.src)).collect();
+    let config = SimConfig {
+        end_ns: 5_000_000,
+        seed: 5,
+        ..SimConfig::default()
+    };
+    let result = Simulator::new(topo, flows, config).run();
+
+    let agent_cfg = HostAgentConfig::default();
+    let mut analyzer = Analyzer::new(agent_cfg.sketch.clone());
+    for host in 0..16 {
+        let mut agent = HostAgent::new(host, agent_cfg.clone());
+        agent.ingest(&result.telemetry.tx_records);
+        analyzer.add_reports(agent.finish());
+    }
+    for switch in 16..36 {
+        let mut agent = SwitchAgent::new(
+            switch,
+            SwitchAgentConfig {
+                sampling_shift: 2,
+                ..Default::default()
+            },
+        );
+        agent.ingest(&result.telemetry.mirror_candidates);
+        analyzer.add_mirrors(agent.drain());
+    }
+
+    // The 4:1 incast must produce a detected event covering several senders.
+    let events = analyzer.cluster_events(50_000);
+    assert!(!events.is_empty(), "the incast must be mirrored");
+    let best = events.iter().max_by_key(|e| e.flows.len()).unwrap();
+    assert!(
+        best.flows.len() >= 3,
+        "most incast flows must appear in the event (got {})",
+        best.flows.len()
+    );
+    // Replay recovers curves for the involved flows.
+    let (_windows, curves) =
+        analyzer.replay_event(best, 100_000, 13, |f| host_of_flow.get(&f).copied());
+    assert!(curves.len() >= 3);
+    for (_, values) in &curves {
+        assert!(values.iter().sum::<f64>() > 0.0, "replayed curves carry volume");
+    }
+}
+
+#[test]
+fn recall_above_kmax_is_high_even_when_sampled() {
+    let (_flows, result) = small_workload();
+    let mut analyzer = Analyzer::new(HostAgentConfig::default().sketch);
+    for switch in 16..36 {
+        let mut agent = SwitchAgent::new(
+            switch,
+            SwitchAgentConfig {
+                sampling_shift: 6, // 1/64
+                ..Default::default()
+            },
+        );
+        agent.ingest(&result.telemetry.mirror_candidates);
+        analyzer.add_mirrors(agent.drain());
+    }
+    let stats = analyzer.match_episodes(
+        &result.telemetry.episodes,
+        200 * 1024,
+        u32::MAX,
+        10_000,
+    );
+    if stats.episodes > 0 {
+        assert!(
+            stats.recall() >= 0.8,
+            "recall above KMax must stay high at 1/64 sampling: {} of {}",
+            stats.detected,
+            stats.episodes
+        );
+    }
+}
+
+#[test]
+fn byte_conservation_across_the_fabric() {
+    let (_flows, result) = small_workload();
+    let sent: u64 = result.flows.iter().map(|f| f.sent_bytes).sum();
+    let delivered: u64 = result.flows.iter().map(|f| f.delivered_bytes).sum();
+    assert_eq!(result.telemetry.injected_bytes, sent);
+    assert_eq!(result.telemetry.delivered_bytes, delivered);
+    // No retransmissions: sent − delivered = bytes dropped or still queued
+    // at the hard stop; both are bounded by a tiny fraction of the traffic.
+    let missing = sent - delivered;
+    assert!(
+        (missing as f64) < 0.05 * sent as f64,
+        "{missing} of {sent} bytes unaccounted"
+    );
+}
+
+#[test]
+fn report_bandwidth_is_orders_below_mirroring() {
+    let (_flows, result) = small_workload();
+    let mut total_bps = 0.0;
+    let mut total_packets = 0u64;
+    for host in 0..16 {
+        let mut agent = HostAgent::new(host, HostAgentConfig::default());
+        agent.ingest(&result.telemetry.tx_records);
+        total_packets += agent.packets;
+        total_bps += HostAgent::report_bandwidth_bps(&agent.finish(), 5_000_000);
+    }
+    let mirror_bps = (total_packets * 64 * 8) as f64 / 0.005;
+    assert!(
+        total_bps < mirror_bps / 5.0,
+        "WaveSketch ({:.1} Mbps) must be far cheaper than 64 B/pkt mirroring ({:.1} Mbps)",
+        total_bps / 1e6,
+        mirror_bps / 1e6
+    );
+}
+
+#[test]
+fn clock_offsets_stay_within_one_window() {
+    let topo = Topology::dumbbell(1, 100.0, 1000);
+    let flows = vec![FlowSpec {
+        id: FlowId(0),
+        src: 0,
+        dst: 1,
+        size_bytes: 100_000,
+        start_ns: 0,
+        cc: CongestionControl::Dcqcn,
+    }];
+    let config = SimConfig {
+        clock_error_ns: 200,
+        end_ns: 2_000_000,
+        ..SimConfig::default()
+    };
+    let result = Simulator::new(topo, flows, config).run();
+    // §6.1: sync errors must not exceed two microsecond-level windows.
+    for node in 0..4 {
+        assert!(result.clocks.offset(node).abs() < 2 * 8192);
+    }
+}

@@ -1,0 +1,122 @@
+//! Multi-period operation: the paper drains WaveSketch every 20 ms and
+//! handles longer flows "in multiple reporting periods" (§7.1). These tests
+//! run the pipeline across several periods and verify the analyzer stitches
+//! per-period reports back into continuous curves.
+
+use umon_repro::umon::{Analyzer, HostAgent, HostAgentConfig};
+use umon_repro::umon_netsim::{
+    CongestionControl, FlowId, FlowSpec, SimConfig, Simulator, Topology,
+};
+use umon_repro::wavesketch::SketchConfig;
+
+fn agent_config(period_ns: u64) -> HostAgentConfig {
+    HostAgentConfig {
+        sketch: SketchConfig::builder()
+            .rows(2)
+            .width(64)
+            .levels(6)
+            .topk(128)
+            .max_windows(2048)
+            .heavy_rows(32)
+            .build(),
+        period_ns,
+        window_shift: 13,
+    }
+}
+
+#[test]
+fn long_flow_spans_periods_and_reconstructs_continuously() {
+    // A 10 Gbps fixed-rate flow for 9 ms, measured with 2 ms periods: the
+    // flow crosses four period boundaries.
+    let topo = Topology::dumbbell(1, 100.0, 1000);
+    let flows = vec![FlowSpec {
+        id: FlowId(0),
+        src: 0,
+        dst: 1,
+        size_bytes: (10.0 / 8.0 * 9_000_000.0) as u64, // 10 Gbps × 9 ms
+        start_ns: 0,
+        cc: CongestionControl::FixedRate(10.0),
+    }];
+    let config = SimConfig {
+        end_ns: 12_000_000,
+        clock_error_ns: 0,
+        seed: 3,
+        ..SimConfig::default()
+    };
+    let result = Simulator::new(topo, flows, config).run();
+
+    let cfg = agent_config(2_000_000);
+    let mut agent = HostAgent::new(0, cfg.clone());
+    agent.ingest(&result.telemetry.tx_records);
+    let reports = agent.finish();
+    assert!(
+        reports.len() >= 4,
+        "a 9 ms flow must span several 2 ms periods (got {})",
+        reports.len()
+    );
+
+    let mut analyzer = Analyzer::new(cfg.sketch.clone());
+    analyzer.add_reports(reports);
+    let curve = analyzer.flow_curve(0, 0).expect("flow measured");
+
+    // The reconstructed curve must hold ~10 Gbps across the whole 9 ms
+    // without dips at period boundaries.
+    let window_ns = 8192.0;
+    let active_windows = (9_000_000.0 / window_ns) as u64;
+    let mut low_windows = 0;
+    for w in 5..active_windows - 5 {
+        let gbps = curve.at(w) * 8.0 / window_ns;
+        if gbps < 5.0 {
+            low_windows += 1;
+        }
+    }
+    assert!(
+        low_windows < active_windows / 50,
+        "{low_windows} of {active_windows} windows dipped below half rate"
+    );
+    // Total volume is conserved across all periods.
+    let total: f64 = (0..active_windows + 20).map(|w| curve.at(w)).sum();
+    let sent = result.flows[0].sent_bytes as f64;
+    assert!(
+        (total - sent).abs() / sent < 0.02,
+        "stitched total {total} vs sent {sent}"
+    );
+}
+
+#[test]
+fn reports_arrive_once_per_active_period() {
+    // Two bursts separated by a quiet period: the quiet period produces no
+    // report at all (upload cost tracks activity).
+    let topo = Topology::dumbbell(1, 100.0, 1000);
+    let flows = vec![
+        FlowSpec {
+            id: FlowId(0),
+            src: 0,
+            dst: 1,
+            size_bytes: 100_000,
+            start_ns: 0,
+            cc: CongestionControl::Dcqcn,
+        },
+        FlowSpec {
+            id: FlowId(1),
+            src: 0,
+            dst: 1,
+            size_bytes: 100_000,
+            start_ns: 5_000_000, // lands in period 2 (2 ms periods)
+            cc: CongestionControl::Dcqcn,
+        },
+    ];
+    let config = SimConfig {
+        end_ns: 8_000_000,
+        clock_error_ns: 0,
+        seed: 4,
+        ..SimConfig::default()
+    };
+    let result = Simulator::new(topo, flows, config).run();
+    let cfg = agent_config(2_000_000);
+    let mut agent = HostAgent::new(0, cfg);
+    agent.ingest(&result.telemetry.tx_records);
+    let reports = agent.finish();
+    let periods: Vec<u64> = reports.iter().map(|r| r.period).collect();
+    assert_eq!(periods, vec![0, 2], "bursts land in periods 0 and 2 only");
+}
