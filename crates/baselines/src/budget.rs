@@ -3,7 +3,7 @@
 //! memory (the x-axis of Figures 11, 12).
 
 use crate::{CurveSketch, FourierSketch, OmniWindowAvg, PersistCms};
-use wavesketch::{BasicWaveSketch, SketchConfig, SelectorKind};
+use wavesketch::{BasicWaveSketch, SelectorKind, SketchConfig};
 
 /// Common layout parameters shared by every scheme in a sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,8 +68,7 @@ impl SweepLayout {
 
     /// Builds an OmniWindow-Avg with `m = per-bucket bytes / 4` sub-windows.
     pub fn omniwindow(&self, total_bytes: usize) -> OmniWindowAvg {
-        let m = (self.per_bucket_bytes(total_bytes) / 4)
-            .clamp(1, self.period_windows);
+        let m = (self.per_bucket_bytes(total_bytes) / 4).clamp(1, self.period_windows);
         OmniWindowAvg::new(
             self.rows,
             self.width,

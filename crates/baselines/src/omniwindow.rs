@@ -158,7 +158,10 @@ mod tests {
         let f = FlowKey::from_id(3);
         s.update(&f, 20, 16_000);
         let curve = s.query(&f).unwrap();
-        assert!((curve.at(20) - 1000.0).abs() < 1e-9, "spike flattened to the average");
+        assert!(
+            (curve.at(20) - 1000.0).abs() < 1e-9,
+            "spike flattened to the average"
+        );
     }
 
     #[test]

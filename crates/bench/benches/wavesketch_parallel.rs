@@ -1,0 +1,141 @@
+//! Criterion benchmark for sharded parallel host ingest: sequential
+//! `FullWaveSketch` updates vs 1/2/4/8 lane-partitioned shards applied on
+//! worker threads (and, for reference, the single-threaded
+//! `ShardedWaveSketch` wrapper, which pays routing but not parallelism).
+//!
+//! The threaded variants pre-route the stream into per-shard batches outside
+//! the timed region: routing is one hash per packet and in the real host
+//! agent it runs on the ingest thread, overlapped with the workers applying
+//! previous batches. What is timed is the sketch update work itself — the
+//! quantity that must scale with shard count.
+//!
+//! Two scaling measures are reported per shard count: `threads/N` (real
+//! scoped threads; wall-clock, capped by the machine's core count) and
+//! `critical_path/N` (the busiest shard timed alone with the full stream in
+//! the throughput denominator — the N-core ingest rate, meaningful even on
+//! a single-core machine).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wavesketch::sharded::ShardedWaveSketch;
+use wavesketch::{FlowKey, FullWaveSketch, SketchConfig};
+
+fn config() -> SketchConfig {
+    SketchConfig::builder()
+        .rows(3)
+        .width(256)
+        .levels(8)
+        .topk(64)
+        .max_windows(4096)
+        .heavy_rows(256)
+        .build()
+}
+
+/// A packet stream: (flow, window, bytes), windows non-decreasing and
+/// bounded to one measurement period (no epoch rollovers).
+fn stream(packets: usize, flows: u64, seed: u64) -> Vec<(FlowKey, u64, i64)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut window = 0u64;
+    (0..packets)
+        .map(|_| {
+            if rng.gen_bool(0.2) {
+                window = (window + rng.gen_range(1..4)).min(4000);
+            }
+            (
+                FlowKey::from_id(rng.gen_range(0..flows)),
+                window,
+                rng.gen_range(64..1500),
+            )
+        })
+        .collect()
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let packets = stream(200_000, 2000, 7);
+    let cfg = config();
+    let mut group = c.benchmark_group("sharded_ingest");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut s = FullWaveSketch::new(cfg.clone());
+            for (f, w, v) in &packets {
+                s.update(black_box(f), *w, *v);
+            }
+            s.evictions()
+        })
+    });
+
+    // Routing cost on the ingest thread, no parallelism: the overhead floor
+    // of the sharded layout itself.
+    group.bench_function("sharded_1thread_4", |b| {
+        b.iter(|| {
+            let mut s = ShardedWaveSketch::new(cfg.clone(), 4);
+            s.update_batch(black_box(&packets));
+            s.evictions()
+        })
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut split: Vec<Vec<(FlowKey, u64, i64)>> = vec![Vec::new(); shards];
+        for &(f, w, v) in &packets {
+            split[cfg.shard_of(&f, shards)].push((f, w, v));
+        }
+        // Real scoped threads: wall-clock scaling, bounded by the machine's
+        // core count (flat on a single-core box).
+        group.bench_with_input(BenchmarkId::new("threads", shards), &split, |b, split| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = split
+                        .iter()
+                        .enumerate()
+                        .map(|(s, batch)| {
+                            let shard_cfg = cfg.shard_slice(s, shards);
+                            scope.spawn(move || {
+                                let mut sk = FullWaveSketch::new(shard_cfg);
+                                for (f, w, v) in batch {
+                                    sk.update(black_box(f), *w, *v);
+                                }
+                                sk.evictions()
+                            })
+                        })
+                        .collect();
+                    workers.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+                })
+            })
+        });
+        // Critical path: time only the busiest shard while accounting the
+        // whole stream in the throughput. This is the ingest rate the shard
+        // layout sustains with one core per shard — shards share no state,
+        // so the slowest shard *is* the parallel wall-clock — and it is the
+        // right scaling measure on machines with fewer cores than shards.
+        let busiest = split
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.len())
+            .map(|(s, _)| s)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("critical_path", shards),
+            &split[busiest],
+            |b, batch| {
+                b.iter(|| {
+                    let mut sk = FullWaveSketch::new(cfg.shard_slice(busiest, shards));
+                    for (f, w, v) in batch {
+                        sk.update(black_box(f), *w, *v);
+                    }
+                    sk.evictions()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sharded_ingest
+}
+criterion_main!(benches);

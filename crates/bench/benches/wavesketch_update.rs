@@ -56,8 +56,10 @@ fn bench_update(c: &mut Criterion) {
     });
     group.bench_function("basic_hw", |b| {
         b.iter(|| {
-            let mut s =
-                BasicWaveSketch::new(config(SelectorKind::HwThreshold { even: 100, odd: 100 }));
+            let mut s = BasicWaveSketch::new(config(SelectorKind::HwThreshold {
+                even: 100,
+                odd: 100,
+            }));
             for (f, w, v) in &packets {
                 s.update(black_box(f), *w, *v);
             }
@@ -91,11 +93,8 @@ fn bench_amortized_density(c: &mut Criterion) {
             &packets,
             |b, packets| {
                 b.iter(|| {
-                    let mut t = StreamingTransform::new(
-                        8,
-                        4096,
-                        Selector::new(SelectorKind::Ideal, 64),
-                    );
+                    let mut t =
+                        StreamingTransform::new(8, 4096, Selector::new(SelectorKind::Ideal, 64));
                     let mut cur = (0u64, 0i64);
                     for &(w, v) in packets {
                         if w == cur.0 {
@@ -115,7 +114,9 @@ fn bench_amortized_density(c: &mut Criterion) {
 
 fn bench_transform_reconstruct(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let series: Vec<(u32, i64)> = (0..4096u32).map(|w| (w, rng.gen_range(0..100_000))).collect();
+    let series: Vec<(u32, i64)> = (0..4096u32)
+        .map(|w| (w, rng.gen_range(0..100_000)))
+        .collect();
     c.bench_function("streaming_transform_4096", |b| {
         b.iter(|| {
             let mut t = StreamingTransform::new(8, 4096, IdealTopK::new(64));

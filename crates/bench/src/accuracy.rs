@@ -73,26 +73,23 @@ pub fn calibrate_hw(records: &[TxRecord], k: usize) -> SelectorKind {
 }
 
 /// Runs the full sweep: every scheme at every memory budget.
-pub fn sweep(
-    records: &[TxRecord],
-    num_hosts: usize,
-    budgets_kb: &[usize],
-) -> Vec<AccuracyPoint> {
+pub fn sweep(records: &[TxRecord], num_hosts: usize, budgets_kb: &[usize]) -> Vec<AccuracyPoint> {
     let layout = SweepLayout::paper(0, PERIOD_WINDOWS);
     let mut out = Vec::new();
     for &kb in budgets_kb {
         let budget = kb * 1024;
         // K for this budget (reused by HW calibration).
-        let k = layout
-            .wavesketch(budget, SelectorKind::Ideal)
-            .config()
-            .topk;
+        let k = layout.wavesketch(budget, SelectorKind::Ideal).config().topk;
         let hw_kind = calibrate_hw(records, k);
-        let makes: Vec<(&'static str, Box<dyn Fn() -> Box<dyn CurveSketch>>)> = vec![
+        type SketchFactory = Box<dyn Fn() -> Box<dyn CurveSketch>>;
+        let makes: Vec<(&'static str, SketchFactory)> = vec![
             (
                 SCHEMES[0],
                 Box::new(move || {
-                    Box::new(SweepLayout::paper(0, PERIOD_WINDOWS).wavesketch(budget, SelectorKind::Ideal))
+                    Box::new(
+                        SweepLayout::paper(0, PERIOD_WINDOWS)
+                            .wavesketch(budget, SelectorKind::Ideal),
+                    )
                 }),
             ),
             (
@@ -103,7 +100,9 @@ pub fn sweep(
             ),
             (
                 SCHEMES[2],
-                Box::new(move || Box::new(SweepLayout::paper(0, PERIOD_WINDOWS).omniwindow(budget))),
+                Box::new(move || {
+                    Box::new(SweepLayout::paper(0, PERIOD_WINDOWS).omniwindow(budget))
+                }),
             ),
             (
                 SCHEMES[3],
@@ -111,7 +110,9 @@ pub fn sweep(
             ),
             (
                 SCHEMES[4],
-                Box::new(move || Box::new(SweepLayout::paper(0, PERIOD_WINDOWS).persist_cms(budget))),
+                Box::new(move || {
+                    Box::new(SweepLayout::paper(0, PERIOD_WINDOWS).persist_cms(budget))
+                }),
             ),
         ];
         for (name, make) in makes {
@@ -134,7 +135,10 @@ pub fn report(kind: WorkloadKind, load: f64, points: &[AccuracyPoint]) -> serde_
         load * 100.0,
         kind.name()
     );
-    println!("{:<18} {:>9}  metrics (workload average over flows)", "scheme", "memory");
+    println!(
+        "{:<18} {:>9}  metrics (workload average over flows)",
+        "scheme", "memory"
+    );
     let mut rows = Vec::new();
     for p in points {
         println!(
@@ -162,7 +166,10 @@ pub fn report(kind: WorkloadKind, load: f64, points: &[AccuracyPoint]) -> serde_
 /// Prints the flow-size breakdown (Figures 17/18) for one memory budget.
 pub fn report_by_flow_size(points: &[AccuracyPoint], memory_bytes: usize) -> serde_json::Value {
     let mut rows = Vec::new();
-    println!("\nAccuracy by flow length (memory = {} KB)", memory_bytes / 1024);
+    println!(
+        "\nAccuracy by flow length (memory = {} KB)",
+        memory_bytes / 1024
+    );
     for p in points.iter().filter(|p| p.memory_bytes == memory_bytes) {
         println!("  {}", p.scheme);
         for (bucket, m, n) in by_flow_length(&p.per_flow, 1000.0) {

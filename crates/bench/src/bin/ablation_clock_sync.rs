@@ -3,10 +3,10 @@
 //! event/rate alignment. We sweep the per-node clock-error bound and
 //! measure event recall at a fixed ±2-window matching tolerance.
 
+use umon::{Analyzer, HostAgentConfig, SwitchAgent, SwitchAgentConfig};
 use umon_bench::{save_results, PERIOD_NS};
 use umon_netsim::{SimConfig, Simulator, Topology};
 use umon_workloads::{WorkloadKind, WorkloadParams};
-use umon::{Analyzer, HostAgentConfig, SwitchAgent, SwitchAgentConfig};
 
 fn main() {
     println!("\nAblation: clock error vs event-match recall (tolerance = 2 windows)");
@@ -38,12 +38,8 @@ fn main() {
         }
         // Heavy episodes only (≥ KMax): detectable by construction, so any
         // recall loss comes from timestamp misalignment.
-        let stats = analyzer.match_episodes(
-            &result.telemetry.episodes,
-            200 * 1024,
-            u32::MAX,
-            tolerance,
-        );
+        let stats =
+            analyzer.match_episodes(&result.telemetry.episodes, 200 * 1024, u32::MAX, tolerance);
         let label = if error_ns < 1000 {
             format!("±{error_ns} ns")
         } else if error_ns < 1_000_000 {

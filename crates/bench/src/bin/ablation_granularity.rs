@@ -21,7 +21,10 @@ fn main() {
     // Take the 20 largest flows' packet streams.
     let mut per_flow: HashMap<u64, Vec<(u64, i64)>> = HashMap::new();
     for r in &result.telemetry.tx_records {
-        per_flow.entry(r.flow.0).or_default().push((r.ts_ns, r.bytes as i64));
+        per_flow
+            .entry(r.flow.0)
+            .or_default()
+            .push((r.ts_ns, r.bytes as i64));
     }
     let mut flows: Vec<(u64, i64)> = per_flow
         .iter()

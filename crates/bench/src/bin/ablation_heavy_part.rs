@@ -71,7 +71,9 @@ fn main() {
             let tw = &truth[&(host, f)];
             let start = tw.keys().min().expect("non-empty") - 4;
             let end = tw.keys().max().expect("non-empty") + 5;
-            let t: Vec<f64> = (start..end).map(|w| tw.get(&w).copied().unwrap_or(0.0)).collect();
+            let t: Vec<f64> = (start..end)
+                .map(|w| tw.get(&w).copied().unwrap_or(0.0))
+                .collect();
             let key = FlowKey::from_id(f);
             let eval = |curve: Option<wavesketch::basic::WindowSeries>| -> Vec<f64> {
                 match curve {
@@ -103,8 +105,12 @@ fn main() {
     save_results(
         "ablation_heavy_part",
         &serde_json::json!({
-            "full": {"are": mf.are, "cosine": mf.cosine, "energy": mf.energy, "euclidean": mf.euclidean},
-            "basic": {"are": mb.are, "cosine": mb.cosine, "energy": mb.energy, "euclidean": mb.euclidean},
+            "full": serde_json::json!({
+                "are": mf.are, "cosine": mf.cosine, "energy": mf.energy, "euclidean": mf.euclidean
+            }),
+            "basic": serde_json::json!({
+                "are": mb.are, "cosine": mb.cosine, "energy": mb.energy, "euclidean": mb.euclidean
+            }),
             "flows": acc_full.flow_count(),
         }),
     );

@@ -4,10 +4,12 @@
 //! dedup, batch reporting). Compares recall, flow coverage and report
 //! bandwidth on the same workload.
 
+use umon::{
+    Analyzer, HostAgentConfig, PSwitchAgent, PSwitchConfig, SwitchAgent, SwitchAgentConfig,
+};
 use umon_bench::{save_results, PERIOD_NS};
 use umon_netsim::{SimConfig, Simulator, Topology};
 use umon_workloads::{WorkloadKind, WorkloadParams};
-use umon::{Analyzer, HostAgentConfig, PSwitchAgent, PSwitchConfig, SwitchAgent, SwitchAgentConfig};
 
 fn main() {
     // Re-run the workload with the burst tap enabled (threshold = KMin).
@@ -22,7 +24,10 @@ fn main() {
     };
     let result = Simulator::new(topo, flows, config).run();
     let episodes = &result.telemetry.episodes;
-    let heavy: Vec<_> = episodes.iter().filter(|e| e.max_qlen >= 200 * 1024).collect();
+    let heavy: Vec<_> = episodes
+        .iter()
+        .filter(|e| e.max_qlen >= 200 * 1024)
+        .collect();
     println!(
         "\nworkload: Hadoop 35% — {} episodes ({} above KMax)",
         episodes.len(),
@@ -81,7 +86,10 @@ fn main() {
     };
 
     let span_s = PERIOD_NS as f64 / 1e9;
-    println!("\n{:<28} {:>10} {:>12} {:>14}", "capture design", "recall", "flows/event", "report bw");
+    println!(
+        "\n{:<28} {:>10} {:>12} {:>14}",
+        "capture design", "recall", "flows/event", "report bw"
+    );
     println!(
         "{:<28} {:>10.3} {:>12.1} {:>11.1} Mbps",
         "commodity ACL mirror 1/64",
@@ -104,10 +112,14 @@ fn main() {
     save_results(
         "ablation_pswitch",
         &serde_json::json!({
-            "acl": {"recall": acl.recall(), "flows_per_event": acl.mean_flows_captured,
-                     "bandwidth_mbps": mirror_bytes as f64 * 8.0 / span_s / 1e6},
-            "pswitch": {"recall": ps_recall, "flows_per_event": ps_flows,
-                         "bandwidth_mbps": ps_bytes as f64 * 8.0 / span_s / 1e6},
+            "acl": serde_json::json!({
+                "recall": acl.recall(), "flows_per_event": acl.mean_flows_captured,
+                "bandwidth_mbps": mirror_bytes as f64 * 8.0 / span_s / 1e6
+            }),
+            "pswitch": serde_json::json!({
+                "recall": ps_recall, "flows_per_event": ps_flows,
+                "bandwidth_mbps": ps_bytes as f64 * 8.0 / span_s / 1e6
+            }),
         }),
     );
 }

@@ -3,8 +3,8 @@
 //! compression, more computation/state per update); larger `K` keeps more
 //! detail (better accuracy, bigger reports).
 
-use umon_bench::{evaluate_scheme, fmt_metrics, run_paper_workload, save_results, PERIOD_WINDOWS};
 use umon_baselines::CurveSketch;
+use umon_bench::{evaluate_scheme, fmt_metrics, run_paper_workload, save_results, PERIOD_WINDOWS};
 use umon_workloads::WorkloadKind;
 use wavesketch::{BasicWaveSketch, SelectorKind, SketchConfig};
 
@@ -27,7 +27,10 @@ fn main() {
     let mut rows = Vec::new();
 
     println!("\nAblation: wavelet depth L (K = 64)");
-    println!("{:>3} {:>10} {:>12}  accuracy", "L", "memory KB", "report B/bkt");
+    println!(
+        "{:>3} {:>10} {:>12}  accuracy",
+        "L", "memory KB", "report B/bkt"
+    );
     for levels in [4u32, 6, 8, 10] {
         let proto = build(levels, 64);
         let mem_kb = proto.memory_bytes() / 1024;
@@ -45,7 +48,10 @@ fn main() {
     }
 
     println!("\nAblation: coefficient budget K (L = 8)");
-    println!("{:>4} {:>10} {:>12}  accuracy", "K", "memory KB", "report B/bkt");
+    println!(
+        "{:>4} {:>10} {:>12}  accuracy",
+        "K", "memory KB", "report B/bkt"
+    );
     for k in [16usize, 32, 64, 128, 256] {
         let proto = build(8, k);
         let mem_kb = proto.memory_bytes() / 1024;

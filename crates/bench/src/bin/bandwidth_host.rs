@@ -3,9 +3,9 @@
 //! per-packet head mirroring (the Valinor/Lumina-style comparison: 64 B on
 //! the wire for every packet).
 
+use umon::{HostAgent, HostAgentConfig};
 use umon_bench::{run_paper_workload, save_results, PERIOD_NS};
 use umon_workloads::WorkloadKind;
-use umon::{HostAgent, HostAgentConfig};
 
 fn main() {
     let (_flows, result) = run_paper_workload(WorkloadKind::Hadoop, 0.15, 7);
@@ -30,7 +30,10 @@ fn main() {
     let mirror_avg_mbps = mirror_bits as f64 / (span_ns as f64 / 1e9) / 16.0 / 1e6;
 
     println!("\nHost-side measurement bandwidth (Hadoop 15%, 20 ms period):");
-    println!("  WaveSketch reports: avg {avg_mbps:.2} Mbps/host (max {:.2})", max_bps / 1e6);
+    println!(
+        "  WaveSketch reports: avg {avg_mbps:.2} Mbps/host (max {:.2})",
+        max_bps / 1e6
+    );
     println!("  64 B/packet head mirroring: avg {mirror_avg_mbps:.2} Mbps/host");
     println!(
         "  WaveSketch uses {:.3}% of the mirroring bandwidth",

@@ -9,7 +9,10 @@ use wavesketch::BucketReport;
 
 fn main() {
     println!("\n§4.2 compression ratio: model vs measured");
-    println!("{:>6} {:>4} {:>6} {:>10} {:>10}", "n", "L", "K", "model", "measured");
+    println!(
+        "{:>6} {:>4} {:>6} {:>10} {:>10}",
+        "n", "L", "K", "model", "measured"
+    );
     let mut rows = Vec::new();
     for (n, l, k) in [
         (2000usize, 8u32, 32usize),

@@ -3,11 +3,11 @@
 //! fabrics with deflect-on-drop) — detected end-to-end from the new
 //! telemetry taps.
 
+use umon::{loss_events, pause_storms};
 use umon_bench::save_results;
 use umon_netsim::sim::PfcConfig;
 use umon_netsim::{CongestionControl, SimConfig, Simulator, Topology};
 use umon_workloads::incast_burst;
-use umon::{loss_events, pause_storms};
 
 fn main() {
     // A harsh 8:1 incast with fixed-rate senders (no backoff) stresses the
@@ -80,15 +80,22 @@ fn main() {
             e.switch, e.port, e.packets, e.bytes, e.victims
         );
     }
-    assert!(lossy.telemetry.drops > 0, "without PFC this incast must drop");
+    assert!(
+        lossy.telemetry.drops > 0,
+        "without PFC this incast must drop"
+    );
     assert!(!losses.is_empty());
     save_results(
         "ext_pfc_loss_events",
         &serde_json::json!({
-            "lossless": {"drops": lossless.telemetry.drops,
-                          "pause_transitions": lossless.telemetry.pause_records.len(),
-                          "storms": storms.len()},
-            "lossy": {"drops": lossy.telemetry.drops, "loss_events": losses.len()},
+            "lossless": serde_json::json!({
+                "drops": lossless.telemetry.drops,
+                "pause_transitions": lossless.telemetry.pause_records.len(),
+                "storms": storms.len()
+            }),
+            "lossy": serde_json::json!({
+                "drops": lossy.telemetry.drops, "loss_events": losses.len()
+            }),
         }),
     );
 }

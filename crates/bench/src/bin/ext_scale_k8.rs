@@ -4,10 +4,10 @@
 //! (16 hosts) and k=8 (128 hosts) fat-trees and compares the per-host
 //! WaveSketch report bandwidth.
 
+use umon::{HostAgent, HostAgentConfig};
 use umon_bench::save_results;
 use umon_netsim::{SimConfig, Simulator, Topology};
 use umon_workloads::{WorkloadKind, WorkloadParams};
-use umon::{HostAgent, HostAgentConfig};
 
 fn per_host_mbps(k: usize, seed: u64) -> (usize, f64) {
     let topo = Topology::fat_tree(k, 100.0, 1000);

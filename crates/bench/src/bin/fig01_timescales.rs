@@ -19,7 +19,9 @@ fn main() {
         start_ns: 0,
         cc: CongestionControl::Dcqcn,
     }];
-    flows.extend(on_off_background(1, 1, 3, 90.0, 150_000, 250_000, 25, 100_000));
+    flows.extend(on_off_background(
+        1, 1, 3, 90.0, 150_000, 250_000, 25, 100_000,
+    ));
     let config = SimConfig {
         end_ns: 11_000_000,
         clock_error_ns: 0,
@@ -45,7 +47,10 @@ fn main() {
     let to_gbps_coarse = |b: f64| b * 8.0 / coarse_ns as f64;
 
     println!("\nFigure 1: flow rate at different timescales (Gbps)");
-    println!("10 ms window average: {:.2} Gbps", to_gbps_coarse(coarse[0]));
+    println!(
+        "10 ms window average: {:.2} Gbps",
+        to_gbps_coarse(coarse[0])
+    );
     let fine_gbps: Vec<f64> = fine.iter().map(|&b| to_gbps_fine(b)).collect();
     let max = fine_gbps.iter().cloned().fold(0.0, f64::max);
     let min_active = fine_gbps

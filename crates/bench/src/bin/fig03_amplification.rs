@@ -23,7 +23,12 @@ fn main() {
             }
             let durations: Vec<u64> = bounds.values().map(|&(a, b)| b - a).collect();
             let factor = counter_increase_factor(&durations, 10_000, 10_000_000);
-            println!("{:<18} {:>5.0}% {:>10.1}", kind.name(), load * 100.0, factor);
+            println!(
+                "{:<18} {:>5.0}% {:>10.1}",
+                kind.name(),
+                load * 100.0,
+                factor
+            );
             rows.push(serde_json::json!({
                 "workload": kind.name(),
                 "load": load,

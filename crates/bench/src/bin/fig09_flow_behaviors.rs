@@ -6,11 +6,11 @@
 //! * (b) an RDMA (DCQCN) flow reacting to an on-off competing flow —
 //!   back-off on each burst, recovery in each silence.
 
+use umon::usecases::find_gaps;
+use umon::{Analyzer, HostAgent, HostAgentConfig};
 use umon_bench::{save_results, WINDOW_SHIFT};
 use umon_netsim::{CongestionControl, FlowId, FlowSpec, SimConfig, Simulator, Topology};
 use umon_workloads::on_off_background;
-use umon::usecases::find_gaps;
-use umon::{Analyzer, HostAgent, HostAgentConfig};
 
 /// Measures flow 0's curve of `result` through a host agent + analyzer.
 fn measured_curve(records: &[umon_netsim::TxRecord], windows: u64) -> Vec<f64> {
@@ -30,19 +30,6 @@ fn main() {
     // (a) Application-limited TCP flow: bursts of data separated by idle
     // periods (the application cannot feed the socket continuously).
     let topo = Topology::dumbbell(1, 100.0, 1000);
-    let mut flows = Vec::new();
-    for burst in 0..10u64 {
-        flows.push(FlowSpec {
-            id: FlowId(0),
-            src: 0,
-            dst: 1,
-            size_bytes: 0, // placeholder, replaced below
-            start_ns: 0,
-            cc: CongestionControl::Dctcp,
-        });
-        let _ = burst;
-        break;
-    }
     // Model application-limited transmission as on-off fixed-rate bursts of
     // the *same* flow id: 40 Gbps for 200 μs, idle 300 μs, 8 times.
     let bursts = on_off_background(0, 0, 1, 40.0, 200_000, 300_000, 8, 0);
@@ -80,7 +67,9 @@ fn main() {
         start_ns: 0,
         cc: CongestionControl::Dcqcn,
     }];
-    flows.extend(on_off_background(1, 1, 3, 90.0, 200_000, 300_000, 8, 200_000));
+    flows.extend(on_off_background(
+        1, 1, 3, 90.0, 200_000, 300_000, 8, 200_000,
+    ));
     let result = Simulator::new(topo, flows, config).run();
     let rdma_curve = measured_curve(&result.telemetry.tx_records, horizon_w);
     let rdma_gbps: Vec<f64> = rdma_curve.iter().map(|&b| to_gbps(b)).collect();

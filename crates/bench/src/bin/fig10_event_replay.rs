@@ -7,14 +7,13 @@
 //!   flows around the event, reconstructed from WaveSketch reports.
 
 use std::collections::HashMap;
+use umon::{Analyzer, HostAgent, HostAgentConfig, SwitchAgent, SwitchAgentConfig};
 use umon_bench::{run_paper_workload, save_results, WINDOW_SHIFT};
 use umon_workloads::WorkloadKind;
-use umon::{Analyzer, HostAgent, HostAgentConfig, SwitchAgent, SwitchAgentConfig};
 
 fn main() {
     let (flows, result) = run_paper_workload(WorkloadKind::Hadoop, 0.15, 10);
-    let host_of_flow: HashMap<u64, usize> =
-        flows.iter().map(|f| (f.id.0, f.src)).collect();
+    let host_of_flow: HashMap<u64, usize> = flows.iter().map(|f| (f.id.0, f.src)).collect();
 
     // Host agents feed the analyzer with WaveSketch reports.
     let agent_cfg = HostAgentConfig::default();
@@ -38,7 +37,10 @@ fn main() {
     // (a) event map.
     let events = analyzer.cluster_events(50_000);
     println!("\nFigure 10a: congestion event map (switch-port = link id)");
-    println!("{:>8} {:>6} {:>12} {:>10}", "link", "flows", "start (us)", "dur (us)");
+    println!(
+        "{:>8} {:>6} {:>12} {:>10}",
+        "link", "flows", "start (us)", "dur (us)"
+    );
     for e in events.iter().take(20) {
         println!(
             "{:>5}/{:<2} {:>6} {:>12.1} {:>10.1}",
@@ -70,12 +72,10 @@ fn main() {
         .max_by_key(|e| e.duration_ns())
         .expect("events exist");
     let margin_windows = 20u64;
-    let (windows, curves) = analyzer.replay_event(
-        longest,
-        margin_windows * 8192,
-        WINDOW_SHIFT,
-        |f| host_of_flow.get(&f).copied(),
-    );
+    let (windows, curves) =
+        analyzer.replay_event(longest, margin_windows * 8192, WINDOW_SHIFT, |f| {
+            host_of_flow.get(&f).copied()
+        });
     println!(
         "\nFigure 10c: replay of the longest event (link {}/{}, {:.1} us, {} flows)",
         longest.switch,
@@ -91,22 +91,25 @@ fn main() {
     for (flow, values) in curves.iter().take(8) {
         let peak = values.iter().cloned().fold(0.0, f64::max) * 8.0 / window_ns as f64;
         let role = umon::classify_event_role(values, pre.clone(), during.clone());
-        println!(
-            "  flow {flow:>6}: peak {:>6.1} Gbps, role {:?}",
-            peak, role
-        );
+        println!("  flow {flow:>6}: peak {:>6.1} Gbps, role {:?}", peak, role);
     }
     let roles: Vec<umon::EventRole> = curves
         .iter()
         .map(|(_, v)| umon::classify_event_role(v, pre.clone(), during.clone()))
         .collect();
-    let contributors = roles.iter().filter(|r| **r == umon::EventRole::Contributor).count();
+    let contributors = roles
+        .iter()
+        .filter(|r| **r == umon::EventRole::Contributor)
+        .count();
     println!(
         "  → {} contributor(s) ramped into the event; {} victim(s)/bystander(s)",
         contributors,
         roles.len() - contributors
     );
-    assert!(!curves.is_empty(), "replay must recover at least one flow curve");
+    assert!(
+        !curves.is_empty(),
+        "replay must recover at least one flow curve"
+    );
     assert!(
         contributors >= 1,
         "a congestion event must have at least one bursting contributor"

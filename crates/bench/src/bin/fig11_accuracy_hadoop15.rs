@@ -8,7 +8,11 @@ use umon_workloads::WorkloadKind;
 fn main() {
     let kind = WorkloadKind::Hadoop;
     let load = 0.15;
-    eprintln!("simulating {} at {:.0}% load ...", kind.name(), load * 100.0);
+    eprintln!(
+        "simulating {} at {:.0}% load ...",
+        kind.name(),
+        load * 100.0
+    );
     let (_flows, result) = run_paper_workload(kind, load, 11);
     eprintln!(
         "  {} egress packets, {} flows",

@@ -21,7 +21,9 @@ fn main() {
         start_ns: 0,
         cc: CongestionControl::Dcqcn,
     }];
-    flows.extend(on_off_background(1, 1, 3, 90.0, 150_000, 200_000, 24, 100_000));
+    flows.extend(on_off_background(
+        1, 1, 3, 90.0, 150_000, 200_000, 24, 100_000,
+    ));
     let config = SimConfig {
         end_ns: 10_000_000,
         clock_error_ns: 0,
@@ -77,9 +79,18 @@ fn main() {
 
     let m_ws = all_metrics(&truth, &ws_curve);
     let m_ow = all_metrics(&truth, &ow_curve);
-    println!("\nFigure 13: single-flow reconstruction (same memory: {} B/bucket)", bucket_bytes);
-    println!("  WaveSketch (K=32):  cosine {:.4}  energy {:.4}  ARE {:.4}", m_ws.cosine, m_ws.energy, m_ws.are);
-    println!("  OmniWindow-Avg:     cosine {:.4}  energy {:.4}  ARE {:.4}", m_ow.cosine, m_ow.energy, m_ow.are);
+    println!(
+        "\nFigure 13: single-flow reconstruction (same memory: {} B/bucket)",
+        bucket_bytes
+    );
+    println!(
+        "  WaveSketch (K=32):  cosine {:.4}  energy {:.4}  ARE {:.4}",
+        m_ws.cosine, m_ws.energy, m_ws.are
+    );
+    println!(
+        "  OmniWindow-Avg:     cosine {:.4}  energy {:.4}  ARE {:.4}",
+        m_ow.cosine, m_ow.energy, m_ow.are
+    );
 
     // Peak preservation: the paper's visual point — WaveSketch keeps the
     // sharp features OmniWindow flattens.
@@ -100,10 +111,14 @@ fn main() {
     save_results(
         "fig13_reconstruction",
         &serde_json::json!({
-            "wavesketch": {"cosine": m_ws.cosine, "energy": m_ws.energy, "are": m_ws.are,
-                            "peak_gbps": gbps(peak_ws)},
-            "omniwindow": {"cosine": m_ow.cosine, "energy": m_ow.energy, "are": m_ow.are,
-                            "peak_gbps": gbps(peak_ow)},
+            "wavesketch": serde_json::json!({
+                "cosine": m_ws.cosine, "energy": m_ws.energy, "are": m_ws.are,
+                "peak_gbps": gbps(peak_ws)
+            }),
+            "omniwindow": serde_json::json!({
+                "cosine": m_ow.cosine, "energy": m_ow.energy, "are": m_ow.are,
+                "peak_gbps": gbps(peak_ow)
+            }),
             "truth_peak_gbps": gbps(peak_truth),
         }),
     );

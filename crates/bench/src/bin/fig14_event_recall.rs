@@ -2,9 +2,9 @@
 //! episode's maximum queue length, for sampling ratios 1/1 … 1/256, on
 //! three workload/load combinations.
 
+use umon::{Analyzer, SwitchAgent, SwitchAgentConfig};
 use umon_bench::{run_paper_workload, save_results};
 use umon_workloads::WorkloadKind;
-use umon::{Analyzer, SwitchAgent, SwitchAgentConfig};
 use wavesketch::SketchConfig;
 
 const QLEN_BINS_KB: [(u32, u32); 6] = [

@@ -1,9 +1,9 @@
 //! Figure 15: maximum per-switch mirror bandwidth vs. sampling ratio for
 //! the four workload/load combinations.
 
+use umon::{SwitchAgent, SwitchAgentConfig};
 use umon_bench::{run_paper_workload, save_results, PERIOD_NS};
 use umon_workloads::WorkloadKind;
-use umon::{SwitchAgent, SwitchAgentConfig};
 
 fn main() {
     let combos = [

@@ -39,7 +39,10 @@ pub fn run_paper_workload(kind: WorkloadKind, load: f64, seed: u64) -> (Vec<Flow
 
 /// Ground-truth per-flow window series measured at the flow's source host:
 /// `(host, flow) → bytes per absolute window`.
-pub fn ground_truth(records: &[TxRecord], window_shift: u32) -> HashMap<(usize, u64), HashMap<u64, f64>> {
+pub fn ground_truth(
+    records: &[TxRecord],
+    window_shift: u32,
+) -> HashMap<(usize, u64), HashMap<u64, f64>> {
     let mut truth: HashMap<(usize, u64), HashMap<u64, f64>> = HashMap::new();
     for r in records {
         let w = r.ts_ns >> window_shift;
@@ -54,7 +57,9 @@ pub fn ground_truth(records: &[TxRecord], window_shift: u32) -> HashMap<(usize, 
 
 /// Dense truth curve over `[start, end)` from a sparse window map.
 pub fn dense_curve(windows: &HashMap<u64, f64>, start: u64, end: u64) -> Vec<f64> {
-    (start..end).map(|w| windows.get(&w).copied().unwrap_or(0.0)).collect()
+    (start..end)
+        .map(|w| windows.get(&w).copied().unwrap_or(0.0))
+        .collect()
 }
 
 /// Feeds each host's egress records into its own instance of a scheme
@@ -192,9 +197,24 @@ mod tests {
     #[test]
     fn ground_truth_buckets_by_window() {
         let recs = vec![
-            TxRecord { host: 0, flow: FlowId(1), ts_ns: 0, bytes: 100 },
-            TxRecord { host: 0, flow: FlowId(1), ts_ns: 100, bytes: 100 },
-            TxRecord { host: 0, flow: FlowId(1), ts_ns: 8192, bytes: 100 },
+            TxRecord {
+                host: 0,
+                flow: FlowId(1),
+                ts_ns: 0,
+                bytes: 100,
+            },
+            TxRecord {
+                host: 0,
+                flow: FlowId(1),
+                ts_ns: 100,
+                bytes: 100,
+            },
+            TxRecord {
+                host: 0,
+                flow: FlowId(1),
+                ts_ns: 8192,
+                bytes: 100,
+            },
         ];
         let t = ground_truth(&recs, 13);
         let w = &t[&(0, 1)];
@@ -240,10 +260,10 @@ mod tests {
             energy: 0.9,
         };
         let per_flow = vec![
-            (0u64, 5_000.0, m),    // 5 packets → bucket 10
-            (1, 50_000.0, m),      // 50 packets → bucket 100
-            (2, 70_000.0, m),      // 70 packets → bucket 100
-            (3, 5_000_000.0, m),   // 5000 packets → bucket 10000
+            (0u64, 5_000.0, m),  // 5 packets → bucket 10
+            (1, 50_000.0, m),    // 50 packets → bucket 100
+            (2, 70_000.0, m),    // 70 packets → bucket 100
+            (3, 5_000_000.0, m), // 5000 packets → bucket 10000
         ];
         let rows = by_flow_length(&per_flow, 1000.0);
         let buckets: Vec<u64> = rows.iter().map(|r| r.0).collect();

@@ -19,11 +19,9 @@ use args::{ArgError, Args};
 use render::{downsample, fmt_bps, fmt_ns, sparkline};
 use std::collections::HashMap;
 use std::io::BufReader;
+use umon::{Analyzer, HostAgent, HostAgentConfig, PeriodReport, SwitchAgent, SwitchAgentConfig};
 use umon_netsim::{trace, MirrorCandidate, SimConfig, Simulator, Topology, TxRecord};
 use umon_workloads::{WorkloadKind, WorkloadParams};
-use umon::{
-    Analyzer, HostAgent, HostAgentConfig, PeriodReport, SwitchAgent, SwitchAgentConfig,
-};
 
 const HELP: &str = "umon — microsecond-level network monitoring (μMon reproduction)
 
@@ -86,7 +84,10 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let file = std::fs::File::open(&path)
             .map_err(|e| ArgError(format!("cannot open flow specs {path:?}: {e}")))?;
         let flows = umon_workloads::parse_flow_specs(BufReader::new(file))?;
-        eprintln!("simulating {} custom flows over a k=4 fat-tree ...", flows.len());
+        eprintln!(
+            "simulating {} custom flows over a k=4 fat-tree ...",
+            flows.len()
+        );
         flows
     } else {
         let kind = match args.str_or("workload", "hadoop").as_str() {
@@ -130,7 +131,9 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn load_trace(path: &str) -> Result<(Vec<TxRecord>, Vec<MirrorCandidate>), Box<dyn std::error::Error>> {
+fn load_trace(
+    path: &str,
+) -> Result<(Vec<TxRecord>, Vec<MirrorCandidate>), Box<dyn std::error::Error>> {
     let file = std::fs::File::open(path)
         .map_err(|e| ArgError(format!("cannot open trace {path:?}: {e}")))?;
     Ok(trace::read_trace(BufReader::new(file))?)
@@ -294,7 +297,11 @@ fn cmd_report(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     let analyzer = detect(&ce, 6);
     let map = analyzer.congestion_map(50_000);
-    println!("  CE packets:     {} ({} mirrored at 1/64)", ce.len(), analyzer.mirrors().len());
+    println!(
+        "  CE packets:     {} ({} mirrored at 1/64)",
+        ce.len(),
+        analyzer.mirrors().len()
+    );
     println!("  congested links (top 5 by events):");
     for ((switch, vlan), spans) in map.iter().take(5) {
         println!(

@@ -129,11 +129,11 @@ impl BasicWaveSketch {
         &self.config
     }
 
-    /// Bucket index for `flow` in `row`.
+    /// Bucket index for `flow` in `row` (lane-aware, see
+    /// [`SketchConfig::light_col`]).
     #[inline]
     fn index(&self, flow: &FlowKey, row: usize) -> usize {
-        let col = (flow.hash(row as u64, self.config.seed) % self.config.width as u64) as usize;
-        row * self.config.width + col
+        row * self.config.width + self.config.light_col(flow, row)
     }
 
     /// Records `value` (bytes or packets) for `flow` at absolute window
@@ -171,9 +171,9 @@ impl BasicWaveSketch {
     pub fn query_reports(&self, flow: &FlowKey) -> Vec<(u32, u32, Vec<BucketReport>)> {
         (0..self.config.rows)
             .map(|row| {
-                let col = (flow.hash(row as u64, self.config.seed) % self.config.width as u64) as u32;
-                let idx = row * self.config.width + col as usize;
-                (row as u32, col, self.buckets[idx].snapshot())
+                let col = self.config.light_col(flow, row);
+                let idx = row * self.config.width + col;
+                (row as u32, col as u32, self.buckets[idx].snapshot())
             })
             .collect()
     }

@@ -32,7 +32,12 @@ pub struct WaveBucket {
 impl WaveBucket {
     /// Creates an empty bucket from a sketch configuration.
     pub fn new(config: &SketchConfig) -> Self {
-        Self::with_params(config.levels, config.max_windows, config.topk, config.selector)
+        Self::with_params(
+            config.levels,
+            config.max_windows,
+            config.topk,
+            config.selector,
+        )
     }
 
     /// Creates an empty bucket from explicit parameters.
@@ -288,19 +293,15 @@ mod tests {
 
     #[test]
     fn hw_selector_bucket_also_roundtrips() {
-        let mut b = WaveBucket::with_params(
-            4,
-            64,
-            32,
-            SelectorKind::HwThreshold { even: 0, odd: 0 },
-        );
+        let mut b =
+            WaveBucket::with_params(4, 64, 32, SelectorKind::HwThreshold { even: 0, odd: 0 });
         for w in 0..16 {
             b.update(w, 100 + w as i64);
         }
         let reports = b.drain();
         let rec = reconstruct(&reports[0].coeffs());
-        for w in 0..16usize {
-            assert!((rec[w] - (100.0 + w as f64)).abs() < 1e-9);
+        for (w, &r) in rec.iter().enumerate().take(16) {
+            assert!((r - (100.0 + w as f64)).abs() < 1e-9);
         }
     }
 }

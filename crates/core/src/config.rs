@@ -1,12 +1,31 @@
-//! Configuration for WaveSketch instances.
+//! Configuration for WaveSketch instances, including the *lane* placement
+//! that makes sharded ingest exact (see [`crate::sharded`]).
 
+use crate::flow::FlowKey;
 use crate::select::SelectorKind;
+
+/// Hash tag reserved for the lane hash. Light rows use tags `0..d` (small)
+/// and the heavy part uses `0xFF`, so `0xFE` yields an independent stream.
+const LANE_TAG: u64 = 0xFE;
 
 /// Parameters of a WaveSketch (basic or full).
 ///
 /// Paper defaults (§7.1): `rows = 3`, `width = 256`, `levels = 8`, `topk` set
 /// from the memory budget (32–256), `max_windows` from the measurement period
 /// (20 ms at 8.192 μs windows ≈ 2442, rounded up to a power of two).
+///
+/// # Lanes
+///
+/// Bucket placement is hierarchical: a flow first hashes to one of `lanes`
+/// *lanes*, then to a column (and heavy slot) inside that lane's contiguous
+/// slice of the arrays. The marginal distribution is unchanged — every
+/// (lane, within-lane) pair is one distinct column, so pairwise collision
+/// probability stays `1/width` per row — but all of a flow's state lives
+/// inside its lane. That is what lets [`crate::sharded::ShardedWaveSketch`]
+/// split a sketch into independent per-shard instances whose union is
+/// bit-identical to the sequential sketch. `lane_base` / `lane_count`
+/// describe which slice of the global lane space this instance owns; a
+/// stand-alone sketch owns all of them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SketchConfig {
     /// Number of hash rows `d` in the light/basic part.
@@ -28,6 +47,15 @@ pub struct SketchConfig {
     pub selector: SelectorKind,
     /// Hash seed; two sketches with the same seed hash identically.
     pub seed: u64,
+    /// Total lanes in the *global* lane space. Must divide `width` and
+    /// `heavy_rows`. The builder auto-selects (largest power of two ≤ 8
+    /// dividing both) when not set explicitly.
+    pub lanes: usize,
+    /// First global lane this instance owns (0 for a stand-alone sketch).
+    pub lane_base: usize,
+    /// Number of lanes this instance owns (`lanes` for a stand-alone
+    /// sketch). `width` and `heavy_rows` cover exactly these lanes.
+    pub lane_count: usize,
 }
 
 impl SketchConfig {
@@ -81,11 +109,112 @@ impl SketchConfig {
             self.max_windows as u64,
             self.heavy_rows as u64,
             self.seed,
+            self.lanes as u64,
         ] {
             h ^= v;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         h
+    }
+
+    /// Columns per lane in the light part.
+    #[inline]
+    pub fn lane_width(&self) -> usize {
+        self.width / self.lane_count
+    }
+
+    /// Heavy slots per lane.
+    #[inline]
+    pub fn heavy_lane_rows(&self) -> usize {
+        self.heavy_rows / self.lane_count
+    }
+
+    /// The flow's *global* lane, in `0..lanes`.
+    #[inline]
+    pub fn lane_of(&self, flow: &FlowKey) -> usize {
+        (flow.hash(LANE_TAG, self.seed) % self.lanes as u64) as usize
+    }
+
+    /// True if the flow's lane falls in this instance's owned slice.
+    #[inline]
+    pub fn owns_flow(&self, flow: &FlowKey) -> bool {
+        let lane = self.lane_of(flow);
+        (self.lane_base..self.lane_base + self.lane_count).contains(&lane)
+    }
+
+    /// Light-part column of `flow` in `row`, local to this instance.
+    ///
+    /// For a stand-alone sketch this is the global column; for a shard it is
+    /// the global column minus the shard's column offset
+    /// (`lane_base * lane_width`), so a shard's array is exactly the
+    /// sequential sketch's slice. The flow must belong to an owned lane.
+    #[inline]
+    pub fn light_col(&self, flow: &FlowKey, row: usize) -> usize {
+        let lane = self.lane_of(flow);
+        debug_assert!(
+            lane >= self.lane_base && lane < self.lane_base + self.lane_count,
+            "flow routed to the wrong shard: lane {lane} not in [{}, {})",
+            self.lane_base,
+            self.lane_base + self.lane_count
+        );
+        let lane_width = self.lane_width();
+        (lane - self.lane_base) * lane_width
+            + (flow.hash(row as u64, self.seed) % lane_width as u64) as usize
+    }
+
+    /// Heavy-part slot of `flow`, local to this instance (same lane-relative
+    /// layout as [`Self::light_col`]).
+    #[inline]
+    pub fn heavy_slot(&self, flow: &FlowKey) -> usize {
+        let lane = self.lane_of(flow);
+        debug_assert!(
+            lane >= self.lane_base && lane < self.lane_base + self.lane_count,
+            "flow routed to the wrong shard: lane {lane} not in [{}, {})",
+            self.lane_base,
+            self.lane_base + self.lane_count
+        );
+        let per_lane = self.heavy_lane_rows();
+        (lane - self.lane_base) * per_lane + (flow.hash(0xFF, self.seed) % per_lane as u64) as usize
+    }
+
+    /// The shard (out of `shard_count`) that owns `flow` when the global lane
+    /// space is split evenly across `shard_count` shards.
+    #[inline]
+    pub fn shard_of(&self, flow: &FlowKey, shard_count: usize) -> usize {
+        debug_assert!(self.lanes.is_multiple_of(shard_count));
+        self.lane_of(flow) / (self.lanes / shard_count)
+    }
+
+    /// Derives the configuration of shard `shard` out of `shard_count`: the
+    /// same hashing knobs over a `1/shard_count` slice of lanes, columns and
+    /// heavy slots. Only a global config (owning every lane) can be sliced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this config is already a slice, `shard_count` does not
+    /// divide `lanes`, or `shard >= shard_count`.
+    pub fn shard_slice(&self, shard: usize, shard_count: usize) -> SketchConfig {
+        assert!(
+            self.lane_base == 0 && self.lane_count == self.lanes,
+            "only a global config can be sliced into shards"
+        );
+        assert!(shard_count >= 1, "shard_count must be positive");
+        assert!(
+            self.lanes.is_multiple_of(shard_count),
+            "shard_count ({shard_count}) must divide lanes ({})",
+            self.lanes
+        );
+        assert!(shard < shard_count, "shard {shard} out of {shard_count}");
+        let per = self.lanes / shard_count;
+        let sliced = SketchConfig {
+            width: self.width / shard_count,
+            heavy_rows: self.heavy_rows / shard_count,
+            lane_base: shard * per,
+            lane_count: per,
+            ..self.clone()
+        };
+        sliced.validate();
+        sliced
     }
 
     /// Report size in bytes for one *active* bucket: `w0` plus the
@@ -98,7 +227,10 @@ impl SketchConfig {
     fn validate(&self) {
         assert!(self.rows > 0, "rows must be positive");
         assert!(self.width > 0, "width must be positive");
-        assert!(self.levels > 0 && self.levels < 32, "levels must be in 1..32");
+        assert!(
+            self.levels > 0 && self.levels < 32,
+            "levels must be in 1..32"
+        );
         assert!(self.topk > 0, "topk must be positive");
         assert!(
             self.max_windows.is_power_of_two(),
@@ -110,6 +242,32 @@ impl SketchConfig {
             "max_windows ({}) must be at least 2^levels ({})",
             self.max_windows,
             1u64 << self.levels
+        );
+        assert!(self.lanes > 0, "lanes must be positive");
+        assert!(
+            self.lane_count > 0 && self.lane_count <= self.lanes,
+            "lane_count ({}) must be in 1..=lanes ({})",
+            self.lane_count,
+            self.lanes
+        );
+        assert!(
+            self.lane_base + self.lane_count <= self.lanes,
+            "lane slice [{}, {}) exceeds lanes ({})",
+            self.lane_base,
+            self.lane_base + self.lane_count,
+            self.lanes
+        );
+        assert!(
+            self.width.is_multiple_of(self.lane_count),
+            "width ({}) must be divisible by owned lanes ({})",
+            self.width,
+            self.lane_count
+        );
+        assert!(
+            self.heavy_rows.is_multiple_of(self.lane_count),
+            "heavy_rows ({}) must be divisible by owned lanes ({})",
+            self.heavy_rows,
+            self.lane_count
         );
     }
 }
@@ -132,6 +290,9 @@ impl Default for SketchConfigBuilder {
                 heavy_rows: 256,
                 selector: SelectorKind::Ideal,
                 seed: 0x5EED_u64,
+                lanes: 0, // auto-selected in build()
+                lane_base: 0,
+                lane_count: 0, // resolved to `lanes` in build()
             },
         }
     }
@@ -186,13 +347,40 @@ impl SketchConfigBuilder {
         self
     }
 
+    /// Sets the lane count explicitly (must divide `width` and
+    /// `heavy_rows`). When not called, `build()` picks the largest power of
+    /// two ≤ 8 that divides both, so any config stays valid.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.config.lanes = lanes;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Panics
     ///
     /// Panics if any field is out of range (zero sizes, `max_windows` smaller
-    /// than one approximation block, …).
-    pub fn build(self) -> SketchConfig {
+    /// than one approximation block, lanes not dividing the arrays, …).
+    pub fn build(mut self) -> SketchConfig {
+        if self.config.lanes == 0 {
+            // Auto: the largest power of two ≤ 8 dividing both arrays. 8
+            // lanes allow up to 8-way sharding while keeping the chance of a
+            // full d-row collision (lane hash shared across rows) negligible.
+            let pow2_div = |n: usize| -> u32 {
+                if n == 0 {
+                    u32::MAX
+                } else {
+                    n.trailing_zeros()
+                }
+            };
+            let exp = 3u32
+                .min(pow2_div(self.config.width))
+                .min(pow2_div(self.config.heavy_rows));
+            self.config.lanes = 1 << exp;
+        }
+        if self.config.lane_count == 0 {
+            self.config.lane_count = self.config.lanes;
+        }
         self.config.validate();
         self.config
     }
@@ -241,7 +429,101 @@ mod tests {
         let raw_entries = 2000.0;
         let kept_entries = c.approx_len() as f64 + 1.5 * 32.0;
         let ratio = kept_entries / raw_entries;
-        assert!(ratio < 0.035, "ratio {ratio} should be near the paper's 0.028");
+        assert!(
+            ratio < 0.035,
+            "ratio {ratio} should be near the paper's 0.028"
+        );
+    }
+
+    #[test]
+    fn lanes_auto_select_to_largest_fitting_power_of_two() {
+        assert_eq!(SketchConfig::builder().build().lanes, 8);
+        // width 1 (single-bucket ablations) can only support one lane.
+        assert_eq!(SketchConfig::builder().width(1).build().lanes, 1);
+        // heavy_rows 4 caps the lane count at 4.
+        assert_eq!(SketchConfig::builder().heavy_rows(4).build().lanes, 4);
+        // Non-power-of-two width keeps its largest power-of-two factor.
+        assert_eq!(
+            SketchConfig::builder()
+                .width(12)
+                .heavy_rows(12)
+                .build()
+                .lanes,
+            4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by owned lanes")]
+    fn explicit_lanes_must_divide_width() {
+        SketchConfig::builder().width(10).lanes(4).build();
+    }
+
+    #[test]
+    fn shard_slice_partitions_lanes_and_arrays() {
+        let global = SketchConfig::builder().build(); // w=256, h=256, lanes=8
+        for n in [1usize, 2, 4, 8] {
+            let mut lanes_seen = 0;
+            for s in 0..n {
+                let slice = global.shard_slice(s, n);
+                assert_eq!(slice.width, global.width / n);
+                assert_eq!(slice.heavy_rows, global.heavy_rows / n);
+                assert_eq!(slice.lane_count, global.lanes / n);
+                assert_eq!(slice.lane_base, s * global.lanes / n);
+                assert_eq!(slice.lane_width(), global.lane_width());
+                assert_eq!(slice.heavy_lane_rows(), global.heavy_lane_rows());
+                lanes_seen += slice.lane_count;
+            }
+            assert_eq!(lanes_seen, global.lanes);
+        }
+    }
+
+    #[test]
+    fn shard_placement_matches_global_placement() {
+        use crate::flow::FlowKey;
+        let global = SketchConfig::builder().build();
+        for n in [1usize, 2, 4, 8] {
+            for id in 0..500u64 {
+                let f = FlowKey::from_id(id);
+                let shard = global.shard_of(&f, n);
+                let slice = global.shard_slice(shard, n);
+                assert!(slice.owns_flow(&f));
+                // Local placement + shard offset == global placement.
+                for row in 0..global.rows {
+                    assert_eq!(
+                        shard * slice.width + slice.light_col(&f, row),
+                        global.light_col(&f, row),
+                        "flow {id} row {row} n {n}"
+                    );
+                }
+                assert_eq!(
+                    shard * slice.heavy_rows + slice.heavy_slot(&f),
+                    global.heavy_slot(&f)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_placement_keeps_columns_uniformish() {
+        use crate::flow::FlowKey;
+        let c = SketchConfig::builder().build();
+        let mut counts = vec![0usize; c.width];
+        let flows = 64 * c.width;
+        for id in 0..flows as u64 {
+            counts[c.light_col(&FlowKey::from_id(id), 0)] += 1;
+        }
+        // Every column reachable, no column pathologically hot.
+        assert!(counts.iter().all(|&n| n > 0), "unreachable column");
+        let max = *counts.iter().max().unwrap();
+        assert!(max < 64 * 3, "hot column: {max} of expected 64");
+    }
+
+    #[test]
+    #[should_panic(expected = "only a global config")]
+    fn shard_slice_rejects_double_slicing() {
+        let c = SketchConfig::builder().build();
+        c.shard_slice(0, 2).shard_slice(0, 2);
     }
 
     #[test]

@@ -66,7 +66,8 @@ impl FlowKey {
     /// pairwise independent enough for the Count-Min analysis (each row gets a
     /// distinct seeded stream).
     pub fn hash(&self, row: u64, seed: u64) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325
+            ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ (row.wrapping_add(1)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         for byte in self.pack() {
             h ^= byte as u64;

@@ -67,9 +67,9 @@ impl FullWaveSketch {
 
     #[inline]
     fn heavy_index(&self, flow: &FlowKey) -> usize {
-        // A distinct hash stream (row tag 0xFF) keeps the heavy placement
-        // independent of the light rows.
-        (flow.hash(0xFF, self.config.seed) % self.heavy.len() as u64) as usize
+        // A distinct hash stream (row tag 0xFF inside the flow's lane) keeps
+        // the heavy placement independent of the light rows.
+        self.config.heavy_slot(flow)
     }
 
     /// Records `value` for `flow` at absolute window `window`.
@@ -167,8 +167,7 @@ impl FullWaveSketch {
                 if hkey == *flow {
                     continue;
                 }
-                let hcol =
-                    (hkey.hash(row as u64, light_cfg.seed) % light_cfg.width as u64) as u32;
+                let hcol = light_cfg.light_col(&hkey, row as usize) as u32;
                 if hcol != col {
                     continue;
                 }
@@ -260,10 +259,7 @@ mod tests {
         let a = FlowKey::from_id(1);
         let b = (2..10_000u64)
             .map(FlowKey::from_id)
-            .find(|k| {
-                (k.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
-                    == (a.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
-            })
+            .find(|k| s.config.heavy_slot(k) == s.config.heavy_slot(&a))
             .expect("some flow must collide");
         s.update(&a, 0, 10); // a installed, vote=1
         s.update(&b, 1, 10); // vote 0 → b evicts a
@@ -278,10 +274,7 @@ mod tests {
         let a = FlowKey::from_id(1);
         let b = (2..10_000u64)
             .map(FlowKey::from_id)
-            .find(|k| {
-                (k.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
-                    == (a.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
-            })
+            .find(|k| s.config.heavy_slot(k) == s.config.heavy_slot(&a))
             .unwrap();
         s.update(&a, 0, 777);
         s.update(&b, 1, 10);
@@ -301,10 +294,8 @@ mod tests {
         // A mouse colliding with the heavy flow in the light part would be
         // massively overestimated without subtraction. Find a full collision.
         let mouse = (2..200_000u64).map(FlowKey::from_id).find(|k| {
-            (0..3).all(|row| {
-                k.hash(row, s.config.seed) % s.config.width as u64
-                    == heavy.hash(row, s.config.seed) % s.config.width as u64
-            }) && !s.is_heavy(k)
+            (0..3).all(|row| s.config.light_col(k, row) == s.config.light_col(&heavy, row))
+                && !s.is_heavy(k)
         });
         let Some(mouse) = mouse else {
             // No full collision exists for this seed/width — the subtraction
@@ -331,10 +322,7 @@ mod tests {
         let a = FlowKey::from_id(1);
         let b = (2..10_000u64)
             .map(FlowKey::from_id)
-            .find(|k| {
-                (k.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
-                    == (a.hash(0xFF, s.config.seed) % s.heavy.len() as u64)
-            })
+            .find(|k| s.config.heavy_slot(k) == s.config.heavy_slot(&a))
             .expect("a colliding key exists");
         // b grabs the slot with a strong vote.
         for w in 0..3 {
@@ -348,9 +336,16 @@ mod tests {
         // ...and keeps sending as a heavy flow.
         s.update(&a, 10, 333);
         let curve = s.query(&a).expect("queryable");
-        assert!(curve.at(5) >= 111.0 - 1e-6, "pre-election window lost: {}", curve.at(5));
+        assert!(
+            curve.at(5) >= 111.0 - 1e-6,
+            "pre-election window lost: {}",
+            curve.at(5)
+        );
         assert!(curve.at(6) >= 222.0 - 1e-6);
-        assert!((curve.at(10) - 333.0).abs() < 1e-6, "heavy window must be exact");
+        assert!(
+            (curve.at(10) - 333.0).abs() < 1e-6,
+            "heavy window must be exact"
+        );
     }
 
     #[test]

@@ -111,10 +111,33 @@ pub fn normalized_weight(level: u32) -> f64 {
 pub fn weighted_cmp(a_val: i64, a_level: u32, b_val: i64, b_level: u32) -> std::cmp::Ordering {
     let a2 = (a_val.unsigned_abs() as u128).pow(2);
     let b2 = (b_val.unsigned_abs() as u128).pow(2);
-    // a2 / 2^{la+1} vs b2 / 2^{lb+1}  ⇔  a2 · 2^{lb+1} vs b2 · 2^{la+1}
-    let lhs = a2 << (b_level + 1).min(64);
-    let rhs = b2 << (a_level + 1).min(64);
-    lhs.cmp(&rhs)
+    if a2 == 0 || b2 == 0 {
+        return a2.cmp(&b2);
+    }
+    // a2 / 2^{la+1} vs b2 / 2^{lb+1}  ⇔  a2 · 2^{lb+1} vs b2 · 2^{la+1}.
+    // The squares already occupy up to 126 bits, so the cross-multiplication
+    // can overflow u128. Cancel the common power of two first (at most one
+    // side still needs a shift), then guard the remaining shift: if it pushes
+    // the value's bit length past 128 the shifted side is strictly larger,
+    // because the unshifted side always fits in 128 bits.
+    let (shift_a, shift_b) = (b_level as u64 + 1, a_level as u64 + 1);
+    let common = shift_a.min(shift_b);
+    let (shift_a, shift_b) = (shift_a - common, shift_b - common);
+    if shift_a > 0 {
+        if shift_a > a2.leading_zeros() as u64 {
+            std::cmp::Ordering::Greater
+        } else {
+            (a2 << shift_a).cmp(&b2)
+        }
+    } else if shift_b > 0 {
+        if shift_b > b2.leading_zeros() as u64 {
+            std::cmp::Ordering::Less
+        } else {
+            a2.cmp(&(b2 << shift_b))
+        }
+    } else {
+        a2.cmp(&b2)
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +237,45 @@ mod tests {
     }
 
     #[test]
+    fn weighted_cmp_survives_i64_extremes() {
+        use std::cmp::Ordering::*;
+        // Regression: the old cross-multiplication shifted a ~2^126 square by
+        // up to 64 bits, silently wrapping modulo 2^128 in release builds. At
+        // b_level = 63 the wrapped lhs collapsed to 2^64 and a maximal
+        // coefficient compared *smaller* than a mid-sized one.
+        assert_eq!(weighted_cmp(i64::MAX, 0, 1 << 33, 63), Greater);
+        assert_eq!(weighted_cmp(1 << 33, 63, i64::MAX, 0), Less);
+        assert_eq!(weighted_cmp(i64::MIN, 0, i64::MAX, 0), Greater);
+        assert_eq!(weighted_cmp(i64::MAX, 7, i64::MAX, 7), Equal);
+        assert_eq!(weighted_cmp(i64::MAX, 1, i64::MAX, 0), Less);
+        // |2v| at level l+2 weighs exactly as |v| at level l.
+        let v = (1i64 << 61) - 3;
+        assert_eq!(weighted_cmp(2 * v, 9, v, 7), Equal);
+        assert_eq!(weighted_cmp(2 * v + 1, 9, v, 7), Greater);
+        assert_eq!(weighted_cmp(2 * v - 1, 9, v, 7), Less);
+    }
+
+    #[test]
+    fn weighted_cmp_survives_deep_levels() {
+        use std::cmp::Ordering::*;
+        // Regression: the old `.min(64)` clamp collapsed every level beyond
+        // 63 into the same weight class.
+        assert_eq!(weighted_cmp(5, 100, 5, 101), Greater);
+        assert_eq!(weighted_cmp(5, 101, 5, 100), Less);
+        assert_eq!(weighted_cmp(5, 1000, 5, 1000), Equal);
+        assert_eq!(
+            weighted_cmp(i64::MAX, u32::MAX, i64::MAX, u32::MAX - 1),
+            Less
+        );
+        assert_eq!(weighted_cmp(1, 0, i64::MAX, 200), Greater);
+        assert_eq!(weighted_cmp(i64::MAX, 200, 1, 0), Less);
+        // Zero loses to everything except zero, at any depth.
+        assert_eq!(weighted_cmp(0, 0, 1, u32::MAX), Less);
+        assert_eq!(weighted_cmp(1, u32::MAX, 0, 0), Greater);
+        assert_eq!(weighted_cmp(0, 3, 0, 90), Equal);
+    }
+
+    #[test]
     fn weighted_cmp_matches_float_comparison() {
         let cases = [
             (100i64, 0u32, 100i64, 1u32),
@@ -225,7 +287,11 @@ mod tests {
             let float = (av.abs() as f64 * normalized_weight(al))
                 .partial_cmp(&(bv.abs() as f64 * normalized_weight(bl)))
                 .unwrap();
-            assert_eq!(weighted_cmp(av, al, bv, bl), float, "case {av},{al} vs {bv},{bl}");
+            assert_eq!(
+                weighted_cmp(av, al, bv, bl),
+                float,
+                "case {av},{al} vs {bv},{bl}"
+            );
         }
     }
 }

@@ -16,9 +16,9 @@
 //!    of the bucket count `W` and coefficient budget `K`.
 
 use crate::config::SketchConfig;
+use crate::select::CoeffSelector;
 use crate::select::{Candidate, HwThresholdSelector, IdealTopK};
 use crate::streaming::StreamingTransform;
-use crate::select::CoeffSelector;
 
 /// Calibrated thresholds for [`crate::select::SelectorKind::HwThreshold`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,11 +98,7 @@ fn median(values: &mut [u64]) -> u64 {
 /// Offers every candidate of an already-collected set through a hardware
 /// selector and reports how many of the ideal top-k survive — a quick
 /// fidelity probe for a calibration.
-pub fn selection_overlap(
-    candidates: &[Candidate],
-    k: usize,
-    hw: HwSelectorConfig,
-) -> f64 {
+pub fn selection_overlap(candidates: &[Candidate], k: usize, hw: HwSelectorConfig) -> f64 {
     if candidates.is_empty() {
         return 1.0;
     }
@@ -112,11 +108,8 @@ pub fn selection_overlap(
         ideal.offer(*c);
         hw_sel.offer(*c);
     }
-    let ideal_set: std::collections::HashSet<(u32, u32)> = ideal
-        .retained()
-        .iter()
-        .map(|c| (c.level, c.idx))
-        .collect();
+    let ideal_set: std::collections::HashSet<(u32, u32)> =
+        ideal.retained().iter().map(|c| (c.level, c.idx)).collect();
     if ideal_set.is_empty() {
         return 1.0;
     }
@@ -273,7 +266,11 @@ impl ResourceUsage {
         // shows levels spread over stages 3-4).
         let detail_stages = l.div_ceil(2);
         let mut plan = vec![
-            (1, "window id, epoch init (w0), heavy key match".to_string(), 2),
+            (
+                1,
+                "window id, epoch init (w0), heavy key match".to_string(),
+                2,
+            ),
             (2, "counter update/reset (i, c), heavy vote".to_string(), 3),
         ];
         for s in 0..detail_stages {
@@ -306,16 +303,36 @@ impl ResourceUsage {
                 self.xbar_bytes,
                 pct(self.xbar_bytes, budget.xbar_bytes),
             ),
-            ("Hash Bit".into(), self.hash_bits, pct(self.hash_bits, budget.hash_bits)),
-            ("Gateway".into(), self.gateways, pct(self.gateways, budget.gateways)),
-            ("SRAM".into(), self.sram_blocks, pct(self.sram_blocks, budget.sram_blocks)),
+            (
+                "Hash Bit".into(),
+                self.hash_bits,
+                pct(self.hash_bits, budget.hash_bits),
+            ),
+            (
+                "Gateway".into(),
+                self.gateways,
+                pct(self.gateways, budget.gateways),
+            ),
+            (
+                "SRAM".into(),
+                self.sram_blocks,
+                pct(self.sram_blocks, budget.sram_blocks),
+            ),
             (
                 "Map RAM".into(),
                 self.map_ram_blocks,
                 pct(self.map_ram_blocks, budget.map_ram_blocks),
             ),
-            ("VLIW Instr".into(), self.vliw_slots, pct(self.vliw_slots, budget.vliw_slots)),
-            ("Stateful ALU".into(), self.salus, pct(self.salus, budget.salus)),
+            (
+                "VLIW Instr".into(),
+                self.vliw_slots,
+                pct(self.vliw_slots, budget.vliw_slots),
+            ),
+            (
+                "Stateful ALU".into(),
+                self.salus,
+                pct(self.salus, budget.salus),
+            ),
         ]
     }
 
@@ -354,7 +371,12 @@ mod tests {
         let traces: Vec<Vec<(u32, i64)>> = (0..9)
             .map(|t| {
                 (0..256u32)
-                    .map(|i| (i, ((i as i64 * 31 + t * 17) % 100) + if i % 37 == 0 { 5000 } else { 0 }))
+                    .map(|i| {
+                        (
+                            i,
+                            ((i as i64 * 31 + t * 17) % 100) + if i % 37 == 0 { 5000 } else { 0 },
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -380,7 +402,11 @@ mod tests {
             (0..512u32)
                 .map(|i| {
                     let base = ((i as i64).wrapping_mul(2654435761 + seed) % 97).abs();
-                    let burst = if (i as i64 + seed) % 53 == 0 { 20_000 } else { 0 };
+                    let burst = if (i as i64 + seed) % 53 == 0 {
+                        20_000
+                    } else {
+                        0
+                    };
                     (i, base + burst)
                 })
                 .collect()
@@ -395,7 +421,10 @@ mod tests {
         }
         let candidates = t.finish().details;
         let overlap = selection_overlap(&candidates, 16, cfg);
-        assert!(overlap >= 0.5, "overlap {overlap} too low for a sane calibration");
+        assert!(
+            overlap >= 0.5,
+            "overlap {overlap} too low for a sane calibration"
+        );
     }
 
     #[test]
@@ -466,10 +495,18 @@ mod tests {
     #[test]
     fn deeper_decomposition_costs_more_salus() {
         let shallow = ResourceUsage::model(
-            &SketchConfig::builder().rows(1).levels(4).max_windows(4096).build(),
+            &SketchConfig::builder()
+                .rows(1)
+                .levels(4)
+                .max_windows(4096)
+                .build(),
         );
         let deep = ResourceUsage::model(
-            &SketchConfig::builder().rows(1).levels(12).max_windows(8192).build(),
+            &SketchConfig::builder()
+                .rows(1)
+                .levels(12)
+                .max_windows(8192)
+                .build(),
         );
         assert!(deep.salus > shallow.salus);
     }

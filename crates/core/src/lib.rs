@@ -65,6 +65,7 @@ pub mod hw;
 pub mod reconstruct;
 pub mod report;
 pub mod select;
+pub mod sharded;
 pub mod streaming;
 
 pub use aggevict::AggEvictBuffer;

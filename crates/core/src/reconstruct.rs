@@ -96,7 +96,11 @@ mod tests {
         let rec = via_stream(&signal, 8, 4096);
         assert_eq!(rec.len(), 512);
         for (i, &x) in signal.iter().enumerate() {
-            assert!((rec[i] - x as f64).abs() < 1e-9, "window {i}: {} vs {x}", rec[i]);
+            assert!(
+                (rec[i] - x as f64).abs() < 1e-9,
+                "window {i}: {} vs {x}",
+                rec[i]
+            );
         }
         for &r in &rec[300..] {
             assert!(r.abs() < 1e-9);

@@ -106,7 +106,7 @@ impl BucketReport {
 
 /// A full sketch report: every active bucket's epochs from one measurement
 /// period, as uploaded by a host agent.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SketchReport {
     /// Reports from the heavy part, tagged with the exact flow key bytes.
     pub heavy: Vec<(Vec<u8>, Vec<BucketReport>)>,
@@ -141,7 +141,7 @@ impl SketchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::select::{IdealTopK, CoeffSelector};
+    use crate::select::{CoeffSelector, IdealTopK};
     use crate::streaming::StreamingTransform;
 
     fn sample_report() -> BucketReport {
@@ -202,7 +202,10 @@ mod tests {
         sr.heavy.push((vec![0u8; 13], vec![r.clone()]));
         sr.light.push((0, 5, vec![r.clone(), r.clone()]));
         assert_eq!(sr.epoch_count(), 3);
-        assert_eq!(sr.wire_bytes(), 13 + r.wire_bytes() + 3 + 2 * r.wire_bytes());
+        assert_eq!(
+            sr.wire_bytes(),
+            13 + r.wire_bytes() + 3 + 2 * r.wire_bytes()
+        );
     }
 
     #[test]

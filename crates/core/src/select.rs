@@ -142,7 +142,8 @@ impl CoeffSelector for IdealTopK {
 /// replacement a PISA pipeline can afford).
 #[derive(Debug, Clone)]
 pub struct HwThresholdSelector {
-    cap_per_class: usize,
+    cap_even: usize,
+    cap_odd: usize,
     threshold_even: u64,
     threshold_odd: u64,
     even: Vec<Candidate>,
@@ -155,10 +156,18 @@ pub struct HwThresholdSelector {
 impl HwThresholdSelector {
     /// Creates a selector with total capacity `k` (split across the two
     /// parity classes) and the given shifted-domain thresholds.
+    ///
+    /// An odd `k` cannot split evenly; the spare slot goes to the even class,
+    /// which holds the lower (more energetic) half of the level range, so the
+    /// total capacity is always exactly `k`.
     pub fn new(k: usize, threshold_even: u64, threshold_odd: u64) -> Self {
-        assert!(k >= 2, "hardware selector needs k >= 2 (one slot per parity)");
+        assert!(
+            k >= 2,
+            "hardware selector needs k >= 2 (one slot per parity)"
+        );
         Self {
-            cap_per_class: (k / 2).max(1),
+            cap_even: k / 2 + k % 2,
+            cap_odd: k / 2,
             threshold_even,
             threshold_odd,
             even: Vec::new(),
@@ -209,7 +218,7 @@ impl CoeffSelector for HwThresholdSelector {
         if c.level.is_multiple_of(2) {
             Self::offer_class(
                 &mut self.even,
-                self.cap_per_class,
+                self.cap_even,
                 self.threshold_even,
                 &mut self.overflow_drops,
                 c,
@@ -217,7 +226,7 @@ impl CoeffSelector for HwThresholdSelector {
         } else {
             Self::offer_class(
                 &mut self.odd,
-                self.cap_per_class,
+                self.cap_odd,
                 self.threshold_odd,
                 &mut self.overflow_drops,
                 c,
@@ -407,8 +416,14 @@ mod tests {
 
     #[test]
     fn hw_shifted_magnitude_halves_every_two_levels() {
-        assert_eq!(HwThresholdSelector::shifted_magnitude(&cand(0, 0, 100)), 100);
-        assert_eq!(HwThresholdSelector::shifted_magnitude(&cand(1, 0, 100)), 100);
+        assert_eq!(
+            HwThresholdSelector::shifted_magnitude(&cand(0, 0, 100)),
+            100
+        );
+        assert_eq!(
+            HwThresholdSelector::shifted_magnitude(&cand(1, 0, 100)),
+            100
+        );
         assert_eq!(HwThresholdSelector::shifted_magnitude(&cand(2, 0, 100)), 50);
         assert_eq!(HwThresholdSelector::shifted_magnitude(&cand(3, 0, 100)), 50);
         assert_eq!(HwThresholdSelector::shifted_magnitude(&cand(4, 0, 100)), 25);
@@ -428,7 +443,7 @@ mod tests {
         let mut s = HwThresholdSelector::new(4, 1, 1); // 2 slots per class
         s.offer(cand(0, 0, 100)); // even, shifted 100
         s.offer(cand(2, 0, 100)); // even, shifted 50
-        // Even class full; a stronger newcomer evicts the weakest slot.
+                                  // Even class full; a stronger newcomer evicts the weakest slot.
         s.offer(cand(0, 1, 100)); // shifted 100 → evicts (2,0)
         assert!(s.retained().iter().all(|c| c.level != 2));
         // A weak even coefficient cannot displace anything.
@@ -447,6 +462,22 @@ mod tests {
         let kept = s.retained();
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].val, 30);
+    }
+
+    #[test]
+    fn hw_odd_k_keeps_full_capacity() {
+        // Regression: `k / 2` per class silently capped an odd k at k - 1
+        // retained coefficients. The spare slot belongs to the even class.
+        for k in [2usize, 3, 5, 7, 8, 63, 64] {
+            let mut s = HwThresholdSelector::new(k, 1, 1);
+            for i in 0..(2 * k as u32) {
+                s.offer(cand(i % 2, i, 1_000 + i as i64)); // alternate parity
+            }
+            assert_eq!(s.len(), k, "total capacity must be exactly k = {k}");
+            let even = s.retained().iter().filter(|c| c.level == 0).count();
+            assert_eq!(even, k / 2 + k % 2, "even class takes the spare slot");
+            assert_eq!(s.len() - even, k / 2);
+        }
     }
 
     #[test]

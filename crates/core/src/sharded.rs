@@ -1,0 +1,263 @@
+//! Sharded parallel host ingest: N independent [`FullWaveSketch`] shards
+//! partitioning the flow space by lane.
+//!
+//! Placement is lane-first (see [`SketchConfig::light_col`]): every flow hashes
+//! to one global lane, and shard `s` of `N` owns the contiguous lane slice
+//! `[s·lanes/N, (s+1)·lanes/N)`. Each shard's arrays are exactly the
+//! corresponding slice of the sequential sketch's arrays, so:
+//!
+//! * a flow's entire state (heavy slot and all light buckets) lives in exactly
+//!   one shard — no cross-shard aggregation or approximation on merge;
+//! * shard-local heavy subtraction is exact, because a heavy flow in another
+//!   shard occupies disjoint columns and can never collide with a local flow;
+//! * the merged drain is **bit-identical** to a sequential
+//!   [`FullWaveSketch`]'s drain: heavy entries concatenate in shard order
+//!   (ascending global slot), light entries get their column offset restored
+//!   and are re-sorted into row-major order.
+//!
+//! Shards share no state, so they can be moved onto worker threads (see the
+//! `umon` host agent); this module also offers a single-threaded wrapper whose
+//! queries and drains are usable as a drop-in for the sequential sketch.
+
+use crate::basic::WindowSeries;
+use crate::config::SketchConfig;
+use crate::flow::FlowKey;
+use crate::full::FullWaveSketch;
+use crate::report::SketchReport;
+
+/// A full WaveSketch split into `N` lane-partitioned shards.
+pub struct ShardedWaveSketch {
+    config: SketchConfig,
+    shards: Vec<FullWaveSketch>,
+}
+
+impl ShardedWaveSketch {
+    /// Splits `config` into `shard_count` lane-partitioned shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` does not divide `config.lanes` (and therefore
+    /// the width and heavy-row counts), or if `config` is already a slice.
+    pub fn new(config: SketchConfig, shard_count: usize) -> Self {
+        let shards = (0..shard_count)
+            .map(|s| FullWaveSketch::new(config.shard_slice(s, shard_count)))
+            .collect();
+        Self { config, shards }
+    }
+
+    /// The global (unsliced) configuration.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index that owns `flow`.
+    #[inline]
+    pub fn shard_of(&self, flow: &FlowKey) -> usize {
+        self.config.shard_of(flow, self.shards.len())
+    }
+
+    /// Records `value` for `flow` at absolute window `window`.
+    #[inline]
+    pub fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
+        let s = self.shard_of(flow);
+        self.shards[s].update(flow, window, value);
+    }
+
+    /// Records a batch of updates, routing each to its owning shard.
+    ///
+    /// Semantically identical to calling [`Self::update`] per entry; the
+    /// batched form is the natural unit for handing work to shard threads.
+    pub fn update_batch(&mut self, batch: &[(FlowKey, u64, i64)]) {
+        for (flow, window, value) in batch {
+            self.update(flow, *window, *value);
+        }
+    }
+
+    /// Queries the reconstructed rate curve of `flow` from its owning shard.
+    pub fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        self.shards[self.shard_of(flow)].query(flow)
+    }
+
+    /// True if `flow` currently holds a heavy-part slot in its shard.
+    pub fn is_heavy(&self, flow: &FlowKey) -> bool {
+        self.shards[self.shard_of(flow)].is_heavy(flow)
+    }
+
+    /// Current heavy candidates and votes across all shards, in global heavy
+    /// slot order.
+    pub fn heavy_flows(&self) -> Vec<(FlowKey, i64)> {
+        self.shards.iter().flat_map(|s| s.heavy_flows()).collect()
+    }
+
+    /// Heavy-candidate evictions across all shards since the last drain.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions()).sum()
+    }
+
+    /// Drains all shards and merges them into one report, bit-identical to a
+    /// sequential [`FullWaveSketch`] drain under the same config.
+    pub fn drain(&mut self) -> SketchReport {
+        let reports: Vec<SketchReport> = self.shards.iter_mut().map(|s| s.drain()).collect();
+        merge_shard_reports(&self.config, reports)
+    }
+
+    /// Configured in-dataplane memory in bytes (identical to the sequential
+    /// sketch: sharding slices the arrays, it does not duplicate them).
+    pub fn memory_bytes(&self) -> usize {
+        self.config.full_bytes()
+    }
+}
+
+/// Merges per-shard drain reports (in shard order) into the report a
+/// sequential [`FullWaveSketch`] under the global `config` would produce.
+///
+/// Heavy entries concatenate as-is: shard `s`'s local heavy slots are the
+/// contiguous global slots `[s·H/N, (s+1)·H/N)`, so shard-order concatenation
+/// *is* ascending global slot order. Light entries carry shard-local columns;
+/// the global column is `s · width/N + local`, and a final row-major sort
+/// restores the sequential emission order.
+pub fn merge_shard_reports(config: &SketchConfig, reports: Vec<SketchReport>) -> SketchReport {
+    let shard_count = reports.len().max(1);
+    let shard_width = config.width / shard_count;
+    let mut merged = SketchReport::default();
+    for (s, report) in reports.into_iter().enumerate() {
+        merged.heavy.extend(report.heavy);
+        let offset = (s * shard_width) as u32;
+        merged.light.extend(
+            report
+                .light
+                .into_iter()
+                .map(|(row, col, brs)| (row, col + offset, brs)),
+        );
+    }
+    merged.light.sort_by_key(|(row, col, _)| (*row, *col));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectorKind;
+
+    // Shards move onto worker threads in the umon host agent; keep the
+    // compiler honest about that here, next to the type.
+    const _: fn() = || {
+        fn assert_send<T: Send>() {}
+        assert_send::<FullWaveSketch>();
+        assert_send::<ShardedWaveSketch>();
+    };
+
+    fn config() -> SketchConfig {
+        SketchConfig::builder()
+            .rows(3)
+            .width(64)
+            .levels(4)
+            .topk(16)
+            .max_windows(256)
+            .heavy_rows(16)
+            .selector(SelectorKind::Ideal)
+            .build()
+    }
+
+    /// A deterministic, skewed workload: a few elephants plus many mice, with
+    /// out-of-order windows and negative-free values.
+    fn workload() -> Vec<(FlowKey, u64, i64)> {
+        let mut batch = Vec::new();
+        for w in 0..64u64 {
+            for id in 1..=4u64 {
+                batch.push((FlowKey::from_id(id), w, 1000 + (id as i64) * (w as i64 % 7)));
+            }
+            for m in 0..8u64 {
+                let id = 100 + (w * 13 + m * 7) % 400;
+                batch.push((FlowKey::from_id(id), w, 40 + (m as i64)));
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn sharded_drain_is_bit_identical_to_sequential() {
+        let batch = workload();
+        for n in [1usize, 2, 4, 8] {
+            let mut seq = FullWaveSketch::new(config());
+            let mut sharded = ShardedWaveSketch::new(config(), n);
+            for (f, w, v) in &batch {
+                seq.update(f, *w, *v);
+            }
+            sharded.update_batch(&batch);
+            assert_eq!(sharded.drain(), seq.drain(), "drain mismatch at {n} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_queries_match_sequential_bit_for_bit() {
+        let batch = workload();
+        let mut seq = FullWaveSketch::new(config());
+        for (f, w, v) in &batch {
+            seq.update(f, *w, *v);
+        }
+        for n in [1usize, 2, 4, 8] {
+            let mut sharded = ShardedWaveSketch::new(config(), n);
+            sharded.update_batch(&batch);
+            let keys: Vec<FlowKey> = (1..=4u64).chain(100..500).map(FlowKey::from_id).collect();
+            for k in &keys {
+                assert_eq!(
+                    sharded.is_heavy(k),
+                    seq.is_heavy(k),
+                    "is_heavy({k:?}) at {n} shards"
+                );
+                let (a, b) = (sharded.query(k), seq.query(k));
+                match (&a, &b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.start_window, y.start_window, "{k:?} at {n} shards");
+                        assert_eq!(x.values, y.values, "{k:?} at {n} shards");
+                    }
+                    (None, None) => {}
+                    _ => panic!("query presence mismatch for {k:?} at {n} shards"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_flow_lives_in_exactly_one_shard() {
+        let sharded = ShardedWaveSketch::new(config(), 4);
+        for id in 0..2000u64 {
+            let f = FlowKey::from_id(id);
+            let s = sharded.shard_of(&f);
+            assert!(s < 4);
+            assert!(sharded.shards[s].config().owns_flow(&f));
+            for (other, shard) in sharded.shards.iter().enumerate() {
+                if other != s {
+                    assert!(!shard.config().owns_flow(&f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_flows_and_evictions_aggregate_across_shards() {
+        let batch = workload();
+        let mut seq = FullWaveSketch::new(config());
+        let mut sharded = ShardedWaveSketch::new(config(), 4);
+        for (f, w, v) in &batch {
+            seq.update(f, *w, *v);
+        }
+        sharded.update_batch(&batch);
+        assert_eq!(sharded.heavy_flows(), seq.heavy_flows());
+        assert_eq!(sharded.evictions(), seq.evictions());
+        assert_eq!(sharded.memory_bytes(), seq.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide lanes")]
+    fn shard_count_must_divide_lanes() {
+        // config() auto-selects 8 lanes; 3 does not divide 8.
+        ShardedWaveSketch::new(config(), 3);
+    }
+}

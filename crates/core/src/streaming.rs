@@ -76,7 +76,10 @@ impl<S: CoeffSelector> StreamingTransform<S> {
     /// the configured capacity.
     pub fn push(&mut self, offset: u32, count: i64) {
         if let Some(last) = self.last_offset {
-            assert!(offset > last, "offsets must strictly increase ({offset} after {last})");
+            assert!(
+                offset > last,
+                "offsets must strictly increase ({offset} after {last})"
+            );
         }
         let pos_a = (offset >> self.levels) as usize;
         assert!(
@@ -197,8 +200,7 @@ mod tests {
         let online = stream_all(signal, levels);
         let offline = haar::transform(signal, levels);
         assert_eq!(
-            online.approx,
-            offline.approx,
+            online.approx, offline.approx,
             "approx mismatch for {signal:?}"
         );
         // Collect offline non-zero details as (level, idx) → val.

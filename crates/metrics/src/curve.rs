@@ -62,7 +62,10 @@ pub fn align_curves(truth: &RateCurve, estimate: &RateCurve) -> (Vec<f64>, Vec<f
         (true, true) => unreachable!(),
     };
     let to = truth.end_window().max(estimate.end_window());
-    (truth.window_range(from, to), estimate.window_range(from, to))
+    (
+        truth.window_range(from, to),
+        estimate.window_range(from, to),
+    )
 }
 
 /// Converts per-window byte counts to Gbps given the window length in

@@ -214,7 +214,10 @@ mod tests {
         }
         // 50 → 75 → 87.5 → 93.75 → 96.875 → 98.4375
         assert!(s.rc_gbps > 98.0 && s.rc_gbps < 100.0);
-        assert!((s.rt_gbps - 100.0).abs() < 1e-9, "fast recovery must not move Rt");
+        assert!(
+            (s.rt_gbps - 100.0).abs() < 1e-9,
+            "fast recovery must not move Rt"
+        );
     }
 
     #[test]

@@ -136,6 +136,12 @@ mod tests {
         assert_eq!(c.size, 64);
         assert_eq!((c.src, c.dst), (5, 0), "CNP flows receiver → sender");
         let a = Packet::ack(FlowId(1), 5, 0, 42, 43, true, 10);
-        assert!(matches!(a.kind, PacketKind::Ack { ack_seq: 43, ece: true }));
+        assert!(matches!(
+            a.kind,
+            PacketKind::Ack {
+                ack_seq: 43,
+                ece: true
+            }
+        ));
     }
 }

@@ -223,11 +223,14 @@ mod tests {
     #[test]
     fn marked_packets_become_ce_in_queue() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut port = OutPort::new(1 << 20, Some(EcnConfig {
-            kmin: 0,
-            kmax: 1, // everything at qlen >= 1 byte is marked
-            pmax: 1.0,
-        }));
+        let mut port = OutPort::new(
+            1 << 20,
+            Some(EcnConfig {
+                kmin: 0,
+                kmax: 1, // everything at qlen >= 1 byte is marked
+                pmax: 1.0,
+            }),
+        );
         port.enqueue(pkt(1000), &mut rng); // qlen 0 at decision → not marked
         let out = port.enqueue(pkt(1000), &mut rng);
         assert_eq!(out, EnqueueOutcome::QueuedMarked);
@@ -238,11 +241,14 @@ mod tests {
     #[test]
     fn non_ect_packets_are_never_marked() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut port = OutPort::new(1 << 20, Some(EcnConfig {
-            kmin: 0,
-            kmax: 1,
-            pmax: 1.0,
-        }));
+        let mut port = OutPort::new(
+            1 << 20,
+            Some(EcnConfig {
+                kmin: 0,
+                kmax: 1,
+                pmax: 1.0,
+            }),
+        );
         port.enqueue(pkt(1000), &mut rng);
         let cnp = Packet::cnp(FlowId(1), 1, 0, 0, 0);
         assert_eq!(port.enqueue(cnp, &mut rng), EnqueueOutcome::Queued);

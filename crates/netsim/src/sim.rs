@@ -22,8 +22,7 @@ use crate::dctcp::{DctcpParams, DctcpState};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::queue::{EcnConfig, EnqueueOutcome, OutPort};
 use crate::telemetry::{
-    ClockModel, EpisodeTracker, MirrorCandidate, QueueEpisode, QueueLengthDist, Telemetry,
-    TxRecord,
+    ClockModel, EpisodeTracker, MirrorCandidate, QueueEpisode, QueueLengthDist, Telemetry, TxRecord,
 };
 use crate::topology::{NodeId, PortId, Topology};
 use rand::SeedableRng;
@@ -177,15 +176,31 @@ pub struct SimResult {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Event {
-    FlowStart { flow: usize },
+    FlowStart {
+        flow: usize,
+    },
     /// Paced send attempt (DCQCN / fixed-rate) or blocked-send retry (DCTCP).
-    FlowSend { flow: usize },
+    FlowSend {
+        flow: usize,
+    },
     /// The head packet of (node, port) finished serializing.
-    Departure { node: NodeId, port: PortId },
+    Departure {
+        node: NodeId,
+        port: PortId,
+    },
     /// A packet arrives at a node after propagation.
-    Arrival { node: NodeId, packet: PacketBox },
-    AlphaTimer { flow: usize, generation: u64 },
-    RateTimer { flow: usize, generation: u64 },
+    Arrival {
+        node: NodeId,
+        packet: PacketBox,
+    },
+    AlphaTimer {
+        flow: usize,
+        generation: u64,
+    },
+    RateTimer {
+        flow: usize,
+        generation: u64,
+    },
     /// A PFC pause/resume frame lands at (node, port) after link latency.
     Pause {
         node: NodeId,
@@ -300,7 +315,10 @@ impl Simulator {
                 dists.push(Vec::new());
             } else {
                 ports.push(vec![
-                    OutPort::new(config.switch_buffer_bytes, Some(config.ecn));
+                    OutPort::new(
+                        config.switch_buffer_bytes,
+                        Some(config.ecn)
+                    );
                     n
                 ]);
                 trackers.push(vec![EpisodeTracker::new(config.ecn.kmin); n]);
@@ -314,27 +332,25 @@ impl Simulator {
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let flow_rts = flows
             .into_iter()
-            .map(|spec| {
-                FlowRt {
-                    spec,
-                    remaining: spec.size_bytes,
-                    next_psn: 0,
-                    sent_bytes: 0,
-                    delivered: 0,
-                    packets_sent: 0,
-                    fct_ns: None,
-                    dcqcn: match spec.cc {
-                        CongestionControl::Dcqcn => Some(DcqcnState::new(&config.dcqcn)),
-                        _ => None,
-                    },
-                    dctcp: match spec.cc {
-                        CongestionControl::Dctcp => Some(DctcpState::new(&config.dctcp)),
-                        _ => None,
-                    },
-                    last_cnp_ns: None,
-                    rcv_cum: 0,
-                    send_scheduled: false,
-                }
+            .map(|spec| FlowRt {
+                spec,
+                remaining: spec.size_bytes,
+                next_psn: 0,
+                sent_bytes: 0,
+                delivered: 0,
+                packets_sent: 0,
+                fct_ns: None,
+                dcqcn: match spec.cc {
+                    CongestionControl::Dcqcn => Some(DcqcnState::new(&config.dcqcn)),
+                    _ => None,
+                },
+                dctcp: match spec.cc {
+                    CongestionControl::Dctcp => Some(DctcpState::new(&config.dctcp)),
+                    _ => None,
+                },
+                last_cnp_ns: None,
+                rcv_cum: 0,
+                send_scheduled: false,
             })
             .collect();
         Self {
@@ -400,13 +416,15 @@ impl Simulator {
 
     /// A PFC pause/resume frame takes effect at (node, port).
     fn on_pause(&mut self, node: NodeId, port: PortId, on: bool, triggered_by: NodeId) {
-        self.telemetry.pause_records.push(crate::telemetry::PauseRecord {
-            node,
-            port,
-            triggered_by,
-            ts_ns: self.now,
-            on,
-        });
+        self.telemetry
+            .pause_records
+            .push(crate::telemetry::PauseRecord {
+                node,
+                port,
+                triggered_by,
+                ts_ns: self.now,
+                on,
+            });
         let p = &mut self.ports[node][port];
         if on {
             p.pause_count += 1;
@@ -432,11 +450,17 @@ impl Simulator {
                     let p = self.config.dcqcn;
                     self.schedule(
                         self.now + p.alpha_timer_ns,
-                        Event::AlphaTimer { flow, generation: gen },
+                        Event::AlphaTimer {
+                            flow,
+                            generation: gen,
+                        },
                     );
                     self.schedule(
                         self.now + p.rate_timer_ns,
-                        Event::RateTimer { flow, generation: gen },
+                        Event::RateTimer {
+                            flow,
+                            generation: gen,
+                        },
                     );
                 }
             }
@@ -567,15 +591,15 @@ impl Simulator {
             if outcome != EnqueueOutcome::Dropped && is_data && !self.topo.is_host(node) {
                 let qlen = self.ports[node][port].qlen_bytes();
                 if qlen >= threshold {
-                    self.telemetry.burst_records.push(
-                        crate::telemetry::BurstRecord {
+                    self.telemetry
+                        .burst_records
+                        .push(crate::telemetry::BurstRecord {
                             switch: node,
                             port,
                             ts_ns: self.clocks.local_time(node, self.now),
                             flow,
                             qlen_bytes: qlen,
-                        },
-                    );
+                        });
                 }
             }
         }
@@ -584,14 +608,16 @@ impl Simulator {
             && self.config.deflect_on_drop
             && !self.topo.is_host(node)
         {
-            self.telemetry.drop_records.push(crate::telemetry::DropRecord {
-                switch: node,
-                port,
-                ts_ns: self.clocks.local_time(node, self.now),
-                flow,
-                psn,
-                bytes,
-            });
+            self.telemetry
+                .drop_records
+                .push(crate::telemetry::DropRecord {
+                    switch: node,
+                    port,
+                    ts_ns: self.clocks.local_time(node, self.now),
+                    flow,
+                    psn,
+                    bytes,
+                });
         }
         self.observe_queue(node, port);
         if outcome != EnqueueOutcome::Dropped
@@ -646,15 +672,15 @@ impl Simulator {
         if self.topo.is_host(node) {
             self.host_receive(node, pkt);
         } else {
-            let port = self.topo.route(node, pkt.dst, flow_route_hash(pkt.flow, pkt.kind));
+            let port = self
+                .topo
+                .route(node, pkt.dst, flow_route_hash(pkt.flow, pkt.kind));
             self.enqueue_port(node, port, pkt);
         }
     }
 
     fn host_receive(&mut self, host: NodeId, pkt: Packet) {
-        let flow = self
-            .flow_index(pkt.flow)
-            .expect("packet for unknown flow");
+        let flow = self.flow_index(pkt.flow).expect("packet for unknown flow");
         match pkt.kind {
             PacketKind::Data => {
                 debug_assert_eq!(pkt.dst, host);
@@ -679,7 +705,13 @@ impl Simulator {
                         self.flows[flow].rcv_cum = cum;
                         let spec = self.flows[flow].spec;
                         let ack = Packet::ack(
-                            spec.id, spec.dst, spec.src, pkt.psn, cum, pkt.is_ce(), self.now,
+                            spec.id,
+                            spec.dst,
+                            spec.src,
+                            pkt.psn,
+                            cum,
+                            pkt.is_ce(),
+                            self.now,
                         );
                         self.enqueue_port(host, 0, ack);
                     }
@@ -694,11 +726,17 @@ impl Simulator {
                     let gen = d.generation;
                     self.schedule(
                         self.now + p.alpha_timer_ns,
-                        Event::AlphaTimer { flow, generation: gen },
+                        Event::AlphaTimer {
+                            flow,
+                            generation: gen,
+                        },
                     );
                     self.schedule(
                         self.now + p.rate_timer_ns,
-                        Event::RateTimer { flow, generation: gen },
+                        Event::RateTimer {
+                            flow,
+                            generation: gen,
+                        },
                     );
                 }
             }
@@ -777,8 +815,7 @@ impl Simulator {
                 self.send_pause_frames(node, port, false);
             }
         }
-        if let Some((start, end, max)) = self.episode_trackers[node][port].observe(self.now, qlen)
-        {
+        if let Some((start, end, max)) = self.episode_trackers[node][port].observe(self.now, qlen) {
             self.telemetry.episodes.push(QueueEpisode {
                 switch: node,
                 port,
@@ -827,9 +864,7 @@ impl Simulator {
         // Close open episodes and the queue distribution.
         for node in self.topo.num_hosts..self.topo.num_nodes() {
             for port in 0..self.topo.ports(node) {
-                if let Some((start, end, max)) =
-                    self.episode_trackers[node][port].flush(self.now)
-                {
+                if let Some((start, end, max)) = self.episode_trackers[node][port].flush(self.now) {
                     self.telemetry.episodes.push(QueueEpisode {
                         switch: node,
                         port,
@@ -923,8 +958,12 @@ mod tests {
     #[test]
     fn single_dcqcn_flow_completes_and_conserves_bytes() {
         let topo = Topology::dumbbell(1, 100.0, 1000);
-        let r = Simulator::new(topo, one_flow(1_000_000, CongestionControl::Dcqcn), quick_config())
-            .run();
+        let r = Simulator::new(
+            topo,
+            one_flow(1_000_000, CongestionControl::Dcqcn),
+            quick_config(),
+        )
+        .run();
         let f = &r.flows[0];
         assert_eq!(f.sent_bytes, 1_000_000);
         assert_eq!(f.delivered_bytes, 1_000_000);
@@ -937,8 +976,12 @@ mod tests {
     fn flow_completion_time_is_sane_for_line_rate() {
         // 1 MB at 100 Gbps ≈ 80 μs serialization + ~4 hops propagation.
         let topo = Topology::dumbbell(1, 100.0, 1000);
-        let r = Simulator::new(topo, one_flow(1_000_000, CongestionControl::Dcqcn), quick_config())
-            .run();
+        let r = Simulator::new(
+            topo,
+            one_flow(1_000_000, CongestionControl::Dcqcn),
+            quick_config(),
+        )
+        .run();
         let fct = r.flows[0].fct_ns.unwrap();
         assert!(fct > 80_000, "fct {fct} faster than line rate");
         assert!(fct < 200_000, "fct {fct} too slow for an uncontended path");
@@ -982,15 +1025,22 @@ mod tests {
         assert_eq!(
             r.telemetry.injected_bytes,
             r.telemetry.delivered_bytes
-                + r.flows.iter().map(|f| f.sent_bytes - f.delivered_bytes).sum::<u64>()
+                + r.flows
+                    .iter()
+                    .map(|f| f.sent_bytes - f.delivered_bytes)
+                    .sum::<u64>()
         );
     }
 
     #[test]
     fn dctcp_flow_completes() {
         let topo = Topology::dumbbell(1, 100.0, 1000);
-        let r = Simulator::new(topo, one_flow(500_000, CongestionControl::Dctcp), quick_config())
-            .run();
+        let r = Simulator::new(
+            topo,
+            one_flow(500_000, CongestionControl::Dctcp),
+            quick_config(),
+        )
+        .run();
         assert_eq!(r.flows[0].delivered_bytes, 500_000);
         assert!(r.flows[0].fct_ns.is_some());
     }
@@ -1087,25 +1137,32 @@ mod tests {
             last_delivery = last_delivery.max(f.fct_ns.unwrap_or(r.end_ns));
         }
         // 8 MB over one 100 G link ≥ 640 μs even at perfect sharing.
-        assert!(last_delivery > 600_000, "finished implausibly fast: {last_delivery}");
+        assert!(
+            last_delivery > 600_000,
+            "finished implausibly fast: {last_delivery}"
+        );
         assert!(!r.telemetry.mirror_candidates.is_empty());
         // Conservation: injected = delivered + dropped bytes.
         let dropped: u64 = r.telemetry.injected_bytes - r.telemetry.delivered_bytes;
         assert_eq!(
             dropped,
-            r.flows.iter().map(|f| f.sent_bytes - f.delivered_bytes).sum::<u64>()
+            r.flows
+                .iter()
+                .map(|f| f.sent_bytes - f.delivered_bytes)
+                .sum::<u64>()
         );
     }
 
     #[test]
     fn tx_records_cover_all_data_packets() {
         let topo = Topology::dumbbell(1, 100.0, 1000);
-        let r = Simulator::new(topo, one_flow(100_000, CongestionControl::Dcqcn), quick_config())
-            .run();
-        assert_eq!(
-            r.telemetry.tx_records.len() as u64,
-            r.flows[0].packets_sent
-        );
+        let r = Simulator::new(
+            topo,
+            one_flow(100_000, CongestionControl::Dcqcn),
+            quick_config(),
+        )
+        .run();
+        assert_eq!(r.telemetry.tx_records.len() as u64, r.flows[0].packets_sent);
         let bytes: u64 = r.telemetry.tx_records.iter().map(|t| t.bytes as u64).sum();
         assert_eq!(bytes, 100_000);
     }
@@ -1113,8 +1170,12 @@ mod tests {
     #[test]
     fn mtu_partitioning_last_packet_is_remainder() {
         let topo = Topology::dumbbell(1, 100.0, 1000);
-        let r = Simulator::new(topo, one_flow(2500, CongestionControl::Dcqcn), quick_config())
-            .run();
+        let r = Simulator::new(
+            topo,
+            one_flow(2500, CongestionControl::Dcqcn),
+            quick_config(),
+        )
+        .run();
         let sizes: Vec<u32> = r.telemetry.tx_records.iter().map(|t| t.bytes).collect();
         assert_eq!(sizes, vec![1000, 1000, 500]);
     }
@@ -1155,7 +1216,10 @@ mod tests {
             Simulator::new(topo, flows, config).run()
         };
         let lossy = incast(None);
-        assert!(lossy.telemetry.drops > 0, "small buffer must drop without PFC");
+        assert!(
+            lossy.telemetry.drops > 0,
+            "small buffer must drop without PFC"
+        );
         let lossless = incast(Some(PfcConfig {
             xoff_bytes: 400 * 1024,
             xon_bytes: 300 * 1024,
@@ -1170,8 +1234,18 @@ mod tests {
             assert_eq!(f.delivered_bytes, 1_500_000, "flow {:?}", f.spec.id);
         }
         // XOFFs and XONs balance out (no port left paused forever).
-        let on = lossless.telemetry.pause_records.iter().filter(|p| p.on).count();
-        let off = lossless.telemetry.pause_records.iter().filter(|p| !p.on).count();
+        let on = lossless
+            .telemetry
+            .pause_records
+            .iter()
+            .filter(|p| p.on)
+            .count();
+        let off = lossless
+            .telemetry
+            .pause_records
+            .iter()
+            .filter(|p| !p.on)
+            .count();
         assert_eq!(on, off, "every XOFF must be resumed");
     }
 
@@ -1202,7 +1276,10 @@ mod tests {
         // The bottleneck is switch 4's downlink queue (2:1 into one 100 G
         // receiver port): it must appear as a trigger.
         assert!(
-            r.telemetry.pause_records.iter().any(|p| p.triggered_by == 4),
+            r.telemetry
+                .pause_records
+                .iter()
+                .any(|p| p.triggered_by == 4),
             "the receiving-side switch must assert PFC"
         );
         assert_eq!(r.telemetry.drops, 0);
@@ -1290,7 +1367,10 @@ mod tests {
         let f = &r.flows[0];
         assert_eq!(f.sent_bytes, 2_000_000);
         assert!(f.delivered_bytes < f.sent_bytes);
-        assert!(f.delivered_bytes > 1_800_000, "1% loss cannot eat 10% of bytes");
+        assert!(
+            f.delivered_bytes > 1_800_000,
+            "1% loss cannot eat 10% of bytes"
+        );
     }
 
     #[test]
@@ -1349,6 +1429,9 @@ mod tests {
         ];
         let r = Simulator::new(topo, flows, quick_config()).run();
         let dist = r.telemetry.queue_dist.expect("enabled by default");
-        assert!(dist.fraction_at_or_above(1024) > 0.0, "some queueing must occur");
+        assert!(
+            dist.fraction_at_or_above(1024) > 0.0,
+            "some queueing must occur"
+        );
     }
 }

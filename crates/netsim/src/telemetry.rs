@@ -210,7 +210,10 @@ impl QueueLengthDist {
             .enumerate()
             .map(|(i, &w)| {
                 acc += w;
-                ((i as u32 + 1) * self.bucket_bytes, acc as f64 / total as f64)
+                (
+                    (i as u32 + 1) * self.bucket_bytes,
+                    acc as f64 / total as f64,
+                )
             })
             .collect()
     }

@@ -141,14 +141,14 @@ impl Topology {
                     }
                 }
             }
-            for sw in 0..num_switches {
+            for (sw, route) in routes.iter_mut().enumerate() {
                 let node = num_hosts + sw;
                 if dist[node] == usize::MAX {
                     continue;
                 }
                 for (peer, port) in neighbors(node) {
                     if dist[peer] + 1 == dist[node] {
-                        routes[sw][dst].push(port);
+                        route[dst].push(port);
                     }
                 }
             }
@@ -168,7 +168,10 @@ impl Topology {
     /// the paper's 16-host, 20-switch fabric. All links share `bw_gbps` and
     /// `latency_ns` (paper: 100 Gbps, 1 μs per hop).
     pub fn fat_tree(k: usize, bw_gbps: f64, latency_ns: u64) -> Self {
-        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires even k >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree requires even k >= 2"
+        );
         let half = k / 2;
         let num_hosts = k * k * k / 4;
         let num_edge = k * half;
@@ -232,8 +235,8 @@ mod tests {
         let t = Topology::fat_tree(4, 100.0, 1000);
         assert_eq!(t.num_hosts, 16);
         assert_eq!(t.num_switches, 20); // 8 edge + 8 agg + 4 core
-        // k=4: each host 1 port; edge switches 4 ports; total links:
-        // 16 host + 8 edge×2 agg... = 16 + 16 + 16 = 48.
+                                        // k=4: each host 1 port; edge switches 4 ports; total links:
+                                        // 16 host + 8 edge×2 agg... = 16 + 16 + 16 = 48.
         assert_eq!(t.links.len(), 48);
     }
 
@@ -243,7 +246,11 @@ mod tests {
         // From an edge switch to a host in another pod there are 2 agg
         // choices (ECMP), from agg 2 core choices.
         let edge0 = 16; // first edge switch (pod 0)
-        assert_eq!(t.route_candidates(edge0, 15), 2, "edge→remote host via 2 aggs");
+        assert_eq!(
+            t.route_candidates(edge0, 15),
+            2,
+            "edge→remote host via 2 aggs"
+        );
         // Same-rack host: single downlink.
         assert_eq!(t.route_candidates(edge0, 0), 1);
     }

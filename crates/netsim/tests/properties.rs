@@ -2,9 +2,7 @@
 //! invariants (DESIGN.md §6) over randomized workloads.
 
 use proptest::prelude::*;
-use umon_netsim::{
-    CongestionControl, FlowId, FlowSpec, PfcConfig, SimConfig, Simulator, Topology,
-};
+use umon_netsim::{CongestionControl, FlowId, FlowSpec, PfcConfig, SimConfig, Simulator, Topology};
 
 /// Random small flow sets on the fat-tree.
 fn flows_strategy() -> impl Strategy<Value = Vec<FlowSpec>> {

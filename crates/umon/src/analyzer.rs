@@ -20,6 +20,10 @@ use umon_netsim::QueueEpisode;
 use wavesketch::basic::WindowSeries;
 use wavesketch::{BucketReport, FlowKey, SketchConfig};
 
+/// Detected event time spans `(start_ns, end_ns)` per link `(switch, VLAN)`,
+/// sorted by event count descending.
+pub type CongestionMap = Vec<((usize, u16), Vec<(u64, u64)>)>;
+
 /// A congestion event reconstructed from mirrored packets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectedEvent {
@@ -190,7 +194,7 @@ impl Analyzer {
         let cfg = &self.sketch_config;
         let mut best: Option<WindowSeries> = None;
         for row in 0..cfg.rows {
-            let col = (key.hash(row as u64, cfg.seed) % cfg.width as u64) as u32;
+            let col = cfg.light_col(key, row) as u32;
             let mut bucket_reports: Vec<BucketReport> = Vec::new();
             let mut heavy_in_bucket: Vec<BucketReport> = Vec::new();
             for pr in reports {
@@ -205,7 +209,7 @@ impl Analyzer {
                         continue;
                     }
                     let other = unpack_key(k);
-                    let ocol = (other.hash(row as u64, cfg.seed) % cfg.width as u64) as u32;
+                    let ocol = cfg.light_col(&other, row) as u32;
                     if ocol == col {
                         heavy_in_bucket.extend(brs.iter().cloned());
                     }
@@ -345,7 +349,7 @@ impl Analyzer {
     /// The Figure 10a congestion map: per link (switch, VLAN), the list of
     /// detected event time spans, sorted by event count descending — the
     /// operator's "which links hurt" view.
-    pub fn congestion_map(&self, gap_ns: u64) -> Vec<((usize, u16), Vec<(u64, u64)>)> {
+    pub fn congestion_map(&self, gap_ns: u64) -> CongestionMap {
         let mut per_link: BTreeMap<(usize, u16), Vec<(u64, u64)>> = BTreeMap::new();
         for e in self.cluster_events(gap_ns) {
             per_link
@@ -486,7 +490,10 @@ mod tests {
         ]);
         let events = analyzer.cluster_events(50_000);
         assert_eq!(events.len(), 3);
-        let first = events.iter().find(|e| e.vlan == 1 && e.start_ns == 1000).unwrap();
+        let first = events
+            .iter()
+            .find(|e| e.vlan == 1 && e.start_ns == 1000)
+            .unwrap();
         assert_eq!(first.packets, 2);
         assert_eq!(first.flows.len(), 2);
     }
@@ -503,7 +510,11 @@ mod tests {
         let mut analyzer = Analyzer::new(cfg.sketch.clone());
         analyzer.add_reports(agent.finish());
         let curve = analyzer.host_rate_curve(0).expect("host measured");
-        assert!((curve.at(10) - 1500.0).abs() < 1e-6, "window 10: {}", curve.at(10));
+        assert!(
+            (curve.at(10) - 1500.0).abs() < 1e-6,
+            "window 10: {}",
+            curve.at(10)
+        );
         assert!((curve.at(11) - 700.0).abs() < 1e-6);
         assert!((curve.at(12) - 250.0).abs() < 1e-6);
         assert!((curve.total() - 2450.0).abs() < 1e-6);

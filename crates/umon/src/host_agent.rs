@@ -208,9 +208,24 @@ mod tests {
         use umon_netsim::FlowId;
         let mut agent = HostAgent::new(3, small_config());
         let records = vec![
-            TxRecord { host: 3, flow: FlowId(1), ts_ns: 0, bytes: 500 },
-            TxRecord { host: 4, flow: FlowId(2), ts_ns: 10, bytes: 500 },
-            TxRecord { host: 3, flow: FlowId(1), ts_ns: 20, bytes: 500 },
+            TxRecord {
+                host: 3,
+                flow: FlowId(1),
+                ts_ns: 0,
+                bytes: 500,
+            },
+            TxRecord {
+                host: 4,
+                flow: FlowId(2),
+                ts_ns: 10,
+                bytes: 500,
+            },
+            TxRecord {
+                host: 3,
+                flow: FlowId(1),
+                ts_ns: 20,
+                bytes: 500,
+            },
         ];
         agent.ingest(&records);
         assert_eq!(agent.packets, 2);

@@ -21,13 +21,15 @@
 pub mod analyzer;
 pub mod events;
 pub mod host_agent;
+pub mod parallel_host;
 pub mod pswitch;
 pub mod switch_agent;
 pub mod usecases;
 
 pub use analyzer::{Analyzer, DetectedEvent, EventMatchStats};
 pub use events::{loss_events, pause_storms, LossEvent, PauseStorm};
-pub use pswitch::{PSwitchAgent, PSwitchConfig, PSwitchEvent};
 pub use host_agent::{HostAgent, HostAgentConfig, PeriodReport};
+pub use parallel_host::ParallelHostAgent;
+pub use pswitch::{PSwitchAgent, PSwitchConfig, PSwitchEvent};
 pub use switch_agent::{MirroredPacket, SamplerField, SwitchAgent, SwitchAgentConfig};
 pub use usecases::{classify_event_role, fairness_index, find_gaps, EventRole, GapReport};

@@ -1,0 +1,326 @@
+//! Sharded parallel host ingest: the [`HostAgent`](crate::HostAgent)
+//! pipeline spread across worker threads, one lane-partitioned
+//! `FullWaveSketch` shard per worker.
+//!
+//! The observe path routes each packet to its flow's shard (a single hash)
+//! and appends it to a small per-shard batch; full batches travel over an
+//! mpsc channel to the owning worker, which applies them to its private
+//! shard. At a period boundary every worker drains its shard and the merged
+//! report is bit-identical to what a sequential [`HostAgent`] would have
+//! uploaded (see `wavesketch::sharded`), so the analyzer cannot tell the two
+//! apart.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use crate::host_agent::{HostAgentConfig, PeriodReport};
+use umon_netsim::TxRecord;
+use wavesketch::sharded::merge_shard_reports;
+use wavesketch::{FlowKey, FullWaveSketch, SketchReport};
+
+/// Updates handed to a shard worker: `(flow, window, bytes)`.
+type Batch = Vec<(FlowKey, u64, i64)>;
+
+enum ShardMsg {
+    /// Apply a batch of updates to the shard.
+    Batch(Batch),
+    /// Drain the shard and send its report back.
+    Drain(mpsc::Sender<SketchReport>),
+}
+
+fn shard_worker(mut sketch: FullWaveSketch, rx: mpsc::Receiver<ShardMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(batch) => {
+                for (flow, window, value) in &batch {
+                    sketch.update(flow, *window, *value);
+                }
+            }
+            ShardMsg::Drain(reply) => {
+                // The agent waits on the reply; a dropped receiver means the
+                // agent is gone and the report is moot.
+                let _ = reply.send(sketch.drain());
+            }
+        }
+    }
+}
+
+/// Packets buffered per shard before a batch is shipped to its worker.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// A [`HostAgent`](crate::HostAgent) with the sketch split into
+/// lane-partitioned shards, each owned by a worker thread.
+///
+/// ```
+/// use umon::{HostAgentConfig, ParallelHostAgent};
+///
+/// let mut agent = ParallelHostAgent::new(0, HostAgentConfig::default(), 4);
+/// agent.observe(7, 1_000_000, 1500);
+/// let reports = agent.finish();
+/// assert_eq!(reports.len(), 1);
+/// ```
+pub struct ParallelHostAgent {
+    /// This host's node id.
+    pub host: usize,
+    config: HostAgentConfig,
+    shard_count: usize,
+    batch_size: usize,
+    senders: Vec<mpsc::Sender<ShardMsg>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Vec<Batch>,
+    current_period: Option<u64>,
+    finished: Vec<PeriodReport>,
+    /// Total packets observed.
+    pub packets: u64,
+    /// Total bytes observed.
+    pub bytes: u64,
+}
+
+impl ParallelHostAgent {
+    /// Creates an agent for `host` with `shard_count` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` does not divide the sketch's lane count
+    /// (powers of two up to the lane count always do).
+    pub fn new(host: usize, config: HostAgentConfig, shard_count: usize) -> Self {
+        let mut senders = Vec::with_capacity(shard_count);
+        let mut workers = Vec::with_capacity(shard_count);
+        for s in 0..shard_count {
+            let sketch = FullWaveSketch::new(config.sketch.shard_slice(s, shard_count));
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("umon-shard-{s}"))
+                    .spawn(move || shard_worker(sketch, rx))
+                    .expect("spawn shard worker"),
+            );
+        }
+        Self {
+            host,
+            config,
+            shard_count,
+            batch_size: DEFAULT_BATCH_SIZE,
+            senders,
+            workers,
+            pending: (0..shard_count).map(|_| Vec::new()).collect(),
+            current_period: None,
+            finished: Vec::new(),
+            packets: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Overrides the per-shard batch size (mostly for tests and benchmarks).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The agent configuration.
+    pub fn config(&self) -> &HostAgentConfig {
+        &self.config
+    }
+
+    /// Observes one egress packet (host-local clock, non-decreasing
+    /// timestamps) — same contract as [`HostAgent::observe`](crate::HostAgent::observe).
+    pub fn observe(&mut self, flow_id: u64, local_ts_ns: u64, bytes: u32) {
+        let period = local_ts_ns / self.config.period_ns;
+        match self.current_period {
+            None => self.current_period = Some(period),
+            Some(cur) if period > cur => {
+                self.flush_period(cur);
+                self.current_period = Some(period);
+            }
+            _ => {}
+        }
+        let window = local_ts_ns >> self.config.window_shift;
+        let key = FlowKey::from_id(flow_id);
+        let s = self.config.sketch.shard_of(&key, self.shard_count);
+        self.pending[s].push((key, window, bytes as i64));
+        if self.pending[s].len() >= self.batch_size {
+            let batch = std::mem::take(&mut self.pending[s]);
+            self.senders[s]
+                .send(ShardMsg::Batch(batch))
+                .expect("shard worker alive");
+        }
+        self.packets += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Convenience: feeds every record of this host from a simulation tap.
+    pub fn ingest(&mut self, records: &[TxRecord]) {
+        for r in records {
+            if r.host == self.host {
+                self.observe(r.flow.0, r.ts_ns, r.bytes);
+            }
+        }
+    }
+
+    /// Drains every shard (after flushing buffered batches) and merges the
+    /// per-shard reports into one sequential-identical period report.
+    fn flush_period(&mut self, period: u64) {
+        let mut replies = Vec::with_capacity(self.shard_count);
+        for s in 0..self.shard_count {
+            if !self.pending[s].is_empty() {
+                let batch = std::mem::take(&mut self.pending[s]);
+                self.senders[s]
+                    .send(ShardMsg::Batch(batch))
+                    .expect("shard worker alive");
+            }
+            let (tx, rx) = mpsc::channel();
+            self.senders[s]
+                .send(ShardMsg::Drain(tx))
+                .expect("shard worker alive");
+            replies.push(rx);
+        }
+        // Collect in shard order: the merge relies on it, and each worker
+        // processes its channel in order, so the drain sees every batch.
+        let shard_reports: Vec<SketchReport> = replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker replies"))
+            .collect();
+        let report = merge_shard_reports(&self.config.sketch, shard_reports);
+        if report.epoch_count() > 0 {
+            self.finished.push(PeriodReport {
+                period,
+                host: self.host,
+                config_fingerprint: self.config.sketch.fingerprint(),
+                report,
+            });
+        }
+    }
+
+    /// Flushes the in-progress period, stops the workers and returns all
+    /// reports collected so far.
+    pub fn finish(mut self) -> Vec<PeriodReport> {
+        if let Some(cur) = self.current_period.take() {
+            self.flush_period(cur);
+        }
+        self.senders.clear(); // closes every channel; workers exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        std::mem::take(&mut self.finished)
+    }
+}
+
+impl Drop for ParallelHostAgent {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_agent::HostAgent;
+    use wavesketch::SketchConfig;
+
+    fn small_config() -> HostAgentConfig {
+        HostAgentConfig {
+            sketch: SketchConfig::builder()
+                .rows(2)
+                .width(32)
+                .levels(4)
+                .topk(32)
+                .max_windows(4096)
+                .heavy_rows(16)
+                .build(),
+            period_ns: 1_000_000,
+            window_shift: 13,
+        }
+    }
+
+    /// Several periods of skewed traffic across many flows.
+    fn drive(observe: &mut dyn FnMut(u64, u64, u32)) {
+        for i in 0..30_000u64 {
+            let ts = i * 100; // 3 ms span => 3 periods of 1 ms
+            let flow = if i % 5 == 0 { i % 3 } else { 10 + i % 97 };
+            observe(flow, ts, 64 + (i % 1400) as u32);
+        }
+    }
+
+    #[test]
+    fn parallel_reports_are_bit_identical_to_sequential() {
+        let mut seq = HostAgent::new(0, small_config());
+        drive(&mut |f, t, b| seq.observe(f, t, b));
+        let seq_reports = seq.finish();
+        assert!(seq_reports.len() >= 2, "want multiple periods");
+
+        for shards in [1usize, 2, 4, 8] {
+            let mut par = ParallelHostAgent::new(0, small_config(), shards).with_batch_size(64);
+            drive(&mut |f, t, b| par.observe(f, t, b));
+            let par_reports = par.finish();
+            assert_eq!(par_reports.len(), seq_reports.len(), "{shards} shards");
+            for (p, s) in par_reports.iter().zip(&seq_reports) {
+                assert_eq!(p.period, s.period, "{shards} shards");
+                assert_eq!(p.config_fingerprint, s.config_fingerprint);
+                assert_eq!(p.report, s.report, "{shards} shards, period {}", p.period);
+            }
+        }
+    }
+
+    #[test]
+    fn counters_match_sequential_agent() {
+        let mut seq = HostAgent::new(0, small_config());
+        let mut par = ParallelHostAgent::new(0, small_config(), 4);
+        drive(&mut |f, t, b| seq.observe(f, t, b));
+        drive(&mut |f, t, b| par.observe(f, t, b));
+        assert_eq!(par.packets, seq.packets);
+        assert_eq!(par.bytes, seq.bytes);
+        par.finish();
+    }
+
+    #[test]
+    fn ingest_filters_by_host() {
+        use umon_netsim::FlowId;
+        let mut agent = ParallelHostAgent::new(3, small_config(), 2);
+        let records = vec![
+            TxRecord {
+                host: 3,
+                flow: FlowId(1),
+                ts_ns: 0,
+                bytes: 500,
+            },
+            TxRecord {
+                host: 4,
+                flow: FlowId(2),
+                ts_ns: 10,
+                bytes: 500,
+            },
+            TxRecord {
+                host: 3,
+                flow: FlowId(1),
+                ts_ns: 20,
+                bytes: 500,
+            },
+        ];
+        agent.ingest(&records);
+        assert_eq!(agent.packets, 2);
+        assert_eq!(agent.bytes, 1000);
+        agent.finish();
+    }
+
+    #[test]
+    fn empty_agent_produces_no_reports() {
+        let agent = ParallelHostAgent::new(0, small_config(), 4);
+        assert!(agent.finish().is_empty());
+    }
+
+    #[test]
+    fn drop_without_finish_joins_workers() {
+        let mut agent = ParallelHostAgent::new(0, small_config(), 4);
+        agent.observe(1, 100, 1000);
+        drop(agent); // must not hang or panic
+    }
+}

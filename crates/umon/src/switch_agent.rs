@@ -275,7 +275,11 @@ mod tests {
         };
         let full = run(0);
         let sampled = run(6);
-        assert!((full / sampled - 64.0).abs() < 0.5, "ratio {}", full / sampled);
+        assert!(
+            (full / sampled - 64.0).abs() < 0.5,
+            "ratio {}",
+            full / sampled
+        );
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub fn find_gaps(curve: &[f64], idle_threshold: f64, min_windows: usize) -> Vec<
     };
     let mut gaps = Vec::new();
     let mut run_start: Option<usize> = None;
-    for i in first..=last {
-        if curve[i] <= idle_threshold {
+    for (i, &v) in curve.iter().enumerate().take(last + 1).skip(first) {
+        if v <= idle_threshold {
             run_start.get_or_insert(i);
         } else if let Some(s) = run_start.take() {
             if i - s >= min_windows {
@@ -83,10 +83,7 @@ pub fn classify_event_role(
     during: std::ops::Range<usize>,
 ) -> EventRole {
     let mean = |r: std::ops::Range<usize>| -> f64 {
-        let vals: Vec<f64> = curve
-            .get(r.clone())
-            .map(|s| s.to_vec())
-            .unwrap_or_default();
+        let vals: Vec<f64> = curve.get(r.clone()).map(|s| s.to_vec()).unwrap_or_default();
         if vals.is_empty() {
             0.0
         } else {
@@ -154,7 +151,13 @@ mod tests {
     fn gaps_inside_active_span_are_found() {
         let curve = [0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0];
         let gaps = find_gaps(&curve, 0.5, 2);
-        assert_eq!(gaps, vec![GapReport { start: 4, windows: 3 }]);
+        assert_eq!(
+            gaps,
+            vec![GapReport {
+                start: 4,
+                windows: 3
+            }]
+        );
     }
 
     #[test]
@@ -186,7 +189,10 @@ mod tests {
     fn contributor_ramps_into_the_event() {
         // Quiet before, bursting during.
         let curve = [0.0, 0.0, 0.0, 90.0, 100.0, 95.0];
-        assert_eq!(classify_event_role(&curve, 0..3, 3..6), EventRole::Contributor);
+        assert_eq!(
+            classify_event_role(&curve, 0..3, 3..6),
+            EventRole::Contributor
+        );
     }
 
     #[test]
@@ -198,13 +204,19 @@ mod tests {
     #[test]
     fn steady_flow_is_a_bystander() {
         let curve = [50.0, 52.0, 49.0, 51.0, 50.0, 50.0];
-        assert_eq!(classify_event_role(&curve, 0..3, 3..6), EventRole::Bystander);
+        assert_eq!(
+            classify_event_role(&curve, 0..3, 3..6),
+            EventRole::Bystander
+        );
     }
 
     #[test]
     fn empty_ranges_are_bystanders() {
         let curve = [1.0, 2.0];
-        assert_eq!(classify_event_role(&curve, 0..0, 0..0), EventRole::Bystander);
+        assert_eq!(
+            classify_event_role(&curve, 0..0, 0..0),
+            EventRole::Bystander
+        );
     }
 
     #[test]

@@ -94,10 +94,7 @@ pub fn parse_flow_specs<R: BufRead>(input: R) -> Result<Vec<FlowSpec>, FlowSpecE
 
 /// Serializes flows back into the spec format (inverse of
 /// [`parse_flow_specs`], modulo comments).
-pub fn write_flow_specs<W: std::io::Write>(
-    out: &mut W,
-    flows: &[FlowSpec],
-) -> std::io::Result<()> {
+pub fn write_flow_specs<W: std::io::Write>(out: &mut W, flows: &[FlowSpec]) -> std::io::Result<()> {
     writeln!(out, "# src dst size_bytes start_ns cc")?;
     for f in flows {
         let cc = match f.cc {
@@ -120,7 +117,8 @@ mod tests {
 
     #[test]
     fn parses_all_cc_kinds() {
-        let doc = "# comment\n\n0 5 1000000 0 dcqcn\n1 5 200000 50000 dctcp\n2 6 500000 0 fixed:25\n";
+        let doc =
+            "# comment\n\n0 5 1000000 0 dcqcn\n1 5 200000 50000 dctcp\n2 6 500000 0 fixed:25\n";
         let flows = parse_flow_specs(doc.as_bytes()).unwrap();
         assert_eq!(flows.len(), 3);
         assert_eq!(flows[0].cc, CongestionControl::Dcqcn);

@@ -144,7 +144,11 @@ mod tests {
             let sample_mean = sum / n as f64;
             let analytic = d.mean();
             let rel = (sample_mean - analytic).abs() / analytic;
-            assert!(rel < 0.05, "{}: sample {sample_mean} vs analytic {analytic}", d.name);
+            assert!(
+                rel < 0.05,
+                "{}: sample {sample_mean} vs analytic {analytic}",
+                d.name
+            );
         }
     }
 

@@ -71,9 +71,8 @@ fn main() {
         event.flows.len()
     );
 
-    let (windows, curves) = analyzer.replay_event(event, 100_000, 13, |f| {
-        host_of_flow.get(&f).copied()
-    });
+    let (windows, curves) =
+        analyzer.replay_event(event, 100_000, 13, |f| host_of_flow.get(&f).copied());
     println!(
         "\nreplay: {} windows around the event, {} flow curves",
         windows.len(),

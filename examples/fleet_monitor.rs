@@ -48,7 +48,10 @@ fn main() {
         max_mirror = max_mirror.max(agent.mirror_bandwidth_bps(20_000_000));
         analyzer.add_mirrors(agent.drain());
     }
-    println!("μEvent mirror: max {:.1} Mbps per switch at 1/64 sampling", max_mirror / 1e6);
+    println!(
+        "μEvent mirror: max {:.1} Mbps per switch at 1/64 sampling",
+        max_mirror / 1e6
+    );
 
     // Congestion hot spots.
     let events = analyzer.cluster_events(50_000);
@@ -81,5 +84,8 @@ fn main() {
             active
         );
     }
-    println!("\n→ one analyzer view over {} detected events and 16 hosts of rate curves", events.len());
+    println!(
+        "\n→ one analyzer view over {} detected events and 16 hosts of rate curves",
+        events.len()
+    );
 }

@@ -52,8 +52,11 @@ fn main() {
 
     // 1. Starvation check: a healthy backlogged flow has no inner gaps.
     let gaps0 = find_gaps(&c0.values, 1.0, 4);
-    println!("flow 0: {} inner gaps, idle fraction {:.3}", gaps0.len(),
-             idle_fraction(&c0.values, 1.0, 4));
+    println!(
+        "flow 0: {} inner gaps, idle fraction {:.3}",
+        gaps0.len(),
+        idle_fraction(&c0.values, 1.0, 4)
+    );
 
     // 2. Fairness: compare average rates while both flows are active.
     let overlap_from = c1.start_window;

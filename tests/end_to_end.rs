@@ -71,7 +71,14 @@ fn measured_curves_track_ground_truth() {
 #[test]
 fn incast_event_is_detected_and_replayed() {
     let topo = Topology::fat_tree(4, 100.0, 1000);
-    let flows = incast_burst(0, &[4, 5, 6, 7], 0, 512_000, 1_000_000, CongestionControl::Dcqcn);
+    let flows = incast_burst(
+        0,
+        &[4, 5, 6, 7],
+        0,
+        512_000,
+        1_000_000,
+        CongestionControl::Dcqcn,
+    );
     let host_of_flow: HashMap<u64, usize> = flows.iter().map(|f| (f.id.0, f.src)).collect();
     let config = SimConfig {
         end_ns: 5_000_000,
@@ -113,7 +120,10 @@ fn incast_event_is_detected_and_replayed() {
         analyzer.replay_event(best, 100_000, 13, |f| host_of_flow.get(&f).copied());
     assert!(curves.len() >= 3);
     for (_, values) in &curves {
-        assert!(values.iter().sum::<f64>() > 0.0, "replayed curves carry volume");
+        assert!(
+            values.iter().sum::<f64>() > 0.0,
+            "replayed curves carry volume"
+        );
     }
 }
 
@@ -132,12 +142,7 @@ fn recall_above_kmax_is_high_even_when_sampled() {
         agent.ingest(&result.telemetry.mirror_candidates);
         analyzer.add_mirrors(agent.drain());
     }
-    let stats = analyzer.match_episodes(
-        &result.telemetry.episodes,
-        200 * 1024,
-        u32::MAX,
-        10_000,
-    );
+    let stats = analyzer.match_episodes(&result.telemetry.episodes, 200 * 1024, u32::MAX, 10_000);
     if stats.episodes > 0 {
         assert!(
             stats.recall() >= 0.8,

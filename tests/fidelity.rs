@@ -46,7 +46,11 @@ fn score(
     for host in 0..16usize {
         let mut sketch = make();
         for r in records.iter().filter(|r| r.host == host) {
-            sketch.update(&FlowKey::from_id(r.flow.0), r.ts_ns >> WINDOW_SHIFT, r.bytes as i64);
+            sketch.update(
+                &FlowKey::from_id(r.flow.0),
+                r.ts_ns >> WINDOW_SHIFT,
+                r.bytes as i64,
+            );
         }
         for ((h, flow), windows) in &truth {
             if *h != host {
@@ -78,16 +82,28 @@ fn wavesketch_beats_every_baseline_at_200kb() {
         let ws = score(&result, || {
             Box::new(SweepLayout::paper(0, windows).wavesketch(budget, SelectorKind::Ideal))
         });
-        let schemes: Vec<(&str, Box<dyn Fn() -> Box<dyn CurveSketch>>)> = vec![
-            ("omniwindow", Box::new(move || {
-                Box::new(SweepLayout::paper(0, windows).omniwindow(budget)) as Box<dyn CurveSketch>
-            })),
-            ("fourier", Box::new(move || {
-                Box::new(SweepLayout::paper(0, windows).fourier(budget)) as Box<dyn CurveSketch>
-            })),
-            ("persist", Box::new(move || {
-                Box::new(SweepLayout::paper(0, windows).persist_cms(budget)) as Box<dyn CurveSketch>
-            })),
+        type SketchFactory = Box<dyn Fn() -> Box<dyn CurveSketch>>;
+        let schemes: Vec<(&str, SketchFactory)> = vec![
+            (
+                "omniwindow",
+                Box::new(move || {
+                    Box::new(SweepLayout::paper(0, windows).omniwindow(budget))
+                        as Box<dyn CurveSketch>
+                }),
+            ),
+            (
+                "fourier",
+                Box::new(move || {
+                    Box::new(SweepLayout::paper(0, windows).fourier(budget)) as Box<dyn CurveSketch>
+                }),
+            ),
+            (
+                "persist",
+                Box::new(move || {
+                    Box::new(SweepLayout::paper(0, windows).persist_cms(budget))
+                        as Box<dyn CurveSketch>
+                }),
+            ),
         ];
         for (name, make) in schemes {
             let baseline = score(&result, || make());
@@ -126,7 +142,10 @@ fn hw_version_tracks_ideal_closely() {
     let hw = score(&result, || {
         Box::new(SweepLayout::paper(0, windows).wavesketch(
             budget,
-            SelectorKind::HwThreshold { even: 600, odd: 600 },
+            SelectorKind::HwThreshold {
+                even: 600,
+                odd: 600,
+            },
         ))
     });
     assert!(
@@ -135,5 +154,10 @@ fn hw_version_tracks_ideal_closely() {
         hw.cosine,
         ideal.cosine
     );
-    assert!(hw.are < ideal.are * 20.0 + 0.05, "hw ARE {} vs ideal {}", hw.are, ideal.are);
+    assert!(
+        hw.are < ideal.are * 20.0 + 0.05,
+        "hw ARE {} vs ideal {}",
+        hw.are,
+        ideal.are
+    );
 }

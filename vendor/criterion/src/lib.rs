@@ -1,0 +1,294 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the upstream API shape used by this workspace (`criterion_group!`,
+//! `benchmark_group`, `Throughput`, `BenchmarkId`, `Bencher::iter`) but
+//! implements a much simpler measurement loop: per-sample wall-clock timing
+//! with automatic inner batching, reporting mean / min ns per iteration and
+//! derived throughput to stdout. No statistics engine, no HTML reports.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: size inner batches to ~2 ms so cheap
+        // closures aren't dominated by timer resolution.
+        let start = Instant::now();
+        black_box(f());
+        let single_ns = start.elapsed().as_nanos().max(1);
+        let batch = (2_000_000 / single_ns).clamp(1, 65_536) as usize;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Runs `routine` on fresh values from `setup`; only `routine` is timed.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let single_ns = start.elapsed().as_nanos().max(1);
+        let batch = (2_000_000 / single_ns).clamp(1, 65_536) as usize;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Top-level harness handle; collects settings shared by its groups.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used for derived throughput lines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.criterion.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream flushes reports here; we print eagerly).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let min = bencher.samples_ns.iter().cloned().fold(f64::MAX, f64::min);
+    let mean = bencher.samples_ns.iter().sum::<f64>() / bencher.samples_ns.len() as f64;
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", scaled(n as f64 / (mean / 1e9))),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {}B/s", scaled(n as f64 / (mean / 1e9))),
+        None => String::new(),
+    };
+    println!(
+        "{label:<48} time: [min {}  mean {}]{thrpt}",
+        time(min),
+        time(mean)
+    );
+}
+
+fn time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn scaled(per_s: f64) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} G", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} M", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} K", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} ")
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1u32)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

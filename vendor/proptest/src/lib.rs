@@ -1,0 +1,385 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: range / tuple strategies,
+//! `collection::{vec, btree_map}`, `.prop_map`, the `proptest!` /
+//! `prop_assert*!` macros and `ProptestConfig::with_cases`. Sampling is
+//! purely random (ChaCha8, seeded from the test name so runs are
+//! deterministic); there is no shrinking — a failing case reports its inputs
+//! via the assertion message instead of a minimized counterexample.
+
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// The RNG handed to strategies; deterministic per (test name, case index).
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite quick while still
+        // exercising plenty of structure.
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform + PartialOrd + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+/// Collection strategies (`vec`, `btree_map`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// A random length drawn from a `usize` range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self(n..n + 1)
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            if self.0.is_empty() {
+                self.0.start
+            } else {
+                rng.gen_range(self.0.clone())
+            }
+        }
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Maps of up to `size` entries (duplicate keys collapse, as upstream).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[doc(hidden)]
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // FNV-1a over the test name keeps seeds stable across runs and platforms.
+    let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        name_hash ^= b as u64;
+        name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for index in 0..config.cases {
+        let seed = name_hash.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("property `{test_name}` failed on case {index} (seed {seed:#x}): {e}");
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn sample_map_keys<K: Ord + Clone, V>(m: &BTreeMap<K, V>) -> Vec<K> {
+    m.keys().cloned().collect()
+}
+
+/// Declares deterministic random-sampling property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(&$config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::sample(&($strategy), __proptest_rng);)+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                __result
+            });
+        }
+        $crate::__proptest_impl!(@config ($config) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..100, y in -5i64..5, f in 0.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_map_sizes(v in crate::collection::vec(0u32..10, 2..8),
+                             m in crate::collection::btree_map(0u32..100, 0i64..5, 0..16)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(m.len() < 16);
+        }
+
+        #[test]
+        fn prop_map_applies(v in crate::collection::vec(1u32..4, 1..5).prop_map(|v| v.len())) {
+            prop_assert!((1..5).contains(&v));
+        }
+
+        #[test]
+        fn early_ok_return_works(flag in 0u8..2) {
+            if flag == 0 {
+                return Ok(());
+            }
+            prop_assert_eq!(flag, 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_form_compiles(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        use crate::Strategy;
+        let strat = crate::collection::vec(0u64..1_000_000, 5..10);
+        let mut a = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(3), "det", |rng| {
+            a.push(strat.sample(rng));
+            Ok(())
+        });
+        let mut b = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(3), "det", |rng| {
+            b.push(strat.sample(rng));
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

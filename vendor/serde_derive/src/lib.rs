@@ -1,0 +1,130 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` for plain
+//! structs with named fields — the only shapes this workspace derives on.
+//! The generated impls target the vendored `serde` facade's value-tree model
+//! (`to_value` / `from_value`), not the streaming serializer architecture of
+//! upstream serde. No `syn`/`quote`: the struct is parsed directly from the
+//! token stream, which is robust for the supported shape (attributes and doc
+//! comments are skipped, generics are rejected with a clear panic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving struct.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> StructShape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility until the `struct` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => break,
+            _ => i += 1,
+        }
+    }
+    assert!(i < tokens.len(), "derive target must be a struct");
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic structs (deriving {name})");
+    }
+
+    // The next brace group holds the named fields.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde_derive does not support tuple structs (deriving {name})")
+            }
+            Some(_) => i += 1,
+            None => panic!("struct {name} has no braced field list"),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    let mut j = 0;
+    while j < body.len() {
+        // Skip field attributes (`#[...]`, including rendered doc comments).
+        while matches!(&body[j], TokenTree::Punct(p) if p.as_char() == '#') {
+            j += 2; // '#' + bracket group
+        }
+        // Skip visibility: `pub` optionally followed by `(...)`.
+        if matches!(&body[j], TokenTree::Ident(id) if id.to_string() == "pub") {
+            j += 1;
+            if matches!(&body[j], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                j += 1;
+            }
+        }
+        match &body[j] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("expected field name in {name}, found {other}"),
+        }
+        // Skip to the comma that ends this field (groups are single trees, so
+        // a top-level comma always terminates the field).
+        while j < body.len() {
+            if matches!(&body[j], TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            j += 1;
+        }
+        j += 1;
+    }
+
+    StructShape { name, fields }
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let entries: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let fields: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.expect_field(\"{f}\")?)?,"))
+        .collect();
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok(Self {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
