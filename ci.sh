@@ -13,4 +13,10 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+# Fixed-seed differential fuzz smoke: every WaveSketch variant against the
+# exact oracle (see DESIGN.md §8). Deterministic, so a failure here is a real
+# regression; the timeout is a budget guard, not an expected path.
+echo "==> diff_fuzz smoke: 32 seeds x 3 workloads"
+timeout 300 cargo run --release -q -p umon-testkit --bin diff_fuzz -- --seeds 32
+
 echo "CI green."

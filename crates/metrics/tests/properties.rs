@@ -11,6 +11,10 @@ fn curve() -> impl Strategy<Value = Vec<f64>> {
 }
 
 proptest! {
+    // These metrics are cheap to evaluate; run well above the default 64
+    // cases (~10ms for the whole file even at this count).
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
     /// Identity: every metric scores a curve perfectly against itself.
     #[test]
     fn metrics_are_perfect_on_identical_curves(f in curve()) {

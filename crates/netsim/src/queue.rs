@@ -239,6 +239,64 @@ mod tests {
     }
 
     #[test]
+    fn exact_capacity_fill_is_accepted() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut port = OutPort::new(3000, None);
+        assert_eq!(port.enqueue(pkt(1000), &mut rng), EnqueueOutcome::Queued);
+        assert_eq!(port.enqueue(pkt(2000), &mut rng), EnqueueOutcome::Queued);
+        assert_eq!(port.qlen_bytes(), 3000, "qlen + size == capacity fits");
+        assert_eq!(port.enqueue(pkt(1), &mut rng), EnqueueOutcome::Dropped);
+        // Draining the head frees capacity again.
+        port.dequeue();
+        assert_eq!(port.enqueue(pkt(1000), &mut rng), EnqueueOutcome::Queued);
+        assert_eq!(port.drops, 1);
+    }
+
+    #[test]
+    fn pause_refcount_holds_until_every_resume() {
+        let mut port = OutPort::new(1000, None);
+        assert!(!port.is_paused());
+        port.pause_count += 1;
+        port.pause_count += 1;
+        port.pause_count -= 1;
+        assert!(
+            port.is_paused(),
+            "one downstream pause must still hold the port"
+        );
+        port.pause_count -= 1;
+        assert!(!port.is_paused());
+    }
+
+    #[test]
+    fn empty_port_dequeues_none_and_head_peeks_without_consuming() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut port = OutPort::new(10_000, None);
+        assert!(port.dequeue().is_none());
+        assert!(port.head().is_none());
+        let mut p = pkt(500);
+        p.psn = 42;
+        port.enqueue(p, &mut rng);
+        assert_eq!(port.head().unwrap().psn, 42);
+        assert_eq!(port.head().unwrap().psn, 42);
+        assert_eq!(port.qlen_packets(), 1);
+    }
+
+    #[test]
+    fn marking_thresholds_are_exact_boundaries() {
+        // qlen == kmin never marks, qlen == kmax always marks (even with
+        // pmax = 0), and the open interval in between follows pmax alone.
+        let ecn = EcnConfig {
+            kmin: 100,
+            kmax: 200,
+            pmax: 0.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(!ecn.should_mark(100, &mut rng));
+        assert!(ecn.should_mark(200, &mut rng));
+        assert!(!ecn.should_mark(199, &mut rng), "pmax=0 linear region");
+    }
+
+    #[test]
     fn non_ect_packets_are_never_marked() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut port = OutPort::new(

@@ -241,6 +241,36 @@ mod tests {
     }
 
     #[test]
+    fn fat_tree_k4_port_counts_per_node() {
+        let t = Topology::fat_tree(4, 100.0, 1000);
+        for h in 0..t.num_hosts {
+            assert_eq!(t.ports(h), 1, "host {h} has a single uplink");
+        }
+        for sw in t.num_hosts..t.num_nodes() {
+            assert_eq!(t.ports(sw), 4, "switch {sw} must have k = 4 ports");
+        }
+        // Port/link consistency: every (node, port) maps to a link that
+        // names that exact endpoint.
+        for node in 0..t.num_nodes() {
+            for port in 0..t.ports(node) {
+                let l = t.link_at(node, port);
+                assert!(
+                    l.a == (node, port) || l.b == (node, port),
+                    "link at ({node}, {port}) does not reference it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_link_count_is_3k3_over_4() {
+        for k in [2usize, 4, 6, 8] {
+            let t = Topology::fat_tree(k, 100.0, 1000);
+            assert_eq!(t.links.len(), 3 * k * k * k / 4, "k={k}");
+        }
+    }
+
+    #[test]
     fn fat_tree_routes_use_ecmp_across_pods() {
         let t = Topology::fat_tree(4, 100.0, 1000);
         // From an edge switch to a host in another pod there are 2 agg

@@ -1,0 +1,75 @@
+//! Fixed-seed differential fuzzer for CI and local debugging.
+//!
+//! Runs [`umon_testkit::diff_run`] for `--seeds` consecutive seeds starting
+//! at `--start`, each across all three workload kinds. Prints a repro
+//! command for every failure and exits nonzero if any invariant broke.
+
+use std::time::Instant;
+
+use umon_testkit::{diff_run, DiffConfig, DiffStats, StreamKind};
+
+fn usage() -> ! {
+    eprintln!("usage: diff_fuzz [--seeds N] [--start S]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut seeds = 32u64;
+    let mut start = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a numeric argument");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = value("--seeds"),
+            "--start" => start = value("--start"),
+            _ => usage(),
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    let mut failures = 0u64;
+    let mut totals = DiffStats::default();
+    for seed in start..start.saturating_add(seeds) {
+        for kind in StreamKind::ALL {
+            match diff_run(seed, &DiffConfig::quick(kind)) {
+                Ok(stats) => {
+                    totals.updates += stats.updates;
+                    totals.light_epochs += stats.light_epochs;
+                    totals.flow_epochs += stats.flow_epochs;
+                    totals.queries += stats.queries;
+                    totals.drains_compared += stats.drains_compared;
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL: {e}");
+                    eprintln!(
+                        "  repro: cargo run -p umon-testkit --bin diff_fuzz -- --seeds 1 --start {seed}"
+                    );
+                }
+            }
+            runs += 1;
+        }
+    }
+    println!(
+        "diff_fuzz: {runs} runs ({seeds} seeds x {} workloads), {failures} failures in {:.2?}",
+        StreamKind::ALL.len(),
+        t0.elapsed()
+    );
+    println!(
+        "  coverage: {} updates, {} light epochs, {} flow epochs, {} queries, {} drain comparisons",
+        totals.updates,
+        totals.light_epochs,
+        totals.flow_epochs,
+        totals.queries,
+        totals.drains_compared
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

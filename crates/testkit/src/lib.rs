@@ -1,0 +1,36 @@
+//! Differential-testing harness for the WaveSketch family.
+//!
+//! The crate provides three layers, each usable on its own:
+//!
+//! * [`Oracle`] — an exact ground truth. It replays the same packet stream a
+//!   sketch sees into dense per-flow and per-bucket window counters using the
+//!   bucket's own epoch rules, then derives the exact unnormalized Haar
+//!   coefficients ([`wavesketch::haar`]) and the unique optimal k-term
+//!   squared reconstruction error (Appendix A/B). Any drained report can be
+//!   checked against it field by field.
+//! * [`gen_stream`] — a seeded, deterministic packet-stream generator with
+//!   three workload shapes ([`StreamKind`]): uniform background traffic,
+//!   a skewed elephants-and-mice mix, and bursty incast with idle gaps.
+//! * [`diff_run`] — the differential fuzzer step. One call drives the Basic,
+//!   Full, HW-selector, Streaming (per-flow bucket) and Sharded variants over
+//!   the same generated stream and asserts the cross-variant and
+//!   vs-oracle invariants listed in DESIGN.md §8. Every failure carries the
+//!   seed, so `cargo run -p umon-testkit --bin diff_fuzz -- --seeds 1
+//!   --start <seed>` reproduces it exactly.
+//!
+//! [`replay_host_records`] closes the loop with the simulator: it feeds
+//! `netsim` TX records (e.g. parsed back from a trace CSV) through a real
+//! [`umon::HostAgent`] and validates every uploaded period report against a
+//! per-period oracle.
+
+pub mod diff;
+pub mod oracle;
+pub mod replay;
+pub mod stream;
+
+pub use diff::{diff_run, DiffConfig, DiffError, DiffStats};
+pub use oracle::{CheckParams, EpochTruth, Oracle};
+pub use replay::{replay_host_records, ReplayStats};
+pub use stream::{
+    gen_stream, scale_values, shuffle_within_windows, StreamConfig, StreamKind, Update,
+};

@@ -1,0 +1,166 @@
+//! Trace replay into the harness: drive a real [`umon::HostAgent`] with
+//! `netsim` TX records (straight from a simulation tap or parsed back from a
+//! trace CSV) and validate every uploaded period report against a per-period
+//! oracle.
+//!
+//! The host agent drains its sketch at every period boundary, so periods are
+//! independent: the oracle replays each period's records into a fresh truth
+//! and holds the period's light part to it. Two extra whole-report checks
+//! ride along: the configuration fingerprint must match, and — because
+//! approximation coefficients are exact block sums — the light part's row-0
+//! totals must equal the period's exact byte count.
+
+use std::collections::BTreeMap;
+
+use umon::{HostAgent, HostAgentConfig};
+use umon_netsim::TxRecord;
+use wavesketch::FlowKey;
+
+use crate::oracle::{CheckParams, Oracle};
+
+/// Coverage counters from one replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Period reports validated.
+    pub periods: usize,
+    /// Light-cell epoch reports validated against per-period oracles.
+    pub light_epochs: usize,
+    /// Records the host observed.
+    pub records: usize,
+}
+
+/// Feeds `records` (non-decreasing timestamps) for `host` through a
+/// [`HostAgent`] and validates every uploaded report. Returns coverage
+/// counters or the first violated invariant.
+pub fn replay_host_records(
+    records: &[TxRecord],
+    host: usize,
+    cfg: &HostAgentConfig,
+) -> Result<ReplayStats, String> {
+    let mut agent = HostAgent::new(host, cfg.clone());
+    agent.ingest(records);
+    let reports = agent.finish();
+
+    let mut by_period: BTreeMap<u64, Vec<&TxRecord>> = BTreeMap::new();
+    for r in records.iter().filter(|r| r.host == host) {
+        by_period
+            .entry(r.ts_ns / cfg.period_ns)
+            .or_default()
+            .push(r);
+    }
+    if reports.len() != by_period.len() {
+        return Err(format!(
+            "{} period reports for {} periods with traffic",
+            reports.len(),
+            by_period.len()
+        ));
+    }
+
+    let fingerprint = cfg.sketch.fingerprint();
+    let params = CheckParams::from_config(&cfg.sketch);
+    let mut stats = ReplayStats::default();
+    for report in &reports {
+        if report.config_fingerprint != fingerprint {
+            return Err(format!(
+                "period {}: fingerprint {:#x} != config's {fingerprint:#x}",
+                report.period, report.config_fingerprint
+            ));
+        }
+        if report.host != host {
+            return Err(format!(
+                "period {}: wrong host {}",
+                report.period, report.host
+            ));
+        }
+        let recs = by_period
+            .get(&report.period)
+            .ok_or_else(|| format!("report for idle period {}", report.period))?;
+
+        let mut oracle = Oracle::new(cfg.sketch.clone());
+        let mut bytes = 0i64;
+        for r in recs {
+            let window = r.ts_ns >> cfg.window_shift;
+            oracle.record(&FlowKey::from_id(r.flow.0), window, r.bytes as i64);
+            bytes += r.bytes as i64;
+        }
+        stats.records += recs.len();
+        stats.light_epochs += oracle
+            .check_light_drain(&report.report.light, &params)
+            .map_err(|e| format!("period {}: {e}", report.period))?;
+
+        let row0: i64 = report
+            .report
+            .light
+            .iter()
+            .filter(|(row, _, _)| *row == 0)
+            .flat_map(|(_, _, rs)| rs.iter())
+            .map(|r| r.total())
+            .sum();
+        if row0 != bytes {
+            return Err(format!(
+                "period {}: row-0 light total {row0} != exact byte count {bytes}",
+                report.period
+            ));
+        }
+        stats.periods += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umon_netsim::FlowId;
+    use wavesketch::SketchConfig;
+
+    fn small_config() -> HostAgentConfig {
+        HostAgentConfig {
+            sketch: SketchConfig::builder()
+                .rows(2)
+                .width(16)
+                .levels(4)
+                .topk(16)
+                .max_windows(64)
+                .heavy_rows(8)
+                .build(),
+            period_ns: 1_000_000,
+            window_shift: 13,
+        }
+    }
+
+    fn records() -> Vec<TxRecord> {
+        (0..600u64)
+            .map(|i| TxRecord {
+                host: 1,
+                flow: FlowId(i % 9),
+                ts_ns: i * 7_000,
+                bytes: 200 + (i % 13) as u32 * 64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_validates_multi_period_reports() {
+        let stats = replay_host_records(&records(), 1, &small_config()).unwrap();
+        assert!(
+            stats.periods >= 4,
+            "expected several periods, got {}",
+            stats.periods
+        );
+        assert!(stats.light_epochs > 0);
+        assert_eq!(stats.records, 600);
+    }
+
+    #[test]
+    fn replay_ignores_other_hosts() {
+        let mut recs = records();
+        recs.push(TxRecord {
+            host: 2,
+            flow: FlowId(1),
+            ts_ns: 4_500_000,
+            bytes: 999,
+        });
+        let stats = replay_host_records(&recs, 1, &small_config()).unwrap();
+        assert_eq!(stats.records, 600);
+    }
+}

@@ -631,6 +631,84 @@ mod tests {
         assert_eq!(windows[0], 18);
     }
 
+    /// Evidence from several upload periods of one host merges into a
+    /// single continuous curve.
+    #[test]
+    fn flow_curve_merges_reports_across_periods() {
+        let mut cfg = agent_config();
+        cfg.period_ns = 16 << 13; // 16 windows per upload period
+        let mut agent = HostAgent::new(0, cfg.clone());
+        agent.observe(7, 2 << 13, 800); // period 0
+        agent.observe(7, 20 << 13, 900); // period 1
+        agent.observe(7, 37 << 13, 650); // period 2
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        analyzer.add_reports(agent.finish());
+        let curve = analyzer.flow_curve(0, 7).expect("flow recorded");
+        assert!((curve.at(2) - 800.0).abs() < 1e-6);
+        assert!((curve.at(20) - 900.0).abs() < 1e-6);
+        assert!((curve.at(37) - 650.0).abs() < 1e-6);
+        assert_eq!(curve.at(10), 0.0);
+    }
+
+    /// Host evidence (rate curves from two different hosts) joins with
+    /// switch evidence (a detected event naming both flows).
+    #[test]
+    fn replay_event_merges_evidence_from_multiple_hosts() {
+        let cfg = agent_config();
+        let mut a0 = HostAgent::new(0, cfg.clone());
+        let mut a1 = HostAgent::new(1, cfg.clone());
+        for w in 10..30u64 {
+            a0.observe(5, w << 13, 1000);
+            a1.observe(6, w << 13, 3000);
+        }
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        analyzer.add_reports(a0.finish());
+        analyzer.add_reports(a1.finish());
+        let event = DetectedEvent {
+            switch: 20,
+            vlan: 1,
+            start_ns: 15 << 13,
+            end_ns: 18 << 13,
+            flows: BTreeSet::from([5u64, 6]),
+            packets: 4,
+        };
+        let host_of = |f: u64| Some(if f == 5 { 0 } else { 1 });
+        let (windows, curves) = analyzer.replay_event(&event, 0, 13, host_of);
+        assert_eq!(curves.len(), 2);
+        let c5 = curves.iter().find(|(f, _)| *f == 5).unwrap();
+        let c6 = curves.iter().find(|(f, _)| *f == 6).unwrap();
+        assert!(c5.1.iter().all(|&v| (v - 1000.0).abs() < 1e-6));
+        assert!(c6.1.iter().all(|&v| (v - 3000.0).abs() < 1e-6));
+        assert_eq!(windows.first().copied(), Some(15));
+        // A flow whose measuring host is unknown is skipped, not fabricated.
+        let (_, partial) = analyzer.replay_event(&event, 0, 13, |f| (f == 5).then_some(0));
+        assert_eq!(partial.len(), 1);
+    }
+
+    /// Several mirrors inside one ground-truth episode count it as detected
+    /// exactly once, with distinct flows (not packets) as the capture count.
+    #[test]
+    fn overlapping_mirrors_count_an_episode_once_with_distinct_flows() {
+        let cfg = agent_config();
+        let mut analyzer = Analyzer::new(cfg.sketch);
+        analyzer.add_mirrors(vec![
+            mirror(20, 1, 4_500, 1),
+            mirror(20, 1, 5_000, 1),
+            mirror(20, 1, 5_500, 2),
+        ]);
+        let ep = QueueEpisode {
+            switch: 20,
+            port: 0,
+            start_ns: 4_000,
+            end_ns: 6_000,
+            max_qlen: 90_000,
+        };
+        let stats = analyzer.match_episodes(&[ep], 0, u32::MAX, 0);
+        assert_eq!(stats.episodes, 1);
+        assert_eq!(stats.detected, 1);
+        assert!((stats.mean_flows_captured - 2.0).abs() < 1e-12);
+    }
+
     #[test]
     fn mismatched_sketch_configs_are_rejected() {
         let cfg = agent_config();

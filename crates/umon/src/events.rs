@@ -242,6 +242,97 @@ mod tests {
         assert_eq!(events[1].victims, vec![3]);
     }
 
+    /// μEvent start/end from a hand-built queue-depth series: XOFF fires
+    /// when the depth crosses the PFC threshold upward, XON when it falls
+    /// back, and the storm boundaries must equal the crossing times exactly.
+    #[test]
+    fn storm_boundaries_follow_queue_depth_threshold_crossings() {
+        let threshold = 50_000u32;
+        let series: &[(u64, u32)] = &[
+            (0, 10_000),
+            (1_000, 60_000), // cross up → XOFF @ 1000
+            (3_000, 70_000),
+            (4_000, 20_000),   // cross down → XON @ 4000
+            (9_000, 55_000),   // XOFF @ 9000
+            (10_000, 0),       // XON @ 10000
+            (500_000, 80_000), // isolated hump much later
+            (501_000, 0),
+        ];
+        let mut records = Vec::new();
+        let mut above = false;
+        for &(ts, depth) in series {
+            if !above && depth >= threshold {
+                records.push(pause(3, ts, true));
+                above = true;
+            } else if above && depth < threshold {
+                records.push(pause(3, ts, false));
+                above = false;
+            }
+        }
+        let storms = pause_storms(&records, 50_000, 2);
+        assert_eq!(storms.len(), 1);
+        let s = &storms[0];
+        assert_eq!((s.start_ns, s.end_ns), (1_000, 10_000));
+        assert_eq!(s.xoffs, 2);
+        assert_eq!(s.paused_ns, 3_000 + 1_000);
+        // With min_xoffs = 1 the isolated hump becomes its own storm.
+        let all = pause_storms(&records, 50_000, 1);
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[1].start_ns, all[1].end_ns), (500_000, 501_000));
+    }
+
+    #[test]
+    fn storm_gap_boundary_is_inclusive() {
+        // A cycle starting exactly gap_ns after the previous one ends
+        // merges; one nanosecond later it splits.
+        let records = |extra: u64| {
+            vec![
+                pause(1, 0, true),
+                pause(1, 100, false),
+                pause(1, 100 + 1_000 + extra, true),
+                pause(1, 100 + 1_000 + extra + 50, false),
+            ]
+        };
+        assert_eq!(pause_storms(&records(0), 1_000, 1).len(), 1);
+        assert_eq!(pause_storms(&records(1), 1_000, 1).len(), 2);
+    }
+
+    #[test]
+    fn dangling_xon_and_unresumed_xoff_are_ignored() {
+        let records = vec![
+            pause(1, 100, false), // stray resume with no open pause
+            pause(1, 200, true),
+            pause(1, 300, false),
+            pause(1, 400, true), // never resumed: no closed cycle
+        ];
+        let storms = pause_storms(&records, 1_000, 1);
+        assert_eq!(storms.len(), 1);
+        assert_eq!((storms[0].start_ns, storms[0].end_ns), (200, 300));
+        assert_eq!(storms[0].xoffs, 1);
+    }
+
+    #[test]
+    fn loss_event_gap_boundary_and_port_separation() {
+        let drop = |sw: usize, port: usize, ts: u64| DropRecord {
+            switch: sw,
+            port,
+            ts_ns: ts,
+            flow: FlowId(1),
+            psn: 0,
+            bytes: 500,
+        };
+        // Exactly gap_ns apart merges ...
+        let merged = loss_events(&[drop(20, 0, 0), drop(20, 0, 1_000)], 1_000);
+        assert_eq!(merged.len(), 1);
+        assert_eq!((merged[0].start_ns, merged[0].end_ns), (0, 1_000));
+        // ... one nanosecond beyond splits.
+        let split = loss_events(&[drop(20, 0, 0), drop(20, 0, 1_001)], 1_000);
+        assert_eq!(split.len(), 2);
+        // Identical timestamps on different ports or switches never merge.
+        let ports = loss_events(&[drop(20, 0, 0), drop(20, 1, 0), drop(21, 0, 0)], 1_000);
+        assert_eq!(ports.len(), 3);
+    }
+
     #[test]
     fn empty_inputs_yield_no_events() {
         assert!(pause_storms(&[], 1000, 1).is_empty());

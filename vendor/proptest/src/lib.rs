@@ -6,6 +6,14 @@
 //! purely random (ChaCha8, seeded from the test name so runs are
 //! deterministic); there is no shrinking — a failing case reports its inputs
 //! via the assertion message instead of a minimized counterexample.
+//!
+//! Like upstream, failures can be pinned in a *regression file* next to the
+//! test source: `<dir>/<file-stem>.proptest-regressions` holds `cc <digest>`
+//! lines (one per pinned case) that are replayed before any random cases on
+//! every run. Our digests encode the case's RNG seed in their first 16 hex
+//! digits, so upstream-formatted files replay deterministically too. The
+//! `PROPTEST_CASES` environment variable overrides the per-test case count,
+//! again mirroring upstream.
 
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -227,25 +235,105 @@ pub mod prelude {
     };
 }
 
+/// Resolves the regression file for a test source: the sibling
+/// `<file-stem>.proptest-regressions` under the crate's own `tests/` or
+/// `src/` directory (matching where the checked-in files live).
+fn regression_path(manifest_dir: &str, source_file: &str) -> Option<std::path::PathBuf> {
+    if manifest_dir.is_empty() || source_file.is_empty() {
+        return None;
+    }
+    // `file!()` is workspace-relative; keep the part from the crate-local
+    // `tests/` or `src/` component on and anchor it at the manifest dir.
+    let suffix = if let Some(i) = source_file.rfind("tests/") {
+        &source_file[i..]
+    } else if let Some(i) = source_file.rfind("src/") {
+        &source_file[i..]
+    } else {
+        source_file.rsplit('/').next()?
+    };
+    let stem = suffix.strip_suffix(".rs").unwrap_or(suffix);
+    Some(std::path::Path::new(manifest_dir).join(format!("{stem}.proptest-regressions")))
+}
+
+/// Extracts the replay seed from a `cc <digest>` regression line: the first
+/// 16 hex digits of the digest, as written by [`digest_for_seed`]. Upstream
+/// digests are longer but equally stable, so they pin a case just as well.
+fn seed_from_cc_line(line: &str) -> Option<u64> {
+    let rest = line.trim().strip_prefix("cc ")?;
+    let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+    if hex.len() < 16 {
+        return None;
+    }
+    u64::from_str_radix(&hex[..16], 16).ok()
+}
+
+/// The digest written for a failing seed: 64 hex digits whose leading 16
+/// encode the seed (the repetition keeps the upstream line shape).
+fn digest_for_seed(seed: u64) -> String {
+    format!("{seed:016x}").repeat(4)
+}
+
 #[doc(hidden)]
-pub fn run_cases(
+pub fn run_cases_at(
     config: &ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
     test_name: &str,
     mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 ) {
+    let persisted = regression_path(manifest_dir, source_file);
+    let mut run_one = |seed: u64, origin: &str| {
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            let pin = persisted
+                .as_ref()
+                .map(|p| {
+                    format!(
+                        "\npin this case by adding the line below to {}:\ncc {}",
+                        p.display(),
+                        digest_for_seed(seed)
+                    )
+                })
+                .unwrap_or_default();
+            panic!("property `{test_name}` failed on {origin} (seed {seed:#x}): {e}{pin}");
+        }
+    };
+
+    // Replay pinned regressions first, as upstream does.
+    if let Some(text) = persisted
+        .as_ref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+    {
+        for (lineno, line) in text.lines().enumerate() {
+            if let Some(seed) = seed_from_cc_line(line) {
+                run_one(seed, &format!("regression line {}", lineno + 1));
+            }
+        }
+    }
+
     // FNV-1a over the test name keeps seeds stable across runs and platforms.
     let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
     for b in test_name.bytes() {
         name_hash ^= b as u64;
         name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    for index in 0..config.cases {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    for index in 0..cases {
         let seed = name_hash.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
-        let mut rng = TestRng::seed_from_u64(seed);
-        if let Err(e) = case(&mut rng) {
-            panic!("property `{test_name}` failed on case {index} (seed {seed:#x}): {e}");
-        }
+        run_one(seed, &format!("case {index}"));
     }
+}
+
+#[doc(hidden)]
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    run_cases_at(config, "", "", test_name, case);
 }
 
 #[doc(hidden)]
@@ -275,15 +363,21 @@ macro_rules! __proptest_impl {
     ) => {
         $(#[$meta])*
         fn $name() {
-            $crate::run_cases(&$config, stringify!($name), |__proptest_rng| {
-                $(let $arg = $crate::Strategy::sample(&($strategy), __proptest_rng);)+
-                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
-                    $body
-                    #[allow(unreachable_code)]
-                    ::std::result::Result::Ok(())
-                })();
-                __result
-            });
+            $crate::run_cases_at(
+                &$config,
+                ::std::env!("CARGO_MANIFEST_DIR"),
+                ::std::file!(),
+                stringify!($name),
+                |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __proptest_rng);)+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    __result
+                },
+            );
         }
         $crate::__proptest_impl!(@config ($config) $($rest)*);
     };
@@ -364,6 +458,67 @@ mod tests {
         fn config_form_compiles(x in 0u8..10) {
             prop_assert!(x < 10);
         }
+    }
+
+    #[test]
+    fn cc_digest_roundtrip() {
+        let seed = 0x1234_5678_9abc_def0u64;
+        let line = format!("cc {} # shrinks to ...", crate::digest_for_seed(seed));
+        assert_eq!(crate::seed_from_cc_line(&line), Some(seed));
+        assert_eq!(crate::seed_from_cc_line("# comment"), None);
+        assert_eq!(crate::seed_from_cc_line("cc 123"), None);
+    }
+
+    #[test]
+    fn regression_paths_anchor_at_tests_or_src() {
+        let p = crate::regression_path("/ws/crates/metrics", "crates/metrics/tests/properties.rs")
+            .unwrap();
+        assert_eq!(
+            p,
+            std::path::Path::new("/ws/crates/metrics/tests/properties.proptest-regressions")
+        );
+        let p = crate::regression_path("/ws", "tests/differential.rs").unwrap();
+        assert_eq!(
+            p,
+            std::path::Path::new("/ws/tests/differential.proptest-regressions")
+        );
+        let p =
+            crate::regression_path("/ws/vendor/proptest", "vendor/proptest/src/lib.rs").unwrap();
+        assert_eq!(
+            p,
+            std::path::Path::new("/ws/vendor/proptest/src/lib.proptest-regressions")
+        );
+        assert!(crate::regression_path("", "x.rs").is_none());
+    }
+
+    #[test]
+    fn regression_lines_replay_before_random_cases() {
+        use rand::{RngCore, SeedableRng};
+        let dir = std::env::temp_dir().join("umon-proptest-regress-test");
+        std::fs::create_dir_all(dir.join("tests")).unwrap();
+        let pinned = 0xdead_beef_0bad_f00du64;
+        std::fs::write(
+            dir.join("tests/pinned.proptest-regressions"),
+            format!(
+                "# comment line\ncc {} # shrinks to whatever\n",
+                crate::digest_for_seed(pinned)
+            ),
+        )
+        .unwrap();
+        let mut seen = Vec::new();
+        crate::run_cases_at(
+            &ProptestConfig::with_cases(2),
+            dir.to_str().unwrap(),
+            "tests/pinned.rs",
+            "pinned",
+            |rng| {
+                seen.push(rng.next_u64());
+                Ok(())
+            },
+        );
+        let expect = crate::TestRng::seed_from_u64(pinned).next_u64();
+        assert!(seen.len() >= 2, "pinned + random cases expected");
+        assert_eq!(seen[0], expect, "pinned seed must replay first");
     }
 
     #[test]
