@@ -19,4 +19,11 @@ cargo test -q
 echo "==> diff_fuzz smoke: 32 seeds x 3 workloads"
 timeout 300 cargo run --release -q -p umon-testkit --bin diff_fuzz -- --seeds 32
 
+# Fixed-seed collection-plane fault-injection smoke: period reports replayed
+# over lossless, lossy and retransmission-healed transports against the
+# collector's degradation contract (DESIGN.md §9). Deterministic, like
+# diff_fuzz above.
+echo "==> collector_smoke: 16 seeds x 3 workloads"
+timeout 300 cargo run --release -q -p umon-testkit --bin collector_smoke -- --seeds 16
+
 echo "CI green."

@@ -92,6 +92,23 @@ impl WindowSeries {
         }
     }
 
+    /// Extends the span with zeros so absolute window `w` indexes a real
+    /// slot. A no-op when `w` is already inside the span. Used by analyzers
+    /// merging evidence whose light series lost coverage (e.g. a dropped
+    /// upload period) while a heavy epoch still anchors earlier windows.
+    pub fn extend_to_cover(&mut self, w: u64) {
+        if w < self.start_window {
+            let pad = (self.start_window - w) as usize;
+            let mut values = vec![0.0; pad + self.values.len()];
+            values[pad..].copy_from_slice(&self.values);
+            self.start_window = w;
+            self.values = values;
+        } else if w >= self.end_window() {
+            let len = (w - self.start_window + 1) as usize;
+            self.values.resize(len, 0.0);
+        }
+    }
+
     /// Pointwise subtraction of `other`, clamped at zero. Used when removing
     /// heavy-flow contributions from a light-part curve (§4.2 full version).
     pub fn subtract_clamped(&mut self, other: &WindowSeries) {
@@ -349,6 +366,23 @@ mod tests {
         });
         assert_eq!(base.values, vec![7.0]);
         assert_eq!(base.start_window, 3);
+    }
+
+    #[test]
+    fn extend_to_cover_pads_with_zeros_both_ways() {
+        let mut s = WindowSeries {
+            start_window: 10,
+            values: vec![3.0, 4.0],
+        };
+        s.extend_to_cover(11); // inside: no-op
+        assert_eq!(s.start_window, 10);
+        assert_eq!(s.values, vec![3.0, 4.0]);
+        s.extend_to_cover(8); // grow backwards
+        assert_eq!(s.start_window, 8);
+        assert_eq!(s.values, vec![0.0, 0.0, 3.0, 4.0]);
+        s.extend_to_cover(13); // grow forwards
+        assert_eq!(s.values, vec![0.0, 0.0, 3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(s.end_window(), 14);
     }
 
     #[test]

@@ -118,6 +118,52 @@ impl FullWaveSketch {
             .collect()
     }
 
+    /// The first window covered by `flow`'s heavy bucket — the window it was
+    /// (last) elected heavy in. `None` for mice flows. Callers comparing a
+    /// query against all-time truth can use this to restrict themselves to
+    /// the post-election span, where the heavy bucket is exact.
+    pub fn election_window(&self, flow: &FlowKey) -> Option<u64> {
+        let row = &self.heavy[self.heavy_index(flow)];
+        if row.key != Some(*flow) {
+            return None;
+        }
+        row.bucket
+            .snapshot()
+            .iter()
+            .map(|r| r.w0)
+            .min()
+            .or_else(|| row.bucket.epoch_start())
+    }
+
+    /// The exact volume `flow` sent since its election: the heavy bucket's
+    /// block sums are lossless, so this is a sound lower bound on the flow's
+    /// all-time volume. `None` for mice flows.
+    pub fn post_election_volume(&self, flow: &FlowKey) -> Option<i64> {
+        let row = &self.heavy[self.heavy_index(flow)];
+        if row.key != Some(*flow) {
+            return None;
+        }
+        Some(row.bucket.snapshot().iter().map(BucketReport::total).sum())
+    }
+
+    /// Sound all-time volume estimate for `flow`.
+    ///
+    /// The curve returned by [`Self::query`] merges the exact heavy bucket
+    /// with a light-part estimate whose heavy-flow subtraction can
+    /// over-subtract (other heavy flows' reconstructions are themselves
+    /// upper bounds), so its total can fall below even the flow's exact
+    /// post-election volume's worth of evidence. This query clamps the curve
+    /// total from below by that exact bound, which is the tightest sound
+    /// lower bound the sketch can certify (see `umon-testkit`'s
+    /// `heavy_volume_query_is_clamped_to_the_post_election_bound`).
+    pub fn query_volume(&self, flow: &FlowKey) -> Option<f64> {
+        let total = self.query(flow)?.total();
+        match self.post_election_volume(flow) {
+            Some(exact) => Some(total.max(exact as f64)),
+            None => Some(total),
+        }
+    }
+
     /// Queries the reconstructed rate curve of `flow`.
     ///
     /// Heavy flows merge both parts: within the heavy bucket's epochs the
@@ -346,6 +392,54 @@ mod tests {
             (curve.at(10) - 333.0).abs() < 1e-6,
             "heavy window must be exact"
         );
+    }
+
+    #[test]
+    fn election_window_and_post_election_volume_are_exact() {
+        let mut s = FullWaveSketch::new(config());
+        let a = FlowKey::from_id(1);
+        let b = (2..10_000u64)
+            .map(FlowKey::from_id)
+            .find(|k| s.config.heavy_slot(k) == s.config.heavy_slot(&a))
+            .unwrap();
+        // b holds the slot; a sends as a mouse, then takes the slot at w=7.
+        for w in 0..3 {
+            s.update(&b, w, 10);
+        }
+        s.update(&a, 4, 100);
+        s.update(&a, 5, 100);
+        s.update(&a, 7, 40); // vote 0 → a elected here
+        s.update(&a, 9, 60);
+        assert!(s.is_heavy(&a));
+        assert_eq!(s.election_window(&a), Some(7));
+        assert_eq!(s.post_election_volume(&a), Some(100));
+        assert_eq!(s.election_window(&b), None);
+        assert_eq!(s.post_election_volume(&b), None);
+    }
+
+    #[test]
+    fn query_volume_never_falls_below_the_post_election_bound() {
+        let mut s = FullWaveSketch::new(config());
+        let f = FlowKey::from_id(3);
+        for w in 0..50u64 {
+            s.update(&f, w, 100 + (w as i64 % 5));
+        }
+        // Mice sharing light buckets make the light estimate noisy.
+        for id in 100..160u64 {
+            s.update(&FlowKey::from_id(id), 25, 900);
+        }
+        let exact = s.post_election_volume(&f).unwrap() as f64;
+        let vol = s.query_volume(&f).unwrap();
+        assert!(
+            vol >= exact - 1e-9,
+            "volume {vol} below exact bound {exact}"
+        );
+        // Mice flows get the plain light estimate.
+        let mouse = FlowKey::from_id(120);
+        if !s.is_heavy(&mouse) {
+            let via_curve = s.query(&mouse).unwrap().total();
+            assert_eq!(s.query_volume(&mouse), Some(via_curve));
+        }
     }
 
     #[test]

@@ -136,6 +136,56 @@ impl SketchReport {
         self.heavy.iter().map(|(_, r)| r.len()).sum::<usize>()
             + self.light.iter().map(|(_, _, r)| r.len()).sum::<usize>()
     }
+
+    /// A cheap structural checksum (FNV-1a over every tag and coefficient).
+    ///
+    /// Collection envelopes carry this value so the analyzer can detect
+    /// truncated or corrupted payloads without deserializing twice: any
+    /// dropped entry, reordered record or flipped coefficient changes the
+    /// digest. Not cryptographic — it guards against lossy transports, not
+    /// adversaries.
+    pub fn integrity(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut h = h;
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        fn mix_bucket(mut h: u64, r: &BucketReport) -> u64 {
+            h = mix(h, r.w0);
+            h = mix(h, r.levels as u64);
+            h = mix(h, r.padded_len as u64);
+            for &a in &r.approx {
+                h = mix(h, a as u64);
+            }
+            for d in &r.details {
+                h = mix(h, ((d.level as u64) << 32) | d.idx as u64);
+                h = mix(h, d.val as u64);
+            }
+            h
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (key, reports) in &self.heavy {
+            for &b in key {
+                h = mix(h, b as u64);
+            }
+            h = mix(h, reports.len() as u64);
+            for r in reports {
+                h = mix_bucket(h, r);
+            }
+        }
+        for &(row, col, ref reports) in &self.light {
+            h = mix(h, ((row as u64) << 32) | col as u64);
+            h = mix(h, reports.len() as u64);
+            for r in reports {
+                h = mix_bucket(h, r);
+            }
+        }
+        mix(h, self.epoch_count() as u64)
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +256,32 @@ mod tests {
             sr.wire_bytes(),
             13 + r.wire_bytes() + 3 + 2 * r.wire_bytes()
         );
+    }
+
+    #[test]
+    fn integrity_detects_truncation_and_corruption() {
+        let r = sample_report();
+        let mut sr = SketchReport::default();
+        sr.heavy.push((vec![1u8; 13], vec![r.clone()]));
+        sr.light.push((0, 5, vec![r.clone(), r.clone()]));
+        let base = sr.integrity();
+        assert_eq!(base, sr.integrity(), "digest must be deterministic");
+
+        let mut truncated = sr.clone();
+        truncated.light.pop();
+        assert_ne!(base, truncated.integrity(), "dropped entry undetected");
+
+        let mut shorter = sr.clone();
+        shorter.light[0].2.pop();
+        assert_ne!(base, shorter.integrity(), "dropped epoch undetected");
+
+        let mut flipped = sr.clone();
+        flipped.heavy[0].1[0].approx[0] ^= 1;
+        assert_ne!(base, flipped.integrity(), "flipped coefficient undetected");
+
+        let mut retagged = sr;
+        retagged.light[0].1 = 6;
+        assert_ne!(base, retagged.integrity(), "retagged column undetected");
     }
 
     #[test]

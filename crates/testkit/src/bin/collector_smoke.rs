@@ -1,0 +1,80 @@
+//! Fixed-seed collection-plane fault-injection smoke for CI and local
+//! debugging.
+//!
+//! Runs [`umon_testkit::collection_diff_run`] for `--seeds` consecutive
+//! seeds starting at `--start`, each across all three workload kinds and
+//! three transport scenarios (zero-loss faults, unrecovered loss, hostile
+//! mix healed by retransmission). Prints a repro command for every failure
+//! and exits nonzero if the collector's degradation contract broke.
+
+use std::time::Instant;
+
+use umon_testkit::{collection_diff_run, CollectionDiffConfig, CollectionDiffStats, StreamKind};
+
+fn usage() -> ! {
+    eprintln!("usage: collector_smoke [--seeds N] [--start S]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut seeds = 16u64;
+    let mut start = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a numeric argument");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = value("--seeds"),
+            "--start" => start = value("--start"),
+            _ => usage(),
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    let mut failures = 0u64;
+    let mut totals = CollectionDiffStats::default();
+    for seed in start..start.saturating_add(seeds) {
+        for kind in StreamKind::ALL {
+            match collection_diff_run(seed, &CollectionDiffConfig::quick(kind)) {
+                Ok(stats) => {
+                    totals.reports += stats.reports;
+                    totals.duplicates += stats.duplicates;
+                    totals.dropped += stats.dropped;
+                    totals.gaps += stats.gaps;
+                    totals.retransmissions += stats.retransmissions;
+                    totals.curves_compared += stats.curves_compared;
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL: {e}");
+                    eprintln!(
+                        "  repro: cargo run -p umon-testkit --bin collector_smoke -- --seeds 1 --start {seed}"
+                    );
+                }
+            }
+            runs += 1;
+        }
+    }
+    println!(
+        "collector_smoke: {runs} runs ({seeds} seeds x {} workloads), {failures} failures in {:.2?}",
+        StreamKind::ALL.len(),
+        t0.elapsed()
+    );
+    println!(
+        "  coverage: {} reports, {} duplicates, {} dropped, {} gaps, {} retransmissions, {} curve comparisons",
+        totals.reports,
+        totals.duplicates,
+        totals.dropped,
+        totals.gaps,
+        totals.retransmissions,
+        totals.curves_compared
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

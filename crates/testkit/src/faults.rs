@@ -1,0 +1,334 @@
+//! Deterministic fault schedules for the collection plane, and the
+//! collection-plane differential step.
+//!
+//! One [`collection_diff_run`] call drives a generated workload through a
+//! real [`umon::HostAgent`], then replays the resulting period reports over
+//! three transport scenarios and asserts the degradation contract of
+//! `umon::collector` against a lossless reference:
+//!
+//! 1. **Zero-loss faults are invisible** — under duplication + reordering
+//!    (no drops, no damage) the analyzer's curves and coverage are
+//!    bit-identical to a run that never saw a transport at all.
+//! 2. **Loss degrades soundly** — under drops with no retransmission, the
+//!    analyzer state equals a reference fed exactly the surviving reports
+//!    (the fault log says which), and the detected gaps are exactly the
+//!    dropped sequence numbers below the highest delivered one.
+//! 3. **Retransmission recovers fully** — under a mixed drop / duplicate /
+//!    reorder / truncate / ACK-loss schedule, a bounded-buffer
+//!    [`umon::HostUplink`] with exponential backoff eventually restores
+//!    bit-identity with the lossless run.
+//!
+//! Every failure carries the seed and workload, like [`crate::diff_run`].
+
+use umon::{
+    Analyzer, Collector, Envelope, FaultSpec, FaultyTransport, HostAgent, HostAgentConfig,
+    HostUplink, PeriodReport, RetransmitPolicy, Transport,
+};
+use wavesketch::{FlowKey, SelectorKind, SketchConfig};
+
+use crate::diff::DiffError;
+use crate::stream::{gen_stream, StreamConfig, StreamKind};
+
+/// Everything one collection-plane differential run needs.
+#[derive(Debug, Clone)]
+pub struct CollectionDiffConfig {
+    /// Host-agent configuration (sketch + period geometry).
+    pub agent: HostAgentConfig,
+    /// Stream shape.
+    pub stream: StreamConfig,
+    /// Fault rates for the zero-loss scenario (drop and truncate forced 0).
+    pub lossless_faults: FaultSpec,
+    /// Drop rate for the no-retransmit loss scenario.
+    pub loss_rate: f64,
+    /// Fault rates for the retransmission-recovery scenario.
+    pub recovery_faults: FaultSpec,
+    /// Tick budget for the recovery scenario.
+    pub recovery_ticks: u64,
+    /// How many flow curves to compare per scenario.
+    pub query_sample: usize,
+}
+
+impl CollectionDiffConfig {
+    /// A configuration sized for debug-build suites: ~19 upload periods,
+    /// heavy and light flows, aggressive fault rates.
+    pub fn quick(kind: StreamKind) -> Self {
+        Self {
+            agent: HostAgentConfig {
+                sketch: SketchConfig::builder()
+                    .rows(3)
+                    .width(32)
+                    .levels(5)
+                    .topk(17)
+                    .max_windows(256)
+                    .heavy_rows(16)
+                    .selector(SelectorKind::Ideal)
+                    .build(),
+                period_ns: 16 << 13, // 16 windows per upload period
+                window_shift: 13,
+            },
+            stream: StreamConfig {
+                kind,
+                flows: 40,
+                windows: 300,
+                start_window: 1000,
+                mean_packets: 3,
+            },
+            lossless_faults: FaultSpec {
+                duplicate: 0.3,
+                reorder: 0.3,
+                ..FaultSpec::NONE
+            },
+            loss_rate: 0.4,
+            recovery_faults: FaultSpec {
+                drop: 0.25,
+                duplicate: 0.15,
+                reorder: 0.15,
+                truncate: 0.15,
+                ack_drop: 0.25,
+            },
+            recovery_ticks: 5000,
+            query_sample: 12,
+        }
+    }
+}
+
+/// What a successful collection-plane run covered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectionDiffStats {
+    /// Period reports the host agent produced.
+    pub reports: usize,
+    /// Envelope duplicates delivered across scenarios.
+    pub duplicates: u64,
+    /// Reports dropped in the loss scenario.
+    pub dropped: u64,
+    /// Sequence gaps the collector flagged in the loss scenario.
+    pub gaps: usize,
+    /// Retransmissions needed in the recovery scenario.
+    pub retransmissions: u64,
+    /// Curve comparisons performed.
+    pub curves_compared: usize,
+}
+
+/// Inverts [`FlowKey::from_id`], recovering the dense id the generators use.
+pub fn flow_id_of(key: &FlowKey) -> u64 {
+    let mut b = [0u8; 8];
+    b[0..3].copy_from_slice(&key.src_ip[1..4]);
+    b[3..6].copy_from_slice(&key.dst_ip[1..4]);
+    b[6..8].copy_from_slice(&key.src_port.to_le_bytes());
+    u64::from_le_bytes(b)
+}
+
+/// Runs the collection-plane differential step for one seed.
+pub fn collection_diff_run(
+    seed: u64,
+    cfg: &CollectionDiffConfig,
+) -> Result<CollectionDiffStats, DiffError> {
+    let fail = |detail: String| DiffError {
+        seed,
+        kind: cfg.stream.kind,
+        detail,
+    };
+    let mut stats = CollectionDiffStats::default();
+
+    // Generate the workload and measure it once.
+    let stream = gen_stream(seed, &cfg.stream);
+    let mut agent = HostAgent::new(0, cfg.agent.clone());
+    let mut flow_ids: Vec<u64> = Vec::new();
+    for (f, w, v) in &stream {
+        let id = flow_id_of(f);
+        if !flow_ids.contains(&id) {
+            flow_ids.push(id);
+        }
+        agent.observe(id, *w << cfg.agent.window_shift, *v as u32);
+    }
+    let reports = agent.finish();
+    if reports.is_empty() {
+        return Err(fail("workload produced no reports".into()));
+    }
+    stats.reports = reports.len();
+    let n = reports.len() as u64;
+    flow_ids.truncate(cfg.query_sample);
+
+    // The lossless reference every scenario is measured against.
+    let mut reference = Analyzer::new(cfg.agent.sketch.clone());
+    reference.add_reports(reports.clone());
+
+    let compare = |a: &Analyzer, b: &Analyzer, scenario: &str| -> Result<usize, DiffError> {
+        let mut compared = 0;
+        for &id in &flow_ids {
+            if a.flow_curve(0, id) != b.flow_curve(0, id) {
+                return Err(fail(format!(
+                    "{scenario}: flow {id} curve differs from the reference"
+                )));
+            }
+            compared += 1;
+        }
+        if a.host_rate_curve(0) != b.host_rate_curve(0) {
+            return Err(fail(format!(
+                "{scenario}: host rate curve differs from the reference"
+            )));
+        }
+        Ok(compared + 1)
+    };
+
+    // Scenario 1: duplication + reordering with zero loss must be invisible.
+    {
+        let mut spec = cfg.lossless_faults;
+        spec.drop = 0.0;
+        spec.truncate = 0.0;
+        let mut transport = FaultyTransport::new(seed ^ 0x1000_F417, spec);
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.agent.sketch.clone());
+        for (s, r) in reports.iter().cloned().enumerate() {
+            transport.send(Envelope::seal(s as u64, r));
+        }
+        // Two pumps: envelopes held back for reordering surface by the
+        // second deliver.
+        collector.pump(&mut transport, &mut analyzer);
+        collector.pump(&mut transport, &mut analyzer);
+        if collector.stats().accepted != n {
+            return Err(fail(format!(
+                "zero-loss: accepted {} of {n} reports",
+                collector.stats().accepted
+            )));
+        }
+        if collector.stats().duplicates != transport.log(0).duplicated {
+            return Err(fail(format!(
+                "zero-loss: {} duplicates counted, transport injected {}",
+                collector.stats().duplicates,
+                transport.log(0).duplicated
+            )));
+        }
+        if !collector.missing_seqs(0).is_empty() {
+            return Err(fail("zero-loss: phantom sequence gaps".into()));
+        }
+        if !analyzer.host_coverage(0).is_complete() {
+            return Err(fail("zero-loss: coverage reports losses".into()));
+        }
+        stats.duplicates += collector.stats().duplicates;
+        stats.curves_compared += compare(&analyzer, &reference, "zero-loss")?;
+    }
+
+    // Scenario 2: drops without retransmission — sound on what survived.
+    {
+        let spec = FaultSpec {
+            drop: cfg.loss_rate,
+            ..FaultSpec::NONE
+        };
+        let mut transport = FaultyTransport::new(seed ^ 0x2000_F417, spec);
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.agent.sketch.clone());
+        for (s, r) in reports.iter().cloned().enumerate() {
+            transport.send(Envelope::seal(s as u64, r));
+        }
+        collector.pump(&mut transport, &mut analyzer);
+
+        let log = transport.log(0);
+        stats.dropped = log.dropped;
+        // The analyzer must equal a reference fed exactly the survivors.
+        let survivors: Vec<PeriodReport> = reports
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| !log.dropped_seqs.contains(&(*s as u64)))
+            .map(|(_, r)| r.clone())
+            .collect();
+        if collector.stats().accepted != survivors.len() as u64 {
+            return Err(fail(format!(
+                "loss: accepted {} but {} survived",
+                collector.stats().accepted,
+                survivors.len()
+            )));
+        }
+        let mut surviving_ref = Analyzer::new(cfg.agent.sketch.clone());
+        surviving_ref.add_reports(survivors);
+        stats.curves_compared += compare(&analyzer, &surviving_ref, "loss")?;
+        // Gaps are exactly the dropped seqs below the delivered maximum.
+        let delivered_max = (0..log.sent)
+            .filter(|s| !log.dropped_seqs.contains(s))
+            .max();
+        let expect: Vec<u64> = match delivered_max {
+            None => Vec::new(),
+            Some(m) => log
+                .dropped_seqs
+                .iter()
+                .copied()
+                .filter(|&s| s < m)
+                .collect(),
+        };
+        let missing = collector.missing_seqs(0);
+        if missing != expect {
+            return Err(fail(format!(
+                "loss: collector flagged gaps {missing:?}, fault log says {expect:?}"
+            )));
+        }
+        stats.gaps = missing.len();
+        if analyzer.host_coverage(0).known_lost != missing.len() as u64 {
+            return Err(fail("loss: coverage known_lost out of sync".into()));
+        }
+    }
+
+    // Scenario 3: the full hostile mix, healed by bounded retransmission.
+    {
+        let mut transport = FaultyTransport::new(seed ^ 0x3000_F417, cfg.recovery_faults);
+        let mut uplink = HostUplink::new(0, RetransmitPolicy::default());
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.agent.sketch.clone());
+        uplink.submit(reports.clone());
+        for now in 0..cfg.recovery_ticks {
+            uplink.tick(now, &mut transport);
+            collector.pump(&mut transport, &mut analyzer);
+            if uplink.in_flight() == 0 && collector.stats().accepted == n {
+                break;
+            }
+        }
+        if collector.stats().accepted != n || !collector.missing_seqs(0).is_empty() {
+            return Err(fail(format!(
+                "recovery: {} of {n} reports recovered, gaps {:?} (ticks {})",
+                collector.stats().accepted,
+                collector.missing_seqs(0),
+                cfg.recovery_ticks
+            )));
+        }
+        if uplink.evicted != 0 {
+            return Err(fail("recovery: default capacity must not evict".into()));
+        }
+        stats.retransmissions = uplink.retransmissions;
+        stats.duplicates += collector.stats().duplicates;
+        stats.curves_compared += compare(&analyzer, &reference, "recovery")?;
+        if !analyzer.host_coverage(0).is_complete() {
+            return Err(fail("recovery: coverage still reports losses".into()));
+        }
+    }
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_id_roundtrips() {
+        for id in [0u64, 1, 39, 96, 0xFF_FFFF, 0xFFFF_FFFF_FFFF] {
+            assert_eq!(flow_id_of(&FlowKey::from_id(id)), id);
+        }
+    }
+
+    #[test]
+    fn one_smoke_seed_per_workload() {
+        for kind in StreamKind::ALL {
+            let stats = collection_diff_run(0xC011, &CollectionDiffConfig::quick(kind)).unwrap();
+            assert!(stats.reports > 1, "{}: want multiple periods", kind.name());
+            assert!(stats.curves_compared > 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = CollectionDiffConfig::quick(StreamKind::Skewed);
+        assert_eq!(
+            collection_diff_run(7, &cfg).unwrap(),
+            collection_diff_run(7, &cfg).unwrap()
+        );
+    }
+}

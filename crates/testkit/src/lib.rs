@@ -18,17 +18,25 @@
 //!   seed, so `cargo run -p umon-testkit --bin diff_fuzz -- --seeds 1
 //!   --start <seed>` reproduces it exactly.
 //!
+//! [`collection_diff_run`] extends the differential idea to the collection
+//! plane: one seed → one workload measured by a real host agent → the same
+//! period reports replayed over lossless, lossy and retransmission-healed
+//! transports, asserting the `umon::collector` degradation contract against
+//! a fault log that records exactly what the network did.
+//!
 //! [`replay_host_records`] closes the loop with the simulator: it feeds
 //! `netsim` TX records (e.g. parsed back from a trace CSV) through a real
 //! [`umon::HostAgent`] and validates every uploaded period report against a
 //! per-period oracle.
 
 pub mod diff;
+pub mod faults;
 pub mod oracle;
 pub mod replay;
 pub mod stream;
 
 pub use diff::{diff_run, DiffConfig, DiffError, DiffStats};
+pub use faults::{collection_diff_run, flow_id_of, CollectionDiffConfig, CollectionDiffStats};
 pub use oracle::{CheckParams, EpochTruth, Oracle};
 pub use replay::{replay_host_records, ReplayStats};
 pub use stream::{

@@ -14,11 +14,75 @@
 //!   rate curves of the involved flows.
 
 use crate::host_agent::PeriodReport;
-use crate::switch_agent::MirroredPacket;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use crate::switch_agent::{MirrorBatch, MirroredPacket};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use umon_netsim::QueueEpisode;
 use wavesketch::basic::WindowSeries;
 use wavesketch::{BucketReport, FlowKey, SketchConfig};
+
+/// Accounting for one [`Analyzer::add_reports`] batch (and, cumulatively,
+/// for an analyzer's lifetime via [`Analyzer::ingest_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Reports accepted into the store.
+    pub accepted: u64,
+    /// Reports dropped because their `(host, period)` slot was already
+    /// filled — redelivered or double-counted uploads.
+    pub duplicates: u64,
+    /// Reports quarantined because their config fingerprint does not match
+    /// the analyzer's sketch configuration.
+    pub mismatched: u64,
+}
+
+impl IngestStats {
+    /// Total reports the batch carried.
+    pub fn total(&self) -> u64 {
+        self.accepted + self.duplicates + self.mismatched
+    }
+
+    fn absorb(&mut self, other: IngestStats) {
+        self.accepted += other.accepted;
+        self.duplicates += other.duplicates;
+        self.mismatched += other.mismatched;
+    }
+}
+
+/// Which upload periods of a host the analyzer actually holds — the
+/// difference between "the flow sent nothing" and "the report never made it"
+/// when reading a reconstructed curve.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeriodCoverage {
+    /// Periods with an accepted report.
+    pub periods: BTreeSet<u64>,
+    /// Uploads the collection plane knows were lost (sequence gaps reported
+    /// by `umon::collector`); 0 when no collector feeds this analyzer.
+    pub known_lost: u64,
+}
+
+impl PeriodCoverage {
+    /// True if `period` has an accepted report.
+    pub fn covers(&self, period: u64) -> bool {
+        self.periods.contains(&period)
+    }
+
+    /// True if no upload is known to be missing. A period absent from
+    /// `periods` is not by itself a loss — hosts skip periods with no
+    /// traffic — so only the collector's sequence-gap count decides. A curve
+    /// read under incomplete coverage is evidence from the surviving periods
+    /// only, not a statement about the holes.
+    pub fn is_complete(&self) -> bool {
+        self.known_lost == 0
+    }
+}
+
+/// A reconstructed curve plus the period coverage it was built under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedCurve {
+    /// The reconstructed rate curve.
+    pub series: WindowSeries,
+    /// Coverage of the measuring host's upload periods.
+    pub coverage: PeriodCoverage,
+}
 
 /// Detected event time spans `(start_ns, end_ns)` per link `(switch, VLAN)`,
 /// sorted by event count descending.
@@ -90,11 +154,26 @@ impl EventMatchStats {
 /// ```
 pub struct Analyzer {
     sketch_config: SketchConfig,
-    /// Host reports keyed by host.
-    reports: HashMap<usize, Vec<PeriodReport>>,
+    /// Host reports keyed by host, then by period — the map deduplicates
+    /// redelivered periods and keeps reconstruction inputs period-ordered no
+    /// matter how the collection plane reordered arrivals.
+    reports: HashMap<usize, BTreeMap<u64, PeriodReport>>,
     /// All mirrored packets.
     mirrors: Vec<MirroredPacket>,
+    /// Mirror batch numbers already accepted, per switch.
+    mirror_batches_seen: HashSet<(usize, u64)>,
+    /// Redelivered mirror batches dropped.
+    mirror_duplicates: u64,
+    /// Cumulative report-ingestion accounting.
+    stats: IngestStats,
+    /// The most recent mismatched reports, kept for postmortems (bounded).
+    quarantine: Vec<PeriodReport>,
+    /// Collector-reported lost uploads per host.
+    known_lost: HashMap<usize, u64>,
 }
+
+/// Mismatched reports retained for inspection before old ones are evicted.
+const QUARANTINE_CAP: usize = 64;
 
 impl Analyzer {
     /// Creates an analyzer that reconstructs against `sketch_config` (must
@@ -104,31 +183,98 @@ impl Analyzer {
             sketch_config,
             reports: HashMap::new(),
             mirrors: Vec::new(),
+            mirror_batches_seen: HashSet::new(),
+            mirror_duplicates: 0,
+            stats: IngestStats::default(),
+            quarantine: Vec::new(),
+            known_lost: HashMap::new(),
         }
     }
 
-    /// Ingests one host's period reports.
+    /// Ingests period reports, one host or many mixed.
     ///
-    /// # Panics
-    ///
-    /// Panics if a report was produced under a different sketch
-    /// configuration — hashing and wavelet depth must match for
-    /// reconstruction to mean anything.
-    pub fn add_reports(&mut self, reports: Vec<PeriodReport>) {
+    /// Reports built under a different sketch configuration are quarantined
+    /// (counted in [`IngestStats::mismatched`], the most recent kept for
+    /// inspection) instead of poisoning the batch; redelivered periods are
+    /// dropped as duplicates. Never panics — the collection plane delivers
+    /// whatever the network did to it.
+    pub fn add_reports(&mut self, reports: Vec<PeriodReport>) -> IngestStats {
         let expected = self.sketch_config.fingerprint();
+        let mut batch = IngestStats::default();
         for r in reports {
-            assert_eq!(
-                r.config_fingerprint, expected,
-                "host {} report was built under a different sketch config",
-                r.host
-            );
-            self.reports.entry(r.host).or_default().push(r);
+            if r.config_fingerprint != expected {
+                batch.mismatched += 1;
+                if self.quarantine.len() >= QUARANTINE_CAP {
+                    self.quarantine.remove(0);
+                }
+                self.quarantine.push(r);
+                continue;
+            }
+            let slot = self.reports.entry(r.host).or_default();
+            match slot.entry(r.period) {
+                std::collections::btree_map::Entry::Occupied(_) => batch.duplicates += 1,
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(r);
+                    batch.accepted += 1;
+                }
+            }
+        }
+        self.stats.absorb(batch);
+        batch
+    }
+
+    /// Cumulative ingestion accounting since construction.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The most recently quarantined (fingerprint-mismatched) reports.
+    pub fn quarantined(&self) -> &[PeriodReport] {
+        &self.quarantine
+    }
+
+    /// Records how many of `host`'s uploads the collection plane knows were
+    /// lost (sequence gaps). Surfaced through [`PeriodCoverage::known_lost`]
+    /// on every curve reconstructed for that host.
+    pub fn set_known_lost(&mut self, host: usize, lost: u64) {
+        if lost == 0 {
+            self.known_lost.remove(&host);
+        } else {
+            self.known_lost.insert(host, lost);
+        }
+    }
+
+    /// Which of `host`'s upload periods this analyzer holds.
+    pub fn host_coverage(&self, host: usize) -> PeriodCoverage {
+        PeriodCoverage {
+            periods: self
+                .reports
+                .get(&host)
+                .map(|m| m.keys().copied().collect())
+                .unwrap_or_default(),
+            known_lost: self.known_lost.get(&host).copied().unwrap_or(0),
         }
     }
 
     /// Ingests mirrored packets from a switch agent.
     pub fn add_mirrors(&mut self, mirrors: Vec<MirroredPacket>) {
         self.mirrors.extend(mirrors);
+    }
+
+    /// Ingests a sequence-numbered mirror batch, dropping redelivered batch
+    /// numbers. Returns `true` if the batch was new.
+    pub fn add_mirror_batch(&mut self, batch: MirrorBatch) -> bool {
+        if !self.mirror_batches_seen.insert((batch.switch, batch.seq)) {
+            self.mirror_duplicates += 1;
+            return false;
+        }
+        self.mirrors.extend(batch.packets);
+        true
+    }
+
+    /// Redelivered mirror batches dropped so far.
+    pub fn mirror_duplicates(&self) -> u64 {
+        self.mirror_duplicates
     }
 
     /// All mirrored packets seen so far.
@@ -146,12 +292,14 @@ impl Analyzer {
         let key = FlowKey::from_id(flow_id);
         let packed = key.pack().to_vec();
 
-        // Heavy path: concatenate heavy records across periods. The heavy
-        // bucket is exact within its epochs but misses any history from
-        // before the flow's election, so it is overlaid onto the light-part
-        // estimate rather than used alone.
+        // Heavy path: concatenate heavy records across periods (the map
+        // iterates in period order, so epochs concatenate chronologically
+        // even when uploads arrived shuffled). The heavy bucket is exact
+        // within its epochs but misses any history from before the flow's
+        // election, so it is overlaid onto the light-part estimate rather
+        // than used alone.
         let mut heavy_reports: Vec<BucketReport> = Vec::new();
-        for pr in reports {
+        for pr in reports.values() {
             for (k, brs) in &pr.report.heavy {
                 if *k == packed {
                     heavy_reports.extend(brs.iter().cloned());
@@ -171,6 +319,11 @@ impl Analyzer {
                     let light_at: Vec<f64> = starts.iter().map(|&w| l.at(w)).collect();
                     l.overlay(&h);
                     for (&w, &lv) in starts.iter().zip(&light_at) {
+                        // A heavy epoch can start before the light series
+                        // when the covering light period was lost in
+                        // collection — extend the series instead of
+                        // underflowing the index.
+                        l.extend_to_cover(w);
                         let idx = (w - l.start_window) as usize;
                         l.values[idx] = l.values[idx].max(lv);
                     }
@@ -183,11 +336,22 @@ impl Analyzer {
         self.query_light_with_subtraction(reports, &key, &packed)
     }
 
+    /// [`Self::flow_curve`] plus the period coverage the curve was built
+    /// under, so downstream analyses (event clustering, gap detection) can
+    /// distinguish "the flow sent nothing" from "the reports never arrived".
+    pub fn flow_curve_with_coverage(&self, host: usize, flow_id: u64) -> Option<AnnotatedCurve> {
+        let series = self.flow_curve(host, flow_id)?;
+        Some(AnnotatedCurve {
+            series,
+            coverage: self.host_coverage(host),
+        })
+    }
+
     /// Light-part reconstruction with heavy-flow subtraction, min-total over
     /// rows (the Count-Min query lifted to curves).
     fn query_light_with_subtraction(
         &self,
-        reports: &[PeriodReport],
+        reports: &BTreeMap<u64, PeriodReport>,
         key: &FlowKey,
         packed: &[u8],
     ) -> Option<WindowSeries> {
@@ -197,7 +361,7 @@ impl Analyzer {
             let col = cfg.light_col(key, row) as u32;
             let mut bucket_reports: Vec<BucketReport> = Vec::new();
             let mut heavy_in_bucket: Vec<BucketReport> = Vec::new();
-            for pr in reports {
+            for pr in reports.values() {
                 for (r, c, brs) in &pr.report.light {
                     if *r == row as u32 && *c == col {
                         bucket_reports.extend(brs.iter().cloned());
@@ -334,7 +498,7 @@ impl Analyzer {
     pub fn host_rate_curve(&self, host: usize) -> Option<WindowSeries> {
         let reports = self.reports.get(&host)?;
         let mut all: Vec<BucketReport> = Vec::new();
-        for pr in reports {
+        for pr in reports.values() {
             for (row, _, brs) in &pr.report.light {
                 if *row == 0 {
                     all.extend(brs.iter().cloned());
@@ -710,12 +874,13 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_sketch_configs_are_rejected() {
+    fn mismatched_sketch_configs_are_quarantined_not_panicked() {
         let cfg = agent_config();
         let mut agent = HostAgent::new(0, cfg.clone());
         agent.observe(1, 0, 100);
         let reports = agent.finish();
-        // An analyzer built with a different width must refuse the report.
+        // An analyzer built with a different width must refuse the report —
+        // but by quarantining it, not by tearing down the whole batch.
         let other = SketchConfig::builder()
             .rows(2)
             .width(64) // differs from the agent's 32
@@ -725,10 +890,160 @@ mod tests {
             .heavy_rows(16)
             .build();
         let mut analyzer = Analyzer::new(other);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            analyzer.add_reports(reports);
-        }));
-        assert!(result.is_err(), "config mismatch must be rejected");
+        let stats = analyzer.add_reports(reports);
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.mismatched, 1);
+        assert_eq!(analyzer.quarantined().len(), 1);
+        assert!(
+            analyzer.flow_curve(0, 1).is_none(),
+            "nothing reconstructable"
+        );
+    }
+
+    /// Satellite regression: one corrupt report must not poison the rest of
+    /// its batch.
+    #[test]
+    fn one_corrupt_report_does_not_poison_a_batch() {
+        let cfg = agent_config();
+        let mut agent = HostAgent::new(0, cfg.clone());
+        agent.observe(5, 10 << 13, 1000);
+        let mut reports = agent.finish();
+        // Inject a report from a foreign config into the same batch.
+        let mut corrupt = reports[0].clone();
+        corrupt.config_fingerprint ^= 0xDEAD_BEEF;
+        corrupt.period += 1;
+        reports.push(corrupt);
+
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        let stats = analyzer.add_reports(reports);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.mismatched, 1);
+        assert_eq!(analyzer.ingest_stats(), stats);
+        // The healthy report still reconstructs.
+        let curve = analyzer.flow_curve(0, 5).expect("good report survives");
+        assert!((curve.at(10) - 1000.0).abs() < 1e-6);
+    }
+
+    /// Satellite regression: duplicated and reordered period reports must
+    /// not double-count or mis-merge. The analyzer output over a shuffled,
+    /// duplicated report vector must be bit-identical to the clean run.
+    #[test]
+    fn duplicated_and_shuffled_reports_do_not_double_count() {
+        let mut cfg = agent_config();
+        cfg.period_ns = 16 << 13; // 16 windows per upload period
+        let mut agent = HostAgent::new(0, cfg.clone());
+        for w in [2u64, 20, 37, 52, 70] {
+            agent.observe(7, w << 13, 500 + w as u32);
+        }
+        let reports = agent.finish();
+        assert!(reports.len() >= 4, "want several periods");
+
+        let mut clean = Analyzer::new(cfg.sketch.clone());
+        clean.add_reports(reports.clone());
+        let want = clean.flow_curve(0, 7).expect("measured");
+        let want_host = clean.host_rate_curve(0).expect("measured");
+
+        // Reverse order + duplicate every report, split across two batches.
+        let mut mangled: Vec<PeriodReport> = reports.iter().rev().cloned().collect();
+        mangled.extend(reports.iter().cloned());
+        let mut dirty = Analyzer::new(cfg.sketch.clone());
+        let n = mangled.len() / 2;
+        let tail = mangled.split_off(n);
+        let s1 = dirty.add_reports(mangled);
+        let s2 = dirty.add_reports(tail);
+        assert_eq!(s1.accepted + s2.accepted, reports.len() as u64);
+        assert_eq!(
+            s1.duplicates + s2.duplicates,
+            reports.len() as u64,
+            "every redelivery must be dropped"
+        );
+        assert_eq!(dirty.flow_curve(0, 7).unwrap(), want);
+        assert_eq!(dirty.host_rate_curve(0).unwrap(), want_host);
+    }
+
+    /// Satellite regression: a heavy epoch anchored before the light series
+    /// start (its covering light period was lost in collection) must extend
+    /// the curve instead of underflowing `w - start_window`.
+    #[test]
+    fn heavy_epoch_before_light_series_start_does_not_underflow() {
+        let cfg = agent_config();
+        let key = FlowKey::from_id(9);
+        let fp = cfg.sketch.fingerprint();
+
+        // Period 1 light evidence only (period 0's upload "was lost")…
+        let mut light_bucket =
+            wavesketch::WaveBucket::with_params(2, 8, 64, wavesketch::SelectorKind::Ideal);
+        light_bucket.update(100, 640);
+        let light_reports = light_bucket.drain();
+        let row0_col = cfg.sketch.light_col(&key, 0) as u32;
+        let row1_col = cfg.sketch.light_col(&key, 1) as u32;
+        let light = PeriodReport {
+            period: 1,
+            host: 0,
+            config_fingerprint: fp,
+            report: wavesketch::SketchReport {
+                heavy: vec![],
+                light: vec![
+                    (0, row0_col, light_reports.clone()),
+                    (1, row1_col, light_reports),
+                ],
+            },
+        };
+        // …while a degenerate heavy record from the lost period anchors at
+        // w0 = 50, before the light series start.
+        let heavy = PeriodReport {
+            period: 0,
+            host: 0,
+            config_fingerprint: fp,
+            report: wavesketch::SketchReport {
+                heavy: vec![(
+                    key.pack().to_vec(),
+                    vec![BucketReport {
+                        w0: 50,
+                        levels: 0,
+                        padded_len: 0,
+                        approx: vec![],
+                        details: vec![],
+                    }],
+                )],
+                light: vec![],
+            },
+        };
+
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        analyzer.add_reports(vec![light, heavy]);
+        let curve = analyzer.flow_curve(0, 9).expect("light evidence exists");
+        assert!((curve.at(100) - 640.0).abs() < 1e-6);
+        assert_eq!(curve.at(50), 0.0, "lost-period window reads as no data");
+        // Coverage tells the caller period 0's report is absent.
+        let annotated = analyzer.flow_curve_with_coverage(0, 9).unwrap();
+        assert!(annotated.coverage.covers(0));
+        assert!(annotated.coverage.covers(1));
+    }
+
+    #[test]
+    fn coverage_distinguishes_no_traffic_from_no_data() {
+        let mut cfg = agent_config();
+        cfg.period_ns = 16 << 13;
+        let mut agent = HostAgent::new(3, cfg.clone());
+        agent.observe(1, 2 << 13, 100); // period 0
+        agent.observe(1, 40 << 13, 100); // period 2 (period 1: no traffic)
+        let mut reports = agent.finish();
+        assert_eq!(reports.len(), 2);
+        // Drop period 2's report: "no data" for it.
+        let lost = reports.pop().unwrap();
+        assert_eq!(lost.period, 2);
+
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        analyzer.add_reports(reports);
+        analyzer.set_known_lost(3, 1);
+        let cov = analyzer.host_coverage(3);
+        assert!(cov.covers(0));
+        assert!(!cov.covers(2), "lost period must not read as covered");
+        assert_eq!(cov.known_lost, 1);
+        assert!(!cov.is_complete());
+        analyzer.set_known_lost(3, 0);
+        assert!(analyzer.host_coverage(3).is_complete());
     }
 
     #[test]

@@ -1,0 +1,1006 @@
+//! The report collection plane: how period reports actually travel from
+//! host agents to the analyzer, and what happens when the network loses,
+//! duplicates, reorders or corrupts them.
+//!
+//! The earlier pipeline hand-delivered `Vec<PeriodReport>` by function call,
+//! which silently assumed a perfect network. This module makes the transport
+//! explicit and hostile-by-default:
+//!
+//! * [`Envelope`] — a sequence-numbered, checksummed wrapper around one
+//!   [`PeriodReport`], sealed by the sender so the collector can detect
+//!   truncation and tampering without trusting the transport.
+//! * [`Transport`] — the uplink abstraction: report envelopes flow up,
+//!   per-sequence ACKs flow back down. [`PerfectTransport`] is the lossless
+//!   reference; [`FaultyTransport`] injects seeded, per-host drop /
+//!   duplicate / reorder / truncate faults and logs exactly what it did, so
+//!   tests can assert collector counters against ground truth.
+//! * [`HostUplink`] — the host-side send buffer: bounded retransmit queue,
+//!   ACK-driven release, exponential backoff. Memory is capped by
+//!   [`RetransmitPolicy::capacity`]; when the network outlives the buffer,
+//!   the oldest unacknowledged report is evicted and counted, never silently
+//!   wedged.
+//! * [`Collector`] — the analyzer-side ingest: verifies envelope integrity,
+//!   dedups by `(host, seq)`, detects sequence gaps, quarantines damage
+//!   behind counters instead of panicking, and keeps the analyzer's
+//!   [`known-lost`](crate::Analyzer::set_known_lost) coverage in sync.
+//!
+//! Degradation contract: whatever the transport does, the collector never
+//! panics, never double-counts a report, and every accepted curve is built
+//! only from intact reports — loss shows up as missing coverage, not as
+//! corrupted data.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::analyzer::Analyzer;
+use crate::host_agent::PeriodReport;
+
+/// A sequence-numbered, checksummed report in flight.
+///
+/// The sequence number is per-host and assigned by the sending
+/// [`HostUplink`]; the checksum and declared epoch count are sealed over the
+/// payload so the receiver can tell a truncated or bit-flipped report from
+/// an intact one without any transport-level guarantees.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Envelope {
+    /// Per-host upload sequence number (0, 1, 2, … in submit order).
+    pub seq: u64,
+    /// Epoch count of the payload at seal time.
+    pub declared_epochs: usize,
+    /// [`SketchReport::integrity`](wavesketch::SketchReport::integrity) of
+    /// the payload at seal time.
+    pub checksum: u64,
+    /// The report being carried.
+    pub report: PeriodReport,
+}
+
+impl Envelope {
+    /// Seals `report` under sequence number `seq`.
+    pub fn seal(seq: u64, report: PeriodReport) -> Self {
+        Self {
+            seq,
+            declared_epochs: report.report.epoch_count(),
+            checksum: report.report.integrity(),
+            report,
+        }
+    }
+
+    /// True if the payload still matches what the sender sealed.
+    pub fn verify(&self) -> bool {
+        self.report.report.epoch_count() == self.declared_epochs
+            && self.report.report.integrity() == self.checksum
+    }
+
+    /// The reporting host (shorthand for `self.report.host`).
+    pub fn host(&self) -> usize {
+        self.report.host
+    }
+}
+
+/// The collection-plane link: envelopes up, ACKs down.
+///
+/// `send`/`deliver` move report envelopes from hosts to the collector;
+/// `ack`/`deliver_acks` move per-sequence acknowledgements back. A transport
+/// may drop, duplicate, reorder or damage envelopes and may drop ACKs; it
+/// must not fabricate envelopes it was never given.
+pub trait Transport {
+    /// Hands one envelope to the network.
+    fn send(&mut self, env: Envelope);
+    /// Takes every envelope the network chose to deliver since the last
+    /// call (order is the network's choice).
+    fn deliver(&mut self) -> Vec<Envelope>;
+    /// Sends an ACK for `(host, seq)` back toward the host.
+    fn ack(&mut self, host: usize, seq: u64);
+    /// Takes the ACKs that reached `host` since the last call.
+    fn deliver_acks(&mut self, host: usize) -> Vec<u64>;
+}
+
+/// The lossless reference transport: delivers everything, in order, exactly
+/// once. The differential baseline every faulty run is compared against.
+#[derive(Debug, Default)]
+pub struct PerfectTransport {
+    queue: VecDeque<Envelope>,
+    acks: HashMap<usize, Vec<u64>>,
+}
+
+impl PerfectTransport {
+    /// Creates an empty transport.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for PerfectTransport {
+    fn send(&mut self, env: Envelope) {
+        self.queue.push_back(env);
+    }
+
+    fn deliver(&mut self) -> Vec<Envelope> {
+        self.queue.drain(..).collect()
+    }
+
+    fn ack(&mut self, host: usize, seq: u64) {
+        self.acks.entry(host).or_default().push(seq);
+    }
+
+    fn deliver_acks(&mut self, host: usize) -> Vec<u64> {
+        self.acks.remove(&host).unwrap_or_default()
+    }
+}
+
+/// Per-host fault rates for [`FaultyTransport`], each in `[0, 1]`.
+///
+/// The four envelope faults are mutually exclusive per send (one roll
+/// decides), so `drop + duplicate + reorder + truncate` must not exceed 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Probability an envelope vanishes.
+    pub drop: f64,
+    /// Probability an envelope is delivered twice.
+    pub duplicate: f64,
+    /// Probability an envelope is held back and delivered after later sends.
+    pub reorder: f64,
+    /// Probability an envelope loses part of its payload in flight (the
+    /// sealed checksum goes stale, so the collector can detect it).
+    pub truncate: f64,
+    /// Probability an ACK vanishes on the way back.
+    pub ack_drop: f64,
+}
+
+impl FaultSpec {
+    /// A spec that injects no faults at all.
+    pub const NONE: FaultSpec = FaultSpec {
+        drop: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        truncate: 0.0,
+        ack_drop: 0.0,
+    };
+
+    fn validate(&self) {
+        let sum = self.drop + self.duplicate + self.reorder + self.truncate;
+        assert!(
+            (0.0..=1.0).contains(&sum) && (0.0..=1.0).contains(&self.ack_drop),
+            "fault rates must be probabilities with envelope faults summing ≤ 1, got {self:?}"
+        );
+    }
+}
+
+/// What a [`FaultyTransport`] actually did to one host's envelopes — ground
+/// truth for asserting collector counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Envelopes handed to `send`.
+    pub sent: u64,
+    /// Envelopes dropped.
+    pub dropped: u64,
+    /// Envelopes delivered twice.
+    pub duplicated: u64,
+    /// Envelopes held back for late delivery.
+    pub reordered: u64,
+    /// Envelopes damaged in flight.
+    pub truncated: u64,
+    /// ACKs dropped on the return path.
+    pub acks_dropped: u64,
+    /// The exact sequence numbers dropped (for gap-detection oracles).
+    pub dropped_seqs: Vec<u64>,
+}
+
+/// SplitMix64 — a tiny, deterministic, dependency-free PRNG. Statistical
+/// quality is far beyond what fault scheduling needs, and the whole plane
+/// stays reproducible from one `u64` seed.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A seeded fault-injecting transport. Same seed + same call sequence →
+/// same faults, so every failure is replayable.
+#[derive(Debug)]
+pub struct FaultyTransport {
+    rng: SplitMix64,
+    default_spec: FaultSpec,
+    specs: HashMap<usize, FaultSpec>,
+    queue: VecDeque<Envelope>,
+    /// Reordered envelopes, appended after the queue at the next deliver —
+    /// everything sent meanwhile overtakes them.
+    held: Vec<Envelope>,
+    acks: HashMap<usize, Vec<u64>>,
+    logs: HashMap<usize, FaultLog>,
+}
+
+impl FaultyTransport {
+    /// Creates a transport that injects `default_spec` faults on every link.
+    pub fn new(seed: u64, default_spec: FaultSpec) -> Self {
+        default_spec.validate();
+        Self {
+            rng: SplitMix64(seed),
+            default_spec,
+            specs: HashMap::new(),
+            queue: VecDeque::new(),
+            held: Vec::new(),
+            acks: HashMap::new(),
+            logs: HashMap::new(),
+        }
+    }
+
+    /// Overrides the fault rates for one host's link.
+    pub fn set_faults(&mut self, host: usize, spec: FaultSpec) {
+        spec.validate();
+        self.specs.insert(host, spec);
+    }
+
+    /// What this transport did to `host`'s envelopes so far.
+    pub fn log(&self, host: usize) -> FaultLog {
+        self.logs.get(&host).cloned().unwrap_or_default()
+    }
+
+    fn spec_for(&self, host: usize) -> FaultSpec {
+        self.specs.get(&host).copied().unwrap_or(self.default_spec)
+    }
+
+    /// Removes one trailing payload entry without re-sealing the envelope:
+    /// the sealed checksum goes stale exactly as a truncated datagram's
+    /// would.
+    fn truncate_payload(env: &mut Envelope) {
+        let report = &mut env.report.report;
+        if let Some((_, _, brs)) = report.light.last_mut() {
+            if brs.len() > 1 {
+                brs.pop();
+            } else {
+                report.light.pop();
+            }
+        } else if let Some((_, brs)) = report.heavy.last_mut() {
+            if brs.len() > 1 {
+                brs.pop();
+            } else {
+                report.heavy.pop();
+            }
+        } else {
+            // Nothing left to lose: damage the declared epoch count instead.
+            env.declared_epochs += 1;
+        }
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn send(&mut self, mut env: Envelope) {
+        let host = env.host();
+        let spec = self.spec_for(host);
+        let log = self.logs.entry(host).or_default();
+        log.sent += 1;
+        // One roll decides the envelope's fate; the fault classes are
+        // mutually exclusive so log counters match collector counters
+        // exactly.
+        let r = self.rng.next_f64();
+        if r < spec.drop {
+            log.dropped += 1;
+            log.dropped_seqs.push(env.seq);
+        } else if r < spec.drop + spec.duplicate {
+            log.duplicated += 1;
+            self.queue.push_back(env.clone());
+            self.queue.push_back(env);
+        } else if r < spec.drop + spec.duplicate + spec.reorder {
+            log.reordered += 1;
+            self.held.push(env);
+        } else if r < spec.drop + spec.duplicate + spec.reorder + spec.truncate {
+            log.truncated += 1;
+            Self::truncate_payload(&mut env);
+            self.queue.push_back(env);
+        } else {
+            self.queue.push_back(env);
+        }
+    }
+
+    fn deliver(&mut self) -> Vec<Envelope> {
+        let mut out: Vec<Envelope> = self.queue.drain(..).collect();
+        out.append(&mut self.held);
+        out
+    }
+
+    fn ack(&mut self, host: usize, seq: u64) {
+        let spec = self.spec_for(host);
+        let r = self.rng.next_f64();
+        if r < spec.ack_drop {
+            self.logs.entry(host).or_default().acks_dropped += 1;
+        } else {
+            self.acks.entry(host).or_default().push(seq);
+        }
+    }
+
+    fn deliver_acks(&mut self, host: usize) -> Vec<u64> {
+        self.acks.remove(&host).unwrap_or_default()
+    }
+}
+
+/// Host-side send policy: how much unacknowledged state to hold and how to
+/// pace retransmissions.
+#[derive(Debug, Clone, Copy)]
+pub struct RetransmitPolicy {
+    /// Maximum unacknowledged envelopes buffered; the oldest is evicted
+    /// (and counted) beyond this. Bounds host memory under collector
+    /// outages.
+    pub capacity: usize,
+    /// Ticks before the first retransmission; doubles per attempt.
+    pub base_backoff: u64,
+    /// Backoff stops doubling after this many attempts (caps the wait at
+    /// `base_backoff << max_backoff_shift`).
+    pub max_backoff_shift: u32,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            base_backoff: 1,
+            max_backoff_shift: 6,
+        }
+    }
+}
+
+struct Pending {
+    env: Envelope,
+    attempts: u32,
+    due: u64,
+}
+
+/// The host side of the collection plane: seals finished reports into
+/// envelopes, sends them, and retransmits with exponential backoff until
+/// ACKed — inside a hard memory bound.
+pub struct HostUplink {
+    /// The host this uplink sends for.
+    pub host: usize,
+    policy: RetransmitPolicy,
+    next_seq: u64,
+    pending: VecDeque<Pending>,
+    /// Reports evicted unacknowledged because the buffer was full.
+    pub evicted: u64,
+    /// Sends beyond each envelope's first (retransmissions).
+    pub retransmissions: u64,
+    /// Envelopes released by an ACK.
+    pub acked: u64,
+}
+
+impl HostUplink {
+    /// Creates an uplink for `host`.
+    pub fn new(host: usize, policy: RetransmitPolicy) -> Self {
+        assert!(policy.capacity > 0, "capacity must be positive");
+        Self {
+            host,
+            policy,
+            next_seq: 0,
+            pending: VecDeque::new(),
+            evicted: 0,
+            retransmissions: 0,
+            acked: 0,
+        }
+    }
+
+    /// Seals `reports` (typically a
+    /// [`poll_finished`](crate::HostAgent::poll_finished) batch) into
+    /// sequence-numbered envelopes and queues them for sending. Evicts the
+    /// oldest unacknowledged envelope when the buffer is full.
+    pub fn submit(&mut self, reports: Vec<PeriodReport>) {
+        for r in reports {
+            debug_assert_eq!(r.host, self.host, "uplink sends for one host");
+            let env = Envelope::seal(self.next_seq, r);
+            self.next_seq += 1;
+            if self.pending.len() == self.policy.capacity {
+                self.pending.pop_front();
+                self.evicted += 1;
+            }
+            self.pending.push_back(Pending {
+                env,
+                attempts: 0,
+                due: 0,
+            });
+        }
+    }
+
+    /// One scheduler step at time `now` (any monotonic tick counter):
+    /// releases ACKed envelopes, then (re)sends every pending envelope whose
+    /// backoff has expired.
+    pub fn tick(&mut self, now: u64, transport: &mut dyn Transport) {
+        let acked: BTreeSet<u64> = transport.deliver_acks(self.host).into_iter().collect();
+        if !acked.is_empty() {
+            let before = self.pending.len();
+            self.pending.retain(|p| !acked.contains(&p.env.seq));
+            self.acked += (before - self.pending.len()) as u64;
+        }
+        for p in &mut self.pending {
+            if p.due <= now {
+                transport.send(p.env.clone());
+                if p.attempts > 0 {
+                    self.retransmissions += 1;
+                }
+                let shift = p.attempts.min(self.policy.max_backoff_shift);
+                p.due = now + (self.policy.base_backoff << shift);
+                p.attempts += 1;
+            }
+        }
+    }
+
+    /// Unacknowledged envelopes currently buffered (≤ policy capacity).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Next sequence number to be assigned (= total reports submitted).
+    pub fn submitted(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Collector-side ingestion counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Intact, first-seen reports handed to the analyzer.
+    pub accepted: u64,
+    /// Redelivered sequence numbers dropped (still ACKed — dedup is the
+    /// receiver's job precisely so the sender may retransmit freely).
+    pub duplicates: u64,
+    /// Envelopes failing integrity verification, quarantined and *not*
+    /// ACKed so a retransmission can still recover the intact report.
+    pub corrupt: u64,
+    /// Intact envelopes whose report the analyzer quarantined for a config
+    /// fingerprint mismatch (ACKed — retransmitting cannot fix a config
+    /// mismatch).
+    pub mismatched: u64,
+}
+
+/// The analyzer-side end of the collection plane.
+///
+/// Pumps a [`Transport`], verifies and dedups envelopes, feeds intact
+/// first-seen reports to an [`Analyzer`], ACKs what should not be
+/// retransmitted, and tracks per-host sequence gaps so curve coverage can
+/// report known losses.
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// Per host: sequence numbers whose intact report was accepted (or
+    /// deduped).
+    seen: HashMap<usize, BTreeSet<u64>>,
+    /// Per host: sequence numbers received only in damaged form so far.
+    /// Moved to `seen` if an intact copy arrives.
+    damaged: HashMap<usize, BTreeSet<u64>>,
+    stats: CollectorStats,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains the transport once: verify → dedup → ingest → ACK. Updates the
+    /// analyzer's per-host known-loss counts afterward so coverage
+    /// annotations stay current. Returns the counter deltas of this pump.
+    pub fn pump(
+        &mut self,
+        transport: &mut dyn Transport,
+        analyzer: &mut Analyzer,
+    ) -> CollectorStats {
+        let before = self.stats;
+        for env in transport.deliver() {
+            let host = env.host();
+            let seq = env.seq;
+            if self.seen.entry(host).or_default().contains(&seq) {
+                // Already have this one intact; re-ACK in case the first
+                // ACK was lost.
+                self.stats.duplicates += 1;
+                transport.ack(host, seq);
+                continue;
+            }
+            if !env.verify() {
+                // Damaged in flight. No ACK: the sender's retransmission is
+                // our only chance at the intact payload.
+                self.stats.corrupt += 1;
+                self.damaged.entry(host).or_default().insert(seq);
+                continue;
+            }
+            let ingest = analyzer.add_reports(vec![env.report]);
+            if ingest.mismatched > 0 {
+                self.stats.mismatched += 1;
+            } else {
+                // Accepted — or a (host, period) duplicate under a fresh
+                // seq, which the analyzer already dropped; either way the
+                // payload is safely delivered.
+                self.stats.accepted += 1;
+            }
+            self.damaged.entry(host).or_default().remove(&seq);
+            self.seen.entry(host).or_default().insert(seq);
+            transport.ack(host, seq);
+        }
+        for host in self.hosts() {
+            let lost = self.missing_seqs(host).len() as u64;
+            analyzer.set_known_lost(host, lost);
+        }
+        CollectorStats {
+            accepted: self.stats.accepted - before.accepted,
+            duplicates: self.stats.duplicates - before.duplicates,
+            corrupt: self.stats.corrupt - before.corrupt,
+            mismatched: self.stats.mismatched - before.mismatched,
+        }
+    }
+
+    /// Cumulative counters since construction.
+    pub fn stats(&self) -> CollectorStats {
+        self.stats
+    }
+
+    /// Every host this collector has heard from (even only in damaged form).
+    pub fn hosts(&self) -> Vec<usize> {
+        let mut hosts: BTreeSet<usize> = BTreeSet::new();
+        for (h, s) in &self.seen {
+            if !s.is_empty() {
+                hosts.insert(*h);
+            }
+        }
+        for (h, s) in &self.damaged {
+            if !s.is_empty() {
+                hosts.insert(*h);
+            }
+        }
+        hosts.into_iter().collect()
+    }
+
+    /// Sequence numbers below `host`'s highest heard sequence that have not
+    /// been received intact — the gaps. Includes damaged-only sequences
+    /// (their data is still missing) and shrinks as retransmissions land.
+    pub fn missing_seqs(&self, host: usize) -> Vec<u64> {
+        let seen = self.seen.get(&host);
+        let damaged = self.damaged.get(&host);
+        let max = seen
+            .and_then(|s| s.last())
+            .into_iter()
+            .chain(damaged.and_then(|s| s.last()))
+            .max();
+        let Some(&max) = max else {
+            return Vec::new();
+        };
+        (0..=max)
+            .filter(|s| !seen.is_some_and(|set| set.contains(s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_agent::{HostAgent, HostAgentConfig};
+    use wavesketch::SketchConfig;
+
+    fn agent_config() -> HostAgentConfig {
+        HostAgentConfig {
+            sketch: SketchConfig::builder()
+                .rows(2)
+                .width(32)
+                .levels(4)
+                .topk(64)
+                .max_windows(4096)
+                .heavy_rows(16)
+                .build(),
+            period_ns: 16 << 13, // 16 windows per period
+            window_shift: 13,
+        }
+    }
+
+    /// A few periods of two-flow traffic for `host`.
+    fn make_reports(host: usize, cfg: &HostAgentConfig) -> Vec<PeriodReport> {
+        let mut agent = HostAgent::new(host, cfg.clone());
+        for w in [1u64, 5, 18, 22, 35, 40, 51, 66] {
+            agent.observe(7, w << 13, 900);
+            agent.observe(8, w << 13, 300);
+        }
+        agent.finish()
+    }
+
+    /// Runs submit → tick/pump rounds until the uplink drains or `rounds`
+    /// expire.
+    fn run_rounds(
+        uplink: &mut HostUplink,
+        transport: &mut dyn Transport,
+        collector: &mut Collector,
+        analyzer: &mut Analyzer,
+        rounds: u64,
+    ) {
+        for now in 0..rounds {
+            uplink.tick(now, transport);
+            collector.pump(transport, analyzer);
+            if uplink.in_flight() == 0 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_transport_delivers_everything_exactly_once() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let n = reports.len() as u64;
+
+        // Direct ingest is the reference.
+        let mut direct = Analyzer::new(cfg.sketch.clone());
+        direct.add_reports(reports.clone());
+        let want = direct.flow_curve(0, 7).unwrap();
+
+        let mut transport = PerfectTransport::new();
+        let mut uplink = HostUplink::new(0, RetransmitPolicy::default());
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        uplink.submit(reports);
+        run_rounds(
+            &mut uplink,
+            &mut transport,
+            &mut collector,
+            &mut analyzer,
+            10,
+        );
+
+        assert_eq!(uplink.in_flight(), 0, "everything ACKed");
+        assert_eq!(uplink.acked, n);
+        assert_eq!(uplink.retransmissions, 0);
+        let stats = collector.stats();
+        assert_eq!(stats.accepted, n);
+        assert_eq!(stats.duplicates + stats.corrupt + stats.mismatched, 0);
+        assert!(collector.missing_seqs(0).is_empty());
+        assert_eq!(analyzer.flow_curve(0, 7).unwrap(), want);
+        assert!(analyzer.host_coverage(0).is_complete());
+    }
+
+    #[test]
+    fn drops_are_recovered_by_retransmission() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let n = reports.len() as u64;
+        let mut direct = Analyzer::new(cfg.sketch.clone());
+        direct.add_reports(reports.clone());
+        let want = direct.flow_curve(0, 7).unwrap();
+
+        let mut transport = FaultyTransport::new(
+            42,
+            FaultSpec {
+                drop: 0.5,
+                ..FaultSpec::NONE
+            },
+        );
+        let mut uplink = HostUplink::new(0, RetransmitPolicy::default());
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        uplink.submit(reports);
+        run_rounds(
+            &mut uplink,
+            &mut transport,
+            &mut collector,
+            &mut analyzer,
+            500,
+        );
+
+        assert_eq!(uplink.in_flight(), 0, "retransmit must eventually win");
+        assert!(transport.log(0).dropped > 0, "seed 42 injects drops");
+        assert!(uplink.retransmissions > 0);
+        assert_eq!(collector.stats().accepted, n);
+        assert!(collector.missing_seqs(0).is_empty(), "all gaps closed");
+        assert_eq!(analyzer.flow_curve(0, 7).unwrap(), want);
+        assert!(analyzer.host_coverage(0).is_complete());
+    }
+
+    #[test]
+    fn duplicates_are_counted_and_ignored() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let n = reports.len() as u64;
+        let mut transport = FaultyTransport::new(
+            7,
+            FaultSpec {
+                duplicate: 1.0,
+                ..FaultSpec::NONE
+            },
+        );
+        let mut uplink = HostUplink::new(0, RetransmitPolicy::default());
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        uplink.submit(reports);
+        run_rounds(
+            &mut uplink,
+            &mut transport,
+            &mut collector,
+            &mut analyzer,
+            10,
+        );
+
+        let stats = collector.stats();
+        assert_eq!(stats.accepted, n);
+        assert_eq!(stats.duplicates, transport.log(0).duplicated);
+        assert_eq!(analyzer.ingest_stats().accepted, n, "no double-count");
+    }
+
+    #[test]
+    fn truncation_is_quarantined_then_recovered_intact() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let n = reports.len() as u64;
+        // Every first transmission is truncated; retransmissions are clean.
+        let mut transport = FaultyTransport::new(
+            3,
+            FaultSpec {
+                truncate: 1.0,
+                ..FaultSpec::NONE
+            },
+        );
+        let mut uplink = HostUplink::new(0, RetransmitPolicy::default());
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        uplink.submit(reports.clone());
+        uplink.tick(0, &mut transport);
+        collector.pump(&mut transport, &mut analyzer);
+        assert_eq!(collector.stats().corrupt, n, "all damaged, none accepted");
+        assert_eq!(collector.stats().accepted, 0);
+        assert_eq!(analyzer.ingest_stats().total(), 0, "no damage reaches it");
+        assert_eq!(collector.missing_seqs(0).len(), n as usize);
+        assert_eq!(uplink.in_flight(), n as usize, "no ACK for damage");
+
+        transport.set_faults(0, FaultSpec::NONE);
+        run_rounds(
+            &mut uplink,
+            &mut transport,
+            &mut collector,
+            &mut analyzer,
+            500,
+        );
+        assert_eq!(collector.stats().accepted, n);
+        assert!(collector.missing_seqs(0).is_empty());
+        let mut direct = Analyzer::new(cfg.sketch.clone());
+        direct.add_reports(reports);
+        assert_eq!(
+            analyzer.flow_curve(0, 7).unwrap(),
+            direct.flow_curve(0, 7).unwrap()
+        );
+    }
+
+    #[test]
+    fn gaps_match_the_fault_log_exactly_without_retransmit() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let mut transport = FaultyTransport::new(
+            11,
+            FaultSpec {
+                drop: 0.4,
+                ..FaultSpec::NONE
+            },
+        );
+        // Bypass the uplink: one send per report, no retransmission.
+        for (seq, r) in reports.into_iter().enumerate() {
+            transport.send(Envelope::seal(seq as u64, r));
+        }
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        collector.pump(&mut transport, &mut analyzer);
+
+        let log = transport.log(0);
+        assert!(log.dropped > 0 && log.dropped < log.sent, "seed 11 mixes");
+        // A trailing drop is invisible (nothing after it to reveal the gap);
+        // every dropped seq below the delivered maximum must be flagged.
+        let max_seen = (0..log.sent)
+            .filter(|s| !log.dropped_seqs.contains(s))
+            .max()
+            .expect("some envelope survived");
+        let expect: Vec<u64> = log
+            .dropped_seqs
+            .iter()
+            .copied()
+            .filter(|&s| s < max_seen)
+            .collect();
+        assert_eq!(collector.missing_seqs(0), expect);
+        assert_eq!(
+            analyzer.host_coverage(0).known_lost,
+            expect.len() as u64,
+            "coverage annotation mirrors the gap count"
+        );
+    }
+
+    #[test]
+    fn reordered_envelopes_still_arrive_and_curves_match() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let n = reports.len() as u64;
+        let mut direct = Analyzer::new(cfg.sketch.clone());
+        direct.add_reports(reports.clone());
+        let want = direct.flow_curve(0, 7).unwrap();
+
+        let mut transport = FaultyTransport::new(
+            5,
+            FaultSpec {
+                reorder: 0.5,
+                ..FaultSpec::NONE
+            },
+        );
+        let mut uplink = HostUplink::new(0, RetransmitPolicy::default());
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        uplink.submit(reports);
+        run_rounds(
+            &mut uplink,
+            &mut transport,
+            &mut collector,
+            &mut analyzer,
+            100,
+        );
+
+        assert!(transport.log(0).reordered > 0, "seed 5 reorders");
+        // Reordered envelopes may race their own retransmission; the second
+        // copy is deduped, and exactly n distinct reports get through.
+        assert_eq!(collector.stats().accepted, n);
+        assert_eq!(analyzer.flow_curve(0, 7).unwrap(), want);
+    }
+
+    #[test]
+    fn uplink_memory_stays_bounded_and_evictions_are_counted() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let n = reports.len();
+        assert!(n >= 4);
+        let policy = RetransmitPolicy {
+            capacity: 2,
+            ..RetransmitPolicy::default()
+        };
+        let mut uplink = HostUplink::new(0, policy);
+        uplink.submit(reports);
+        assert_eq!(uplink.in_flight(), 2, "bounded by capacity");
+        assert_eq!(uplink.evicted, n as u64 - 2);
+        assert_eq!(uplink.submitted(), n as u64);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let one = vec![reports.into_iter().next().unwrap()];
+        let policy = RetransmitPolicy {
+            capacity: 4,
+            base_backoff: 1,
+            max_backoff_shift: 3,
+        };
+        // A transport that drops everything: the envelope is never ACKed.
+        let mut transport = FaultyTransport::new(
+            0,
+            FaultSpec {
+                drop: 1.0,
+                ..FaultSpec::NONE
+            },
+        );
+        let mut uplink = HostUplink::new(0, policy);
+        uplink.submit(one);
+        let mut send_ticks = Vec::new();
+        for now in 0..64u64 {
+            let before = transport.log(0).sent;
+            uplink.tick(now, &mut transport);
+            if transport.log(0).sent > before {
+                send_ticks.push(now);
+            }
+        }
+        // due = 0, 1, 3, 7, 15, then +8 apiece once the shift caps.
+        assert_eq!(&send_ticks[..5], &[0, 1, 3, 7, 15]);
+        let tail: Vec<u64> = send_ticks.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            tail[4..].iter().all(|&d| d == 8),
+            "capped backoff must be constant: {send_ticks:?}"
+        );
+    }
+
+    #[test]
+    fn ack_loss_causes_retransmission_but_no_double_count() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let n = reports.len() as u64;
+        let mut transport = FaultyTransport::new(
+            9,
+            FaultSpec {
+                ack_drop: 0.7,
+                ..FaultSpec::NONE
+            },
+        );
+        let mut uplink = HostUplink::new(0, RetransmitPolicy::default());
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        uplink.submit(reports);
+        run_rounds(
+            &mut uplink,
+            &mut transport,
+            &mut collector,
+            &mut analyzer,
+            500,
+        );
+
+        assert_eq!(uplink.in_flight(), 0);
+        assert!(transport.log(0).acks_dropped > 0, "seed 9 drops ACKs");
+        assert!(uplink.retransmissions > 0, "lost ACKs force resends");
+        assert_eq!(collector.stats().accepted, n);
+        assert_eq!(
+            collector.stats().duplicates,
+            uplink.retransmissions,
+            "every redundant copy deduped, none double-counted"
+        );
+        assert_eq!(analyzer.ingest_stats().accepted, n);
+    }
+
+    #[test]
+    fn mismatched_configs_are_acked_but_quarantined() {
+        let cfg = agent_config();
+        let mut reports = make_reports(0, &cfg);
+        for r in &mut reports {
+            r.config_fingerprint ^= 0x5555;
+        }
+        let n = reports.len() as u64;
+        let mut transport = PerfectTransport::new();
+        let mut uplink = HostUplink::new(0, RetransmitPolicy::default());
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        uplink.submit(reports);
+        run_rounds(
+            &mut uplink,
+            &mut transport,
+            &mut collector,
+            &mut analyzer,
+            10,
+        );
+
+        assert_eq!(collector.stats().mismatched, n);
+        assert_eq!(collector.stats().accepted, 0);
+        assert_eq!(uplink.in_flight(), 0, "ACKed: resending cannot fix this");
+        assert_eq!(analyzer.quarantined().len(), n as usize);
+        assert!(analyzer.flow_curve(0, 7).is_none());
+    }
+
+    #[test]
+    fn two_hosts_with_different_fault_links_stay_independent() {
+        let cfg = agent_config();
+        let r0 = make_reports(0, &cfg);
+        let r1 = make_reports(1, &cfg);
+        let n = r0.len() as u64;
+        let mut transport = FaultyTransport::new(21, FaultSpec::NONE);
+        transport.set_faults(
+            1,
+            FaultSpec {
+                drop: 1.0,
+                ..FaultSpec::NONE
+            },
+        );
+        let mut collector = Collector::new();
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        for (seq, r) in r0.into_iter().enumerate() {
+            transport.send(Envelope::seal(seq as u64, r));
+        }
+        for (seq, r) in r1.into_iter().enumerate() {
+            transport.send(Envelope::seal(seq as u64, r));
+        }
+        collector.pump(&mut transport, &mut analyzer);
+        assert_eq!(collector.stats().accepted, n);
+        assert_eq!(transport.log(1).dropped, n);
+        assert!(analyzer.flow_curve(0, 7).is_some());
+        assert!(analyzer.flow_curve(1, 7).is_none(), "host 1's link is dead");
+        assert_eq!(collector.hosts(), vec![0], "never heard from host 1");
+    }
+
+    #[test]
+    fn envelope_verify_catches_tampering() {
+        let cfg = agent_config();
+        let reports = make_reports(0, &cfg);
+        let env = Envelope::seal(0, reports[0].clone());
+        assert!(env.verify());
+        let mut bad = env.clone();
+        FaultyTransport::truncate_payload(&mut bad);
+        assert!(!bad.verify(), "truncation must break the seal");
+    }
+}

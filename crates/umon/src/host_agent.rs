@@ -49,9 +49,16 @@ pub struct PeriodReport {
 }
 
 impl PeriodReport {
-    /// Upload size in bytes.
+    /// Envelope metadata bytes each upload carries in addition to the sketch
+    /// payload: period index (8) + host id (4) + config fingerprint (8) +
+    /// the collector sequence number (8, see `umon::collector::Envelope`).
+    pub const ENVELOPE_WIRE_BYTES: usize = 28;
+
+    /// Upload size in bytes, envelope included. Earlier accounting forwarded
+    /// to the payload alone and undercounted the bandwidth-vs-accuracy
+    /// experiments by the per-period envelope overhead.
     pub fn wire_bytes(&self) -> usize {
-        self.report.wire_bytes()
+        Self::ENVELOPE_WIRE_BYTES + self.report.wire_bytes()
     }
 }
 
@@ -133,6 +140,14 @@ impl HostAgent {
                 report,
             });
         }
+    }
+
+    /// Takes the reports of periods that have already closed, leaving the
+    /// in-progress period counting. This is the incremental upload path: an
+    /// uplink polls it after each batch of observations and ships whatever
+    /// completed, instead of waiting for [`Self::finish`].
+    pub fn poll_finished(&mut self) -> Vec<PeriodReport> {
+        std::mem::take(&mut self.finished)
     }
 
     /// Flushes the in-progress period and returns all reports collected so
@@ -248,6 +263,32 @@ mod tests {
     fn empty_agent_produces_no_reports() {
         let agent = HostAgent::new(0, small_config());
         assert!(agent.finish().is_empty());
+    }
+
+    #[test]
+    fn wire_bytes_include_the_envelope() {
+        let mut agent = HostAgent::new(0, small_config());
+        agent.observe(1, 100, 1000);
+        let reports = agent.finish();
+        assert_eq!(
+            reports[0].wire_bytes(),
+            PeriodReport::ENVELOPE_WIRE_BYTES + reports[0].report.wire_bytes()
+        );
+    }
+
+    #[test]
+    fn poll_finished_drains_closed_periods_only() {
+        let mut agent = HostAgent::new(0, small_config());
+        agent.observe(1, 100, 1000); // period 0
+        agent.observe(1, 1_500_000, 1000); // period 1 (closes period 0)
+        let closed = agent.poll_finished();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].period, 0);
+        assert!(agent.poll_finished().is_empty(), "drained already");
+        // The open period still flushes at finish.
+        let rest = agent.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].period, 1);
     }
 
     #[test]

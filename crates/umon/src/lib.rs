@@ -15,10 +15,15 @@
 //! * [`analyzer`] — network-wide synchronized analysis (§6): collects host
 //!   reports and mirrored packets, clusters mirrors into congestion events,
 //!   reconstructs flow-rate curves, and replays events by joining the two.
+//! * [`collector`] — the report collection plane: sequence-numbered,
+//!   checksummed envelopes over a fault-injectable transport, host-side
+//!   bounded retransmission and analyzer-side dedup / gap detection /
+//!   quarantine, so loss degrades coverage instead of corrupting curves.
 //! * [`usecases`] — the §6.2 analyses: underutilization gap detection and
 //!   congestion-control convergence/fairness checks.
 
 pub mod analyzer;
+pub mod collector;
 pub mod events;
 pub mod host_agent;
 pub mod parallel_host;
@@ -26,10 +31,16 @@ pub mod pswitch;
 pub mod switch_agent;
 pub mod usecases;
 
-pub use analyzer::{Analyzer, DetectedEvent, EventMatchStats};
+pub use analyzer::{
+    Analyzer, AnnotatedCurve, DetectedEvent, EventMatchStats, IngestStats, PeriodCoverage,
+};
+pub use collector::{
+    Collector, CollectorStats, Envelope, FaultLog, FaultSpec, FaultyTransport, HostUplink,
+    PerfectTransport, RetransmitPolicy, Transport,
+};
 pub use events::{loss_events, pause_storms, LossEvent, PauseStorm};
 pub use host_agent::{HostAgent, HostAgentConfig, PeriodReport};
 pub use parallel_host::ParallelHostAgent;
 pub use pswitch::{PSwitchAgent, PSwitchConfig, PSwitchEvent};
-pub use switch_agent::{MirroredPacket, SamplerField, SwitchAgent, SwitchAgentConfig};
+pub use switch_agent::{MirrorBatch, MirroredPacket, SamplerField, SwitchAgent, SwitchAgentConfig};
 pub use usecases::{classify_event_role, fairness_index, find_gaps, EventRole, GapReport};

@@ -197,6 +197,13 @@ impl ParallelHostAgent {
         }
     }
 
+    /// Takes the reports of periods that have already closed, leaving the
+    /// in-progress period counting — the incremental upload path, mirroring
+    /// [`HostAgent::poll_finished`](crate::HostAgent::poll_finished).
+    pub fn poll_finished(&mut self) -> Vec<PeriodReport> {
+        std::mem::take(&mut self.finished)
+    }
+
     /// Flushes the in-progress period, stops the workers and returns all
     /// reports collected so far.
     pub fn finish(mut self) -> Vec<PeriodReport> {
@@ -315,6 +322,25 @@ mod tests {
     fn empty_agent_produces_no_reports() {
         let agent = ParallelHostAgent::new(0, small_config(), 4);
         assert!(agent.finish().is_empty());
+    }
+
+    #[test]
+    fn poll_finished_matches_sequential_incremental_upload() {
+        let mut seq = HostAgent::new(0, small_config());
+        let mut par = ParallelHostAgent::new(0, small_config(), 2).with_batch_size(16);
+        for i in 0..5_000u64 {
+            seq.observe(i % 9, i * 500, 200);
+            par.observe(i % 9, i * 500, 200);
+        }
+        let seq_closed = seq.poll_finished();
+        let par_closed = par.poll_finished();
+        assert!(!par_closed.is_empty());
+        assert_eq!(par_closed.len(), seq_closed.len());
+        for (p, s) in par_closed.iter().zip(&seq_closed) {
+            assert_eq!(p.period, s.period);
+            assert_eq!(p.report, s.report);
+        }
+        par.finish();
     }
 
     #[test]

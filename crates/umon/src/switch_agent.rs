@@ -79,6 +79,21 @@ pub struct MirroredPacket {
     pub orig_bytes: u32,
 }
 
+/// A sequence-numbered batch of mirrored packets shipped to the analyzer.
+///
+/// Mirrors travel the same lossy collection plane as host reports; the
+/// per-switch sequence number lets the analyzer deduplicate redelivered
+/// batches and detect lost ones (see `umon::collector`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MirrorBatch {
+    /// Originating switch.
+    pub switch: usize,
+    /// Per-switch monotonically increasing batch number.
+    pub seq: u64,
+    /// The mirrored packets.
+    pub packets: Vec<MirroredPacket>,
+}
+
 /// The per-switch μEvent agent.
 #[derive(Debug, Clone)]
 pub struct SwitchAgent {
@@ -86,6 +101,7 @@ pub struct SwitchAgent {
     pub switch: usize,
     config: SwitchAgentConfig,
     mirrored: Vec<MirroredPacket>,
+    next_batch_seq: u64,
     /// CE packets inspected (matched the ECN part of the rule).
     pub ce_seen: u64,
     /// CE packets passing the sampling predicate.
@@ -99,6 +115,7 @@ impl SwitchAgent {
             switch,
             config,
             mirrored: Vec::new(),
+            next_batch_seq: 0,
             ce_seen: 0,
             ce_mirrored: 0,
         }
@@ -166,6 +183,19 @@ impl SwitchAgent {
     /// Takes the mirrored packets, leaving the agent empty.
     pub fn drain(&mut self) -> Vec<MirroredPacket> {
         std::mem::take(&mut self.mirrored)
+    }
+
+    /// Takes the mirrored packets as a sequence-numbered batch for the
+    /// collection plane. Even an empty batch consumes a sequence number, so
+    /// the analyzer can tell "no events this period" from "batch lost".
+    pub fn drain_batch(&mut self) -> MirrorBatch {
+        let seq = self.next_batch_seq;
+        self.next_batch_seq += 1;
+        MirrorBatch {
+            switch: self.switch,
+            seq,
+            packets: std::mem::take(&mut self.mirrored),
+        }
     }
 
     /// Mirror bandwidth in bits per second over `span_ns` (Figure 15's
@@ -342,6 +372,24 @@ mod tests {
         let ratio = agent.ce_mirrored as f64 / agent.ce_seen as f64;
         assert!((ratio - 0.125).abs() < 0.02, "ratio {ratio}");
         // PSN sampling on the same stream would mirror 100% (all psn 0).
+    }
+
+    #[test]
+    fn drain_batch_numbers_batches_including_empty_ones() {
+        let mut agent = SwitchAgent::new(
+            20,
+            SwitchAgentConfig {
+                sampling_shift: 0,
+                ..Default::default()
+            },
+        );
+        agent.offer(&candidate(0, 0));
+        let b0 = agent.drain_batch();
+        assert_eq!((b0.switch, b0.seq, b0.packets.len()), (20, 0, 1));
+        let b1 = agent.drain_batch(); // nothing mirrored since
+        assert_eq!((b1.seq, b1.packets.len()), (1, 0));
+        agent.offer(&candidate(8, 0));
+        assert_eq!(agent.drain_batch().seq, 2);
     }
 
     #[test]

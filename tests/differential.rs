@@ -6,7 +6,8 @@
 //! `cargo run -p umon-testkit --bin diff_fuzz -- --seeds 1 --start <seed>`.
 
 use umon_testkit::{
-    diff_run, gen_stream, replay_host_records, CheckParams, DiffConfig, Oracle, StreamKind,
+    collection_diff_run, diff_run, gen_stream, replay_host_records, CheckParams,
+    CollectionDiffConfig, DiffConfig, Oracle, StreamKind,
 };
 use wavesketch::{BasicWaveSketch, SketchConfig};
 
@@ -134,4 +135,43 @@ fn differential_runs_are_reproducible() {
     let a = diff_run(11, &cfg).unwrap();
     let b = diff_run(11, &cfg).unwrap();
     assert_eq!(a, b);
+}
+
+/// The collection-plane differential (umon::collector degradation
+/// contract): for 32 fixed seeds across all three workloads, (1) zero-loss
+/// duplication + reordering leaves analyzer output bit-identical to the
+/// lossless run, (2) unrecovered loss leaves curves equal to a reference fed
+/// exactly the surviving reports with the gaps flagged precisely, and
+/// (3) a hostile fault mix is fully healed by bounded retransmission.
+///
+/// Reproduce a failure in isolation with
+/// `cargo run -p umon-testkit --bin collector_smoke -- --seeds 1 --start <seed>`.
+#[test]
+fn collection_plane_degrades_soundly_across_fault_schedules() {
+    let mut failures = Vec::new();
+    let mut reports = 0;
+    let mut curves = 0;
+    let mut duplicates = 0;
+    let mut gaps = 0;
+    for seed in 0..SEEDS {
+        for kind in StreamKind::ALL {
+            match collection_diff_run(seed, &CollectionDiffConfig::quick(kind)) {
+                Ok(stats) => {
+                    reports += stats.reports;
+                    curves += stats.curves_compared;
+                    duplicates += stats.duplicates;
+                    gaps += stats.gaps;
+                }
+                Err(e) => failures.push(e.to_string()),
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+    assert!(
+        reports > 1000,
+        "suspiciously low coverage: {reports} reports"
+    );
+    assert!(curves > 1000, "suspiciously low coverage: {curves} curves");
+    assert!(duplicates > 0, "fault schedules never injected a duplicate");
+    assert!(gaps > 0, "fault schedules never produced a detectable gap");
 }
