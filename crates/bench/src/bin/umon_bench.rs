@@ -1,0 +1,483 @@
+//! The repo's reproducible perf gate: fixed-seed core-update and netsim
+//! workloads, emitting `BENCH_core.json` / `BENCH_netsim.json` at the repo
+//! root and checking fresh runs against those committed baselines.
+//!
+//! Modes:
+//!
+//! * `--record [--as-baseline NAME]` — run the full workloads and update the
+//!   BENCH files. Without `--as-baseline`, the measurement lands in the
+//!   `current` section (and the speedup vs. `baseline` is recomputed); with
+//!   it, the measurement is stored under the named section (`baseline` /
+//!   `baseline_lto`) instead, which is how the pre-refactor numbers were
+//!   pinned before the hot paths changed.
+//! * `--smoke` — run shortened workloads, verify every committed metric
+//!   exists and is finite, and print a one-line delta per file. The
+//!   regression check is *soft*: a slowdown prints a warning but only
+//!   missing or non-finite metrics fail the gate (CI machines are shared;
+//!   wall-clock noise must not turn the gate red).
+//!
+//! All workloads are seeded and deterministic; wall time is the only
+//! nondeterministic output. Each measurement is the minimum over three
+//! repetitions, which is the standard way to strip scheduler noise from a
+//! throughput figure.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use umon_netsim::{
+    CongestionControl, FlowId, FlowSpec, SchedulerKind, SimConfig, Simulator, Topology,
+};
+use wavesketch::{BasicWaveSketch, FlowKey, FullWaveSketch, SketchConfig};
+
+const CORE_UPDATES_FULL_RUN: u64 = 4_000_000;
+const CORE_UPDATES_SMOKE: u64 = 400_000;
+const CORE_FLOWS: u64 = 512;
+const CORE_SEED: u64 = 0xBE9C;
+const NETSIM_SEED: u64 = 1;
+const REPS: usize = 3;
+
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct CoreMeasure {
+    ns_per_update_full: f64,
+    ns_per_update_basic: f64,
+    updates_per_sec_full: f64,
+    peak_rss_kb: u64,
+    notes: String,
+}
+
+#[derive(Debug, Serialize, Deserialize, Default)]
+struct CoreBench {
+    schema: u32,
+    updates: u64,
+    flows: u64,
+    seed: u64,
+    baseline: Option<CoreMeasure>,
+    baseline_lto: Option<CoreMeasure>,
+    current: Option<CoreMeasure>,
+    speedup_vs_baseline: Option<f64>,
+}
+
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct NetsimMeasure {
+    wall_ns: u64,
+    events: u64,
+    events_per_sec: f64,
+    peak_rss_kb: u64,
+    notes: String,
+}
+
+#[derive(Debug, Serialize, Deserialize, Default)]
+struct NetsimBench {
+    schema: u32,
+    workload: String,
+    seed: u64,
+    baseline: Option<NetsimMeasure>,
+    current: Option<NetsimMeasure>,
+    current_heap: Option<NetsimMeasure>,
+    speedup_vs_baseline: Option<f64>,
+}
+
+/// Peak resident set size of this process, from `/proc/self/status` (kB).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Fixed-seed sketch workload: `n` updates over `flows` flows with a slowly
+/// advancing window, bounded below `max_windows` so the measurement stays in
+/// the steady state (no epoch rollovers — those are per-epoch, not per
+/// packet). Mirrors `benches/wavesketch_update.rs`.
+fn core_stream(n: u64, flows: u64, seed: u64) -> Vec<(FlowKey, u64, i64)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut window = 0u64;
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.2) {
+                window = (window + 1).min(4000);
+            }
+            (
+                FlowKey::from_id(rng.gen_range(0..flows)),
+                window,
+                rng.gen_range(64..1500i64),
+            )
+        })
+        .collect()
+}
+
+fn core_config() -> SketchConfig {
+    SketchConfig::builder().build() // paper defaults: 3×256, L=8, K=64, 4096 windows
+}
+
+/// Minimum-of-`REPS` wall time for `f`, freshly constructing state each rep.
+fn time_min<F: FnMut() -> u64>(mut f: F) -> (u64, u64) {
+    let mut best = u64::MAX;
+    let mut checksum = 0u64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        checksum = f();
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    (best, checksum)
+}
+
+fn bench_core(updates: u64) -> CoreMeasure {
+    let stream = core_stream(updates, CORE_FLOWS, CORE_SEED);
+
+    let (full_ns, full_sum) = time_min(|| {
+        let mut sketch = FullWaveSketch::new(core_config());
+        for (flow, window, value) in &stream {
+            sketch.update(flow, *window, *value);
+        }
+        sketch.heavy_flows().len() as u64
+    });
+    let (basic_ns, basic_sum) = time_min(|| {
+        let mut sketch = BasicWaveSketch::new(core_config());
+        for (flow, window, value) in &stream {
+            sketch.update(flow, *window, *value);
+        }
+        sketch.active_buckets() as u64
+    });
+    assert!(full_sum > 0 && basic_sum > 0, "workload touched nothing");
+
+    let n = stream.len() as f64;
+    CoreMeasure {
+        ns_per_update_full: full_ns as f64 / n,
+        ns_per_update_basic: basic_ns as f64 / n,
+        updates_per_sec_full: n / (full_ns as f64 / 1e9),
+        peak_rss_kb: peak_rss_kb(),
+        notes: String::new(),
+    }
+}
+
+/// Heavy fan-in on a fat-tree k=4: 1024 flows starting 1 µs apart, every
+/// host both sending and receiving. Keeps the event queue deep (thousands
+/// of in-flight events) the way the paper's incast scenarios do, which is
+/// the regime an event scheduler must handle well.
+fn netsim_flows(n: u64) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| FlowSpec {
+            id: FlowId(i),
+            src: (i % 8) as usize,
+            dst: ((i + 8) % 16) as usize,
+            size_bytes: 50_000 + (i % 64) * 1000,
+            start_ns: i * 1_000,
+            cc: CongestionControl::Dcqcn,
+        })
+        .collect()
+}
+
+fn netsim_config(end_ns: u64) -> SimConfig {
+    SimConfig {
+        end_ns,
+        clock_error_ns: 0,
+        seed: NETSIM_SEED,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_netsim(end_ns: u64, use_heap: bool) -> NetsimMeasure {
+    let mut events = 0u64;
+    let (wall_ns, _) = time_min(|| {
+        let topo = Topology::fat_tree(4, 100.0, 1000);
+        let mut config = netsim_config(end_ns);
+        config.scheduler = if use_heap {
+            SchedulerKind::Heap
+        } else {
+            SchedulerKind::Calendar
+        };
+        let result = Simulator::new(topo, netsim_flows(1024), config).run();
+        events = result.events_processed;
+        result.events_processed
+    });
+    NetsimMeasure {
+        wall_ns,
+        events,
+        events_per_sec: events as f64 / (wall_ns as f64 / 1e9),
+        peak_rss_kb: peak_rss_kb(),
+        notes: String::new(),
+    }
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn load<T: Deserialize + Default>(path: &Path) -> T {
+    match std::fs::read_to_string(path) {
+        Ok(raw) => serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("unparseable {}: {e}", path.display())),
+        Err(_) => T::default(),
+    }
+}
+
+fn store<T: Serialize>(path: &Path, value: &T) {
+    let json = serde_json::to_string_pretty(value).expect("serialize bench file");
+    std::fs::write(path, json + "\n").expect("write bench file");
+}
+
+/// Fails the gate if a required metric is missing or non-finite.
+fn require_finite(file: &str, section: &str, name: &str, value: Option<f64>) -> f64 {
+    match value {
+        Some(v) if v.is_finite() && v > 0.0 => v,
+        Some(v) => {
+            eprintln!("FAIL {file}: {section}.{name} is not a positive finite number ({v})");
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("FAIL {file}: missing section {section} (metric {name})");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn record(as_baseline: Option<&str>) {
+    let root = repo_root();
+    let core_path = root.join("BENCH_core.json");
+    let netsim_path = root.join("BENCH_netsim.json");
+
+    println!(
+        "core: {} updates x {} reps ...",
+        CORE_UPDATES_FULL_RUN, REPS
+    );
+    let core = bench_core(CORE_UPDATES_FULL_RUN);
+    println!(
+        "  full {:.1} ns/update, basic {:.1} ns/update",
+        core.ns_per_update_full, core.ns_per_update_basic
+    );
+    let mut core_file: CoreBench = load(&core_path);
+    core_file.schema = 1;
+    core_file.updates = CORE_UPDATES_FULL_RUN;
+    core_file.flows = CORE_FLOWS;
+    core_file.seed = CORE_SEED;
+    match as_baseline {
+        Some("baseline") => core_file.baseline = Some(core),
+        Some("baseline_lto") => core_file.baseline_lto = Some(core),
+        Some(other) => panic!("unknown baseline section {other}"),
+        None => core_file.current = Some(core),
+    }
+    if let (Some(b), Some(c)) = (&core_file.baseline, &core_file.current) {
+        core_file.speedup_vs_baseline = Some(b.ns_per_update_full / c.ns_per_update_full);
+    }
+    store(&core_path, &core_file);
+
+    println!(
+        "netsim: fat-tree k=4, 1024 DCQCN flows, 10 ms x {} reps ...",
+        REPS
+    );
+    let mut netsim_file: NetsimBench = load(&netsim_path);
+    netsim_file.schema = 1;
+    netsim_file.workload = "fat_tree_k4_1024flows_dcqcn_10ms".to_string();
+    netsim_file.seed = NETSIM_SEED;
+    match as_baseline {
+        // The pre-refactor scheduler was the binary heap; baselines pin it.
+        Some("baseline") => {
+            let heap = bench_netsim(10_000_000, true);
+            println!(
+                "  heap     {:.0} events/sec ({} events)",
+                heap.events_per_sec, heap.events
+            );
+            netsim_file.baseline = Some(heap);
+        }
+        Some("baseline_lto") => {} // profile effect on netsim is captured by current_heap
+        Some(_) => unreachable!("validated above"),
+        None => {
+            let calendar = bench_netsim(10_000_000, false);
+            let heap = bench_netsim(10_000_000, true);
+            println!(
+                "  calendar {:.0} events/sec ({} events)",
+                calendar.events_per_sec, calendar.events
+            );
+            println!(
+                "  heap     {:.0} events/sec ({} events)",
+                heap.events_per_sec, heap.events
+            );
+            netsim_file.current = Some(calendar);
+            netsim_file.current_heap = Some(heap);
+        }
+    }
+    if let (Some(b), Some(c)) = (&netsim_file.baseline, &netsim_file.current) {
+        netsim_file.speedup_vs_baseline = Some(c.events_per_sec / b.events_per_sec);
+    }
+    store(&netsim_path, &netsim_file);
+    println!(
+        "wrote {} and {}",
+        core_path.display(),
+        netsim_path.display()
+    );
+}
+
+fn smoke() {
+    let root = repo_root();
+    let core_file: CoreBench = load(&root.join("BENCH_core.json"));
+    let netsim_file: NetsimBench = load(&root.join("BENCH_netsim.json"));
+
+    // Committed metrics must exist and be finite.
+    let committed_core = require_finite(
+        "BENCH_core.json",
+        "current",
+        "ns_per_update_full",
+        core_file.current.as_ref().map(|c| c.ns_per_update_full),
+    );
+    require_finite(
+        "BENCH_core.json",
+        "baseline",
+        "ns_per_update_full",
+        core_file.baseline.as_ref().map(|c| c.ns_per_update_full),
+    );
+    require_finite(
+        "BENCH_core.json",
+        "speedup",
+        "speedup_vs_baseline",
+        core_file.speedup_vs_baseline,
+    );
+    let committed_ev = require_finite(
+        "BENCH_netsim.json",
+        "current",
+        "events_per_sec",
+        netsim_file.current.as_ref().map(|c| c.events_per_sec),
+    );
+    require_finite(
+        "BENCH_netsim.json",
+        "baseline",
+        "events_per_sec",
+        netsim_file.baseline.as_ref().map(|c| c.events_per_sec),
+    );
+    require_finite(
+        "BENCH_netsim.json",
+        "speedup",
+        "speedup_vs_baseline",
+        netsim_file.speedup_vs_baseline,
+    );
+
+    let core = bench_core(CORE_UPDATES_SMOKE);
+    let fresh_core = require_finite(
+        "BENCH_core.json",
+        "fresh",
+        "ns_per_update_full",
+        Some(core.ns_per_update_full),
+    );
+    let netsim = bench_netsim(2_000_000, false);
+    let fresh_ev = require_finite(
+        "BENCH_netsim.json",
+        "fresh",
+        "events_per_sec",
+        Some(netsim.events_per_sec),
+    );
+
+    let core_ratio = fresh_core / committed_core;
+    let ev_ratio = committed_ev / fresh_ev;
+    println!(
+        "BENCH_core:   fresh {fresh_core:.1} ns/update vs committed {committed_core:.1} ({:+.1}%)",
+        (core_ratio - 1.0) * 100.0
+    );
+    println!(
+        "BENCH_netsim: fresh {fresh_ev:.0} events/sec vs committed {committed_ev:.0} ({:+.1}%)",
+        (1.0 / ev_ratio - 1.0) * 100.0
+    );
+    // Soft regression check: warn loudly, never fail on wall-clock noise.
+    if core_ratio > 1.5 {
+        eprintln!("WARN: core update path {core_ratio:.2}x slower than the committed baseline");
+    }
+    if ev_ratio > 1.5 {
+        eprintln!("WARN: netsim event rate {ev_ratio:.2}x below the committed baseline");
+    }
+    println!("perf gate OK");
+}
+
+/// Stage-by-stage breakdown of the core update path on the recorded
+/// workload: placement/hashing alone, a single bucket's transform push path,
+/// and the basic/full sketches under both selectors. A diagnostic aid for
+/// perf work, not part of the gate.
+fn profile() {
+    use wavesketch::{SelectorKind, WaveBucket};
+
+    let stream = core_stream(CORE_UPDATES_FULL_RUN, CORE_FLOWS, CORE_SEED);
+    let n = stream.len() as f64;
+    let config = core_config();
+
+    let (place_ns, _) = time_min(|| {
+        let mut acc = 0u64;
+        for (flow, _, _) in &stream {
+            let p = config.place(flow);
+            acc = acc.wrapping_add(config.heavy_slot_placed(&p) as u64);
+            for row in 0..config.rows {
+                acc = acc.wrapping_add(config.light_col_placed(&p, row) as u64);
+            }
+        }
+        acc.max(1)
+    });
+    println!("place+derive   {:6.1} ns/update", place_ns as f64 / n);
+
+    let (bucket_ns, _) = time_min(|| {
+        let mut b = WaveBucket::new(&config);
+        for (_, window, value) in &stream {
+            b.update(*window, *value);
+        }
+        b.current_epoch_total().unsigned_abs().max(1)
+    });
+    println!("1-bucket push  {:6.1} ns/update", bucket_ns as f64 / n);
+
+    for (label, selector) in [
+        ("ideal", SelectorKind::Ideal),
+        ("hw-thr", SelectorKind::HwThreshold { even: 0, odd: 0 }),
+    ] {
+        let cfg = SketchConfig::builder().selector(selector).build();
+        let (basic_ns, _) = time_min(|| {
+            let mut sketch = BasicWaveSketch::new(cfg.clone());
+            for (flow, window, value) in &stream {
+                sketch.update(flow, *window, *value);
+            }
+            sketch.active_buckets() as u64
+        });
+        let (full_ns, _) = time_min(|| {
+            let mut sketch = FullWaveSketch::new(cfg.clone());
+            for (flow, window, value) in &stream {
+                sketch.update(flow, *window, *value);
+            }
+            sketch.heavy_flows().len() as u64
+        });
+        println!(
+            "basic ({label})  {:6.1} ns/update   full ({label})  {:6.1} ns/update",
+            basic_ns as f64 / n,
+            full_ns as f64 / n
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut as_baseline: Option<String> = None;
+    let mut mode: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => mode = Some("smoke"),
+            "--record" => mode = Some("record"),
+            "--profile" => mode = Some("profile"),
+            "--as-baseline" => {
+                as_baseline = Some(it.next().expect("--as-baseline needs a name").clone());
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    match mode {
+        Some("smoke") => smoke(),
+        Some("record") => record(as_baseline.as_deref()),
+        Some("profile") => profile(),
+        _ => {
+            eprintln!(
+                "usage: umon-bench --smoke | --record [--as-baseline baseline|baseline_lto] | --profile"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,905 @@
+//! Flat bucket arenas: the state of many sketch buckets (`w0, i, c`, the
+//! approximation array, the in-flight partial details and the retained
+//! detail store) laid out in a handful of preallocated flat arrays instead
+//! of one heap-allocated transform per bucket.
+//!
+//! Motivation (perf): the packet path of [`crate::BasicWaveSketch`] and
+//! [`crate::FullWaveSketch`] touches one bucket per row per packet. With
+//! per-bucket `Vec`s that is several dependent pointer chases per touch and
+//! a fresh set of allocations on every heavy-part eviction or epoch
+//! rollover. The arena keeps every bucket's state at a fixed offset of four
+//! flat arrays, so
+//!
+//! * steady-state updates allocate nothing (asserted by the counting
+//!   allocator in `tests/alloc_gate.rs`),
+//! * evicting a heavy candidate is a constant-time in-place reset
+//!   ([`BucketArena::reset_bucket`]) instead of building a new bucket, and
+//! * completed epochs drain into a caller-provided scratch buffer
+//!   ([`BucketArena::drain_bucket_into`]).
+//!
+//! # Bit-identity
+//!
+//! Drains and snapshots are **bit-identical** to the original per-bucket
+//! [`crate::streaming::StreamingTransform`] implementation (`umon-testkit`'s
+//! `diff_run` and the golden fixtures under `tests/golden/` enforce this).
+//! Two details matter:
+//!
+//! * The ideal selector's retained order is the *internal array order* of
+//!   `std::collections::BinaryHeap`. The flat heap below replicates std's
+//!   exact `sift_up` / `sift_down_to_bottom` algorithms; the property tests
+//!   at the bottom of this file drive it against [`crate::IdealTopK`] (which
+//!   wraps the real `BinaryHeap`) and require identical retained *order*.
+//! * The hardware selector's retained order is even-class-then-odd-class in
+//!   insertion order with first-minimum replacement, replicated verbatim
+//!   from [`HwThresholdSelector`].
+
+use crate::config::SketchConfig;
+use crate::haar::weighted_cmp;
+use crate::report::BucketReport;
+use crate::select::{Candidate, HwThresholdSelector, SelectorKind};
+use crate::streaming::EpochCoefficients;
+use std::cmp::Ordering;
+
+const EMPTY_CANDIDATE: Candidate = Candidate {
+    level: 0,
+    idx: 0,
+    val: 0,
+};
+
+/// In-flight detail coefficient of one level (`_details[l]` in Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Partial {
+    idx: u32,
+    val: i64,
+}
+
+const EMPTY_PARTIAL: Partial = Partial { idx: 0, val: 0 };
+
+/// Fixed-size per-bucket counter state (Figure 6's `w0, i, c` plus the
+/// transform's last-offset watermark).
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    /// Absolute window id of the epoch start; `None` until the first packet.
+    w0: Option<u64>,
+    /// Offset of the window currently being counted.
+    i: u32,
+    /// Count accumulated in the current window.
+    c: i64,
+    /// Highest offset folded into the transform, `None` before the first.
+    last_offset: Option<u32>,
+}
+
+const EMPTY_HEADER: Header = Header {
+    w0: None,
+    i: 0,
+    c: 0,
+    last_offset: None,
+};
+
+/// `MinWeighted(a) > MinWeighted(b)` — the ordering `crate::select` gives its
+/// `BinaryHeap` entries (reversed weighted comparison, so the max-heap pops
+/// the weighted minimum).
+#[inline]
+fn min_gt(a: &Candidate, b: &Candidate) -> bool {
+    weighted_cmp(b.val, b.level, a.val, a.level) == Ordering::Greater
+}
+
+/// `std::collections::BinaryHeap::sift_up` on a candidate slice, element
+/// comparisons in `MinWeighted` order. Moves `data[pos]` toward the root
+/// while it is strictly greater than its parent.
+fn heap_sift_up(data: &mut [Candidate], start: usize, pos: usize) {
+    let element = data[pos];
+    let mut hole = pos;
+    while hole > start {
+        let parent = (hole - 1) / 2;
+        if !min_gt(&element, &data[parent]) {
+            break;
+        }
+        data[hole] = data[parent];
+        hole = parent;
+    }
+    data[hole] = element;
+}
+
+/// `BinaryHeap::push`: append then sift up from the end.
+fn heap_push(data: &mut [Candidate], len: &mut u32, item: Candidate) {
+    let old_len = *len as usize;
+    data[old_len] = item;
+    *len += 1;
+    heap_sift_up(data, 0, old_len);
+}
+
+/// `BinaryHeap::sift_down_to_bottom`: move the hole to the bottom of the
+/// heap unconditionally, then sift the displaced element back up. This is
+/// the exact std algorithm — a plain sift-down would produce a *different*
+/// (still valid) heap array, breaking retained-order bit-identity.
+fn heap_sift_down_to_bottom(data: &mut [Candidate], len: usize, pos: usize) {
+    let end = len;
+    let start = pos;
+    let element = data[pos];
+    let mut hole = pos;
+    let mut child = 2 * hole + 1;
+    while child <= end.saturating_sub(2) {
+        // Pick the greater of the two children (ties pick the right one,
+        // matching std's `hole.get(child) <= hole.get(child + 1)`).
+        child += !min_gt(&data[child], &data[child + 1]) as usize;
+        data[hole] = data[child];
+        hole = child;
+        child = 2 * hole + 1;
+    }
+    if child == end - 1 {
+        data[hole] = data[child];
+        hole = child;
+    }
+    data[hole] = element;
+    heap_sift_up(data, start, hole);
+}
+
+/// `BinaryHeap::pop`: swap the last element into the root and sift it down.
+fn heap_pop(data: &mut [Candidate], len: &mut u32) -> Option<Candidate> {
+    if *len == 0 {
+        return None;
+    }
+    *len -= 1;
+    let end = *len as usize;
+    let mut item = data[end];
+    if end > 0 {
+        std::mem::swap(&mut item, &mut data[0]);
+        heap_sift_down_to_bottom(data, end, 0);
+    }
+    Some(item)
+}
+
+/// [`HwThresholdSelector::offer`]'s per-class body on a flat slice: retain
+/// iff the shifted magnitude meets the threshold, evicting the *first*
+/// weakest slot only when strictly weaker than the newcomer.
+fn hw_offer_class(
+    store: &mut [Candidate],
+    len: &mut u32,
+    cap: usize,
+    threshold: u64,
+    overflow: &mut u64,
+    c: Candidate,
+) {
+    let mag = HwThresholdSelector::shifted_magnitude(&c);
+    if mag < threshold || c.val == 0 {
+        return;
+    }
+    if (*len as usize) < cap {
+        store[*len as usize] = c;
+        *len += 1;
+        return;
+    }
+    let filled = &mut store[..*len as usize];
+    let (weakest_pos, weakest_mag) = filled
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, HwThresholdSelector::shifted_magnitude(s)))
+        .min_by_key(|&(_, m)| m)
+        .expect("store is non-empty when full");
+    if weakest_mag < mag {
+        filled[weakest_pos] = c;
+    } else {
+        *overflow += 1;
+    }
+}
+
+/// Flat retained-coefficient stores for all buckets of an arena. One variant
+/// per [`SelectorKind`]; the kind is uniform across the arena (it comes from
+/// one [`SketchConfig`]).
+#[derive(Debug, Clone)]
+enum SelectorArena {
+    /// Ideal weighted top-k: per bucket, `k + 1` slots holding the internal
+    /// array of a std `BinaryHeap` (the spare slot absorbs the push that
+    /// precedes the capacity-restoring pop).
+    Ideal {
+        k: usize,
+        data: Vec<Candidate>,
+        len: Vec<u32>,
+    },
+    /// Hardware parity-split threshold stores: per bucket, `cap_even` +
+    /// `cap_odd` slots in insertion order.
+    Hw {
+        cap_even: usize,
+        cap_odd: usize,
+        threshold_even: u64,
+        threshold_odd: u64,
+        even: Vec<Candidate>,
+        odd: Vec<Candidate>,
+        len_even: Vec<u32>,
+        len_odd: Vec<u32>,
+        overflow: Vec<u64>,
+    },
+}
+
+impl SelectorArena {
+    fn new(kind: SelectorKind, k: usize, n: usize) -> Self {
+        match kind {
+            SelectorKind::Ideal => {
+                assert!(k > 0, "k must be positive");
+                SelectorArena::Ideal {
+                    k,
+                    data: vec![EMPTY_CANDIDATE; n * (k + 1)],
+                    len: vec![0; n],
+                }
+            }
+            SelectorKind::HwThreshold { even, odd } => {
+                assert!(
+                    k >= 2,
+                    "hardware selector needs k >= 2 (one slot per parity)"
+                );
+                let cap_even = k / 2 + k % 2;
+                let cap_odd = k / 2;
+                SelectorArena::Hw {
+                    cap_even,
+                    cap_odd,
+                    threshold_even: even,
+                    threshold_odd: odd,
+                    even: vec![EMPTY_CANDIDATE; n * cap_even],
+                    odd: vec![EMPTY_CANDIDATE; n * cap_odd],
+                    len_even: vec![0; n],
+                    len_odd: vec![0; n],
+                    overflow: vec![0; n],
+                }
+            }
+        }
+    }
+
+    /// Mutable view of bucket `b`'s slice of the stores.
+    fn view(&mut self, b: usize) -> SelView<'_> {
+        match self {
+            SelectorArena::Ideal { k, data, len } => {
+                let w = *k + 1;
+                SelView::Ideal {
+                    k: *k,
+                    data: &mut data[b * w..(b + 1) * w],
+                    len: &mut len[b],
+                }
+            }
+            SelectorArena::Hw {
+                cap_even,
+                cap_odd,
+                threshold_even,
+                threshold_odd,
+                even,
+                odd,
+                len_even,
+                len_odd,
+                overflow,
+            } => SelView::Hw {
+                cap_even: *cap_even,
+                cap_odd: *cap_odd,
+                threshold_even: *threshold_even,
+                threshold_odd: *threshold_odd,
+                even: &mut even[b * *cap_even..(b + 1) * *cap_even],
+                odd: &mut odd[b * *cap_odd..(b + 1) * *cap_odd],
+                len_even: &mut len_even[b],
+                len_odd: &mut len_odd[b],
+                overflow: &mut overflow[b],
+            },
+        }
+    }
+
+    /// An owned single-bucket copy of bucket `b`'s state, for non-destructive
+    /// snapshots (queries may allocate; the packet path never calls this).
+    fn owned(&self, b: usize) -> SelectorArena {
+        match self {
+            SelectorArena::Ideal { k, data, len } => {
+                let w = *k + 1;
+                SelectorArena::Ideal {
+                    k: *k,
+                    data: data[b * w..(b + 1) * w].to_vec(),
+                    len: vec![len[b]],
+                }
+            }
+            SelectorArena::Hw {
+                cap_even,
+                cap_odd,
+                threshold_even,
+                threshold_odd,
+                even,
+                odd,
+                len_even,
+                len_odd,
+                overflow,
+            } => SelectorArena::Hw {
+                cap_even: *cap_even,
+                cap_odd: *cap_odd,
+                threshold_even: *threshold_even,
+                threshold_odd: *threshold_odd,
+                even: even[b * *cap_even..(b + 1) * *cap_even].to_vec(),
+                odd: odd[b * *cap_odd..(b + 1) * *cap_odd].to_vec(),
+                len_even: vec![len_even[b]],
+                len_odd: vec![len_odd[b]],
+                overflow: vec![overflow[b]],
+            },
+        }
+    }
+
+    /// Clears bucket `b`'s store (the slice contents are left stale — the
+    /// length is the source of truth, exactly like `BinaryHeap::clear`).
+    fn reset(&mut self, b: usize) {
+        match self {
+            SelectorArena::Ideal { len, .. } => len[b] = 0,
+            SelectorArena::Hw {
+                len_even,
+                len_odd,
+                overflow,
+                ..
+            } => {
+                len_even[b] = 0;
+                len_odd[b] = 0;
+                overflow[b] = 0;
+            }
+        }
+    }
+}
+
+/// One bucket's selector, borrowed from the flat stores. Mirrors
+/// `CoeffSelector::offer` / `retained` exactly.
+enum SelView<'a> {
+    Ideal {
+        k: usize,
+        data: &'a mut [Candidate],
+        len: &'a mut u32,
+    },
+    Hw {
+        cap_even: usize,
+        cap_odd: usize,
+        threshold_even: u64,
+        threshold_odd: u64,
+        even: &'a mut [Candidate],
+        odd: &'a mut [Candidate],
+        len_even: &'a mut u32,
+        len_odd: &'a mut u32,
+        overflow: &'a mut u64,
+    },
+}
+
+impl SelView<'_> {
+    fn offer(&mut self, c: Candidate) {
+        match self {
+            SelView::Ideal { k, data, len } => {
+                if c.val == 0 {
+                    return; // zero coefficients reconstruct as zero anyway
+                }
+                heap_push(data, len, c);
+                if **len as usize > *k {
+                    heap_pop(data, len);
+                }
+            }
+            SelView::Hw {
+                cap_even,
+                cap_odd,
+                threshold_even,
+                threshold_odd,
+                even,
+                odd,
+                len_even,
+                len_odd,
+                overflow,
+            } => {
+                if c.level.is_multiple_of(2) {
+                    hw_offer_class(even, len_even, *cap_even, *threshold_even, overflow, c);
+                } else {
+                    hw_offer_class(odd, len_odd, *cap_odd, *threshold_odd, overflow, c);
+                }
+            }
+        }
+    }
+
+    fn retained(&self) -> Vec<Candidate> {
+        match self {
+            SelView::Ideal { data, len, .. } => data[..**len as usize].to_vec(),
+            SelView::Hw {
+                even,
+                odd,
+                len_even,
+                len_odd,
+                ..
+            } => even[..**len_even as usize]
+                .iter()
+                .chain(odd[..**len_odd as usize].iter())
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+/// One bucket's streaming-transform state, borrowed from the flat arrays.
+/// `push` and `finish` are line-for-line the algorithms of
+/// [`crate::streaming::StreamingTransform`], operating on slices.
+struct XformView<'a> {
+    levels: u32,
+    approx: &'a mut [i64],
+    partials: &'a mut [Partial],
+    last_offset: &'a mut Option<u32>,
+    sel: SelView<'a>,
+}
+
+impl XformView<'_> {
+    /// The `Transformation` procedure of Algorithm 1 (see
+    /// `StreamingTransform::push` for the derivation).
+    fn push(&mut self, offset: u32, count: i64) {
+        if let Some(last) = *self.last_offset {
+            assert!(
+                offset > last,
+                "offsets must strictly increase ({offset} after {last})"
+            );
+        }
+        let pos_a = (offset >> self.levels) as usize;
+        assert!(
+            pos_a < self.approx.len(),
+            "offset {offset} exceeds capacity ({} approx entries)",
+            self.approx.len()
+        );
+        self.approx[pos_a] += count;
+
+        // Iterate the partial slots directly (the slice length *is* the level
+        // count) and fold the sign without a data-dependent branch — the
+        // parity bit of `offset >> l` is effectively random across levels.
+        for (l, slot) in self.partials.iter_mut().enumerate() {
+            let l = l as u32;
+            let pos_d = offset >> (l + 1);
+            let mut partial = *slot;
+            if pos_d > partial.idx {
+                // The previous span at this level is complete — compress it.
+                self.sel.offer(Candidate {
+                    level: l,
+                    idx: partial.idx,
+                    val: partial.val,
+                });
+                partial = Partial { idx: pos_d, val: 0 };
+            }
+            let delta = if (offset >> l) & 1 == 0 {
+                count
+            } else {
+                count.wrapping_neg()
+            };
+            partial.val += delta;
+            *slot = partial;
+        }
+        *self.last_offset = Some(offset);
+    }
+
+    /// Flushes the in-flight partials and produces the epoch's coefficients
+    /// (see `StreamingTransform::finish`). The underlying bucket state is
+    /// left dirty; the caller resets or discards it.
+    fn finish(mut self) -> EpochCoefficients {
+        let len = match *self.last_offset {
+            None => {
+                return EpochCoefficients {
+                    levels: self.levels,
+                    padded_len: 0,
+                    approx: Vec::new(),
+                    details: Vec::new(),
+                }
+            }
+            Some(last) => last as usize + 1,
+        };
+        let padded_len = len.next_power_of_two();
+        let top = self.levels.min(padded_len.trailing_zeros());
+        for l in 0..top {
+            let partial = self.partials[l as usize];
+            self.sel.offer(Candidate {
+                level: l,
+                idx: partial.idx,
+                val: partial.val,
+            });
+        }
+        let blocks = padded_len.div_ceil(1 << self.levels).max(1);
+        let blocks = blocks.min(self.approx.len());
+        EpochCoefficients {
+            levels: self.levels,
+            padded_len,
+            approx: self.approx[..blocks].to_vec(),
+            details: self.sel.retained(),
+        }
+    }
+}
+
+/// A flat arena of `n` WaveSketch counter buckets, drop-in equivalent (and
+/// bit-identical in output) to `n` independent [`crate::WaveBucket`]s.
+///
+/// Bucket `b`'s state lives at offset `b` of [`Self::headers`]-style flat
+/// arrays; no per-bucket allocation exists, so updates, evictions
+/// ([`Self::reset_bucket`]) and epoch rollovers never touch the allocator.
+/// Only epoch *completion* stores grow (`completed`), and only at rollover —
+/// never on the per-packet path.
+#[derive(Debug, Clone)]
+pub struct BucketArena {
+    levels: u32,
+    max_windows: usize,
+    approx_len: usize,
+    headers: Vec<Header>,
+    /// `n × approx_len` block sums, bucket-major.
+    approx: Vec<i64>,
+    /// `n × levels` in-flight partial details, bucket-major.
+    partials: Vec<Partial>,
+    selectors: SelectorArena,
+    /// Reports of epochs that rolled over before being drained, per bucket.
+    completed: Vec<Vec<BucketReport>>,
+}
+
+impl BucketArena {
+    /// Creates an arena of `n` empty buckets from explicit parameters.
+    pub fn new(
+        levels: u32,
+        max_windows: usize,
+        topk: usize,
+        selector: SelectorKind,
+        n: usize,
+    ) -> Self {
+        let approx_len = max_windows.div_ceil(1 << levels);
+        Self {
+            levels,
+            max_windows,
+            approx_len,
+            headers: vec![EMPTY_HEADER; n],
+            approx: vec![0; n * approx_len],
+            partials: vec![EMPTY_PARTIAL; n * levels as usize],
+            selectors: SelectorArena::new(selector, topk, n),
+            completed: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates an arena of `n` empty buckets from a sketch configuration.
+    pub fn from_config(config: &SketchConfig, n: usize) -> Self {
+        Self::new(
+            config.levels,
+            config.max_windows,
+            config.topk,
+            config.selector,
+            n,
+        )
+    }
+
+    /// Number of buckets in the arena.
+    pub fn bucket_count(&self) -> usize {
+        self.headers.len()
+    }
+
+    #[inline]
+    fn xform_view(&mut self, b: usize) -> XformView<'_> {
+        let a0 = b * self.approx_len;
+        let p0 = b * self.levels as usize;
+        XformView {
+            levels: self.levels,
+            approx: &mut self.approx[a0..a0 + self.approx_len],
+            partials: &mut self.partials[p0..p0 + self.levels as usize],
+            last_offset: &mut self.headers[b].last_offset,
+            sel: self.selectors.view(b),
+        }
+    }
+
+    /// The `Counting` procedure of Algorithm 1 on bucket `b`: adds `value`
+    /// at absolute window `window`. Allocation-free in steady state.
+    ///
+    /// Packets must arrive in non-decreasing window order (they do on a real
+    /// timeline); a packet for an older window than the current one is
+    /// folded into the current window rather than lost, since the data plane
+    /// cannot rewind. That fold saturates at `i64::MAX` instead of wrapping.
+    #[inline]
+    pub fn update(&mut self, b: usize, window: u64, value: i64) {
+        let hdr = &mut self.headers[b];
+        let w0 = match hdr.w0 {
+            None => {
+                // First packet of the epoch initializes w0.
+                hdr.w0 = Some(window);
+                hdr.i = 0;
+                hdr.c = value;
+                return;
+            }
+            Some(w0) => w0,
+        };
+
+        let offset = window.saturating_sub(w0);
+        if offset >= self.max_windows as u64 {
+            // Epoch capacity exhausted: seal it and start a new epoch at the
+            // incoming window.
+            self.seal_epoch(b);
+            let hdr = &mut self.headers[b];
+            hdr.w0 = Some(window);
+            hdr.i = 0;
+            hdr.c = value;
+            return;
+        }
+        let offset = offset as u32;
+
+        if offset <= hdr.i {
+            // Same window (or a clock-skew straggler): accumulate. Saturate
+            // so an adversarial byte count cannot wrap the counter past
+            // i64::MAX into a huge negative epoch.
+            hdr.c = hdr.c.saturating_add(value);
+        } else {
+            // The counted window is finished — transform and compress it,
+            // then start counting the new window.
+            let (i, c) = (hdr.i, hdr.c);
+            self.xform_view(b).push(i, c);
+            let hdr = &mut self.headers[b];
+            hdr.i = offset;
+            hdr.c = value;
+        }
+    }
+
+    /// Seals bucket `b`'s current epoch into its completed list and resets
+    /// the streaming state in place (no allocation unless a report is
+    /// produced).
+    fn seal_epoch(&mut self, b: usize) {
+        let hdr = self.headers[b];
+        if let Some(w0) = hdr.w0 {
+            let (i, c) = (hdr.i, hdr.c);
+            let mut view = self.xform_view(b);
+            view.push(i, c);
+            let coeffs = view.finish();
+            if coeffs.padded_len > 0 {
+                self.completed[b].push(BucketReport::from_coeffs(w0, coeffs));
+            }
+        }
+        self.reset_epoch_state(b);
+    }
+
+    /// Zeroes bucket `b`'s transform state in place. Touches only the
+    /// bucket's own slices; never allocates.
+    fn reset_epoch_state(&mut self, b: usize) {
+        let a0 = b * self.approx_len;
+        self.approx[a0..a0 + self.approx_len].fill(0);
+        let p0 = b * self.levels as usize;
+        self.partials[p0..p0 + self.levels as usize].fill(EMPTY_PARTIAL);
+        self.selectors.reset(b);
+        self.headers[b] = EMPTY_HEADER;
+    }
+
+    /// Drains bucket `b`: seals the current epoch and appends all reports to
+    /// `out`, leaving the bucket empty (its completed list keeps its
+    /// capacity for the next period).
+    pub fn drain_bucket_into(&mut self, b: usize, out: &mut Vec<BucketReport>) {
+        self.seal_epoch(b);
+        out.append(&mut self.completed[b]);
+    }
+
+    /// Drains bucket `b` into a fresh vector (see
+    /// [`Self::drain_bucket_into`] for the reuse-friendly variant).
+    pub fn drain_bucket(&mut self, b: usize) -> Vec<BucketReport> {
+        self.seal_epoch(b);
+        std::mem::take(&mut self.completed[b])
+    }
+
+    /// Discards bucket `b`'s entire state — completed epochs included — in
+    /// place. This is the heavy-part *eviction* path: constant-time, and
+    /// allocation-free whenever no epoch had rolled over.
+    pub fn reset_bucket(&mut self, b: usize) {
+        self.completed[b].clear();
+        self.reset_epoch_state(b);
+    }
+
+    /// Non-destructive query of bucket `b`: reports for all completed epochs
+    /// plus a snapshot of the in-progress epoch (including the still-open
+    /// window). Copies the bucket's slices; the flat state is untouched.
+    pub fn snapshot_bucket(&self, b: usize) -> Vec<BucketReport> {
+        let mut out = self.completed[b].clone();
+        let hdr = self.headers[b];
+        if let Some(w0) = hdr.w0 {
+            let a0 = b * self.approx_len;
+            let p0 = b * self.levels as usize;
+            let mut approx = self.approx[a0..a0 + self.approx_len].to_vec();
+            let mut partials = self.partials[p0..p0 + self.levels as usize].to_vec();
+            let mut last_offset = hdr.last_offset;
+            let mut sel = self.selectors.owned(b);
+            let mut view = XformView {
+                levels: self.levels,
+                approx: &mut approx,
+                partials: &mut partials,
+                last_offset: &mut last_offset,
+                sel: sel.view(0),
+            };
+            view.push(hdr.i, hdr.c);
+            let coeffs = view.finish();
+            if coeffs.padded_len > 0 {
+                out.push(BucketReport::from_coeffs(w0, coeffs));
+            }
+        }
+        out
+    }
+
+    /// True if no packet has ever hit bucket `b` (in the current or any
+    /// completed epoch).
+    pub fn is_bucket_empty(&self, b: usize) -> bool {
+        self.headers[b].w0.is_none() && self.completed[b].is_empty()
+    }
+
+    /// The absolute window id that starts bucket `b`'s current epoch.
+    pub fn epoch_start(&self, b: usize) -> Option<u64> {
+        self.headers[b].w0
+    }
+
+    /// Total bytes recorded in bucket `b`'s current epoch so far (the
+    /// approximation array plus the open window counter).
+    pub fn current_epoch_total(&self, b: usize) -> i64 {
+        let a0 = b * self.approx_len;
+        let folded: i64 = self.approx[a0..a0 + self.approx_len].iter().sum();
+        folded.saturating_add(self.headers[b].c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{CoeffSelector, HwThresholdSelector, IdealTopK};
+
+    /// Deterministic candidate stream: splitmix-style generator, no external
+    /// RNG needed.
+    fn candidates(seed: u64, n: usize, max_level: u32) -> Vec<Candidate> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        (0..n)
+            .map(|_| {
+                let r = next();
+                Candidate {
+                    level: (r % (max_level as u64 + 1)) as u32,
+                    idx: ((r >> 8) % 1024) as u32,
+                    // Small value range to force plenty of weighted ties,
+                    // the case where heap layouts diverge first.
+                    val: ((r >> 32) % 41) as i64 - 20,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_ideal_heap_matches_std_binary_heap_order_exactly() {
+        // The retained order must equal IdealTopK's (std BinaryHeap internal
+        // array order), not just the retained *set* — BucketReport equality
+        // is order-sensitive.
+        for seed in 0..64u64 {
+            for k in [1usize, 2, 3, 7, 8, 64] {
+                let stream = candidates(seed, 300, 9);
+                let mut reference = IdealTopK::new(k);
+                let mut data = vec![EMPTY_CANDIDATE; k + 1];
+                let mut len = 0u32;
+                let mut view = SelView::Ideal {
+                    k,
+                    data: &mut data,
+                    len: &mut len,
+                };
+                for c in stream {
+                    reference.offer(c);
+                    view.offer(c);
+                }
+                assert_eq!(
+                    view.retained(),
+                    reference.retained(),
+                    "seed {seed} k {k}: flat heap diverged from std order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_hw_store_matches_reference_selector_exactly() {
+        for seed in 0..32u64 {
+            for (k, te, to) in [(2usize, 0u64, 0u64), (5, 3, 1), (8, 5, 5), (64, 1, 2)] {
+                let stream = candidates(seed ^ 0xABCD, 400, 9);
+                let mut reference = HwThresholdSelector::new(k, te, to);
+                let cap_even = k / 2 + k % 2;
+                let cap_odd = k / 2;
+                let mut even = vec![EMPTY_CANDIDATE; cap_even];
+                let mut odd = vec![EMPTY_CANDIDATE; cap_odd];
+                let (mut le, mut lo, mut ov) = (0u32, 0u32, 0u64);
+                let mut view = SelView::Hw {
+                    cap_even,
+                    cap_odd,
+                    threshold_even: te,
+                    threshold_odd: to,
+                    even: &mut even,
+                    odd: &mut odd,
+                    len_even: &mut le,
+                    len_odd: &mut lo,
+                    overflow: &mut ov,
+                };
+                for c in stream {
+                    reference.offer(c);
+                    view.offer(c);
+                }
+                assert_eq!(view.retained(), reference.retained(), "seed {seed} k {k}");
+                assert_eq!(ov, reference.overflow_drops, "overflow count diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_bucket_matches_streaming_transform_reports() {
+        use crate::select::Selector;
+        use crate::streaming::StreamingTransform;
+        // Drive an arena bucket and a StreamingTransform with the same
+        // window stream; finished coefficients must be identical.
+        for kind in [
+            SelectorKind::Ideal,
+            SelectorKind::HwThreshold { even: 2, odd: 2 },
+        ] {
+            let mut arena = BucketArena::new(4, 64, 8, kind, 3);
+            let mut xform = StreamingTransform::new(4, 64, Selector::new(kind, 8));
+            let mut state = 7u64;
+            let mut w = 10u64;
+            let (mut last_i, mut last_c) = (0u32, 0i64);
+            let mut w0: Option<u64> = None;
+            for _ in 0..40 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let adv = state >> 60; // 0..16 window gap
+                let v = ((state >> 20) % 1000) as i64;
+                w += adv;
+                if let Some(w0) = w0 {
+                    if w - w0 >= 64 {
+                        break; // stay inside one epoch (max_windows = 64)
+                    }
+                }
+                // Mirror WaveBucket's folding against the raw transform
+                // (offsets are relative to the first window seen, w0).
+                match w0 {
+                    None => {
+                        w0 = Some(w);
+                        last_i = 0;
+                        last_c = v;
+                    }
+                    Some(w0) if (w - w0) as u32 <= last_i => last_c += v,
+                    Some(w0) => {
+                        xform.push(last_i, last_c);
+                        last_i = (w - w0) as u32;
+                        last_c = v;
+                    }
+                }
+                arena.update(1, w, v); // use a middle bucket
+            }
+            if w0.is_some() {
+                xform.push(last_i, last_c);
+            }
+            let reports = arena.drain_bucket(1);
+            let coeffs = xform.finish();
+            if coeffs.padded_len == 0 {
+                assert!(reports.is_empty());
+            } else {
+                assert_eq!(reports.len(), 1);
+                assert_eq!(reports[0].w0, w0.expect("bucket saw packets"));
+                assert_eq!(reports[0].coeffs(), coeffs, "kind {kind:?}");
+            }
+            // Neighbour buckets untouched.
+            assert!(arena.is_bucket_empty(0));
+            assert!(arena.is_bucket_empty(2));
+        }
+    }
+
+    #[test]
+    fn reset_bucket_discards_everything_in_place() {
+        let mut arena = BucketArena::new(3, 8, 4, SelectorKind::Ideal, 2);
+        for w in 0..20u64 {
+            arena.update(0, w, 100); // several rollovers → completed epochs
+        }
+        assert!(!arena.is_bucket_empty(0));
+        arena.reset_bucket(0);
+        assert!(arena.is_bucket_empty(0));
+        assert!(arena.drain_bucket(0).is_empty());
+        // And the bucket is immediately reusable.
+        arena.update(0, 3, 7);
+        let reports = arena.drain_bucket(0);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].w0, 3);
+    }
+
+    #[test]
+    fn drain_into_appends_and_keeps_capacity() {
+        let mut arena = BucketArena::new(2, 4, 4, SelectorKind::Ideal, 1);
+        for w in 0..9u64 {
+            arena.update(0, w, 1); // two completed epochs + one open
+        }
+        let mut scratch = Vec::new();
+        arena.drain_bucket_into(0, &mut scratch);
+        assert_eq!(scratch.len(), 3);
+        assert!(arena.is_bucket_empty(0));
+    }
+}

@@ -3,8 +3,8 @@
 //! row; queries reconstruct each of the `d` candidate buckets and return the
 //! one with the smallest total (the Count-Min minimum generalized to curves).
 
-use crate::bucket::WaveBucket;
-use crate::config::SketchConfig;
+use crate::arena::BucketArena;
+use crate::config::{Placement, SketchConfig};
 use crate::flow::FlowKey;
 use crate::report::BucketReport;
 
@@ -126,19 +126,22 @@ impl WindowSeries {
 }
 
 /// The basic WaveSketch.
+///
+/// All `d × w` buckets share one flat [`BucketArena`] (bucket `row * width +
+/// col`), so the per-packet update path performs no allocation and touches
+/// contiguous header/counter arrays instead of chasing per-bucket heap
+/// state.
 pub struct BasicWaveSketch {
     config: SketchConfig,
-    /// Row-major bucket array: `buckets[row * width + col]`.
-    buckets: Vec<WaveBucket>,
+    /// Row-major bucket arena: bucket `row * width + col`.
+    arena: BucketArena,
 }
 
 impl BasicWaveSketch {
     /// Creates an empty sketch.
     pub fn new(config: SketchConfig) -> Self {
-        let buckets = (0..config.rows * config.width)
-            .map(|_| WaveBucket::new(&config))
-            .collect();
-        Self { config, buckets }
+        let arena = BucketArena::from_config(&config, config.rows * config.width);
+        Self { config, arena }
     }
 
     /// The sketch configuration.
@@ -146,19 +149,21 @@ impl BasicWaveSketch {
         &self.config
     }
 
-    /// Bucket index for `flow` in `row` (lane-aware, see
-    /// [`SketchConfig::light_col`]).
-    #[inline]
-    fn index(&self, flow: &FlowKey, row: usize) -> usize {
-        row * self.config.width + self.config.light_col(flow, row)
-    }
-
     /// Records `value` (bytes or packets) for `flow` at absolute window
     /// `window` — the sketch update of Algorithm 1 applied to all `d` rows.
     pub fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
+        let p = self.config.place(flow);
+        self.update_placed(&p, window, value);
+    }
+
+    /// [`Self::update`] with the key already packed and lane-hashed —
+    /// lets [`crate::FullWaveSketch`] share one [`Placement`] between its
+    /// heavy part and this light part.
+    #[inline]
+    pub(crate) fn update_placed(&mut self, p: &Placement, window: u64, value: i64) {
         for row in 0..self.config.rows {
-            let idx = self.index(flow, row);
-            self.buckets[idx].update(window, value);
+            let idx = row * self.config.width + self.config.light_col_placed(p, row);
+            self.arena.update(idx, window, value);
         }
     }
 
@@ -166,10 +171,11 @@ impl BasicWaveSketch {
     /// candidate buckets and returns the one with the smallest total volume
     /// (least over-counted by collisions). `None` if the flow hit no bucket.
     pub fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
+        let p = self.config.place(flow);
         let mut best: Option<WindowSeries> = None;
         for row in 0..self.config.rows {
-            let idx = self.index(flow, row);
-            let reports = self.buckets[idx].snapshot();
+            let idx = row * self.config.width + self.config.light_col_placed(&p, row);
+            let reports = self.arena.snapshot_bucket(idx);
             if let Some(series) = WindowSeries::from_reports(&reports) {
                 let replace = match &best {
                     None => true,
@@ -186,11 +192,12 @@ impl BasicWaveSketch {
     /// Raw per-bucket reports of the flow's `d` candidate buckets (for
     /// analyzers that need every row, e.g. the full version's subtraction).
     pub fn query_reports(&self, flow: &FlowKey) -> Vec<(u32, u32, Vec<BucketReport>)> {
+        let p = self.config.place(flow);
         (0..self.config.rows)
             .map(|row| {
-                let col = self.config.light_col(flow, row);
+                let col = self.config.light_col_placed(&p, row);
                 let idx = row * self.config.width + col;
-                (row as u32, col as u32, self.buckets[idx].snapshot())
+                (row as u32, col as u32, self.arena.snapshot_bucket(idx))
             })
             .collect()
     }
@@ -202,7 +209,7 @@ impl BasicWaveSketch {
         for row in 0..self.config.rows {
             for col in 0..self.config.width {
                 let idx = row * self.config.width + col;
-                let reports = self.buckets[idx].drain();
+                let reports = self.arena.drain_bucket(idx);
                 if !reports.is_empty() {
                     out.push((row as u32, col as u32, reports));
                 }
@@ -213,7 +220,9 @@ impl BasicWaveSketch {
 
     /// Number of buckets that have recorded at least one packet.
     pub fn active_buckets(&self) -> usize {
-        self.buckets.iter().filter(|b| !b.is_empty()).count()
+        (0..self.arena.bucket_count())
+            .filter(|&b| !self.arena.is_bucket_empty(b))
+            .count()
     }
 
     /// Configured in-dataplane memory in bytes.
@@ -225,6 +234,7 @@ impl BasicWaveSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bucket::WaveBucket;
     use crate::select::SelectorKind;
 
     fn config(w: usize, k: usize) -> SketchConfig {

@@ -4,29 +4,22 @@
 //! Algorithm 1 and automatic epoch rollover for flows outliving one
 //! measurement period ("longer flows are handled in multiple reporting
 //! periods", §7.1).
+//!
+//! Since the flat-arena refactor this type is a one-bucket
+//! [`BucketArena`] — the sketch-level types ([`crate::BasicWaveSketch`],
+//! [`crate::FullWaveSketch`]) share one arena across all their buckets, while
+//! stand-alone users (oracles, calibration, tests) keep this per-bucket API.
 
+use crate::arena::BucketArena;
 use crate::config::SketchConfig;
 use crate::report::BucketReport;
-use crate::select::{Selector, SelectorKind};
-use crate::streaming::StreamingTransform;
+use crate::select::SelectorKind;
 
 /// One bucket of the sketch. Counts values per microsecond-level window and
 /// compresses finished windows online.
 #[derive(Debug, Clone)]
 pub struct WaveBucket {
-    levels: u32,
-    max_windows: usize,
-    topk: usize,
-    selector_kind: SelectorKind,
-    /// Absolute window id of the epoch start; `None` until the first packet.
-    w0: Option<u64>,
-    /// Offset of the window currently being counted.
-    i: u32,
-    /// Count accumulated in the current window.
-    c: i64,
-    xform: StreamingTransform<Selector>,
-    /// Reports of epochs that rolled over before being drained.
-    completed: Vec<BucketReport>,
+    arena: BucketArena,
 }
 
 impl WaveBucket {
@@ -48,27 +41,19 @@ impl WaveBucket {
         selector_kind: SelectorKind,
     ) -> Self {
         Self {
-            levels,
-            max_windows,
-            topk,
-            selector_kind,
-            w0: None,
-            i: 0,
-            c: 0,
-            xform: StreamingTransform::new(levels, max_windows, Selector::new(selector_kind, topk)),
-            completed: Vec::new(),
+            arena: BucketArena::new(levels, max_windows, topk, selector_kind, 1),
         }
     }
 
     /// True if no packet has ever hit this bucket (in the current or any
     /// completed epoch).
     pub fn is_empty(&self) -> bool {
-        self.w0.is_none() && self.completed.is_empty()
+        self.arena.is_bucket_empty(0)
     }
 
     /// The absolute window id that starts the current epoch.
     pub fn epoch_start(&self) -> Option<u64> {
-        self.w0
+        self.arena.epoch_start(0)
     }
 
     /// The `Counting` procedure of Algorithm 1: adds `value` at absolute
@@ -77,91 +62,28 @@ impl WaveBucket {
     /// Packets must arrive in non-decreasing window order (they do on a real
     /// timeline); a packet for an older window than the current one is folded
     /// into the current window rather than lost, since the data plane cannot
-    /// rewind.
+    /// rewind. The fold saturates at `i64::MAX` instead of wrapping.
     pub fn update(&mut self, window: u64, value: i64) {
-        let w0 = match self.w0 {
-            None => {
-                // First packet of the epoch initializes w0.
-                self.w0 = Some(window);
-                self.i = 0;
-                self.c = value;
-                return;
-            }
-            Some(w0) => w0,
-        };
-
-        let offset = window.saturating_sub(w0);
-        if offset >= self.max_windows as u64 {
-            // Epoch capacity exhausted: seal it and start a new epoch at the
-            // incoming window.
-            self.rollover();
-            self.w0 = Some(window);
-            self.i = 0;
-            self.c = value;
-            return;
-        }
-        let offset = offset as u32;
-
-        if offset <= self.i {
-            // Same window (or a clock-skew straggler): accumulate.
-            self.c += value;
-        } else {
-            // The counted window is finished — transform and compress it,
-            // then start counting the new window.
-            self.xform.push(self.i, self.c);
-            self.i = offset;
-            self.c = value;
-        }
-    }
-
-    /// Seals the current epoch into `completed` and resets streaming state.
-    fn rollover(&mut self) {
-        let mut xform = std::mem::replace(
-            &mut self.xform,
-            StreamingTransform::new(
-                self.levels,
-                self.max_windows,
-                Selector::new(self.selector_kind, self.topk),
-            ),
-        );
-        if let Some(w0) = self.w0.take() {
-            xform.push(self.i, self.c);
-            let coeffs = xform.finish();
-            if coeffs.padded_len > 0 {
-                self.completed.push(BucketReport::from_coeffs(w0, coeffs));
-            }
-        }
-        self.i = 0;
-        self.c = 0;
+        self.arena.update(0, window, value);
     }
 
     /// Drains the bucket: seals the current epoch and returns all reports,
     /// leaving the bucket empty. This is what a host agent calls at the end
     /// of every reporting period.
     pub fn drain(&mut self) -> Vec<BucketReport> {
-        self.rollover();
-        std::mem::take(&mut self.completed)
+        self.arena.drain_bucket(0)
     }
 
     /// Non-destructive query: reports for all completed epochs plus a
     /// snapshot of the in-progress epoch (including the still-open window).
     pub fn snapshot(&self) -> Vec<BucketReport> {
-        let mut out = self.completed.clone();
-        if let Some(w0) = self.w0 {
-            let mut copy = self.xform.clone();
-            copy.push(self.i, self.c);
-            let coeffs = copy.finish();
-            if coeffs.padded_len > 0 {
-                out.push(BucketReport::from_coeffs(w0, coeffs));
-            }
-        }
-        out
+        self.arena.snapshot_bucket(0)
     }
 
     /// Total bytes recorded in the current epoch so far (the approximation
     /// array plus the open window counter).
     pub fn current_epoch_total(&self) -> i64 {
-        self.xform.approx_total() + self.c
+        self.arena.current_epoch_total(0)
     }
 }
 
@@ -238,6 +160,20 @@ mod tests {
         let rec = reconstruct(&reports[0].coeffs());
         assert_eq!(rec[0], 100.0);
         assert_eq!(rec[2], 15.0);
+    }
+
+    #[test]
+    fn straggler_fold_saturates_instead_of_wrapping() {
+        // Regression: the same-window fold used a plain `+=`, so a counter
+        // near i64::MAX wrapped into a huge negative epoch total in release
+        // builds. It must saturate.
+        let mut b = bucket(3, 64, 16);
+        b.update(10, i64::MAX - 10);
+        b.update(10, 100); // would wrap past i64::MAX
+        assert_eq!(b.current_epoch_total(), i64::MAX);
+        let reports = b.drain(); // the saturated window still seals cleanly
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].approx[0], i64::MAX);
     }
 
     #[test]

@@ -8,6 +8,66 @@ use crate::select::SelectorKind;
 /// and the heavy part uses `0xFF`, so `0xFE` yields an independent stream.
 const LANE_TAG: u64 = 0xFE;
 
+/// Hash tag of the heavy part (see [`SketchConfig::heavy_slot`]).
+const HEAVY_TAG: u64 = 0xFF;
+
+/// How many light-row hashes a [`Placement`] can carry precomputed. Configs
+/// with more rows fall back to hashing rows lazily (still correct, just not
+/// batched) — `d = 3` is the paper default and 4 is ample headroom.
+const MAX_PREHASH_ROWS: usize = 4;
+
+/// `h % m`, with the hardware divide replaced by a mask when `m` is a power
+/// of two — the common case, since widths, lane counts and heavy-row counts
+/// default to powers of two. The result is identical for every input.
+#[inline]
+fn fast_mod(h: u64, m: u64) -> u64 {
+    if m.is_power_of_two() {
+        h & (m - 1)
+    } else {
+        h % m
+    }
+}
+
+/// `n / m`, shifting instead of dividing when `m` is a power of two.
+#[inline]
+fn fast_div(n: usize, m: usize) -> usize {
+    if m.is_power_of_two() {
+        n >> m.trailing_zeros()
+    } else {
+        n / m
+    }
+}
+
+/// Per-update placement state, computed once via [`SketchConfig::place`] and
+/// reused across all light rows and the heavy slot: the packed key bytes, the
+/// flow's global lane, and the raw row/heavy hashes.
+///
+/// The derived indices are bit-identical to calling
+/// [`SketchConfig::light_col`] / [`SketchConfig::heavy_slot`] per row; this
+/// only removes redundant re-packing and re-hashing. All `d + 2` hashes of an
+/// update are computed in one interleaved batch
+/// ([`FlowKey::hash_packed_many`]) so their multiply chains overlap instead
+/// of serializing — the single biggest cost of the pre-refactor packet path.
+#[derive(Debug, Clone, Copy)]
+pub struct Placement {
+    packed: [u8; 13],
+    lane: usize,
+    /// Raw hashes for rows `0..prehashed_rows` (tags `0..d`).
+    row_hashes: [u64; MAX_PREHASH_ROWS],
+    /// Raw hash for the heavy slot (tag `0xFF`).
+    heavy_hash: u64,
+    /// How many leading entries of `row_hashes` are valid.
+    prehashed_rows: u8,
+}
+
+impl Placement {
+    /// The flow's global lane, in `0..lanes`.
+    #[inline]
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+}
+
 /// Parameters of a WaveSketch (basic or full).
 ///
 /// Paper defaults (§7.1): `rows = 3`, `width = 256`, `levels = 8`, `topk` set
@@ -120,19 +180,105 @@ impl SketchConfig {
     /// Columns per lane in the light part.
     #[inline]
     pub fn lane_width(&self) -> usize {
-        self.width / self.lane_count
+        fast_div(self.width, self.lane_count)
     }
 
     /// Heavy slots per lane.
     #[inline]
     pub fn heavy_lane_rows(&self) -> usize {
-        self.heavy_rows / self.lane_count
+        fast_div(self.heavy_rows, self.lane_count)
     }
 
     /// The flow's *global* lane, in `0..lanes`.
     #[inline]
     pub fn lane_of(&self, flow: &FlowKey) -> usize {
-        (flow.hash(LANE_TAG, self.seed) % self.lanes as u64) as usize
+        fast_mod(flow.hash(LANE_TAG, self.seed), self.lanes as u64) as usize
+    }
+
+    /// Computes the per-update [`Placement`] once — packs the key and batches
+    /// all `d + 2` hashes (lane, light rows, heavy slot) through one
+    /// interleaved pass — to be reused by [`Self::light_col_placed`] and
+    /// [`Self::heavy_slot_placed`].
+    #[inline]
+    pub fn place(&self, flow: &FlowKey) -> Placement {
+        let packed = flow.pack();
+        let mut row_hashes = [0u64; MAX_PREHASH_ROWS];
+        let (lane_hash, heavy_hash, prehashed_rows) = match self.rows {
+            1 => {
+                let [l, r0, hh] =
+                    FlowKey::hash_packed_many(&packed, [LANE_TAG, 0, HEAVY_TAG], self.seed);
+                row_hashes[0] = r0;
+                (l, hh, 1u8)
+            }
+            2 => {
+                let [l, r0, r1, hh] =
+                    FlowKey::hash_packed_many(&packed, [LANE_TAG, 0, 1, HEAVY_TAG], self.seed);
+                row_hashes[..2].copy_from_slice(&[r0, r1]);
+                (l, hh, 2)
+            }
+            3 => {
+                let [l, r0, r1, r2, hh] =
+                    FlowKey::hash_packed_many(&packed, [LANE_TAG, 0, 1, 2, HEAVY_TAG], self.seed);
+                row_hashes[..3].copy_from_slice(&[r0, r1, r2]);
+                (l, hh, 3)
+            }
+            4 => {
+                let [l, r0, r1, r2, r3, hh] = FlowKey::hash_packed_many(
+                    &packed,
+                    [LANE_TAG, 0, 1, 2, 3, HEAVY_TAG],
+                    self.seed,
+                );
+                row_hashes[..4].copy_from_slice(&[r0, r1, r2, r3]);
+                (l, hh, 4)
+            }
+            _ => {
+                // Unusually deep sketches hash rows lazily in
+                // `light_col_placed`; lane and heavy still batch.
+                let [l, hh] = FlowKey::hash_packed_many(&packed, [LANE_TAG, HEAVY_TAG], self.seed);
+                (l, hh, 0)
+            }
+        };
+        let lane = fast_mod(lane_hash, self.lanes as u64) as usize;
+        Placement {
+            packed,
+            lane,
+            row_hashes,
+            heavy_hash,
+            prehashed_rows,
+        }
+    }
+
+    /// [`Self::light_col`] from a precomputed [`Placement`].
+    #[inline]
+    pub fn light_col_placed(&self, p: &Placement, row: usize) -> usize {
+        debug_assert!(
+            p.lane >= self.lane_base && p.lane < self.lane_base + self.lane_count,
+            "flow routed to the wrong shard: lane {} not in [{}, {})",
+            p.lane,
+            self.lane_base,
+            self.lane_base + self.lane_count
+        );
+        let row_hash = if row < p.prehashed_rows as usize {
+            p.row_hashes[row]
+        } else {
+            FlowKey::hash_packed(&p.packed, row as u64, self.seed)
+        };
+        let lane_width = self.lane_width();
+        (p.lane - self.lane_base) * lane_width + fast_mod(row_hash, lane_width as u64) as usize
+    }
+
+    /// [`Self::heavy_slot`] from a precomputed [`Placement`].
+    #[inline]
+    pub fn heavy_slot_placed(&self, p: &Placement) -> usize {
+        debug_assert!(
+            p.lane >= self.lane_base && p.lane < self.lane_base + self.lane_count,
+            "flow routed to the wrong shard: lane {} not in [{}, {})",
+            p.lane,
+            self.lane_base,
+            self.lane_base + self.lane_count
+        );
+        let per_lane = self.heavy_lane_rows();
+        (p.lane - self.lane_base) * per_lane + fast_mod(p.heavy_hash, per_lane as u64) as usize
     }
 
     /// True if the flow's lane falls in this instance's owned slice.
@@ -150,31 +296,14 @@ impl SketchConfig {
     /// sequential sketch's slice. The flow must belong to an owned lane.
     #[inline]
     pub fn light_col(&self, flow: &FlowKey, row: usize) -> usize {
-        let lane = self.lane_of(flow);
-        debug_assert!(
-            lane >= self.lane_base && lane < self.lane_base + self.lane_count,
-            "flow routed to the wrong shard: lane {lane} not in [{}, {})",
-            self.lane_base,
-            self.lane_base + self.lane_count
-        );
-        let lane_width = self.lane_width();
-        (lane - self.lane_base) * lane_width
-            + (flow.hash(row as u64, self.seed) % lane_width as u64) as usize
+        self.light_col_placed(&self.place(flow), row)
     }
 
     /// Heavy-part slot of `flow`, local to this instance (same lane-relative
     /// layout as [`Self::light_col`]).
     #[inline]
     pub fn heavy_slot(&self, flow: &FlowKey) -> usize {
-        let lane = self.lane_of(flow);
-        debug_assert!(
-            lane >= self.lane_base && lane < self.lane_base + self.lane_count,
-            "flow routed to the wrong shard: lane {lane} not in [{}, {})",
-            self.lane_base,
-            self.lane_base + self.lane_count
-        );
-        let per_lane = self.heavy_lane_rows();
-        (lane - self.lane_base) * per_lane + (flow.hash(0xFF, self.seed) % per_lane as u64) as usize
+        self.heavy_slot_placed(&self.place(flow))
     }
 
     /// The shard (out of `shard_count`) that owns `flow` when the global lane

@@ -12,24 +12,39 @@
 //!   reconstructed curves of heavy flows that share its buckets, since those
 //!   flows inflated the light counters.
 
+use crate::arena::BucketArena;
 use crate::basic::{BasicWaveSketch, WindowSeries};
-use crate::bucket::WaveBucket;
 use crate::config::SketchConfig;
 use crate::flow::FlowKey;
 use crate::report::{BucketReport, SketchReport};
 
-/// One heavy-part row: a candidate flow, its majority vote and its bucket.
-#[derive(Debug, Clone)]
-struct HeavyRow {
+/// One heavy-part slot: the candidate key and its majority-vote counter,
+/// colocated so the packet path's slot probe touches a single cache line.
+#[derive(Debug, Clone, Copy)]
+struct HeavySlot {
+    /// Heavy-candidate key (`None` = free slot).
     key: Option<FlowKey>,
-    vote: i64,
-    bucket: WaveBucket,
+    /// Majority-vote counter.
+    votes: i64,
 }
 
+const FREE_SLOT: HeavySlot = HeavySlot {
+    key: None,
+    votes: 0,
+};
+
 /// The full WaveSketch.
+///
+/// The heavy part is a flat [`BucketArena`] plus a key/vote slot array,
+/// so an eviction is an in-place bucket reset (no allocation) and the
+/// per-packet path shares one [`crate::config::Placement`] (pack + lane
+/// hash) between the heavy slot and the light rows.
 pub struct FullWaveSketch {
     config: SketchConfig,
-    heavy: Vec<HeavyRow>,
+    /// Heavy-candidate slots (key + votes), one per heavy bucket.
+    slots: Vec<HeavySlot>,
+    /// Heavy-part bucket arena, one bucket per slot.
+    heavy: BucketArena,
     light: BasicWaveSketch,
     /// Heavy candidates evicted since the last drain (their history lives in
     /// the light part).
@@ -39,15 +54,10 @@ pub struct FullWaveSketch {
 impl FullWaveSketch {
     /// Creates an empty full sketch.
     pub fn new(config: SketchConfig) -> Self {
-        let heavy = (0..config.heavy_rows)
-            .map(|_| HeavyRow {
-                key: None,
-                vote: 0,
-                bucket: WaveBucket::new(&config),
-            })
-            .collect();
+        let heavy = BucketArena::from_config(&config, config.heavy_rows);
         let light = BasicWaveSketch::new(config.clone());
         Self {
+            slots: vec![FREE_SLOT; config.heavy_rows],
             config,
             heavy,
             light,
@@ -74,31 +84,34 @@ impl FullWaveSketch {
 
     /// Records `value` for `flow` at absolute window `window`.
     pub fn update(&mut self, flow: &FlowKey, window: u64, value: i64) {
-        // The light part counts everything (simultaneous update).
-        self.light.update(flow, window, value);
+        // Pack and batch-hash the key once for both parts.
+        let p = self.config.place(flow);
 
-        let idx = self.heavy_index(flow);
-        let row = &mut self.heavy[idx];
-        match row.key {
+        // The light part counts everything (simultaneous update).
+        self.light.update_placed(&p, window, value);
+
+        let idx = self.config.heavy_slot_placed(&p);
+        let slot = &mut self.slots[idx];
+        match slot.key {
             None => {
                 // Empty slot: install the flow as a heavy candidate.
-                row.key = Some(*flow);
-                row.vote = 1;
-                row.bucket.update(window, value);
+                slot.key = Some(*flow);
+                slot.votes = 1;
+                self.heavy.update(idx, window, value);
             }
             Some(k) if k == *flow => {
-                row.vote += 1;
-                row.bucket.update(window, value);
+                slot.votes += 1;
+                self.heavy.update(idx, window, value);
             }
             Some(_) => {
                 // Majority vote: challengers decrement; at zero the incumbent
                 // is evicted (its counts are safe in the light part).
-                row.vote -= 1;
-                if row.vote <= 0 {
-                    row.key = Some(*flow);
-                    row.vote = 1;
-                    row.bucket = WaveBucket::new(&self.config);
-                    row.bucket.update(window, value);
+                slot.votes -= 1;
+                if slot.votes <= 0 {
+                    slot.key = Some(*flow);
+                    slot.votes = 1;
+                    self.heavy.reset_bucket(idx);
+                    self.heavy.update(idx, window, value);
                     self.evictions += 1;
                 }
             }
@@ -107,14 +120,14 @@ impl FullWaveSketch {
 
     /// True if `flow` currently holds a heavy-part slot.
     pub fn is_heavy(&self, flow: &FlowKey) -> bool {
-        self.heavy[self.heavy_index(flow)].key == Some(*flow)
+        self.slots[self.heavy_index(flow)].key == Some(*flow)
     }
 
     /// Current heavy candidates and their votes.
     pub fn heavy_flows(&self) -> Vec<(FlowKey, i64)> {
-        self.heavy
+        self.slots
             .iter()
-            .filter_map(|r| r.key.map(|k| (k, r.vote)))
+            .filter_map(|slot| slot.key.map(|k| (k, slot.votes)))
             .collect()
     }
 
@@ -123,27 +136,33 @@ impl FullWaveSketch {
     /// query against all-time truth can use this to restrict themselves to
     /// the post-election span, where the heavy bucket is exact.
     pub fn election_window(&self, flow: &FlowKey) -> Option<u64> {
-        let row = &self.heavy[self.heavy_index(flow)];
-        if row.key != Some(*flow) {
+        let idx = self.heavy_index(flow);
+        if self.slots[idx].key != Some(*flow) {
             return None;
         }
-        row.bucket
-            .snapshot()
+        self.heavy
+            .snapshot_bucket(idx)
             .iter()
             .map(|r| r.w0)
             .min()
-            .or_else(|| row.bucket.epoch_start())
+            .or_else(|| self.heavy.epoch_start(idx))
     }
 
     /// The exact volume `flow` sent since its election: the heavy bucket's
     /// block sums are lossless, so this is a sound lower bound on the flow's
     /// all-time volume. `None` for mice flows.
     pub fn post_election_volume(&self, flow: &FlowKey) -> Option<i64> {
-        let row = &self.heavy[self.heavy_index(flow)];
-        if row.key != Some(*flow) {
+        let idx = self.heavy_index(flow);
+        if self.slots[idx].key != Some(*flow) {
             return None;
         }
-        Some(row.bucket.snapshot().iter().map(BucketReport::total).sum())
+        Some(
+            self.heavy
+                .snapshot_bucket(idx)
+                .iter()
+                .map(BucketReport::total)
+                .sum(),
+        )
     }
 
     /// Sound all-time volume estimate for `flow`.
@@ -173,8 +192,8 @@ impl FullWaveSketch {
     /// contributions subtracted from shared buckets.
     pub fn query(&self, flow: &FlowKey) -> Option<WindowSeries> {
         let idx = self.heavy_index(flow);
-        if self.heavy[idx].key == Some(*flow) {
-            let reports = self.heavy[idx].bucket.snapshot();
+        if self.slots[idx].key == Some(*flow) {
+            let reports = self.heavy.snapshot_bucket(idx);
             let heavy = WindowSeries::from_reports(&reports);
             let light = self.query_light_with_subtraction(flow);
             return match (light, heavy) {
@@ -208,8 +227,10 @@ impl FullWaveSketch {
                 continue;
             };
             // Subtract every heavy flow sharing bucket (row, col).
-            for hrow in &self.heavy {
-                let Some(hkey) = hrow.key else { continue };
+            for slot in 0..self.config.heavy_rows {
+                let Some(hkey) = self.slots[slot].key else {
+                    continue;
+                };
                 if hkey == *flow {
                     continue;
                 }
@@ -217,7 +238,8 @@ impl FullWaveSketch {
                 if hcol != col {
                     continue;
                 }
-                if let Some(hseries) = WindowSeries::from_reports(&hrow.bucket.snapshot()) {
+                if let Some(hseries) = WindowSeries::from_reports(&self.heavy.snapshot_bucket(slot))
+                {
                     series.subtract_clamped(&hseries);
                 }
             }
@@ -236,14 +258,14 @@ impl FullWaveSketch {
     /// the next measurement period.
     pub fn drain(&mut self) -> SketchReport {
         let mut report = SketchReport::default();
-        for row in &mut self.heavy {
-            let reports: Vec<BucketReport> = row.bucket.drain();
-            if let Some(key) = row.key.take() {
+        for slot in 0..self.config.heavy_rows {
+            let reports: Vec<BucketReport> = self.heavy.drain_bucket(slot);
+            if let Some(key) = self.slots[slot].key.take() {
                 if !reports.is_empty() {
                     report.heavy.push((key.pack().to_vec(), reports));
                 }
             }
-            row.vote = 0;
+            self.slots[slot].votes = 0;
         }
         report.light = self.light.drain();
         self.evictions = 0;

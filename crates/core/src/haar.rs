@@ -111,6 +111,15 @@ pub fn normalized_weight(level: u32) -> f64 {
 pub fn weighted_cmp(a_val: i64, a_level: u32, b_val: i64, b_level: u32) -> std::cmp::Ordering {
     let a2 = (a_val.unsigned_abs() as u128).pow(2);
     let b2 = (b_val.unsigned_abs() as u128).pow(2);
+    // Fast path for the overwhelmingly common case (selection runs one
+    // comparison per heap edge, so this is the hottest arithmetic in the
+    // sketch): when both squares fit in 96 bits and both levels are below 32,
+    // compare `a2·2^{31-la}` vs `b2·2^{31-lb}` directly — that is the target
+    // ratio scaled by the constant `2^{32}`, and neither shift can overflow
+    // (96 + 31 < 128). Zero squares order correctly here too (`0 << s == 0`).
+    if (a2 | b2) >> 96 == 0 && a_level < 32 && b_level < 32 {
+        return (a2 << (31 - a_level)).cmp(&(b2 << (31 - b_level)));
+    }
     if a2 == 0 || b2 == 0 {
         return a2.cmp(&b2);
     }

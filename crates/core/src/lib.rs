@@ -19,6 +19,9 @@
 //!   parity-split shift weights and a calibrated threshold.
 //! * [`bucket`] — a complete counter bucket (`w0, i, c, A, D`) tying counting,
 //!   transformation and compression together.
+//! * [`arena`] — flat, preallocated multi-bucket storage backing the sketch
+//!   types: allocation-free updates, in-place evictions, bit-identical
+//!   drains.
 //! * [`reconstruct`] — the analyzer-side reconstruction of Algorithm 2.
 //! * [`basic`] — the basic WaveSketch: a Count-Min-style `d × w` bucket array.
 //! * [`full`] — the full WaveSketch: majority-vote heavy part + light part.
@@ -55,6 +58,7 @@
 //! ```
 
 pub mod aggevict;
+pub mod arena;
 pub mod basic;
 pub mod bucket;
 pub mod config;
@@ -69,9 +73,10 @@ pub mod sharded;
 pub mod streaming;
 
 pub use aggevict::AggEvictBuffer;
+pub use arena::BucketArena;
 pub use basic::BasicWaveSketch;
 pub use bucket::WaveBucket;
-pub use config::{SketchConfig, SketchConfigBuilder};
+pub use config::{Placement, SketchConfig, SketchConfigBuilder};
 pub use flow::FlowKey;
 pub use full::FullWaveSketch;
 pub use hw::{HwSelectorConfig, PipelineBudget, ResourceUsage};

@@ -27,6 +27,7 @@ pub mod dcqcn;
 pub mod dctcp;
 pub mod packet;
 pub mod queue;
+pub mod sched;
 pub mod sim;
 pub mod telemetry;
 pub mod topology;
@@ -34,6 +35,7 @@ pub mod trace;
 
 pub use packet::{EcnCodepoint, FlowId, Packet, PacketKind};
 pub use queue::{EcnConfig, OutPort};
+pub use sched::{CalendarQueue, SchedulerKind};
 pub use sim::{CongestionControl, FlowSpec, PfcConfig, SimConfig, SimResult, Simulator};
 pub use telemetry::{
     BurstRecord, ClockModel, DropRecord, MirrorCandidate, PauseRecord, QueueEpisode, Telemetry,

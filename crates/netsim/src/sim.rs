@@ -21,14 +21,13 @@ use crate::dcqcn::{DcqcnParams, DcqcnState};
 use crate::dctcp::{DctcpParams, DctcpState};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::queue::{EcnConfig, EnqueueOutcome, OutPort};
+use crate::sched::{EventQueue, SchedulerKind};
 use crate::telemetry::{
     ClockModel, EpisodeTracker, MirrorCandidate, QueueEpisode, QueueLengthDist, Telemetry, TxRecord,
 };
 use crate::topology::{NodeId, PortId, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Which congestion-control algorithm drives a flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,6 +121,9 @@ pub struct SimConfig {
     pub clock_error_ns: i64,
     /// Collect the time-weighted queue-length distribution.
     pub collect_queue_dist: bool,
+    /// Event scheduler implementation. Never affects results, only speed
+    /// (both schedulers pop in identical `(time, seq)` order).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -142,6 +144,7 @@ impl Default for SimConfig {
             seed: 1,
             clock_error_ns: 100,
             collect_queue_dist: true,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -172,6 +175,8 @@ pub struct SimResult {
     pub clocks: ClockModel,
     /// True time of the last processed event, ns.
     pub end_ns: u64,
+    /// Total events dispatched (the denominator of events/sec benchmarks).
+    pub events_processed: u64,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -214,30 +219,6 @@ enum Event {
 #[derive(Debug, Clone, PartialEq)]
 struct PacketBox(Packet);
 impl Eq for PacketBox {}
-
-#[derive(Debug)]
-struct QueuedEvent {
-    time: u64,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
 
 struct FlowRt {
     spec: FlowSpec,
@@ -285,7 +266,8 @@ pub struct Simulator {
     rng: ChaCha8Rng,
     now: u64,
     seq: u64,
-    events: BinaryHeap<Reverse<QueuedEvent>>,
+    events_processed: u64,
+    events: EventQueue<Event>,
     /// `ports[node][port]`.
     ports: Vec<Vec<OutPort>>,
     flows: Vec<FlowRt>,
@@ -353,6 +335,7 @@ impl Simulator {
                 send_scheduled: false,
             })
             .collect();
+        let events = EventQueue::new(config.scheduler);
         Self {
             topo,
             config,
@@ -360,7 +343,8 @@ impl Simulator {
             rng,
             now: 0,
             seq: 0,
-            events: BinaryHeap::new(),
+            events_processed: 0,
+            events,
             pfc_asserting: ports.iter().map(|ps| vec![false; ps.len()]).collect(),
             ports,
             flows: flow_rts,
@@ -372,11 +356,7 @@ impl Simulator {
 
     fn schedule(&mut self, time: u64, event: Event) {
         self.seq += 1;
-        self.events.push(Reverse(QueuedEvent {
-            time,
-            seq: self.seq,
-            event,
-        }));
+        self.events.push(time, self.seq, event);
     }
 
     /// Runs to completion (event queue empty or `end_ns` reached) and
@@ -386,13 +366,14 @@ impl Simulator {
             let start = self.flows[f].spec.start_ns;
             self.schedule(start, Event::FlowStart { flow: f });
         }
-        while let Some(Reverse(qe)) = self.events.pop() {
-            if qe.time > self.config.end_ns {
+        while let Some((time, event)) = self.events.pop() {
+            if time > self.config.end_ns {
                 self.now = self.config.end_ns;
                 break;
             }
-            self.now = qe.time;
-            self.dispatch(qe.event);
+            self.now = time;
+            self.events_processed += 1;
+            self.dispatch(event);
         }
         self.finish()
     }
@@ -910,6 +891,7 @@ impl Simulator {
             flows,
             clocks: self.clocks,
             end_ns: self.now,
+            events_processed: self.events_processed,
         }
     }
 }
@@ -1083,6 +1065,46 @@ mod tests {
         assert_eq!(a.telemetry.tx_records, b.telemetry.tx_records);
         assert_eq!(a.telemetry.mirror_candidates, b.telemetry.mirror_candidates);
         assert_eq!(a.telemetry.episodes, b.telemetry.episodes);
+    }
+
+    /// The calendar queue and the binary heap implement the same
+    /// `(time, seq)` total order, so swapping schedulers must not change a
+    /// single bit of the simulation: identical flow statistics and identical
+    /// telemetry on the fixed-seed fat-tree k=4 workload.
+    #[test]
+    fn scheduler_choice_does_not_change_results() {
+        let flows = |n: u64| -> Vec<FlowSpec> {
+            (0..n)
+                .map(|i| FlowSpec {
+                    id: FlowId(i),
+                    src: (i % 8) as usize,
+                    dst: ((i + 8) % 16) as usize,
+                    size_bytes: 50_000 + i * 1000,
+                    start_ns: i * 10_000,
+                    cc: CongestionControl::Dcqcn,
+                })
+                .collect()
+        };
+        let run = |scheduler: SchedulerKind| {
+            let topo = Topology::fat_tree(4, 100.0, 1000);
+            let config = SimConfig {
+                scheduler,
+                ..quick_config()
+            };
+            Simulator::new(topo, flows(40), config).run()
+        };
+        let heap = run(SchedulerKind::Heap);
+        let calendar = run(SchedulerKind::Calendar);
+        assert_eq!(heap.flows, calendar.flows);
+        assert_eq!(heap.events_processed, calendar.events_processed);
+        assert_eq!(heap.end_ns, calendar.end_ns);
+        assert_eq!(heap.telemetry.tx_records, calendar.telemetry.tx_records);
+        assert_eq!(
+            heap.telemetry.mirror_candidates,
+            calendar.telemetry.mirror_candidates
+        );
+        assert_eq!(heap.telemetry.episodes, calendar.telemetry.episodes);
+        assert_eq!(heap.telemetry.drops, calendar.telemetry.drops);
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Regenerates the golden drain fixtures under `tests/golden/`.
+//!
+//! Usage: `cargo run -p umon-testkit --bin golden_gen [-- --check]`
+//!
+//! Without flags, writes one JSON [`SketchReport`] per golden seed. With
+//! `--check`, compares the current implementation's drains against the
+//! checked-in fixtures instead of overwriting them and exits nonzero on any
+//! mismatch — the same assertion the layout-equivalence test suite makes,
+//! usable standalone.
+//!
+//! The checked-in fixtures were produced by the pre-arena implementation;
+//! they must never be regenerated from code whose drains are not already
+//! known to be bit-identical to it.
+
+use std::path::PathBuf;
+use umon_testkit::golden::{golden_drain, golden_fixture_name, GOLDEN_SEEDS};
+use wavesketch::SketchReport;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("tests/golden")
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let dir = fixture_dir();
+    if !check {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    let mut failures = 0;
+    for seed in GOLDEN_SEEDS {
+        let report = golden_drain(seed);
+        let path = dir.join(golden_fixture_name(seed));
+        if check {
+            let raw = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+            let fixture: SketchReport = serde_json::from_str(&raw).expect("parse fixture");
+            if fixture == report {
+                println!("seed {seed:2}: OK ({} epochs)", report.epoch_count());
+            } else {
+                println!("seed {seed:2}: MISMATCH vs {}", path.display());
+                failures += 1;
+            }
+        } else {
+            let json = serde_json::to_string(&report).expect("serialize report");
+            std::fs::write(&path, json).expect("write fixture");
+            println!(
+                "seed {seed:2}: wrote {} ({} epochs, integrity {:016x})",
+                path.display(),
+                report.epoch_count(),
+                report.integrity()
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} fixture(s) diverged");
+        std::process::exit(1);
+    }
+}

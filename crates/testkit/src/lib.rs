@@ -31,6 +31,7 @@
 
 pub mod diff;
 pub mod faults;
+pub mod golden;
 pub mod oracle;
 pub mod replay;
 pub mod stream;

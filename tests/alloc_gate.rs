@@ -1,0 +1,168 @@
+//! Zero-allocation gate for the steady-state hot paths.
+//!
+//! The perf tentpole's contract is that after warm-up neither the sketch
+//! packet path (`FullWaveSketch::update`, including heavy-part evictions)
+//! nor the calendar queue's push/pop cycle touches the heap.  A counting
+//! `#[global_allocator]` wraps the system allocator; this file contains a
+//! single `#[test]` so no sibling test thread can contribute spurious
+//! counts (each integration-test file is its own binary).
+//!
+//! Out of scope by design: epoch rollover (a completed epoch materialises
+//! `BucketReport`s) and `drain()` — those are control-plane operations, not
+//! the per-packet path.  The workload therefore keeps every window index
+//! below `max_windows`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HEAP_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every allocating entry point; frees are not counted (returning
+/// memory is harmless, acquiring it on the hot path is the bug).
+struct CountingAlloc;
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        HEAP_OPS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        HEAP_OPS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        HEAP_OPS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn heap_ops() -> u64 {
+    HEAP_OPS.load(Ordering::Relaxed)
+}
+
+/// Dependency-free xorshift64 so the workload generator itself cannot
+/// allocate.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn steady_state_hot_paths_do_not_allocate() {
+    sketch_packet_path_is_allocation_free();
+    calendar_queue_cycle_is_allocation_free();
+}
+
+fn sketch_packet_path_is_allocation_free() {
+    use wavesketch::{FlowKey, FullWaveSketch, SketchConfig};
+
+    let mut sketch = FullWaveSketch::new(SketchConfig::builder().build());
+    let mut rng = Rng(0x5EED_CAFE);
+    let mut window = 0u64;
+    let mut step = 0u64;
+    // 512 flows over 256 heavy slots keeps the vote-out eviction path live
+    // throughout; advancing the window every 100th update keeps the total
+    // advance count (4000 over both halves) below max_windows (4096) so no
+    // epoch ever rolls over into a completed-report allocation.
+    let mut update = |sketch: &mut FullWaveSketch, rng: &mut Rng, window: &mut u64| {
+        step += 1;
+        if step.is_multiple_of(100) {
+            *window += 1;
+        }
+        let flow = FlowKey::from_id(rng.next() % 512);
+        let bytes = (64 + rng.next() % 1400) as i64;
+        sketch.update(&flow, *window, bytes);
+    };
+
+    // Warm-up: first-epoch bucket initialisation and initial heavy-slot
+    // elections happen here.
+    for _ in 0..200_000 {
+        update(&mut sketch, &mut rng, &mut window);
+    }
+
+    let evictions_before = sketch.evictions();
+    let before = heap_ops();
+    for _ in 0..200_000 {
+        update(&mut sketch, &mut rng, &mut window);
+    }
+    let measured = heap_ops() - before;
+
+    assert!(
+        sketch.evictions() > evictions_before,
+        "measured phase must exercise the eviction path"
+    );
+    assert_eq!(
+        measured, 0,
+        "sketch steady-state packet path performed {measured} heap operations"
+    );
+}
+
+fn calendar_queue_cycle_is_allocation_free() {
+    use umon_netsim::sched::{CalendarQueue, WHEEL_SLOTS};
+
+    let mut q: CalendarQueue<u64> = CalendarQueue::new();
+    let mut seq = 0u64;
+
+    // One revolution of a fixed schedule.  The wheel's per-slot buffers and
+    // the overflow heap start at zero capacity and grow on first use, so the
+    // warm-up run must visit the exact slot residues (and reach the same
+    // peak occupancy) the measured run will: replaying the identical delay
+    // sequence from a base time that is congruent modulo WHEEL_SLOTS
+    // guarantees both.
+    let run = |q: &mut CalendarQueue<u64>, seq: &mut u64, base: u64| -> u64 {
+        let mut rng = Rng(0xABCD_1234);
+        let mut now = base;
+        let mut in_flight = 0usize;
+        for step in 0..50_000u64 {
+            let delay = match rng.next() % 10 {
+                0 => 0,
+                1..=6 => rng.next() % 2_000,
+                7 | 8 => 2_000 + rng.next() % 60_000,
+                // Past the 65,536 ns horizon: lands in the overflow heap.
+                _ => 70_000 + rng.next() % 200_000,
+            };
+            *seq += 1;
+            q.push(now + delay, *seq, step);
+            in_flight += 1;
+            if in_flight > 4 {
+                let (t, _) = q.pop().expect("event in flight");
+                now = t;
+                in_flight -= 1;
+            }
+        }
+        while let Some((t, _)) = q.pop() {
+            now = t;
+        }
+        now
+    };
+
+    let end = run(&mut q, &mut seq, 0);
+
+    // Next multiple of WHEEL_SLOTS past the warm-up's end: same residue
+    // class as base 0, and the cursor never has to move backwards.
+    let base = (end / WHEEL_SLOTS as u64 + 1) * WHEEL_SLOTS as u64;
+    let before = heap_ops();
+    run(&mut q, &mut seq, base);
+    let measured = heap_ops() - before;
+
+    assert_eq!(
+        measured, 0,
+        "calendar queue steady-state cycle performed {measured} heap operations"
+    );
+}

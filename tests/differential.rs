@@ -175,3 +175,38 @@ fn collection_plane_degrades_soundly_across_fault_schedules() {
     assert!(duplicates > 0, "fault schedules never injected a duplicate");
     assert!(gaps > 0, "fault schedules never produced a detectable gap");
 }
+
+/// Layout-equivalence gate for the flat-arena refactor: the drain of every
+/// golden scenario must remain bit-identical to fixtures that were recorded
+/// *before* `WaveBucket`/`StreamingTransform` were flattened into
+/// `BucketArena`.  The fixtures under `tests/golden/` are committed and must
+/// never be regenerated to paper over a diff — regenerate only for an
+/// intentional, documented format change (see `umon-testkit`'s `golden_gen
+/// --check`, which CI also runs).
+#[test]
+fn drains_match_pre_arena_golden_fixtures_bit_for_bit() {
+    use umon_testkit::golden::{golden_drain, golden_fixture_name, GOLDEN_SEEDS};
+    use wavesketch::SketchReport;
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for seed in GOLDEN_SEEDS {
+        let path = dir.join(golden_fixture_name(seed));
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+        let fixture: SketchReport = serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("unreadable fixture {}: {e}", path.display()));
+        let fresh = golden_drain(seed);
+        assert_eq!(
+            fresh.heavy, fixture.heavy,
+            "seed {seed}: heavy-part drain diverged from the pre-refactor fixture"
+        );
+        assert_eq!(
+            fresh.light, fixture.light,
+            "seed {seed}: light-part drain diverged from the pre-refactor fixture"
+        );
+        assert_eq!(
+            fresh, fixture,
+            "seed {seed}: drain diverged from the pre-refactor fixture"
+        );
+    }
+}
