@@ -26,10 +26,18 @@ timeout 300 cargo run --release -q -p umon-testkit --bin diff_fuzz -- --seeds 32
 echo "==> collector_smoke: 16 seeds x 3 workloads"
 timeout 300 cargo run --release -q -p umon-testkit --bin collector_smoke -- --seeds 16
 
-# Reproducible perf gate (DESIGN.md §10): runs the shortened fixed-seed
-# bench workloads, fails if the committed BENCH_core.json / BENCH_netsim.json
-# are missing or contain non-finite metrics, and prints the smoke-vs-recorded
-# delta. Smoke timings are NOT compared against thresholds — shared CI boxes
+# Golden fixture gate: fixed-seed drain reports and analyzer query curves
+# replayed against the bit-exact fixtures committed under tests/golden/
+# (DESIGN.md §8, §11). A single reordered f64 addition fails this.
+echo "==> golden fixtures: golden_gen --check"
+timeout 300 cargo run --release -q -p umon-testkit --bin golden_gen -- --check
+
+# Reproducible perf gate (DESIGN.md §10, §11): runs the shortened fixed-seed
+# bench workloads — sketch update, simulator event loop, and the analyzer
+# query sweep — and fails if the committed BENCH_core.json /
+# BENCH_netsim.json / BENCH_analyzer.json are missing or contain non-finite
+# metrics, then prints the smoke-vs-recorded delta. Smoke timings are NOT
+# compared against thresholds — shared CI boxes
 # are too noisy for that — so this catches bitrot (bench no longer builds or
 # runs, records gone stale or corrupt), not slow regressions; refresh the
 # committed numbers with `umon_bench --record` on a quiet machine.

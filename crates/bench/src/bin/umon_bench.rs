@@ -26,6 +26,8 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use umon::switch_agent::MirroredPacket;
+use umon::{Analyzer, HostAgent, HostAgentConfig, QueryScratch};
 use umon_netsim::{
     CongestionControl, FlowId, FlowSpec, SchedulerKind, SimConfig, Simulator, Topology,
 };
@@ -37,6 +39,15 @@ const CORE_FLOWS: u64 = 512;
 const CORE_SEED: u64 = 0xBE9C;
 const NETSIM_SEED: u64 = 1;
 const REPS: usize = 3;
+
+const ANALYZER_SEED: u64 = 0xA11A;
+const ANALYZER_HOSTS: usize = 8;
+const ANALYZER_FLOWS: u64 = 64;
+const ANALYZER_WINDOWS: u64 = 4096;
+const ANALYZER_WINDOWS_PER_PERIOD: u64 = 256;
+const ANALYZER_MIRRORS: usize = 20_000;
+const ANALYZER_SWEEPS_FULL_RUN: usize = 20;
+const ANALYZER_SWEEPS_SMOKE: usize = 3;
 
 #[derive(Debug, Serialize, Deserialize, Clone)]
 struct CoreMeasure {
@@ -76,6 +87,25 @@ struct NetsimBench {
     baseline: Option<NetsimMeasure>,
     current: Option<NetsimMeasure>,
     current_heap: Option<NetsimMeasure>,
+    speedup_vs_baseline: Option<f64>,
+}
+
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct AnalyzerMeasure {
+    queries_per_sec: f64,
+    us_per_query: f64,
+    queries_per_sweep: u64,
+    peak_rss_kb: u64,
+    notes: String,
+}
+
+#[derive(Debug, Serialize, Deserialize, Default)]
+struct AnalyzerBench {
+    schema: u32,
+    workload: String,
+    seed: u64,
+    baseline: Option<AnalyzerMeasure>,
+    current: Option<AnalyzerMeasure>,
     speedup_vs_baseline: Option<f64>,
 }
 
@@ -207,6 +237,118 @@ fn bench_netsim(end_ns: u64, use_heap: bool) -> NetsimMeasure {
     }
 }
 
+/// Analyzer host-agent configuration for the query workload: paper-shaped
+/// rows/levels over a narrower array so collisions (and the subtraction
+/// path) stay live, with a contested heavy part.
+fn analyzer_config() -> HostAgentConfig {
+    HostAgentConfig {
+        sketch: SketchConfig::builder()
+            .rows(3)
+            .width(64)
+            .levels(6)
+            .topk(32)
+            .max_windows(512)
+            .heavy_rows(32)
+            .build(),
+        period_ns: ANALYZER_WINDOWS_PER_PERIOD << 13,
+        window_shift: 13,
+    }
+}
+
+/// Builds the seeded analyzer the query sweep runs against: 8 hosts × 16
+/// upload periods of a skewed flow mix (heavy elections + light-only tails),
+/// reports delivered in reverse period order to exercise the out-of-order
+/// ingest path, plus a seeded mirror stream for the event-clustering
+/// queries.
+fn build_analyzer() -> Analyzer {
+    let cfg = analyzer_config();
+    let mut analyzer = Analyzer::new(cfg.sketch.clone());
+    for host in 0..ANALYZER_HOSTS {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            ANALYZER_SEED ^ (host as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut agent = HostAgent::new(host, cfg.clone());
+        for w in 0..ANALYZER_WINDOWS {
+            let n = rng.gen_range(0..=4u32);
+            for _ in 0..n {
+                let flow = if rng.gen_bool(0.5) {
+                    rng.gen_range(0..ANALYZER_FLOWS / 8)
+                } else {
+                    rng.gen_range(0..ANALYZER_FLOWS)
+                };
+                agent.observe(flow, w << 13, rng.gen_range(64..9000u32));
+            }
+        }
+        let mut reports = agent.finish();
+        reports.reverse();
+        analyzer.add_reports(reports);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(ANALYZER_SEED ^ 0x3141);
+    let mirrors: Vec<MirroredPacket> = (0..ANALYZER_MIRRORS)
+        .map(|_| MirroredPacket {
+            switch: rng.gen_range(16..32usize),
+            vlan: rng.gen_range(1..9u16),
+            ts_ns: rng.gen_range(0..ANALYZER_WINDOWS << 13),
+            flow: rng.gen_range(0..ANALYZER_FLOWS),
+            psn: 0,
+            wire_bytes: 1064,
+            orig_bytes: 1000,
+        })
+        .collect();
+    analyzer.add_mirrors(mirrors);
+    analyzer
+}
+
+/// One query sweep: every (host, flow) rate curve, every host's aggregate
+/// curve, and the congestion map. Returns (queries issued, checksum).
+///
+/// Runs through the scratch query API (`flow_curve_with`), as a query-heavy
+/// analyzer deployment would; the pre-index baseline in BENCH_analyzer.json
+/// ran the same sweep through the then-current allocating `flow_curve`.
+fn query_sweep(analyzer: &Analyzer, scratch: &mut QueryScratch) -> (u64, u64) {
+    let mut queries = 0u64;
+    let mut checksum = 0u64;
+    for host in 0..ANALYZER_HOSTS {
+        for flow in 0..ANALYZER_FLOWS {
+            if let Some(series) = analyzer.flow_curve_with(host, flow, scratch) {
+                checksum = checksum.wrapping_add(series.values.len() as u64);
+            }
+            queries += 1;
+        }
+        if let Some(series) = analyzer.host_rate_curve_with(host, scratch) {
+            checksum = checksum.wrapping_add(series.values.len() as u64);
+        }
+        queries += 1;
+    }
+    checksum = checksum.wrapping_add(analyzer.congestion_map(50_000).len() as u64);
+    queries += 1;
+    (queries, checksum)
+}
+
+fn bench_analyzer(sweeps: usize) -> AnalyzerMeasure {
+    let analyzer = build_analyzer();
+    let mut scratch = QueryScratch::new();
+    let mut queries = 0u64;
+    let (wall_ns, checksum) = time_min(|| {
+        queries = 0;
+        let mut checksum = 0u64;
+        for _ in 0..sweeps {
+            let (q, c) = query_sweep(&analyzer, &mut scratch);
+            queries += q;
+            checksum = checksum.wrapping_add(c);
+        }
+        checksum
+    });
+    assert!(checksum > 0, "query sweep reconstructed nothing");
+    AnalyzerMeasure {
+        queries_per_sec: queries as f64 / (wall_ns as f64 / 1e9),
+        us_per_query: wall_ns as f64 / 1e3 / queries as f64,
+        queries_per_sweep: queries / sweeps as u64,
+        peak_rss_kb: peak_rss_kb(),
+        notes: "ingest-time index + reconstruction cache + QueryScratch".into(),
+    }
+}
+
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
@@ -239,11 +381,16 @@ fn require_finite(file: &str, section: &str, name: &str, value: Option<f64>) -> 
     }
 }
 
-fn record(as_baseline: Option<&str>) {
-    let root = repo_root();
-    let core_path = root.join("BENCH_core.json");
-    let netsim_path = root.join("BENCH_netsim.json");
+/// True if `only` selects `section` (no `--only` flag selects everything).
+fn selected(only: Option<&str>, section: &str) -> bool {
+    match only {
+        None => true,
+        Some(o) => o == section,
+    }
+}
 
+fn record_core(root: &Path, as_baseline: Option<&str>) {
+    let core_path = root.join("BENCH_core.json");
     println!(
         "core: {} updates x {} reps ...",
         CORE_UPDATES_FULL_RUN, REPS
@@ -261,14 +408,18 @@ fn record(as_baseline: Option<&str>) {
     match as_baseline {
         Some("baseline") => core_file.baseline = Some(core),
         Some("baseline_lto") => core_file.baseline_lto = Some(core),
-        Some(other) => panic!("unknown baseline section {other}"),
+        Some(_) => unreachable!("validated in record()"),
         None => core_file.current = Some(core),
     }
     if let (Some(b), Some(c)) = (&core_file.baseline, &core_file.current) {
         core_file.speedup_vs_baseline = Some(b.ns_per_update_full / c.ns_per_update_full);
     }
     store(&core_path, &core_file);
+    println!("wrote {}", core_path.display());
+}
 
+fn record_netsim(root: &Path, as_baseline: Option<&str>) {
+    let netsim_path = root.join("BENCH_netsim.json");
     println!(
         "netsim: fat-tree k=4, 1024 DCQCN flows, 10 ms x {} reps ...",
         REPS
@@ -288,7 +439,7 @@ fn record(as_baseline: Option<&str>) {
             netsim_file.baseline = Some(heap);
         }
         Some("baseline_lto") => {} // profile effect on netsim is captured by current_heap
-        Some(_) => unreachable!("validated above"),
+        Some(_) => unreachable!("validated in record()"),
         None => {
             let calendar = bench_netsim(10_000_000, false);
             let heap = bench_netsim(10_000_000, true);
@@ -308,17 +459,72 @@ fn record(as_baseline: Option<&str>) {
         netsim_file.speedup_vs_baseline = Some(c.events_per_sec / b.events_per_sec);
     }
     store(&netsim_path, &netsim_file);
+    println!("wrote {}", netsim_path.display());
+}
+
+fn record_analyzer(root: &Path, as_baseline: Option<&str>) {
+    let analyzer_path = root.join("BENCH_analyzer.json");
     println!(
-        "wrote {} and {}",
-        core_path.display(),
-        netsim_path.display()
+        "analyzer: {} hosts x {} flows, {} sweeps x {} reps ...",
+        ANALYZER_HOSTS, ANALYZER_FLOWS, ANALYZER_SWEEPS_FULL_RUN, REPS
     );
+    let analyzer = bench_analyzer(ANALYZER_SWEEPS_FULL_RUN);
+    println!(
+        "  {:.0} queries/sec ({:.1} us/query)",
+        analyzer.queries_per_sec, analyzer.us_per_query
+    );
+    let mut analyzer_file: AnalyzerBench = load(&analyzer_path);
+    analyzer_file.schema = 1;
+    analyzer_file.workload = format!(
+        "{}hosts_{}flows_{}periods_query_sweep",
+        ANALYZER_HOSTS,
+        ANALYZER_FLOWS,
+        ANALYZER_WINDOWS / ANALYZER_WINDOWS_PER_PERIOD
+    );
+    analyzer_file.seed = ANALYZER_SEED;
+    match as_baseline {
+        Some("baseline") => analyzer_file.baseline = Some(analyzer),
+        Some("baseline_lto") => {}
+        Some(_) => unreachable!("validated in record()"),
+        None => analyzer_file.current = Some(analyzer),
+    }
+    if let (Some(b), Some(c)) = (&analyzer_file.baseline, &analyzer_file.current) {
+        analyzer_file.speedup_vs_baseline = Some(c.queries_per_sec / b.queries_per_sec);
+    }
+    store(&analyzer_path, &analyzer_file);
+    println!("wrote {}", analyzer_path.display());
+}
+
+fn record(as_baseline: Option<&str>, only: Option<&str>) {
+    if let Some(name) = as_baseline {
+        assert!(
+            matches!(name, "baseline" | "baseline_lto"),
+            "unknown baseline section {name}"
+        );
+    }
+    if let Some(section) = only {
+        assert!(
+            matches!(section, "core" | "netsim" | "analyzer"),
+            "unknown --only section {section} (want core|netsim|analyzer)"
+        );
+    }
+    let root = repo_root();
+    if selected(only, "core") {
+        record_core(&root, as_baseline);
+    }
+    if selected(only, "netsim") {
+        record_netsim(&root, as_baseline);
+    }
+    if selected(only, "analyzer") {
+        record_analyzer(&root, as_baseline);
+    }
 }
 
 fn smoke() {
     let root = repo_root();
     let core_file: CoreBench = load(&root.join("BENCH_core.json"));
     let netsim_file: NetsimBench = load(&root.join("BENCH_netsim.json"));
+    let analyzer_file: AnalyzerBench = load(&root.join("BENCH_analyzer.json"));
 
     // Committed metrics must exist and be finite.
     let committed_core = require_finite(
@@ -357,6 +563,24 @@ fn smoke() {
         "speedup_vs_baseline",
         netsim_file.speedup_vs_baseline,
     );
+    let committed_queries = require_finite(
+        "BENCH_analyzer.json",
+        "current",
+        "queries_per_sec",
+        analyzer_file.current.as_ref().map(|c| c.queries_per_sec),
+    );
+    require_finite(
+        "BENCH_analyzer.json",
+        "baseline",
+        "queries_per_sec",
+        analyzer_file.baseline.as_ref().map(|c| c.queries_per_sec),
+    );
+    require_finite(
+        "BENCH_analyzer.json",
+        "speedup",
+        "speedup_vs_baseline",
+        analyzer_file.speedup_vs_baseline,
+    );
 
     let core = bench_core(CORE_UPDATES_SMOKE);
     let fresh_core = require_finite(
@@ -372,9 +596,17 @@ fn smoke() {
         "events_per_sec",
         Some(netsim.events_per_sec),
     );
+    let analyzer = bench_analyzer(ANALYZER_SWEEPS_SMOKE);
+    let fresh_queries = require_finite(
+        "BENCH_analyzer.json",
+        "fresh",
+        "queries_per_sec",
+        Some(analyzer.queries_per_sec),
+    );
 
     let core_ratio = fresh_core / committed_core;
     let ev_ratio = committed_ev / fresh_ev;
+    let query_ratio = committed_queries / fresh_queries;
     println!(
         "BENCH_core:   fresh {fresh_core:.1} ns/update vs committed {committed_core:.1} ({:+.1}%)",
         (core_ratio - 1.0) * 100.0
@@ -383,12 +615,19 @@ fn smoke() {
         "BENCH_netsim: fresh {fresh_ev:.0} events/sec vs committed {committed_ev:.0} ({:+.1}%)",
         (1.0 / ev_ratio - 1.0) * 100.0
     );
+    println!(
+        "BENCH_analyzer: fresh {fresh_queries:.0} queries/sec vs committed {committed_queries:.0} ({:+.1}%)",
+        (1.0 / query_ratio - 1.0) * 100.0
+    );
     // Soft regression check: warn loudly, never fail on wall-clock noise.
     if core_ratio > 1.5 {
         eprintln!("WARN: core update path {core_ratio:.2}x slower than the committed baseline");
     }
     if ev_ratio > 1.5 {
         eprintln!("WARN: netsim event rate {ev_ratio:.2}x below the committed baseline");
+    }
+    if query_ratio > 1.5 {
+        eprintln!("WARN: analyzer query rate {query_ratio:.2}x below the committed baseline");
     }
     println!("perf gate OK");
 }
@@ -456,6 +695,7 @@ fn profile() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut as_baseline: Option<String> = None;
+    let mut only: Option<String> = None;
     let mut mode: Option<&str> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -466,16 +706,19 @@ fn main() {
             "--as-baseline" => {
                 as_baseline = Some(it.next().expect("--as-baseline needs a name").clone());
             }
+            "--only" => {
+                only = Some(it.next().expect("--only needs a section").clone());
+            }
             other => panic!("unknown argument {other}"),
         }
     }
     match mode {
         Some("smoke") => smoke(),
-        Some("record") => record(as_baseline.as_deref()),
+        Some("record") => record(as_baseline.as_deref(), only.as_deref()),
         Some("profile") => profile(),
         _ => {
             eprintln!(
-                "usage: umon-bench --smoke | --record [--as-baseline baseline|baseline_lto] | --profile"
+                "usage: umon-bench --smoke | --record [--as-baseline baseline|baseline_lto] [--only core|netsim|analyzer] | --profile"
             );
             std::process::exit(2);
         }

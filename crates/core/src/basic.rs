@@ -6,12 +6,19 @@
 use crate::arena::BucketArena;
 use crate::config::{Placement, SketchConfig};
 use crate::flow::FlowKey;
+use crate::reconstruct::ReconstructScratch;
 use crate::report::BucketReport;
 
 /// A reconstructed flow-rate curve: per-window values anchored at an
 /// absolute window id. Mirrors `umon_metrics::RateCurve` but lives here so
 /// the core crate has no dependencies.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every mutating operation works in place: once a series (and the
+/// [`ReconstructScratch`] feeding it) has grown to a workload's span, query
+/// loops reuse it with zero heap traffic. The in-place span growth only
+/// moves and zero-fills values — no arithmetic — so it cannot perturb a
+/// single result bit.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WindowSeries {
     /// Absolute window id of `values[0]`.
     pub start_window: u64,
@@ -20,30 +27,96 @@ pub struct WindowSeries {
 }
 
 impl WindowSeries {
+    /// An empty series (no span, no values) ready for [`Self::reset`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Builds the union series from a set of per-epoch reports (epochs of one
     /// bucket never overlap).
     pub fn from_reports(reports: &[BucketReport]) -> Option<Self> {
-        if reports.is_empty() {
-            return None;
-        }
-        let start = reports.iter().map(|r| r.w0).min().expect("non-empty");
+        let mut series = Self::new();
+        let mut scratch = ReconstructScratch::new();
+        series
+            .assign_from_reports(reports, &mut scratch)
+            .then_some(series)
+    }
+
+    /// In-place [`Self::from_reports`]: resets this series to the reports'
+    /// union span and accumulates every report through `scratch`. Returns
+    /// `false` (leaving the series empty) when `reports` is empty.
+    pub fn assign_from_reports(
+        &mut self,
+        reports: &[BucketReport],
+        scratch: &mut ReconstructScratch,
+    ) -> bool {
+        let Some(start) = reports.iter().map(|r| r.w0).min() else {
+            self.reset(0, 0);
+            return false;
+        };
         let end = reports
             .iter()
             .map(|r| r.w0 + r.padded_len as u64)
             .max()
             .expect("non-empty");
-        let mut values = vec![0.0; (end - start) as usize];
+        self.reset(start, (end - start) as usize);
         for r in reports {
-            let rec = r.reconstruct();
-            let base = (r.w0 - start) as usize;
-            for (i, v) in rec.into_iter().enumerate() {
-                values[base + i] += v;
-            }
+            self.accumulate_report(r, scratch);
         }
-        Some(Self {
-            start_window: start,
-            values,
-        })
+        true
+    }
+
+    /// Resets to an all-zero series of `len` windows anchored at
+    /// `start_window`, keeping the allocation.
+    pub fn reset(&mut self, start_window: u64, len: usize) {
+        self.start_window = start_window;
+        self.values.clear();
+        self.values.resize(len, 0.0);
+    }
+
+    /// Becomes a copy of `other`, keeping this series' allocation.
+    pub fn assign_from(&mut self, other: &WindowSeries) {
+        self.start_window = other.start_window;
+        self.values.clear();
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Adds one epoch's (clamped) reconstruction into the series. The epoch
+    /// must lie inside the current span — callers size the span first (as
+    /// [`Self::assign_from_reports`] does).
+    pub fn accumulate_report(&mut self, r: &BucketReport, scratch: &mut ReconstructScratch) {
+        let rec = r.reconstruct_with(scratch);
+        let base = (r.w0 - self.start_window) as usize;
+        for (i, &v) in rec.iter().enumerate() {
+            self.values[base + i] += v;
+        }
+    }
+
+    /// Adds one already-reconstructed epoch curve into the series — the
+    /// cached-curve twin of [`Self::accumulate_report`], with the same
+    /// must-lie-inside-the-span contract and the same per-window addition
+    /// order (so sums are bit-identical either way).
+    pub fn accumulate_curve(&mut self, w0: u64, curve: &[f64]) {
+        let base = (w0 - self.start_window) as usize;
+        for (i, &v) in curve.iter().enumerate() {
+            self.values[base + i] += v;
+        }
+    }
+
+    /// Grows the span to cover `[new_start, new_end)` in place, zero-filling
+    /// the new windows: one `resize`, one `copy_within`, one `fill` — no
+    /// fresh buffer. Shrinks nothing.
+    fn grow_to_span(&mut self, new_start: u64, new_end: u64) {
+        let new_start = new_start.min(self.start_window);
+        let new_end = new_end.max(self.end_window());
+        let old_len = self.values.len();
+        let pad_front = (self.start_window - new_start) as usize;
+        self.values.resize((new_end - new_start) as usize, 0.0);
+        if pad_front > 0 {
+            self.values.copy_within(0..old_len, pad_front);
+            self.values[..pad_front].fill(0.0);
+            self.start_window = new_start;
+        }
     }
 
     /// The absolute window id one past the last value.
@@ -76,20 +149,9 @@ impl WindowSeries {
         if other.values.is_empty() {
             return;
         }
-        let new_start = self.start_window.min(other.start_window);
-        let new_end = self.end_window().max(other.end_window());
-        if new_start < self.start_window || new_end > self.end_window() {
-            let mut values = vec![0.0; (new_end - new_start) as usize];
-            for (i, &v) in self.values.iter().enumerate() {
-                values[(self.start_window - new_start) as usize + i] = v;
-            }
-            self.start_window = new_start;
-            self.values = values;
-        }
-        for (i, &v) in other.values.iter().enumerate() {
-            let idx = (other.start_window - self.start_window) as usize + i;
-            self.values[idx] = v;
-        }
+        self.grow_to_span(other.start_window, other.end_window());
+        let off = (other.start_window - self.start_window) as usize;
+        self.values[off..off + other.values.len()].copy_from_slice(&other.values);
     }
 
     /// Extends the span with zeros so absolute window `w` indexes a real
@@ -98,11 +160,7 @@ impl WindowSeries {
     /// upload period) while a heavy epoch still anchors earlier windows.
     pub fn extend_to_cover(&mut self, w: u64) {
         if w < self.start_window {
-            let pad = (self.start_window - w) as usize;
-            let mut values = vec![0.0; pad + self.values.len()];
-            values[pad..].copy_from_slice(&self.values);
-            self.start_window = w;
-            self.values = values;
+            self.grow_to_span(w, self.end_window());
         } else if w >= self.end_window() {
             let len = (w - self.start_window + 1) as usize;
             self.values.resize(len, 0.0);
@@ -393,6 +451,27 @@ mod tests {
         s.extend_to_cover(13); // grow forwards
         assert_eq!(s.values, vec![0.0, 0.0, 3.0, 4.0, 0.0, 0.0]);
         assert_eq!(s.end_window(), 14);
+    }
+
+    #[test]
+    fn assign_from_reports_reuses_buffers_and_matches_from_reports() {
+        let mut bucket = WaveBucket::with_params(3, 8, 16, SelectorKind::Ideal);
+        for w in 0..20 {
+            bucket.update(w, 7 * (w as i64 % 5) + 1);
+        }
+        let reports = bucket.drain();
+        let fresh = WindowSeries::from_reports(&reports).unwrap();
+
+        let mut series = WindowSeries::new();
+        let mut scratch = crate::reconstruct::ReconstructScratch::new();
+        // Dirty the series first: reuse must fully overwrite stale state.
+        series.reset(999, 3);
+        series.values.fill(42.0);
+        assert!(series.assign_from_reports(&reports, &mut scratch));
+        assert_eq!(series, fresh);
+        // And an empty report set resets to empty and reports false.
+        assert!(!series.assign_from_reports(&[], &mut scratch));
+        assert!(series.values.is_empty());
     }
 
     #[test]

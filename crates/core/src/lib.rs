@@ -80,6 +80,7 @@ pub use config::{Placement, SketchConfig, SketchConfigBuilder};
 pub use flow::FlowKey;
 pub use full::FullWaveSketch;
 pub use hw::{HwSelectorConfig, PipelineBudget, ResourceUsage};
+pub use reconstruct::ReconstructScratch;
 pub use report::{BucketReport, DetailRecord, SketchReport};
 pub use select::{CoeffSelector, HwThresholdSelector, IdealTopK, Selector, SelectorKind};
 

@@ -6,16 +6,40 @@
 //! two shallower approximations `(a + d) / 2` and `(a − d) / 2`, repeated
 //! until window granularity is reached. It runs in `f64` — the analyzer is a
 //! CPU, and halving odd sums is not exact in integers.
+//!
+//! Two implementations coexist:
+//!
+//! * [`reconstruct_dense`] — the textbook form: materialize every stage,
+//!   look every expansion's detail up in a hash map. O(padded_len · levels)
+//!   work and a fresh `Vec` per stage. Kept as the reference oracle.
+//! * [`reconstruct_into`] — the sparse kernel the query engine uses. Only
+//!   subtrees that contain a *retained* detail are descended; a detail-free
+//!   subtree rooted at height `h` with value `v` contributes the constant run
+//!   `v / 2^h` and is filled in one `slice::fill` (or skipped outright when
+//!   `v` is zero, since the output buffer starts zeroed). With `k` retained
+//!   details the work drops to O((k + blocks) · levels) and, given a warm
+//!   [`ReconstructScratch`], performs no heap allocation at all.
+//!
+//! The two are **bit-identical**, not merely close, which is what lets the
+//! golden query fixtures pin curves as raw `f64` bit patterns:
+//!
+//! * halving an f64 is exact (an exponent decrement — the values here are
+//!   i64-derived block sums divided at most `levels` ≤ 32 times, nowhere near
+//!   the subnormal range), so `h` successive `/ 2.0` equal the single run
+//!   value `v / 2^h` computed the same way;
+//! * a zero detail expands `a` into `(a + 0) / 2 = (a − 0) / 2 = a / 2` with
+//!   no rounding introduced by the addition (`a + 0.0 == a` exactly unless
+//!   `a` is `-0.0`, and `-0.0` never arises: inputs are `i64 as f64` and
+//!   `x − x` rounds to `+0.0`), so skipping the expansion loses nothing.
 
 use crate::streaming::EpochCoefficients;
 use std::collections::HashMap;
 
-/// Reconstructs the per-window series of one epoch.
-///
-/// The result has `padded_len` entries; windows the flow never touched
-/// reconstruct to (approximately) zero. Negative reconstruction artifacts are
-/// *not* clamped here — callers that know counts are non-negative can clamp.
-pub fn reconstruct(coeffs: &EpochCoefficients) -> Vec<f64> {
+/// Reference implementation: materializes every stage of the inverse
+/// transform with a hash-map detail lookup. See the module docs; use
+/// [`reconstruct`] (or [`reconstruct_into`] with a scratch) instead unless
+/// you are differential-testing the sparse kernel against it.
+pub fn reconstruct_dense(coeffs: &EpochCoefficients) -> Vec<f64> {
     if coeffs.padded_len == 0 {
         return Vec::new();
     }
@@ -48,22 +72,255 @@ pub fn reconstruct(coeffs: &EpochCoefficients) -> Vec<f64> {
     cur
 }
 
-/// Reconstructs and clamps negatives to zero (counts cannot be negative;
-/// small negative artifacts appear when detail coefficients are discarded).
-pub fn reconstruct_non_negative(coeffs: &EpochCoefficients) -> Vec<f64> {
-    let mut v = reconstruct(coeffs);
-    for x in &mut v {
+/// Reusable buffers for the sparse kernel. One scratch serves any number of
+/// sequential reconstructions; after it has seen each epoch shape once, no
+/// further heap allocation happens.
+#[derive(Debug, Default)]
+pub struct ReconstructScratch {
+    /// Filtered `(level, idx, seq, val)` details, sorted by `(level, idx,
+    /// seq)` and deduplicated last-wins (matching the hash-map overwrite
+    /// semantics of the dense form).
+    details: Vec<(u32, u32, u32, i64)>,
+    /// `level_start[l]..level_start[l + 1]` indexes level `l`'s run in
+    /// [`Self::details`].
+    level_start: Vec<usize>,
+    /// `active[h]` — sorted node indices at height `h` whose subtree contains
+    /// at least one retained detail. Ancestor-closed by construction.
+    active: Vec<Vec<u32>>,
+    /// Interesting `(idx, value)` nodes at the height currently being
+    /// expanded, sorted by `idx`; exactly the nodes in `active[h]`.
+    cur: Vec<(u32, f64)>,
+    next: Vec<(u32, f64)>,
+    /// The reconstruction itself; borrowed out by [`reconstruct_into`].
+    out: Vec<f64>,
+}
+
+impl ReconstructScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The last reconstruction, if any (what [`reconstruct_into`] returned).
+    pub fn last(&self) -> &[f64] {
+        &self.out
+    }
+}
+
+/// Sparse reconstruction of one epoch into `scratch`, returning the
+/// `padded_len`-long series. Bit-identical to [`reconstruct_dense`]; see the
+/// module docs for why, and the proptest suite for the machine-checked claim.
+pub fn reconstruct_into<'a>(
+    coeffs: &EpochCoefficients,
+    scratch: &'a mut ReconstructScratch,
+) -> &'a [f64] {
+    reconstruct_sparse_into(
+        coeffs.levels,
+        coeffs.padded_len,
+        &coeffs.approx,
+        coeffs.details.iter().map(|c| (c.level, c.idx, c.val)),
+        scratch,
+    )
+}
+
+/// As [`reconstruct_into`], then clamps negative reconstruction artifacts to
+/// zero in place (counts cannot be negative).
+pub fn reconstruct_non_negative_into<'a>(
+    coeffs: &EpochCoefficients,
+    scratch: &'a mut ReconstructScratch,
+) -> &'a [f64] {
+    reconstruct_into(coeffs, scratch);
+    clamp_non_negative(&mut scratch.out);
+    &scratch.out
+}
+
+/// As [`reconstruct_sparse_into`], then clamps negatives to zero in place.
+pub fn reconstruct_sparse_non_negative_into<'a>(
+    levels: u32,
+    padded_len: usize,
+    approx: &[i64],
+    details: impl Iterator<Item = (u32, u32, i64)>,
+    scratch: &'a mut ReconstructScratch,
+) -> &'a [f64] {
+    reconstruct_sparse_into(levels, padded_len, approx, details, scratch);
+    clamp_non_negative(&mut scratch.out);
+    &scratch.out
+}
+
+/// Clamps negatives to zero in place.
+pub(crate) fn clamp_non_negative(v: &mut [f64]) {
+    for x in v {
         if *x < 0.0 {
             *x = 0.0;
         }
     }
+}
+
+/// The sparse kernel over raw report fields. Taking the detail triples as an
+/// iterator lets both [`EpochCoefficients`] (selector `Candidate`s) and
+/// `BucketReport` (wire `DetailRecord`s) reconstruct without first converting
+/// one into the other — the query path calls this with zero allocations.
+pub fn reconstruct_sparse_into<'a>(
+    levels: u32,
+    padded_len: usize,
+    approx: &[i64],
+    details: impl Iterator<Item = (u32, u32, i64)>,
+    scratch: &'a mut ReconstructScratch,
+) -> &'a [f64] {
+    scratch.out.clear();
+    if padded_len == 0 {
+        return &scratch.out;
+    }
+    scratch.out.resize(padded_len, 0.0);
+    let top = levels.min(padded_len.trailing_zeros());
+    let blocks = padded_len >> top;
+
+    // Retained details the dense form would actually look up: level < top and
+    // idx within the level's node count. Sorted by (level, idx, arrival) and
+    // deduplicated keeping the *last* arrival — exactly the hash-map
+    // overwrite the dense form performs on a duplicate key.
+    scratch.details.clear();
+    for (seq, (level, idx, val)) in details.enumerate() {
+        if level < top && (idx as usize) < padded_len >> (level + 1) {
+            scratch.details.push((level, idx, seq as u32, val));
+        }
+    }
+    scratch
+        .details
+        .sort_unstable_by_key(|&(level, idx, seq, _)| (level, idx, seq));
+    scratch.details.dedup_by(|later, earlier| {
+        if later.0 == earlier.0 && later.1 == earlier.1 {
+            earlier.3 = later.3;
+            true
+        } else {
+            false
+        }
+    });
+
+    // Per-level runs.
+    scratch.level_start.clear();
+    scratch.level_start.resize(top as usize + 2, 0);
+    for &(level, ..) in &scratch.details {
+        scratch.level_start[level as usize + 1] += 1;
+    }
+    for l in 0..top as usize + 1 {
+        scratch.level_start[l + 1] += scratch.level_start[l];
+    }
+
+    // Active node sets per height: a detail at level `l` forces the expansion
+    // of node (height l + 1, idx), so that node and all its ancestors are
+    // interesting. O(k · levels) pushes, then sort + dedup per height.
+    if scratch.active.len() < top as usize + 1 {
+        scratch.active.resize_with(top as usize + 1, Vec::new);
+    }
+    for set in &mut scratch.active {
+        set.clear();
+    }
+    for &(level, idx, ..) in &scratch.details {
+        for h in level + 1..=top {
+            scratch.active[h as usize].push(idx >> (h - level - 1));
+        }
+    }
+    for set in &mut scratch.active {
+        set.sort_unstable();
+        set.dedup();
+    }
+
+    // Seed the descent at height `top`: interesting blocks go on the work
+    // list, detail-free blocks are constant runs of `approx[q] / 2^top`.
+    scratch.cur.clear();
+    let mut ai = 0usize;
+    for q in 0..blocks {
+        let v = approx.get(q).copied().unwrap_or(0) as f64;
+        let act = &scratch.active[top as usize];
+        if ai < act.len() && act[ai] == q as u32 {
+            scratch.cur.push((q as u32, v));
+            ai += 1;
+        } else {
+            fill_run(&mut scratch.out, q as u32, top, v);
+        }
+    }
+    debug_assert_eq!(ai, scratch.active[top as usize].len());
+
+    // Descend. At height h the work list equals active[h]; each node splits
+    // against its (level h − 1) detail, children either stay on the work list
+    // (still interesting) or terminate as a constant run.
+    for h in (1..=top).rev() {
+        let l = (h - 1) as usize;
+        let (mut di, dhi) = (scratch.level_start[l], scratch.level_start[l + 1]);
+        let child_active: &[u32] = if h >= 2 { &scratch.active[l] } else { &[] };
+        let mut ci = 0usize;
+        scratch.next.clear();
+        for k in 0..scratch.cur.len() {
+            let (q, v) = scratch.cur[k];
+            let d = if di < dhi && scratch.details[di].1 == q {
+                let val = scratch.details[di].3;
+                di += 1;
+                val as f64
+            } else {
+                0.0
+            };
+            let children = [(2 * q, (v + d) / 2.0), (2 * q + 1, (v - d) / 2.0)];
+            for (cq, cv) in children {
+                if ci < child_active.len() && child_active[ci] == cq {
+                    scratch.next.push((cq, cv));
+                    ci += 1;
+                } else if h == 1 {
+                    scratch.out[cq as usize] = cv;
+                } else {
+                    fill_run(&mut scratch.out, cq, h - 1, cv);
+                }
+            }
+        }
+        debug_assert_eq!(di, dhi, "level {l} details not fully consumed");
+        debug_assert_eq!(ci, child_active.len());
+        std::mem::swap(&mut scratch.cur, &mut scratch.next);
+    }
+    &scratch.out
+}
+
+/// Fills the span of the detail-free subtree rooted at `(height h, idx q)`
+/// with its constant leaf value: `v` halved `h` more times. Skipped when `v`
+/// is zero — the buffer is pre-zeroed and the zeros are all `+0.0` (see the
+/// module docs), so the fill would be a no-op bit for bit.
+#[inline]
+fn fill_run(out: &mut [f64], q: u32, h: u32, v: f64) {
+    if v == 0.0 {
+        return;
+    }
+    let mut x = v;
+    for _ in 0..h {
+        x /= 2.0;
+    }
+    let lo = (q as usize) << h;
+    out[lo..lo + (1usize << h)].fill(x);
+}
+
+/// Reconstructs the per-window series of one epoch.
+///
+/// The result has `padded_len` entries; windows the flow never touched
+/// reconstruct to (approximately) zero. Negative reconstruction artifacts are
+/// *not* clamped here — callers that know counts are non-negative can clamp.
+///
+/// Allocating convenience wrapper over [`reconstruct_into`]; hot paths should
+/// hold a [`ReconstructScratch`] instead.
+pub fn reconstruct(coeffs: &EpochCoefficients) -> Vec<f64> {
+    let mut scratch = ReconstructScratch::new();
+    reconstruct_into(coeffs, &mut scratch).to_vec()
+}
+
+/// Reconstructs and clamps negatives to zero (counts cannot be negative;
+/// small negative artifacts appear when detail coefficients are discarded).
+pub fn reconstruct_non_negative(coeffs: &EpochCoefficients) -> Vec<f64> {
+    let mut v = reconstruct(coeffs);
+    clamp_non_negative(&mut v);
     v
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::select::IdealTopK;
+    use crate::select::{Candidate, IdealTopK};
     use crate::streaming::StreamingTransform;
 
     fn via_stream(signal: &[i64], levels: u32, k: usize) -> Vec<f64> {
@@ -75,6 +332,20 @@ mod tests {
             }
         }
         reconstruct(&t.finish())
+    }
+
+    fn assert_bit_identical(coeffs: &EpochCoefficients, ctx: &str) {
+        let dense = reconstruct_dense(coeffs);
+        let mut scratch = ReconstructScratch::new();
+        let sparse = reconstruct_into(coeffs, &mut scratch);
+        assert_eq!(dense.len(), sparse.len(), "{ctx}: length");
+        for (i, (d, s)) in dense.iter().zip(sparse.iter()).enumerate() {
+            assert_eq!(
+                d.to_bits(),
+                s.to_bits(),
+                "{ctx}: window {i}: dense {d} vs sparse {s}"
+            );
+        }
     }
 
     #[test]
@@ -162,5 +433,109 @@ mod tests {
     fn single_window_epoch() {
         let rec = via_stream(&[42], 8, 4);
         assert_eq!(rec, vec![42.0]);
+    }
+
+    #[test]
+    fn sparse_matches_dense_bitwise_on_handpicked_epochs() {
+        // Early-stop (trailing_zeros < levels), negative details, duplicate
+        // keys (last wins), out-of-range details (ignored), short approx.
+        let cases = [
+            EpochCoefficients {
+                levels: 6,
+                padded_len: 8, // early stop: top = 3 < levels
+                approx: vec![41],
+                details: vec![
+                    Candidate {
+                        level: 0,
+                        idx: 3,
+                        val: 7,
+                    },
+                    Candidate {
+                        level: 2,
+                        idx: 0,
+                        val: -13,
+                    },
+                ],
+            },
+            EpochCoefficients {
+                levels: 3,
+                padded_len: 32, // blocks = 4, approx shorter than blocks
+                approx: vec![100, -3],
+                details: vec![
+                    Candidate {
+                        level: 1,
+                        idx: 2,
+                        val: 9,
+                    },
+                    Candidate {
+                        level: 1,
+                        idx: 2,
+                        val: -9,
+                    }, // duplicate: last wins
+                    Candidate {
+                        level: 0,
+                        idx: 15,
+                        val: 5,
+                    },
+                    Candidate {
+                        level: 7,
+                        idx: 0,
+                        val: 999,
+                    }, // level ≥ top: ignored
+                    Candidate {
+                        level: 0,
+                        idx: 400,
+                        val: 17,
+                    }, // idx out of range: ignored
+                ],
+            },
+            EpochCoefficients {
+                levels: 5,
+                padded_len: 1, // single window
+                approx: vec![42],
+                details: vec![],
+            },
+            EpochCoefficients {
+                levels: 4,
+                padded_len: 64,
+                approx: vec![],
+                details: vec![Candidate {
+                    level: 3,
+                    idx: 1,
+                    val: -1,
+                }],
+            },
+        ];
+        for (n, coeffs) in cases.iter().enumerate() {
+            assert_bit_identical(coeffs, &format!("case {n}"));
+        }
+    }
+
+    #[test]
+    fn one_scratch_serves_epochs_of_different_shapes() {
+        let mut scratch = ReconstructScratch::new();
+        for (padded_len, levels) in [(64usize, 6u32), (8, 2), (0, 5), (256, 4), (1, 1)] {
+            let coeffs = EpochCoefficients {
+                levels,
+                padded_len,
+                approx: (0..padded_len >> levels.min(padded_len.trailing_zeros()))
+                    .map(|i| (i as i64 * 37) % 101 - 50)
+                    .collect(),
+                details: (0..levels.min(8))
+                    .map(|l| Candidate {
+                        level: l,
+                        idx: l % 2,
+                        val: 11 - 3 * l as i64,
+                    })
+                    .collect(),
+            };
+            let dense = reconstruct_dense(&coeffs);
+            let sparse = reconstruct_into(&coeffs, &mut scratch);
+            assert_eq!(
+                dense.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                sparse.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "shape ({padded_len}, {levels})"
+            );
+        }
     }
 }

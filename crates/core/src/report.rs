@@ -79,7 +79,24 @@ impl BucketReport {
     /// Reconstructed per-window values (non-negative clamped), anchored at
     /// [`Self::w0`].
     pub fn reconstruct(&self) -> Vec<f64> {
-        crate::reconstruct::reconstruct_non_negative(&self.coeffs())
+        let mut scratch = crate::reconstruct::ReconstructScratch::new();
+        self.reconstruct_with(&mut scratch).to_vec()
+    }
+
+    /// As [`Self::reconstruct`], but into a reusable scratch — the sparse
+    /// kernel runs straight off the wire fields, so a warm scratch makes this
+    /// allocation-free.
+    pub fn reconstruct_with<'a>(
+        &self,
+        scratch: &'a mut crate::reconstruct::ReconstructScratch,
+    ) -> &'a [f64] {
+        crate::reconstruct::reconstruct_sparse_non_negative_into(
+            self.levels,
+            self.padded_len,
+            &self.approx,
+            self.details.iter().map(|d| (d.level, d.idx, d.val)),
+            scratch,
+        )
     }
 
     /// Total bytes of the epoch (exact — approximation coefficients are block

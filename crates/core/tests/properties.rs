@@ -333,3 +333,79 @@ proptest! {
         prop_assert_eq!(sharded.drain(), seq.drain());
     }
 }
+
+/// An arbitrary epoch coefficient set, including shapes the transform itself
+/// would never emit: single-window and early-stop epochs
+/// (`padded_len.trailing_zeros() < levels`), truncated or over-long
+/// approximation arrays, duplicate detail keys and details whose level or
+/// index is out of range for the epoch. The sparse kernel must shrug at all
+/// of them exactly the way the dense reference does.
+fn arb_epoch() -> impl Strategy<Value = wavesketch::streaming::EpochCoefficients> {
+    (
+        0u32..8,
+        0usize..8,
+        proptest::collection::vec(-1_000_000i64..1_000_000, 0..16),
+        proptest::collection::vec((0u32..10, 0u32..300, -1_000_000i64..1_000_000), 0..24),
+    )
+        .prop_map(|(levels, len_log2, mut approx, details)| {
+            let padded_len = 1usize << len_log2;
+            let blocks = padded_len >> levels.min(padded_len.trailing_zeros());
+            approx.truncate(blocks + 3); // short, exact and over-long lengths
+            wavesketch::streaming::EpochCoefficients {
+                levels,
+                padded_len,
+                approx,
+                details: details
+                    .into_iter()
+                    .map(|(level, idx, val)| Candidate { level, idx, val })
+                    .collect(),
+            }
+        })
+}
+
+proptest! {
+    /// The sparse reconstruction kernel is **bit-identical** to the dense
+    /// reference — `f64::to_bits` equality per window, not an epsilon — for
+    /// arbitrary coefficient sets, including empty, single-window and
+    /// early-stop epochs and out-of-range or duplicate details.
+    #[test]
+    fn sparse_reconstruction_is_bit_identical_to_dense(coeffs in arb_epoch()) {
+        use wavesketch::reconstruct::{reconstruct_dense, reconstruct_into, ReconstructScratch};
+        let dense = reconstruct_dense(&coeffs);
+        let mut scratch = ReconstructScratch::new();
+        let sparse = reconstruct_into(&coeffs, &mut scratch);
+        prop_assert_eq!(dense.len(), sparse.len());
+        for (i, (d, s)) in dense.iter().zip(sparse.iter()).enumerate() {
+            prop_assert_eq!(d.to_bits(), s.to_bits(),
+                            "window {}: dense {} vs sparse {}", i, d, s);
+        }
+    }
+
+    /// Same bit-identity over *real* epochs: coefficient sets produced by the
+    /// streaming transform under aggressive top-k compression, reconstructed
+    /// through one shared scratch (so buffer reuse across shapes is also
+    /// under test). Covers empty epochs (no pushes survive) naturally.
+    #[test]
+    fn sparse_matches_dense_on_transform_output(
+        series in sparse_series(512),
+        levels in 1u32..9,
+        k in 1usize..12,
+    ) {
+        use wavesketch::reconstruct::{reconstruct_dense, reconstruct_into, ReconstructScratch};
+        let mut scratch = ReconstructScratch::new();
+        for cap in [512usize, 64, 1] {
+            let mut t = StreamingTransform::new(levels, cap, IdealTopK::new(k));
+            for &(off, v) in &series {
+                if (off as usize) < cap {
+                    t.push(off, v);
+                }
+            }
+            let coeffs = t.finish();
+            let dense = reconstruct_dense(&coeffs);
+            let sparse = reconstruct_into(&coeffs, &mut scratch);
+            let dense_bits: Vec<u64> = dense.iter().map(|v| v.to_bits()).collect();
+            let sparse_bits: Vec<u64> = sparse.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(dense_bits, sparse_bits, "cap {}", cap);
+        }
+    }
+}

@@ -1,19 +1,23 @@
-//! Regenerates the golden drain fixtures under `tests/golden/`.
+//! Regenerates the golden fixtures under `tests/golden/`: sketch *drain*
+//! fixtures (write path) and analyzer *query* fixtures (read path).
 //!
 //! Usage: `cargo run -p umon-testkit --bin golden_gen [-- --check]`
 //!
-//! Without flags, writes one JSON [`SketchReport`] per golden seed. With
-//! `--check`, compares the current implementation's drains against the
-//! checked-in fixtures instead of overwriting them and exits nonzero on any
-//! mismatch — the same assertion the layout-equivalence test suite makes,
+//! Without flags, writes one JSON [`SketchReport`] per golden drain seed and
+//! one JSON [`QueryFixture`] per golden query seed. With `--check`, compares
+//! the current implementation's outputs against the checked-in fixtures
+//! instead of overwriting them and exits nonzero on any mismatch — the same
+//! assertions the layout-equivalence and query-equivalence test suites make,
 //! usable standalone.
 //!
-//! The checked-in fixtures were produced by the pre-arena implementation;
-//! they must never be regenerated from code whose drains are not already
-//! known to be bit-identical to it.
+//! The checked-in drain fixtures were produced by the pre-arena
+//! implementation; the query fixtures by the pre-index, pre-sparse-kernel
+//! analyzer. Neither must ever be regenerated from code whose outputs are
+//! not already known to be bit-identical to those implementations.
 
 use std::path::PathBuf;
 use umon_testkit::golden::{golden_drain, golden_fixture_name, GOLDEN_SEEDS};
+use umon_testkit::golden_query::{query_fixture, query_fixture_name, QueryFixture, QUERY_SEEDS};
 use wavesketch::SketchReport;
 
 fn fixture_dir() -> PathBuf {
@@ -37,19 +41,46 @@ fn main() {
                 .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
             let fixture: SketchReport = serde_json::from_str(&raw).expect("parse fixture");
             if fixture == report {
-                println!("seed {seed:2}: OK ({} epochs)", report.epoch_count());
+                println!("drain seed {seed:2}: OK ({} epochs)", report.epoch_count());
             } else {
-                println!("seed {seed:2}: MISMATCH vs {}", path.display());
+                println!("drain seed {seed:2}: MISMATCH vs {}", path.display());
                 failures += 1;
             }
         } else {
             let json = serde_json::to_string(&report).expect("serialize report");
             std::fs::write(&path, json).expect("write fixture");
             println!(
-                "seed {seed:2}: wrote {} ({} epochs, integrity {:016x})",
+                "drain seed {seed:2}: wrote {} ({} epochs, integrity {:016x})",
                 path.display(),
                 report.epoch_count(),
                 report.integrity()
+            );
+        }
+    }
+    for seed in QUERY_SEEDS {
+        let fixture = query_fixture(seed);
+        let path = dir.join(query_fixture_name(seed));
+        let curves: usize = fixture
+            .hosts
+            .iter()
+            .map(|h| h.rate.iter().count() + h.flows.iter().filter(|(_, c)| c.is_some()).count())
+            .sum();
+        if check {
+            let raw = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+            let frozen: QueryFixture = serde_json::from_str(&raw).expect("parse query fixture");
+            if frozen == fixture {
+                println!("query seed {seed:2}: OK ({curves} curves)");
+            } else {
+                println!("query seed {seed:2}: MISMATCH vs {}", path.display());
+                failures += 1;
+            }
+        } else {
+            let json = serde_json::to_string(&fixture).expect("serialize query fixture");
+            std::fs::write(&path, json).expect("write fixture");
+            println!(
+                "query seed {seed:2}: wrote {} ({curves} curves)",
+                path.display()
             );
         }
     }

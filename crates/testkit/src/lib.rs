@@ -32,6 +32,7 @@
 pub mod diff;
 pub mod faults;
 pub mod golden;
+pub mod golden_query;
 pub mod oracle;
 pub mod replay;
 pub mod stream;

@@ -14,11 +14,12 @@
 //!   rate curves of the involved flows.
 
 use crate::host_agent::PeriodReport;
+use crate::query_index::{series_from_refs, HostIndex, QueryIndex, QueryScratch};
 use crate::switch_agent::{MirrorBatch, MirroredPacket};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use umon_netsim::QueueEpisode;
 use wavesketch::basic::WindowSeries;
-use wavesketch::{BucketReport, FlowKey, SketchConfig};
+use wavesketch::{FlowKey, SketchConfig};
 
 /// Accounting for one [`Analyzer::add_reports`] batch (and, cumulatively,
 /// for an analyzer's lifetime via [`Analyzer::ingest_stats`]).
@@ -158,8 +159,18 @@ pub struct Analyzer {
     /// redelivered periods and keeps reconstruction inputs period-ordered no
     /// matter how the collection plane reordered arrivals.
     reports: HashMap<usize, BTreeMap<u64, PeriodReport>>,
+    /// Ingest-time query index over `reports`; updated exactly when a report
+    /// is accepted, so it stays coherent under dedup, quarantine and
+    /// out-of-order delivery.
+    index: QueryIndex,
     /// All mirrored packets.
     mirrors: Vec<MirroredPacket>,
+    /// Per-`(switch, vlan)` positions into [`Self::mirrors`], each list
+    /// sorted by timestamp (ties in arrival order — what a stable sort of
+    /// the flat list produced before this index existed). Maintained on
+    /// ingest so event queries stop re-bucketing and re-sorting every
+    /// mirror.
+    mirror_index: BTreeMap<(usize, u16), Vec<usize>>,
     /// Mirror batch numbers already accepted, per switch.
     mirror_batches_seen: HashSet<(usize, u64)>,
     /// Redelivered mirror batches dropped.
@@ -182,7 +193,9 @@ impl Analyzer {
         Self {
             sketch_config,
             reports: HashMap::new(),
+            index: QueryIndex::default(),
             mirrors: Vec::new(),
+            mirror_index: BTreeMap::new(),
             mirror_batches_seen: HashSet::new(),
             mirror_duplicates: 0,
             stats: IngestStats::default(),
@@ -214,6 +227,7 @@ impl Analyzer {
             match slot.entry(r.period) {
                 std::collections::btree_map::Entry::Occupied(_) => batch.duplicates += 1,
                 std::collections::btree_map::Entry::Vacant(v) => {
+                    self.index.index_report(r.host, &r, &self.sketch_config);
                     v.insert(r);
                     batch.accepted += 1;
                 }
@@ -258,7 +272,9 @@ impl Analyzer {
 
     /// Ingests mirrored packets from a switch agent.
     pub fn add_mirrors(&mut self, mirrors: Vec<MirroredPacket>) {
-        self.mirrors.extend(mirrors);
+        for m in mirrors {
+            self.index_mirror(m);
+        }
     }
 
     /// Ingests a sequence-numbered mirror batch, dropping redelivered batch
@@ -268,8 +284,21 @@ impl Analyzer {
             self.mirror_duplicates += 1;
             return false;
         }
-        self.mirrors.extend(batch.packets);
+        for m in batch.packets {
+            self.index_mirror(m);
+        }
         true
+    }
+
+    /// Appends one mirror and files its position in the per-port index at
+    /// its timestamp-sorted slot. Inserting after all equal timestamps keeps
+    /// ties in arrival order — the same order the stable per-query sort this
+    /// index replaced would have produced.
+    fn index_mirror(&mut self, m: MirroredPacket) {
+        let list = self.mirror_index.entry((m.switch, m.vlan)).or_default();
+        let pos = list.partition_point(|&j| self.mirrors[j].ts_ns <= m.ts_ns);
+        list.insert(pos, self.mirrors.len());
+        self.mirrors.push(m);
     }
 
     /// Redelivered mirror batches dropped so far.
@@ -287,53 +316,74 @@ impl Analyzer {
     /// Heavy-part records are collision-free and used directly; otherwise
     /// the light part is reconstructed with heavy-flow subtraction, taking
     /// the minimum-total row (the Count-Min query lifted to curves).
+    ///
+    /// Allocating convenience wrapper over [`Self::flow_curve_with`] — query
+    /// loops should hold a [`QueryScratch`] and call that instead.
     pub fn flow_curve(&self, host: usize, flow_id: u64) -> Option<WindowSeries> {
-        let reports = self.reports.get(&host)?;
-        let key = FlowKey::from_id(flow_id);
-        let packed = key.pack().to_vec();
+        let mut scratch = QueryScratch::new();
+        self.flow_curve_with(host, flow_id, &mut scratch).cloned()
+    }
 
-        // Heavy path: concatenate heavy records across periods (the map
-        // iterates in period order, so epochs concatenate chronologically
-        // even when uploads arrived shuffled). The heavy bucket is exact
-        // within its epochs but misses any history from before the flow's
-        // election, so it is overlaid onto the light-part estimate rather
-        // than used alone.
-        let mut heavy_reports: Vec<BucketReport> = Vec::new();
-        for pr in reports.values() {
-            for (k, brs) in &pr.report.heavy {
-                if *k == packed {
-                    heavy_reports.extend(brs.iter().cloned());
+    /// [`Self::flow_curve`] through a reusable [`QueryScratch`]: all lookups
+    /// go through the ingest-time index and all curve arithmetic runs in the
+    /// scratch's buffers, so a warm scratch makes repeated queries
+    /// allocation-free. The returned series borrows the scratch and is valid
+    /// until its next use.
+    pub fn flow_curve_with<'a>(
+        &self,
+        host: usize,
+        flow_id: u64,
+        scratch: &'a mut QueryScratch,
+    ) -> Option<&'a WindowSeries> {
+        self.reports.get(&host)?;
+        let hidx = self.index.host(host)?;
+        let key = FlowKey::from_id(flow_id);
+        let packed: [u8; 13] = key.pack();
+
+        // Heavy path: concatenate heavy records across periods (refs are
+        // period-ordered, so epochs concatenate chronologically even when
+        // uploads arrived shuffled). The heavy bucket is exact within its
+        // epochs but misses any history from before the flow's election, so
+        // it is overlaid onto the light-part estimate rather than used
+        // alone.
+        let heavy_refs = hidx.heavy.get(&packed).map_or(&[][..], Vec::as_slice);
+        let has_heavy = series_from_refs(
+            heavy_refs,
+            |p, i| hidx.heavy_entry(p, i).map(|(_, ces)| ces.as_slice()),
+            &mut scratch.heavy,
+        );
+        if has_heavy {
+            // Each heavy epoch's opening window may be partial (the flow's
+            // packets in that window before it took the slot were counted
+            // light-only): keep the larger source there. Both upper-bound
+            // the truth.
+            scratch.starts.clear();
+            for &(p, i) in heavy_refs {
+                if let Some((_, ces)) = hidx.heavy_entry(p, i) {
+                    scratch.starts.extend(ces.iter().map(|e| e.w0));
                 }
             }
-        }
-        if !heavy_reports.is_empty() {
-            let heavy = WindowSeries::from_reports(&heavy_reports);
-            let light = self.query_light_with_subtraction(reports, &key, &packed);
-            return match (light, heavy) {
-                (Some(mut l), Some(h)) => {
-                    // Each heavy epoch's opening window may be partial (the
-                    // flow's packets in that window before it took the slot
-                    // were counted light-only): keep the larger source
-                    // there. Both upper-bound the truth.
-                    let starts: Vec<u64> = heavy_reports.iter().map(|r| r.w0).collect();
-                    let light_at: Vec<f64> = starts.iter().map(|&w| l.at(w)).collect();
-                    l.overlay(&h);
-                    for (&w, &lv) in starts.iter().zip(&light_at) {
-                        // A heavy epoch can start before the light series
-                        // when the covering light period was lost in
-                        // collection — extend the series instead of
-                        // underflowing the index.
-                        l.extend_to_cover(w);
-                        let idx = (w - l.start_window) as usize;
-                        l.values[idx] = l.values[idx].max(lv);
-                    }
-                    Some(l)
-                }
-                (l, h) => h.or(l),
-            };
+            if !self.light_with_subtraction_into(hidx, &key, &packed, scratch) {
+                return Some(&scratch.heavy);
+            }
+            scratch.light_at.clear();
+            for &w in &scratch.starts {
+                scratch.light_at.push(scratch.light_best.at(w));
+            }
+            scratch.light_best.overlay(&scratch.heavy);
+            for (&w, &lv) in scratch.starts.iter().zip(&scratch.light_at) {
+                // A heavy epoch can start before the light series when the
+                // covering light period was lost in collection — extend the
+                // series instead of underflowing the index.
+                scratch.light_best.extend_to_cover(w);
+                let idx = (w - scratch.light_best.start_window) as usize;
+                scratch.light_best.values[idx] = scratch.light_best.values[idx].max(lv);
+            }
+            return Some(&scratch.light_best);
         }
 
-        self.query_light_with_subtraction(reports, &key, &packed)
+        self.light_with_subtraction_into(hidx, &key, &packed, scratch)
+            .then_some(&scratch.light_best)
     }
 
     /// [`Self::flow_curve`] plus the period coverage the curve was built
@@ -348,66 +398,61 @@ impl Analyzer {
     }
 
     /// Light-part reconstruction with heavy-flow subtraction, min-total over
-    /// rows (the Count-Min query lifted to curves).
-    fn query_light_with_subtraction(
+    /// rows (the Count-Min query lifted to curves). On `true` the winning
+    /// row's series is in `scratch.light_best`.
+    fn light_with_subtraction_into(
         &self,
-        reports: &BTreeMap<u64, PeriodReport>,
+        hidx: &HostIndex,
         key: &FlowKey,
-        packed: &[u8],
-    ) -> Option<WindowSeries> {
+        packed: &[u8; 13],
+        scratch: &mut QueryScratch,
+    ) -> bool {
         let cfg = &self.sketch_config;
-        let mut best: Option<WindowSeries> = None;
+        let mut has_best = false;
         for row in 0..cfg.rows {
             let col = cfg.light_col(key, row) as u32;
-            let mut bucket_reports: Vec<BucketReport> = Vec::new();
-            let mut heavy_in_bucket: Vec<BucketReport> = Vec::new();
-            for pr in reports.values() {
-                for (r, c, brs) in &pr.report.light {
-                    if *r == row as u32 && *c == col {
-                        bucket_reports.extend(brs.iter().cloned());
-                    }
-                }
-                // Heavy flows that share this light bucket inflated it.
-                for (k, brs) in &pr.report.heavy {
-                    if *k == packed {
-                        continue;
-                    }
-                    let other = unpack_key(k);
-                    let ocol = cfg.light_col(&other, row) as u32;
-                    if ocol == col {
-                        heavy_in_bucket.extend(brs.iter().cloned());
-                    }
-                }
-            }
-            let Some(mut series) = WindowSeries::from_reports(&bucket_reports) else {
+            let Some(light_refs) = hidx.light.get(&(row as u32, col)) else {
                 continue;
             };
-            if let Some(hseries) = WindowSeries::from_reports(&heavy_in_bucket) {
-                series.subtract_clamped(&hseries);
+            if !series_from_refs(
+                light_refs,
+                |p, i| hidx.light_curves(p, i),
+                &mut scratch.light_cand,
+            ) {
+                continue;
             }
-            let replace = match &best {
-                None => true,
-                Some(b) => series.total() < b.total(),
-            };
-            if replace {
-                best = Some(series);
+            // Heavy flows that share this light bucket inflated it; the
+            // index pre-resolved their columns, so the only per-query work
+            // is skipping the queried flow's own records.
+            if let Some(heavy_refs) = hidx.heavy_by_col.get(&(row as u32, col)) {
+                let colliding = series_from_refs(
+                    heavy_refs,
+                    |p, i| {
+                        let (k, ces) = hidx.heavy_entry(p, i)?;
+                        (k != packed).then_some(ces.as_slice())
+                    },
+                    &mut scratch.heavy_sub,
+                );
+                if colliding {
+                    scratch.light_cand.subtract_clamped(&scratch.heavy_sub);
+                }
+            }
+            if !has_best || scratch.light_cand.total() < scratch.light_best.total() {
+                std::mem::swap(&mut scratch.light_best, &mut scratch.light_cand);
+                has_best = true;
             }
         }
-        best
+        has_best
     }
 
     /// Clusters mirrored packets into detected events: per (switch, VLAN),
     /// packets closer than `gap_ns` belong to the same event.
     pub fn cluster_events(&self, gap_ns: u64) -> Vec<DetectedEvent> {
-        let mut by_port: BTreeMap<(usize, u16), Vec<&MirroredPacket>> = BTreeMap::new();
-        for m in &self.mirrors {
-            by_port.entry((m.switch, m.vlan)).or_default().push(m);
-        }
         let mut events = Vec::new();
-        for ((switch, vlan), mut packets) in by_port {
-            packets.sort_by_key(|m| m.ts_ns);
+        for (&(switch, vlan), positions) in &self.mirror_index {
             let mut cur: Option<DetectedEvent> = None;
-            for m in packets {
+            for &j in positions {
+                let m = &self.mirrors[j];
                 match cur.as_mut() {
                     Some(ev) if m.ts_ns.saturating_sub(ev.end_ns) <= gap_ns => {
                         ev.end_ns = m.ts_ns;
@@ -448,14 +493,6 @@ impl Analyzer {
         qlen_max: u32,
         tolerance_ns: u64,
     ) -> EventMatchStats {
-        // Index mirrors per (switch, port).
-        let mut by_port: HashMap<(usize, u16), Vec<&MirroredPacket>> = HashMap::new();
-        for m in &self.mirrors {
-            by_port.entry((m.switch, m.vlan)).or_default().push(m);
-        }
-        for v in by_port.values_mut() {
-            v.sort_by_key(|m| m.ts_ns);
-        }
         let mut considered = 0usize;
         let mut detected = 0usize;
         let mut flows_sum = 0usize;
@@ -467,11 +504,14 @@ impl Analyzer {
             let vlan = ep.port as u16 + 1;
             let lo = ep.start_ns.saturating_sub(tolerance_ns);
             let hi = ep.end_ns + tolerance_ns;
-            if let Some(ms) = by_port.get(&(ep.switch, vlan)) {
-                let inside: BTreeSet<u64> = ms
+            if let Some(positions) = self.mirror_index.get(&(ep.switch, vlan)) {
+                // The per-port index is timestamp-sorted: binary-search the
+                // episode's span instead of filtering every mirror.
+                let from = positions.partition_point(|&j| self.mirrors[j].ts_ns < lo);
+                let to = positions.partition_point(|&j| self.mirrors[j].ts_ns <= hi);
+                let inside: BTreeSet<u64> = positions[from..to]
                     .iter()
-                    .filter(|m| m.ts_ns >= lo && m.ts_ns <= hi)
-                    .map(|m| m.flow)
+                    .map(|&j| self.mirrors[j].flow)
                     .collect();
                 if !inside.is_empty() {
                     detected += 1;
@@ -496,18 +536,27 @@ impl Analyzer {
     /// traffic (heavy flows are counted in the light part too — §4.2's
     /// simultaneous update — so no heavy-part term is needed).
     pub fn host_rate_curve(&self, host: usize) -> Option<WindowSeries> {
-        let reports = self.reports.get(&host)?;
-        let mut all: Vec<BucketReport> = Vec::new();
-        for pr in reports.values() {
-            for (row, _, brs) in &pr.report.light {
-                if *row == 0 {
-                    all.extend(brs.iter().cloned());
-                }
-            }
-        }
-        // `from_reports` sums overlapping epochs — exactly what aggregating
+        let mut scratch = QueryScratch::new();
+        self.host_rate_curve_with(host, &mut scratch).cloned()
+    }
+
+    /// [`Self::host_rate_curve`] through a reusable [`QueryScratch`]; see
+    /// [`Self::flow_curve_with`] for the borrowing rules.
+    pub fn host_rate_curve_with<'a>(
+        &self,
+        host: usize,
+        scratch: &'a mut QueryScratch,
+    ) -> Option<&'a WindowSeries> {
+        self.reports.get(&host)?;
+        let hidx = self.index.host(host)?;
+        // Accumulation sums overlapping epochs — exactly what aggregating
         // different buckets over the same timeline needs.
-        WindowSeries::from_reports(&all)
+        series_from_refs(
+            &hidx.row0,
+            |p, i| hidx.light_curves(p, i),
+            &mut scratch.rate,
+        )
+        .then_some(&scratch.rate)
     }
 
     /// The Figure 10a congestion map: per link (switch, VLAN), the list of
@@ -574,22 +623,11 @@ impl Analyzer {
     }
 }
 
-/// Unpacks a 13-byte key back into a [`FlowKey`].
-fn unpack_key(bytes: &[u8]) -> FlowKey {
-    assert_eq!(bytes.len(), 13, "packed flow keys are 13 bytes");
-    FlowKey {
-        src_ip: [bytes[0], bytes[1], bytes[2], bytes[3]],
-        dst_ip: [bytes[4], bytes[5], bytes[6], bytes[7]],
-        src_port: u16::from_be_bytes([bytes[8], bytes[9]]),
-        dst_port: u16::from_be_bytes([bytes[10], bytes[11]]),
-        proto: bytes[12],
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::host_agent::{HostAgent, HostAgentConfig};
+    use wavesketch::BucketReport;
 
     fn agent_config() -> HostAgentConfig {
         HostAgentConfig {
@@ -1021,6 +1059,303 @@ mod tests {
         assert!(annotated.coverage.covers(1));
     }
 
+    /// Reference implementation of the pre-index query paths: linear rescans
+    /// of every stored period, exactly as `flow_curve` worked before the
+    /// ingest-time [`QueryIndex`]. The indexed paths must stay bit-identical
+    /// to this under any ingest order.
+    mod rescan_reference {
+        use super::*;
+        use crate::query_index::unpack_key;
+        use wavesketch::BucketReport;
+
+        pub fn flow_curve(a: &Analyzer, host: usize, flow_id: u64) -> Option<WindowSeries> {
+            let reports = a.reports.get(&host)?;
+            let key = FlowKey::from_id(flow_id);
+            let packed = key.pack().to_vec();
+            let mut heavy_reports: Vec<BucketReport> = Vec::new();
+            for pr in reports.values() {
+                for (k, brs) in &pr.report.heavy {
+                    if *k == packed {
+                        heavy_reports.extend(brs.iter().cloned());
+                    }
+                }
+            }
+            if !heavy_reports.is_empty() {
+                let heavy = WindowSeries::from_reports(&heavy_reports);
+                let light = light_with_subtraction(a, reports, &key, &packed);
+                return match (light, heavy) {
+                    (Some(mut l), Some(h)) => {
+                        let starts: Vec<u64> = heavy_reports.iter().map(|r| r.w0).collect();
+                        let light_at: Vec<f64> = starts.iter().map(|&w| l.at(w)).collect();
+                        l.overlay(&h);
+                        for (&w, &lv) in starts.iter().zip(&light_at) {
+                            l.extend_to_cover(w);
+                            let idx = (w - l.start_window) as usize;
+                            l.values[idx] = l.values[idx].max(lv);
+                        }
+                        Some(l)
+                    }
+                    (l, h) => h.or(l),
+                };
+            }
+            light_with_subtraction(a, reports, &key, &packed)
+        }
+
+        fn light_with_subtraction(
+            a: &Analyzer,
+            reports: &BTreeMap<u64, PeriodReport>,
+            key: &FlowKey,
+            packed: &[u8],
+        ) -> Option<WindowSeries> {
+            let cfg = &a.sketch_config;
+            let mut best: Option<WindowSeries> = None;
+            for row in 0..cfg.rows {
+                let col = cfg.light_col(key, row) as u32;
+                let mut bucket_reports: Vec<BucketReport> = Vec::new();
+                let mut heavy_in_bucket: Vec<BucketReport> = Vec::new();
+                for pr in reports.values() {
+                    for (r, c, brs) in &pr.report.light {
+                        if *r == row as u32 && *c == col {
+                            bucket_reports.extend(brs.iter().cloned());
+                        }
+                    }
+                    for (k, brs) in &pr.report.heavy {
+                        if *k == packed {
+                            continue;
+                        }
+                        let ocol = cfg.light_col(&unpack_key(k), row) as u32;
+                        if ocol == col {
+                            heavy_in_bucket.extend(brs.iter().cloned());
+                        }
+                    }
+                }
+                let Some(mut series) = WindowSeries::from_reports(&bucket_reports) else {
+                    continue;
+                };
+                if let Some(hseries) = WindowSeries::from_reports(&heavy_in_bucket) {
+                    series.subtract_clamped(&hseries);
+                }
+                let replace = match &best {
+                    None => true,
+                    Some(b) => series.total() < b.total(),
+                };
+                if replace {
+                    best = Some(series);
+                }
+            }
+            best
+        }
+
+        pub fn host_rate_curve(a: &Analyzer, host: usize) -> Option<WindowSeries> {
+            let reports = a.reports.get(&host)?;
+            let mut all: Vec<BucketReport> = Vec::new();
+            for pr in reports.values() {
+                for (row, _, brs) in &pr.report.light {
+                    if *row == 0 {
+                        all.extend(brs.iter().cloned());
+                    }
+                }
+            }
+            WindowSeries::from_reports(&all)
+        }
+
+        pub fn cluster_events(a: &Analyzer, gap_ns: u64) -> Vec<DetectedEvent> {
+            let mut by_port: BTreeMap<(usize, u16), Vec<&MirroredPacket>> = BTreeMap::new();
+            for m in &a.mirrors {
+                by_port.entry((m.switch, m.vlan)).or_default().push(m);
+            }
+            let mut events = Vec::new();
+            for ((switch, vlan), mut packets) in by_port {
+                packets.sort_by_key(|m| m.ts_ns);
+                let mut cur: Option<DetectedEvent> = None;
+                for m in packets {
+                    match cur.as_mut() {
+                        Some(ev) if m.ts_ns.saturating_sub(ev.end_ns) <= gap_ns => {
+                            ev.end_ns = m.ts_ns;
+                            ev.flows.insert(m.flow);
+                            ev.packets += 1;
+                        }
+                        _ => {
+                            if let Some(done) = cur.take() {
+                                events.push(done);
+                            }
+                            cur = Some(DetectedEvent {
+                                switch,
+                                vlan,
+                                start_ns: m.ts_ns,
+                                end_ns: m.ts_ns,
+                                flows: BTreeSet::from([m.flow]),
+                                packets: 1,
+                            });
+                        }
+                    }
+                }
+                if let Some(done) = cur.take() {
+                    events.push(done);
+                }
+            }
+            events
+        }
+    }
+
+    /// A deterministic multi-period, heavy-contested workload for the
+    /// equivalence tests (xorshift, no rng crate needed in-tree here).
+    fn contested_reports(hosts: usize, windows: u64) -> (HostAgentConfig, Vec<PeriodReport>) {
+        let cfg = HostAgentConfig {
+            sketch: SketchConfig::builder()
+                .rows(3)
+                .width(16)
+                .levels(4)
+                .topk(12)
+                .max_windows(64)
+                .heavy_rows(4)
+                .build(),
+            period_ns: 48 << 13,
+            window_shift: 13,
+        };
+        let mut out = Vec::new();
+        for host in 0..hosts {
+            let mut agent = HostAgent::new(host, cfg.clone());
+            let mut x = 0x9E37_79B9u64 ^ (host as u64) << 17;
+            for w in 0..windows {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let n = x % 4;
+                for p in 0..n {
+                    let flow = if (x >> (8 + p)) & 3 != 0 {
+                        (x >> 11) % 3
+                    } else {
+                        (x >> 11) % 24
+                    };
+                    agent.observe(flow, w << 13, 64 + ((x >> 20) % 4000) as u32);
+                }
+            }
+            out.extend(agent.finish());
+        }
+        (cfg, out)
+    }
+
+    /// Tentpole equivalence: the indexed query engine is bit-identical to a
+    /// linear rescan of the stores, including under out-of-order delivery,
+    /// redelivered duplicates and interleaved ingest/query (the index must
+    /// be coherent after every batch, not just at the end).
+    #[test]
+    fn indexed_queries_match_rescan_reference_under_hostile_ingest() {
+        let (cfg, reports) = contested_reports(3, 150);
+        assert!(
+            reports.iter().any(|r| !r.report.heavy.is_empty()),
+            "workload must contest the heavy part"
+        );
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        let mut scratch = QueryScratch::new();
+        // Deliver reversed, in two batches, then redeliver everything; query
+        // and compare after every step.
+        let reversed: Vec<PeriodReport> = reports.iter().rev().cloned().collect();
+        let mid = reversed.len() / 2;
+        let batches = [
+            reversed[..mid].to_vec(),
+            reversed[mid..].to_vec(),
+            reports.clone(),
+        ];
+        for batch in batches {
+            analyzer.add_reports(batch);
+            for host in 0..3 {
+                for flow in 0..24u64 {
+                    let want = rescan_reference::flow_curve(&analyzer, host, flow);
+                    let got = analyzer.flow_curve_with(host, flow, &mut scratch).cloned();
+                    assert_eq!(got, want, "host {host} flow {flow}");
+                }
+                assert_eq!(
+                    analyzer.host_rate_curve_with(host, &mut scratch).cloned(),
+                    rescan_reference::host_rate_curve(&analyzer, host),
+                    "host {host} rate"
+                );
+            }
+        }
+        assert_eq!(analyzer.ingest_stats().duplicates, reports.len() as u64);
+    }
+
+    /// Quarantined (config-mismatched) reports must leave the index — not
+    /// just the store — untouched.
+    #[test]
+    fn quarantined_reports_do_not_enter_the_index() {
+        let (cfg, reports) = contested_reports(1, 100);
+        let mut clean = Analyzer::new(cfg.sketch.clone());
+        clean.add_reports(reports.clone());
+
+        let mut poisoned = Analyzer::new(cfg.sketch.clone());
+        let mut mangled = reports.clone();
+        for (i, r) in reports.iter().enumerate() {
+            let mut bad = r.clone();
+            bad.config_fingerprint ^= 0xBAD;
+            bad.period += 1000 + i as u64; // would land in fresh periods
+            mangled.push(bad);
+        }
+        let stats = poisoned.add_reports(mangled);
+        assert_eq!(stats.mismatched, reports.len() as u64);
+        for flow in 0..24u64 {
+            assert_eq!(
+                poisoned.flow_curve(0, flow),
+                clean.flow_curve(0, flow),
+                "flow {flow}"
+            );
+        }
+        assert_eq!(poisoned.host_rate_curve(0), clean.host_rate_curve(0));
+    }
+
+    /// Satellite equivalence: the sorted per-port mirror index reproduces
+    /// the rebuild-every-time clustering exactly, including with interleaved
+    /// add/query sequences, shuffled timestamps and redelivered batches.
+    #[test]
+    fn mirror_index_matches_rebuild_reference_interleaved() {
+        let cfg = agent_config();
+        let mut analyzer = Analyzer::new(cfg.sketch);
+        let mut x = 0xDEAD_BEEFu64;
+        for step in 0..6 {
+            // A mixed, unsorted slab of mirrors over a few ports.
+            let mut slab = Vec::new();
+            for _ in 0..40 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                slab.push(mirror(
+                    20 + (x % 2) as usize,
+                    1 + (x >> 3) as u16 % 3,
+                    (x >> 8) % 500_000,
+                    (x >> 5) % 6,
+                ));
+            }
+            if step % 2 == 0 {
+                analyzer.add_mirrors(slab);
+            } else {
+                let batch = MirrorBatch {
+                    switch: 20,
+                    seq: step as u64,
+                    packets: slab.clone(),
+                };
+                assert!(analyzer.add_mirror_batch(batch.clone()));
+                assert!(!analyzer.add_mirror_batch(batch), "redelivery must drop");
+            }
+            // Query between every ingest step: the index must be coherent
+            // mid-stream, not only after the last add.
+            for gap in [1_000u64, 50_000, u64::MAX] {
+                assert_eq!(
+                    analyzer.cluster_events(gap),
+                    rescan_reference::cluster_events(&analyzer, gap),
+                    "step {step} gap {gap}"
+                );
+            }
+        }
+        // The derived views ride on the same index.
+        let map = analyzer.congestion_map(10_000);
+        let events = analyzer.cluster_events(10_000);
+        let total_spans: usize = map.iter().map(|(_, spans)| spans.len()).sum();
+        assert_eq!(total_spans, events.len());
+        let cdf = analyzer.duration_cdf(10_000);
+        assert_eq!(cdf.len(), events.len());
+    }
+
     #[test]
     fn coverage_distinguishes_no_traffic_from_no_data() {
         let mut cfg = agent_config();
@@ -1044,11 +1379,5 @@ mod tests {
         assert!(!cov.is_complete());
         analyzer.set_known_lost(3, 0);
         assert!(analyzer.host_coverage(3).is_complete());
-    }
-
-    #[test]
-    fn unpack_key_inverts_pack() {
-        let k = FlowKey::from_v4([1, 2, 3, 4], [9, 8, 7, 6], 0xABCD, 4791, 17);
-        assert_eq!(unpack_key(&k.pack()), k);
     }
 }

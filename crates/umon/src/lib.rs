@@ -28,6 +28,7 @@ pub mod events;
 pub mod host_agent;
 pub mod parallel_host;
 pub mod pswitch;
+pub mod query_index;
 pub mod switch_agent;
 pub mod usecases;
 
@@ -42,5 +43,6 @@ pub use events::{loss_events, pause_storms, LossEvent, PauseStorm};
 pub use host_agent::{HostAgent, HostAgentConfig, PeriodReport};
 pub use parallel_host::ParallelHostAgent;
 pub use pswitch::{PSwitchAgent, PSwitchConfig, PSwitchEvent};
+pub use query_index::QueryScratch;
 pub use switch_agent::{MirrorBatch, MirroredPacket, SamplerField, SwitchAgent, SwitchAgentConfig};
 pub use usecases::{classify_event_role, fairness_index, find_gaps, EventRole, GapReport};

@@ -1,0 +1,296 @@
+//! The analyzer's ingest-time query index and reusable query scratch.
+//!
+//! Before this index existed, every `Analyzer::flow_curve` call linearly
+//! rescanned every stored period's entire `light` and `heavy` lists once per
+//! Count-Min row, and unpacked + rehashed every heavy key it passed. The
+//! index moves all of that to ingest: [`QueryIndex::index_report`] runs once
+//! per *accepted* report (after dedup and quarantine, so rejected reports
+//! never pollute it) and records, per host,
+//!
+//! * `(row, col) → ordered light report refs` — the light buckets a query
+//!   row reads,
+//! * `packed heavy key → ordered heavy report refs` — the direct heavy-part
+//!   hit, and
+//! * `(row, col) → ordered heavy report refs` — the heavy flows whose light
+//!   column collides with a bucket, i.e. exactly the subtraction set of the
+//!   §4.2 full-version query,
+//!
+//! plus one config-wide `packed key → light columns per row` table so each
+//! distinct heavy key is unpacked and hashed exactly once ever.
+//!
+//! Indexing alone only removes the scan; the remaining query time was
+//! dominated by re-running the inverse wavelet transform on the same stored
+//! epochs for every query. So ingest also reconstructs each accepted
+//! report's epochs exactly once (through the index's own
+//! [`ReconstructScratch`]) and caches the resulting window curves
+//! ([`CachedEpoch`]); queries then reduce to accumulating cached `f64`
+//! slices. The cached values are byte-for-byte what
+//! `BucketReport::reconstruct_with` returns and are summed in the same
+//! order, so curves stay bit-identical.
+//!
+//! A "ref" is `(period, position)` into the analyzer's period-keyed report
+//! store, kept sorted by binary-search insertion — reports may arrive out of
+//! order, but query-time iteration must walk periods ascending and, within a
+//! period, entries in drain order, because that is the order the pre-index
+//! code summed `f64` reconstructions in and float addition is
+//! order-sensitive. Keeping the order identical keeps every curve
+//! bit-identical (the golden query fixtures check this).
+
+use crate::host_agent::PeriodReport;
+use std::collections::HashMap;
+use wavesketch::basic::WindowSeries;
+use wavesketch::reconstruct::ReconstructScratch;
+use wavesketch::{BucketReport, FlowKey, SketchConfig};
+
+/// A reference to one entry of a stored period report: `(period, position)`
+/// in either the period's `light` or `heavy` list (which one is fixed by the
+/// index map the ref lives in).
+pub(crate) type EntryRef = (u64, u32);
+
+/// One stored epoch's reconstruction, cached at ingest: the epoch's opening
+/// window and its `padded_len` clamped window values, bit-identical to what
+/// `BucketReport::reconstruct_with` returns for the same report.
+#[derive(Debug)]
+pub(crate) struct CachedEpoch {
+    pub(crate) w0: u64,
+    pub(crate) curve: Box<[f64]>,
+}
+
+/// One period's cached reconstructions, positionally parallel to the stored
+/// report's `light` and `heavy` lists (so an [`EntryRef`] addresses both the
+/// report store and this cache). Heavy entries keep their packed key so the
+/// subtraction path can skip the queried flow without touching the store.
+#[derive(Debug, Default)]
+pub(crate) struct CachedCurves {
+    pub(crate) light: Vec<Vec<CachedEpoch>>,
+    pub(crate) heavy: Vec<([u8; 13], Vec<CachedEpoch>)>,
+}
+
+/// Per-host query index; see the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct HostIndex {
+    /// `(row, col)` → refs into `report.light`, ordered.
+    pub(crate) light: HashMap<(u32, u32), Vec<EntryRef>>,
+    /// Packed heavy key → refs into `report.heavy`, ordered.
+    pub(crate) heavy: HashMap<[u8; 13], Vec<EntryRef>>,
+    /// `(row, col)` → refs into `report.heavy` for heavy keys whose light
+    /// column at `row` is `col`, ordered. The subtraction set.
+    pub(crate) heavy_by_col: HashMap<(u32, u32), Vec<EntryRef>>,
+    /// Row-0 light refs (every packet lands in row 0 exactly once — the
+    /// host-rate aggregation set), ordered.
+    pub(crate) row0: Vec<EntryRef>,
+    /// Period → that period's cached reconstructions.
+    pub(crate) curves: HashMap<u64, CachedCurves>,
+}
+
+impl HostIndex {
+    /// The cached light epochs behind one light ref.
+    pub(crate) fn light_curves(&self, period: u64, i: u32) -> Option<&[CachedEpoch]> {
+        self.curves
+            .get(&period)
+            .map(|c| c.light[i as usize].as_slice())
+    }
+
+    /// The packed key and cached epochs behind one heavy ref.
+    pub(crate) fn heavy_entry(&self, period: u64, i: u32) -> Option<&([u8; 13], Vec<CachedEpoch>)> {
+        self.curves.get(&period).map(|c| &c.heavy[i as usize])
+    }
+}
+
+/// The analyzer-wide query index: one [`HostIndex`] per host plus the
+/// config-global key-unpacking cache.
+#[derive(Debug, Default)]
+pub(crate) struct QueryIndex {
+    hosts: HashMap<usize, HostIndex>,
+    /// Packed heavy key → its light column per row. Columns depend only on
+    /// the key and the sketch config, so the cache is shared across hosts
+    /// and each key is unpacked + row-hashed exactly once at first sight.
+    key_cols: HashMap<[u8; 13], Vec<u32>>,
+    /// The ingest-time reconstruction scratch feeding the curve cache.
+    recon: ReconstructScratch,
+}
+
+/// Inserts `entry` into an ordered ref list at its sorted position.
+/// Duplicates cannot arise: the analyzer deduplicates `(host, period)`
+/// before indexing, and one period contributes each position once.
+fn insert_ordered(refs: &mut Vec<EntryRef>, entry: EntryRef) {
+    let pos = refs.partition_point(|&e| e < entry);
+    refs.insert(pos, entry);
+}
+
+impl QueryIndex {
+    /// The index of `host`, if any report of that host was accepted.
+    pub(crate) fn host(&self, host: usize) -> Option<&HostIndex> {
+        self.hosts.get(&host)
+    }
+
+    /// The cached light columns of a packed heavy key.
+    fn cols_of(&mut self, packed: [u8; 13], cfg: &SketchConfig) -> &[u32] {
+        self.key_cols.entry(packed).or_insert_with(|| {
+            let key = unpack_key(&packed);
+            (0..cfg.rows)
+                .map(|row| cfg.light_col(&key, row) as u32)
+                .collect()
+        })
+    }
+
+    /// Indexes one accepted report. Must be called exactly once per report
+    /// that enters the store (and never for duplicates or quarantined
+    /// reports), with the same `(host, period)` the store files it under.
+    pub(crate) fn index_report(&mut self, host: usize, r: &PeriodReport, cfg: &SketchConfig) {
+        let period = r.period;
+        let mut cached = CachedCurves::default();
+        for (i, (row, col, brs)) in r.report.light.iter().enumerate() {
+            let entry = (period, i as u32);
+            cached.light.push(cache_epochs(brs, &mut self.recon));
+            let hidx = self.hosts.entry(host).or_default();
+            insert_ordered(hidx.light.entry((*row, *col)).or_default(), entry);
+            if *row == 0 {
+                insert_ordered(&mut hidx.row0, entry);
+            }
+        }
+        for (i, (k, brs)) in r.report.heavy.iter().enumerate() {
+            let packed: [u8; 13] = k.as_slice().try_into().expect("packed keys are 13 bytes");
+            let entry = (period, i as u32);
+            cached
+                .heavy
+                .push((packed, cache_epochs(brs, &mut self.recon)));
+            // Split borrows: resolve the key's columns first, then touch the
+            // host maps.
+            let cols: Vec<u32> = self.cols_of(packed, cfg).to_vec();
+            let hidx = self.hosts.entry(host).or_default();
+            insert_ordered(hidx.heavy.entry(packed).or_default(), entry);
+            for (row, &col) in cols.iter().enumerate() {
+                insert_ordered(
+                    hidx.heavy_by_col.entry((row as u32, col)).or_default(),
+                    entry,
+                );
+            }
+        }
+        // Filing the cache also marks the host as present even for a report
+        // with no light and no heavy entries (matching the report store).
+        self.hosts
+            .entry(host)
+            .or_default()
+            .curves
+            .insert(period, cached);
+    }
+}
+
+/// Reconstructs every epoch of one stored bucket once, for the ingest-time
+/// curve cache.
+fn cache_epochs(brs: &[BucketReport], recon: &mut ReconstructScratch) -> Vec<CachedEpoch> {
+    brs.iter()
+        .map(|r| CachedEpoch {
+            w0: r.w0,
+            curve: r.reconstruct_with(recon).into(),
+        })
+        .collect()
+}
+
+/// Unpacks a 13-byte packed key back into a [`FlowKey`].
+pub(crate) fn unpack_key(bytes: &[u8]) -> FlowKey {
+    assert_eq!(bytes.len(), 13, "packed flow keys are 13 bytes");
+    FlowKey {
+        src_ip: [bytes[0], bytes[1], bytes[2], bytes[3]],
+        dst_ip: [bytes[4], bytes[5], bytes[6], bytes[7]],
+        src_port: u16::from_be_bytes([bytes[8], bytes[9]]),
+        dst_port: u16::from_be_bytes([bytes[10], bytes[11]]),
+        proto: bytes[12],
+    }
+}
+
+/// Reusable buffers for the analyzer's query paths. Create one, keep it, and
+/// pass it to `Analyzer::flow_curve_with` / `Analyzer::host_rate_curve_with`:
+/// after one warm-up query per curve shape, subsequent queries perform zero
+/// heap allocations (enforced by `tests/alloc_gate.rs`).
+///
+/// The returned `&WindowSeries` borrows the scratch and is valid until the
+/// next query through it; clone it (or copy what you need) to keep a curve.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// The winning (min-total) light-part candidate; also the final curve
+    /// when the heavy part overlays onto it.
+    pub(crate) light_best: WindowSeries,
+    /// The light-part candidate of the row currently being evaluated.
+    pub(crate) light_cand: WindowSeries,
+    /// Sum of colliding heavy flows to subtract from a light candidate.
+    pub(crate) heavy_sub: WindowSeries,
+    /// The flow's own concatenated heavy-part curve.
+    pub(crate) heavy: WindowSeries,
+    /// The host-rate aggregation buffer.
+    pub(crate) rate: WindowSeries,
+    /// Heavy epoch opening windows (`w0` per heavy report, in order).
+    pub(crate) starts: Vec<u64>,
+    /// The light estimate at each opening window, captured pre-overlay.
+    pub(crate) light_at: Vec<f64>,
+}
+
+impl QueryScratch {
+    /// A fresh scratch; buffers grow to the workload on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Streams the cached epoch curves behind `refs` into `out` in ref order:
+/// pass 1 finds the union span, pass 2 resets `out` to it and accumulates
+/// each epoch — the exact addition order (periods ascending, drain order
+/// within a period) the pre-index `WindowSeries::from_reports` code used,
+/// without materializing a report list or touching the wavelet kernel.
+/// Returns `false` (series untouched semantics: `out` reset to empty) when
+/// the refs resolve to no epochs, matching `from_reports(&[]) == None`.
+///
+/// `lookup` resolves one ref to its cached epochs and may return `None` to
+/// skip a ref (the subtraction path skips the queried flow's own key).
+pub(crate) fn series_from_refs<'r>(
+    refs: &[EntryRef],
+    lookup: impl Fn(u64, u32) -> Option<&'r [CachedEpoch]>,
+    out: &mut WindowSeries,
+) -> bool {
+    let mut start = u64::MAX;
+    let mut end = 0u64;
+    let mut any = false;
+    for &(period, i) in refs {
+        if let Some(ces) = lookup(period, i) {
+            for e in ces {
+                any = true;
+                start = start.min(e.w0);
+                end = end.max(e.w0 + e.curve.len() as u64);
+            }
+        }
+    }
+    if !any {
+        out.reset(0, 0);
+        return false;
+    }
+    out.reset(start, (end - start) as usize);
+    for &(period, i) in refs {
+        if let Some(ces) = lookup(period, i) {
+            for e in ces {
+                out.accumulate_curve(e.w0, &e.curve);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_ordered_keeps_period_then_position_order() {
+        let mut refs = Vec::new();
+        for e in [(5u64, 0u32), (1, 1), (5, 2), (1, 0), (3, 0)] {
+            insert_ordered(&mut refs, e);
+        }
+        assert_eq!(refs, vec![(1, 0), (1, 1), (3, 0), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn unpack_key_inverts_pack() {
+        let k = FlowKey::from_v4([1, 2, 3, 4], [9, 8, 7, 6], 0xABCD, 4791, 17);
+        assert_eq!(unpack_key(&k.pack()), k);
+    }
+}
