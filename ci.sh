@@ -26,6 +26,13 @@ timeout 300 cargo run --release -q -p umon-testkit --bin diff_fuzz -- --seeds 32
 echo "==> collector_smoke: 16 seeds x 3 workloads"
 timeout 300 cargo run --release -q -p umon-testkit --bin collector_smoke -- --seeds 16
 
+# Fixed-seed retention and crash-recovery smoke: the bounded-memory analyzer
+# differential contract (compaction bit-invisible, eviction exact, archive
+# recovery reconvergent, torn tails contained) plus a bounded-budget soak
+# (DESIGN.md §12). Deterministic, like the smokes above.
+echo "==> retention_soak: 4 seeds x 3 workloads + soak"
+timeout 600 cargo run --release -q -p umon-testkit --bin retention_soak -- --seeds 4 --periods 1000
+
 # Golden fixture gate: fixed-seed drain reports and analyzer query curves
 # replayed against the bit-exact fixtures committed under tests/golden/
 # (DESIGN.md §8, §11). A single reordered f64 addition fails this.

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use umon::switch_agent::MirroredPacket;
-use umon::{Analyzer, HostAgent, HostAgentConfig, QueryScratch};
+use umon::{Analyzer, HostAgent, HostAgentConfig, QueryScratch, RetentionPolicy};
 use umon_netsim::{
     CongestionControl, FlowId, FlowSpec, SchedulerKind, SimConfig, Simulator, Topology,
 };
@@ -99,6 +99,16 @@ struct AnalyzerMeasure {
     notes: String,
 }
 
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct RetentionMeasure {
+    hot_queries_per_sec: f64,
+    compacted_queries_per_sec: f64,
+    compacted_slowdown: f64,
+    bytes_per_retained_period: f64,
+    resident_periods: u64,
+    notes: String,
+}
+
 #[derive(Debug, Serialize, Deserialize, Default)]
 struct AnalyzerBench {
     schema: u32,
@@ -106,6 +116,7 @@ struct AnalyzerBench {
     seed: u64,
     baseline: Option<AnalyzerMeasure>,
     current: Option<AnalyzerMeasure>,
+    retention: Option<RetentionMeasure>,
     speedup_vs_baseline: Option<f64>,
 }
 
@@ -261,8 +272,12 @@ fn analyzer_config() -> HostAgentConfig {
 /// ingest path, plus a seeded mirror stream for the event-clustering
 /// queries.
 fn build_analyzer() -> Analyzer {
+    build_analyzer_with(RetentionPolicy::UNBOUNDED)
+}
+
+fn build_analyzer_with(policy: RetentionPolicy) -> Analyzer {
     let cfg = analyzer_config();
-    let mut analyzer = Analyzer::new(cfg.sketch.clone());
+    let mut analyzer = Analyzer::with_retention(cfg.sketch.clone(), policy);
     for host in 0..ANALYZER_HOSTS {
         let mut rng = ChaCha8Rng::seed_from_u64(
             ANALYZER_SEED ^ (host as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -346,6 +361,44 @@ fn bench_analyzer(sweeps: usize) -> AnalyzerMeasure {
         queries_per_sweep: queries / sweeps as u64,
         peak_rss_kb: peak_rss_kb(),
         notes: "ingest-time index + reconstruction cache + QueryScratch".into(),
+    }
+}
+
+/// The retention tiers' perf envelope: the same query sweep against a
+/// fully-hot analyzer vs one whose periods are all compacted but the newest
+/// (`hot_periods = 1`), plus the per-period resident footprint of the
+/// compacted tier. The compacted sweep pays sparse inverse-Haar
+/// reconstruction per query — the explicit memory-for-throughput trade of
+/// DESIGN.md §12 — so it runs fewer sweeps.
+fn bench_retention(sweeps: usize, hot_queries_per_sec: f64) -> RetentionMeasure {
+    let analyzer = build_analyzer_with(RetentionPolicy::bounded(1, u64::MAX));
+    let mut scratch = QueryScratch::new();
+    let mut queries = 0u64;
+    let (wall_ns, checksum) = time_min(|| {
+        queries = 0;
+        let mut checksum = 0u64;
+        for _ in 0..sweeps {
+            let (q, c) = query_sweep(&analyzer, &mut scratch);
+            queries += q;
+            checksum = checksum.wrapping_add(c);
+        }
+        checksum
+    });
+    assert!(checksum > 0, "compacted query sweep reconstructed nothing");
+    let res = analyzer.residency();
+    assert!(
+        res.hot_periods <= ANALYZER_HOSTS,
+        "hot tier exceeds hot_periods=1 per host"
+    );
+    let compacted_queries_per_sec = queries as f64 / (wall_ns as f64 / 1e9);
+    RetentionMeasure {
+        hot_queries_per_sec,
+        compacted_queries_per_sec,
+        compacted_slowdown: hot_queries_per_sec / compacted_queries_per_sec,
+        bytes_per_retained_period: res.resident_report_bytes as f64 / res.resident_periods as f64,
+        resident_periods: res.resident_periods as u64,
+        notes: "hot = unbounded sweep; compacted = hot_periods=1 sparse inverse-Haar fallback"
+            .into(),
     }
 }
 
@@ -473,6 +526,24 @@ fn record_analyzer(root: &Path, as_baseline: Option<&str>) {
         "  {:.0} queries/sec ({:.1} us/query)",
         analyzer.queries_per_sec, analyzer.us_per_query
     );
+    let retention = if as_baseline.is_none() {
+        println!(
+            "analyzer retention: compacted sweep ({} sweeps x {} reps) ...",
+            ANALYZER_SWEEPS_SMOKE, REPS
+        );
+        let r = bench_retention(ANALYZER_SWEEPS_SMOKE, analyzer.queries_per_sec);
+        println!(
+            "  hot {:.0} q/s, compacted {:.0} q/s ({:.1}x slower), {:.0} bytes/retained period over {} periods",
+            r.hot_queries_per_sec,
+            r.compacted_queries_per_sec,
+            r.compacted_slowdown,
+            r.bytes_per_retained_period,
+            r.resident_periods
+        );
+        Some(r)
+    } else {
+        None
+    };
     let mut analyzer_file: AnalyzerBench = load(&analyzer_path);
     analyzer_file.schema = 1;
     analyzer_file.workload = format!(
@@ -487,6 +558,9 @@ fn record_analyzer(root: &Path, as_baseline: Option<&str>) {
         Some("baseline_lto") => {}
         Some(_) => unreachable!("validated in record()"),
         None => analyzer_file.current = Some(analyzer),
+    }
+    if let Some(r) = retention {
+        analyzer_file.retention = Some(r);
     }
     if let (Some(b), Some(c)) = (&analyzer_file.baseline, &analyzer_file.current) {
         analyzer_file.speedup_vs_baseline = Some(c.queries_per_sec / b.queries_per_sec);
@@ -580,6 +654,42 @@ fn smoke() {
         "speedup",
         "speedup_vs_baseline",
         analyzer_file.speedup_vs_baseline,
+    );
+    let committed_compacted = require_finite(
+        "BENCH_analyzer.json",
+        "retention",
+        "compacted_queries_per_sec",
+        analyzer_file
+            .retention
+            .as_ref()
+            .map(|r| r.compacted_queries_per_sec),
+    );
+    require_finite(
+        "BENCH_analyzer.json",
+        "retention",
+        "hot_queries_per_sec",
+        analyzer_file
+            .retention
+            .as_ref()
+            .map(|r| r.hot_queries_per_sec),
+    );
+    require_finite(
+        "BENCH_analyzer.json",
+        "retention",
+        "bytes_per_retained_period",
+        analyzer_file
+            .retention
+            .as_ref()
+            .map(|r| r.bytes_per_retained_period),
+    );
+    println!(
+        "BENCH_analyzer: committed compacted tier {committed_compacted:.0} queries/sec \
+         ({:.1}x below hot)",
+        analyzer_file
+            .retention
+            .as_ref()
+            .map(|r| r.compacted_slowdown)
+            .unwrap_or(f64::NAN)
     );
 
     let core = bench_core(CORE_UPDATES_SMOKE);

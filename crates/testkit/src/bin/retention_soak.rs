@@ -1,0 +1,111 @@
+//! Fixed-seed retention and crash-recovery smoke for CI and local debugging.
+//!
+//! Two stages per seed:
+//!
+//! 1. [`umon_testkit::retention_diff_run`] across all three workload kinds —
+//!    the tier/archive differential contract (compaction and recovery are
+//!    bit-invisible, eviction is exact forgetting, torn tails lose exactly
+//!    the torn record).
+//! 2. [`umon_testkit::retention_soak_run`] — `--periods` upload periods
+//!    through a small bounded policy, asserting at every checkpoint that
+//!    resident state honors the budget and queries stay bit-identical to an
+//!    unbounded reference over the surviving periods.
+//!
+//! Prints a repro command for every failure and exits nonzero if the
+//! retention contract broke.
+
+use std::time::Instant;
+
+use umon::RetentionPolicy;
+use umon_testkit::{
+    retention_diff_run, retention_soak_run, RetentionDiffConfig, RetentionDiffStats, StreamKind,
+};
+
+fn usage() -> ! {
+    eprintln!("usage: retention_soak [--seeds N] [--start S] [--periods P]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut seeds = 4u64;
+    let mut start = 0u64;
+    let mut periods = 1000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a numeric argument");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = value("--seeds"),
+            "--start" => start = value("--start"),
+            "--periods" => periods = value("--periods"),
+            _ => usage(),
+        }
+    }
+
+    let scratch = std::env::temp_dir().join(format!("umon_retention_soak_{}", std::process::id()));
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    let mut failures = 0u64;
+    let mut totals = RetentionDiffStats::default();
+    let mut soak_periods = 0u64;
+    let mut soak_checks = 0usize;
+    for seed in start..start.saturating_add(seeds) {
+        for kind in StreamKind::ALL {
+            match retention_diff_run(seed, &RetentionDiffConfig::quick(kind), &scratch) {
+                Ok(stats) => {
+                    totals.reports += stats.reports;
+                    totals.compacted += stats.compacted;
+                    totals.evicted += stats.evicted;
+                    totals.recovered += stats.recovered;
+                    totals.curves_compared += stats.curves_compared;
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL: {e}");
+                    eprintln!(
+                        "  repro: cargo run -p umon-testkit --bin retention_soak -- --seeds 1 --start {seed}"
+                    );
+                }
+            }
+            runs += 1;
+        }
+        let policy = RetentionPolicy::bounded(8, 32).with_cached_bytes(256 * 1024);
+        match retention_soak_run(seed, periods, policy, 50) {
+            Ok(stats) => {
+                soak_periods += stats.periods;
+                soak_checks += stats.curves_compared;
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL: {e}");
+                eprintln!(
+                    "  repro: cargo run -p umon-testkit --bin retention_soak -- --seeds 1 --start {seed} --periods {periods}"
+                );
+            }
+        }
+        runs += 1;
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "retention_soak: {runs} runs ({seeds} seeds x {} workloads + soak), {failures} failures in {:.2?}",
+        StreamKind::ALL.len(),
+        t0.elapsed()
+    );
+    println!(
+        "  coverage: {} reports, {} compacted, {} evicted, {} recovered, {} curve comparisons; soak {} periods, {} checkpoint comparisons",
+        totals.reports,
+        totals.compacted,
+        totals.evicted,
+        totals.recovered,
+        totals.curves_compared,
+        soak_periods,
+        soak_checks
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,12 @@
 //! transports, asserting the `umon::collector` degradation contract against
 //! a fault log that records exactly what the network did.
 //!
+//! [`retention_diff_run`] and [`retention_soak_run`] cover the analyzer's
+//! bounded-memory retention tiers and the crash-safe period archive: tier
+//! compaction and archive crash/recovery must be bit-invisible to queries,
+//! eviction must equal exact forgetting, and a long bounded run must hold
+//! resident state under the budget (DESIGN.md §12).
+//!
 //! [`replay_host_records`] closes the loop with the simulator: it feeds
 //! `netsim` TX records (e.g. parsed back from a trace CSV) through a real
 //! [`umon::HostAgent`] and validates every uploaded period report against a
@@ -35,12 +41,17 @@ pub mod golden;
 pub mod golden_query;
 pub mod oracle;
 pub mod replay;
+pub mod retention;
 pub mod stream;
 
 pub use diff::{diff_run, DiffConfig, DiffError, DiffStats};
 pub use faults::{collection_diff_run, flow_id_of, CollectionDiffConfig, CollectionDiffStats};
 pub use oracle::{CheckParams, EpochTruth, Oracle};
 pub use replay::{replay_host_records, ReplayStats};
+pub use retention::{
+    retention_diff_run, retention_soak_run, RetentionDiffConfig, RetentionDiffStats,
+    RetentionSoakStats,
+};
 pub use stream::{
     gen_stream, scale_values, shuffle_within_windows, StreamConfig, StreamKind, Update,
 };

@@ -1,0 +1,515 @@
+//! Differential contract for the analyzer's bounded-memory retention tiers
+//! and the crash-safe period archive (DESIGN.md §12).
+//!
+//! One [`retention_diff_run`] call generates a multi-host, multi-period
+//! workload, delivers it interleaved across hosts, and asserts the three
+//! retention invariants against unbounded references:
+//!
+//! 1. **Compaction is invisible** — an analyzer that compacts periods past
+//!    the hot horizon (and one that additionally compacts early under a
+//!    cached-bytes budget) produces curves bit-identical to a fully
+//!    unbounded analyzer: the compacted tier's sparse inverse-Haar fallback
+//!    accumulates in the same order as the cached hot path.
+//! 2. **Eviction is exact forgetting** — a bounded-resident analyzer equals
+//!    an unbounded reference fed exactly the periods it retained: evicting
+//!    old periods never perturbs what survives.
+//! 3. **Recovery reconverges** — an archive-backed analyzer killed
+//!    mid-ingest and recovered from its segment files, then fed the rest of
+//!    the workload, ends bit-identical to one that never crashed; a torn
+//!    segment tail loses exactly the torn record and nothing else.
+//!
+//! [`retention_soak_run`] is the long-run variant: thousands of periods
+//! through a small budget, asserting at checkpoints that resident state
+//! stays bounded and hot-tier queries stay bit-identical to an unbounded
+//! reference that ingested the same reports.
+
+use std::path::Path;
+
+use umon::{Analyzer, HostAgent, HostAgentConfig, PeriodReport, RetentionPolicy};
+use wavesketch::{SelectorKind, SketchConfig};
+
+use crate::diff::DiffError;
+use crate::stream::{gen_stream, StreamConfig, StreamKind};
+
+/// Everything one retention differential run needs.
+#[derive(Debug, Clone)]
+pub struct RetentionDiffConfig {
+    /// Host-agent configuration (sketch + period geometry).
+    pub agent: HostAgentConfig,
+    /// Stream shape, generated per host with a host-mixed seed.
+    pub stream: StreamConfig,
+    /// Hosts feeding the analyzer.
+    pub hosts: usize,
+    /// Hot horizon of the bounded scenarios.
+    pub hot_periods: u64,
+    /// Resident horizon of the eviction and archive scenarios.
+    pub resident_periods: u64,
+    /// Cached-bytes budget for the early-compaction scenario.
+    pub cached_budget: usize,
+    /// How many flow ids to compare per host and scenario.
+    pub query_sample: u64,
+}
+
+impl RetentionDiffConfig {
+    /// A configuration sized for debug-build suites: ~25 upload periods per
+    /// host against a hot horizon of 4 and a resident horizon of 10, so
+    /// every tier transition fires many times.
+    pub fn quick(kind: StreamKind) -> Self {
+        Self {
+            agent: HostAgentConfig {
+                sketch: SketchConfig::builder()
+                    .rows(3)
+                    .width(16)
+                    .levels(4)
+                    .topk(12)
+                    .max_windows(64)
+                    .heavy_rows(4)
+                    .selector(SelectorKind::Ideal)
+                    .build(),
+                period_ns: 16 << 13, // 16 windows per upload period
+                window_shift: 13,
+            },
+            stream: StreamConfig {
+                kind,
+                flows: 24,
+                windows: 400,
+                start_window: 500,
+                mean_packets: 2,
+            },
+            hosts: 3,
+            hot_periods: 4,
+            resident_periods: 10,
+            cached_budget: 8 * 1024,
+            query_sample: 12,
+        }
+    }
+}
+
+/// What a successful retention differential run covered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetentionDiffStats {
+    /// Period reports the workload produced (all hosts).
+    pub reports: usize,
+    /// Periods compacted across the bounded scenarios.
+    pub compacted: u64,
+    /// Periods evicted across the bounded scenarios.
+    pub evicted: u64,
+    /// Archived reports replayed by the recovery scenarios.
+    pub recovered: u64,
+    /// Curve comparisons performed.
+    pub curves_compared: usize,
+}
+
+/// Compares every sampled flow curve and the host rate curve of `got`
+/// against `want`, for each host. Bit-exact: `WindowSeries` is compared
+/// with `==` on raw `f64`s.
+fn compare_curves(
+    got: &Analyzer,
+    want: &Analyzer,
+    hosts: usize,
+    flows: u64,
+    scenario: &str,
+    fail: &impl Fn(String) -> DiffError,
+) -> Result<usize, DiffError> {
+    let mut compared = 0;
+    for host in 0..hosts {
+        for flow in 0..flows {
+            if got.flow_curve(host, flow) != want.flow_curve(host, flow) {
+                return Err(fail(format!(
+                    "{scenario}: host {host} flow {flow} curve differs from the reference"
+                )));
+            }
+            compared += 1;
+        }
+        if got.host_rate_curve(host) != want.host_rate_curve(host) {
+            return Err(fail(format!(
+                "{scenario}: host {host} rate curve differs from the reference"
+            )));
+        }
+        compared += 1;
+    }
+    Ok(compared)
+}
+
+/// Generates the per-host reports and flattens them into an interleaved
+/// delivery order (round-robin by period across hosts), the shape a shared
+/// collection plane produces.
+fn interleaved_workload(seed: u64, cfg: &RetentionDiffConfig) -> (Vec<PeriodReport>, usize) {
+    let mut per_host: Vec<Vec<PeriodReport>> = Vec::new();
+    for host in 0..cfg.hosts {
+        let stream = gen_stream(
+            seed ^ (host as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            &cfg.stream,
+        );
+        let mut agent = HostAgent::new(host, cfg.agent.clone());
+        for (f, w, v) in &stream {
+            agent.observe(
+                crate::flow_id_of(f),
+                *w << cfg.agent.window_shift,
+                *v as u32,
+            );
+        }
+        per_host.push(agent.finish());
+    }
+    let total = per_host.iter().map(Vec::len).sum();
+    let longest = per_host.iter().map(Vec::len).max().unwrap_or(0);
+    let mut delivery = Vec::with_capacity(total);
+    for i in 0..longest {
+        for reports in &per_host {
+            if let Some(r) = reports.get(i) {
+                delivery.push(r.clone());
+            }
+        }
+    }
+    (delivery, total)
+}
+
+/// Feeds `delivery` to `analyzer` in small batches (multiple retention
+/// enforcement rounds, as live ingest would see).
+fn feed(analyzer: &mut Analyzer, delivery: &[PeriodReport]) {
+    for chunk in delivery.chunks(7) {
+        analyzer.add_reports(chunk.to_vec());
+    }
+}
+
+/// Runs the retention differential step for one seed. `scratch_dir` is a
+/// caller-owned directory for the archive scenarios; its `crash/`,
+/// `nocrash/` and `torn/` subdirectories are recreated on every call.
+pub fn retention_diff_run(
+    seed: u64,
+    cfg: &RetentionDiffConfig,
+    scratch_dir: &Path,
+) -> Result<RetentionDiffStats, DiffError> {
+    let fail = |detail: String| DiffError {
+        seed,
+        kind: cfg.stream.kind,
+        detail,
+    };
+    let mut stats = RetentionDiffStats::default();
+
+    let (delivery, total) = interleaved_workload(seed, cfg);
+    if total == 0 {
+        return Err(fail("workload produced no reports".into()));
+    }
+    stats.reports = total;
+    let flows = cfg.query_sample.min(cfg.stream.flows);
+
+    // The unbounded reference every scenario is measured against.
+    let mut reference = Analyzer::new(cfg.agent.sketch.clone());
+    feed(&mut reference, &delivery);
+
+    // Scenario 1: compaction only — bit-identical to unbounded.
+    {
+        let policy = RetentionPolicy::bounded(cfg.hot_periods, u64::MAX);
+        let mut compacting = Analyzer::with_retention(cfg.agent.sketch.clone(), policy);
+        feed(&mut compacting, &delivery);
+        let rs = compacting.retention_stats();
+        if rs.compacted_periods + rs.compacted_on_arrival == 0 {
+            return Err(fail(
+                "compaction-only: nothing was compacted (vacuous)".into(),
+            ));
+        }
+        if rs.evicted_periods != 0 {
+            return Err(fail(
+                "compaction-only: eviction fired without a resident bound".into(),
+            ));
+        }
+        let res = compacting.residency();
+        let hot_cap = cfg.hosts as u64 * cfg.hot_periods;
+        if res.hot_periods as u64 > hot_cap {
+            return Err(fail(format!(
+                "compaction-only: {} hot periods exceed the {hot_cap} horizon",
+                res.hot_periods
+            )));
+        }
+        stats.compacted += rs.compacted_periods + rs.compacted_on_arrival;
+        stats.curves_compared += compare_curves(
+            &compacting,
+            &reference,
+            cfg.hosts,
+            flows,
+            "compaction-only",
+            &fail,
+        )?;
+    }
+
+    // Scenario 1b: a cached-bytes budget compacts early — still identical.
+    {
+        let policy =
+            RetentionPolicy::bounded(u64::MAX / 2, u64::MAX).with_cached_bytes(cfg.cached_budget);
+        let mut budgeted = Analyzer::with_retention(cfg.agent.sketch.clone(), policy);
+        feed(&mut budgeted, &delivery);
+        let res = budgeted.residency();
+        if res.cached_bytes > cfg.cached_budget {
+            return Err(fail(format!(
+                "byte-budget: {} cached bytes exceed the {} budget",
+                res.cached_bytes, cfg.cached_budget
+            )));
+        }
+        stats.compacted += budgeted.retention_stats().compacted_periods;
+        stats.curves_compared += compare_curves(
+            &budgeted,
+            &reference,
+            cfg.hosts,
+            flows,
+            "byte-budget",
+            &fail,
+        )?;
+    }
+
+    // Scenario 2: eviction — equals a reference fed only the survivors.
+    {
+        let policy = RetentionPolicy::bounded(cfg.hot_periods, cfg.resident_periods);
+        let mut bounded = Analyzer::with_retention(cfg.agent.sketch.clone(), policy);
+        feed(&mut bounded, &delivery);
+        let rs = bounded.retention_stats();
+        if rs.evicted_periods == 0 {
+            return Err(fail("eviction: nothing was evicted (vacuous)".into()));
+        }
+        stats.evicted += rs.evicted_periods;
+        stats.compacted += rs.compacted_periods + rs.compacted_on_arrival;
+        for host in 0..cfg.hosts {
+            let resident = bounded.host_coverage(host).periods.len() as u64;
+            if resident > cfg.resident_periods {
+                return Err(fail(format!(
+                    "eviction: host {host} holds {resident} periods, budget {}",
+                    cfg.resident_periods
+                )));
+            }
+        }
+        // Survivors, in the original delivery order.
+        let survivors: Vec<PeriodReport> = delivery
+            .iter()
+            .filter(|r| bounded.host_coverage(r.host).covers(r.period))
+            .cloned()
+            .collect();
+        let mut surviving_ref = Analyzer::new(cfg.agent.sketch.clone());
+        feed(&mut surviving_ref, &survivors);
+        stats.curves_compared += compare_curves(
+            &bounded,
+            &surviving_ref,
+            cfg.hosts,
+            flows,
+            "eviction",
+            &fail,
+        )?;
+    }
+
+    // Scenario 3: archive crash/recovery reconverges bit-identically.
+    {
+        let policy = RetentionPolicy::bounded(cfg.hot_periods, cfg.resident_periods);
+        let crash_dir = scratch_dir.join("crash");
+        let nocrash_dir = scratch_dir.join("nocrash");
+        for d in [&crash_dir, &nocrash_dir] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        let io_fail = |e: std::io::Error| fail(format!("recovery: archive io error: {e}"));
+
+        let half = delivery.len() / 2;
+        {
+            let mut doomed = Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &crash_dir)
+                .map_err(io_fail)?;
+            feed(&mut doomed, &delivery[..half]);
+            // Killed here: `doomed` drops without any shutdown path. Every
+            // accepted report was already archived (write-ahead).
+        }
+        let mut revived = Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &crash_dir)
+            .map_err(io_fail)?;
+        let recovery = revived.recover_from_archive().map_err(io_fail)?;
+        if !recovery.damaged_tails.is_empty() {
+            return Err(fail(format!(
+                "recovery: clean crash reported damaged tails {:?}",
+                recovery.damaged_tails
+            )));
+        }
+        if recovery.recovered == 0 {
+            return Err(fail("recovery: archive replay recovered nothing".into()));
+        }
+        stats.recovered += recovery.recovered;
+        feed(&mut revived, &delivery[half..]);
+
+        let mut steady = Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &nocrash_dir)
+            .map_err(io_fail)?;
+        feed(&mut steady, &delivery);
+        if revived.residency() != steady.residency() {
+            return Err(fail(format!(
+                "recovery: residency diverged: {:?} vs {:?}",
+                revived.residency(),
+                steady.residency()
+            )));
+        }
+        for host in 0..cfg.hosts {
+            if revived.host_coverage(host).periods != steady.host_coverage(host).periods {
+                return Err(fail(format!(
+                    "recovery: host {host} resident periods diverged"
+                )));
+            }
+        }
+        stats.curves_compared +=
+            compare_curves(&revived, &steady, cfg.hosts, flows, "recovery", &fail)?;
+    }
+
+    // Scenario 3b: a torn segment tail loses exactly the torn record.
+    {
+        let policy = RetentionPolicy::bounded(cfg.hot_periods, cfg.resident_periods);
+        let torn_dir = scratch_dir.join("torn");
+        let _ = std::fs::remove_dir_all(&torn_dir);
+        let io_fail = |e: std::io::Error| fail(format!("torn-tail: archive io error: {e}"));
+
+        let half = delivery.len() / 2;
+        {
+            let mut doomed = Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &torn_dir)
+                .map_err(io_fail)?;
+            feed(&mut doomed, &delivery[..half]);
+        }
+        // Tear the tail of host 0's segment mid-record (a crash mid-write).
+        let seg = torn_dir.join("host_0.seg");
+        let bytes = std::fs::read(&seg).map_err(io_fail)?;
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).map_err(io_fail)?;
+        // The torn record is host 0's last archived = its newest accepted
+        // period in the first half (per-host appends are period-ascending
+        // here).
+        let torn_period = delivery[..half]
+            .iter()
+            .filter(|r| r.host == 0)
+            .map(|r| r.period)
+            .max()
+            .expect("host 0 delivered in the first half");
+
+        let mut revived =
+            Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &torn_dir).map_err(io_fail)?;
+        let recovery = revived.recover_from_archive().map_err(io_fail)?;
+        if recovery.damaged_tails != vec![0] {
+            return Err(fail(format!(
+                "torn-tail: damaged tails {:?}, want [0]",
+                recovery.damaged_tails
+            )));
+        }
+        stats.recovered += recovery.recovered;
+        feed(&mut revived, &delivery[half..]);
+
+        // Reference: never crashed, but never saw the torn record either.
+        let mut steady = Analyzer::with_retention(cfg.agent.sketch.clone(), policy);
+        let surviving: Vec<PeriodReport> = delivery
+            .iter()
+            .filter(|r| !(r.host == 0 && r.period == torn_period))
+            .cloned()
+            .collect();
+        feed(&mut steady, &surviving);
+        stats.curves_compared +=
+            compare_curves(&revived, &steady, cfg.hosts, flows, "torn-tail", &fail)?;
+    }
+
+    Ok(stats)
+}
+
+/// What [`retention_soak_run`] observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetentionSoakStats {
+    /// Upload periods ingested.
+    pub periods: u64,
+    /// Maximum resident periods observed at any checkpoint.
+    pub max_resident_periods: usize,
+    /// Maximum cached reconstruction bytes observed at any checkpoint.
+    pub max_cached_bytes: usize,
+    /// Periods evicted over the run.
+    pub evicted: u64,
+    /// Checkpoint equivalence comparisons performed.
+    pub curves_compared: usize,
+}
+
+/// Long-run soak: one host streams `periods` upload periods through a small
+/// bounded policy, asserting at every checkpoint (every `checkpoint_every`
+/// periods) that resident state honors the budget and that queries over the
+/// retained periods stay bit-identical to an unbounded analyzer fed exactly
+/// those reports. Everything held by the soak itself is O(budget): the
+/// reference window is pruned in lockstep with the bounded analyzer's
+/// eviction, so the run can span thousands of periods without growing.
+pub fn retention_soak_run(
+    seed: u64,
+    periods: u64,
+    policy: RetentionPolicy,
+    checkpoint_every: u64,
+) -> Result<RetentionSoakStats, DiffError> {
+    let fail = |detail: String| DiffError {
+        seed,
+        kind: StreamKind::Uniform,
+        detail,
+    };
+    let cfg = RetentionDiffConfig::quick(StreamKind::Uniform);
+    let windows_per_period = cfg.agent.period_ns >> cfg.agent.window_shift;
+    let mut stats = RetentionSoakStats::default();
+    let flows = cfg.query_sample.min(cfg.stream.flows);
+
+    let mut bounded = Analyzer::with_retention(cfg.agent.sketch.clone(), policy);
+    // The surviving-report window backing the checkpoint references; pruned
+    // to the bounded analyzer's resident set, so it never outgrows the
+    // budget either.
+    let mut recent: std::collections::BTreeMap<u64, PeriodReport> =
+        std::collections::BTreeMap::new();
+
+    let mut agent = HostAgent::new(0, cfg.agent.clone());
+    let mut stream_cfg = cfg.stream.clone();
+    stream_cfg.windows = windows_per_period * checkpoint_every;
+    let mut done = 0u64;
+    while done < periods {
+        stream_cfg.start_window = done * windows_per_period;
+        let stream = gen_stream(seed ^ done, &stream_cfg);
+        for (f, w, v) in &stream {
+            agent.observe(
+                crate::flow_id_of(f),
+                *w << cfg.agent.window_shift,
+                *v as u32,
+            );
+        }
+        let reports = agent.poll_finished();
+        done += checkpoint_every;
+        stats.periods = done;
+        for r in &reports {
+            recent.insert(r.period, r.clone());
+        }
+        bounded.add_reports(reports);
+
+        let res = bounded.residency();
+        stats.max_resident_periods = stats.max_resident_periods.max(res.resident_periods);
+        stats.max_cached_bytes = stats.max_cached_bytes.max(res.cached_bytes);
+        stats.evicted = bounded.retention_stats().evicted_periods;
+        if res.resident_periods as u64 > policy.resident_periods {
+            return Err(fail(format!(
+                "soak: {} resident periods exceed the {} budget at period {done}",
+                res.resident_periods, policy.resident_periods
+            )));
+        }
+        if res.hot_periods as u64 > policy.hot_periods {
+            return Err(fail(format!(
+                "soak: {} hot periods exceed the {} horizon at period {done}",
+                res.hot_periods, policy.hot_periods
+            )));
+        }
+        if let Some(budget) = policy.max_cached_bytes {
+            if res.cached_bytes > budget {
+                return Err(fail(format!(
+                    "soak: {} cached bytes exceed the {budget} budget at period {done}",
+                    res.cached_bytes
+                )));
+            }
+        }
+
+        // Prune the reference window to the bounded analyzer's resident set,
+        // then assert bit-identical queries over the survivors.
+        let coverage = bounded.host_coverage(0);
+        recent.retain(|p, _| coverage.covers(*p));
+        if recent.len() != res.resident_periods {
+            return Err(fail(format!(
+                "soak: reference window {} periods vs resident {} at period {done}",
+                recent.len(),
+                res.resident_periods
+            )));
+        }
+        let mut reference = Analyzer::new(cfg.agent.sketch.clone());
+        reference.add_reports(recent.values().cloned().collect());
+        stats.curves_compared +=
+            compare_curves(&bounded, &reference, 1, flows, "soak-checkpoint", &fail)?;
+    }
+    Ok(stats)
+}

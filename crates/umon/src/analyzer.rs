@@ -13,12 +13,19 @@
 //! * **event replay** — the Figure 10c join of detected events with the
 //!   rate curves of the involved flows.
 
+use crate::archive::PeriodArchive;
 use crate::host_agent::PeriodReport;
-use crate::query_index::{series_from_refs, HostIndex, QueryIndex, QueryScratch};
+use crate::query_index::{
+    series_from_epochs, unpack_key, visit_refs, Epoch, HostIndex, QueryIndex, QueryScratch,
+};
+use crate::retention::{ResidencySnapshot, RetentionPolicy, RetentionStats, TierFloors};
+use crate::seqwin::SeqWindow;
 use crate::switch_agent::{MirrorBatch, MirroredPacket};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::path::Path;
 use umon_netsim::QueueEpisode;
 use wavesketch::basic::WindowSeries;
+use wavesketch::reconstruct::ReconstructScratch;
 use wavesketch::{FlowKey, SketchConfig};
 
 /// Accounting for one [`Analyzer::add_reports`] batch (and, cumulatively,
@@ -157,51 +164,147 @@ pub struct Analyzer {
     sketch_config: SketchConfig,
     /// Host reports keyed by host, then by period — the map deduplicates
     /// redelivered periods and keeps reconstruction inputs period-ordered no
-    /// matter how the collection plane reordered arrivals.
+    /// matter how the collection plane reordered arrivals. Under a bounded
+    /// [`RetentionPolicy`] this is the resident set only (hot + compacted);
+    /// evicted periods live in the archive, if any.
     reports: HashMap<usize, BTreeMap<u64, PeriodReport>>,
     /// Ingest-time query index over `reports`; updated exactly when a report
     /// is accepted, so it stays coherent under dedup, quarantine and
-    /// out-of-order delivery.
+    /// out-of-order delivery. Only hot-tier periods are indexed; compacted
+    /// periods are deindexed and queries fall back to a linear period scan.
     index: QueryIndex,
-    /// All mirrored packets.
+    /// The memory budget driving compaction and eviction.
+    retention: RetentionPolicy,
+    /// Per-host tier floors (monotone; see [`TierFloors`]).
+    floors: HashMap<usize, TierFloors>,
+    /// Cumulative retention accounting.
+    retention_stats: RetentionStats,
+    /// Crash-safe on-disk period archive. Every accepted report is appended
+    /// here *before* it becomes queryable (write-ahead), so eviction is a
+    /// pure in-memory drop and a crash can lose at most one segment tail.
+    archive: Option<PeriodArchive>,
+    /// Suppresses archive appends while replaying the archive itself
+    /// ([`Self::recover_from_archive`]), so recovery never duplicates
+    /// records.
+    recovering: bool,
+    /// All mirrored packets. Intentionally retained unbounded: positions in
+    /// this list are referenced by [`Self::mirror_index`], so eviction would
+    /// invalidate the index, and mirror volume is bounded by the switch
+    /// agents' sampling rate rather than by time alone. Long-running
+    /// deployments restart the mirror plane per epoch.
     mirrors: Vec<MirroredPacket>,
     /// Per-`(switch, vlan)` positions into [`Self::mirrors`], each list
     /// sorted by timestamp (ties in arrival order — what a stable sort of
     /// the flat list produced before this index existed). Maintained on
     /// ingest so event queries stop re-bucketing and re-sorting every
-    /// mirror.
+    /// mirror. Retained alongside `mirrors` (same lifetime, same bound).
     mirror_index: BTreeMap<(usize, u16), Vec<usize>>,
-    /// Mirror batch numbers already accepted, per switch.
-    mirror_batches_seen: HashSet<(usize, u64)>,
+    /// Mirror batch numbers already accepted, per switch: a contiguous-ack
+    /// watermark plus a bounded out-of-order tail, not an ever-growing set.
+    mirror_batches_seen: HashMap<usize, SeqWindow>,
     /// Redelivered mirror batches dropped.
     mirror_duplicates: u64,
     /// Cumulative report-ingestion accounting.
     stats: IngestStats,
-    /// The most recent mismatched reports, kept for postmortems (bounded).
-    quarantine: Vec<PeriodReport>,
-    /// Collector-reported lost uploads per host.
+    /// The most recent mismatched reports, kept for postmortems: a ring of
+    /// the last [`QUARANTINE_CAP`] arrivals, oldest evicted first.
+    quarantine: VecDeque<PeriodReport>,
+    /// Collector-reported lost uploads per host. Bounded by the number of
+    /// hosts, not by time.
     known_lost: HashMap<usize, u64>,
 }
 
 /// Mismatched reports retained for inspection before old ones are evicted.
 const QUARANTINE_CAP: usize = 64;
 
+/// Out-of-order tolerance for mirror batch sequence numbers, per switch.
+/// Batches more than this many sequence numbers behind the newest seen are
+/// treated as duplicates (the dedup window has moved past them).
+const MIRROR_BATCH_HORIZON: usize = 1024;
+
+/// What [`Analyzer::recover_from_archive`] found and replayed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Archived reports re-accepted into the store.
+    pub recovered: u64,
+    /// Archived records skipped: already resident, or below the eviction
+    /// floor the replay itself advanced (their periods aged out again).
+    pub skipped: u64,
+    /// Archived records whose config fingerprint no longer matches
+    /// (quarantined, as on live ingest).
+    pub mismatched: u64,
+    /// Hosts whose segment had a damaged (truncated or corrupt) tail; the
+    /// intact prefix was still recovered.
+    pub damaged_tails: Vec<usize>,
+}
+
 impl Analyzer {
     /// Creates an analyzer that reconstructs against `sketch_config` (must
-    /// match the host agents' configuration).
+    /// match the host agents' configuration). Retention is unbounded — the
+    /// pre-retention behavior; long-running deployments should use
+    /// [`Self::with_retention`] or [`Self::with_archive`].
     pub fn new(sketch_config: SketchConfig) -> Self {
+        Self::with_retention(sketch_config, RetentionPolicy::UNBOUNDED)
+    }
+
+    /// An analyzer with an explicit memory budget; see [`RetentionPolicy`].
+    pub fn with_retention(sketch_config: SketchConfig, retention: RetentionPolicy) -> Self {
         Self {
             sketch_config,
             reports: HashMap::new(),
             index: QueryIndex::default(),
+            retention,
+            floors: HashMap::new(),
+            retention_stats: RetentionStats::default(),
+            archive: None,
+            recovering: false,
             mirrors: Vec::new(),
             mirror_index: BTreeMap::new(),
-            mirror_batches_seen: HashSet::new(),
+            mirror_batches_seen: HashMap::new(),
             mirror_duplicates: 0,
             stats: IngestStats::default(),
-            quarantine: Vec::new(),
+            quarantine: VecDeque::new(),
             known_lost: HashMap::new(),
         }
+    }
+
+    /// An analyzer with a memory budget *and* a crash-safe on-disk archive
+    /// rooted at `dir`. Every accepted report is archived before it becomes
+    /// queryable, so evicted periods survive on disk and a restarted
+    /// analyzer recovers them with [`Self::recover_from_archive`].
+    pub fn with_archive(
+        sketch_config: SketchConfig,
+        retention: RetentionPolicy,
+        dir: impl AsRef<Path>,
+    ) -> std::io::Result<Self> {
+        let mut a = Self::with_retention(sketch_config, retention);
+        a.archive = Some(PeriodArchive::open(dir)?);
+        Ok(a)
+    }
+
+    /// Replays the archive this analyzer writes to, re-accepting every
+    /// intact record (the crash-recovery path: construct with
+    /// [`Self::with_archive`] over the surviving directory, then call this).
+    /// Records replay sorted by `(host, period)`, so retention enforcement
+    /// re-evicts periods past the policy's horizon as the replay advances —
+    /// the recovered analyzer converges to the same resident set, and
+    /// bit-identical curves, as one that never crashed. Appends are
+    /// suppressed during the replay, so recovery never duplicates archive
+    /// records. No-op without an archive.
+    pub fn recover_from_archive(&mut self) -> std::io::Result<RecoveryStats> {
+        let Some(dir) = self.archive.as_ref().map(|a| a.dir().to_path_buf()) else {
+            return Ok(RecoveryStats::default());
+        };
+        let scan = PeriodArchive::scan(&dir)?;
+        self.recovering = true;
+        let stats = self.add_reports(scan.reports);
+        self.recovering = false;
+        Ok(RecoveryStats {
+            recovered: stats.accepted,
+            skipped: stats.duplicates,
+            mismatched: stats.mismatched,
+            damaged_tails: scan.damaged_tails,
+        })
     }
 
     /// Ingests period reports, one host or many mixed.
@@ -218,23 +321,117 @@ impl Analyzer {
             if r.config_fingerprint != expected {
                 batch.mismatched += 1;
                 if self.quarantine.len() >= QUARANTINE_CAP {
-                    self.quarantine.remove(0);
+                    self.quarantine.pop_front();
                 }
-                self.quarantine.push(r);
+                self.quarantine.push_back(r);
                 continue;
             }
-            let slot = self.reports.entry(r.host).or_default();
-            match slot.entry(r.period) {
+            let floors = self.floors.get(&r.host).copied().unwrap_or_default();
+            if r.period < floors.evict_floor {
+                // Below the eviction floor the store can no longer tell a
+                // stale first delivery from a redelivery of an evicted
+                // period; accepting would also re-archive it. Drop it.
+                batch.duplicates += 1;
+                self.retention_stats.stale_dropped += 1;
+                continue;
+            }
+            let host = r.host;
+            let mut accepted = false;
+            match self.reports.entry(host).or_default().entry(r.period) {
                 std::collections::btree_map::Entry::Occupied(_) => batch.duplicates += 1,
                 std::collections::btree_map::Entry::Vacant(v) => {
-                    self.index.index_report(r.host, &r, &self.sketch_config);
+                    // Write-ahead: archive before the report becomes
+                    // queryable, so eviction never races a missing record.
+                    if !self.recovering {
+                        if let Some(archive) = self.archive.as_mut() {
+                            if archive.append(&r).is_err() {
+                                self.retention_stats.archive_errors += 1;
+                            }
+                        }
+                    }
+                    if r.period >= floors.hot_floor {
+                        self.index.index_report(host, &r, &self.sketch_config);
+                    } else {
+                        // Arrived already past the hot horizon: store it
+                        // compacted (resident, never indexed).
+                        self.index.ensure_host(host);
+                        self.retention_stats.compacted_on_arrival += 1;
+                    }
                     v.insert(r);
                     batch.accepted += 1;
+                    accepted = true;
                 }
             }
+            if accepted {
+                self.enforce_retention(host);
+            }
         }
+        self.enforce_cached_budget();
         self.stats.absorb(batch);
         batch
+    }
+
+    /// Raises `host`'s tier floors to track its newest stored period, then
+    /// compacts/evicts the periods the raise uncovered. No-ops entirely
+    /// under the default unbounded policy (the floors stay at 0).
+    fn enforce_retention(&mut self, host: usize) {
+        let Some(store) = self.reports.get(&host) else {
+            return;
+        };
+        let Some((&newest, _)) = store.last_key_value() else {
+            return;
+        };
+        let floors = self.floors.entry(host).or_default();
+        let prev = floors.raise(newest, &self.retention);
+        let (hot_floor, evict_floor) = (floors.hot_floor, floors.evict_floor);
+        if evict_floor > prev.evict_floor {
+            let store = self.reports.get_mut(&host).expect("checked above");
+            let doomed: Vec<u64> = store
+                .range(prev.evict_floor..evict_floor)
+                .map(|(&p, _)| p)
+                .collect();
+            for p in doomed {
+                let r = store.remove(&p).expect("just enumerated");
+                // The period may still be hot (small resident horizons);
+                // deindexing is a no-op if it was already compacted.
+                self.index.deindex_period(host, &r, &self.sketch_config);
+                self.retention_stats.evicted_periods += 1;
+            }
+        }
+        let compact_from = prev.hot_floor.max(evict_floor);
+        if hot_floor > compact_from {
+            let store = self.reports.get(&host).expect("checked above");
+            let mut compacted = 0u64;
+            for (_, r) in store.range(compact_from..hot_floor) {
+                if self.index.deindex_period(host, r, &self.sketch_config) {
+                    compacted += 1;
+                }
+            }
+            self.retention_stats.compacted_periods += compacted;
+        }
+    }
+
+    /// Compacts the globally oldest hot periods until the cached-bytes
+    /// budget is respected, raising the victims' hot floors so re-ingest
+    /// of the same periods cannot thrash.
+    fn enforce_cached_budget(&mut self) {
+        let Some(budget) = self.retention.max_cached_bytes else {
+            return;
+        };
+        while self.index.cached_bytes() > budget {
+            let Some((p, h)) = self.index.oldest_indexed() else {
+                break;
+            };
+            let r = self
+                .reports
+                .get(&h)
+                .and_then(|m| m.get(&p))
+                .expect("indexed periods are resident");
+            self.index.deindex_period(h, r, &self.sketch_config);
+            let floors = self.floors.entry(h).or_default();
+            floors.hot_floor = floors.hot_floor.max(p + 1);
+            self.retention_stats.compacted_periods += 1;
+        }
     }
 
     /// Cumulative ingestion accounting since construction.
@@ -242,8 +439,36 @@ impl Analyzer {
         self.stats
     }
 
-    /// The most recently quarantined (fingerprint-mismatched) reports.
-    pub fn quarantined(&self) -> &[PeriodReport] {
+    /// The retention policy this analyzer runs under.
+    pub fn retention_policy(&self) -> &RetentionPolicy {
+        &self.retention
+    }
+
+    /// Cumulative retention accounting since construction.
+    pub fn retention_stats(&self) -> RetentionStats {
+        self.retention_stats
+    }
+
+    /// A point-in-time snapshot of resident state — what the retention soak
+    /// asserts stays bounded. Walks the resident set (`O(resident)`), so
+    /// call it at checkpoints, not per query.
+    pub fn residency(&self) -> ResidencySnapshot {
+        ResidencySnapshot {
+            resident_periods: self.reports.values().map(|m| m.len()).sum(),
+            hot_periods: self.index.indexed_periods(),
+            cached_bytes: self.index.cached_bytes(),
+            resident_report_bytes: self
+                .reports
+                .values()
+                .flat_map(|m| m.values())
+                .map(|r| r.report.wire_bytes())
+                .sum(),
+        }
+    }
+
+    /// The most recently quarantined (fingerprint-mismatched) reports,
+    /// oldest first.
+    pub fn quarantined(&self) -> &VecDeque<PeriodReport> {
         &self.quarantine
     }
 
@@ -278,9 +503,16 @@ impl Analyzer {
     }
 
     /// Ingests a sequence-numbered mirror batch, dropping redelivered batch
-    /// numbers. Returns `true` if the batch was new.
+    /// numbers. Returns `true` if the batch was new. Dedup state is a
+    /// per-switch [`SeqWindow`], so it stays bounded no matter how long the
+    /// analyzer runs; a batch delivered more than [`MIRROR_BATCH_HORIZON`]
+    /// sequence numbers late is dropped as a duplicate.
     pub fn add_mirror_batch(&mut self, batch: MirrorBatch) -> bool {
-        if !self.mirror_batches_seen.insert((batch.switch, batch.seq)) {
+        let seen = self
+            .mirror_batches_seen
+            .entry(batch.switch)
+            .or_insert_with(|| SeqWindow::new(MIRROR_BATCH_HORIZON));
+        if !seen.insert(batch.seq) {
             self.mirror_duplicates += 1;
             return false;
         }
@@ -335,55 +567,97 @@ impl Analyzer {
         flow_id: u64,
         scratch: &'a mut QueryScratch,
     ) -> Option<&'a WindowSeries> {
-        self.reports.get(&host)?;
+        let store = self.reports.get(&host)?;
         let hidx = self.index.host(host)?;
+        let hot_floor = self.floors.get(&host).map_or(0, |f| f.hot_floor);
         let key = FlowKey::from_id(flow_id);
         let packed: [u8; 13] = key.pack();
 
-        // Heavy path: concatenate heavy records across periods (refs are
-        // period-ordered, so epochs concatenate chronologically even when
-        // uploads arrived shuffled). The heavy bucket is exact within its
-        // epochs but misses any history from before the flow's election, so
-        // it is overlaid onto the light-part estimate rather than used
-        // alone.
+        // Split borrows: every buffer the query touches, carved out of the
+        // scratch once so tier visitors can borrow them independently.
+        let QueryScratch {
+            light_best,
+            light_cand,
+            heavy_sub,
+            heavy,
+            starts,
+            light_at,
+            recon,
+            ..
+        } = scratch;
+
+        // Heavy path: concatenate heavy records across periods. Compacted
+        // periods (all strictly older than the hot floor) are scanned from
+        // the store in period order, then hot refs follow — epochs
+        // concatenate chronologically even when uploads arrived shuffled,
+        // and the float-addition order matches the all-hot (and pre-index)
+        // path exactly. The heavy bucket is exact within its epochs but
+        // misses any history from before the flow's election, so it is
+        // overlaid onto the light-part estimate rather than used alone.
         let heavy_refs = hidx.heavy.get(&packed).map_or(&[][..], Vec::as_slice);
-        let has_heavy = series_from_refs(
-            heavy_refs,
-            |p, i| hidx.heavy_entry(p, i).map(|(_, ces)| ces.as_slice()),
-            &mut scratch.heavy,
+        let has_heavy = series_from_epochs(
+            |f| {
+                for (_, pr) in store.range(..hot_floor) {
+                    for (k, brs) in &pr.report.heavy {
+                        if k.as_slice() == packed.as_slice() {
+                            for r in brs {
+                                f(Epoch::Raw(r));
+                            }
+                        }
+                    }
+                }
+                visit_refs(
+                    heavy_refs,
+                    |p, i| hidx.heavy_entry(p, i).map(|(_, ces)| ces.as_slice()),
+                    f,
+                );
+            },
+            heavy,
+            recon,
         );
         if has_heavy {
             // Each heavy epoch's opening window may be partial (the flow's
             // packets in that window before it took the slot were counted
             // light-only): keep the larger source there. Both upper-bound
-            // the truth.
-            scratch.starts.clear();
-            for &(p, i) in heavy_refs {
-                if let Some((_, ces)) = hidx.heavy_entry(p, i) {
-                    scratch.starts.extend(ces.iter().map(|e| e.w0));
+            // the truth. Collected in the same tier order as the epochs.
+            starts.clear();
+            for (_, pr) in store.range(..hot_floor) {
+                for (k, brs) in &pr.report.heavy {
+                    if k.as_slice() == packed.as_slice() {
+                        starts.extend(brs.iter().map(|r| r.w0));
+                    }
                 }
             }
-            if !self.light_with_subtraction_into(hidx, &key, &packed, scratch) {
-                return Some(&scratch.heavy);
+            for &(p, i) in heavy_refs {
+                if let Some((_, ces)) = hidx.heavy_entry(p, i) {
+                    starts.extend(ces.iter().map(|e| e.w0));
+                }
             }
-            scratch.light_at.clear();
-            for &w in &scratch.starts {
-                scratch.light_at.push(scratch.light_best.at(w));
+            if !self.light_with_subtraction_into(
+                store, hot_floor, hidx, &key, &packed, light_best, light_cand, heavy_sub, recon,
+            ) {
+                return Some(heavy);
             }
-            scratch.light_best.overlay(&scratch.heavy);
-            for (&w, &lv) in scratch.starts.iter().zip(&scratch.light_at) {
+            light_at.clear();
+            for &w in starts.iter() {
+                light_at.push(light_best.at(w));
+            }
+            light_best.overlay(heavy);
+            for (&w, &lv) in starts.iter().zip(light_at.iter()) {
                 // A heavy epoch can start before the light series when the
                 // covering light period was lost in collection — extend the
                 // series instead of underflowing the index.
-                scratch.light_best.extend_to_cover(w);
-                let idx = (w - scratch.light_best.start_window) as usize;
-                scratch.light_best.values[idx] = scratch.light_best.values[idx].max(lv);
+                light_best.extend_to_cover(w);
+                let idx = (w - light_best.start_window) as usize;
+                light_best.values[idx] = light_best.values[idx].max(lv);
             }
-            return Some(&scratch.light_best);
+            return Some(light_best);
         }
 
-        self.light_with_subtraction_into(hidx, &key, &packed, scratch)
-            .then_some(&scratch.light_best)
+        self.light_with_subtraction_into(
+            store, hot_floor, hidx, &key, &packed, light_best, light_cand, heavy_sub, recon,
+        )
+        .then_some(light_best)
     }
 
     /// [`Self::flow_curve`] plus the period coverage the curve was built
@@ -399,46 +673,89 @@ impl Analyzer {
 
     /// Light-part reconstruction with heavy-flow subtraction, min-total over
     /// rows (the Count-Min query lifted to curves). On `true` the winning
-    /// row's series is in `scratch.light_best`.
+    /// row's series is in `light_best`. Each row visits the compacted tier
+    /// (raw store scan, sparse reconstruction) before the hot refs; both
+    /// halves use bit-identical accumulation, so compaction never moves a
+    /// row's total or the min-row choice.
+    #[allow(clippy::too_many_arguments)] // split borrows of one scratch
     fn light_with_subtraction_into(
         &self,
+        store: &BTreeMap<u64, PeriodReport>,
+        hot_floor: u64,
         hidx: &HostIndex,
         key: &FlowKey,
         packed: &[u8; 13],
-        scratch: &mut QueryScratch,
+        light_best: &mut WindowSeries,
+        light_cand: &mut WindowSeries,
+        heavy_sub: &mut WindowSeries,
+        recon: &mut ReconstructScratch,
     ) -> bool {
         let cfg = &self.sketch_config;
         let mut has_best = false;
         for row in 0..cfg.rows {
             let col = cfg.light_col(key, row) as u32;
-            let Some(light_refs) = hidx.light.get(&(row as u32, col)) else {
-                continue;
-            };
-            if !series_from_refs(
-                light_refs,
-                |p, i| hidx.light_curves(p, i),
-                &mut scratch.light_cand,
+            let light_refs = hidx
+                .light
+                .get(&(row as u32, col))
+                .map_or(&[][..], Vec::as_slice);
+            if !series_from_epochs(
+                |f| {
+                    for (_, pr) in store.range(..hot_floor) {
+                        for (r0, c0, brs) in &pr.report.light {
+                            if *r0 == row as u32 && *c0 == col {
+                                for r in brs {
+                                    f(Epoch::Raw(r));
+                                }
+                            }
+                        }
+                    }
+                    visit_refs(light_refs, |p, i| hidx.light_curves(p, i), f);
+                },
+                light_cand,
+                recon,
             ) {
                 continue;
             }
             // Heavy flows that share this light bucket inflated it; the
-            // index pre-resolved their columns, so the only per-query work
-            // is skipping the queried flow's own records.
-            if let Some(heavy_refs) = hidx.heavy_by_col.get(&(row as u32, col)) {
-                let colliding = series_from_refs(
-                    heavy_refs,
-                    |p, i| {
-                        let (k, ces) = hidx.heavy_entry(p, i)?;
-                        (k != packed).then_some(ces.as_slice())
-                    },
-                    &mut scratch.heavy_sub,
-                );
-                if colliding {
-                    scratch.light_cand.subtract_clamped(&scratch.heavy_sub);
-                }
+            // index pre-resolved hot-tier columns, so the only per-query
+            // work there is skipping the queried flow's own records. In the
+            // compacted tier the columns are re-derived from the stored key
+            // (stack-only work — the fallback trades speed, not memory).
+            let heavy_refs = hidx
+                .heavy_by_col
+                .get(&(row as u32, col))
+                .map_or(&[][..], Vec::as_slice);
+            let colliding = series_from_epochs(
+                |f| {
+                    for (_, pr) in store.range(..hot_floor) {
+                        for (k, brs) in &pr.report.heavy {
+                            if k.as_slice() == packed.as_slice() {
+                                continue;
+                            }
+                            if cfg.light_col(&unpack_key(k), row) as u32 == col {
+                                for r in brs {
+                                    f(Epoch::Raw(r));
+                                }
+                            }
+                        }
+                    }
+                    visit_refs(
+                        heavy_refs,
+                        |p, i| {
+                            let (k, ces) = hidx.heavy_entry(p, i)?;
+                            (k != packed).then_some(ces.as_slice())
+                        },
+                        f,
+                    );
+                },
+                heavy_sub,
+                recon,
+            );
+            if colliding {
+                light_cand.subtract_clamped(heavy_sub);
             }
-            if !has_best || scratch.light_cand.total() < scratch.light_best.total() {
-                std::mem::swap(&mut scratch.light_best, &mut scratch.light_cand);
+            if !has_best || light_cand.total() < light_best.total() {
+                std::mem::swap(light_best, light_cand);
                 has_best = true;
             }
         }
@@ -547,16 +864,30 @@ impl Analyzer {
         host: usize,
         scratch: &'a mut QueryScratch,
     ) -> Option<&'a WindowSeries> {
-        self.reports.get(&host)?;
+        let store = self.reports.get(&host)?;
         let hidx = self.index.host(host)?;
+        let hot_floor = self.floors.get(&host).map_or(0, |f| f.hot_floor);
+        let QueryScratch { rate, recon, .. } = scratch;
         // Accumulation sums overlapping epochs — exactly what aggregating
-        // different buckets over the same timeline needs.
-        series_from_refs(
-            &hidx.row0,
-            |p, i| hidx.light_curves(p, i),
-            &mut scratch.rate,
+        // different buckets over the same timeline needs. Compacted periods
+        // first (raw row-0 entries in period order), then the hot refs.
+        series_from_epochs(
+            |f| {
+                for (_, pr) in store.range(..hot_floor) {
+                    for (row, _, brs) in &pr.report.light {
+                        if *row == 0 {
+                            for r in brs {
+                                f(Epoch::Raw(r));
+                            }
+                        }
+                    }
+                }
+                visit_refs(&hidx.row0, |p, i| hidx.light_curves(p, i), f);
+            },
+            rate,
+            recon,
         )
-        .then_some(&scratch.rate)
+        .then_some(rate)
     }
 
     /// The Figure 10a congestion map: per link (switch, VLAN), the list of
@@ -1354,6 +1685,214 @@ mod tests {
         assert_eq!(total_spans, events.len());
         let cdf = analyzer.duration_cdf(10_000);
         assert_eq!(cdf.len(), events.len());
+    }
+
+    /// Satellite regression: the quarantine is a bounded ring that keeps the
+    /// most recent [`QUARANTINE_CAP`] mismatched reports in arrival order —
+    /// no `Vec::remove(0)` shifting, no unbounded growth.
+    #[test]
+    fn quarantine_is_a_bounded_ring_in_arrival_order() {
+        let cfg = agent_config();
+        let mut agent = HostAgent::new(0, cfg.clone());
+        agent.observe(1, 0, 100);
+        let template = agent.finish().remove(0);
+
+        let mut analyzer = Analyzer::new(cfg.sketch.clone());
+        let n = QUARANTINE_CAP + 16;
+        for i in 0..n {
+            let mut bad = template.clone();
+            bad.config_fingerprint ^= 0xBAD;
+            bad.period = i as u64;
+            analyzer.add_reports(vec![bad]);
+        }
+        assert_eq!(analyzer.quarantined().len(), QUARANTINE_CAP);
+        let periods: Vec<u64> = analyzer.quarantined().iter().map(|r| r.period).collect();
+        let want: Vec<u64> = ((n - QUARANTINE_CAP) as u64..n as u64).collect();
+        assert_eq!(periods, want, "ring keeps the newest, oldest first");
+        assert_eq!(analyzer.ingest_stats().mismatched, n as u64);
+    }
+
+    /// Satellite regression: mirror-batch dedup state is a per-switch
+    /// watermark window, bounded no matter how many batches arrive, and
+    /// redeliveries — including ancient ones below the watermark — drop.
+    #[test]
+    fn mirror_batch_dedup_is_bounded_with_a_watermark() {
+        let cfg = agent_config();
+        let mut analyzer = Analyzer::new(cfg.sketch);
+        let n = (MIRROR_BATCH_HORIZON as u64) * 3;
+        for seq in 0..n {
+            let fresh = analyzer.add_mirror_batch(MirrorBatch {
+                switch: 20,
+                seq,
+                packets: vec![mirror(20, 1, seq * 10, seq % 5)],
+            });
+            assert!(fresh, "first delivery of seq {seq} must be accepted");
+        }
+        // Redelivery inside the window and far below the watermark both drop.
+        for seq in [n - 1, n - 7, 0, 1] {
+            let fresh = analyzer.add_mirror_batch(MirrorBatch {
+                switch: 20,
+                seq,
+                packets: vec![mirror(20, 1, 1, 1)],
+            });
+            assert!(!fresh, "redelivered seq {seq} must drop");
+        }
+        assert_eq!(analyzer.mirror_duplicates(), 4);
+        assert_eq!(analyzer.mirrors().len(), n as usize);
+        let seen = &analyzer.mirror_batches_seen[&20];
+        assert!(seen.tail_len() <= MIRROR_BATCH_HORIZON);
+    }
+
+    /// A bounded policy keeps curves exactly equal to an unbounded reference
+    /// fed only the periods the bounded analyzer retained, while compaction
+    /// alone (no eviction) changes nothing at all.
+    #[test]
+    fn bounded_retention_tracks_the_resident_set_bit_identically() {
+        let (cfg, reports) = contested_reports(2, 200);
+        let mut unbounded = Analyzer::new(cfg.sketch.clone());
+        unbounded.add_reports(reports.clone());
+
+        // Compaction only: identical to unbounded everywhere.
+        let mut compacting =
+            Analyzer::with_retention(cfg.sketch.clone(), RetentionPolicy::bounded(2, u64::MAX));
+        compacting.add_reports(reports.clone());
+        assert!(compacting.retention_stats().compacted_periods > 0);
+        assert_eq!(compacting.retention_stats().evicted_periods, 0);
+        for host in 0..2 {
+            for flow in 0..24u64 {
+                assert_eq!(
+                    compacting.flow_curve(host, flow),
+                    unbounded.flow_curve(host, flow),
+                    "host {host} flow {flow}"
+                );
+            }
+            assert_eq!(
+                compacting.host_rate_curve(host),
+                unbounded.host_rate_curve(host)
+            );
+        }
+
+        // Eviction: equals a reference fed exactly the survivors.
+        let mut bounded =
+            Analyzer::with_retention(cfg.sketch.clone(), RetentionPolicy::bounded(1, 3));
+        bounded.add_reports(reports.clone());
+        assert!(bounded.retention_stats().evicted_periods > 0);
+        let survivors: Vec<PeriodReport> = reports
+            .iter()
+            .filter(|r| bounded.host_coverage(r.host).covers(r.period))
+            .cloned()
+            .collect();
+        let mut reference = Analyzer::new(cfg.sketch.clone());
+        reference.add_reports(survivors);
+        for host in 0..2 {
+            assert!(bounded.host_coverage(host).periods.len() <= 3);
+            for flow in 0..24u64 {
+                assert_eq!(
+                    bounded.flow_curve(host, flow),
+                    reference.flow_curve(host, flow),
+                    "host {host} flow {flow}"
+                );
+            }
+            assert_eq!(
+                bounded.host_rate_curve(host),
+                reference.host_rate_curve(host)
+            );
+        }
+    }
+
+    /// A report arriving below the eviction floor is dropped as stale (it is
+    /// indistinguishable from a redelivery of an evicted period), while one
+    /// landing between the floors is stored compacted on arrival.
+    #[test]
+    fn late_arrivals_land_in_the_tier_their_age_dictates() {
+        let mut cfg = agent_config();
+        cfg.period_ns = 16 << 13;
+        let mut agent = HostAgent::new(0, cfg.clone());
+        for w in 0..(16 * 12u64) {
+            agent.observe(3, w << 13, 100);
+        }
+        let reports = agent.finish();
+        assert!(reports.len() >= 12);
+
+        let mut analyzer =
+            Analyzer::with_retention(cfg.sketch.clone(), RetentionPolicy::bounded(2, 6));
+        // Deliver only the newest report first: floors jump immediately.
+        let newest = reports.last().unwrap().clone();
+        analyzer.add_reports(vec![newest.clone()]);
+        let newest_period = newest.period;
+
+        // Below the eviction floor → stale-dropped, not stored.
+        let stale = reports
+            .iter()
+            .find(|r| r.period + 6 <= newest_period)
+            .unwrap()
+            .clone();
+        let s = analyzer.add_reports(vec![stale.clone()]);
+        assert_eq!(s.accepted, 0);
+        assert_eq!(s.duplicates, 1);
+        assert_eq!(analyzer.retention_stats().stale_dropped, 1);
+        assert!(!analyzer.host_coverage(0).covers(stale.period));
+
+        // Between the floors → accepted straight into the compacted tier.
+        let compactable = reports
+            .iter()
+            .find(|r| r.period + 6 > newest_period && r.period + 2 <= newest_period)
+            .unwrap()
+            .clone();
+        let before_hot = analyzer.residency().hot_periods;
+        let s = analyzer.add_reports(vec![compactable.clone()]);
+        assert_eq!(s.accepted, 1);
+        assert_eq!(analyzer.retention_stats().compacted_on_arrival, 1);
+        assert!(analyzer.host_coverage(0).covers(compactable.period));
+        assert_eq!(
+            analyzer.residency().hot_periods,
+            before_hot,
+            "compacted-on-arrival must not be indexed"
+        );
+        // And it is queryable through the compacted fallback.
+        assert!(analyzer.flow_curve(0, 3).is_some());
+    }
+
+    /// Restarting from the archive reconverges to the no-crash state.
+    #[test]
+    fn archive_recovery_reconverges_after_restart() {
+        let (cfg, reports) = contested_reports(2, 150);
+        let dir =
+            std::env::temp_dir().join(format!("umon_analyzer_recovery_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = RetentionPolicy::bounded(2, 4);
+
+        let half = reports.len() / 2;
+        {
+            let mut doomed =
+                Analyzer::with_archive(cfg.sketch.clone(), policy, &dir).expect("open archive");
+            doomed.add_reports(reports[..half].to_vec());
+            // Crash: dropped without a shutdown path.
+        }
+        let mut revived =
+            Analyzer::with_archive(cfg.sketch.clone(), policy, &dir).expect("reopen archive");
+        let rec = revived.recover_from_archive().expect("scan archive");
+        assert!(rec.recovered > 0);
+        assert!(rec.damaged_tails.is_empty());
+        revived.add_reports(reports[half..].to_vec());
+
+        let mut steady = Analyzer::with_retention(cfg.sketch.clone(), policy);
+        steady.add_reports(reports.clone());
+        assert_eq!(revived.residency(), steady.residency());
+        for host in 0..2 {
+            assert_eq!(
+                revived.host_coverage(host).periods,
+                steady.host_coverage(host).periods
+            );
+            for flow in 0..24u64 {
+                assert_eq!(
+                    revived.flow_curve(host, flow),
+                    steady.flow_curve(host, flow),
+                    "host {host} flow {flow}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! The crash-safe on-disk period archive.
+//!
+//! Eviction without an archive is data loss; with one, it is tiering. The
+//! analyzer appends every *accepted* report here at ingest time —
+//! write-ahead, before the report becomes queryable — so whatever the
+//! process does afterwards (evict, crash, restart), the accepted history is
+//! on disk exactly once per `(host, period)`.
+//!
+//! Layout: one append-only segment file per host, `host_<id>.seg`, holding
+//!
+//! ```text
+//! [8-byte magic "UMONSEG1"]
+//! repeat: [payload_len: u32 LE] [fnv1a64(payload): u64 LE] [payload]
+//! ```
+//!
+//! where each payload is the compact binary encoding of one
+//! [`PeriodReport`]: period, host and config fingerprint as fixed LE u64s,
+//! then the varint [`SketchReport`](wavesketch::SketchReport) codec from
+//! `wavesketch::report`. The per-record checksum plays the same role as the
+//! collection plane's [`Envelope`](crate::collector::Envelope) seal: a
+//! record is either intact or detectably damaged, never silently wrong.
+//!
+//! Crash-recovery invariant: a crash mid-append can only damage the *tail*
+//! of one segment. [`PeriodArchive::scan`] reads each segment until the
+//! first truncated or checksum-failing record, keeps everything before it,
+//! and reports the damaged tail; it never panics on arbitrary bytes.
+
+use crate::host_agent::PeriodReport;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use wavesketch::SketchReport;
+
+/// Leading magic of every segment file (8 bytes, versioned).
+const MAGIC: &[u8; 8] = b"UMONSEG1";
+
+/// Per-record payload cap: a corrupt length prefix must fail the scan, not
+/// attempt a multi-gigabyte read.
+const MAX_RECORD_LEN: u32 = 1 << 28;
+
+/// FNV-1a over a byte slice — the same family the collection plane uses for
+/// envelope integrity.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes one report into a record payload.
+fn encode_payload(report: &PeriodReport) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + report.report.wire_bytes());
+    out.extend_from_slice(&report.period.to_le_bytes());
+    out.extend_from_slice(&(report.host as u64).to_le_bytes());
+    out.extend_from_slice(&report.config_fingerprint.to_le_bytes());
+    report.report.encode_into(&mut out);
+    out
+}
+
+/// Decodes one record payload; `None` on truncation or trailing garbage.
+fn decode_payload(payload: &[u8]) -> Option<PeriodReport> {
+    if payload.len() < 24 {
+        return None;
+    }
+    let period = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let host = usize::try_from(u64::from_le_bytes(payload[8..16].try_into().ok()?)).ok()?;
+    let config_fingerprint = u64::from_le_bytes(payload[16..24].try_into().ok()?);
+    let report = SketchReport::decode(&payload[24..])?;
+    Some(PeriodReport {
+        period,
+        host,
+        config_fingerprint,
+        report,
+    })
+}
+
+/// What a [`PeriodArchive::scan`] found on disk.
+#[derive(Debug, Default)]
+pub struct ArchiveScan {
+    /// Every intact archived report, ordered `(host, period)` ascending.
+    pub reports: Vec<PeriodReport>,
+    /// Hosts whose segment ended in a damaged or truncated record (the
+    /// intact prefix is still in `reports`).
+    pub damaged_tails: Vec<usize>,
+}
+
+/// An open period archive rooted at one directory.
+#[derive(Debug)]
+pub struct PeriodArchive {
+    dir: PathBuf,
+    /// Open append handles, one per host heard.
+    files: HashMap<usize, File>,
+}
+
+impl PeriodArchive {
+    /// Opens (creating if needed) an archive directory for appending.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            files: HashMap::new(),
+        })
+    }
+
+    /// The archive's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segment_path(dir: &Path, host: usize) -> PathBuf {
+        dir.join(format!("host_{host}.seg"))
+    }
+
+    /// Appends one accepted report to its host's segment, creating the
+    /// segment (with magic) on first use. The record is flushed to the OS
+    /// before this returns, so a later process crash cannot lose it.
+    pub fn append(&mut self, report: &PeriodReport) -> std::io::Result<()> {
+        let host = report.host;
+        if !self.files.contains_key(&host) {
+            let path = Self::segment_path(&self.dir, host);
+            let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+            if file.metadata()?.len() == 0 {
+                file.write_all(MAGIC)?;
+            }
+            self.files.insert(host, file);
+        }
+        let file = self.files.get_mut(&host).expect("just inserted");
+        let payload = encode_payload(report);
+        // One buffered write per record keeps a crash from interleaving
+        // half-records from different appends.
+        let mut record = Vec::with_capacity(12 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        file.write_all(&record)?;
+        file.flush()
+    }
+
+    /// Reads every segment under `dir`, keeping each segment's intact record
+    /// prefix. Tolerates a damaged or truncated tail per segment (the
+    /// expected shape after a crash mid-append) — and, conservatively, any
+    /// other trailing garbage — without panicking.
+    pub fn scan(dir: impl AsRef<Path>) -> std::io::Result<ArchiveScan> {
+        let dir = dir.as_ref();
+        let mut out = ArchiveScan::default();
+        if !dir.exists() {
+            return Ok(out);
+        }
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(host) = name
+                .strip_prefix("host_")
+                .and_then(|n| n.strip_suffix(".seg"))
+                .and_then(|n| n.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            if !Self::scan_segment(&bytes, &mut out.reports) {
+                out.damaged_tails.push(host);
+            }
+        }
+        out.reports.sort_by_key(|r| (r.host, r.period));
+        out.damaged_tails.sort_unstable();
+        Ok(out)
+    }
+
+    /// Appends one segment's intact records to `reports`; `false` if the
+    /// segment ended in damage (bad magic, truncated record, checksum or
+    /// decode failure).
+    fn scan_segment(bytes: &[u8], reports: &mut Vec<PeriodReport>) -> bool {
+        let Some(body) = bytes.strip_prefix(MAGIC.as_slice()) else {
+            return false;
+        };
+        let mut pos = 0usize;
+        while pos < body.len() {
+            let Some(header) = body.get(pos..pos + 12) else {
+                return false;
+            };
+            let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_LEN {
+                return false;
+            }
+            let want = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+            let Some(payload) = body.get(pos + 12..pos + 12 + len as usize) else {
+                return false;
+            };
+            if fnv1a64(payload) != want {
+                return false;
+            }
+            let Some(report) = decode_payload(payload) else {
+                return false;
+            };
+            reports.push(report);
+            pos += 12 + len as usize;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_agent::{HostAgent, HostAgentConfig};
+    use wavesketch::SketchConfig;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("umon_archive_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_reports(host: usize) -> Vec<PeriodReport> {
+        let cfg = HostAgentConfig {
+            sketch: SketchConfig::builder()
+                .rows(2)
+                .width(32)
+                .levels(4)
+                .topk(64)
+                .max_windows(4096)
+                .heavy_rows(16)
+                .build(),
+            period_ns: 16 << 13,
+            window_shift: 13,
+        };
+        let mut agent = HostAgent::new(host, cfg);
+        for w in [1u64, 5, 18, 22, 35, 40] {
+            agent.observe(7, w << 13, 900);
+        }
+        agent.finish()
+    }
+
+    #[test]
+    fn roundtrip_across_hosts() {
+        let dir = tmp_dir("roundtrip");
+        let mut archive = PeriodArchive::open(&dir).unwrap();
+        let mut want = Vec::new();
+        for host in [3usize, 0] {
+            for r in sample_reports(host) {
+                archive.append(&r).unwrap();
+                want.push(r);
+            }
+        }
+        drop(archive);
+        want.sort_by_key(|r| (r.host, r.period));
+
+        let scan = PeriodArchive::scan(&dir).unwrap();
+        assert!(scan.damaged_tails.is_empty());
+        assert_eq!(scan.reports.len(), want.len());
+        for (got, want) in scan.reports.iter().zip(&want) {
+            assert_eq!(got.host, want.host);
+            assert_eq!(got.period, want.period);
+            assert_eq!(got.config_fingerprint, want.config_fingerprint);
+            assert_eq!(got.report, want.report);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_keeps_the_intact_prefix() {
+        let dir = tmp_dir("truncated");
+        let mut archive = PeriodArchive::open(&dir).unwrap();
+        let reports = sample_reports(0);
+        assert!(reports.len() >= 2);
+        for r in &reports {
+            archive.append(r).unwrap();
+        }
+        drop(archive);
+
+        let path = dir.join("host_0.seg");
+        let bytes = std::fs::read(&path).unwrap();
+        // Chop mid-way through the last record: the crash-mid-append shape.
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let scan = PeriodArchive::scan(&dir).unwrap();
+        assert_eq!(scan.damaged_tails, vec![0]);
+        assert_eq!(scan.reports.len(), reports.len() - 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitflip_is_detected_and_quarantines_the_tail() {
+        let dir = tmp_dir("bitflip");
+        let mut archive = PeriodArchive::open(&dir).unwrap();
+        let reports = sample_reports(0);
+        for r in &reports {
+            archive.append(r).unwrap();
+        }
+        drop(archive);
+
+        let path = dir.join("host_0.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x40; // damage inside the last record's payload
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = PeriodArchive::scan(&dir).unwrap();
+        assert_eq!(scan.damaged_tails, vec![0]);
+        assert_eq!(scan.reports.len(), reports.len() - 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_appends_instead_of_clobbering() {
+        let dir = tmp_dir("reopen");
+        let reports = sample_reports(0);
+        assert!(reports.len() >= 2);
+        {
+            let mut archive = PeriodArchive::open(&dir).unwrap();
+            archive.append(&reports[0]).unwrap();
+        }
+        {
+            let mut archive = PeriodArchive::open(&dir).unwrap();
+            archive.append(&reports[1]).unwrap();
+        }
+        let scan = PeriodArchive::scan(&dir).unwrap();
+        assert!(scan.damaged_tails.is_empty());
+        assert_eq!(scan.reports.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scanning_a_missing_directory_is_empty_not_an_error() {
+        let scan = PeriodArchive::scan(tmp_dir("never_created")).unwrap();
+        assert!(scan.reports.is_empty());
+        assert!(scan.damaged_tails.is_empty());
+    }
+
+    #[test]
+    fn garbage_file_without_magic_is_a_damaged_tail() {
+        let dir = tmp_dir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("host_4.seg"), b"not a segment").unwrap();
+        std::fs::write(dir.join("README"), b"ignored").unwrap();
+        let scan = PeriodArchive::scan(&dir).unwrap();
+        assert_eq!(scan.damaged_tails, vec![4]);
+        assert!(scan.reports.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

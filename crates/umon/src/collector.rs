@@ -33,6 +33,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use crate::analyzer::Analyzer;
 use crate::host_agent::PeriodReport;
+use crate::seqwin::SeqWindow;
 
 /// A sequence-numbered, checksummed report in flight.
 ///
@@ -468,13 +469,57 @@ pub struct CollectorStats {
 /// report known losses.
 #[derive(Debug, Default)]
 pub struct Collector {
-    /// Per host: sequence numbers whose intact report was accepted (or
-    /// deduped).
-    seen: HashMap<usize, BTreeSet<u64>>,
-    /// Per host: sequence numbers received only in damaged form so far.
-    /// Moved to `seen` if an intact copy arrives.
-    damaged: HashMap<usize, BTreeSet<u64>>,
+    /// Per-host sequence bookkeeping, memory-bounded per host.
+    hosts: HashMap<usize, HostSeqState>,
     stats: CollectorStats,
+}
+
+/// Out-of-order horizon for the per-host dedup window. An intact copy
+/// arriving more than this many sequence numbers behind the newest heard
+/// sequence may be conceded (treated as already-seen); the default
+/// [`RetransmitPolicy`] caps a host at 64 outstanding envelopes, so 1024 is
+/// far beyond any reordering the uplink can produce.
+const SEEN_HORIZON: usize = 1024;
+
+/// Bound on remembered damaged-only sequence numbers per host. Overflow
+/// forgets the *oldest* damaged sequence: a late intact retransmission of it
+/// is then accepted as new rather than replacing a tracked quarantine slot,
+/// which is safe — the analyzer's own `(host, period)` dedup still holds.
+const DAMAGED_CAP: usize = 1024;
+
+/// One host's bounded dedup / gap-tracking state.
+#[derive(Debug)]
+struct HostSeqState {
+    /// Sequence numbers whose intact report was accepted (or deduped):
+    /// contiguous-ack watermark plus bounded reorder tail.
+    seen: SeqWindow,
+    /// Sequence numbers received only in damaged form so far. Cleared if an
+    /// intact copy arrives; size-capped at [`DAMAGED_CAP`].
+    damaged: BTreeSet<u64>,
+}
+
+impl Default for HostSeqState {
+    fn default() -> Self {
+        Self {
+            seen: SeqWindow::new(SEEN_HORIZON),
+            damaged: BTreeSet::new(),
+        }
+    }
+}
+
+impl HostSeqState {
+    fn heard(&self) -> bool {
+        self.seen.max_seen().is_some() || !self.damaged.is_empty()
+    }
+
+    /// Highest sequence heard in any form, or `None`.
+    fn max_heard(&self) -> Option<u64> {
+        self.seen
+            .max_seen()
+            .into_iter()
+            .chain(self.damaged.iter().next_back().copied())
+            .max()
+    }
 }
 
 impl Collector {
@@ -495,9 +540,10 @@ impl Collector {
         for env in transport.deliver() {
             let host = env.host();
             let seq = env.seq;
-            if self.seen.entry(host).or_default().contains(&seq) {
-                // Already have this one intact; re-ACK in case the first
-                // ACK was lost.
+            let state = self.hosts.entry(host).or_default();
+            if state.seen.contains(seq) {
+                // Already have this one intact (or conceded past the dedup
+                // horizon); re-ACK in case the first ACK was lost.
                 self.stats.duplicates += 1;
                 transport.ack(host, seq);
                 continue;
@@ -506,7 +552,10 @@ impl Collector {
                 // Damaged in flight. No ACK: the sender's retransmission is
                 // our only chance at the intact payload.
                 self.stats.corrupt += 1;
-                self.damaged.entry(host).or_default().insert(seq);
+                state.damaged.insert(seq);
+                if state.damaged.len() > DAMAGED_CAP {
+                    state.damaged.pop_first();
+                }
                 continue;
             }
             let ingest = analyzer.add_reports(vec![env.report]);
@@ -518,12 +567,16 @@ impl Collector {
                 // payload is safely delivered.
                 self.stats.accepted += 1;
             }
-            self.damaged.entry(host).or_default().remove(&seq);
-            self.seen.entry(host).or_default().insert(seq);
+            let state = self.hosts.entry(host).or_default();
+            state.damaged.remove(&seq);
+            state.seen.insert(seq);
             transport.ack(host, seq);
         }
         for host in self.hosts() {
-            let lost = self.missing_seqs(host).len() as u64;
+            // Conceded (force-skipped) sequences were never received intact,
+            // so they stay in the loss count even after leaving the window.
+            let skipped = self.hosts.get(&host).map_or(0, |s| s.seen.skipped());
+            let lost = self.missing_seqs(host).len() as u64 + skipped;
             analyzer.set_known_lost(host, lost);
         }
         CollectorStats {
@@ -541,37 +594,50 @@ impl Collector {
 
     /// Every host this collector has heard from (even only in damaged form).
     pub fn hosts(&self) -> Vec<usize> {
-        let mut hosts: BTreeSet<usize> = BTreeSet::new();
-        for (h, s) in &self.seen {
-            if !s.is_empty() {
-                hosts.insert(*h);
-            }
-        }
-        for (h, s) in &self.damaged {
-            if !s.is_empty() {
-                hosts.insert(*h);
-            }
-        }
-        hosts.into_iter().collect()
+        let mut hosts: Vec<usize> = self
+            .hosts
+            .iter()
+            .filter(|(_, s)| s.heard())
+            .map(|(&h, _)| h)
+            .collect();
+        hosts.sort_unstable();
+        hosts
     }
 
     /// Sequence numbers below `host`'s highest heard sequence that have not
     /// been received intact — the gaps. Includes damaged-only sequences
     /// (their data is still missing) and shrinks as retransmissions land.
+    ///
+    /// Sequences conceded past the dedup horizon are no longer enumerated
+    /// here (they have left the window), but they stay counted in the
+    /// analyzer's known-loss totals via [`SeqWindow::skipped`].
     pub fn missing_seqs(&self, host: usize) -> Vec<u64> {
-        let seen = self.seen.get(&host);
-        let damaged = self.damaged.get(&host);
-        let max = seen
-            .and_then(|s| s.last())
-            .into_iter()
-            .chain(damaged.and_then(|s| s.last()))
-            .max();
-        let Some(&max) = max else {
+        let Some(state) = self.hosts.get(&host) else {
             return Vec::new();
         };
-        (0..=max)
-            .filter(|s| !seen.is_some_and(|set| set.contains(s)))
-            .collect()
+        let Some(max) = state.max_heard() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        // Holes inside the seen window...
+        state.seen.for_each_hole(|h| out.push(h));
+        // ...plus everything between the window's top and a damaged-only
+        // maximum beyond it (heard about, never received intact).
+        let from = match state.seen.max_seen() {
+            Some(m) => m + 1,
+            None => state.seen.floor(),
+        };
+        out.extend(from..=max);
+        out
+    }
+
+    /// Resident dedup/gap-tracking entries across all hosts — the quantity
+    /// the retention soak asserts stays bounded.
+    pub fn resident_seq_entries(&self) -> usize {
+        self.hosts
+            .values()
+            .map(|s| s.seen.tail_len() + s.damaged.len())
+            .sum()
     }
 }
 

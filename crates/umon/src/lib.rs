@@ -23,18 +23,23 @@
 //!   congestion-control convergence/fairness checks.
 
 pub mod analyzer;
+pub mod archive;
 pub mod collector;
 pub mod events;
 pub mod host_agent;
 pub mod parallel_host;
 pub mod pswitch;
 pub mod query_index;
+pub mod retention;
+pub mod seqwin;
 pub mod switch_agent;
 pub mod usecases;
 
 pub use analyzer::{
     Analyzer, AnnotatedCurve, DetectedEvent, EventMatchStats, IngestStats, PeriodCoverage,
+    RecoveryStats,
 };
+pub use archive::{ArchiveScan, PeriodArchive};
 pub use collector::{
     Collector, CollectorStats, Envelope, FaultLog, FaultSpec, FaultyTransport, HostUplink,
     PerfectTransport, RetransmitPolicy, Transport,
@@ -44,5 +49,7 @@ pub use host_agent::{HostAgent, HostAgentConfig, PeriodReport};
 pub use parallel_host::ParallelHostAgent;
 pub use pswitch::{PSwitchAgent, PSwitchConfig, PSwitchEvent};
 pub use query_index::QueryScratch;
+pub use retention::{ResidencySnapshot, RetentionPolicy, RetentionStats};
+pub use seqwin::SeqWindow;
 pub use switch_agent::{MirrorBatch, MirroredPacket, SamplerField, SwitchAgent, SwitchAgentConfig};
 pub use usecases::{classify_event_role, fairness_index, find_gaps, EventRole, GapReport};

@@ -105,9 +105,24 @@ pub(crate) struct QueryIndex {
     /// Packed heavy key → its light column per row. Columns depend only on
     /// the key and the sketch config, so the cache is shared across hosts
     /// and each key is unpacked + row-hashed exactly once at first sight.
+    /// Bounded at [`KEY_COLS_CAP`]: it is a pure cache, so overflowing it
+    /// (a very long run meeting ever-fresh flows) just clears and refills.
     key_cols: HashMap<[u8; 13], Vec<u32>>,
     /// The ingest-time reconstruction scratch feeding the curve cache.
     recon: ReconstructScratch,
+    /// Bytes held by cached epoch curves across all hosts (the dominant
+    /// index cost; maintained by [`Self::index_report`] and
+    /// [`Self::deindex_period`]).
+    cached_bytes: usize,
+}
+
+/// Cap on distinct heavy keys in the column-resolution cache (~4 MB at 3
+/// rows). Without it the cache would be the analyzer's last unbounded map.
+const KEY_COLS_CAP: usize = 1 << 17;
+
+/// Bytes attributed to one cached epoch: its boxed curve plus the struct.
+fn epoch_bytes(e: &CachedEpoch) -> usize {
+    std::mem::size_of::<CachedEpoch>() + e.curve.len() * std::mem::size_of::<f64>()
 }
 
 /// Inserts `entry` into an ordered ref list at its sorted position.
@@ -118,6 +133,14 @@ fn insert_ordered(refs: &mut Vec<EntryRef>, entry: EntryRef) {
     refs.insert(pos, entry);
 }
 
+/// Removes every ref of `period` from an ordered ref list (they are
+/// contiguous — the list is sorted by `(period, position)`).
+fn remove_period(refs: &mut Vec<EntryRef>, period: u64) {
+    let lo = refs.partition_point(|&(p, _)| p < period);
+    let hi = refs.partition_point(|&(p, _)| p <= period);
+    refs.drain(lo..hi);
+}
+
 impl QueryIndex {
     /// The index of `host`, if any report of that host was accepted.
     pub(crate) fn host(&self, host: usize) -> Option<&HostIndex> {
@@ -126,12 +149,109 @@ impl QueryIndex {
 
     /// The cached light columns of a packed heavy key.
     fn cols_of(&mut self, packed: [u8; 13], cfg: &SketchConfig) -> &[u32] {
+        if self.key_cols.len() >= KEY_COLS_CAP && !self.key_cols.contains_key(&packed) {
+            self.key_cols.clear();
+        }
         self.key_cols.entry(packed).or_insert_with(|| {
             let key = unpack_key(&packed);
             (0..cfg.rows)
                 .map(|row| cfg.light_col(&key, row) as u32)
                 .collect()
         })
+    }
+
+    /// Marks `host` as present (empty index) — called for reports accepted
+    /// straight into the compacted tier, so queries find the host even when
+    /// none of its periods is indexed.
+    pub(crate) fn ensure_host(&mut self, host: usize) {
+        self.hosts.entry(host).or_default();
+    }
+
+    /// Bytes held by cached epoch curves across all hosts.
+    pub(crate) fn cached_bytes(&self) -> usize {
+        self.cached_bytes
+    }
+
+    /// The oldest `(period, host)` still carrying cached curves, if any —
+    /// the next victim of a cached-bytes budget.
+    pub(crate) fn oldest_indexed(&self) -> Option<(u64, usize)> {
+        self.hosts
+            .iter()
+            .flat_map(|(&h, hidx)| hidx.curves.keys().map(move |&p| (p, h)))
+            .min()
+    }
+
+    /// Indexed (hot) periods across all hosts.
+    pub(crate) fn indexed_periods(&self) -> usize {
+        self.hosts.values().map(|h| h.curves.len()).sum()
+    }
+
+    /// Removes one period of one host from the index entirely: every ref in
+    /// every map and the period's cached curves. The stored report (still
+    /// resident in the analyzer's compacted tier, or about to be evicted)
+    /// tells us exactly which map entries to touch, so this is
+    /// `O(period entries · log)` — no full-index sweep.
+    pub(crate) fn deindex_period(
+        &mut self,
+        host: usize,
+        r: &PeriodReport,
+        cfg: &SketchConfig,
+    ) -> bool {
+        let period = r.period;
+        let Some(hidx) = self.hosts.get_mut(&host) else {
+            return false;
+        };
+        let Some(cached) = hidx.curves.remove(&period) else {
+            return false;
+        };
+        let freed: usize = cached
+            .light
+            .iter()
+            .flatten()
+            .chain(cached.heavy.iter().flat_map(|(_, ces)| ces))
+            .map(epoch_bytes)
+            .sum();
+        self.cached_bytes -= freed;
+        for (row, col, _) in &r.report.light {
+            if let Some(refs) = hidx.light.get_mut(&(*row, *col)) {
+                remove_period(refs, period);
+                if refs.is_empty() {
+                    hidx.light.remove(&(*row, *col));
+                }
+            }
+            if *row == 0 {
+                remove_period(&mut hidx.row0, period);
+            }
+        }
+        // Resolve heavy columns before mutating the host maps (split
+        // borrows, same shape as `index_report`).
+        let packed_cols: Vec<([u8; 13], Vec<u32>)> = r
+            .report
+            .heavy
+            .iter()
+            .map(|(k, _)| {
+                let packed: [u8; 13] = k.as_slice().try_into().expect("packed keys are 13 bytes");
+                (packed, self.cols_of(packed, cfg).to_vec())
+            })
+            .collect();
+        let hidx = self.hosts.get_mut(&host).expect("host exists");
+        for (packed, cols) in packed_cols {
+            if let Some(refs) = hidx.heavy.get_mut(&packed) {
+                remove_period(refs, period);
+                if refs.is_empty() {
+                    hidx.heavy.remove(&packed);
+                }
+            }
+            for (row, col) in cols.into_iter().enumerate() {
+                if let Some(refs) = hidx.heavy_by_col.get_mut(&(row as u32, col)) {
+                    remove_period(refs, period);
+                    if refs.is_empty() {
+                        hidx.heavy_by_col.remove(&(row as u32, col));
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Indexes one accepted report. Must be called exactly once per report
@@ -167,6 +287,13 @@ impl QueryIndex {
                 );
             }
         }
+        self.cached_bytes += cached
+            .light
+            .iter()
+            .flatten()
+            .chain(cached.heavy.iter().flat_map(|(_, ces)| ces))
+            .map(epoch_bytes)
+            .sum::<usize>();
         // Filing the cache also marks the host as present even for a report
         // with no light and no heavy entries (matching the report store).
         self.hosts
@@ -224,6 +351,9 @@ pub struct QueryScratch {
     pub(crate) starts: Vec<u64>,
     /// The light estimate at each opening window, captured pre-overlay.
     pub(crate) light_at: Vec<f64>,
+    /// Sparse-reconstruction scratch for epochs whose cached curve was
+    /// compacted away; idle (and allocation-free) on the hot path.
+    pub(crate) recon: ReconstructScratch,
 }
 
 impl QueryScratch {
@@ -233,46 +363,80 @@ impl QueryScratch {
     }
 }
 
-/// Streams the cached epoch curves behind `refs` into `out` in ref order:
-/// pass 1 finds the union span, pass 2 resets `out` to it and accumulates
-/// each epoch — the exact addition order (periods ascending, drain order
-/// within a period) the pre-index `WindowSeries::from_reports` code used,
-/// without materializing a report list or touching the wavelet kernel.
-/// Returns `false` (series untouched semantics: `out` reset to empty) when
-/// the refs resolve to no epochs, matching `from_reports(&[]) == None`.
+/// One epoch contribution to a series, from either storage tier: a cached
+/// reconstruction (hot) or a raw wire report whose curve is reconstructed
+/// sparsely on demand (compacted). `WindowSeries::accumulate_curve` and
+/// `accumulate_report` are bit-identical for the same epoch, so a series
+/// built from any mix of tiers equals the all-hot (and the pre-index
+/// rescan) result exactly.
+pub(crate) enum Epoch<'a> {
+    /// A hot-tier epoch: accumulate its cached curve.
+    Cached(&'a CachedEpoch),
+    /// A compacted-tier epoch: reconstruct from the wire report.
+    Raw(&'a BucketReport),
+}
+
+impl Epoch<'_> {
+    fn span(&self) -> (u64, usize) {
+        match self {
+            Epoch::Cached(e) => (e.w0, e.curve.len()),
+            Epoch::Raw(r) => (r.w0, r.padded_len),
+        }
+    }
+}
+
+/// Streams epochs into `out` in visit order: pass 1 finds the union span,
+/// pass 2 resets `out` to it and accumulates each epoch — the exact
+/// addition order (periods ascending, drain order within a period) the
+/// pre-index `WindowSeries::from_reports` code used. Callers must visit
+/// epochs in that order, compacted (older) periods before hot refs.
+/// Returns `false` (with `out` reset to empty) when nothing is visited,
+/// matching `from_reports(&[]) == None`; an epoch with an empty curve still
+/// counts as visited (degenerate heavy records anchor coverage).
 ///
-/// `lookup` resolves one ref to its cached epochs and may return `None` to
-/// skip a ref (the subtraction path skips the queried flow's own key).
-pub(crate) fn series_from_refs<'r>(
-    refs: &[EntryRef],
-    lookup: impl Fn(u64, u32) -> Option<&'r [CachedEpoch]>,
+/// `for_each` is called twice and must yield the same epochs both times.
+pub(crate) fn series_from_epochs(
+    mut for_each: impl FnMut(&mut dyn FnMut(Epoch<'_>)),
     out: &mut WindowSeries,
+    recon: &mut ReconstructScratch,
 ) -> bool {
     let mut start = u64::MAX;
     let mut end = 0u64;
     let mut any = false;
-    for &(period, i) in refs {
-        if let Some(ces) = lookup(period, i) {
-            for e in ces {
-                any = true;
-                start = start.min(e.w0);
-                end = end.max(e.w0 + e.curve.len() as u64);
-            }
-        }
-    }
+    for_each(&mut |e| {
+        let (w0, len) = e.span();
+        any = true;
+        start = start.min(w0);
+        end = end.max(w0 + len as u64);
+    });
     if !any {
         out.reset(0, 0);
         return false;
     }
     out.reset(start, (end - start) as usize);
+    for_each(&mut |e| match e {
+        Epoch::Cached(c) => out.accumulate_curve(c.w0, &c.curve),
+        Epoch::Raw(r) => out.accumulate_report(r, recon),
+    });
+    true
+}
+
+/// Visits the cached epochs behind `refs` in ref order — the hot-tier half
+/// of a [`series_from_epochs`] visitation. `lookup` resolves one ref and
+/// may return `None` to skip it (the subtraction path skips the queried
+/// flow's own key).
+pub(crate) fn visit_refs<'r>(
+    refs: &[EntryRef],
+    lookup: impl Fn(u64, u32) -> Option<&'r [CachedEpoch]>,
+    f: &mut dyn FnMut(Epoch<'r>),
+) {
     for &(period, i) in refs {
         if let Some(ces) = lookup(period, i) {
             for e in ces {
-                out.accumulate_curve(e.w0, &e.curve);
+                f(Epoch::Cached(e));
             }
         }
     }
-    true
 }
 
 #[cfg(test)]

@@ -1,0 +1,190 @@
+//! Bounded-memory retention for the long-running analyzer.
+//!
+//! The μMon analyzer is meant to run always-on; without a retention policy
+//! it keeps every accepted [`PeriodReport`](crate::PeriodReport), every
+//! cached reconstruction and every index ref forever and eventually OOMs.
+//! [`RetentionPolicy`] makes the memory budget explicit and drives the
+//! analyzer's time-tiered storage:
+//!
+//! * **hot** — the newest [`RetentionPolicy::hot_periods`] periods per host
+//!   keep full query-index refs *and* cached window-curve reconstructions:
+//!   queries are pure cached-`f64` accumulation (the PR 5 fast path).
+//! * **compacted** — periods aging past the hot horizon stay resident (the
+//!   raw [`PeriodReport`] is kept) but are deindexed: their cached curves
+//!   and per-column collision refs are dropped, and queries fall back to a
+//!   linear period scan with sparse inverse-Haar reconstruction. The two
+//!   paths are bit-identical (`WindowSeries::accumulate_report` vs
+//!   `accumulate_curve`), so compaction never changes a curve — it trades
+//!   query throughput for memory.
+//! * **evicted** — periods aging past [`RetentionPolicy::resident_periods`]
+//!   leave memory entirely. When the analyzer has an archive
+//!   ([`crate::archive::PeriodArchive`]) the data survives on disk — every
+//!   accepted report is archived at ingest (write-ahead), so eviction is
+//!   just a drop — and a restarted analyzer recovers it. Without an archive
+//!   eviction is an explicit data-loss budget, visible in
+//!   [`RetentionStats::evicted_periods`].
+//!
+//! Tier floors only move forward: a host's hot/eviction floors are raised as
+//! newer periods arrive and never lowered, so a late-arriving report lands
+//! directly in the tier its age dictates (or is dropped as stale if it is
+//! older than the eviction floor — the store can no longer tell a stale
+//! first delivery from a redelivery of an evicted period).
+
+/// The analyzer's explicit memory budget. The default is fully unbounded —
+/// identical behavior to the pre-retention analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Newest periods per host kept fully indexed with cached
+    /// reconstructions.
+    pub hot_periods: u64,
+    /// Newest periods per host kept resident at all (hot + compacted);
+    /// older periods are evicted from memory.
+    pub resident_periods: u64,
+    /// Optional global (all hosts) budget for cached reconstruction bytes.
+    /// When exceeded, the globally oldest hot period is compacted early,
+    /// even inside the hot horizon.
+    pub max_cached_bytes: Option<usize>,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        Self::UNBOUNDED
+    }
+}
+
+impl RetentionPolicy {
+    /// Keep everything forever (the pre-retention behavior).
+    pub const UNBOUNDED: RetentionPolicy = RetentionPolicy {
+        hot_periods: u64::MAX,
+        resident_periods: u64::MAX,
+        max_cached_bytes: None,
+    };
+
+    /// A bounded policy: `hot` fully-indexed periods inside `resident`
+    /// in-memory periods per host.
+    pub fn bounded(hot: u64, resident: u64) -> Self {
+        assert!(hot >= 1, "at least one hot period is required");
+        assert!(
+            resident >= hot,
+            "resident horizon must contain the hot horizon"
+        );
+        Self {
+            hot_periods: hot,
+            resident_periods: resident,
+            max_cached_bytes: None,
+        }
+    }
+
+    /// Adds a cached-bytes budget to this policy.
+    pub fn with_cached_bytes(mut self, bytes: usize) -> Self {
+        self.max_cached_bytes = Some(bytes);
+        self
+    }
+}
+
+/// One host's tier floors. Monotone: both only ever increase.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TierFloors {
+    /// Periods `>= hot_floor` are (or will be, on arrival) fully indexed.
+    pub(crate) hot_floor: u64,
+    /// Periods `< evict_floor` are no longer resident; arrivals below it
+    /// are dropped as stale.
+    pub(crate) evict_floor: u64,
+}
+
+impl TierFloors {
+    /// Raises the floors for a host whose newest stored period is `newest`.
+    /// Returns the previous floors (the caller compacts/evicts the periods
+    /// between old and new).
+    pub(crate) fn raise(&mut self, newest: u64, policy: &RetentionPolicy) -> TierFloors {
+        let prev = *self;
+        let hot_target = (newest + 1).saturating_sub(policy.hot_periods);
+        let evict_target = (newest + 1).saturating_sub(policy.resident_periods);
+        self.hot_floor = self.hot_floor.max(hot_target);
+        self.evict_floor = self.evict_floor.max(evict_target);
+        // The hot floor can never trail the eviction floor (a non-resident
+        // period cannot be hot).
+        self.hot_floor = self.hot_floor.max(self.evict_floor);
+        prev
+    }
+}
+
+/// Retention accounting, cumulative since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionStats {
+    /// Periods demoted from hot to compacted (cached curves dropped).
+    pub compacted_periods: u64,
+    /// Periods evicted from memory.
+    pub evicted_periods: u64,
+    /// Accepted reports that arrived already past the hot horizon and were
+    /// stored without indexing.
+    pub compacted_on_arrival: u64,
+    /// Reports dropped because they arrived below the eviction floor
+    /// (indistinguishable from redeliveries of evicted periods; also
+    /// counted as duplicates in [`crate::analyzer::IngestStats`]).
+    pub stale_dropped: u64,
+    /// Archive append failures (the report stayed resident; the archive
+    /// record is missing).
+    pub archive_errors: u64,
+}
+
+/// A point-in-time snapshot of what the analyzer holds resident — the
+/// quantities the retention soak asserts stay bounded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidencySnapshot {
+    /// Resident periods across all hosts (hot + compacted).
+    pub resident_periods: usize,
+    /// Resident periods that are fully indexed (hot tier).
+    pub hot_periods: usize,
+    /// Bytes held by cached epoch reconstructions.
+    pub cached_bytes: usize,
+    /// Nominal wire bytes of all resident reports (the compacted tier's
+    /// dominant cost).
+    pub resident_report_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_unbounded() {
+        let p = RetentionPolicy::default();
+        assert_eq!(p, RetentionPolicy::UNBOUNDED);
+        let mut floors = TierFloors::default();
+        floors.raise(1_000_000, &p);
+        assert_eq!(floors.hot_floor, 0);
+        assert_eq!(floors.evict_floor, 0);
+    }
+
+    #[test]
+    fn floors_follow_the_newest_period_and_never_regress() {
+        let p = RetentionPolicy::bounded(2, 5);
+        let mut floors = TierFloors::default();
+        floors.raise(10, &p);
+        assert_eq!(floors.hot_floor, 9);
+        assert_eq!(floors.evict_floor, 6);
+        // An older "newest" (late report didn't change the max) is a no-op.
+        floors.raise(7, &p);
+        assert_eq!(floors.hot_floor, 9);
+        assert_eq!(floors.evict_floor, 6);
+    }
+
+    #[test]
+    fn hot_floor_never_trails_evict_floor() {
+        let p = RetentionPolicy {
+            hot_periods: 10,
+            resident_periods: 10,
+            max_cached_bytes: None,
+        };
+        let mut floors = TierFloors::default();
+        floors.raise(20, &p);
+        assert!(floors.hot_floor >= floors.evict_floor);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident horizon")]
+    fn bounded_rejects_inverted_horizons() {
+        let _ = RetentionPolicy::bounded(8, 4);
+    }
+}

@@ -1,0 +1,219 @@
+//! Bounded sequence-number dedup windows.
+//!
+//! The collection plane deduplicates by sequence number in two places: the
+//! [`crate::collector::Collector`] tracks per-host envelope sequences, and
+//! the [`crate::analyzer::Analyzer`] tracks per-switch mirror batch ids.
+//! Both originally kept a `BTreeSet<u64>` of *every id ever seen*, which
+//! grows without bound on a long-running deployment. [`SeqWindow`] replaces
+//! that with a contiguous-ack watermark plus a bounded out-of-order tail:
+//! every id below the watermark is known-seen, and only ids at or above it
+//! (the reorder tail) are stored explicitly.
+//!
+//! Within the reorder horizon the window is *exactly* equivalent to the
+//! full set (proptested in `crates/umon/tests/collector_props.rs`). When the
+//! tail would exceed the horizon — a sender that far ahead of its oldest
+//! hole — the window force-advances past the lowest missing id and counts
+//! it in [`SeqWindow::skipped`], trading exactness beyond the horizon for
+//! bounded memory.
+
+use std::collections::BTreeSet;
+
+/// A bounded-memory "have I seen sequence number `s`?" set.
+///
+/// Invariants:
+/// * every id `< floor` has been inserted (or force-skipped);
+/// * `tail` holds only ids `>= floor`, and `tail.len() <= horizon`;
+/// * `skipped` counts ids force-advanced past without being inserted.
+#[derive(Debug, Clone)]
+pub struct SeqWindow {
+    /// All ids strictly below this watermark are seen-or-skipped.
+    floor: u64,
+    /// Out-of-order ids at or above `floor`.
+    tail: BTreeSet<u64>,
+    /// Maximum resident tail size before force-advancing.
+    horizon: usize,
+    /// Ids conceded as "seen" without an insert, to keep the tail bounded.
+    skipped: u64,
+}
+
+impl SeqWindow {
+    /// Creates an empty window that holds at most `horizon` out-of-order ids.
+    ///
+    /// `horizon` must be at least 1; it bounds resident memory at
+    /// `O(horizon)` regardless of how many ids are inserted.
+    pub fn new(horizon: usize) -> Self {
+        assert!(horizon >= 1, "SeqWindow horizon must be at least 1");
+        Self {
+            floor: 0,
+            tail: BTreeSet::new(),
+            horizon,
+            skipped: 0,
+        }
+    }
+
+    /// Inserts `seq`; returns `true` if it was new (not seen before).
+    ///
+    /// Duplicates below the watermark are reported as already-seen — that is
+    /// the whole point of the window. An id that was force-skipped is also
+    /// reported as already-seen (it was conceded, not observed; callers that
+    /// care can compare [`Self::skipped`] before and after).
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.floor {
+            return false;
+        }
+        if !self.tail.insert(seq) {
+            return false;
+        }
+        // Drain the contiguous run at the watermark.
+        while self.tail.remove(&self.floor) {
+            self.floor += 1;
+        }
+        // Bound the reorder tail: concede the lowest holes until the span
+        // from floor to the smallest resident id collapses.
+        while self.tail.len() > self.horizon {
+            let lowest = *self.tail.iter().next().expect("tail is non-empty");
+            self.skipped += lowest - self.floor;
+            self.floor = lowest;
+            while self.tail.remove(&self.floor) {
+                self.floor += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `seq` is recorded as seen (including force-skipped ids).
+    pub fn contains(&self, seq: u64) -> bool {
+        seq < self.floor || self.tail.contains(&seq)
+    }
+
+    /// The contiguous-ack watermark: every id below it is seen-or-skipped.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Largest id ever inserted, or `None` if empty.
+    pub fn max_seen(&self) -> Option<u64> {
+        match self.tail.iter().next_back() {
+            Some(&m) => Some(m),
+            None => self.floor.checked_sub(1),
+        }
+    }
+
+    /// Ids conceded without observation to keep the tail bounded. Zero as
+    /// long as reordering stays within the horizon.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Number of ids resident in the out-of-order tail (`<= horizon`).
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Count of known holes: ids in `[floor, max_seen]` not yet inserted.
+    pub fn hole_count(&self) -> u64 {
+        match self.max_seen() {
+            Some(max) if max >= self.floor => max - self.floor + 1 - self.tail.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Visits every hole in `[floor, max_seen]` in ascending order.
+    pub fn for_each_hole(&self, mut f: impl FnMut(u64)) {
+        let Some(max) = self.max_seen() else { return };
+        let mut next = self.floor;
+        for &present in &self.tail {
+            for hole in next..present {
+                f(hole);
+            }
+            next = present + 1;
+        }
+        for hole in next..=max {
+            f(hole);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_keeps_empty_tail() {
+        let mut w = SeqWindow::new(4);
+        for s in 0..1000 {
+            assert!(w.insert(s));
+            assert!(!w.insert(s), "duplicate {s} accepted");
+        }
+        assert_eq!(w.floor(), 1000);
+        assert_eq!(w.tail_len(), 0);
+        assert_eq!(w.skipped(), 0);
+        assert_eq!(w.max_seen(), Some(999));
+        assert_eq!(w.hole_count(), 0);
+    }
+
+    #[test]
+    fn reorder_within_horizon_is_exact() {
+        let mut w = SeqWindow::new(8);
+        for s in [3u64, 0, 2, 5, 1, 4] {
+            assert!(w.insert(s));
+        }
+        assert_eq!(w.floor(), 6);
+        assert_eq!(w.skipped(), 0);
+        assert!(w.contains(5));
+        assert!(!w.contains(6));
+    }
+
+    #[test]
+    fn holes_are_enumerated_in_order() {
+        let mut w = SeqWindow::new(8);
+        for s in [0u64, 1, 4, 7] {
+            w.insert(s);
+        }
+        let mut holes = Vec::new();
+        w.for_each_hole(|h| holes.push(h));
+        assert_eq!(holes, vec![2, 3, 5, 6]);
+        assert_eq!(w.hole_count(), 4);
+    }
+
+    #[test]
+    fn overflow_force_advances_and_counts_skipped() {
+        let mut w = SeqWindow::new(2);
+        // 0 is a permanent hole; far-ahead ids overflow the 2-slot tail.
+        assert!(w.insert(10));
+        assert!(w.insert(20));
+        assert!(w.insert(30));
+        assert!(w.tail_len() <= 2, "tail {} exceeds horizon", w.tail_len());
+        assert!(w.skipped() > 0);
+        // Conceded ids read as seen from then on.
+        assert!(w.contains(0));
+        assert!(!w.insert(0));
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_hostile_stream() {
+        let mut w = SeqWindow::new(16);
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            w.insert(state % 100_000);
+            assert!(w.tail_len() <= 16);
+        }
+    }
+
+    #[test]
+    fn max_seen_tracks_either_side_of_the_watermark() {
+        let mut w = SeqWindow::new(4);
+        assert_eq!(w.max_seen(), None);
+        w.insert(0);
+        assert_eq!(w.max_seen(), Some(0));
+        w.insert(3);
+        assert_eq!(w.max_seen(), Some(3));
+        w.insert(1);
+        w.insert(2);
+        assert_eq!(w.max_seen(), Some(3));
+        assert_eq!(w.floor(), 4);
+    }
+}

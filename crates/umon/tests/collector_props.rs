@@ -3,9 +3,10 @@
 //! under randomly drawn fault schedules.
 
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 use umon::{
     Analyzer, Collector, Envelope, FaultSpec, FaultyTransport, HostAgent, HostAgentConfig,
-    HostUplink, PeriodReport, RetransmitPolicy, Transport,
+    HostUplink, PeriodReport, RetransmitPolicy, SeqWindow, Transport,
 };
 use wavesketch::SketchConfig;
 
@@ -255,5 +256,70 @@ proptest! {
             prop_assert_eq!(&analyzer.flow_curve(0, flow), &reference.flow_curve(0, flow));
         }
         prop_assert!(analyzer.host_coverage(0).is_complete());
+    }
+
+    /// The bounded dedup window is *exactly* the full-set dedup for any
+    /// reorder (and any duplication) within the horizon: same accept/reject
+    /// per insert, same membership, same hole enumeration — so the
+    /// collector's gap accounting (`known_lost`) is unchanged by the
+    /// watermark refactor.
+    #[test]
+    fn seq_window_matches_full_set_within_horizon(
+        stream in proptest::collection::vec(0u64..64, 1..300),
+    ) {
+        // Every drawn id is < 64 and the horizon is 512, so no reorder in
+        // this stream can force the window to concede anything.
+        let mut window = SeqWindow::new(512);
+        let mut full: BTreeSet<u64> = BTreeSet::new();
+        for &s in &stream {
+            prop_assert_eq!(window.insert(s), full.insert(s), "insert({}) diverged", s);
+        }
+        prop_assert_eq!(window.skipped(), 0);
+
+        let max = *full.iter().next_back().unwrap();
+        for s in 0..=max + 2 {
+            prop_assert_eq!(window.contains(s), full.contains(&s), "contains({}) diverged", s);
+        }
+
+        // Hole enumeration (what `Collector::missing_seqs` is built from)
+        // matches the full-set computation `(0..=max).filter(!seen)`.
+        let mut holes = Vec::new();
+        window.for_each_hole(|h| holes.push(h));
+        let expect: Vec<u64> = (0..=max).filter(|s| !full.contains(s)).collect();
+        prop_assert_eq!(holes, expect);
+        prop_assert_eq!(window.hole_count(), (max + 1) - full.len() as u64);
+        prop_assert_eq!(window.max_seen(), Some(max));
+    }
+
+    /// Beyond the horizon the window trades exactness for bounded memory,
+    /// but its accounting stays conservation-exact: every id in the heard
+    /// range is seen, a known hole, or counted as conceded.
+    #[test]
+    fn seq_window_conservation_under_hostile_reorder(
+        stream in proptest::collection::vec(0u64..10_000, 1..400),
+        horizon in 1usize..12,
+    ) {
+        let mut window = SeqWindow::new(horizon);
+        let mut inserted: BTreeSet<u64> = BTreeSet::new();
+        for &s in &stream {
+            if window.insert(s) {
+                inserted.insert(s);
+            }
+            prop_assert!(window.tail_len() <= horizon);
+        }
+        let max = window.max_seen().unwrap();
+        // floor splits the range: below it everything is seen-or-conceded,
+        // above it tail + holes partition [floor, max].
+        let below = window.floor();
+        let seen_below = inserted.iter().filter(|&&s| s < below).count() as u64;
+        prop_assert_eq!(below, seen_below + window.skipped());
+        prop_assert_eq!(
+            max + 1 - below,
+            window.tail_len() as u64 + window.hole_count()
+        );
+        // Accepted inserts are never forgotten.
+        for &s in &inserted {
+            prop_assert!(window.contains(s));
+        }
     }
 }

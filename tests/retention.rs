@@ -1,0 +1,56 @@
+//! Workspace-level retention gate: the bounded-memory analyzer honors its
+//! budget over a long run, stays bit-identical to unbounded references, and
+//! recovers from an archive after a mid-ingest kill (DESIGN.md §12).
+//!
+//! The fast fixed-seed profile of the same contract runs in CI through
+//! `retention_soak` (see ci.sh); these tests pin a couple of seeds into the
+//! tier-1 suite so `cargo test` alone catches a retention regression.
+
+use umon::RetentionPolicy;
+use umon_testkit::{retention_diff_run, retention_soak_run, RetentionDiffConfig, StreamKind};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+/// The full differential contract — compaction invisible, eviction exact,
+/// crash recovery reconvergent, torn tails contained — on one seed per
+/// workload kind.
+#[test]
+fn retention_contract_holds_across_workload_kinds() {
+    let dir = scratch("retention_contract");
+    for kind in StreamKind::ALL {
+        let cfg = RetentionDiffConfig::quick(kind);
+        let stats = retention_diff_run(7, &cfg, &dir)
+            .unwrap_or_else(|e| panic!("retention contract failed: {e}"));
+        assert!(stats.reports > 0);
+        assert!(stats.compacted > 0, "compaction never fired");
+        assert!(stats.evicted > 0, "eviction never fired");
+        assert!(stats.recovered > 0, "recovery never replayed");
+        assert!(stats.curves_compared > 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A thousand-period soak through a small budget: resident state stays
+/// bounded, checkpoint queries stay bit-identical to an unbounded reference
+/// over the surviving periods.
+#[test]
+fn long_run_soak_stays_bounded_and_bit_identical() {
+    let policy = RetentionPolicy::bounded(8, 32).with_cached_bytes(256 * 1024);
+    let stats = retention_soak_run(11, 1000, policy, 50)
+        .unwrap_or_else(|e| panic!("retention soak failed: {e}"));
+    assert_eq!(stats.periods, 1000);
+    assert!(
+        stats.max_resident_periods <= 32,
+        "resident periods peaked at {}",
+        stats.max_resident_periods
+    );
+    assert!(
+        stats.max_cached_bytes <= 256 * 1024,
+        "cached bytes peaked at {}",
+        stats.max_cached_bytes
+    );
+    assert!(stats.evicted > 0, "soak never evicted (vacuous)");
+    assert!(stats.curves_compared > 0);
+}
