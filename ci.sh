@@ -51,4 +51,14 @@ timeout 300 cargo run --release -q -p umon-testkit --bin golden_gen -- --check
 echo "==> perf gate: umon_bench --smoke"
 timeout 300 cargo run --release -q -p umon-bench --bin umon_bench -- --smoke
 
+# Memory–accuracy frontier gate (DESIGN.md §13): validates the committed
+# results/frontier_*.json files (every scenario × budget × scheme point must
+# exist with finite, in-range metrics), then re-runs a shrunken sweep — two
+# scenarios at two tiny budgets — fresh. Accuracy metrics are fully
+# deterministic, so there are no noisy thresholds to tune: the gate fails
+# only on missing files or invalid numbers. Regenerate the committed
+# frontier with `umon_bench --record --only frontier` (byte-identical runs).
+echo "==> frontier gate: umon_bench --smoke --only frontier"
+timeout 300 cargo run --release -q -p umon-bench --bin umon_bench -- --smoke --only frontier
+
 echo "CI green."

@@ -19,6 +19,8 @@ fn main() {
             0,
             1_000_000,
             500_000,
+            0,
+            0,
             CongestionControl::FixedRate(100.0),
         )
     };

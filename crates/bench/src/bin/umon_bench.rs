@@ -28,6 +28,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 use umon::switch_agent::MirroredPacket;
 use umon::{Analyzer, HostAgent, HostAgentConfig, QueryScratch, RetentionPolicy};
+use umon_bench::frontier;
 use umon_netsim::{
     CongestionControl, FlowId, FlowSpec, SchedulerKind, SimConfig, Simulator, Topology,
 };
@@ -569,6 +570,106 @@ fn record_analyzer(root: &Path, as_baseline: Option<&str>) {
     println!("wrote {}", analyzer_path.display());
 }
 
+/// Records the memory–accuracy frontier: one `results/frontier_*.json` per
+/// matrix scenario. Deterministic end to end (seeded scenarios, seeded sim,
+/// no wall clock), so reruns are byte-identical. Only runs under
+/// `--only frontier` — the accuracy sweep is a different gate from the
+/// wall-clock BENCH files and must not piggyback on a plain `--record`.
+fn record_frontier(root: &Path) {
+    let results_dir = root.join("results");
+    std::fs::create_dir_all(&results_dir).expect("create results dir");
+    println!(
+        "frontier: scenario matrix x {} budgets x {} schemes ...",
+        frontier::budgets(false).len(),
+        frontier::SCHEMES.len()
+    );
+    for f in frontier::sweep(false) {
+        frontier::validate_frontier(&f).unwrap_or_else(|e| {
+            eprintln!("FAIL frontier sweep produced an invalid point: {e}");
+            std::process::exit(1);
+        });
+        let path = results_dir.join(format!("frontier_{}.json", f.scenario));
+        store(&path, &f);
+        let last = f.budgets.last().expect("validated non-empty");
+        let ws = last
+            .schemes
+            .iter()
+            .find(|p| p.scheme == "wavesketch")
+            .expect("validated scheme set");
+        println!(
+            "  {:<16} {} flows, {} records: wavesketch@{}k nmse={:.4} recall={:.3} f1={:.3}",
+            f.scenario,
+            f.injected_flows,
+            f.tx_records,
+            last.budget_bytes / 1024,
+            ws.nmse,
+            ws.burst_recall,
+            ws.heavy_hitter_f1
+        );
+        println!("wrote {}", path.display());
+    }
+}
+
+/// The frontier CI gate: committed `results/frontier_*.json` files must
+/// exist for every matrix scenario with finite in-range metrics, and a
+/// fresh shrunken sweep (2 scenarios x 2 tiny budgets) must also produce
+/// finite in-range metrics. No wall-clock thresholds — accuracy metrics
+/// are deterministic, so any drift is a real change, but the gate only
+/// *fails* on missing or invalid numbers.
+fn smoke_frontier() {
+    let root = repo_root();
+    for scenario in [
+        "incast_dcqcn",
+        "incast_dctcp",
+        "allreduce_dcqcn",
+        "allreduce_dctcp",
+        "pfc_storm",
+        "link_flap",
+    ] {
+        let path = root
+            .join("results")
+            .join(format!("frontier_{scenario}.json"));
+        let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "FAIL missing committed frontier file {}: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        });
+        let f: frontier::ScenarioFrontier = serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("unparseable {}: {e}", path.display()));
+        if let Err(e) = frontier::validate_frontier(&f) {
+            eprintln!("FAIL {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        if f.scenario != scenario {
+            eprintln!("FAIL {}: names scenario {}", path.display(), f.scenario);
+            std::process::exit(1);
+        }
+        println!(
+            "frontier_{scenario}.json: {} budgets x {} schemes OK",
+            f.budgets.len(),
+            frontier::SCHEMES.len()
+        );
+    }
+    println!(
+        "frontier fresh smoke: {:?} x {:?} bytes ...",
+        frontier::SMOKE_SCENARIOS,
+        frontier::budgets(true)
+    );
+    for f in frontier::sweep(true) {
+        if let Err(e) = frontier::validate_frontier(&f) {
+            eprintln!("FAIL fresh frontier sweep: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "  {} fresh: {} flows scored, all metrics finite",
+            f.scenario, f.budgets[0].schemes[0].flows
+        );
+    }
+    println!("frontier gate OK");
+}
+
 fn record(as_baseline: Option<&str>, only: Option<&str>) {
     if let Some(name) = as_baseline {
         assert!(
@@ -578,11 +679,16 @@ fn record(as_baseline: Option<&str>, only: Option<&str>) {
     }
     if let Some(section) = only {
         assert!(
-            matches!(section, "core" | "netsim" | "analyzer"),
-            "unknown --only section {section} (want core|netsim|analyzer)"
+            matches!(section, "core" | "netsim" | "analyzer" | "frontier"),
+            "unknown --only section {section} (want core|netsim|analyzer|frontier)"
         );
     }
     let root = repo_root();
+    // The frontier only runs when explicitly selected; see record_frontier.
+    if only == Some("frontier") {
+        record_frontier(&root);
+        return;
+    }
     if selected(only, "core") {
         record_core(&root, as_baseline);
     }
@@ -823,12 +929,13 @@ fn main() {
         }
     }
     match mode {
+        Some("smoke") if only.as_deref() == Some("frontier") => smoke_frontier(),
         Some("smoke") => smoke(),
         Some("record") => record(as_baseline.as_deref(), only.as_deref()),
         Some("profile") => profile(),
         _ => {
             eprintln!(
-                "usage: umon-bench --smoke | --record [--as-baseline baseline|baseline_lto] [--only core|netsim|analyzer] | --profile"
+                "usage: umon-bench --smoke [--only frontier] | --record [--as-baseline baseline|baseline_lto] [--only core|netsim|analyzer|frontier] | --profile"
             );
             std::process::exit(2);
         }

@@ -272,3 +272,4 @@ mod tests {
     }
 }
 pub mod accuracy;
+pub mod frontier;

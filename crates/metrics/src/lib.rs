@@ -95,6 +95,78 @@ pub fn energy_similarity(f: &[f64], g: &[f64]) -> f64 {
     }
 }
 
+/// Normalized mean squared error: `Σ(f−g)² / Σf²`.
+///
+/// Lower is better; 0 means the estimate is exact, 1 is "as wrong as
+/// predicting all-zero". If the truth carries no energy the error is
+/// normalized by the sample count instead (`Σg²/n`), keeping the result
+/// finite — an all-zero estimate of an all-zero truth is 0.
+pub fn nmse(f: &[f64], g: &[f64]) -> f64 {
+    assert_eq_len(f, g);
+    let se: f64 = f.iter().zip(g).map(|(a, b)| (a - b) * (a - b)).sum();
+    let ef: f64 = f.iter().map(|a| a * a).sum();
+    if ef == 0.0 {
+        return se / f.len().max(1) as f64;
+    }
+    se / ef
+}
+
+/// Burst-detection recall: of the windows where the true curve is at or
+/// above `threshold` (the bursts), the fraction where the estimate also
+/// reaches `threshold`.
+///
+/// In `[0, 1]`, higher is better. If the truth never crosses the threshold
+/// there is nothing to detect and the recall is defined as 1.
+///
+/// # Panics
+///
+/// Panics on length mismatch or a non-positive threshold (a threshold of 0
+/// would make every window a burst).
+pub fn burst_recall(f: &[f64], g: &[f64], threshold: f64) -> f64 {
+    assert_eq_len(f, g);
+    assert!(threshold > 0.0, "burst threshold must be positive");
+    let mut bursts = 0usize;
+    let mut detected = 0usize;
+    for (a, b) in f.iter().zip(g) {
+        if *a >= threshold {
+            bursts += 1;
+            if *b >= threshold {
+                detected += 1;
+            }
+        }
+    }
+    if bursts == 0 {
+        return 1.0;
+    }
+    detected as f64 / bursts as f64
+}
+
+/// Heavy-hitter F1: compares the top-`k` key sets of two `(key, total)`
+/// lists (e.g. per-flow byte totals, truth vs estimate).
+///
+/// Both lists are ranked by descending total with ties broken by ascending
+/// key (so the result is deterministic), truncated to `k`, and compared as
+/// sets: F1 = 2·|∩| / (|truth_top| + |est_top|). In `[0, 1]`, higher is
+/// better; two empty lists score 1.
+pub fn heavy_hitter_f1(truth: &[(u64, f64)], estimate: &[(u64, f64)], k: usize) -> f64 {
+    let top = |items: &[(u64, f64)]| -> std::collections::BTreeSet<u64> {
+        let mut sorted: Vec<(u64, f64)> = items.to_vec();
+        sorted.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        sorted.iter().take(k).map(|(id, _)| *id).collect()
+    };
+    let t = top(truth);
+    let e = top(estimate);
+    if t.is_empty() && e.is_empty() {
+        return 1.0;
+    }
+    let inter = t.intersection(&e).count();
+    2.0 * inter as f64 / (t.len() + e.len()) as f64
+}
+
 /// All four Appendix-E metrics computed for one truth/estimate pair.
 pub fn all_metrics(truth: &[f64], estimate: &[f64]) -> MetricSummary {
     MetricSummary {
@@ -183,6 +255,61 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn mismatched_lengths_panic() {
         euclidean_distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn nmse_matches_hand_computation_and_handles_zero_truth() {
+        let f = [3.0, 4.0];
+        let g = [3.0, 2.0];
+        // SE = 4, energy = 25.
+        assert!((nmse(&f, &g) - 4.0 / 25.0).abs() < 1e-12);
+        assert_eq!(nmse(&f, &f), 0.0);
+        // All-zero truth: normalize by length, stay finite.
+        assert!((nmse(&[0.0, 0.0], &[2.0, 0.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(nmse(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn burst_recall_counts_threshold_crossings() {
+        let f = [0.0, 10.0, 12.0, 3.0, 11.0];
+        let g = [0.0, 10.0, 4.0, 9.0, 20.0];
+        // Bursts at t=1,2,4 (truth ≥ 10); detected at t=1,4.
+        assert!((burst_recall(&f, &g, 10.0) - 2.0 / 3.0).abs() < 1e-12);
+        // No bursts in the truth: vacuously perfect.
+        assert_eq!(burst_recall(&[1.0, 2.0], &[0.0, 0.0], 10.0), 1.0);
+        // Perfect detector.
+        assert_eq!(burst_recall(&f, &f, 10.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn burst_recall_rejects_zero_threshold() {
+        burst_recall(&[1.0], &[1.0], 0.0);
+    }
+
+    #[test]
+    fn heavy_hitter_f1_compares_top_k_sets() {
+        let truth = [(1, 100.0), (2, 90.0), (3, 10.0), (4, 5.0)];
+        // Estimate swaps #3 for #4 in the top 3.
+        let est = [(1, 95.0), (2, 80.0), (4, 20.0), (3, 1.0)];
+        // Top-3 sets {1,2,3} vs {1,2,4}: F1 = 2·2/6.
+        assert!((heavy_hitter_f1(&truth, &est, 3) - 2.0 / 3.0).abs() < 1e-12);
+        // Perfect agreement.
+        assert_eq!(heavy_hitter_f1(&truth, &truth, 2), 1.0);
+        // Empty lists agree by convention.
+        assert_eq!(heavy_hitter_f1(&[], &[], 5), 1.0);
+        // Empty truth vs non-empty estimate: no intersection.
+        assert_eq!(heavy_hitter_f1(&[], &est, 2), 0.0);
+    }
+
+    #[test]
+    fn heavy_hitter_f1_breaks_ties_by_key() {
+        // Two keys tied at the cut: the smaller key wins deterministically.
+        let truth = [(7, 50.0), (3, 50.0), (9, 50.0)];
+        let a = heavy_hitter_f1(&truth, &truth, 2);
+        let b = heavy_hitter_f1(&truth, &truth, 2);
+        assert_eq!(a, b);
+        assert_eq!(a, 1.0);
     }
 
     #[test]

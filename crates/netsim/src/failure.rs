@@ -1,0 +1,243 @@
+//! Deterministic fabric failure injection: link flaps and forced PFC pause
+//! storms, scheduled ahead of time and driven through the ordinary event
+//! queue so a seeded run replays bit-for-bit.
+//!
+//! ## Model
+//!
+//! * A **link flap** takes the duplex link at `(node, port)` down at
+//!   `down_ns` and back up at `up_ns`. While down, neither endpoint starts a
+//!   new serialization on that link; a packet whose serialization completes
+//!   while the link is down is lost on the wire (counted in
+//!   [`Telemetry::link_losses`](crate::telemetry::Telemetry::link_losses),
+//!   and reported as a [`DropRecord`](crate::telemetry::DropRecord) when
+//!   deflect-on-drop is enabled). Packets already propagating when the link
+//!   fails still arrive — the cut severs the transmitter, not photons in
+//!   flight. Queued packets wait out the outage and resume on link-up.
+//! * A **pause storm** forces `cycles` XOFF/XON pairs onto `(node, port)`
+//!   through the exact PFC machinery organic congestion uses, so pause
+//!   refcounting, serializer gating and [`PauseRecord`] telemetry behave
+//!   identically. Injected records are distinguishable: their
+//!   `triggered_by` equals the paused node itself, which organic PFC can
+//!   never produce (a switch always pauses its *neighbors*).
+//!
+//! Schedules are plain data — generation (with seeds, jitter and
+//! non-overlap guarantees) lives in `umon-workloads`. The simulator
+//! validates on construction that no two events overlap on the same
+//! physical link, because overlapping flaps on a boolean link state would
+//! not compose.
+//!
+//! [`PauseRecord`]: crate::telemetry::PauseRecord
+
+use crate::topology::{NodeId, PortId, Topology};
+
+/// One scheduled fabric failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// The duplex link at `(node, port)` is down during `[down_ns, up_ns)`.
+    LinkFlap {
+        /// Either endpoint of the link.
+        node: NodeId,
+        /// The port on that endpoint.
+        port: PortId,
+        /// True time the link fails, ns.
+        down_ns: u64,
+        /// True time the link recovers, ns (exclusive; must be > `down_ns`).
+        up_ns: u64,
+    },
+    /// `cycles` forced XOFF/XON pairs at `(node, port)`: cycle `c` pauses
+    /// during `[start + c·(pause+gap), start + c·(pause+gap) + pause)`.
+    PauseStorm {
+        /// The node whose egress port is paused.
+        node: NodeId,
+        /// The paused port.
+        port: PortId,
+        /// True time of the first XOFF, ns.
+        start_ns: u64,
+        /// Number of XOFF/XON pairs (must be ≥ 1).
+        cycles: u32,
+        /// Paused duration per cycle, ns (must be ≥ 1).
+        pause_ns: u64,
+        /// Idle gap between cycles, ns.
+        gap_ns: u64,
+    },
+}
+
+impl FailureEvent {
+    /// The `(node, port)` endpoint this event names.
+    pub fn endpoint(&self) -> (NodeId, PortId) {
+        match *self {
+            FailureEvent::LinkFlap { node, port, .. }
+            | FailureEvent::PauseStorm { node, port, .. } => (node, port),
+        }
+    }
+
+    /// The half-open active interval `[start, end)` of the event in ns.
+    pub fn interval(&self) -> (u64, u64) {
+        match *self {
+            FailureEvent::LinkFlap { down_ns, up_ns, .. } => (down_ns, up_ns),
+            FailureEvent::PauseStorm {
+                start_ns,
+                cycles,
+                pause_ns,
+                gap_ns,
+                ..
+            } => {
+                let period = pause_ns + gap_ns;
+                // Last cycle ends after its pause, without the trailing gap.
+                let end = start_ns + (cycles as u64).saturating_sub(1) * period + pause_ns;
+                (start_ns, end)
+            }
+        }
+    }
+}
+
+/// An ordered set of failure events for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureSchedule {
+    /// The events, in no particular order.
+    pub events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// An empty schedule (no failures — the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if the schedule holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks structural validity against a topology: every endpoint exists,
+    /// intervals are non-degenerate, and no two events overlap in time on
+    /// the same physical link (both directions of a duplex link count as
+    /// one link). Returns the first violation as a message.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        let mut spans: Vec<((NodeId, PortId), u64, u64)> = Vec::with_capacity(self.events.len());
+        for ev in &self.events {
+            let (node, port) = ev.endpoint();
+            if node >= topo.num_nodes() || port >= topo.ports(node) {
+                return Err(format!("failure event names missing port ({node}, {port})"));
+            }
+            let (start, end) = ev.interval();
+            if end <= start {
+                return Err(format!(
+                    "failure event at ({node}, {port}) has empty interval"
+                ));
+            }
+            match ev {
+                FailureEvent::PauseStorm {
+                    cycles, pause_ns, ..
+                } => {
+                    if *cycles == 0 || *pause_ns == 0 {
+                        return Err(format!(
+                            "pause storm at ({node}, {port}) needs cycles >= 1 and pause_ns >= 1"
+                        ));
+                    }
+                }
+                FailureEvent::LinkFlap { .. } => {}
+            }
+            // Canonical link key: the lexicographically smaller endpoint of
+            // the duplex link, so flaps named from either side collide.
+            let link = topo.link_at(node, port);
+            let key = link.a.min(link.b);
+            spans.push((key, start, end));
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            let ((k0, _s0, e0), (k1, s1, _e1)) = (w[0], w[1]);
+            if k0 == k1 && s1 < e0 {
+                return Err(format!(
+                    "overlapping failure events on link at ({}, {})",
+                    k0.0, k0.1
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// True if two events overlap in time on the same named endpoint
+    /// (topology-free check used by schedule generators before a topology
+    /// exists; [`validate`](Self::validate) is the authoritative check).
+    pub fn has_endpoint_overlap(&self) -> bool {
+        let mut spans: Vec<((NodeId, PortId), u64, u64)> = self
+            .events
+            .iter()
+            .map(|ev| {
+                let (s, e) = ev.interval();
+                (ev.endpoint(), s, e)
+            })
+            .collect();
+        spans.sort_unstable();
+        spans
+            .windows(2)
+            .any(|w| w[0].0 == w[1].0 && w[1].1 < w[0].2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flap(node: NodeId, port: PortId, down: u64, up: u64) -> FailureEvent {
+        FailureEvent::LinkFlap {
+            node,
+            port,
+            down_ns: down,
+            up_ns: up,
+        }
+    }
+
+    #[test]
+    fn storm_interval_excludes_trailing_gap() {
+        let ev = FailureEvent::PauseStorm {
+            node: 4,
+            port: 1,
+            start_ns: 100,
+            cycles: 3,
+            pause_ns: 10,
+            gap_ns: 5,
+        };
+        // Cycles pause at [100,110), [115,125), [130,140).
+        assert_eq!(ev.interval(), (100, 140));
+    }
+
+    #[test]
+    fn validate_rejects_overlap_even_across_link_sides() {
+        let topo = Topology::dumbbell(1, 100.0, 1000);
+        // Host 0 port 0 and switch 2 port 0 are the two ends of one link.
+        let link = *topo.link_at(0, 0);
+        let (peer, peer_port) = link.peer(0);
+        let mut sched = FailureSchedule::none();
+        sched.events.push(flap(0, 0, 100, 200));
+        sched.events.push(flap(peer, peer_port, 150, 300));
+        assert!(sched.validate(&topo).unwrap_err().contains("overlapping"));
+        // Disjoint intervals on the same link are fine.
+        sched.events[1] = flap(peer, peer_port, 200, 300);
+        assert!(sched.validate(&topo).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_missing_ports_and_empty_intervals() {
+        let topo = Topology::dumbbell(1, 100.0, 1000);
+        let mut sched = FailureSchedule::none();
+        sched.events.push(flap(99, 0, 0, 10));
+        assert!(sched.validate(&topo).unwrap_err().contains("missing port"));
+        sched.events[0] = flap(0, 0, 10, 10);
+        assert!(sched
+            .validate(&topo)
+            .unwrap_err()
+            .contains("empty interval"));
+    }
+
+    #[test]
+    fn endpoint_overlap_check_is_topology_free() {
+        let mut sched = FailureSchedule::none();
+        sched.events.push(flap(1, 0, 0, 100));
+        sched.events.push(flap(1, 0, 50, 150));
+        assert!(sched.has_endpoint_overlap());
+        sched.events[1] = flap(1, 0, 100, 150);
+        assert!(!sched.has_endpoint_overlap());
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod dcqcn;
 pub mod dctcp;
+pub mod failure;
 pub mod packet;
 pub mod queue;
 pub mod sched;
@@ -33,12 +34,13 @@ pub mod telemetry;
 pub mod topology;
 pub mod trace;
 
+pub use failure::{FailureEvent, FailureSchedule};
 pub use packet::{EcnCodepoint, FlowId, Packet, PacketKind};
 pub use queue::{EcnConfig, OutPort};
 pub use sched::{CalendarQueue, SchedulerKind};
 pub use sim::{CongestionControl, FlowSpec, PfcConfig, SimConfig, SimResult, Simulator};
 pub use telemetry::{
-    BurstRecord, ClockModel, DropRecord, MirrorCandidate, PauseRecord, QueueEpisode, Telemetry,
-    TxRecord,
+    BurstRecord, ClockModel, DropRecord, LinkRecord, MirrorCandidate, PauseRecord, QueueEpisode,
+    Telemetry, TxRecord,
 };
 pub use topology::{NodeId, PortId, Topology};

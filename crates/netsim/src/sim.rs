@@ -19,6 +19,7 @@
 
 use crate::dcqcn::{DcqcnParams, DcqcnState};
 use crate::dctcp::{DctcpParams, DctcpState};
+use crate::failure::{FailureEvent, FailureSchedule};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::queue::{EcnConfig, EnqueueOutcome, OutPort};
 use crate::sched::{EventQueue, SchedulerKind};
@@ -124,6 +125,9 @@ pub struct SimConfig {
     /// Event scheduler implementation. Never affects results, only speed
     /// (both schedulers pop in identical `(time, seq)` order).
     pub scheduler: SchedulerKind,
+    /// Scheduled fabric failures (link flaps, forced PFC pause storms).
+    /// Empty by default; see [`crate::failure`] for the model.
+    pub failures: FailureSchedule,
 }
 
 impl Default for SimConfig {
@@ -145,6 +149,7 @@ impl Default for SimConfig {
             clock_error_ns: 100,
             collect_queue_dist: true,
             scheduler: SchedulerKind::default(),
+            failures: FailureSchedule::none(),
         }
     }
 }
@@ -213,6 +218,12 @@ enum Event {
         on: bool,
         triggered_by: NodeId,
     },
+    /// The duplex link at (node, port) changes state (failure injection).
+    LinkState {
+        node: NodeId,
+        port: PortId,
+        up: bool,
+    },
 }
 
 /// `Packet` wrapped for the event queue (needs `Eq` for the heap tuple).
@@ -275,6 +286,8 @@ pub struct Simulator {
     queue_dists: Vec<Vec<QueueLengthDist>>,
     /// Per switch-port: true while this queue holds XOFF on its feeders.
     pfc_asserting: Vec<Vec<bool>>,
+    /// Per (node, port): true while the attached link is failed.
+    link_down: Vec<Vec<bool>>,
     telemetry: Telemetry,
 }
 
@@ -335,6 +348,9 @@ impl Simulator {
                 send_scheduled: false,
             })
             .collect();
+        if let Err(msg) = config.failures.validate(&topo) {
+            panic!("invalid failure schedule: {msg}");
+        }
         let events = EventQueue::new(config.scheduler);
         Self {
             topo,
@@ -346,6 +362,7 @@ impl Simulator {
             events_processed: 0,
             events,
             pfc_asserting: ports.iter().map(|ps| vec![false; ps.len()]).collect(),
+            link_down: ports.iter().map(|ps| vec![false; ps.len()]).collect(),
             ports,
             flows: flow_rts,
             episode_trackers: trackers,
@@ -362,6 +379,7 @@ impl Simulator {
     /// Runs to completion (event queue empty or `end_ns` reached) and
     /// returns the telemetry and flow statistics.
     pub fn run(mut self) -> SimResult {
+        self.schedule_failures();
         for f in 0..self.flows.len() {
             let start = self.flows[f].spec.start_ns;
             self.schedule(start, Event::FlowStart { flow: f });
@@ -392,6 +410,99 @@ impl Simulator {
                 on,
                 triggered_by,
             } => self.on_pause(node, port, on, triggered_by),
+            Event::LinkState { node, port, up } => self.on_link_state(node, port, up),
+        }
+    }
+
+    /// Expands the failure schedule into concrete events. Pause storms drive
+    /// the ordinary PFC machinery; the paused node itself is recorded as
+    /// `triggered_by`, which organic PFC can never produce (a congested
+    /// switch pauses its *neighbors*), so injected records stay
+    /// distinguishable in the telemetry.
+    fn schedule_failures(&mut self) {
+        let events = self.config.failures.events.clone();
+        for ev in events {
+            match ev {
+                FailureEvent::LinkFlap {
+                    node,
+                    port,
+                    down_ns,
+                    up_ns,
+                } => {
+                    self.schedule(
+                        down_ns,
+                        Event::LinkState {
+                            node,
+                            port,
+                            up: false,
+                        },
+                    );
+                    self.schedule(
+                        up_ns,
+                        Event::LinkState {
+                            node,
+                            port,
+                            up: true,
+                        },
+                    );
+                }
+                FailureEvent::PauseStorm {
+                    node,
+                    port,
+                    start_ns,
+                    cycles,
+                    pause_ns,
+                    gap_ns,
+                } => {
+                    for c in 0..cycles as u64 {
+                        let t = start_ns + c * (pause_ns + gap_ns);
+                        self.schedule(
+                            t,
+                            Event::Pause {
+                                node,
+                                port,
+                                on: true,
+                                triggered_by: node,
+                            },
+                        );
+                        self.schedule(
+                            t + pause_ns,
+                            Event::Pause {
+                                node,
+                                port,
+                                on: false,
+                                triggered_by: node,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A link flap takes effect: both endpoints of the duplex link change
+    /// state together. On recovery, any endpoint with queued work and an
+    /// idle, unpaused serializer restarts it.
+    fn on_link_state(&mut self, node: NodeId, port: PortId, up: bool) {
+        let link = *self.topo.link_at(node, port);
+        let (peer, peer_port) = link.peer(node);
+        for (n, p) in [(node, port), (peer, peer_port)] {
+            self.link_down[n][p] = !up;
+            self.telemetry
+                .link_records
+                .push(crate::telemetry::LinkRecord {
+                    node: n,
+                    port: p,
+                    ts_ns: self.now,
+                    up,
+                });
+            let prt = &mut self.ports[n][p];
+            if up && !prt.busy && !prt.is_paused() && prt.head().is_some() {
+                prt.busy = true;
+                let head_size = prt.head().expect("checked").size;
+                let tx = self.topo.link_at(n, p).tx_time_ns(head_size);
+                self.schedule(self.now + tx, Event::Departure { node: n, port: p });
+            }
         }
     }
 
@@ -411,8 +522,10 @@ impl Simulator {
             p.pause_count += 1;
         } else {
             p.pause_count = p.pause_count.saturating_sub(1);
-            // Resumed and idle with work queued: restart the serializer.
-            if !p.is_paused() && !p.busy && p.head().is_some() {
+            let down = self.link_down[node][port];
+            // Resumed and idle with work queued: restart the serializer
+            // (unless the link itself is failed).
+            if !down && !p.is_paused() && !p.busy && p.head().is_some() {
                 p.busy = true;
                 let head_size = p.head().expect("checked").size;
                 let tx = self.topo.link_at(node, port).tx_time_ns(head_size);
@@ -604,6 +717,7 @@ impl Simulator {
         if outcome != EnqueueOutcome::Dropped
             && !self.ports[node][port].busy
             && !self.ports[node][port].is_paused()
+            && !self.link_down[node][port]
         {
             self.ports[node][port].busy = true;
             let head_size = self.ports[node][port].head().expect("just queued").size;
@@ -617,6 +731,26 @@ impl Simulator {
             .dequeue()
             .expect("departure from empty port");
         self.observe_queue(node, port);
+
+        // The link failed while this packet was serializing: it is lost on
+        // the wire, and the serializer stays idle until link-up restarts it.
+        if self.link_down[node][port] {
+            self.telemetry.link_losses += 1;
+            if pkt.is_data() && self.config.deflect_on_drop && !self.topo.is_host(node) {
+                self.telemetry
+                    .drop_records
+                    .push(crate::telemetry::DropRecord {
+                        switch: node,
+                        port,
+                        ts_ns: self.clocks.local_time(node, self.now),
+                        flow: pkt.flow,
+                        psn: pkt.psn,
+                        bytes: pkt.size,
+                    });
+            }
+            self.ports[node][port].busy = false;
+            return;
+        }
 
         let link = *self.topo.link_at(node, port);
         let (peer, _) = link.peer(node);
@@ -873,7 +1007,8 @@ impl Simulator {
             .iter()
             .flat_map(|ps| ps.iter().map(|p| p.drops))
             .sum();
-        self.telemetry.drops = port_drops + self.telemetry.random_losses;
+        self.telemetry.drops =
+            port_drops + self.telemetry.random_losses + self.telemetry.link_losses;
 
         let flows = self
             .flows
@@ -1426,6 +1561,181 @@ mod tests {
         let victims: std::collections::HashSet<u64> =
             r.telemetry.drop_records.iter().map(|d| d.flow.0).collect();
         assert!(!victims.is_empty());
+    }
+
+    #[test]
+    fn link_flap_stalls_traffic_and_recovers() {
+        // One fixed-rate flow across a dumbbell; the bottleneck link flaps
+        // for 1 ms mid-transfer. The flow must still finish (after the
+        // outage), any packet serialized onto the dead link is lost, and the
+        // accounting stays consistent.
+        let run = |failures: FailureSchedule| {
+            let topo = Topology::dumbbell(1, 100.0, 1000);
+            // The bottleneck link is (switch 2, last port) <-> (switch 3, _):
+            // flap it via the left switch's inter-switch port.
+            let config = SimConfig {
+                end_ns: 20_000_000,
+                clock_error_ns: 0,
+                failures,
+                ..SimConfig::default()
+            };
+            Simulator::new(
+                topo,
+                one_flow(2_000_000, CongestionControl::FixedRate(50.0)),
+                config,
+            )
+            .run()
+        };
+        let clean = run(FailureSchedule::none());
+        assert_eq!(clean.telemetry.link_losses, 0);
+        assert!(clean.telemetry.link_records.is_empty());
+
+        let mut failures = FailureSchedule::none();
+        // Switch 2 (left) port 1 is the bottleneck (port 0 is host 0's).
+        failures.events.push(FailureEvent::LinkFlap {
+            node: 2,
+            port: 1,
+            down_ns: 100_000,
+            up_ns: 1_100_000,
+        });
+        let flapped = run(failures);
+        assert_eq!(
+            flapped.telemetry.link_records.len(),
+            4,
+            "2 changes × 2 ends"
+        );
+        assert!(
+            flapped.telemetry.link_losses <= 1,
+            "at most the in-flight packet dies"
+        );
+        // Everything not lost on the wire still arrives (losses are never
+        // retransmitted in this model), just later: the last delivery is
+        // pushed past the outage window.
+        assert_eq!(
+            flapped.telemetry.delivered_bytes,
+            2_000_000 - flapped.telemetry.link_losses * 1000
+        );
+        assert!(
+            flapped.end_ns >= clean.end_ns + 600_000,
+            "outage must delay the last delivery: {} vs {}",
+            flapped.end_ns,
+            clean.end_ns
+        );
+    }
+
+    #[test]
+    fn injected_pause_storm_uses_the_pfc_machinery() {
+        let topo = Topology::dumbbell(1, 100.0, 1000);
+        let mut failures = FailureSchedule::none();
+        failures.events.push(FailureEvent::PauseStorm {
+            node: 2,
+            port: 1,
+            start_ns: 50_000,
+            cycles: 5,
+            pause_ns: 20_000,
+            gap_ns: 10_000,
+        });
+        let config = SimConfig {
+            end_ns: 20_000_000,
+            clock_error_ns: 0,
+            failures,
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(
+            topo,
+            one_flow(1_000_000, CongestionControl::FixedRate(50.0)),
+            config,
+        )
+        .run();
+        // 5 XOFF + 5 XON, all self-triggered (the injection marker).
+        assert_eq!(r.telemetry.pause_records.len(), 10);
+        assert!(r
+            .telemetry
+            .pause_records
+            .iter()
+            .all(|p| p.triggered_by == p.node));
+        let xoffs = r.telemetry.pause_records.iter().filter(|p| p.on).count();
+        assert_eq!(xoffs, 5);
+        // Lossless: pauses delay but never drop.
+        assert_eq!(r.telemetry.drops, 0);
+        assert_eq!(r.flows[0].delivered_bytes, 1_000_000);
+    }
+
+    #[test]
+    fn failure_injection_is_deterministic() {
+        let run = || {
+            let topo = Topology::fat_tree(4, 100.0, 1000);
+            let mut failures = FailureSchedule::none();
+            // Flap an edge→agg uplink and storm a different agg's downlink
+            // (distinct physical links — same-link overlap is rejected).
+            failures.events.push(FailureEvent::LinkFlap {
+                node: 16,
+                port: 2,
+                down_ns: 200_000,
+                up_ns: 700_000,
+            });
+            failures.events.push(FailureEvent::PauseStorm {
+                node: 25,
+                port: 0,
+                start_ns: 300_000,
+                cycles: 8,
+                pause_ns: 15_000,
+                gap_ns: 5_000,
+            });
+            let flows: Vec<FlowSpec> = (0..24)
+                .map(|i| FlowSpec {
+                    id: FlowId(i),
+                    src: (i % 8) as usize,
+                    dst: ((i + 8) % 16) as usize,
+                    size_bytes: 80_000 + i * 777,
+                    start_ns: i * 7_000,
+                    cc: if i % 2 == 0 {
+                        CongestionControl::Dcqcn
+                    } else {
+                        CongestionControl::Dctcp
+                    },
+                })
+                .collect();
+            let config = SimConfig {
+                end_ns: 10_000_000,
+                clock_error_ns: 0,
+                failures,
+                ..SimConfig::default()
+            };
+            Simulator::new(topo, flows, config).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.telemetry.tx_records, b.telemetry.tx_records);
+        assert_eq!(a.telemetry.link_records, b.telemetry.link_records);
+        assert_eq!(a.telemetry.pause_records, b.telemetry.pause_records);
+        assert_eq!(a.telemetry.link_losses, b.telemetry.link_losses);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert!(!a.telemetry.link_records.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid failure schedule")]
+    fn overlapping_failures_are_rejected_at_construction() {
+        let topo = Topology::dumbbell(1, 100.0, 1000);
+        let mut failures = FailureSchedule::none();
+        failures.events.push(FailureEvent::LinkFlap {
+            node: 2,
+            port: 1,
+            down_ns: 0,
+            up_ns: 100,
+        });
+        failures.events.push(FailureEvent::LinkFlap {
+            node: 3,
+            port: 1,
+            down_ns: 50,
+            up_ns: 150,
+        });
+        let config = SimConfig {
+            failures,
+            ..SimConfig::default()
+        };
+        let _ = Simulator::new(topo, Vec::new(), config);
     }
 
     #[test]

@@ -58,6 +58,21 @@ pub struct PauseRecord {
     pub on: bool,
 }
 
+/// A link state change at one endpoint (failure injection): the duplex link
+/// attached to `(node, port)` went down (`up == false`) or recovered. Each
+/// flap produces one record per endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkRecord {
+    /// The endpoint node.
+    pub node: NodeId,
+    /// The endpoint port.
+    pub port: PortId,
+    /// True time of the change, ns.
+    pub ts_ns: u64,
+    /// New state: `true` = up, `false` = down.
+    pub up: bool,
+}
+
 /// A packet dropped at a switch (deflect-on-drop tap, §5): with the option
 /// enabled, switches report dropped packets to the analyzer so loss events
 /// become visible.
@@ -288,8 +303,11 @@ pub struct Telemetry {
     pub mirror_candidates: Vec<MirrorCandidate>,
     /// Finished queue episodes (queue ≥ kmin).
     pub episodes: Vec<QueueEpisode>,
-    /// PFC pause-state changes (empty unless lossless mode is enabled).
+    /// PFC pause-state changes (empty unless lossless mode is enabled or a
+    /// pause storm is injected).
     pub pause_records: Vec<PauseRecord>,
+    /// Link state changes (empty unless link flaps are injected).
+    pub link_records: Vec<LinkRecord>,
     /// Dropped data packets (the deflect-on-drop tap).
     pub drop_records: Vec<DropRecord>,
     /// In-dataplane burst observations (programmable-switch mode).
@@ -302,6 +320,8 @@ pub struct Telemetry {
     pub drops: u64,
     /// Packets lost to injected random link/ASIC errors (fault injection).
     pub random_losses: u64,
+    /// Packets lost on the wire of a failed link (link-flap injection).
+    pub link_losses: u64,
     /// Total data bytes delivered to destination hosts.
     pub delivered_bytes: u64,
     /// Total data bytes injected by source hosts.

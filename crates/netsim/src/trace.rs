@@ -4,7 +4,7 @@
 //! agents without re-simulating.
 
 use crate::packet::FlowId;
-use crate::telemetry::{MirrorCandidate, TxRecord};
+use crate::telemetry::{LinkRecord, MirrorCandidate, PauseRecord, TxRecord};
 use std::io::{BufRead, Write};
 
 /// Writes TX records as `tx,host,flow,ts_ns,bytes` lines.
@@ -25,6 +25,41 @@ pub fn write_mirror_candidates<W: Write>(
             out,
             "ce,{},{},{},{},{},{}",
             m.switch, m.port, m.ts_ns, m.flow.0, m.psn, m.bytes
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes PFC pause records as `pause,node,port,triggered_by,ts_ns,on`
+/// lines (`on` is 1 for XOFF, 0 for XON). Write-only: pause and link lines
+/// exist so failure-injection runs serialize to a byte-comparable trace;
+/// [`read_trace`] deliberately keeps its tx/ce contract.
+pub fn write_pause_records<W: Write>(out: &mut W, records: &[PauseRecord]) -> std::io::Result<()> {
+    for p in records {
+        writeln!(
+            out,
+            "pause,{},{},{},{},{}",
+            p.node,
+            p.port,
+            p.triggered_by,
+            p.ts_ns,
+            u8::from(p.on)
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes link state changes as `link,node,port,ts_ns,up` lines (`up` is 1
+/// for recovery, 0 for failure).
+pub fn write_link_records<W: Write>(out: &mut W, records: &[LinkRecord]) -> std::io::Result<()> {
+    for l in records {
+        writeln!(
+            out,
+            "link,{},{},{},{}",
+            l.node,
+            l.port,
+            l.ts_ns,
+            u8::from(l.up)
         )?;
     }
     Ok(())
@@ -147,6 +182,39 @@ mod tests {
         let (tx, ce) = read_trace(&buf[..]).unwrap();
         assert_eq!(tx, sample_tx());
         assert_eq!(ce, sample_ce());
+    }
+
+    #[test]
+    fn pause_and_link_lines_serialize_stably() {
+        let pauses = vec![
+            PauseRecord {
+                node: 16,
+                port: 2,
+                triggered_by: 16,
+                ts_ns: 300_000,
+                on: true,
+            },
+            PauseRecord {
+                node: 16,
+                port: 2,
+                triggered_by: 16,
+                ts_ns: 315_000,
+                on: false,
+            },
+        ];
+        let links = vec![LinkRecord {
+            node: 16,
+            port: 3,
+            ts_ns: 200_000,
+            up: false,
+        }];
+        let mut buf = Vec::new();
+        write_pause_records(&mut buf, &pauses).unwrap();
+        write_link_records(&mut buf, &links).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "pause,16,2,16,300000,1\npause,16,2,16,315000,0\nlink,16,3,200000,0\n"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use wavesketch::FlowKey;
 /// One sketch update: `(flow, absolute window, value)`.
 pub type Update = (FlowKey, u64, i64);
 
-/// The three workload shapes the fuzzer covers.
+/// The workload shapes the fuzzer covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamKind {
     /// Uniform background: every flow equally likely, small values.
@@ -18,11 +18,25 @@ pub enum StreamKind {
     Skewed,
     /// Bursty incast: idle gaps punctuated by synchronized fan-in bursts.
     Bursty,
+    /// Incast storm (the `umon_workloads::scenario` shape): strictly
+    /// periodic rounds where a small fan-in set slams one window with
+    /// MTU-sized packets (some jittering into the next), then silence.
+    Incast,
+    /// Allreduce collective: lockstep steps where *every* flow sends one
+    /// equal-sized chunk in the same window, silence between steps — the
+    /// worst case for per-window counter contention.
+    Allreduce,
 }
 
 impl StreamKind {
-    /// All workload kinds, for exhaustive sweeps.
+    /// The original three workload kinds — the exhaustive tier-1 sweep.
+    /// Deliberately unchanged when the adversarial kinds were added: every
+    /// committed seed/coverage expectation downstream is pinned to this set.
     pub const ALL: [StreamKind; 3] = [StreamKind::Uniform, StreamKind::Skewed, StreamKind::Bursty];
+
+    /// The scenario-matrix shapes (see `umon_workloads::scenario`), swept by
+    /// the adversarial differential tests on top of [`StreamKind::ALL`].
+    pub const ADVERSARIAL: [StreamKind; 2] = [StreamKind::Incast, StreamKind::Allreduce];
 
     /// Stable lower-case name (used in failure messages and CLI output).
     pub fn name(self) -> &'static str {
@@ -30,6 +44,8 @@ impl StreamKind {
             StreamKind::Uniform => "uniform",
             StreamKind::Skewed => "skewed",
             StreamKind::Bursty => "bursty",
+            StreamKind::Incast => "incast",
+            StreamKind::Allreduce => "allreduce",
         }
     }
 }
@@ -98,6 +114,38 @@ pub fn gen_stream(seed: u64, cfg: &StreamConfig) -> Vec<Update> {
                     for _ in 0..rng.gen_range(1..=2u32) {
                         let flow = rng.gen_range(0..flows);
                         out.push((FlowKey::from_id(flow), window, rng.gen_range(64..400i64)));
+                    }
+                }
+            }
+            StreamKind::Incast => {
+                // One round every 16 windows; the other 15 are dead air.
+                if w % 16 == 0 {
+                    let fan_in = rng.gen_range(4..=8u64).min(flows);
+                    let mut spill = Vec::new();
+                    for _ in 0..cfg.mean_packets * 8 {
+                        let flow = rng.gen_range(0..fan_in);
+                        let bytes = rng.gen_range(1000..1500i64);
+                        if rng.gen_bool(0.25) && w + 1 < cfg.windows {
+                            // Sender jitter: this packet lands one window late.
+                            spill.push((FlowKey::from_id(flow), window + 1, bytes));
+                        } else {
+                            out.push((FlowKey::from_id(flow), window, bytes));
+                        }
+                    }
+                    // Appending the spill after the on-time packets keeps the
+                    // stream's non-decreasing window order (round gap > 1).
+                    out.extend(spill);
+                }
+            }
+            StreamKind::Allreduce => {
+                // One collective step every 12 windows: every flow sends an
+                // equal-sized chunk (small value noise keeps coefficients
+                // distinct), then the fabric goes quiet in lockstep.
+                if w % 12 == 0 {
+                    for flow in 0..flows {
+                        for _ in 0..cfg.mean_packets.max(1) {
+                            out.push((FlowKey::from_id(flow), window, rng.gen_range(950..1050i64)));
+                        }
                     }
                 }
             }
@@ -193,6 +241,50 @@ mod tests {
         };
         assert_eq!(key(&s), key(&shuffled));
         assert_ne!(s, shuffled, "shuffle should move something");
+    }
+
+    #[test]
+    fn adversarial_kinds_are_deterministic_and_shaped() {
+        for kind in StreamKind::ADVERSARIAL {
+            let a = gen_stream(7, &cfg(kind));
+            let b = gen_stream(7, &cfg(kind));
+            assert_eq!(a, b, "{}", kind.name());
+            assert!(!a.is_empty(), "{} stream empty", kind.name());
+            for pair in a.windows(2) {
+                assert!(pair[0].1 <= pair[1].1, "{} out of order", kind.name());
+            }
+            // Both shapes are mostly silence between synchronized slams.
+            let touched: std::collections::BTreeSet<u64> = a.iter().map(|u| u.1).collect();
+            assert!(touched.len() < 40, "{} lacks idle gaps", kind.name());
+        }
+    }
+
+    #[test]
+    fn allreduce_steps_load_every_flow_equally() {
+        let s = gen_stream(3, &cfg(StreamKind::Allreduce));
+        let mut per_flow: std::collections::BTreeMap<FlowKey, usize> =
+            std::collections::BTreeMap::new();
+        for &(f, _, _) in &s {
+            *per_flow.entry(f).or_default() += 1;
+        }
+        assert_eq!(per_flow.len(), 24, "every flow participates");
+        let counts: std::collections::BTreeSet<usize> = per_flow.values().copied().collect();
+        assert_eq!(counts.len(), 1, "lockstep steps send equal packet counts");
+    }
+
+    #[test]
+    fn incast_rounds_concentrate_on_a_small_fan_in() {
+        let s = gen_stream(5, &cfg(StreamKind::Incast));
+        let flows: std::collections::BTreeSet<FlowKey> = s.iter().map(|u| u.0).collect();
+        assert!(
+            flows.len() <= 8,
+            "incast must hit a small sender set, got {}",
+            flows.len()
+        );
+        assert!(
+            s.iter().all(|u| u.2 >= 1000),
+            "incast packets are MTU-sized"
+        );
     }
 
     #[test]

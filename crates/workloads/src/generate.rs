@@ -143,26 +143,42 @@ pub fn on_off_background(
         .collect()
 }
 
-/// An incast burst: `fan_in` senders each send `bytes` to `dst` at `start_ns`
+/// An incast burst: `fan_in` senders each send `bytes` to `dst` starting at
+/// `start_ns` plus a per-sender seeded jitter uniform in `[0, jitter_ns]`
 /// (microsecond-scale synchronized arrival, the microburst trigger of §2.1).
+///
+/// `jitter_ns = 0` reproduces the historical perfectly-synchronized burst
+/// bit-for-bit regardless of `seed`: every flow starts in the same
+/// nanosecond.
+#[allow(clippy::too_many_arguments)] // each arg is one physical knob of the pattern
 pub fn incast_burst(
     first_id: u64,
     senders: &[usize],
     dst: usize,
     bytes: u64,
     start_ns: u64,
+    jitter_ns: u64,
+    seed: u64,
     cc: CongestionControl,
 ) -> Vec<FlowSpec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1CA5);
     senders
         .iter()
         .enumerate()
-        .map(|(i, &src)| FlowSpec {
-            id: FlowId(first_id + i as u64),
-            src,
-            dst,
-            size_bytes: bytes,
-            start_ns,
-            cc,
+        .map(|(i, &src)| {
+            let jitter = if jitter_ns == 0 {
+                0
+            } else {
+                rng.gen_range(0..=jitter_ns)
+            };
+            FlowSpec {
+                id: FlowId(first_id + i as u64),
+                src,
+                dst,
+                size_bytes: bytes,
+                start_ns: start_ns + jitter,
+                cc,
+            }
         })
         .collect()
 }
@@ -248,8 +264,89 @@ mod tests {
 
     #[test]
     fn incast_targets_one_destination() {
-        let flows = incast_burst(0, &[1, 2, 3], 9, 64_000, 500, CongestionControl::Dcqcn);
+        let flows = incast_burst(
+            0,
+            &[1, 2, 3],
+            9,
+            64_000,
+            500,
+            0,
+            0,
+            CongestionControl::Dcqcn,
+        );
         assert_eq!(flows.len(), 3);
         assert!(flows.iter().all(|f| f.dst == 9 && f.start_ns == 500));
+    }
+
+    #[test]
+    fn incast_jitter_zero_pins_the_old_synchronized_behavior() {
+        // jitter = 0 must be bit-identical regardless of seed: every sender
+        // fires in the same nanosecond (the historical behavior).
+        let a = incast_burst(
+            0,
+            &[1, 2, 3, 4],
+            9,
+            64_000,
+            500,
+            0,
+            7,
+            CongestionControl::Dcqcn,
+        );
+        let b = incast_burst(
+            0,
+            &[1, 2, 3, 4],
+            9,
+            64_000,
+            500,
+            0,
+            99,
+            CongestionControl::Dcqcn,
+        );
+        assert_eq!(a, b);
+        assert!(a.iter().all(|f| f.start_ns == 500));
+    }
+
+    #[test]
+    fn incast_jitter_staggers_within_bound_and_is_seeded() {
+        let jitter = 3_000u64;
+        let a = incast_burst(
+            0,
+            &[0, 1, 2, 3, 5, 6, 7, 8],
+            4,
+            64_000,
+            500,
+            jitter,
+            7,
+            CongestionControl::Dcqcn,
+        );
+        // Deterministic in the seed...
+        let b = incast_burst(
+            0,
+            &[0, 1, 2, 3, 5, 6, 7, 8],
+            4,
+            64_000,
+            500,
+            jitter,
+            7,
+            CongestionControl::Dcqcn,
+        );
+        assert_eq!(a, b);
+        // ...different seeds stagger differently...
+        let c = incast_burst(
+            0,
+            &[0, 1, 2, 3, 5, 6, 7, 8],
+            4,
+            64_000,
+            500,
+            jitter,
+            8,
+            CongestionControl::Dcqcn,
+        );
+        assert_ne!(a, c);
+        // ...and every start lands inside [start, start + jitter].
+        assert!(a.iter().all(|f| (500..=500 + jitter).contains(&f.start_ns)));
+        // With 8 senders and 3 μs of jitter, at least two distinct starts.
+        let distinct: std::collections::HashSet<u64> = a.iter().map(|f| f.start_ns).collect();
+        assert!(distinct.len() > 1, "jitter must actually stagger");
     }
 }

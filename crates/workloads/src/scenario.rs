@@ -1,0 +1,474 @@
+//! Adversarial scenario layer: the workloads the paper is actually for.
+//!
+//! Poisson WebSearch/Hadoop traffic ([`crate::WorkloadParams`]) is the
+//! friendly regime — every sketch looks fine on it. This module generates
+//! the hostile patterns that separate the schemes:
+//!
+//! * **Incast storms** ([`incast_storm`]) — repeated N-to-1 synchronized
+//!   bursts with configurable fan-in and per-sender stagger jitter, the
+//!   microburst trigger of §2.1 at scale.
+//! * **Allreduce rings/permutations** ([`allreduce`]) — ML-training
+//!   collective phases: in every step each host sends exactly one chunk and
+//!   receives exactly one chunk (a fixed-point-free rotation), so the whole
+//!   fabric loads and unloads in lockstep.
+//! * **Failure plans** ([`failure_plan`]) — seeded link-flap and
+//!   PFC-pause-storm schedules over the fabric links, guaranteed
+//!   non-overlapping per physical link so they compose with the simulator's
+//!   boolean link state (see `umon_netsim::failure`).
+//! * **The scenario matrix** ([`scenario_matrix`]) — the named catalog the
+//!   bench frontier sweeps: each adversarial pattern × DCQCN × DCTCP, plus
+//!   the failure-injection variants.
+//!
+//! Everything is deterministic in its seed: the same config reproduces the
+//! same flow list and failure schedule bit-for-bit.
+
+use crate::generate::incast_burst;
+use rand::Rng;
+use rand::RngCore;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use umon_netsim::{CongestionControl, FailureEvent, FailureSchedule, FlowId, FlowSpec, Topology};
+
+/// Configuration for a repeated N-to-1 incast storm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncastStormConfig {
+    /// Hosts available as senders/receivers (`0..num_hosts`).
+    pub num_hosts: usize,
+    /// Senders per burst (must be `< num_hosts`).
+    pub fan_in: usize,
+    /// Bytes each sender contributes per burst.
+    pub bytes_per_sender: u64,
+    /// Number of bursts.
+    pub rounds: usize,
+    /// Spacing between burst starts, ns.
+    pub round_gap_ns: u64,
+    /// Start of the first burst, ns.
+    pub start_ns: u64,
+    /// Per-sender stagger jitter within a burst, ns (0 = perfectly
+    /// synchronized).
+    pub jitter_ns: u64,
+    /// RNG seed (victim choice, sender choice, stagger).
+    pub seed: u64,
+    /// Congestion control for every flow.
+    pub cc: CongestionControl,
+}
+
+impl IncastStormConfig {
+    /// A storm sized for the k=4 fat-tree (16 hosts): 8:1 bursts of 64 kB
+    /// per sender every 400 μs with 2 μs stagger.
+    pub fn paper(seed: u64, cc: CongestionControl) -> Self {
+        Self {
+            num_hosts: 16,
+            fan_in: 8,
+            bytes_per_sender: 64_000,
+            rounds: 6,
+            round_gap_ns: 400_000,
+            start_ns: 200_000,
+            jitter_ns: 2_000,
+            seed,
+            cc,
+        }
+    }
+
+    /// Total application bytes the storm injects (the conservation
+    /// invariant: `rounds × fan_in × bytes_per_sender`).
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds as u64 * self.fan_in as u64 * self.bytes_per_sender
+    }
+}
+
+/// Generates the storm: each round picks a seeded victim and `fan_in`
+/// distinct seeded senders, then emits one jittered [`incast_burst`]. Flow
+/// ids are dense from `first_id`.
+pub fn incast_storm(first_id: u64, cfg: &IncastStormConfig) -> Vec<FlowSpec> {
+    assert!(cfg.num_hosts >= 2, "need at least two hosts");
+    assert!(
+        cfg.fan_in >= 1 && cfg.fan_in < cfg.num_hosts,
+        "fan_in must leave room for a victim"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5702);
+    let mut flows = Vec::with_capacity(cfg.rounds * cfg.fan_in);
+    for round in 0..cfg.rounds {
+        let dst = rng.gen_range(0..cfg.num_hosts);
+        let mut candidates: Vec<usize> = (0..cfg.num_hosts).filter(|&h| h != dst).collect();
+        // Fisher–Yates (the vendored rand has no `shuffle`).
+        for i in (1..candidates.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            candidates.swap(i, j);
+        }
+        candidates.truncate(cfg.fan_in);
+        let burst_seed = rng.next_u64();
+        flows.extend(incast_burst(
+            first_id + flows.len() as u64,
+            &candidates,
+            dst,
+            cfg.bytes_per_sender,
+            cfg.start_ns + round as u64 * cfg.round_gap_ns,
+            cfg.jitter_ns,
+            burst_seed,
+            cfg.cc,
+        ));
+    }
+    flows
+}
+
+/// Which collective communication pattern an [`allreduce`] run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllreducePattern {
+    /// Ring: in every step host `i` sends to `(i + 1) % n`.
+    Ring,
+    /// Seeded rotation: step `s` uses a seeded shift `r_s ∈ [1, n)`, so host
+    /// `i` sends to `(i + r_s) % n` — still a fixed-point-free permutation
+    /// every step, but the traffic matrix changes between steps.
+    ShiftPermutation,
+}
+
+/// Configuration for an ML-training allreduce phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllreduceConfig {
+    /// Participating hosts (`0..num_hosts`, n ≥ 2).
+    pub num_hosts: usize,
+    /// Bytes each host sends per step.
+    pub chunk_bytes: u64,
+    /// Collective steps (ring allreduce uses `2·(n−1)`).
+    pub steps: usize,
+    /// Spacing between step starts, ns.
+    pub step_gap_ns: u64,
+    /// Start of the first step, ns.
+    pub start_ns: u64,
+    /// Per-host start jitter within a step, ns.
+    pub jitter_ns: u64,
+    /// Communication pattern.
+    pub pattern: AllreducePattern,
+    /// RNG seed (permutation shifts, jitter).
+    pub seed: u64,
+    /// Congestion control for every flow.
+    pub cc: CongestionControl,
+}
+
+impl AllreduceConfig {
+    /// A phase sized for the k=4 fat-tree: 16 hosts × 8 steps of 128 kB
+    /// chunks every 250 μs with 1 μs jitter, seeded shift permutations.
+    pub fn paper(seed: u64, cc: CongestionControl) -> Self {
+        Self {
+            num_hosts: 16,
+            chunk_bytes: 128_000,
+            steps: 8,
+            step_gap_ns: 250_000,
+            start_ns: 100_000,
+            jitter_ns: 1_000,
+            pattern: AllreducePattern::ShiftPermutation,
+            seed,
+            cc,
+        }
+    }
+}
+
+/// Generates the collective: `steps × num_hosts` flows, dense ids from
+/// `first_id` in `(step, host)` order. In every step each host sends exactly
+/// one chunk and receives exactly one chunk.
+pub fn allreduce(first_id: u64, cfg: &AllreduceConfig) -> Vec<FlowSpec> {
+    assert!(cfg.num_hosts >= 2, "need at least two hosts");
+    let n = cfg.num_hosts;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xA11D);
+    let mut flows = Vec::with_capacity(cfg.steps * n);
+    for step in 0..cfg.steps {
+        let shift = match cfg.pattern {
+            AllreducePattern::Ring => 1,
+            AllreducePattern::ShiftPermutation => rng.gen_range(1..n),
+        };
+        let step_start = cfg.start_ns + step as u64 * cfg.step_gap_ns;
+        for host in 0..n {
+            let jitter = if cfg.jitter_ns == 0 {
+                0
+            } else {
+                rng.gen_range(0..=cfg.jitter_ns)
+            };
+            flows.push(FlowSpec {
+                id: FlowId(first_id + flows.len() as u64),
+                src: host,
+                dst: (host + shift) % n,
+                size_bytes: cfg.chunk_bytes,
+                start_ns: step_start + jitter,
+                cc: cfg.cc,
+            });
+        }
+    }
+    flows
+}
+
+/// Configuration for a seeded fabric failure plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailurePlanConfig {
+    /// Link flaps to schedule.
+    pub flaps: usize,
+    /// Pause storms to schedule.
+    pub storms: usize,
+    /// Failures start no earlier than this, ns.
+    pub start_ns: u64,
+    /// Soft horizon: event *starts* are drawn before this, ns (an event may
+    /// extend past it).
+    pub horizon_ns: u64,
+    /// Outage duration per flap, ns, inclusive range.
+    pub flap_down_ns: (u64, u64),
+    /// XOFF/XON cycles per storm, inclusive range.
+    pub storm_cycles: (u32, u32),
+    /// Paused duration per cycle, ns, inclusive range.
+    pub storm_pause_ns: (u64, u64),
+    /// Idle gap between cycles, ns, inclusive range.
+    pub storm_gap_ns: (u64, u64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FailurePlanConfig {
+    /// A plan sized for a few-ms k=4 fat-tree run: 3 flaps of 100–400 μs
+    /// and 2 storms of 4–8 cycles pausing 10–30 μs each.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            flaps: 3,
+            storms: 2,
+            start_ns: 200_000,
+            horizon_ns: 2_500_000,
+            flap_down_ns: (100_000, 400_000),
+            storm_cycles: (4, 8),
+            storm_pause_ns: (10_000, 30_000),
+            storm_gap_ns: (5_000, 15_000),
+            seed,
+        }
+    }
+}
+
+/// Draws a seeded failure schedule over the fabric (switch↔switch) links of
+/// `topo`. Host access links are never failed — cutting a host's only
+/// uplink would strand its queue rather than stress the monitoring plane.
+///
+/// Non-overlap guarantee: events on the same physical link are placed
+/// strictly after the previous event on that link ends, so the returned
+/// schedule always passes `FailureSchedule::validate`.
+pub fn failure_plan(topo: &Topology, cfg: &FailurePlanConfig) -> FailureSchedule {
+    let mut fabric: Vec<(usize, usize)> = Vec::new();
+    for link in &topo.links {
+        if !topo.is_host(link.a.0) && !topo.is_host(link.b.0) {
+            // Name each link by its canonical (smaller) endpoint.
+            let (node, port) = link.a.min(link.b);
+            fabric.push((node, port));
+        }
+    }
+    assert!(
+        !fabric.is_empty(),
+        "topology has no switch-to-switch links to fail"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xFA11);
+    // Per-link cursor: the earliest time the next event on it may start.
+    let mut cursor: std::collections::BTreeMap<(usize, usize), u64> =
+        std::collections::BTreeMap::new();
+    let mut schedule = FailureSchedule::none();
+    let horizon = cfg.horizon_ns.max(cfg.start_ns + 1);
+    for i in 0..cfg.flaps + cfg.storms {
+        let is_flap = i < cfg.flaps;
+        let &(node, port) = &fabric[rng.gen_range(0..fabric.len())];
+        let earliest = *cursor.get(&(node, port)).unwrap_or(&cfg.start_ns);
+        let drawn = rng.gen_range(cfg.start_ns..horizon);
+        let start = drawn.max(earliest);
+        let end = if is_flap {
+            let down = rng.gen_range(cfg.flap_down_ns.0..=cfg.flap_down_ns.1);
+            schedule.events.push(FailureEvent::LinkFlap {
+                node,
+                port,
+                down_ns: start,
+                up_ns: start + down,
+            });
+            start + down
+        } else {
+            let cycles = rng.gen_range(cfg.storm_cycles.0..=cfg.storm_cycles.1);
+            let pause_ns = rng.gen_range(cfg.storm_pause_ns.0..=cfg.storm_pause_ns.1);
+            let gap_ns = rng.gen_range(cfg.storm_gap_ns.0..=cfg.storm_gap_ns.1);
+            let ev = FailureEvent::PauseStorm {
+                node,
+                port,
+                start_ns: start,
+                cycles,
+                pause_ns,
+                gap_ns,
+            };
+            let (_, end) = ev.interval();
+            schedule.events.push(ev);
+            end
+        };
+        cursor.insert((node, port), end + 1);
+    }
+    debug_assert!(schedule.validate(topo).is_ok());
+    schedule
+}
+
+/// One named adversarial scenario: a flow list plus the fabric conditions it
+/// runs under.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable name (used in result filenames — lowercase, underscores).
+    pub name: String,
+    /// The flows to simulate.
+    pub flows: Vec<FlowSpec>,
+    /// Injected fabric failures (often empty).
+    pub failures: FailureSchedule,
+    /// True if the scenario wants a lossless (PFC) fabric.
+    pub needs_pfc: bool,
+    /// Suggested simulation horizon, ns.
+    pub end_ns: u64,
+}
+
+/// The scenario matrix for the k=4 fat-tree: each adversarial pattern under
+/// DCQCN and DCTCP (the protocol sweep), plus the failure-injection
+/// variants. `smoke` shrinks every knob for CI.
+pub fn scenario_matrix(seed: u64, smoke: bool) -> Vec<Scenario> {
+    let topo = Topology::fat_tree(4, 100.0, 1000);
+    let shrink_u = |full: usize, tiny: usize| if smoke { tiny } else { full };
+    let mut out = Vec::new();
+
+    for (cc, cc_name) in [
+        (CongestionControl::Dcqcn, "dcqcn"),
+        (CongestionControl::Dctcp, "dctcp"),
+    ] {
+        let mut storm = IncastStormConfig::paper(seed, cc);
+        storm.rounds = shrink_u(storm.rounds, 2);
+        if smoke {
+            storm.bytes_per_sender = 16_000;
+        }
+        out.push(Scenario {
+            name: format!("incast_{cc_name}"),
+            flows: incast_storm(0, &storm),
+            failures: FailureSchedule::none(),
+            needs_pfc: false,
+            end_ns: storm.start_ns + storm.rounds as u64 * storm.round_gap_ns + 1_000_000,
+        });
+
+        let mut ar = AllreduceConfig::paper(seed, cc);
+        ar.steps = shrink_u(ar.steps, 2);
+        if smoke {
+            ar.chunk_bytes = 32_000;
+        }
+        out.push(Scenario {
+            name: format!("allreduce_{cc_name}"),
+            flows: allreduce(0, &ar),
+            failures: FailureSchedule::none(),
+            needs_pfc: false,
+            end_ns: ar.start_ns + ar.steps as u64 * ar.step_gap_ns + 1_000_000,
+        });
+    }
+
+    // Failure-injection variants (DCQCN carriers).
+    let mut storm = IncastStormConfig::paper(seed, CongestionControl::Dcqcn);
+    storm.rounds = shrink_u(storm.rounds, 2);
+    if smoke {
+        storm.bytes_per_sender = 16_000;
+    }
+    let mut plan = FailurePlanConfig::paper(seed);
+    plan.storms += plan.flaps;
+    plan.flaps = 0; // a pure pause-storm plan on a lossless fabric
+    out.push(Scenario {
+        name: "pfc_storm".to_string(),
+        flows: incast_storm(0, &storm),
+        failures: failure_plan(&topo, &plan),
+        needs_pfc: true,
+        end_ns: storm.start_ns + storm.rounds as u64 * storm.round_gap_ns + 1_500_000,
+    });
+
+    let mut ar = AllreduceConfig::paper(seed, CongestionControl::Dcqcn);
+    ar.steps = shrink_u(ar.steps, 2);
+    if smoke {
+        ar.chunk_bytes = 32_000;
+    }
+    let mut plan = FailurePlanConfig::paper(seed.wrapping_add(1));
+    plan.storms = 0; // a pure link-flap plan on a lossy fabric
+    out.push(Scenario {
+        name: "link_flap".to_string(),
+        flows: allreduce(0, &ar),
+        failures: failure_plan(&topo, &plan),
+        needs_pfc: false,
+        end_ns: ar.start_ns + ar.steps as u64 * ar.step_gap_ns + 1_500_000,
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_storm_conserves_total_bytes_and_is_deterministic() {
+        let cfg = IncastStormConfig::paper(11, CongestionControl::Dcqcn);
+        let a = incast_storm(0, &cfg);
+        let b = incast_storm(0, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.rounds * cfg.fan_in);
+        let total: u64 = a.iter().map(|f| f.size_bytes).sum();
+        assert_eq!(total, cfg.total_bytes());
+        // No sender targets itself, and every flow starts within its
+        // round's jitter window.
+        for (i, f) in a.iter().enumerate() {
+            assert_ne!(f.src, f.dst);
+            let round = (i / cfg.fan_in) as u64;
+            let base = cfg.start_ns + round * cfg.round_gap_ns;
+            assert!((base..=base + cfg.jitter_ns).contains(&f.start_ns));
+        }
+    }
+
+    #[test]
+    fn allreduce_each_step_is_a_permutation() {
+        for pattern in [AllreducePattern::Ring, AllreducePattern::ShiftPermutation] {
+            let cfg = AllreduceConfig {
+                pattern,
+                ..AllreduceConfig::paper(3, CongestionControl::Dctcp)
+            };
+            let flows = allreduce(0, &cfg);
+            assert_eq!(flows.len(), cfg.steps * cfg.num_hosts);
+            for step in 0..cfg.steps {
+                let step_flows = &flows[step * cfg.num_hosts..(step + 1) * cfg.num_hosts];
+                let senders: std::collections::BTreeSet<usize> =
+                    step_flows.iter().map(|f| f.src).collect();
+                let receivers: std::collections::BTreeSet<usize> =
+                    step_flows.iter().map(|f| f.dst).collect();
+                assert_eq!(senders.len(), cfg.num_hosts, "each host sends once");
+                assert_eq!(receivers.len(), cfg.num_hosts, "each host receives once");
+                assert!(step_flows.iter().all(|f| f.src != f.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn failure_plan_never_overlaps_on_a_link() {
+        let topo = Topology::fat_tree(4, 100.0, 1000);
+        for seed in 0..20 {
+            let plan = failure_plan(&topo, &FailurePlanConfig::paper(seed));
+            assert_eq!(plan.events.len(), 5);
+            plan.validate(&topo).expect("generated plan must validate");
+        }
+    }
+
+    #[test]
+    fn scenario_matrix_is_deterministic_and_valid() {
+        let topo = Topology::fat_tree(4, 100.0, 1000);
+        let a = scenario_matrix(7, false);
+        let b = scenario_matrix(7, false);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 6, "4 protocol-sweep + 2 failure scenarios");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.flows, y.flows);
+            assert_eq!(x.failures, y.failures);
+        }
+        for s in &a {
+            assert!(!s.flows.is_empty(), "{}", s.name);
+            s.failures.validate(&topo).expect("scenario failures valid");
+        }
+        // The failure variants actually inject something.
+        assert!(a
+            .iter()
+            .any(|s| s.name == "pfc_storm" && !s.failures.is_empty()));
+        assert!(a
+            .iter()
+            .any(|s| s.name == "link_flap" && !s.failures.is_empty()));
+    }
+}

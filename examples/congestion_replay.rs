@@ -20,6 +20,8 @@ fn main() {
         0,
         256_000,
         1_000_000,
+        0,
+        0,
         CongestionControl::Dcqcn,
     );
     let host_of_flow: HashMap<u64, usize> = flows.iter().map(|f| (f.id.0, f.src)).collect();

@@ -59,3 +59,103 @@ fn different_seeds_differ() {
     // overwhelming probability.
     assert_ne!(a.1, b.1);
 }
+
+mod scenario_generators {
+    //! Property tests for the adversarial scenario layer: conservation,
+    //! permutation validity, failure non-overlap and bit-identical reruns,
+    //! swept over many seeds.
+
+    use umon_repro::umon_netsim::{CongestionControl, Topology};
+    use umon_repro::umon_workloads::{
+        allreduce, failure_plan, incast_storm, scenario_matrix, AllreduceConfig, AllreducePattern,
+        FailurePlanConfig, IncastStormConfig,
+    };
+
+    #[test]
+    fn incast_storms_conserve_bytes_across_seeds() {
+        for seed in 0..16 {
+            let cfg = IncastStormConfig::paper(seed, CongestionControl::Dcqcn);
+            let flows = incast_storm(0, &cfg);
+            let total: u64 = flows.iter().map(|f| f.size_bytes).sum();
+            assert_eq!(
+                total,
+                cfg.total_bytes(),
+                "seed {seed}: storm bytes not conserved"
+            );
+            assert_eq!(flows.len(), cfg.rounds * cfg.fan_in);
+            assert!(flows
+                .iter()
+                .all(|f| f.src != f.dst && f.src < 16 && f.dst < 16));
+            // Dense, collision-free flow ids.
+            for (i, f) in flows.iter().enumerate() {
+                assert_eq!(f.id.0, i as u64, "seed {seed}: ids must be dense");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_steps_are_fixed_point_free_permutations_across_seeds() {
+        for seed in 0..16 {
+            for pattern in [AllreducePattern::Ring, AllreducePattern::ShiftPermutation] {
+                let cfg = AllreduceConfig {
+                    pattern,
+                    ..AllreduceConfig::paper(seed, CongestionControl::Dctcp)
+                };
+                let flows = allreduce(0, &cfg);
+                for step in 0..cfg.steps {
+                    let sf = &flows[step * cfg.num_hosts..(step + 1) * cfg.num_hosts];
+                    let mut dst_of = vec![None; cfg.num_hosts];
+                    for f in sf {
+                        assert_ne!(f.src, f.dst, "seed {seed} step {step}: fixed point");
+                        assert!(
+                            dst_of[f.src].replace(f.dst).is_none(),
+                            "seed {seed} step {step}: host {} sends twice",
+                            f.src
+                        );
+                    }
+                    let hit: std::collections::BTreeSet<usize> =
+                        dst_of.iter().map(|d| d.unwrap()).collect();
+                    assert_eq!(
+                        hit.len(),
+                        cfg.num_hosts,
+                        "seed {seed} step {step}: not a permutation"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failure_plans_never_overlap_on_a_physical_link_across_seeds() {
+        let topo = Topology::fat_tree(4, 100.0, 1000);
+        for seed in 0..32 {
+            let plan = failure_plan(&topo, &FailurePlanConfig::paper(seed));
+            plan.validate(&topo)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            // Host access links are never failed.
+            for ev in &plan.events {
+                let (node, _) = ev.endpoint();
+                assert!(!topo.is_host(node), "seed {seed}: failed a host link");
+            }
+        }
+    }
+
+    #[test]
+    fn the_whole_matrix_reruns_bit_identically() {
+        for smoke in [false, true] {
+            let a = scenario_matrix(0xBEEF, smoke);
+            let b = scenario_matrix(0xBEEF, smoke);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.flows, y.flows, "{}: flows differ across reruns", x.name);
+                assert_eq!(
+                    x.failures, y.failures,
+                    "{}: failure schedule differs across reruns",
+                    x.name
+                );
+                assert_eq!(x.end_ns, y.end_ns);
+            }
+        }
+    }
+}

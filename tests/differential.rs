@@ -176,6 +176,137 @@ fn collection_plane_degrades_soundly_across_fault_schedules() {
     assert!(gaps > 0, "fault schedules never produced a detectable gap");
 }
 
+/// The adversarial-stream differential: the scenario-matrix shapes (incast
+/// storm rounds, lockstep allreduce steps) through every sketch variant and
+/// the exact oracle, for 8 fixed seeds. These shapes stress exactly what the
+/// friendly trio does not — long idle runs inside an epoch, many flows
+/// slamming one window, equal-total flows fighting for heavy slots.
+#[test]
+fn eight_seeds_across_adversarial_workloads_and_variants() {
+    let mut failures = Vec::new();
+    let mut light_epochs = 0;
+    let mut flow_epochs = 0;
+    for seed in 0..8 {
+        for kind in StreamKind::ADVERSARIAL {
+            match diff_run(seed, &DiffConfig::quick(kind)) {
+                Ok(stats) => {
+                    light_epochs += stats.light_epochs;
+                    flow_epochs += stats.flow_epochs;
+                }
+                Err(e) => failures.push(e.to_string()),
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+    assert!(
+        light_epochs > 100,
+        "suspiciously low coverage: {light_epochs}"
+    );
+    assert!(
+        flow_epochs > 100,
+        "suspiciously low coverage: {flow_epochs}"
+    );
+}
+
+/// The collection plane under adversarial traffic *and* a hostile fault mix:
+/// every fault class at once (drop, duplicate, reorder, truncate, ACK loss)
+/// at rates above the tier-1 sweep, healed by bounded retransmission, for 8
+/// fixed seeds per adversarial kind.
+#[test]
+fn collection_plane_survives_hostile_faults_on_adversarial_streams() {
+    use umon::FaultSpec;
+
+    let mut failures = Vec::new();
+    let mut reports = 0;
+    let mut retransmissions = 0;
+    for seed in 0..8 {
+        for kind in StreamKind::ADVERSARIAL {
+            let mut cfg = CollectionDiffConfig::quick(kind);
+            // Every envelope fault class at once, summing to 1.0 — the
+            // hardest mix FaultSpec::validate admits — plus heavy ACK loss.
+            cfg.recovery_faults = FaultSpec {
+                drop: 0.3,
+                duplicate: 0.25,
+                reorder: 0.25,
+                truncate: 0.2,
+                ack_drop: 0.3,
+            };
+            cfg.recovery_ticks = 10_000;
+            match collection_diff_run(seed, &cfg) {
+                Ok(stats) => {
+                    reports += stats.reports;
+                    retransmissions += stats.retransmissions;
+                }
+                Err(e) => failures.push(e.to_string()),
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+    assert!(
+        reports > 100,
+        "suspiciously low coverage: {reports} reports"
+    );
+    assert!(
+        retransmissions > 0,
+        "hostile mix never forced a retransmission"
+    );
+}
+
+/// End-to-end scenario replay: simulate a matrix scenario (failure schedule
+/// included), then re-drive each host's egress records through a real host
+/// agent and hold every uploaded period report to per-period oracles.
+#[test]
+fn scenario_matrix_records_replay_into_validated_period_reports() {
+    use umon_workloads::scenario_matrix;
+
+    let scenarios = scenario_matrix(0xD1FF, true);
+    let storm = scenarios
+        .iter()
+        .find(|s| s.name == "pfc_storm")
+        .expect("matrix has pfc_storm");
+    let topo = umon_netsim::Topology::fat_tree(4, 100.0, 1000);
+    let config = umon_netsim::SimConfig {
+        end_ns: storm.end_ns,
+        seed: 0xD1FF,
+        clock_error_ns: 0,
+        pfc: Some(umon_netsim::PfcConfig {
+            xoff_bytes: 300 * 1024,
+            xon_bytes: 200 * 1024,
+        }),
+        failures: storm.failures.clone(),
+        ..umon_netsim::SimConfig::default()
+    };
+    let result = umon_netsim::Simulator::new(topo, storm.flows.clone(), config).run();
+    let records = &result.telemetry.tx_records;
+    assert!(!records.is_empty(), "scenario produced no egress records");
+
+    let agent_cfg = umon::HostAgentConfig {
+        sketch: SketchConfig::builder()
+            .rows(3)
+            .width(32)
+            .levels(4)
+            .topk(16)
+            .max_windows(128)
+            .heavy_rows(16)
+            .build(),
+        period_ns: 2_000_000,
+        window_shift: 13,
+    };
+    let hosts: std::collections::BTreeSet<usize> = records.iter().map(|r| r.host).collect();
+    let mut replayed = 0;
+    for host in hosts {
+        let stats = replay_host_records(records, host, &agent_cfg)
+            .unwrap_or_else(|e| panic!("host {host} replay failed: {e}"));
+        replayed += stats.records;
+        assert!(stats.periods > 0, "host {host} uploaded nothing");
+    }
+    assert_eq!(
+        replayed,
+        records.len(),
+        "every record must be replayed once"
+    );
+}
+
 /// Layout-equivalence gate for the flat-arena refactor: the drain of every
 /// golden scenario must remain bit-identical to fixtures that were recorded
 /// *before* `WaveBucket`/`StreamingTransform` were flattened into

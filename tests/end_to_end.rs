@@ -77,6 +77,8 @@ fn incast_event_is_detected_and_replayed() {
         0,
         512_000,
         1_000_000,
+        0,
+        0,
         CongestionControl::Dcqcn,
     );
     let host_of_flow: HashMap<u64, usize> = flows.iter().map(|f| (f.id.0, f.src)).collect();

@@ -1,0 +1,229 @@
+//! PFC-storm telemetry regression: a hand-built pause storm injected through
+//! the failure layer must come back out of `umon::events::pause_storms`
+//! with *exact* start/end boundaries, and loss-event victim sets must match
+//! an independent recomputation from the raw trace (the trace oracle).
+//!
+//! Also pins the failure-injection trace format with a byte-identical golden
+//! fixture (`tests/golden/failure_trace_dumbbell.csv`). Regenerate only for
+//! an intentional format change: `UPDATE_FAILURE_GOLDEN=1 cargo test --test
+//! pfc_storm`.
+
+use std::collections::BTreeSet;
+
+use umon::events::{loss_events, pause_storms};
+use umon_netsim::telemetry::PauseRecord;
+use umon_netsim::trace::{write_link_records, write_pause_records, write_tx_records};
+use umon_netsim::{
+    CongestionControl, FailureEvent, FailureSchedule, FlowId, FlowSpec, SimConfig, SimResult,
+    Simulator, Topology,
+};
+
+const STORM_START: u64 = 100_000;
+const STORM_CYCLES: u32 = 4;
+const STORM_PAUSE: u64 = 20_000;
+const STORM_GAP: u64 = 10_000;
+/// Last XON: start + (cycles−1)·(pause+gap) + pause.
+const STORM_END: u64 = STORM_START + 3 * (STORM_PAUSE + STORM_GAP) + STORM_PAUSE;
+
+fn dumbbell_flows(n: u64, bytes: u64) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| FlowSpec {
+            id: FlowId(i),
+            src: 0,
+            dst: 1,
+            size_bytes: bytes,
+            start_ns: 10_000 + i * 5_000,
+            cc: CongestionControl::FixedRate(20.0),
+        })
+        .collect()
+}
+
+fn run_with(failures: FailureSchedule, flows: Vec<FlowSpec>, deflect: bool) -> SimResult {
+    let topo = Topology::dumbbell(1, 100.0, 1000);
+    let config = SimConfig {
+        end_ns: 20_000_000,
+        clock_error_ns: 0,
+        deflect_on_drop: deflect,
+        failures,
+        ..SimConfig::default()
+    };
+    Simulator::new(topo, flows, config).run()
+}
+
+fn storm_schedule() -> FailureSchedule {
+    let mut failures = FailureSchedule::none();
+    failures.events.push(FailureEvent::PauseStorm {
+        node: 2,
+        port: 1,
+        start_ns: STORM_START,
+        cycles: STORM_CYCLES,
+        pause_ns: STORM_PAUSE,
+        gap_ns: STORM_GAP,
+    });
+    failures
+}
+
+/// The injected records (self-triggered is the injection marker — organic
+/// PFC is always triggered by a neighbor).
+fn injected(records: &[PauseRecord]) -> Vec<PauseRecord> {
+    records
+        .iter()
+        .filter(|p| p.triggered_by == p.node)
+        .copied()
+        .collect()
+}
+
+#[test]
+fn injected_storm_extraction_matches_the_schedule_exactly() {
+    let r = run_with(storm_schedule(), dumbbell_flows(2, 500_000), false);
+    let inj = injected(&r.telemetry.pause_records);
+    assert_eq!(inj.len(), 2 * STORM_CYCLES as usize, "XOFF+XON per cycle");
+
+    // Clustering at a gap threshold ≥ the inter-cycle gap merges the storm
+    // into one episode whose boundaries are the schedule's, exactly.
+    let storms = pause_storms(&inj, STORM_GAP, 2);
+    assert_eq!(storms.len(), 1);
+    let s = &storms[0];
+    assert_eq!((s.node, s.port), (2, 1));
+    assert_eq!(
+        s.start_ns, STORM_START,
+        "first XOFF must be the scheduled start"
+    );
+    assert_eq!(s.end_ns, STORM_END, "last XON must be the scheduled end");
+    assert_eq!(s.xoffs, STORM_CYCLES as usize);
+    assert_eq!(s.paused_ns, STORM_CYCLES as u64 * STORM_PAUSE);
+
+    // One nanosecond below the inter-cycle gap, every cycle is its own
+    // episode with exact per-cycle boundaries.
+    let cycles = pause_storms(&inj, STORM_GAP - 1, 1);
+    assert_eq!(cycles.len(), STORM_CYCLES as usize);
+    for (i, c) in cycles.iter().enumerate() {
+        let start = STORM_START + i as u64 * (STORM_PAUSE + STORM_GAP);
+        assert_eq!((c.start_ns, c.end_ns), (start, start + STORM_PAUSE));
+        assert_eq!(c.xoffs, 1);
+    }
+}
+
+/// Trace oracle: boundaries recomputed from the serialized pause trace —
+/// no shared code with `pause_storms` — must agree with the extraction.
+#[test]
+fn storm_boundaries_agree_with_the_serialized_trace() {
+    let r = run_with(storm_schedule(), dumbbell_flows(2, 500_000), false);
+    let inj = injected(&r.telemetry.pause_records);
+    let mut csv = Vec::new();
+    write_pause_records(&mut csv, &inj).unwrap();
+    let text = String::from_utf8(csv).unwrap();
+
+    // Independent recomputation: scan `pause,node,port,trigger,ts,on` lines.
+    let mut first_xoff = u64::MAX;
+    let mut last_xon = 0u64;
+    let mut xoffs = 0usize;
+    for line in text.lines() {
+        let f: Vec<&str> = line.split(',').collect();
+        assert_eq!(f[0], "pause");
+        assert_eq!((f[1], f[2]), ("2", "1"));
+        let ts: u64 = f[4].parse().unwrap();
+        match f[5] {
+            "1" => {
+                first_xoff = first_xoff.min(ts);
+                xoffs += 1;
+            }
+            "0" => last_xon = last_xon.max(ts),
+            other => panic!("bad on/off field {other}"),
+        }
+    }
+    let storms = pause_storms(&inj, STORM_GAP, 2);
+    assert_eq!(storms.len(), 1);
+    assert_eq!(storms[0].start_ns, first_xoff);
+    assert_eq!(storms[0].end_ns, last_xon);
+    assert_eq!(storms[0].xoffs, xoffs);
+}
+
+/// Victim accounting: a link flap under deflect-on-drop produces loss events
+/// whose distinct-flow sets equal an independent recomputation from the raw
+/// drop records, and every active flow is a victim.
+#[test]
+fn flap_loss_events_count_distinct_victims_exactly() {
+    let mut failures = FailureSchedule::none();
+    failures.events.push(FailureEvent::LinkFlap {
+        node: 2,
+        port: 1,
+        down_ns: 100_000,
+        up_ns: 600_000,
+    });
+    let r = run_with(failures, dumbbell_flows(4, 800_000), true);
+    assert!(r.telemetry.link_losses > 0, "flap must lose packets");
+
+    let events = loss_events(&r.telemetry.drop_records, 10_000);
+    assert!(!events.is_empty(), "drops must cluster into events");
+    for e in &events {
+        assert!(
+            e.start_ns >= 100_000 && e.end_ns < 600_000,
+            "losses confined to the outage"
+        );
+        // Trace oracle: distinct flows dropped at this port inside the
+        // event's span, recomputed from the raw records.
+        let truth: BTreeSet<u64> = r
+            .telemetry
+            .drop_records
+            .iter()
+            .filter(|d| {
+                (d.switch, d.port) == (e.switch, e.port)
+                    && (e.start_ns..=e.end_ns).contains(&d.ts_ns)
+            })
+            .map(|d| d.flow.0)
+            .collect();
+        let got: BTreeSet<u64> = e.victims.iter().copied().collect();
+        assert_eq!(got, truth, "victim set must match the trace oracle");
+        assert_eq!(e.victims.len(), got.len(), "victims must be distinct");
+    }
+    // With four 20 Gbps flows crowding a 500 μs outage, all four lose.
+    let all_victims: BTreeSet<u64> = events.iter().flat_map(|e| e.victims.clone()).collect();
+    assert_eq!(all_victims, (0..4).collect());
+}
+
+/// The failure-injection trace is frozen byte-for-byte: a seeded dumbbell
+/// run with one flap and one storm must serialize (tx + pause + link
+/// records) to exactly the committed fixture. This is the determinism proof
+/// for the failure layer — any change to event ordering, loss accounting or
+/// trace formatting shows up as a byte diff here.
+#[test]
+fn failure_trace_fixture_is_byte_identical() {
+    let mut failures = FailureSchedule::none();
+    failures.events.push(FailureEvent::LinkFlap {
+        node: 2,
+        port: 1,
+        down_ns: 100_000,
+        up_ns: 250_000,
+    });
+    failures.events.push(FailureEvent::PauseStorm {
+        node: 2,
+        port: 1,
+        start_ns: 400_000,
+        cycles: 3,
+        pause_ns: 20_000,
+        gap_ns: 10_000,
+    });
+    let r = run_with(failures, dumbbell_flows(2, 100_000), true);
+
+    let mut fresh = Vec::new();
+    write_tx_records(&mut fresh, &r.telemetry.tx_records).unwrap();
+    write_pause_records(&mut fresh, &r.telemetry.pause_records).unwrap();
+    write_link_records(&mut fresh, &r.telemetry.link_records).unwrap();
+    assert!(!fresh.is_empty());
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/failure_trace_dumbbell.csv");
+    if std::env::var_os("UPDATE_FAILURE_GOLDEN").is_some() {
+        std::fs::write(&path, &fresh).unwrap();
+    }
+    let committed = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert!(
+        fresh == committed,
+        "failure trace diverged from the golden fixture ({} vs {} bytes); \
+         if intentional, regenerate with UPDATE_FAILURE_GOLDEN=1",
+        fresh.len(),
+        committed.len()
+    );
+}
