@@ -27,10 +27,15 @@ echo "==> collector_smoke: 16 seeds x 3 workloads"
 timeout 300 cargo run --release -q -p umon-testkit --bin collector_smoke -- --seeds 16
 
 # Fixed-seed retention and crash-recovery smoke: the bounded-memory analyzer
-# differential contract (compaction bit-invisible, eviction exact, archive
-# recovery reconvergent, torn tails contained) plus a bounded-budget soak
-# (DESIGN.md §12). Deterministic, like the smokes above.
-echo "==> retention_soak: 4 seeds x 3 workloads + soak"
+# differential contract (compaction bit-invisible, eviction-to-archive
+# queryable bit-identically through the cold tier, archive recovery
+# reconvergent, torn tails contained and healed by backfill over the
+# collection plane) plus a bounded-budget soak and an archive-backed cold
+# soak whose checkpoints query the full history (DESIGN.md §12, §14).
+# Deterministic, like the smokes above. Eviction bit-identity runs on every
+# seed x workload; kill/recover + backfill reconvergence is scenario 5 of the
+# same differential.
+echo "==> retention_soak: 4 seeds x 3 workloads + soak + cold soak"
 timeout 600 cargo run --release -q -p umon-testkit --bin retention_soak -- --seeds 4 --periods 1000
 
 # Golden fixture gate: fixed-seed drain reports and analyzer query curves
@@ -39,11 +44,12 @@ timeout 600 cargo run --release -q -p umon-testkit --bin retention_soak -- --see
 echo "==> golden fixtures: golden_gen --check"
 timeout 300 cargo run --release -q -p umon-testkit --bin golden_gen -- --check
 
-# Reproducible perf gate (DESIGN.md §10, §11): runs the shortened fixed-seed
-# bench workloads — sketch update, simulator event loop, and the analyzer
-# query sweep — and fails if the committed BENCH_core.json /
-# BENCH_netsim.json / BENCH_analyzer.json are missing or contain non-finite
-# metrics, then prints the smoke-vs-recorded delta. Smoke timings are NOT
+# Reproducible perf gate (DESIGN.md §10, §11, §14): runs the shortened
+# fixed-seed bench workloads — sketch update, simulator event loop, and the
+# analyzer query sweep — and fails if the committed BENCH_core.json /
+# BENCH_netsim.json / BENCH_analyzer.json (including the hot → compacted →
+# archived `cold` ladder and its segment-cache hit rate) are missing or
+# contain non-finite metrics, then prints the smoke-vs-recorded delta. Smoke timings are NOT
 # compared against thresholds — shared CI boxes
 # are too noisy for that — so this catches bitrot (bench no longer builds or
 # runs, records gone stale or corrupt), not slow regressions; refresh the

@@ -110,6 +110,18 @@ struct RetentionMeasure {
     notes: String,
 }
 
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct ColdMeasure {
+    hot_queries_per_sec: f64,
+    compacted_queries_per_sec: f64,
+    cold_queries_per_sec: f64,
+    cold_slowdown: f64,
+    segment_cache_hit_rate: f64,
+    cold_bytes_read: u64,
+    archived_periods: u64,
+    notes: String,
+}
+
 #[derive(Debug, Serialize, Deserialize, Default)]
 struct AnalyzerBench {
     schema: u32,
@@ -118,6 +130,7 @@ struct AnalyzerBench {
     baseline: Option<AnalyzerMeasure>,
     current: Option<AnalyzerMeasure>,
     retention: Option<RetentionMeasure>,
+    cold: Option<ColdMeasure>,
     speedup_vs_baseline: Option<f64>,
 }
 
@@ -277,8 +290,22 @@ fn build_analyzer() -> Analyzer {
 }
 
 fn build_analyzer_with(policy: RetentionPolicy) -> Analyzer {
+    build_analyzer_inner(Analyzer::with_retention(
+        analyzer_config().sketch.clone(),
+        policy,
+    ))
+}
+
+/// Same seeded workload, but archive-backed so evicted periods land in the
+/// cold tier instead of being forgotten. Used by the `cold` bench section.
+fn build_analyzer_archived(policy: RetentionPolicy, dir: &Path) -> Analyzer {
+    let analyzer = Analyzer::with_archive(analyzer_config().sketch.clone(), policy, dir)
+        .expect("open bench archive dir");
+    build_analyzer_inner(analyzer)
+}
+
+fn build_analyzer_inner(mut analyzer: Analyzer) -> Analyzer {
     let cfg = analyzer_config();
-    let mut analyzer = Analyzer::with_retention(cfg.sketch.clone(), policy);
     for host in 0..ANALYZER_HOSTS {
         let mut rng = ChaCha8Rng::seed_from_u64(
             ANALYZER_SEED ^ (host as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -400,6 +427,63 @@ fn bench_retention(sweeps: usize, hot_queries_per_sec: f64) -> RetentionMeasure 
         resident_periods: res.resident_periods as u64,
         notes: "hot = unbounded sweep; compacted = hot_periods=1 sparse inverse-Haar fallback"
             .into(),
+    }
+}
+
+/// The cold tier's perf envelope, the bottom rung of the hot → compacted →
+/// archived ladder (DESIGN.md §14): the same query sweep against an
+/// archive-backed analyzer whose policy evicts all but the two newest
+/// periods per host, so most of the sweep answers from the segment cache or
+/// from disk. The cache is sized to hold the archived working set, so the
+/// first sweep pays the disk reads and later sweeps measure cached cold
+/// reads — the steady state of a query-heavy deployment.
+fn bench_cold(
+    sweeps: usize,
+    hot_queries_per_sec: f64,
+    compacted_queries_per_sec: f64,
+) -> ColdMeasure {
+    let dir = std::env::temp_dir().join(format!("umon_bench_cold_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = RetentionPolicy::bounded(1, 2).with_cold_cache_bytes(64 << 20);
+    let analyzer = build_analyzer_archived(policy, &dir);
+    let mut scratch = QueryScratch::new();
+    let mut queries = 0u64;
+    let (wall_ns, checksum) = time_min(|| {
+        queries = 0;
+        let mut checksum = 0u64;
+        for _ in 0..sweeps {
+            let (q, c) = query_sweep(&analyzer, &mut scratch);
+            queries += q;
+            checksum = checksum.wrapping_add(c);
+        }
+        checksum
+    });
+    assert!(checksum > 0, "cold query sweep reconstructed nothing");
+    let stats = analyzer.retention_stats();
+    assert_eq!(
+        stats.cold_read_errors, 0,
+        "cold tier read errors during bench"
+    );
+    assert!(
+        stats.cold_misses > 0,
+        "cold bench never touched the archive"
+    );
+    let archived_periods: u64 = (0..ANALYZER_HOSTS)
+        .map(|h| analyzer.host_coverage(h).archived.len() as u64)
+        .sum();
+    assert!(archived_periods > 0, "cold bench policy evicted nothing");
+    let _ = std::fs::remove_dir_all(&dir);
+    let lookups = stats.cold_hits + stats.cold_misses;
+    let cold_queries_per_sec = queries as f64 / (wall_ns as f64 / 1e9);
+    ColdMeasure {
+        hot_queries_per_sec,
+        compacted_queries_per_sec,
+        cold_queries_per_sec,
+        cold_slowdown: hot_queries_per_sec / cold_queries_per_sec,
+        segment_cache_hit_rate: stats.cold_hits as f64 / lookups as f64,
+        cold_bytes_read: stats.cold_bytes_read,
+        archived_periods,
+        notes: "resident=2 periods/host; archived rest answered via ColdStore segment cache".into(),
     }
 }
 
@@ -527,7 +611,7 @@ fn record_analyzer(root: &Path, as_baseline: Option<&str>) {
         "  {:.0} queries/sec ({:.1} us/query)",
         analyzer.queries_per_sec, analyzer.us_per_query
     );
-    let retention = if as_baseline.is_none() {
+    let (retention, cold) = if as_baseline.is_none() {
         println!(
             "analyzer retention: compacted sweep ({} sweeps x {} reps) ...",
             ANALYZER_SWEEPS_SMOKE, REPS
@@ -541,9 +625,26 @@ fn record_analyzer(root: &Path, as_baseline: Option<&str>) {
             r.bytes_per_retained_period,
             r.resident_periods
         );
-        Some(r)
+        println!(
+            "analyzer cold: archived sweep ({} sweeps x {} reps) ...",
+            ANALYZER_SWEEPS_SMOKE, REPS
+        );
+        let c = bench_cold(
+            ANALYZER_SWEEPS_SMOKE,
+            analyzer.queries_per_sec,
+            r.compacted_queries_per_sec,
+        );
+        println!(
+            "  cold {:.0} q/s ({:.1}x below hot), cache hit rate {:.3}, {} archived periods, {} bytes read",
+            c.cold_queries_per_sec,
+            c.cold_slowdown,
+            c.segment_cache_hit_rate,
+            c.archived_periods,
+            c.cold_bytes_read
+        );
+        (Some(r), Some(c))
     } else {
-        None
+        (None, None)
     };
     let mut analyzer_file: AnalyzerBench = load(&analyzer_path);
     analyzer_file.schema = 1;
@@ -562,6 +663,9 @@ fn record_analyzer(root: &Path, as_baseline: Option<&str>) {
     }
     if let Some(r) = retention {
         analyzer_file.retention = Some(r);
+    }
+    if let Some(c) = cold {
+        analyzer_file.cold = Some(c);
     }
     if let (Some(b), Some(c)) = (&analyzer_file.baseline, &analyzer_file.current) {
         analyzer_file.speedup_vs_baseline = Some(c.queries_per_sec / b.queries_per_sec);
@@ -795,6 +899,49 @@ fn smoke() {
             .retention
             .as_ref()
             .map(|r| r.compacted_slowdown)
+            .unwrap_or(f64::NAN)
+    );
+    let committed_cold = require_finite(
+        "BENCH_analyzer.json",
+        "cold",
+        "cold_queries_per_sec",
+        analyzer_file.cold.as_ref().map(|c| c.cold_queries_per_sec),
+    );
+    require_finite(
+        "BENCH_analyzer.json",
+        "cold",
+        "hot_queries_per_sec",
+        analyzer_file.cold.as_ref().map(|c| c.hot_queries_per_sec),
+    );
+    require_finite(
+        "BENCH_analyzer.json",
+        "cold",
+        "cold_bytes_read",
+        analyzer_file
+            .cold
+            .as_ref()
+            .map(|c| c.cold_bytes_read as f64),
+    );
+    let hit_rate = require_finite(
+        "BENCH_analyzer.json",
+        "cold",
+        "segment_cache_hit_rate",
+        analyzer_file
+            .cold
+            .as_ref()
+            .map(|c| c.segment_cache_hit_rate),
+    );
+    if hit_rate > 1.0 {
+        eprintln!("FAIL BENCH_analyzer.json: cold.segment_cache_hit_rate {hit_rate} exceeds 1.0");
+        std::process::exit(1);
+    }
+    println!(
+        "BENCH_analyzer: committed cold tier {committed_cold:.0} queries/sec \
+         ({:.1}x below hot, segment cache hit rate {hit_rate:.3})",
+        analyzer_file
+            .cold
+            .as_ref()
+            .map(|c| c.cold_slowdown)
             .unwrap_or(f64::NAN)
     );
 

@@ -11,6 +11,11 @@
 //!    resident state honors the budget and queries stay bit-identical to an
 //!    unbounded reference over the surviving periods.
 //!
+//! Plus one fixed-seed [`umon_testkit::cold_soak_run`] per invocation: a
+//! bounded archive-backed analyzer whose checkpoints compare the *full*
+//! history (hot + compacted + archived-cold read back from disk) against an
+//! unbounded reference, bit-identically.
+//!
 //! Prints a repro command for every failure and exits nonzero if the
 //! retention contract broke.
 
@@ -18,7 +23,8 @@ use std::time::Instant;
 
 use umon::RetentionPolicy;
 use umon_testkit::{
-    retention_diff_run, retention_soak_run, RetentionDiffConfig, RetentionDiffStats, StreamKind,
+    cold_soak_run, retention_diff_run, retention_soak_run, RetentionDiffConfig, RetentionDiffStats,
+    StreamKind,
 };
 
 fn usage() -> ! {
@@ -61,6 +67,8 @@ fn main() {
                     totals.compacted += stats.compacted;
                     totals.evicted += stats.evicted;
                     totals.recovered += stats.recovered;
+                    totals.cold_reads += stats.cold_reads;
+                    totals.backfilled += stats.backfilled;
                     totals.curves_compared += stats.curves_compared;
                 }
                 Err(e) => {
@@ -89,6 +97,25 @@ fn main() {
         }
         runs += 1;
     }
+    // One fixed-seed cold soak per invocation: the checkpoints query the
+    // full archived history, so its cost grows with --periods; a quarter of
+    // the hot soak's length keeps the wall clock comparable.
+    let cold_periods = (periods / 4).clamp(50, 250);
+    let cold_policy = RetentionPolicy::bounded(8, 32).with_cold_cache_bytes(256 * 1024);
+    match cold_soak_run(start, cold_periods, cold_policy, 50, &scratch) {
+        Ok(stats) => {
+            soak_periods += stats.periods;
+            soak_checks += stats.curves_compared;
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("FAIL: {e}");
+            eprintln!(
+                "  repro: cargo run -p umon-testkit --bin retention_soak -- --seeds 1 --start {start} --periods {periods}"
+            );
+        }
+    }
+    runs += 1;
     let _ = std::fs::remove_dir_all(&scratch);
     println!(
         "retention_soak: {runs} runs ({seeds} seeds x {} workloads + soak), {failures} failures in {:.2?}",
@@ -96,11 +123,13 @@ fn main() {
         t0.elapsed()
     );
     println!(
-        "  coverage: {} reports, {} compacted, {} evicted, {} recovered, {} curve comparisons; soak {} periods, {} checkpoint comparisons",
+        "  coverage: {} reports, {} compacted, {} evicted, {} recovered, {} cold reads, {} backfilled, {} curve comparisons; soak {} periods, {} checkpoint comparisons",
         totals.reports,
         totals.compacted,
         totals.evicted,
         totals.recovered,
+        totals.cold_reads,
+        totals.backfilled,
         totals.curves_compared,
         soak_periods,
         soak_checks

@@ -24,11 +24,13 @@
 //! transports, asserting the `umon::collector` degradation contract against
 //! a fault log that records exactly what the network did.
 //!
-//! [`retention_diff_run`] and [`retention_soak_run`] cover the analyzer's
-//! bounded-memory retention tiers and the crash-safe period archive: tier
-//! compaction and archive crash/recovery must be bit-invisible to queries,
-//! eviction must equal exact forgetting, and a long bounded run must hold
-//! resident state under the budget (DESIGN.md §12).
+//! [`retention_diff_run`], [`retention_soak_run`] and [`cold_soak_run`]
+//! cover the analyzer's bounded-memory retention tiers, the crash-safe
+//! period archive and the queryable cold tier on top of it: compaction,
+//! crash/recovery and eviction-to-archive must all be bit-invisible to
+//! queries (evicted periods are read back from disk), backfill over the
+//! collection plane must heal torn segment tails, and a long bounded run
+//! must hold resident state under the budget (DESIGN.md §12, §14).
 //!
 //! [`replay_host_records`] closes the loop with the simulator: it feeds
 //! `netsim` TX records (e.g. parsed back from a trace CSV) through a real
@@ -49,7 +51,7 @@ pub use faults::{collection_diff_run, flow_id_of, CollectionDiffConfig, Collecti
 pub use oracle::{CheckParams, EpochTruth, Oracle};
 pub use replay::{replay_host_records, ReplayStats};
 pub use retention::{
-    retention_diff_run, retention_soak_run, RetentionDiffConfig, RetentionDiffStats,
+    cold_soak_run, retention_diff_run, retention_soak_run, RetentionDiffConfig, RetentionDiffStats,
     RetentionSoakStats,
 };
 pub use stream::{

@@ -17,15 +17,30 @@
 //!    mid-ingest and recovered from its segment files, then fed the rest of
 //!    the workload, ends bit-identical to one that never crashed; a torn
 //!    segment tail loses exactly the torn record and nothing else.
+//! 4. **The cold tier erases the eviction horizon** — an archive-backed
+//!    bounded analyzer answers queries over *evicted* periods by reading
+//!    them back from its segments, bit-identical to a fully unbounded
+//!    analyzer; a segment cache too small for even one record only costs
+//!    disk reads, never correctness.
+//! 5. **Backfill heals torn history** — after a crash that tears a segment
+//!    tail, the recovered analyzer's [`Analyzer::backfill_requests`] asks
+//!    the affected hosts to re-upload over the normal collection plane
+//!    ([`umon::HostUplink::backfill`]), and the healed analyzer ends
+//!    bit-identical to the unbounded reference: the tear lost nothing.
 //!
 //! [`retention_soak_run`] is the long-run variant: thousands of periods
 //! through a small budget, asserting at checkpoints that resident state
 //! stays bounded and hot-tier queries stay bit-identical to an unbounded
-//! reference that ingested the same reports.
+//! reference that ingested the same reports. [`cold_soak_run`] is its cold
+//! twin: checkpoints compare the *full* history — hot, compacted and
+//! archived-cold — against an unbounded analyzer.
 
 use std::path::Path;
 
-use umon::{Analyzer, HostAgent, HostAgentConfig, PeriodReport, RetentionPolicy};
+use umon::{
+    Analyzer, Collector, HostAgent, HostAgentConfig, HostUplink, PerfectTransport, PeriodReport,
+    RetentionPolicy, RetransmitPolicy,
+};
 use wavesketch::{SelectorKind, SketchConfig};
 
 use crate::diff::DiffError;
@@ -96,6 +111,11 @@ pub struct RetentionDiffStats {
     pub evicted: u64,
     /// Archived reports replayed by the recovery scenarios.
     pub recovered: u64,
+    /// Cold-tier record fetches (cache hits + disk reads) across the cold
+    /// scenarios.
+    pub cold_reads: u64,
+    /// Reports re-uploaded by hosts answering backfill requests.
+    pub backfilled: u64,
     /// Curve comparisons performed.
     pub curves_compared: usize,
 }
@@ -169,6 +189,27 @@ fn interleaved_workload(seed: u64, cfg: &RetentionDiffConfig) -> (Vec<PeriodRepo
 fn feed(analyzer: &mut Analyzer, delivery: &[PeriodReport]) {
     for chunk in delivery.chunks(7) {
         analyzer.add_reports(chunk.to_vec());
+    }
+}
+
+/// Ticks every uplink and pumps the collector until all uplinks drain (or a
+/// generous round cap expires — a lossless transport drains in a few).
+fn pump_until_drained(
+    uplinks: &mut [HostUplink],
+    transport: &mut PerfectTransport,
+    collector: &mut Collector,
+    analyzer: &mut Analyzer,
+    now: &mut u64,
+) {
+    for _ in 0..100 {
+        for u in uplinks.iter_mut() {
+            u.tick(*now, transport);
+        }
+        collector.pump(transport, analyzer);
+        *now += 1;
+        if uplinks.iter().all(|u| u.in_flight() == 0) {
+            break;
+        }
     }
 }
 
@@ -389,7 +430,13 @@ pub fn retention_diff_run(
         feed(&mut revived, &delivery[half..]);
 
         // Reference: never crashed, but never saw the torn record either.
-        let mut steady = Analyzer::with_retention(cfg.agent.sketch.clone(), policy);
+        // Archive-backed like the revived analyzer, so both answer queries
+        // over their full (cold-inclusive) history and differ only if the
+        // tear cost more than the one torn record.
+        let torn_ref_dir = scratch_dir.join("torn_ref");
+        let _ = std::fs::remove_dir_all(&torn_ref_dir);
+        let mut steady = Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &torn_ref_dir)
+            .map_err(io_fail)?;
         let surviving: Vec<PeriodReport> = delivery
             .iter()
             .filter(|r| !(r.host == 0 && r.period == torn_period))
@@ -398,6 +445,169 @@ pub fn retention_diff_run(
         feed(&mut steady, &surviving);
         stats.curves_compared +=
             compare_curves(&revived, &steady, cfg.hosts, flows, "torn-tail", &fail)?;
+    }
+
+    // Scenario 4: cold tier — the eviction horizon is not a data horizon.
+    // An archive-backed bounded analyzer equals the fully unbounded
+    // reference on every curve, because evicted periods are read back from
+    // the segments at query time.
+    {
+        let policy = RetentionPolicy::bounded(cfg.hot_periods, cfg.resident_periods);
+        let cold_dir = scratch_dir.join("cold");
+        let _ = std::fs::remove_dir_all(&cold_dir);
+        let io_fail = |e: std::io::Error| fail(format!("cold-tier: archive io error: {e}"));
+        let mut archived =
+            Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &cold_dir).map_err(io_fail)?;
+        feed(&mut archived, &delivery);
+        if archived.retention_stats().evicted_periods == 0 {
+            return Err(fail("cold-tier: nothing was evicted (vacuous)".into()));
+        }
+        stats.curves_compared +=
+            compare_curves(&archived, &reference, cfg.hosts, flows, "cold-tier", &fail)?;
+        let rs = archived.retention_stats();
+        if rs.cold_misses == 0 {
+            return Err(fail("cold-tier: queries never touched the archive".into()));
+        }
+        if rs.cold_read_errors != 0 {
+            return Err(fail(format!(
+                "cold-tier: {} archive read-backs failed",
+                rs.cold_read_errors
+            )));
+        }
+        stats.cold_reads += rs.cold_hits + rs.cold_misses;
+    }
+
+    // Scenario 4b: a segment cache too small for even one record thrashes
+    // (every cold fetch is a disk read) but stays bit-identical.
+    {
+        let policy = RetentionPolicy::bounded(cfg.hot_periods, cfg.resident_periods)
+            .with_cold_cache_bytes(1);
+        let thrash_dir = scratch_dir.join("cold_thrash");
+        let _ = std::fs::remove_dir_all(&thrash_dir);
+        let io_fail = |e: std::io::Error| fail(format!("cold-thrash: archive io error: {e}"));
+        let mut thrashing = Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &thrash_dir)
+            .map_err(io_fail)?;
+        feed(&mut thrashing, &delivery);
+        stats.curves_compared += compare_curves(
+            &thrashing,
+            &reference,
+            cfg.hosts,
+            flows,
+            "cold-thrash",
+            &fail,
+        )?;
+        let rs = thrashing.retention_stats();
+        if rs.cold_hits != 0 {
+            return Err(fail(format!(
+                "cold-thrash: {} cache hits under a 1-byte budget",
+                rs.cold_hits
+            )));
+        }
+        if rs.cold_misses == 0 || rs.cold_read_errors != 0 {
+            return Err(fail(format!(
+                "cold-thrash: {} misses, {} errors — want misses > 0, errors == 0",
+                rs.cold_misses, rs.cold_read_errors
+            )));
+        }
+        stats.cold_reads += rs.cold_misses;
+    }
+
+    // Scenario 5: kill/recover with a torn tail, healed by backfill over
+    // the collection plane. The hosts' uplinks and the collector survive
+    // the analyzer crash; the revived analyzer truncates the damage, asks
+    // the torn host to re-upload, and — because re-uploads flow through the
+    // normal transport → collector → ingest path — ends bit-identical to
+    // the unbounded reference: the tear lost nothing at all.
+    {
+        let policy = RetentionPolicy::bounded(cfg.hot_periods, cfg.resident_periods);
+        let bf_dir = scratch_dir.join("backfill");
+        let _ = std::fs::remove_dir_all(&bf_dir);
+        let io_fail = |e: std::io::Error| fail(format!("backfill: archive io error: {e}"));
+
+        let mut transport = PerfectTransport::new();
+        let mut uplinks: Vec<HostUplink> = (0..cfg.hosts)
+            .map(|h| HostUplink::new(h, RetransmitPolicy::default()))
+            .collect();
+        let mut collector = Collector::new();
+        let mut now = 0u64;
+        let half = delivery.len() / 2;
+        {
+            let mut doomed = Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &bf_dir)
+                .map_err(io_fail)?;
+            for chunk in delivery[..half].chunks(7) {
+                for r in chunk {
+                    uplinks[r.host].submit(vec![r.clone()]);
+                }
+                pump_until_drained(
+                    &mut uplinks,
+                    &mut transport,
+                    &mut collector,
+                    &mut doomed,
+                    &mut now,
+                );
+            }
+            // Killed here; every accepted report was archived write-ahead,
+            // and the uplinks' replay buffers still hold their copies.
+        }
+        // The crash tears host 0's newest archived record mid-write.
+        let seg = bf_dir.join("host_0.seg");
+        let bytes = std::fs::read(&seg).map_err(io_fail)?;
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).map_err(io_fail)?;
+
+        let mut revived =
+            Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &bf_dir).map_err(io_fail)?;
+        let recovery = revived.recover_from_archive().map_err(io_fail)?;
+        if recovery.damaged_tails != vec![0] {
+            return Err(fail(format!(
+                "backfill: damaged tails {:?}, want [0]",
+                recovery.damaged_tails
+            )));
+        }
+        if recovery.torn_tails.len() != 1 || recovery.torn_tails[0].lost_records == 0 {
+            return Err(fail(format!(
+                "backfill: torn-tail report {:?} names no lost records",
+                recovery.torn_tails
+            )));
+        }
+        stats.recovered += recovery.recovered;
+
+        let asks = revived.backfill_requests(&recovery);
+        if asks.iter().map(|a| a.host).collect::<Vec<_>>() != vec![0] {
+            return Err(fail(format!(
+                "backfill: requests {asks:?}, want exactly host 0"
+            )));
+        }
+        let mut healed = 0usize;
+        for ask in &asks {
+            healed += uplinks[ask.host].backfill(ask.after_period);
+        }
+        if healed == 0 {
+            return Err(fail(
+                "backfill: the replay buffer had nothing for the torn span".into(),
+            ));
+        }
+        stats.backfilled += healed as u64;
+        pump_until_drained(
+            &mut uplinks,
+            &mut transport,
+            &mut collector,
+            &mut revived,
+            &mut now,
+        );
+        for chunk in delivery[half..].chunks(7) {
+            for r in chunk {
+                uplinks[r.host].submit(vec![r.clone()]);
+            }
+            pump_until_drained(
+                &mut uplinks,
+                &mut transport,
+                &mut collector,
+                &mut revived,
+                &mut now,
+            );
+        }
+        stats.curves_compared +=
+            compare_curves(&revived, &reference, cfg.hosts, flows, "backfill", &fail)?;
     }
 
     Ok(stats)
@@ -510,6 +720,92 @@ pub fn retention_soak_run(
         reference.add_reports(recent.values().cloned().collect());
         stats.curves_compared +=
             compare_curves(&bounded, &reference, 1, flows, "soak-checkpoint", &fail)?;
+    }
+    Ok(stats)
+}
+
+/// Long-run cold-tier soak: one host streams `periods` upload periods
+/// through a bounded, archive-backed analyzer, and every checkpoint compares
+/// the *full* history — hot, compacted and archived-cold — bit-identically
+/// against an unbounded analyzer fed the same reports. Unlike
+/// [`retention_soak_run`], the reference deliberately keeps everything
+/// (O(periods) memory): the point is that the bounded analyzer's disk
+/// read-back matches it over the entire horizon, not just the resident set.
+pub fn cold_soak_run(
+    seed: u64,
+    periods: u64,
+    policy: RetentionPolicy,
+    checkpoint_every: u64,
+    scratch_dir: &Path,
+) -> Result<RetentionSoakStats, DiffError> {
+    let fail = |detail: String| DiffError {
+        seed,
+        kind: StreamKind::Uniform,
+        detail,
+    };
+    let io_fail = |e: std::io::Error| fail(format!("cold-soak: archive io error: {e}"));
+    let cfg = RetentionDiffConfig::quick(StreamKind::Uniform);
+    let windows_per_period = cfg.agent.period_ns >> cfg.agent.window_shift;
+    let flows = cfg.query_sample.min(cfg.stream.flows);
+    let mut stats = RetentionSoakStats::default();
+
+    let dir = scratch_dir.join("cold_soak");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut bounded =
+        Analyzer::with_archive(cfg.agent.sketch.clone(), policy, &dir).map_err(io_fail)?;
+    let mut reference = Analyzer::new(cfg.agent.sketch.clone());
+
+    let mut agent = HostAgent::new(0, cfg.agent.clone());
+    let mut stream_cfg = cfg.stream.clone();
+    stream_cfg.windows = windows_per_period * checkpoint_every;
+    let mut done = 0u64;
+    while done < periods {
+        stream_cfg.start_window = done * windows_per_period;
+        let stream = gen_stream(seed ^ done, &stream_cfg);
+        for (f, w, v) in &stream {
+            agent.observe(
+                crate::flow_id_of(f),
+                *w << cfg.agent.window_shift,
+                *v as u32,
+            );
+        }
+        let reports = agent.poll_finished();
+        done += checkpoint_every;
+        stats.periods = done;
+        reference.add_reports(reports.clone());
+        bounded.add_reports(reports);
+
+        let res = bounded.residency();
+        stats.max_resident_periods = stats.max_resident_periods.max(res.resident_periods);
+        stats.max_cached_bytes = stats.max_cached_bytes.max(res.cached_bytes);
+        stats.evicted = bounded.retention_stats().evicted_periods;
+        if res.resident_periods as u64 > policy.resident_periods {
+            return Err(fail(format!(
+                "cold-soak: {} resident periods exceed the {} budget at period {done}",
+                res.resident_periods, policy.resident_periods
+            )));
+        }
+        stats.curves_compared += compare_curves(
+            &bounded,
+            &reference,
+            1,
+            flows,
+            "cold-soak-checkpoint",
+            &fail,
+        )?;
+    }
+    let rs = bounded.retention_stats();
+    if rs.evicted_periods == 0 {
+        return Err(fail("cold-soak: nothing was evicted (vacuous)".into()));
+    }
+    if rs.cold_misses == 0 {
+        return Err(fail("cold-soak: queries never touched the archive".into()));
+    }
+    if rs.cold_read_errors != 0 {
+        return Err(fail(format!(
+            "cold-soak: {} archive read-backs failed",
+            rs.cold_read_errors
+        )));
     }
     Ok(stats)
 }

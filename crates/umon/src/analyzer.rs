@@ -13,7 +13,9 @@
 //! * **event replay** — the Figure 10c join of detected events with the
 //!   rate curves of the involved flows.
 
-use crate::archive::PeriodArchive;
+use crate::archive::{PeriodArchive, TornTail};
+use crate::cold::ColdStore;
+use crate::collector::BackfillRequest;
 use crate::host_agent::PeriodReport;
 use crate::query_index::{
     series_from_epochs, unpack_key, visit_refs, Epoch, HostIndex, QueryIndex, QueryScratch,
@@ -23,10 +25,11 @@ use crate::seqwin::SeqWindow;
 use crate::switch_agent::{MirrorBatch, MirroredPacket};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::path::Path;
+use std::rc::Rc;
 use umon_netsim::QueueEpisode;
 use wavesketch::basic::WindowSeries;
 use wavesketch::reconstruct::ReconstructScratch;
-use wavesketch::{FlowKey, SketchConfig};
+use wavesketch::{BucketReport, FlowKey, SketchConfig, SketchReport};
 
 /// Accounting for one [`Analyzer::add_reports`] batch (and, cumulatively,
 /// for an analyzer's lifetime via [`Analyzer::ingest_stats`]).
@@ -62,15 +65,25 @@ impl IngestStats {
 pub struct PeriodCoverage {
     /// Periods with an accepted report.
     pub periods: BTreeSet<u64>,
+    /// Periods no longer resident but queryable from the cold tier (the
+    /// archive): queries read them back from disk transparently. Empty
+    /// without an archive.
+    pub archived: BTreeSet<u64>,
     /// Uploads the collection plane knows were lost (sequence gaps reported
     /// by `umon::collector`); 0 when no collector feeds this analyzer.
     pub known_lost: u64,
 }
 
 impl PeriodCoverage {
-    /// True if `period` has an accepted report.
+    /// True if `period` has an accepted *resident* report.
     pub fn covers(&self, period: u64) -> bool {
         self.periods.contains(&period)
+    }
+
+    /// True if a query can see `period` — resident or readable from the
+    /// cold tier.
+    pub fn queryable(&self, period: u64) -> bool {
+        self.periods.contains(&period) || self.archived.contains(&period)
     }
 
     /// True if no upload is known to be missing. A period absent from
@@ -183,6 +196,12 @@ pub struct Analyzer {
     /// here *before* it becomes queryable (write-ahead), so eviction is a
     /// pure in-memory drop and a crash can lose at most one segment tail.
     archive: Option<PeriodArchive>,
+    /// The queryable cold tier over the archive: a byte-location index of
+    /// every archived record plus a bounded segment cache. Present exactly
+    /// when `archive` is. Queries fall through hot → compacted → cold, so
+    /// with an archive eviction is a latency budget, not a data-loss
+    /// budget.
+    cold: Option<ColdStore>,
     /// Suppresses archive appends while replaying the archive itself
     /// ([`Self::recover_from_archive`]), so recovery never duplicates
     /// records.
@@ -236,6 +255,11 @@ pub struct RecoveryStats {
     /// Hosts whose segment had a damaged (truncated or corrupt) tail; the
     /// intact prefix was still recovered.
     pub damaged_tails: Vec<usize>,
+    /// Per-segment damage detail (how many records each torn tail lost),
+    /// parallel in host order to `damaged_tails`. Feed this to
+    /// [`Analyzer::backfill_requests`] to ask the affected hosts to
+    /// re-upload what the tear lost.
+    pub torn_tails: Vec<TornTail>,
 }
 
 impl Analyzer {
@@ -257,6 +281,7 @@ impl Analyzer {
             floors: HashMap::new(),
             retention_stats: RetentionStats::default(),
             archive: None,
+            cold: None,
             recovering: false,
             mirrors: Vec::new(),
             mirror_index: BTreeMap::new(),
@@ -278,7 +303,11 @@ impl Analyzer {
         dir: impl AsRef<Path>,
     ) -> std::io::Result<Self> {
         let mut a = Self::with_retention(sketch_config, retention);
-        a.archive = Some(PeriodArchive::open(dir)?);
+        a.archive = Some(PeriodArchive::open(&dir)?);
+        a.cold = Some(ColdStore::new(
+            dir.as_ref().to_path_buf(),
+            retention.cold_cache_bytes,
+        ));
         Ok(a)
     }
 
@@ -296,6 +325,32 @@ impl Analyzer {
             return Ok(RecoveryStats::default());
         };
         let scan = PeriodArchive::scan(&dir)?;
+        // Truncate torn tails back to the intact prefix so post-recovery
+        // appends — including the backfilled re-uploads of what the tear
+        // lost — extend a clean segment instead of hiding behind
+        // unreachable bytes.
+        if let Some(archive) = self.archive.as_mut() {
+            archive.truncate_damage(&scan)?;
+        }
+        for t in &scan.torn_tails {
+            self.retention_stats.torn_tail_records += t.lost_records;
+            eprintln!(
+                "umon: archive segment for host {} lost {} record(s) ({} bytes) \
+                 to a torn tail; backfill needed",
+                t.host, t.lost_records, t.lost_bytes
+            );
+        }
+        // Index every intact record's location for the cold tier before the
+        // replay: records the replay re-evicts (or skips as stale) stay
+        // queryable from disk.
+        let expected = self.sketch_config.fingerprint();
+        if let Some(cold) = self.cold.as_mut() {
+            for (r, loc) in scan.reports.iter().zip(&scan.locs) {
+                if r.config_fingerprint == expected {
+                    cold.record(r.host, r.period, *loc);
+                }
+            }
+        }
         self.recovering = true;
         let stats = self.add_reports(scan.reports);
         self.recovering = false;
@@ -304,6 +359,7 @@ impl Analyzer {
             skipped: stats.duplicates,
             mismatched: stats.mismatched,
             damaged_tails: scan.damaged_tails,
+            torn_tails: scan.torn_tails,
         })
     }
 
@@ -328,11 +384,35 @@ impl Analyzer {
             }
             let floors = self.floors.get(&r.host).copied().unwrap_or_default();
             if r.period < floors.evict_floor {
-                // Below the eviction floor the store can no longer tell a
+                // Below the eviction floor the report can never become
+                // resident, but with an archive the cold index *can* tell a
                 // stale first delivery from a redelivery of an evicted
-                // period; accepting would also re-archive it. Drop it.
-                batch.duplicates += 1;
-                self.retention_stats.stale_dropped += 1;
+                // period: first deliveries are archived (immediately
+                // queryable from the cold tier), redeliveries are dropped.
+                // Without an archive the two are indistinguishable, so
+                // everything is dropped as before.
+                let mut archived_first = false;
+                if !self.recovering {
+                    if let (Some(archive), Some(cold)) = (self.archive.as_mut(), self.cold.as_mut())
+                    {
+                        if !cold.contains(r.host, r.period) {
+                            match archive.append(&r) {
+                                Ok(loc) => {
+                                    cold.record(r.host, r.period, loc);
+                                    archived_first = true;
+                                }
+                                Err(_) => self.retention_stats.archive_errors += 1,
+                            }
+                        }
+                    }
+                }
+                if archived_first {
+                    self.retention_stats.stale_archived += 1;
+                    batch.accepted += 1;
+                } else {
+                    batch.duplicates += 1;
+                    self.retention_stats.stale_dropped += 1;
+                }
                 continue;
             }
             let host = r.host;
@@ -342,22 +422,35 @@ impl Analyzer {
                 std::collections::btree_map::Entry::Vacant(v) => {
                     // Write-ahead: archive before the report becomes
                     // queryable, so eviction never races a missing record.
+                    // The archive record keeps full fidelity even when the
+                    // lossy floor trims the resident copy below.
                     if !self.recovering {
                         if let Some(archive) = self.archive.as_mut() {
-                            if archive.append(&r).is_err() {
-                                self.retention_stats.archive_errors += 1;
+                            match archive.append(&r) {
+                                Ok(loc) => {
+                                    if let Some(cold) = self.cold.as_mut() {
+                                        cold.record(host, r.period, loc);
+                                    }
+                                }
+                                Err(_) => self.retention_stats.archive_errors += 1,
                             }
                         }
                     }
                     if r.period >= floors.hot_floor {
                         self.index.index_report(host, &r, &self.sketch_config);
+                        v.insert(r);
                     } else {
                         // Arrived already past the hot horizon: store it
                         // compacted (resident, never indexed).
                         self.index.ensure_host(host);
                         self.retention_stats.compacted_on_arrival += 1;
+                        let mut r = r;
+                        if let Some(keep) = self.retention.lossy_floor {
+                            self.retention_stats.lossy_trimmed_details +=
+                                trim_details(&mut r.report, keep);
+                        }
+                        v.insert(r);
                     }
-                    v.insert(r);
                     batch.accepted += 1;
                     accepted = true;
                 }
@@ -400,11 +493,24 @@ impl Analyzer {
         }
         let compact_from = prev.hot_floor.max(evict_floor);
         if hot_floor > compact_from {
-            let store = self.reports.get(&host).expect("checked above");
+            let store = self.reports.get_mut(&host).expect("checked above");
+            let doomed: Vec<u64> = store
+                .range(compact_from..hot_floor)
+                .map(|(&p, _)| p)
+                .collect();
             let mut compacted = 0u64;
-            for (_, r) in store.range(compact_from..hot_floor) {
+            for p in doomed {
+                let r = store.get_mut(&p).expect("just enumerated");
+                // Deindex against the untrimmed report (the index entries
+                // were built from it), then trim the resident copy if the
+                // lossy floor is on — the archive already holds the full
+                // record, so this trades resident memory for compacted-tier
+                // accuracy, never data.
                 if self.index.deindex_period(host, r, &self.sketch_config) {
                     compacted += 1;
+                }
+                if let Some(keep) = self.retention.lossy_floor {
+                    self.retention_stats.lossy_trimmed_details += trim_details(&mut r.report, keep);
                 }
             }
             self.retention_stats.compacted_periods += compacted;
@@ -444,9 +550,21 @@ impl Analyzer {
         &self.retention
     }
 
-    /// Cumulative retention accounting since construction.
+    /// Cumulative retention accounting since construction, including the
+    /// cold tier's read counters (the latency side of the cold-read
+    /// contract: archive records are immutable, so cold answers are never
+    /// stale — they just cost `cold_read_ns` of disk time).
     pub fn retention_stats(&self) -> RetentionStats {
-        self.retention_stats
+        let mut s = self.retention_stats;
+        if let Some(cold) = &self.cold {
+            let c = cold.stats();
+            s.cold_hits = c.hits;
+            s.cold_misses = c.misses;
+            s.cold_bytes_read = c.bytes_read;
+            s.cold_read_ns = c.read_ns;
+            s.cold_read_errors = c.errors;
+        }
+        s
     }
 
     /// A point-in-time snapshot of resident state — what the retention soak
@@ -485,14 +603,50 @@ impl Analyzer {
 
     /// Which of `host`'s upload periods this analyzer holds.
     pub fn host_coverage(&self, host: usize) -> PeriodCoverage {
+        let evict_floor = self.floors.get(&host).map_or(0, |f| f.evict_floor);
         PeriodCoverage {
             periods: self
                 .reports
                 .get(&host)
                 .map(|m| m.keys().copied().collect())
                 .unwrap_or_default(),
+            archived: self
+                .cold
+                .as_ref()
+                .map(|c| c.archived_below(host, evict_floor))
+                .unwrap_or_default(),
             known_lost: self.known_lost.get(&host).copied().unwrap_or(0),
         }
+    }
+
+    /// After a crash recovery: which hosts should re-upload, and from which
+    /// period on. A host needs backfill if its archive segment lost records
+    /// to a torn tail (`recovery.damaged_tails`) or the collection plane
+    /// knows uploads were lost (`known_lost`). `after_period` is the newest
+    /// period the analyzer still holds for the host (resident or archived)
+    /// — everything newer is gone and should be replayed; `None` means the
+    /// analyzer holds nothing for the host. Deliver the requests over the
+    /// collection plane's control channel and answer them with
+    /// [`HostUplink::backfill`](crate::collector::HostUplink::backfill);
+    /// the re-uploads dedup through the normal collector path.
+    pub fn backfill_requests(&self, recovery: &RecoveryStats) -> Vec<BackfillRequest> {
+        let mut hosts: BTreeSet<usize> = recovery.damaged_tails.iter().copied().collect();
+        hosts.extend(self.known_lost.keys().copied());
+        hosts
+            .into_iter()
+            .map(|host| {
+                let resident = self
+                    .reports
+                    .get(&host)
+                    .and_then(|m| m.last_key_value())
+                    .map(|(&p, _)| p);
+                let archived = self.cold.as_ref().and_then(|c| c.newest_archived(host));
+                BackfillRequest {
+                    host,
+                    after_period: resident.max(archived),
+                }
+            })
+            .collect()
     }
 
     /// Ingests mirrored packets from a switch agent.
@@ -567,9 +721,26 @@ impl Analyzer {
         flow_id: u64,
         scratch: &'a mut QueryScratch,
     ) -> Option<&'a WindowSeries> {
-        let store = self.reports.get(&host)?;
-        let hidx = self.index.host(host)?;
-        let hot_floor = self.floors.get(&host).map_or(0, |f| f.hot_floor);
+        let floors = self.floors.get(&host).copied().unwrap_or_default();
+        let hot_floor = floors.hot_floor;
+        // Cold tier first: fetch every archived-only period once, before
+        // the two-pass epoch walks below, so both passes see identical
+        // epochs (and the fetch's `&mut` borrow ends before the closures
+        // capture the scratch).
+        match &self.cold {
+            Some(c) => c.fetch_below(host, floors.evict_floor, &mut scratch.cold),
+            None => scratch.cold.clear(),
+        }
+        let empty_store = BTreeMap::new();
+        let empty_hidx = HostIndex::default();
+        if !self.reports.contains_key(&host)
+            && self.index.host(host).is_none()
+            && scratch.cold.is_empty()
+        {
+            return None;
+        }
+        let store = self.reports.get(&host).unwrap_or(&empty_store);
+        let hidx = self.index.host(host).unwrap_or(&empty_hidx);
         let key = FlowKey::from_id(flow_id);
         let packed: [u8; 13] = key.pack();
 
@@ -583,20 +754,33 @@ impl Analyzer {
             starts,
             light_at,
             recon,
+            cold,
             ..
         } = scratch;
+        let cold: &[Rc<PeriodReport>] = cold;
 
-        // Heavy path: concatenate heavy records across periods. Compacted
-        // periods (all strictly older than the hot floor) are scanned from
-        // the store in period order, then hot refs follow — epochs
-        // concatenate chronologically even when uploads arrived shuffled,
-        // and the float-addition order matches the all-hot (and pre-index)
-        // path exactly. The heavy bucket is exact within its epochs but
-        // misses any history from before the flow's election, so it is
-        // overlaid onto the light-part estimate rather than used alone.
+        // Heavy path: concatenate heavy records across periods. Cold
+        // periods (read back from the archive, all strictly older than the
+        // eviction floor) come first, then compacted periods (older than
+        // the hot floor) scanned from the store in period order, then hot
+        // refs — epochs concatenate chronologically even when uploads
+        // arrived shuffled, and the float-addition order matches the
+        // all-hot (and pre-index, and unbounded) path exactly. The heavy
+        // bucket is exact within its epochs but misses any history from
+        // before the flow's election, so it is overlaid onto the light-part
+        // estimate rather than used alone.
         let heavy_refs = hidx.heavy.get(&packed).map_or(&[][..], Vec::as_slice);
         let has_heavy = series_from_epochs(
             |f| {
+                for pr in cold {
+                    for (k, brs) in &pr.report.heavy {
+                        if k.as_slice() == packed.as_slice() {
+                            for r in brs {
+                                f(Epoch::Raw(r));
+                            }
+                        }
+                    }
+                }
                 for (_, pr) in store.range(..hot_floor) {
                     for (k, brs) in &pr.report.heavy {
                         if k.as_slice() == packed.as_slice() {
@@ -621,6 +805,13 @@ impl Analyzer {
             // light-only): keep the larger source there. Both upper-bound
             // the truth. Collected in the same tier order as the epochs.
             starts.clear();
+            for pr in cold {
+                for (k, brs) in &pr.report.heavy {
+                    if k.as_slice() == packed.as_slice() {
+                        starts.extend(brs.iter().map(|r| r.w0));
+                    }
+                }
+            }
             for (_, pr) in store.range(..hot_floor) {
                 for (k, brs) in &pr.report.heavy {
                     if k.as_slice() == packed.as_slice() {
@@ -634,7 +825,8 @@ impl Analyzer {
                 }
             }
             if !self.light_with_subtraction_into(
-                store, hot_floor, hidx, &key, &packed, light_best, light_cand, heavy_sub, recon,
+                cold, store, hot_floor, hidx, &key, &packed, light_best, light_cand, heavy_sub,
+                recon,
             ) {
                 return Some(heavy);
             }
@@ -655,7 +847,7 @@ impl Analyzer {
         }
 
         self.light_with_subtraction_into(
-            store, hot_floor, hidx, &key, &packed, light_best, light_cand, heavy_sub, recon,
+            cold, store, hot_floor, hidx, &key, &packed, light_best, light_cand, heavy_sub, recon,
         )
         .then_some(light_best)
     }
@@ -673,13 +865,15 @@ impl Analyzer {
 
     /// Light-part reconstruction with heavy-flow subtraction, min-total over
     /// rows (the Count-Min query lifted to curves). On `true` the winning
-    /// row's series is in `light_best`. Each row visits the compacted tier
-    /// (raw store scan, sparse reconstruction) before the hot refs; both
-    /// halves use bit-identical accumulation, so compaction never moves a
-    /// row's total or the min-row choice.
+    /// row's series is in `light_best`. Each row visits the cold tier
+    /// (archive read-back), then the compacted tier (raw store scan, sparse
+    /// reconstruction), then the hot refs; all three use bit-identical
+    /// accumulation, so neither compaction nor eviction-to-archive ever
+    /// moves a row's total or the min-row choice.
     #[allow(clippy::too_many_arguments)] // split borrows of one scratch
     fn light_with_subtraction_into(
         &self,
+        cold: &[Rc<PeriodReport>],
         store: &BTreeMap<u64, PeriodReport>,
         hot_floor: u64,
         hidx: &HostIndex,
@@ -700,6 +894,15 @@ impl Analyzer {
                 .map_or(&[][..], Vec::as_slice);
             if !series_from_epochs(
                 |f| {
+                    for pr in cold {
+                        for (r0, c0, brs) in &pr.report.light {
+                            if *r0 == row as u32 && *c0 == col {
+                                for r in brs {
+                                    f(Epoch::Raw(r));
+                                }
+                            }
+                        }
+                    }
                     for (_, pr) in store.range(..hot_floor) {
                         for (r0, c0, brs) in &pr.report.light {
                             if *r0 == row as u32 && *c0 == col {
@@ -727,6 +930,18 @@ impl Analyzer {
                 .map_or(&[][..], Vec::as_slice);
             let colliding = series_from_epochs(
                 |f| {
+                    for pr in cold {
+                        for (k, brs) in &pr.report.heavy {
+                            if k.as_slice() == packed.as_slice() {
+                                continue;
+                            }
+                            if cfg.light_col(&unpack_key(k), row) as u32 == col {
+                                for r in brs {
+                                    f(Epoch::Raw(r));
+                                }
+                            }
+                        }
+                    }
                     for (_, pr) in store.range(..hot_floor) {
                         for (k, brs) in &pr.report.heavy {
                             if k.as_slice() == packed.as_slice() {
@@ -864,15 +1079,41 @@ impl Analyzer {
         host: usize,
         scratch: &'a mut QueryScratch,
     ) -> Option<&'a WindowSeries> {
-        let store = self.reports.get(&host)?;
-        let hidx = self.index.host(host)?;
-        let hot_floor = self.floors.get(&host).map_or(0, |f| f.hot_floor);
-        let QueryScratch { rate, recon, .. } = scratch;
+        let floors = self.floors.get(&host).copied().unwrap_or_default();
+        let hot_floor = floors.hot_floor;
+        match &self.cold {
+            Some(c) => c.fetch_below(host, floors.evict_floor, &mut scratch.cold),
+            None => scratch.cold.clear(),
+        }
+        let empty_store = BTreeMap::new();
+        let empty_hidx = HostIndex::default();
+        if !self.reports.contains_key(&host)
+            && self.index.host(host).is_none()
+            && scratch.cold.is_empty()
+        {
+            return None;
+        }
+        let store = self.reports.get(&host).unwrap_or(&empty_store);
+        let hidx = self.index.host(host).unwrap_or(&empty_hidx);
+        let QueryScratch {
+            rate, recon, cold, ..
+        } = scratch;
+        let cold: &[Rc<PeriodReport>] = cold;
         // Accumulation sums overlapping epochs — exactly what aggregating
-        // different buckets over the same timeline needs. Compacted periods
-        // first (raw row-0 entries in period order), then the hot refs.
+        // different buckets over the same timeline needs. Cold periods
+        // first (archive read-back, row-0 entries in period order), then
+        // compacted periods, then the hot refs.
         series_from_epochs(
             |f| {
+                for pr in cold {
+                    for (row, _, brs) in &pr.report.light {
+                        if *row == 0 {
+                            for r in brs {
+                                f(Epoch::Raw(r));
+                            }
+                        }
+                    }
+                }
                 for (_, pr) in store.range(..hot_floor) {
                     for (row, _, brs) in &pr.report.light {
                         if *row == 0 {
@@ -952,6 +1193,40 @@ impl Analyzer {
         }
         (windows, curves)
     }
+}
+
+/// Drops all but the `keep` largest-magnitude detail coefficients from every
+/// bucket epoch of `report` (the lossy compaction floor,
+/// [`RetentionPolicy::lossy_floor`]). Survivors keep their original order;
+/// ties break toward the earlier record, so the trim is deterministic.
+/// Returns how many details were dropped. Haar approx coefficients are
+/// untouched, so block sums — and the curve's total — survive the trim;
+/// what degrades is sub-block detail.
+fn trim_details(report: &mut SketchReport, keep: usize) -> u64 {
+    fn trim_bucket(br: &mut BucketReport, keep: usize) -> u64 {
+        let n = br.details.len();
+        if n <= keep {
+            return 0;
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| (std::cmp::Reverse(br.details[i].val.unsigned_abs()), i));
+        idx.truncate(keep);
+        idx.sort_unstable();
+        br.details = idx.iter().map(|&i| br.details[i]).collect();
+        (n - keep) as u64
+    }
+    let mut dropped = 0u64;
+    for (_, brs) in report.heavy.iter_mut() {
+        for br in brs {
+            dropped += trim_bucket(br, keep);
+        }
+    }
+    for (_, _, brs) in report.light.iter_mut() {
+        for br in brs {
+            dropped += trim_bucket(br, keep);
+        }
+    }
+    dropped
 }
 
 #[cfg(test)]
@@ -1890,6 +2165,240 @@ mod tests {
                     steady.flow_curve(host, flow),
                     "host {host} flow {flow}"
                 );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Tentpole: with an archive the eviction horizon stops being a data
+    /// horizon. Every curve over evicted periods is read back from disk and
+    /// is bit-identical to an analyzer that never evicted anything.
+    #[test]
+    fn evicted_periods_stay_queryable_bit_identical_to_unbounded() {
+        let (cfg, reports) = contested_reports(2, 250);
+        let dir = std::env::temp_dir().join(format!("umon_cold_query_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut unbounded = Analyzer::new(cfg.sketch.clone());
+        unbounded.add_reports(reports.clone());
+
+        let mut archived =
+            Analyzer::with_archive(cfg.sketch.clone(), RetentionPolicy::bounded(1, 3), &dir)
+                .expect("open archive");
+        archived.add_reports(reports.clone());
+        assert!(archived.retention_stats().evicted_periods > 0);
+
+        for host in 0..2 {
+            for flow in 0..24u64 {
+                assert_eq!(
+                    archived.flow_curve(host, flow),
+                    unbounded.flow_curve(host, flow),
+                    "host {host} flow {flow}"
+                );
+            }
+            assert_eq!(
+                archived.host_rate_curve(host),
+                unbounded.host_rate_curve(host)
+            );
+            // Coverage: evicted periods are not resident but stay queryable.
+            let cov = archived.host_coverage(host);
+            assert!(!cov.archived.is_empty(), "host {host} has cold periods");
+            for &p in &cov.archived {
+                assert!(!cov.covers(p));
+                assert!(cov.queryable(p));
+            }
+        }
+        let s = archived.retention_stats();
+        assert!(s.cold_misses > 0, "cold reads actually hit the disk");
+        assert_eq!(s.cold_read_errors, 0);
+        assert!(s.cold_bytes_read > 0);
+
+        // A second sweep is served from the warm segment cache.
+        for host in 0..2 {
+            archived.host_rate_curve(host);
+        }
+        assert!(archived.retention_stats().cold_hits > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A cache too small for even one record still answers correctly — it
+    /// just pays a disk read per cold period, visibly, every time.
+    #[test]
+    fn one_byte_cold_cache_thrashes_but_stays_correct() {
+        let (cfg, reports) = contested_reports(1, 250);
+        let dir = std::env::temp_dir().join(format!("umon_cold_thrash_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut unbounded = Analyzer::new(cfg.sketch.clone());
+        unbounded.add_reports(reports.clone());
+        let policy = RetentionPolicy::bounded(1, 2).with_cold_cache_bytes(1);
+        let mut thrashing =
+            Analyzer::with_archive(cfg.sketch.clone(), policy, &dir).expect("open archive");
+        thrashing.add_reports(reports.clone());
+        assert!(thrashing.retention_stats().evicted_periods > 0);
+
+        for _ in 0..3 {
+            for flow in 0..24u64 {
+                assert_eq!(thrashing.flow_curve(0, flow), unbounded.flow_curve(0, flow));
+            }
+        }
+        let s = thrashing.retention_stats();
+        assert_eq!(s.cold_hits, 0, "nothing fits, nothing can hit");
+        assert!(s.cold_misses > 0);
+        assert_eq!(s.cold_read_errors, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite 1: a report arriving below the eviction floor used to be
+    /// dropped as stale even when it was the *first* delivery — losing data
+    /// forever. With an archive, the cold index tells first deliveries
+    /// (archived, queryable) from redeliveries (dropped).
+    #[test]
+    fn stale_first_delivery_is_archived_not_lost() {
+        let mut cfg = agent_config();
+        cfg.period_ns = 16 << 13;
+        let dir = std::env::temp_dir().join(format!("umon_stale_arch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut agent = HostAgent::new(0, cfg.clone());
+        for w in 0..(16 * 12u64) {
+            agent.observe(3, w << 13, 100);
+        }
+        let reports = agent.finish();
+
+        let policy = RetentionPolicy::bounded(2, 6);
+        let mut analyzer =
+            Analyzer::with_archive(cfg.sketch.clone(), policy, &dir).expect("open archive");
+        // Newest first: the floors jump, everything older is now "stale".
+        let newest = reports.last().unwrap().clone();
+        analyzer.add_reports(vec![newest.clone()]);
+        let stale = reports
+            .iter()
+            .find(|r| r.period + 6 <= newest.period)
+            .unwrap()
+            .clone();
+
+        // First delivery below the floor: archived and accepted.
+        let s = analyzer.add_reports(vec![stale.clone()]);
+        assert_eq!(s.accepted, 1, "first delivery is not lost");
+        assert_eq!(analyzer.retention_stats().stale_archived, 1);
+        assert_eq!(analyzer.retention_stats().stale_dropped, 0);
+        let cov = analyzer.host_coverage(0);
+        assert!(!cov.covers(stale.period), "not resident");
+        assert!(cov.queryable(stale.period), "but queryable from cold");
+        let curve = analyzer.flow_curve(0, 3).expect("flow present");
+        assert!(curve.at(stale.period * 16) > 0.0, "cold epoch contributes");
+
+        // Redelivery of the same period: now it really is a duplicate.
+        let s = analyzer.add_reports(vec![stale]);
+        assert_eq!(s.accepted, 0);
+        assert_eq!(s.duplicates, 1);
+        assert_eq!(analyzer.retention_stats().stale_dropped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Recovery from a torn archive names the lost records, and
+    /// `backfill_requests` asks exactly the affected hosts for exactly the
+    /// missing span.
+    #[test]
+    fn torn_tail_is_reported_and_backfill_targets_it() {
+        let (cfg, reports) = contested_reports(2, 250);
+        let dir = std::env::temp_dir().join(format!("umon_torn_backfill_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = RetentionPolicy::bounded(1, 3);
+        {
+            let mut doomed =
+                Analyzer::with_archive(cfg.sketch.clone(), policy, &dir).expect("open archive");
+            doomed.add_reports(reports.clone());
+        }
+        // Chop host 0's segment mid-record: the newest record is torn.
+        let seg = dir.join("host_0.seg");
+        let len = std::fs::metadata(&seg).expect("segment exists").len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .expect("open segment")
+            .set_len(len - 5)
+            .expect("truncate");
+
+        let mut revived = Analyzer::with_archive(cfg.sketch.clone(), policy, &dir).expect("reopen");
+        let rec = revived.recover_from_archive().expect("scan");
+        assert_eq!(rec.damaged_tails, vec![0]);
+        assert_eq!(rec.torn_tails.len(), 1);
+        assert_eq!(rec.torn_tails[0].host, 0);
+        assert_eq!(rec.torn_tails[0].lost_records, 1);
+        assert_eq!(revived.retention_stats().torn_tail_records, 1);
+
+        let asks = revived.backfill_requests(&rec);
+        assert_eq!(asks.len(), 1, "only the torn host is asked");
+        assert_eq!(asks[0].host, 0);
+        // The ask starts after the newest period the analyzer still holds.
+        let newest_held = revived
+            .host_coverage(0)
+            .periods
+            .iter()
+            .chain(revived.host_coverage(0).archived.iter())
+            .copied()
+            .max();
+        assert_eq!(asks[0].after_period, newest_held);
+
+        // Re-uploading the lost span through normal ingest heals the gap:
+        // the analyzer reconverges to the never-crashed twin bit-identically.
+        let after = asks[0].after_period;
+        let missing: Vec<PeriodReport> = reports
+            .iter()
+            .filter(|r| r.host == 0 && after.is_none_or(|p| r.period > p))
+            .cloned()
+            .collect();
+        assert!(!missing.is_empty(), "the tear lost something");
+        revived.add_reports(missing);
+        let mut unbounded = Analyzer::new(cfg.sketch.clone());
+        unbounded.add_reports(reports.clone());
+        for flow in 0..24u64 {
+            assert_eq!(revived.flow_curve(0, flow), unbounded.flow_curve(0, flow));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The optional lossy floor trims detail coefficients from compacted
+    /// resident copies (shrinking memory) while the archive keeps full
+    /// fidelity — so cold reads of evicted periods stay exact.
+    #[test]
+    fn lossy_floor_trims_resident_but_cold_reads_stay_exact() {
+        let (cfg, reports) = contested_reports(1, 250);
+        let dir = std::env::temp_dir().join(format!("umon_lossy_floor_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut unbounded = Analyzer::new(cfg.sketch.clone());
+        unbounded.add_reports(reports.clone());
+
+        let exact_policy = RetentionPolicy::bounded(1, 3);
+        let lossy_policy = RetentionPolicy::bounded(1, 3).with_lossy_floor(1);
+        let exact_dir = dir.join("exact");
+        let lossy_dir = dir.join("lossy");
+        let mut exact =
+            Analyzer::with_archive(cfg.sketch.clone(), exact_policy, &exact_dir).expect("open");
+        exact.add_reports(reports.clone());
+        let mut lossy =
+            Analyzer::with_archive(cfg.sketch.clone(), lossy_policy, &lossy_dir).expect("open");
+        lossy.add_reports(reports.clone());
+
+        let stats = lossy.retention_stats();
+        assert!(stats.lossy_trimmed_details > 0, "the floor actually trims");
+        assert!(
+            lossy.residency().resident_report_bytes < exact.residency().resident_report_bytes,
+            "trimming shrinks the resident footprint"
+        );
+        // Evicted periods are served from the (full-fidelity) archive, so
+        // curves restricted to the cold span match the unbounded analyzer
+        // exactly: totals over every cold period's windows are identical.
+        let floor = lossy.host_coverage(0);
+        assert!(!floor.archived.is_empty());
+        let lossy_curve = lossy.flow_curve(0, 0).expect("flow present");
+        let full_curve = unbounded.flow_curve(0, 0).expect("flow present");
+        let windows_per_period = 48u64;
+        for &p in &floor.archived {
+            for w in p * windows_per_period..(p + 1) * windows_per_period {
+                assert_eq!(lossy_curve.at(w), full_curve.at(w), "period {p} window {w}");
             }
         }
         let _ = std::fs::remove_dir_all(&dir);

@@ -23,12 +23,23 @@
 //! Crash-recovery invariant: a crash mid-append can only damage the *tail*
 //! of one segment. [`PeriodArchive::scan`] reads each segment until the
 //! first truncated or checksum-failing record, keeps everything before it,
-//! and reports the damaged tail; it never panics on arbitrary bytes.
+//! and reports the damaged tail as a [`TornTail`] (with a best-effort count
+//! of the records lost); it never panics on arbitrary bytes. Recovery
+//! truncates torn tails ([`PeriodArchive::truncate_damage`]) so subsequent
+//! appends — including backfilled re-uploads of the lost records — land on
+//! a clean segment instead of behind unreachable garbage.
+//!
+//! Since PR 8 the archive is also the analyzer's *cold tier*: [`append`]
+//! returns the record's [`SegLoc`] and [`read_record_at`] reads one record
+//! back by location, so evicted periods stay queryable from disk.
+//!
+//! [`append`]: PeriodArchive::append
+//! [`read_record_at`]: PeriodArchive::read_record_at
 
 use crate::host_agent::PeriodReport;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use wavesketch::SketchReport;
 
@@ -77,14 +88,55 @@ fn decode_payload(payload: &[u8]) -> Option<PeriodReport> {
     })
 }
 
+/// The byte location of one record inside its host's segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegLoc {
+    /// Byte offset of the record header (length prefix) from file start.
+    pub offset: u64,
+    /// Total record span in bytes: 12-byte header plus payload.
+    pub len: u32,
+}
+
+/// One segment's damaged tail: what a crash (or bit rot) cost us, reported
+/// so recovery can distinguish "clean shutdown" from "lost data, backfill
+/// needed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// The host whose segment is damaged.
+    pub host: usize,
+    /// Best-effort count of records in the damaged region (record framing
+    /// is walked by length prefix even where checksums fail; a trailing
+    /// partial record counts as one).
+    pub lost_records: u64,
+    /// Bytes in the damaged region.
+    pub lost_bytes: u64,
+    /// File length of the intact prefix (including magic) — the truncation
+    /// point that makes the segment clean again.
+    pub intact_bytes: u64,
+}
+
 /// What a [`PeriodArchive::scan`] found on disk.
 #[derive(Debug, Default)]
 pub struct ArchiveScan {
     /// Every intact archived report, ordered `(host, period)` ascending.
     pub reports: Vec<PeriodReport>,
+    /// Byte location of each record in its host segment, parallel to
+    /// `reports`.
+    pub locs: Vec<SegLoc>,
     /// Hosts whose segment ended in a damaged or truncated record (the
     /// intact prefix is still in `reports`).
     pub damaged_tails: Vec<usize>,
+    /// Per-segment damage detail, parallel in host order to
+    /// `damaged_tails`.
+    pub torn_tails: Vec<TornTail>,
+}
+
+/// One host's open append handle plus its current file length (the offset
+/// the next record will land at).
+#[derive(Debug)]
+struct Segment {
+    file: File,
+    len: u64,
 }
 
 /// An open period archive rooted at one directory.
@@ -92,7 +144,7 @@ pub struct ArchiveScan {
 pub struct PeriodArchive {
     dir: PathBuf,
     /// Open append handles, one per host heard.
-    files: HashMap<usize, File>,
+    files: HashMap<usize, Segment>,
 }
 
 impl PeriodArchive {
@@ -118,17 +170,20 @@ impl PeriodArchive {
     /// Appends one accepted report to its host's segment, creating the
     /// segment (with magic) on first use. The record is flushed to the OS
     /// before this returns, so a later process crash cannot lose it.
-    pub fn append(&mut self, report: &PeriodReport) -> std::io::Result<()> {
+    /// Returns the record's location for the cold-tier index.
+    pub fn append(&mut self, report: &PeriodReport) -> std::io::Result<SegLoc> {
         let host = report.host;
         if !self.files.contains_key(&host) {
             let path = Self::segment_path(&self.dir, host);
             let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
-            if file.metadata()?.len() == 0 {
+            let mut len = file.metadata()?.len();
+            if len == 0 {
                 file.write_all(MAGIC)?;
+                len = MAGIC.len() as u64;
             }
-            self.files.insert(host, file);
+            self.files.insert(host, Segment { file, len });
         }
-        let file = self.files.get_mut(&host).expect("just inserted");
+        let seg = self.files.get_mut(&host).expect("just inserted");
         let payload = encode_payload(report);
         // One buffered write per record keeps a crash from interleaving
         // half-records from different appends.
@@ -136,8 +191,60 @@ impl PeriodArchive {
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         record.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
         record.extend_from_slice(&payload);
-        file.write_all(&record)?;
-        file.flush()
+        seg.file.write_all(&record)?;
+        seg.file.flush()?;
+        let loc = SegLoc {
+            offset: seg.len,
+            len: record.len() as u32,
+        };
+        seg.len += record.len() as u64;
+        Ok(loc)
+    }
+
+    /// Reads one record back by location from `dir` (no open archive
+    /// needed — the cold read path runs behind `&Analyzer`). Returns
+    /// `Ok(None)` if the record no longer verifies (truncated, checksum or
+    /// decode failure) — possible only if the segment was damaged after the
+    /// location was indexed.
+    pub fn read_record_at(
+        dir: impl AsRef<Path>,
+        host: usize,
+        loc: SegLoc,
+    ) -> std::io::Result<Option<PeriodReport>> {
+        let path = Self::segment_path(dir.as_ref(), host);
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(loc.offset))?;
+        let mut record = vec![0u8; loc.len as usize];
+        if file.read_exact(&mut record).is_err() {
+            return Ok(None);
+        }
+        if record.len() < 12 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(record[0..4].try_into().expect("4 bytes"));
+        if len as usize != record.len() - 12 {
+            return Ok(None);
+        }
+        let want = u64::from_le_bytes(record[4..12].try_into().expect("8 bytes"));
+        let payload = &record[12..];
+        if fnv1a64(payload) != want {
+            return Ok(None);
+        }
+        Ok(decode_payload(payload))
+    }
+
+    /// Truncates every torn segment in `scan` back to its intact prefix, so
+    /// later appends (and the backfilled re-uploads of the lost records)
+    /// extend a clean segment instead of hiding behind unreachable bytes.
+    pub fn truncate_damage(&mut self, scan: &ArchiveScan) -> std::io::Result<()> {
+        for tail in &scan.torn_tails {
+            // Drop any open handle first: its tracked length is stale.
+            self.files.remove(&tail.host);
+            let path = Self::segment_path(&self.dir, tail.host);
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(tail.intact_bytes)?;
+        }
+        Ok(())
     }
 
     /// Reads every segment under `dir`, keeping each segment's intact record
@@ -164,45 +271,96 @@ impl PeriodArchive {
             };
             let mut bytes = Vec::new();
             File::open(&path)?.read_to_end(&mut bytes)?;
-            if !Self::scan_segment(&bytes, &mut out.reports) {
+            if let Some(tail) = Self::scan_segment(host, &bytes, &mut out.reports, &mut out.locs) {
                 out.damaged_tails.push(host);
+                out.torn_tails.push(tail);
             }
         }
-        out.reports.sort_by_key(|r| (r.host, r.period));
+        let locs = std::mem::take(&mut out.locs);
+        let mut zipped: Vec<(PeriodReport, SegLoc)> = out.reports.drain(..).zip(locs).collect();
+        zipped.sort_by_key(|(r, _)| (r.host, r.period));
+        for (r, l) in zipped {
+            out.reports.push(r);
+            out.locs.push(l);
+        }
         out.damaged_tails.sort_unstable();
+        out.torn_tails.sort_unstable_by_key(|t| t.host);
         Ok(out)
     }
 
-    /// Appends one segment's intact records to `reports`; `false` if the
-    /// segment ended in damage (bad magic, truncated record, checksum or
-    /// decode failure).
-    fn scan_segment(bytes: &[u8], reports: &mut Vec<PeriodReport>) -> bool {
+    /// Appends one segment's intact records (and their locations) to
+    /// `reports`/`locs`; `Some(TornTail)` if the segment ended in damage
+    /// (bad magic, truncated record, checksum or decode failure). The
+    /// damaged region is walked by length prefix — record framing survives
+    /// payload corruption — to count how many records it held.
+    fn scan_segment(
+        host: usize,
+        bytes: &[u8],
+        reports: &mut Vec<PeriodReport>,
+        locs: &mut Vec<SegLoc>,
+    ) -> Option<TornTail> {
         let Some(body) = bytes.strip_prefix(MAGIC.as_slice()) else {
-            return false;
+            return Some(TornTail {
+                host,
+                lost_records: u64::from(!bytes.is_empty()),
+                lost_bytes: bytes.len() as u64,
+                intact_bytes: 0,
+            });
         };
+        let magic = MAGIC.len();
         let mut pos = 0usize;
         while pos < body.len() {
-            let Some(header) = body.get(pos..pos + 12) else {
-                return false;
+            let Some((len, want)) = Self::read_header(body, pos) else {
+                break;
             };
-            let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-            if len > MAX_RECORD_LEN {
-                return false;
-            }
-            let want = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
-            let Some(payload) = body.get(pos + 12..pos + 12 + len as usize) else {
-                return false;
+            let Some(payload) = body.get(pos + 12..pos + 12 + len) else {
+                break;
             };
             if fnv1a64(payload) != want {
-                return false;
+                break;
             }
             let Some(report) = decode_payload(payload) else {
-                return false;
+                break;
             };
             reports.push(report);
-            pos += 12 + len as usize;
+            locs.push(SegLoc {
+                offset: (magic + pos) as u64,
+                len: (12 + len) as u32,
+            });
+            pos += 12 + len;
         }
-        true
+        if pos >= body.len() {
+            return None;
+        }
+        // Damaged region: count records by walking length prefixes without
+        // trusting checksums; a partial trailing record counts as one.
+        let intact = pos;
+        let mut lost = 0u64;
+        while pos < body.len() {
+            lost += 1;
+            match Self::read_header(body, pos) {
+                Some((len, _)) if pos + 12 + len <= body.len() => pos += 12 + len,
+                _ => break,
+            }
+        }
+        Some(TornTail {
+            host,
+            lost_records: lost,
+            lost_bytes: (body.len() - intact) as u64,
+            intact_bytes: (magic + intact) as u64,
+        })
+    }
+
+    /// Reads the `[len][checksum]` record header at `pos`, rejecting
+    /// truncated headers and implausible lengths.
+    fn read_header(body: &[u8], pos: usize) -> Option<(usize, u64)> {
+        let header = body.get(pos..pos + 12)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            return None;
+        }
+        let want = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        Some((len as usize, want))
     }
 }
 
@@ -333,6 +491,98 @@ mod tests {
         let scan = PeriodArchive::scan(tmp_dir("never_created")).unwrap();
         assert!(scan.reports.is_empty());
         assert!(scan.damaged_tails.is_empty());
+    }
+
+    #[test]
+    fn read_back_by_location_roundtrips() {
+        let dir = tmp_dir("readback");
+        let mut archive = PeriodArchive::open(&dir).unwrap();
+        let reports = sample_reports(2);
+        let mut locs = Vec::new();
+        for r in &reports {
+            locs.push(archive.append(r).unwrap());
+        }
+        drop(archive);
+
+        for (r, loc) in reports.iter().zip(&locs) {
+            let got = PeriodArchive::read_record_at(&dir, 2, *loc)
+                .unwrap()
+                .expect("record verifies");
+            assert_eq!(got.period, r.period);
+            assert_eq!(got.report, r.report);
+        }
+        // The scan reports the same locations append returned.
+        let scan = PeriodArchive::scan(&dir).unwrap();
+        assert_eq!(scan.locs, locs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_counted_and_truncation_makes_the_segment_clean_again() {
+        let dir = tmp_dir("torn_truncate");
+        let mut archive = PeriodArchive::open(&dir).unwrap();
+        let reports = sample_reports(0);
+        assert!(reports.len() >= 2);
+        for r in &reports {
+            archive.append(r).unwrap();
+        }
+        drop(archive);
+
+        let path = dir.join("host_0.seg");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let scan = PeriodArchive::scan(&dir).unwrap();
+        assert_eq!(scan.damaged_tails, vec![0]);
+        let tail = scan.torn_tails[0];
+        assert_eq!(tail.lost_records, 1);
+        assert!(tail.lost_bytes > 0);
+        assert_eq!(scan.reports.len(), reports.len() - 1);
+
+        // Truncate the damage; a re-appended record must be scannable
+        // (not hidden behind unreachable garbage).
+        let mut archive = PeriodArchive::open(&dir).unwrap();
+        archive.truncate_damage(&scan).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            tail.intact_bytes,
+            "segment truncated to its intact prefix"
+        );
+        archive.append(reports.last().unwrap()).unwrap();
+        drop(archive);
+
+        let rescan = PeriodArchive::scan(&dir).unwrap();
+        assert!(rescan.damaged_tails.is_empty());
+        assert_eq!(rescan.reports.len(), reports.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_damage_walk_counts_every_record_behind_the_tear() {
+        let dir = tmp_dir("walk_count");
+        let mut archive = PeriodArchive::open(&dir).unwrap();
+        let reports = sample_reports(0);
+        assert!(reports.len() >= 3);
+        let mut locs = Vec::new();
+        for r in &reports {
+            locs.push(archive.append(r).unwrap());
+        }
+        drop(archive);
+
+        // Flip a byte inside the SECOND record's payload: everything from
+        // that record on is quarantined, but framing still counts them.
+        let path = dir.join("host_0.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let hit = locs[1].offset as usize + 12 + 3;
+        bytes[hit] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = PeriodArchive::scan(&dir).unwrap();
+        assert_eq!(scan.reports.len(), 1);
+        let tail = scan.torn_tails[0];
+        assert_eq!(tail.lost_records, (reports.len() - 1) as u64);
+        assert_eq!(tail.intact_bytes, locs[1].offset);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

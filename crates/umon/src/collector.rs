@@ -50,6 +50,13 @@ pub struct Envelope {
     /// [`SketchReport::integrity`](wavesketch::SketchReport::integrity) of
     /// the payload at seal time.
     pub checksum: u64,
+    /// `Some(n)`: this envelope is an end-of-stream sentinel declaring that
+    /// the sender has assigned sequence numbers `0..n`. Without it a
+    /// *trailing* drop is invisible — a gap only shows once something newer
+    /// arrives — so the uplink sends one each tick and the collector folds
+    /// the declaration into its gap detection. Sentinels carry an empty
+    /// report, are never ACKed, and never reach the analyzer.
+    pub fin: Option<u64>,
     /// The report being carried.
     pub report: PeriodReport,
 }
@@ -61,8 +68,25 @@ impl Envelope {
             seq,
             declared_epochs: report.report.epoch_count(),
             checksum: report.report.integrity(),
+            fin: None,
             report,
         }
+    }
+
+    /// An end-of-stream sentinel for `host`, declaring `submitted` assigned
+    /// sequence numbers. Sealed over an empty payload so in-flight damage
+    /// is still detectable (a damaged sentinel is dropped silently — the
+    /// next tick sends a fresh one).
+    pub fn fin(host: usize, submitted: u64) -> Self {
+        let report = PeriodReport {
+            period: 0,
+            host,
+            config_fingerprint: 0,
+            report: wavesketch::SketchReport::default(),
+        };
+        let mut env = Self::seal(submitted, report);
+        env.fin = Some(submitted);
+        env
     }
 
     /// True if the payload still matches what the sender sealed.
@@ -280,24 +304,39 @@ impl Transport for FaultyTransport {
     fn send(&mut self, mut env: Envelope) {
         let host = env.host();
         let spec = self.spec_for(host);
+        // Fin sentinels ride the same faulty link (and consume a roll like
+        // any datagram) but stay out of the fault log: the log is ground
+        // truth for *report* envelopes, and the log-vs-collector counter
+        // contracts compare it against report counters only.
+        let is_fin = env.fin.is_some();
         let log = self.logs.entry(host).or_default();
-        log.sent += 1;
+        if !is_fin {
+            log.sent += 1;
+        }
         // One roll decides the envelope's fate; the fault classes are
         // mutually exclusive so log counters match collector counters
         // exactly.
         let r = self.rng.next_f64();
         if r < spec.drop {
-            log.dropped += 1;
-            log.dropped_seqs.push(env.seq);
+            if !is_fin {
+                log.dropped += 1;
+                log.dropped_seqs.push(env.seq);
+            }
         } else if r < spec.drop + spec.duplicate {
-            log.duplicated += 1;
+            if !is_fin {
+                log.duplicated += 1;
+            }
             self.queue.push_back(env.clone());
             self.queue.push_back(env);
         } else if r < spec.drop + spec.duplicate + spec.reorder {
-            log.reordered += 1;
+            if !is_fin {
+                log.reordered += 1;
+            }
             self.held.push(env);
         } else if r < spec.drop + spec.duplicate + spec.reorder + spec.truncate {
-            log.truncated += 1;
+            if !is_fin {
+                log.truncated += 1;
+            }
             Self::truncate_payload(&mut env);
             self.queue.push_back(env);
         } else {
@@ -339,6 +378,11 @@ pub struct RetransmitPolicy {
     /// Backoff stops doubling after this many attempts (caps the wait at
     /// `base_backoff << max_backoff_shift`).
     pub max_backoff_shift: u32,
+    /// Reports kept (post-ACK) in the replay buffer for
+    /// [`HostUplink::backfill`] re-uploads — the host-side bound on how far
+    /// back an analyzer can ask for history after losing its archive tail.
+    /// `0` disables replay.
+    pub replay_capacity: usize,
 }
 
 impl Default for RetransmitPolicy {
@@ -347,6 +391,7 @@ impl Default for RetransmitPolicy {
             capacity: 64,
             base_backoff: 1,
             max_backoff_shift: 6,
+            replay_capacity: 64,
         }
     }
 }
@@ -366,6 +411,10 @@ pub struct HostUplink {
     policy: RetransmitPolicy,
     next_seq: u64,
     pending: VecDeque<Pending>,
+    /// Recently submitted reports, newest last, kept *past* their ACK so a
+    /// restarted analyzer can ask for them again ([`Self::backfill`]).
+    /// Bounded by `policy.replay_capacity`.
+    replay: VecDeque<PeriodReport>,
     /// Reports evicted unacknowledged because the buffer was full.
     pub evicted: u64,
     /// Sends beyond each envelope's first (retransmissions).
@@ -383,36 +432,71 @@ impl HostUplink {
             policy,
             next_seq: 0,
             pending: VecDeque::new(),
+            replay: VecDeque::new(),
             evicted: 0,
             retransmissions: 0,
             acked: 0,
         }
     }
 
+    /// Seals one report under a fresh sequence number and queues it,
+    /// evicting the oldest unacknowledged envelope when the buffer is full.
+    fn enqueue(&mut self, r: PeriodReport) {
+        let env = Envelope::seal(self.next_seq, r);
+        self.next_seq += 1;
+        if self.pending.len() == self.policy.capacity {
+            self.pending.pop_front();
+            self.evicted += 1;
+        }
+        self.pending.push_back(Pending {
+            env,
+            attempts: 0,
+            due: 0,
+        });
+    }
+
     /// Seals `reports` (typically a
     /// [`poll_finished`](crate::HostAgent::poll_finished) batch) into
     /// sequence-numbered envelopes and queues them for sending. Evicts the
-    /// oldest unacknowledged envelope when the buffer is full.
+    /// oldest unacknowledged envelope when the buffer is full. A copy of
+    /// each report also lands in the bounded replay buffer for backfill.
     pub fn submit(&mut self, reports: Vec<PeriodReport>) {
         for r in reports {
             debug_assert_eq!(r.host, self.host, "uplink sends for one host");
-            let env = Envelope::seal(self.next_seq, r);
-            self.next_seq += 1;
-            if self.pending.len() == self.policy.capacity {
-                self.pending.pop_front();
-                self.evicted += 1;
+            if self.policy.replay_capacity > 0 {
+                if self.replay.len() == self.policy.replay_capacity {
+                    self.replay.pop_front();
+                }
+                self.replay.push_back(r.clone());
             }
-            self.pending.push_back(Pending {
-                env,
-                attempts: 0,
-                due: 0,
-            });
+            self.enqueue(r);
         }
+    }
+
+    /// Answers a [`BackfillRequest`]: re-submits every replay-buffered
+    /// report with period strictly after `after_period` (`None` = all of
+    /// them) under fresh sequence numbers. The re-uploads flow through the
+    /// normal transport → collector path, where `(host, period)` dedup
+    /// absorbs any the analyzer turns out to still have. Returns how many
+    /// reports were queued.
+    pub fn backfill(&mut self, after_period: Option<u64>) -> usize {
+        let again: Vec<PeriodReport> = self
+            .replay
+            .iter()
+            .filter(|r| after_period.is_none_or(|p| r.period > p))
+            .cloned()
+            .collect();
+        let n = again.len();
+        for r in again {
+            self.enqueue(r);
+        }
+        n
     }
 
     /// One scheduler step at time `now` (any monotonic tick counter):
     /// releases ACKed envelopes, then (re)sends every pending envelope whose
-    /// backoff has expired.
+    /// backoff has expired, then declares the assigned-sequence high-water
+    /// mark with a fin sentinel so the collector can see trailing losses.
     pub fn tick(&mut self, now: u64, transport: &mut dyn Transport) {
         let acked: BTreeSet<u64> = transport.deliver_acks(self.host).into_iter().collect();
         if !acked.is_empty() {
@@ -430,6 +514,11 @@ impl HostUplink {
                 p.due = now + (self.policy.base_backoff << shift);
                 p.attempts += 1;
             }
+        }
+        // Sent every tick rather than ACKed/retransmitted: losing one only
+        // delays detection until the next tick's sentinel.
+        if self.next_seq > 0 {
+            transport.send(Envelope::fin(self.host, self.next_seq));
         }
     }
 
@@ -459,6 +548,21 @@ pub struct CollectorStats {
     /// fingerprint mismatch (ACKed — retransmitting cannot fix a config
     /// mismatch).
     pub mismatched: u64,
+}
+
+/// A collector→host control message asking one host to re-upload recent
+/// history the analyzer no longer has — produced by
+/// [`Analyzer::backfill_requests`](crate::Analyzer::backfill_requests)
+/// after a recovery that found a torn archive tail or known collection
+/// losses, answered by [`HostUplink::backfill`]. Re-uploads travel the
+/// normal collection path, so dedup and integrity checks apply unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackfillRequest {
+    /// The host asked to re-upload.
+    pub host: usize,
+    /// Re-upload periods strictly after this one; `None` means everything
+    /// the host's replay buffer still holds.
+    pub after_period: Option<u64>,
 }
 
 /// The analyzer-side end of the collection plane.
@@ -496,6 +600,10 @@ struct HostSeqState {
     /// Sequence numbers received only in damaged form so far. Cleared if an
     /// intact copy arrives; size-capped at [`DAMAGED_CAP`].
     damaged: BTreeSet<u64>,
+    /// Highest assigned-sequence count declared by a fin sentinel: the host
+    /// has sealed seqs `0..declared`, so any of those not heard are losses
+    /// even with nothing newer on the wire.
+    declared: u64,
 }
 
 impl Default for HostSeqState {
@@ -503,13 +611,14 @@ impl Default for HostSeqState {
         Self {
             seen: SeqWindow::new(SEEN_HORIZON),
             damaged: BTreeSet::new(),
+            declared: 0,
         }
     }
 }
 
 impl HostSeqState {
     fn heard(&self) -> bool {
-        self.seen.max_seen().is_some() || !self.damaged.is_empty()
+        self.seen.max_seen().is_some() || !self.damaged.is_empty() || self.declared > 0
     }
 
     /// Highest sequence heard in any form, or `None`.
@@ -541,6 +650,15 @@ impl Collector {
             let host = env.host();
             let seq = env.seq;
             let state = self.hosts.entry(host).or_default();
+            if let Some(declared) = env.fin {
+                // End-of-stream declaration: fold the high-water mark into
+                // gap tracking. No ACK, no counters — a damaged sentinel is
+                // dropped silently (the next tick sends a fresh one).
+                if env.verify() {
+                    state.declared = state.declared.max(declared);
+                }
+                continue;
+            }
             if state.seen.contains(seq) {
                 // Already have this one intact (or conceded past the dedup
                 // horizon); re-ACK in case the first ACK was lost.
@@ -604,9 +722,13 @@ impl Collector {
         hosts
     }
 
-    /// Sequence numbers below `host`'s highest heard sequence that have not
-    /// been received intact — the gaps. Includes damaged-only sequences
+    /// Sequence numbers below `host`'s highest heard sequence — or its
+    /// fin-declared high-water mark, whichever is greater — that have not
+    /// been received intact: the gaps. Includes damaged-only sequences
     /// (their data is still missing) and shrinks as retransmissions land.
+    /// The fin extension is what makes *trailing* drops visible: a sequence
+    /// with nothing heard after it is still a gap once the host declares it
+    /// was assigned.
     ///
     /// Sequences conceded past the dedup horizon are no longer enumerated
     /// here (they have left the window), but they stay counted in the
@@ -615,19 +737,22 @@ impl Collector {
         let Some(state) = self.hosts.get(&host) else {
             return Vec::new();
         };
-        let Some(max) = state.max_heard() else {
+        // One past the highest sequence we must account for: everything
+        // heard in any form, plus everything the host declared assigned.
+        let end = state.max_heard().map_or(0, |m| m + 1).max(state.declared);
+        if end == 0 {
             return Vec::new();
-        };
+        }
         let mut out = Vec::new();
         // Holes inside the seen window...
         state.seen.for_each_hole(|h| out.push(h));
-        // ...plus everything between the window's top and a damaged-only
-        // maximum beyond it (heard about, never received intact).
+        // ...plus everything between the window's top and the accountable
+        // end (heard about or declared, never received intact).
         let from = match state.seen.max_seen() {
             Some(m) => m + 1,
             None => state.seen.floor(),
         };
-        out.extend(from..=max);
+        out.extend(from..end);
         out
     }
 
@@ -856,23 +981,42 @@ mod tests {
 
         let log = transport.log(0);
         assert!(log.dropped > 0 && log.dropped < log.sent, "seed 11 mixes");
-        // A trailing drop is invisible (nothing after it to reveal the gap);
-        // every dropped seq below the delivered maximum must be flagged.
+        // Without a fin, a trailing drop is invisible: nothing after it
+        // reveals the gap, so only drops below the delivered maximum show.
         let max_seen = (0..log.sent)
             .filter(|s| !log.dropped_seqs.contains(s))
             .max()
             .expect("some envelope survived");
-        let expect: Vec<u64> = log
+        let below_max: Vec<u64> = log
             .dropped_seqs
             .iter()
             .copied()
             .filter(|&s| s < max_seen)
             .collect();
-        assert_eq!(collector.missing_seqs(0), expect);
+        assert_eq!(collector.missing_seqs(0), below_max);
+
+        // The fin sentinel declares how many seqs were assigned; once it
+        // lands, every dropped seq — trailing ones included — is a gap.
+        let sent = transport.log(0).sent;
+        let expect: Vec<u64> = transport.log(0).dropped_seqs.to_vec();
+        loop {
+            // The fin rides the same faulty link; resend until one survives.
+            transport.send(Envelope::fin(0, sent));
+            collector.pump(&mut transport, &mut analyzer);
+            if collector.missing_seqs(0).len() >= expect.len() {
+                break;
+            }
+        }
+        assert_eq!(collector.missing_seqs(0), expect, "trailing drops visible");
         assert_eq!(
             analyzer.host_coverage(0).known_lost,
             expect.len() as u64,
-            "coverage annotation mirrors the gap count"
+            "coverage annotation mirrors the full gap count"
+        );
+        // The sentinel itself never shows up in collector report counters.
+        assert_eq!(
+            collector.stats().accepted + collector.stats().corrupt,
+            log.sent - log.dropped
         );
     }
 
@@ -937,6 +1081,7 @@ mod tests {
             capacity: 4,
             base_backoff: 1,
             max_backoff_shift: 3,
+            ..RetransmitPolicy::default()
         };
         // A transport that drops everything: the envelope is never ACKed.
         let mut transport = FaultyTransport::new(

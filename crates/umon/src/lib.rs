@@ -24,6 +24,7 @@
 
 pub mod analyzer;
 pub mod archive;
+mod cold;
 pub mod collector;
 pub mod events;
 pub mod host_agent;
@@ -39,10 +40,10 @@ pub use analyzer::{
     Analyzer, AnnotatedCurve, DetectedEvent, EventMatchStats, IngestStats, PeriodCoverage,
     RecoveryStats,
 };
-pub use archive::{ArchiveScan, PeriodArchive};
+pub use archive::{ArchiveScan, PeriodArchive, SegLoc, TornTail};
 pub use collector::{
-    Collector, CollectorStats, Envelope, FaultLog, FaultSpec, FaultyTransport, HostUplink,
-    PerfectTransport, RetransmitPolicy, Transport,
+    BackfillRequest, Collector, CollectorStats, Envelope, FaultLog, FaultSpec, FaultyTransport,
+    HostUplink, PerfectTransport, RetransmitPolicy, Transport,
 };
 pub use events::{loss_events, pause_storms, LossEvent, PauseStorm};
 pub use host_agent::{HostAgent, HostAgentConfig, PeriodReport};

@@ -354,6 +354,12 @@ pub struct QueryScratch {
     /// Sparse-reconstruction scratch for epochs whose cached curve was
     /// compacted away; idle (and allocation-free) on the hot path.
     pub(crate) recon: ReconstructScratch,
+    /// Cold-tier reports fetched for the current query (evicted periods
+    /// read back from the archive), period-ascending. Filled once per query
+    /// *before* the two-pass epoch walk so both passes see identical
+    /// epochs; the `Rc`s keep the reports alive for the whole query even if
+    /// the cold cache's byte budget evicts them mid-fetch.
+    pub(crate) cold: Vec<std::rc::Rc<crate::host_agent::PeriodReport>>,
 }
 
 impl QueryScratch {

@@ -26,9 +26,20 @@
 //!
 //! Tier floors only move forward: a host's hot/eviction floors are raised as
 //! newer periods arrive and never lowered, so a late-arriving report lands
-//! directly in the tier its age dictates (or is dropped as stale if it is
-//! older than the eviction floor — the store can no longer tell a stale
-//! first delivery from a redelivery of an evicted period).
+//! directly in the tier its age dictates. Without an archive, an arrival
+//! below the eviction floor is dropped as stale — the store can no longer
+//! tell a stale first delivery from a redelivery of an evicted period. With
+//! an archive the store *can* tell (the cold index records every archived
+//! `(host, period)`), so a first delivery below the floor is archived and
+//! immediately queryable from the cold tier, while a true redelivery is
+//! still dropped.
+//!
+//! Since PR 8, evicted periods with an archive are not gone, merely *cold*:
+//! queries transparently read evicted segments back from disk through a
+//! bounded segment cache ([`RetentionPolicy::cold_cache_bytes`]), so
+//! eviction is a latency budget instead of a data-loss budget. The cold
+//! read path's cost is surfaced in the `cold_*` fields of
+//! [`RetentionStats`].
 
 /// The analyzer's explicit memory budget. The default is fully unbounded —
 /// identical behavior to the pre-retention analyzer.
@@ -44,6 +55,20 @@ pub struct RetentionPolicy {
     /// When exceeded, the globally oldest hot period is compacted early,
     /// even inside the hot horizon.
     pub max_cached_bytes: Option<usize>,
+    /// Byte budget for the cold tier's in-memory segment cache (decoded
+    /// archive records retained across queries). Only consulted when the
+    /// analyzer has an archive. A budget smaller than one record still
+    /// yields correct answers — every cold query simply re-reads from disk.
+    pub cold_cache_bytes: usize,
+    /// Optional first lossy compaction level, off by default. When
+    /// `Some(k)`, a period leaving the hot tier keeps only the `k`
+    /// largest-magnitude detail coefficients per bucket epoch; smaller
+    /// details are dropped from the *resident* copy to shrink the compacted
+    /// tier. The write-ahead archive record keeps full fidelity, so the
+    /// trade is resident-memory-vs-accuracy, never data loss — but resident
+    /// compacted curves are no longer bit-identical to the unbounded
+    /// analyzer, so this must stay `None` under the differential contract.
+    pub lossy_floor: Option<usize>,
 }
 
 impl Default for RetentionPolicy {
@@ -53,11 +78,17 @@ impl Default for RetentionPolicy {
 }
 
 impl RetentionPolicy {
+    /// Default cold segment-cache budget: enough for a handful of decoded
+    /// period records without rivaling the resident tiers.
+    pub const DEFAULT_COLD_CACHE_BYTES: usize = 4 << 20;
+
     /// Keep everything forever (the pre-retention behavior).
     pub const UNBOUNDED: RetentionPolicy = RetentionPolicy {
         hot_periods: u64::MAX,
         resident_periods: u64::MAX,
         max_cached_bytes: None,
+        cold_cache_bytes: Self::DEFAULT_COLD_CACHE_BYTES,
+        lossy_floor: None,
     };
 
     /// A bounded policy: `hot` fully-indexed periods inside `resident`
@@ -72,12 +103,27 @@ impl RetentionPolicy {
             hot_periods: hot,
             resident_periods: resident,
             max_cached_bytes: None,
+            cold_cache_bytes: Self::DEFAULT_COLD_CACHE_BYTES,
+            lossy_floor: None,
         }
     }
 
     /// Adds a cached-bytes budget to this policy.
     pub fn with_cached_bytes(mut self, bytes: usize) -> Self {
         self.max_cached_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the cold segment-cache byte budget.
+    pub fn with_cold_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cold_cache_bytes = bytes;
+        self
+    }
+
+    /// Enables the lossy compaction floor: resident compacted periods keep
+    /// only the `keep` largest-magnitude detail coefficients per epoch.
+    pub fn with_lossy_floor(mut self, keep: usize) -> Self {
+        self.lossy_floor = Some(keep);
         self
     }
 }
@@ -119,13 +165,34 @@ pub struct RetentionStats {
     /// Accepted reports that arrived already past the hot horizon and were
     /// stored without indexing.
     pub compacted_on_arrival: u64,
-    /// Reports dropped because they arrived below the eviction floor
-    /// (indistinguishable from redeliveries of evicted periods; also
-    /// counted as duplicates in [`crate::analyzer::IngestStats`]).
+    /// Reports dropped because they arrived below the eviction floor and
+    /// were either already archived (true redeliveries) or, without an
+    /// archive, indistinguishable from redeliveries; also counted as
+    /// duplicates in [`crate::analyzer::IngestStats`].
     pub stale_dropped: u64,
+    /// First deliveries that arrived below the eviction floor and went
+    /// straight to the archive (cold tier) without becoming resident.
+    pub stale_archived: u64,
     /// Archive append failures (the report stayed resident; the archive
     /// record is missing).
     pub archive_errors: u64,
+    /// Cold-tier reads served from the segment cache.
+    pub cold_hits: u64,
+    /// Cold-tier reads that went to disk.
+    pub cold_misses: u64,
+    /// Bytes read back from archive segments by cold queries.
+    pub cold_bytes_read: u64,
+    /// Wall-clock nanoseconds spent in cold-tier disk reads (the latency
+    /// side of the staleness/latency contract).
+    pub cold_read_ns: u64,
+    /// Cold-tier reads that failed (I/O error or a record that no longer
+    /// verifies); the period is omitted from that query's answer.
+    pub cold_read_errors: u64,
+    /// Archive records lost to torn segment tails, as reported by recovery.
+    pub torn_tail_records: u64,
+    /// Detail coefficients dropped from resident compacted periods by the
+    /// lossy floor ([`RetentionPolicy::lossy_floor`]).
+    pub lossy_trimmed_details: u64,
 }
 
 /// A point-in-time snapshot of what the analyzer holds resident — the
@@ -175,7 +242,7 @@ mod tests {
         let p = RetentionPolicy {
             hot_periods: 10,
             resident_periods: 10,
-            max_cached_bytes: None,
+            ..RetentionPolicy::UNBOUNDED
         };
         let mut floors = TierFloors::default();
         floors.raise(20, &p);

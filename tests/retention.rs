@@ -7,15 +7,18 @@
 //! tier-1 suite so `cargo test` alone catches a retention regression.
 
 use umon::RetentionPolicy;
-use umon_testkit::{retention_diff_run, retention_soak_run, RetentionDiffConfig, StreamKind};
+use umon_testkit::{
+    cold_soak_run, retention_diff_run, retention_soak_run, RetentionDiffConfig, StreamKind,
+};
 
 fn scratch(name: &str) -> std::path::PathBuf {
     std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
 }
 
 /// The full differential contract — compaction invisible, eviction exact,
-/// crash recovery reconvergent, torn tails contained — on one seed per
-/// workload kind.
+/// crash recovery reconvergent, torn tails contained, evicted periods
+/// queryable from the cold tier bit-identically, torn history healed by
+/// backfill over the collection plane — on one seed per workload kind.
 #[test]
 fn retention_contract_holds_across_workload_kinds() {
     let dir = scratch("retention_contract");
@@ -27,6 +30,8 @@ fn retention_contract_holds_across_workload_kinds() {
         assert!(stats.compacted > 0, "compaction never fired");
         assert!(stats.evicted > 0, "eviction never fired");
         assert!(stats.recovered > 0, "recovery never replayed");
+        assert!(stats.cold_reads > 0, "cold tier never read back");
+        assert!(stats.backfilled > 0, "backfill never re-uploaded");
         assert!(stats.curves_compared > 0);
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -53,4 +58,24 @@ fn long_run_soak_stays_bounded_and_bit_identical() {
     );
     assert!(stats.evicted > 0, "soak never evicted (vacuous)");
     assert!(stats.curves_compared > 0);
+}
+
+/// The cold twin of the soak: an archive-backed bounded analyzer whose
+/// checkpoints compare the full history — hot, compacted and archived-cold
+/// read back from disk — bit-identically against an unbounded reference.
+#[test]
+fn cold_soak_full_history_stays_bit_identical() {
+    let dir = scratch("cold_soak_pin");
+    let policy = RetentionPolicy::bounded(8, 32).with_cold_cache_bytes(256 * 1024);
+    let stats = cold_soak_run(13, 200, policy, 50, &dir)
+        .unwrap_or_else(|e| panic!("cold soak failed: {e}"));
+    assert_eq!(stats.periods, 200);
+    assert!(
+        stats.max_resident_periods <= 32,
+        "resident periods peaked at {}",
+        stats.max_resident_periods
+    );
+    assert!(stats.evicted > 0, "cold soak never evicted (vacuous)");
+    assert!(stats.curves_compared > 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
