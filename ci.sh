@@ -19,6 +19,19 @@ cargo test -q
 echo "==> diff_fuzz smoke: 32 seeds x 3 workloads"
 timeout 300 cargo run --release -q -p umon-testkit --bin diff_fuzz -- --seeds 32
 
+# Same 32-seed oracle sweep with the Basic/Full/HW variants ingesting through
+# update_batch (burst 257: not a multiple of the staging CHUNK, so remainder
+# handling is covered), once on the auto-detected SIMD kernel and once pinned
+# to the scalar fallback kernel. Batch-vs-scalar bit-identity is the
+# tentpole's contract (DESIGN.md §15); this makes the exact oracle enforce it
+# on every CI run for both kernel configurations.
+echo "==> diff_fuzz smoke: batch ingest path, auto kernel"
+UMON_DIFF_BATCH=257 timeout 300 \
+  cargo run --release -q -p umon-testkit --bin diff_fuzz -- --seeds 32
+echo "==> diff_fuzz smoke: batch ingest path, scalar fallback kernel"
+UMON_DIFF_BATCH=257 UMON_BATCH_KERNEL=scalar timeout 300 \
+  cargo run --release -q -p umon-testkit --bin diff_fuzz -- --seeds 32
+
 # Fixed-seed collection-plane fault-injection smoke: period reports replayed
 # over lossless, lossy and retransmission-healed transports against the
 # collector's degradation contract (DESIGN.md §9). Deterministic, like

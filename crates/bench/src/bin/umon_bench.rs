@@ -17,7 +17,7 @@
 //!   wall-clock noise must not turn the gate red).
 //!
 //! All workloads are seeded and deterministic; wall time is the only
-//! nondeterministic output. Each measurement is the minimum over three
+//! nondeterministic output. Each measurement is the minimum over `REPS`
 //! repetitions, which is the standard way to strip scheduler noise from a
 //! throughput figure.
 
@@ -38,8 +38,14 @@ const CORE_UPDATES_FULL_RUN: u64 = 4_000_000;
 const CORE_UPDATES_SMOKE: u64 = 400_000;
 const CORE_FLOWS: u64 = 512;
 const CORE_SEED: u64 = 0xBE9C;
+/// Wide-sketch batch point: a deployment-scale config (see `wide_config`)
+/// with enough distinct flows that the touched buckets span the whole
+/// arena instead of staying cache-resident.
+const WIDE_WIDTH: usize = 16_384;
+const WIDE_HEAVY_ROWS: usize = 4_096;
+const WIDE_FLOWS: u64 = 100_000;
 const NETSIM_SEED: u64 = 1;
-const REPS: usize = 3;
+const REPS: usize = 5;
 
 const ANALYZER_SEED: u64 = 0xA11A;
 const ANALYZER_HOSTS: usize = 8;
@@ -59,6 +65,46 @@ struct CoreMeasure {
     notes: String,
 }
 
+/// One batch-size point of the batch-ingest sweep.
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct BatchSweepPoint {
+    batch_size: u64,
+    ns_per_update: f64,
+    updates_per_sec: f64,
+    speedup_vs_scalar: f64,
+}
+
+/// The batch-ingest section of `BENCH_core.json`: the same full-sketch
+/// workload fed through `update_batch` in fixed-size bursts, compared
+/// against the scalar `ns_per_update_full` measured *in the same run* (so
+/// the ratio is machine- and build-honest).
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct BatchBench {
+    kernel: String,
+    scalar_ns_per_update: f64,
+    sweep: Vec<BatchSweepPoint>,
+    best_ns_per_update: f64,
+    best_speedup_vs_scalar: f64,
+    /// The same sweep on a deployment-scale sketch (`wide_config`), where
+    /// the bucket arrays exceed cache and header loads dominate the scalar
+    /// path — the regime batch ingest exists for. Scalar is re-measured
+    /// fresh on this config in the same run.
+    wide: Option<BatchWideBench>,
+    notes: String,
+}
+
+/// Batch-vs-scalar on the wide (cache-busting) configuration.
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct BatchWideBench {
+    width: u64,
+    heavy_rows: u64,
+    flows: u64,
+    scalar_ns_per_update: f64,
+    sweep: Vec<BatchSweepPoint>,
+    best_ns_per_update: f64,
+    best_speedup_vs_scalar: f64,
+}
+
 #[derive(Debug, Serialize, Deserialize, Default)]
 struct CoreBench {
     schema: u32,
@@ -68,6 +114,7 @@ struct CoreBench {
     baseline: Option<CoreMeasure>,
     baseline_lto: Option<CoreMeasure>,
     current: Option<CoreMeasure>,
+    batch: Option<BatchBench>,
     speedup_vs_baseline: Option<f64>,
 }
 
@@ -134,6 +181,51 @@ struct AnalyzerBench {
     speedup_vs_baseline: Option<f64>,
 }
 
+/// The machine-and-build context every recorded measurement depends on:
+/// runtime-detected SIMD features, compile-time `target_feature` flags (i.e.
+/// the effective `target-cpu` configuration) and the batch kernel the run
+/// selected. Recorded into the `notes` of every BENCH file so a number can
+/// be traced to the hardware and codegen that produced it.
+fn cpu_notes() -> String {
+    let mut runtime: Vec<&str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, detected) in [
+            ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            ("avx512dq", std::arch::is_x86_feature_detected!("avx512dq")),
+            ("avx512bw", std::arch::is_x86_feature_detected!("avx512bw")),
+            ("avx512vl", std::arch::is_x86_feature_detected!("avx512vl")),
+        ] {
+            if detected {
+                runtime.push(name);
+            }
+        }
+    }
+    let compiled: Vec<&str> = vec![
+        #[cfg(target_feature = "sse4.2")]
+        "sse4.2",
+        #[cfg(target_feature = "avx2")]
+        "avx2",
+        #[cfg(target_feature = "avx512f")]
+        "avx512f",
+        #[cfg(target_feature = "avx512dq")]
+        "avx512dq",
+    ];
+    format!(
+        "cpu: arch={} runtime[{}] target-cpu-features[{}] batch_kernel={}",
+        std::env::consts::ARCH,
+        runtime.join(","),
+        if compiled.is_empty() {
+            "baseline".to_string()
+        } else {
+            compiled.join(",")
+        },
+        wavesketch::active_kernel().name()
+    )
+}
+
 /// Peak resident set size of this process, from `/proc/self/status` (kB).
 fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
@@ -170,6 +262,16 @@ fn core_stream(n: u64, flows: u64, seed: u64) -> Vec<(FlowKey, u64, i64)> {
 
 fn core_config() -> SketchConfig {
     SketchConfig::builder().build() // paper defaults: 3×256, L=8, K=64, 4096 windows
+}
+
+/// A deployment-scale sketch whose header/approx arrays (tens of MB) blow
+/// past L2, so every scalar fold eats the random-access header-load latency
+/// the batch pipeline exists to hide. Paper defaults otherwise.
+fn wide_config() -> SketchConfig {
+    SketchConfig::builder()
+        .width(WIDE_WIDTH)
+        .heavy_rows(WIDE_HEAVY_ROWS)
+        .build()
 }
 
 /// Minimum-of-`REPS` wall time for `f`, freshly constructing state each rep.
@@ -210,6 +312,89 @@ fn bench_core(updates: u64) -> CoreMeasure {
         updates_per_sec_full: n / (full_ns as f64 / 1e9),
         peak_rss_kb: peak_rss_kb(),
         notes: String::new(),
+    }
+}
+
+/// The batch-ingest sweep: the scalar workload's records fed through
+/// `FullWaveSketch::update_batch` in bursts of 8 / 32 / 256 records, each
+/// point min-of-`REPS` on a fresh sketch. `scalar_ns` must come from the
+/// same run's [`bench_core`] so the speedup compares like with like.
+fn bench_batch(updates: u64, scalar_ns: f64) -> BatchBench {
+    let stream = core_stream(updates, CORE_FLOWS, CORE_SEED);
+    let sweep = batch_sweep(&stream, core_config, scalar_ns);
+    let best = best_point(&sweep);
+    BatchBench {
+        kernel: wavesketch::active_kernel().name().to_string(),
+        scalar_ns_per_update: scalar_ns,
+        sweep,
+        best_ns_per_update: best.ns_per_update,
+        best_speedup_vs_scalar: best.speedup_vs_scalar,
+        wide: None,
+        notes: cpu_notes(),
+    }
+}
+
+/// Runs the 8/32/256 burst sweep of `update_batch` over `stream` on fresh
+/// sketches built by `config`, each point min-of-`REPS`.
+fn batch_sweep(
+    stream: &[(FlowKey, u64, i64)],
+    config: fn() -> SketchConfig,
+    scalar_ns: f64,
+) -> Vec<BatchSweepPoint> {
+    let n = stream.len() as f64;
+    let mut sweep = Vec::new();
+    for &batch_size in &[8usize, 32, 256] {
+        let (ns, sum) = time_min(|| {
+            let mut sketch = FullWaveSketch::new(config());
+            for burst in stream.chunks(batch_size) {
+                sketch.update_batch(burst);
+            }
+            sketch.heavy_flows().len() as u64
+        });
+        assert!(sum > 0, "batch workload touched nothing");
+        let ns_per_update = ns as f64 / n;
+        sweep.push(BatchSweepPoint {
+            batch_size: batch_size as u64,
+            ns_per_update,
+            updates_per_sec: n / (ns as f64 / 1e9),
+            speedup_vs_scalar: scalar_ns / ns_per_update,
+        });
+    }
+    sweep
+}
+
+fn best_point(sweep: &[BatchSweepPoint]) -> BatchSweepPoint {
+    sweep
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.ns_per_update.total_cmp(&b.ns_per_update))
+        .expect("non-empty sweep")
+}
+
+/// The wide-config batch point: scalar re-measured fresh on the same config
+/// and stream, then the burst sweep — so the speedup isolates exactly what
+/// batching buys once the arena stops fitting in cache.
+fn bench_batch_wide(updates: u64) -> BatchWideBench {
+    let stream = core_stream(updates, WIDE_FLOWS, CORE_SEED);
+    let (scalar_total_ns, scalar_sum) = time_min(|| {
+        let mut sketch = FullWaveSketch::new(wide_config());
+        for (flow, window, value) in &stream {
+            sketch.update(flow, *window, *value);
+        }
+        sketch.heavy_flows().len() as u64
+    });
+    assert!(scalar_sum > 0, "wide scalar workload touched nothing");
+    let scalar_ns = scalar_total_ns as f64 / stream.len() as f64;
+    let sweep = batch_sweep(&stream, wide_config, scalar_ns);
+    let best = best_point(&sweep);
+    BatchWideBench {
+        width: WIDE_WIDTH as u64,
+        heavy_rows: WIDE_HEAVY_ROWS as u64,
+        flows: WIDE_FLOWS,
+        scalar_ns_per_update: scalar_ns,
+        sweep,
+        best_ns_per_update: best.ns_per_update,
+        best_speedup_vs_scalar: best.speedup_vs_scalar,
     }
 }
 
@@ -533,11 +718,40 @@ fn record_core(root: &Path, as_baseline: Option<&str>) {
         "core: {} updates x {} reps ...",
         CORE_UPDATES_FULL_RUN, REPS
     );
-    let core = bench_core(CORE_UPDATES_FULL_RUN);
+    let mut core = bench_core(CORE_UPDATES_FULL_RUN);
+    core.notes = cpu_notes();
     println!(
         "  full {:.1} ns/update, basic {:.1} ns/update",
         core.ns_per_update_full, core.ns_per_update_basic
     );
+    let batch = if as_baseline.is_none() {
+        let mut b = bench_batch(CORE_UPDATES_FULL_RUN, core.ns_per_update_full);
+        for p in &b.sweep {
+            println!(
+                "  batch[{:>3}] {:.1} ns/update ({:.2}x vs scalar)",
+                p.batch_size, p.ns_per_update, p.speedup_vs_scalar
+            );
+        }
+        println!(
+            "  batch best {:.1} ns/update, {:.2}x vs scalar, kernel {}",
+            b.best_ns_per_update, b.best_speedup_vs_scalar, b.kernel
+        );
+        let wide = bench_batch_wide(CORE_UPDATES_FULL_RUN);
+        println!(
+            "  wide ({}x{} light, {} heavy, {} flows): scalar {:.1} ns/update",
+            3, wide.width, wide.heavy_rows, wide.flows, wide.scalar_ns_per_update
+        );
+        for p in &wide.sweep {
+            println!(
+                "  wide batch[{:>3}] {:.1} ns/update ({:.2}x vs scalar)",
+                p.batch_size, p.ns_per_update, p.speedup_vs_scalar
+            );
+        }
+        b.wide = Some(wide);
+        Some(b)
+    } else {
+        None
+    };
     let mut core_file: CoreBench = load(&core_path);
     core_file.schema = 1;
     core_file.updates = CORE_UPDATES_FULL_RUN;
@@ -548,6 +762,9 @@ fn record_core(root: &Path, as_baseline: Option<&str>) {
         Some("baseline_lto") => core_file.baseline_lto = Some(core),
         Some(_) => unreachable!("validated in record()"),
         None => core_file.current = Some(core),
+    }
+    if let Some(b) = batch {
+        core_file.batch = Some(b);
     }
     if let (Some(b), Some(c)) = (&core_file.baseline, &core_file.current) {
         core_file.speedup_vs_baseline = Some(b.ns_per_update_full / c.ns_per_update_full);
@@ -569,7 +786,8 @@ fn record_netsim(root: &Path, as_baseline: Option<&str>) {
     match as_baseline {
         // The pre-refactor scheduler was the binary heap; baselines pin it.
         Some("baseline") => {
-            let heap = bench_netsim(10_000_000, true);
+            let mut heap = bench_netsim(10_000_000, true);
+            heap.notes = cpu_notes();
             println!(
                 "  heap     {:.0} events/sec ({} events)",
                 heap.events_per_sec, heap.events
@@ -579,8 +797,10 @@ fn record_netsim(root: &Path, as_baseline: Option<&str>) {
         Some("baseline_lto") => {} // profile effect on netsim is captured by current_heap
         Some(_) => unreachable!("validated in record()"),
         None => {
-            let calendar = bench_netsim(10_000_000, false);
-            let heap = bench_netsim(10_000_000, true);
+            let mut calendar = bench_netsim(10_000_000, false);
+            let mut heap = bench_netsim(10_000_000, true);
+            calendar.notes = cpu_notes();
+            heap.notes = cpu_notes();
             println!(
                 "  calendar {:.0} events/sec ({} events)",
                 calendar.events_per_sec, calendar.events
@@ -606,7 +826,8 @@ fn record_analyzer(root: &Path, as_baseline: Option<&str>) {
         "analyzer: {} hosts x {} flows, {} sweeps x {} reps ...",
         ANALYZER_HOSTS, ANALYZER_FLOWS, ANALYZER_SWEEPS_FULL_RUN, REPS
     );
-    let analyzer = bench_analyzer(ANALYZER_SWEEPS_FULL_RUN);
+    let mut analyzer = bench_analyzer(ANALYZER_SWEEPS_FULL_RUN);
+    analyzer.notes = format!("{}; {}", analyzer.notes, cpu_notes());
     println!(
         "  {:.0} queries/sec ({:.1} us/query)",
         analyzer.queries_per_sec, analyzer.us_per_query
@@ -829,6 +1050,69 @@ fn smoke() {
         "speedup_vs_baseline",
         core_file.speedup_vs_baseline,
     );
+    let committed_batch = require_finite(
+        "BENCH_core.json",
+        "batch",
+        "best_ns_per_update",
+        core_file.batch.as_ref().map(|b| b.best_ns_per_update),
+    );
+    let committed_batch_speedup = require_finite(
+        "BENCH_core.json",
+        "batch",
+        "best_speedup_vs_scalar",
+        core_file.batch.as_ref().map(|b| b.best_speedup_vs_scalar),
+    );
+    let batch_section = core_file.batch.as_ref().expect("checked above");
+    if batch_section.sweep.is_empty() {
+        eprintln!("FAIL BENCH_core.json: batch.sweep is empty");
+        std::process::exit(1);
+    }
+    for p in &batch_section.sweep {
+        require_finite(
+            "BENCH_core.json",
+            "batch.sweep",
+            &format!("ns_per_update[batch_size={}]", p.batch_size),
+            Some(p.ns_per_update),
+        );
+        require_finite(
+            "BENCH_core.json",
+            "batch.sweep",
+            &format!("speedup_vs_scalar[batch_size={}]", p.batch_size),
+            Some(p.speedup_vs_scalar),
+        );
+    }
+    println!(
+        "BENCH_core:   committed batch {committed_batch:.1} ns/update \
+         ({committed_batch_speedup:.2}x vs scalar, kernel {})",
+        batch_section.kernel
+    );
+    let committed_wide = require_finite(
+        "BENCH_core.json",
+        "batch.wide",
+        "best_ns_per_update",
+        batch_section.wide.as_ref().map(|w| w.best_ns_per_update),
+    );
+    let committed_wide_speedup = require_finite(
+        "BENCH_core.json",
+        "batch.wide",
+        "best_speedup_vs_scalar",
+        batch_section
+            .wide
+            .as_ref()
+            .map(|w| w.best_speedup_vs_scalar),
+    );
+    for p in &batch_section.wide.as_ref().expect("checked above").sweep {
+        require_finite(
+            "BENCH_core.json",
+            "batch.wide.sweep",
+            &format!("ns_per_update[batch_size={}]", p.batch_size),
+            Some(p.ns_per_update),
+        );
+    }
+    println!(
+        "BENCH_core:   committed wide batch {committed_wide:.1} ns/update \
+         ({committed_wide_speedup:.2}x vs scalar)"
+    );
     let committed_ev = require_finite(
         "BENCH_netsim.json",
         "current",
@@ -952,6 +1236,23 @@ fn smoke() {
         "ns_per_update_full",
         Some(core.ns_per_update_full),
     );
+    let fresh_batch = bench_batch(CORE_UPDATES_SMOKE, core.ns_per_update_full);
+    require_finite(
+        "BENCH_core.json",
+        "fresh batch",
+        "best_ns_per_update",
+        Some(fresh_batch.best_ns_per_update),
+    );
+    println!(
+        "BENCH_core:   fresh batch {:.1} ns/update ({:.2}x vs fresh scalar, kernel {})",
+        fresh_batch.best_ns_per_update, fresh_batch.best_speedup_vs_scalar, fresh_batch.kernel
+    );
+    if fresh_batch.best_speedup_vs_scalar < 1.0 {
+        eprintln!(
+            "WARN: batch ingest slower than scalar this run ({:.2}x)",
+            fresh_batch.best_speedup_vs_scalar
+        );
+    }
     let netsim = bench_netsim(2_000_000, false);
     let fresh_ev = require_finite(
         "BENCH_netsim.json",
@@ -1006,7 +1307,10 @@ fn profile() {
     let n = stream.len() as f64;
     let config = core_config();
 
-    let (place_ns, _) = time_min(|| {
+    // Checksums are folded into the output below: a discarded closure result
+    // lets thin-LTO dead-code-eliminate a pure loop (the placement benchmark
+    // once printed 0.0 ns/update exactly this way).
+    let (place_ns, place_sum) = time_min(|| {
         let mut acc = 0u64;
         for (flow, _, _) in &stream {
             let p = config.place(flow);
@@ -1017,16 +1321,37 @@ fn profile() {
         }
         acc.max(1)
     });
-    println!("place+derive   {:6.1} ns/update", place_ns as f64 / n);
+    println!(
+        "place+derive   {:6.1} ns/update   [checksum {place_sum:x}]",
+        place_ns as f64 / n
+    );
 
-    let (bucket_ns, _) = time_min(|| {
+    let (bucket_ns, bucket_sum) = time_min(|| {
         let mut b = WaveBucket::new(&config);
         for (_, window, value) in &stream {
             b.update(*window, *value);
         }
         b.current_epoch_total().unsigned_abs().max(1)
     });
-    println!("1-bucket push  {:6.1} ns/update", bucket_ns as f64 / n);
+    println!(
+        "1-bucket push  {:6.1} ns/update   [checksum {bucket_sum:x}]",
+        bucket_ns as f64 / n
+    );
+
+    for &bs in &[8usize, 32, 256] {
+        let (batch_ns, batch_sum) = time_min(|| {
+            let mut sketch = FullWaveSketch::new(config.clone());
+            for burst in stream.chunks(bs) {
+                sketch.update_batch(burst);
+            }
+            sketch.heavy_flows().len() as u64
+        });
+        println!(
+            "batch[{bs:>3}]     {:6.1} ns/update   [kernel {}, checksum {batch_sum:x}]",
+            batch_ns as f64 / n,
+            wavesketch::active_kernel().name()
+        );
+    }
 
     for (label, selector) in [
         ("ideal", SelectorKind::Ideal),

@@ -4,6 +4,7 @@
 //! one with the smallest total (the Count-Min minimum generalized to curves).
 
 use crate::arena::BucketArena;
+use crate::batch::{BatchScratch, CHUNK};
 use crate::config::{Placement, SketchConfig};
 use crate::flow::FlowKey;
 use crate::reconstruct::ReconstructScratch;
@@ -193,13 +194,20 @@ pub struct BasicWaveSketch {
     config: SketchConfig,
     /// Row-major bucket arena: bucket `row * width + col`.
     arena: BucketArena,
+    /// Lazily-built staging buffers for [`Self::update_batch`]; allocated on
+    /// the first batch and reused forever after (the alloc gate covers this).
+    batch: Option<Box<BatchScratch>>,
 }
 
 impl BasicWaveSketch {
     /// Creates an empty sketch.
     pub fn new(config: SketchConfig) -> Self {
         let arena = BucketArena::from_config(&config, config.rows * config.width);
-        Self { config, arena }
+        Self {
+            config,
+            arena,
+            batch: None,
+        }
     }
 
     /// The sketch configuration.
@@ -223,6 +231,40 @@ impl BasicWaveSketch {
             let idx = row * self.config.width + self.config.light_col_placed(p, row);
             self.arena.update(idx, window, value);
         }
+    }
+
+    /// Records a burst of `(flow, window, value)` updates through the batch
+    /// pipeline ([`crate::batch`]): keys are packed and hashed many-at-a-time
+    /// with the widest SIMD kernel the CPU supports, then each row's window
+    /// folds are applied with the upcoming buckets prefetched.
+    ///
+    /// The resulting sketch state is **bit-identical** to calling
+    /// [`Self::update`] for each record in order: light buckets are mutually
+    /// independent and the row-phased application preserves every individual
+    /// bucket's record order (two records can share a bucket only within one
+    /// row, and within a row they are applied in record order).
+    pub fn update_batch(&mut self, records: &[(FlowKey, u64, i64)]) {
+        let mut scratch = self
+            .batch
+            .take()
+            .unwrap_or_else(|| Box::new(BatchScratch::new(&self.config, false)));
+        for chunk in records.chunks(CHUNK) {
+            let n = chunk.len();
+            scratch.stage(&self.config, chunk);
+            for row in 0..self.config.rows {
+                let idx = &scratch.light_idx[row * CHUNK..row * CHUNK + n];
+                self.arena
+                    .apply_batch(idx, &scratch.windows, &scratch.values, n);
+            }
+        }
+        self.batch = Some(scratch);
+    }
+
+    /// Mutable access to the bucket arena, for [`crate::FullWaveSketch`]'s
+    /// batch path (which stages once and applies to both parts).
+    #[inline]
+    pub(crate) fn arena_mut(&mut self) -> &mut BucketArena {
+        &mut self.arena
     }
 
     /// Queries the flow's reconstructed rate curve: reconstructs the `d`

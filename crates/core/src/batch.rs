@@ -1,0 +1,957 @@
+//! Batch ingest: structure-of-arrays staging and vectorized hash chains for
+//! [`crate::FullWaveSketch::update_batch`] / [`crate::BasicWaveSketch::update_batch`].
+//!
+//! A sketch update is three phases: hash the key (`d + 2` FNV-1a chains),
+//! derive bucket indices, fold the value into each bucket. The scalar path
+//! pays the full FNV latency per packet — ~32 ns of the ~68 ns update on the
+//! reference box — because one chain is a serial dependency of 13 multiplies
+//! and even the interleaved [`crate::FlowKey::hash_packed_many`] only
+//! overlaps the `d + 2` chains of a *single* key. This module restores the
+//! missing parallelism by hashing *many keys per instruction stream*:
+//!
+//! * **Staging** ([`BatchScratch`]): a burst of `(FlowKey, window, value)`
+//!   records is packed into transposed key-byte rows (byte `i` of key `j` at
+//!   `packed_t[i * CHUNK + j]`), so a SIMD lane-load picks up byte `i` of 8
+//!   consecutive keys in one instruction.
+//! * **Hash kernels**: the same FNV-1a + splitmix64 math evaluated 8 keys
+//!   wide (AVX-512 `vpmullq`), 4 keys wide (AVX2, 64-bit multiply emulated
+//!   from 32×32 partial products) or 8 keys wide in scalar registers (a
+//!   *wider* software interleave than `hash_packed_many`: 8 independent
+//!   chains per tag instead of `d + 2` per key). All integer ops are exact,
+//!   so every kernel is bit-identical to the scalar hash by construction —
+//!   and unit tests pin it.
+//! * **Derive**: lane / light-column / heavy-slot indices from the raw
+//!   hashes, identical to [`crate::SketchConfig::light_col_placed`] /
+//!   `heavy_slot_placed`, with the range validation hoisted out of the apply
+//!   loop (one check per record instead of per bucket access).
+//!
+//! The fold phase stays in [`crate::arena::BucketArena::apply_batch`], which
+//! walks one row at a time with the *next* records' buckets prefetched —
+//! possible only in a batch, where future addresses are already known
+//! (DESIGN.md §10 records why prefetching the scalar path measured
+//! neutral-to-negative: it has no lookahead).
+//!
+//! # Kernel selection
+//!
+//! [`active_kernel`] picks the widest kernel the CPU supports at runtime
+//! (`is_x86_feature_detected!`), cached for the process. The environment
+//! variable `UMON_BATCH_KERNEL` (`avx512` | `avx2` | `scalar` | `auto`)
+//! overrides the choice, clamped to what the CPU actually supports — CI uses
+//! `scalar` to pin the fallback kernel through the differential fuzz on
+//! every run. Because every kernel produces identical bits, the override can
+//! never change results, only speed.
+//!
+//! # Bit-identity contract
+//!
+//! Batching may only reorder *independent* work. The admissible reorderings
+//! (proved by the per-bucket state machine in `arena.rs` and pinned by
+//! golden fixtures, the 32-seed differential fuzz and the batch proptests):
+//!
+//! * light buckets are mutually independent and share no state with the
+//!   heavy part, so row-at-a-time application preserves each bucket's
+//!   record order while reordering across buckets;
+//! * the heavy vote machine is per-slot; the batch path replays records in
+//!   original order, so each slot sees the exact scalar sequence.
+//!
+//! Records for the *same* bucket are never pre-merged: `saturating_add` is
+//! not associative once mixed-sign values are involved, so merging
+//! same-window records before the fold could change saturation behaviour.
+
+use crate::config::{fast_mod, SketchConfig, HEAVY_TAG, LANE_TAG};
+use crate::flow::{avalanche, chain_init, FlowKey, FNV_PRIME};
+use std::sync::OnceLock;
+
+/// Records staged per internal chunk. Bounds the scratch memory (a few KB)
+/// regardless of caller batch size, and keeps the staged arrays L1-resident
+/// while the fold phase walks them.
+pub(crate) const CHUNK: usize = 256;
+
+/// Packed key bytes per key (see [`FlowKey::pack`]).
+const KEY_BYTES: usize = 13;
+
+/// Records per transpose block (one SIMD row-load's worth of keys).
+const BLOCK: usize = 8;
+
+/// Bytes per transpose block: 16 byte-rows (13 key bytes + 3 pad) × 8 keys.
+const BLOCK_BYTES: usize = 2 * BLOCK * BLOCK;
+
+/// Byte `i` of record `j` in the block-major packed matrix: record `j`
+/// lives in block `j / 8`, lane `j % 8`; inside a block the 16 byte-rows
+/// (13 key bytes + 3 pad) are contiguous, 8 lanes each. A hash step's
+/// 8-lane byte vector is therefore one contiguous 8-byte load, and the
+/// whole block spans two cache lines.
+#[inline(always)]
+fn packed_pos(i: usize, j: usize) -> usize {
+    (j / BLOCK) * BLOCK_BYTES + i * BLOCK + (j % BLOCK)
+}
+
+/// Which batch hash kernel is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchKernel {
+    /// 8 keys per 512-bit vector (`vpmullq`; needs `avx512f` + `avx512dq`).
+    Avx512,
+    /// 4 keys per 256-bit vector, 64-bit multiply emulated from `vpmuludq`.
+    Avx2,
+    /// 8 interleaved scalar chains per tag — the bit-identical fallback.
+    Scalar,
+}
+
+impl BatchKernel {
+    /// Stable lower-case name (used in bench records and the env override).
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchKernel::Avx512 => "avx512",
+            BatchKernel::Avx2 => "avx2",
+            BatchKernel::Scalar => "scalar",
+        }
+    }
+}
+
+/// The widest kernel this CPU supports.
+fn best_supported() -> BatchKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+        {
+            return BatchKernel::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return BatchKernel::Avx2;
+        }
+    }
+    BatchKernel::Scalar
+}
+
+/// True if the CPU can run `kernel`.
+fn supported(kernel: BatchKernel) -> bool {
+    match kernel {
+        BatchKernel::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        BatchKernel::Avx512 => {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+        }
+        #[cfg(target_arch = "x86_64")]
+        BatchKernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// True if the pack phase may use the `vpermt2b` transpose: only together
+/// with the AVX-512 hash kernel, so forcing `UMON_BATCH_KERNEL=scalar`
+/// (e.g. in CI's differential fuzz) pins the *whole* fallback path, pack
+/// included.
+fn vbmi_transpose_available(kernel: BatchKernel) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        kernel == BatchKernel::Avx512 && std::arch::is_x86_feature_detected!("avx512vbmi")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = kernel;
+        false
+    }
+}
+
+/// Portable transpose-pack: 13 byte stores per record, all landing inside
+/// the record's own 128-byte block (two cache lines). Produces bytes
+/// identical to the SIMD transpose.
+fn pack_transpose_scalar(chunk: &[(FlowKey, u64, i64)], packed_t: &mut [u8]) {
+    for (j, (flow, _, _)) in chunk.iter().enumerate() {
+        let p = flow.pack();
+        for (i, &byte) in p.iter().enumerate() {
+            packed_t[packed_pos(i, j)] = byte;
+        }
+    }
+}
+
+/// The kernel every `update_batch` in this process uses: the widest
+/// supported one, unless `UMON_BATCH_KERNEL` (`avx512` | `avx2` | `scalar`
+/// | `auto`) asks for another. A request the CPU cannot honour falls back
+/// to the best supported kernel rather than failing — the choice can never
+/// change results, only speed. Cached on first use.
+pub fn active_kernel() -> BatchKernel {
+    static KERNEL: OnceLock<BatchKernel> = OnceLock::new();
+    *KERNEL.get_or_init(|| {
+        let requested = match std::env::var("UMON_BATCH_KERNEL").as_deref() {
+            Ok("avx512") => Some(BatchKernel::Avx512),
+            Ok("avx2") => Some(BatchKernel::Avx2),
+            Ok("scalar") => Some(BatchKernel::Scalar),
+            _ => None,
+        };
+        match requested {
+            Some(k) if supported(k) => k,
+            _ => best_supported(),
+        }
+    })
+}
+
+/// Reusable staging buffers for one sketch's batch ingest. Sized once at
+/// construction (from the config's row count); `stage` never allocates, so
+/// the batch path stays inside the repo's zero-allocation gate.
+#[derive(Debug)]
+pub(crate) struct BatchScratch {
+    kernel: BatchKernel,
+    /// Transpose the pack phase with `vpermt2b` (AVX-512 kernel on CPUs
+    /// with `avx512vbmi`); otherwise byte-by-byte scalar stores produce the
+    /// identical matrix.
+    vbmi: bool,
+    /// Per-tag initial FNV states: lane, rows `0..d`, then (full sketch
+    /// only) the heavy tag.
+    inits: Vec<u64>,
+    /// Transposed packed key bytes, block-major (see [`packed_pos`]).
+    packed_t: Vec<u8>,
+    /// Raw hashes, tag-major: tag `t` of record `j` at `t * CHUNK + j`.
+    hashes: Vec<u64>,
+    /// Per-record flow keys (SoA copy of the chunk). The heavy vote replay
+    /// compares keys per record; reading them here instead of back out of
+    /// the caller's wider AoS records avoids a second streaming pass over
+    /// the input.
+    pub(crate) keys: Vec<FlowKey>,
+    /// Per-record windows (SoA copy of the chunk).
+    pub(crate) windows: Vec<u64>,
+    /// Per-record values (SoA copy of the chunk).
+    pub(crate) values: Vec<i64>,
+    /// Light arena bucket index (`row * width + col`), row-major:
+    /// row `r` of record `j` at `r * CHUNK + j`.
+    pub(crate) light_idx: Vec<u32>,
+    /// Heavy slot per record (empty when staged without a heavy part).
+    pub(crate) heavy_idx: Vec<u32>,
+}
+
+impl BatchScratch {
+    /// Builds scratch for `config`; `heavy` adds the heavy-tag chain.
+    pub(crate) fn new(config: &SketchConfig, heavy: bool) -> Self {
+        let mut tags: Vec<u64> = Vec::with_capacity(config.rows + 2);
+        tags.push(LANE_TAG);
+        tags.extend(0..config.rows as u64);
+        if heavy {
+            tags.push(HEAVY_TAG);
+        }
+        let inits: Vec<u64> = tags.iter().map(|&t| chain_init(config.seed, t)).collect();
+        let kernel = active_kernel();
+        Self {
+            kernel,
+            vbmi: vbmi_transpose_available(kernel),
+            packed_t: vec![0; (CHUNK / BLOCK) * BLOCK_BYTES],
+            hashes: vec![0; inits.len() * CHUNK],
+            inits,
+            keys: vec![FlowKey::from_id(0); CHUNK],
+            windows: vec![0; CHUNK],
+            values: vec![0; CHUNK],
+            light_idx: vec![0; config.rows * CHUNK],
+            heavy_idx: if heavy { vec![0; CHUNK] } else { Vec::new() },
+        }
+    }
+
+    /// The kernel this scratch hashes with (tests override via
+    /// [`Self::force_kernel`]).
+    #[cfg(test)]
+    pub(crate) fn force_kernel(&mut self, kernel: BatchKernel) {
+        assert!(supported(kernel), "kernel {:?} not supported here", kernel);
+        self.kernel = kernel;
+        self.vbmi = vbmi_transpose_available(kernel);
+    }
+
+    /// Packs, hashes and derives bucket indices for `chunk`
+    /// (`chunk.len() <= CHUNK`). After this, `windows`/`values`,
+    /// `light_idx` and (if staged with a heavy part) `heavy_idx` describe
+    /// the chunk record-for-record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a record's flow does not belong to a lane this sketch
+    /// instance owns — the same misrouting the scalar path catches, checked
+    /// here once per record so the fold loop can trust every index.
+    pub(crate) fn stage(&mut self, config: &SketchConfig, chunk: &[(FlowKey, u64, i64)]) {
+        let n = chunk.len();
+        debug_assert!(n <= CHUNK);
+
+        // Copy windows/values SoA and transpose-pack the keys block-major
+        // (see `packed_pos`). The transposed byte stores dominated the
+        // original pack phase (~12 ns/record as 13 long-stride stores);
+        // contiguous 16-byte key writes + a 2×`vpermt2b` in-register
+        // transpose per 8 keys brought it under 2 ns.
+        for (j, (flow, window, value)) in chunk.iter().enumerate() {
+            self.keys[j] = *flow;
+            self.windows[j] = *window;
+            self.values[j] = *value;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if self.vbmi {
+            // SAFETY: `vbmi` is only set when avx512f+avx512bw+avx512vbmi
+            // were detected at runtime.
+            unsafe { x86::pack_transpose_vbmi(chunk, &mut self.packed_t) };
+        } else {
+            pack_transpose_scalar(chunk, &mut self.packed_t);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        pack_transpose_scalar(chunk, &mut self.packed_t);
+
+        hash_chunk(
+            self.kernel,
+            &self.packed_t,
+            &self.inits,
+            n,
+            &mut self.hashes,
+        );
+
+        // Derive lane / light / heavy indices — bit-identical to
+        // `light_col_placed` / `heavy_slot_placed` over `place()`.
+        let rows = config.rows;
+        let width = config.width;
+        let lanes = config.lanes as u64;
+        let lane_width = config.lane_width();
+        let heavy = !self.heavy_idx.is_empty();
+        let heavy_per_lane = config.heavy_lane_rows();
+        let mut routed_ok = true;
+        for j in 0..n {
+            let lane = fast_mod(self.hashes[j], lanes) as usize;
+            let lane_rel = lane.wrapping_sub(config.lane_base);
+            routed_ok &= lane_rel < config.lane_count;
+            let lane_rel = if lane_rel < config.lane_count {
+                lane_rel
+            } else {
+                0 // placeholder; the batch panics below before indices are used
+            };
+            let col_base = lane_rel * lane_width;
+            for r in 0..rows {
+                let h = self.hashes[(r + 1) * CHUNK + j];
+                self.light_idx[r * CHUNK + j] =
+                    (r * width + col_base + fast_mod(h, lane_width as u64) as usize) as u32;
+            }
+            if heavy {
+                let h = self.hashes[(rows + 1) * CHUNK + j];
+                self.heavy_idx[j] = (lane_rel * heavy_per_lane
+                    + fast_mod(h, heavy_per_lane as u64) as usize)
+                    as u32;
+            }
+        }
+        assert!(
+            routed_ok,
+            "batch contains a flow routed to a lane outside [{}, {}) — \
+             feed shard slices only flows they own (see ShardedWaveSketch)",
+            config.lane_base,
+            config.lane_base + config.lane_count
+        );
+    }
+}
+
+/// Hashes `n` staged keys for every tag in `inits`, writing raw hash `t` of
+/// key `j` to `out[t * CHUNK + j]`. Lanes `>= n` of the trailing SIMD block
+/// hash stale staging bytes; callers never read them.
+pub(crate) fn hash_chunk(
+    kernel: BatchKernel,
+    packed_t: &[u8],
+    inits: &[u64],
+    n: usize,
+    out: &mut [u64],
+) {
+    debug_assert_eq!(packed_t.len(), (CHUNK / BLOCK) * BLOCK_BYTES);
+    debug_assert!(out.len() >= inits.len() * CHUNK);
+    if n == 0 {
+        return;
+    }
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        BatchKernel::Avx512 => {
+            // Tag groups of up to 5 chains share each byte-vector load and
+            // keep 5 independent multiply chains in flight per block.
+            let blocks = n.div_ceil(8);
+            for (g0, group) in inits.chunks(5).enumerate() {
+                let out_g = &mut out[g0 * 5 * CHUNK..];
+                // SAFETY: `active_kernel`/`force_kernel` admit Avx512 only
+                // when avx512f+avx512dq are detected; slice bounds are
+                // checked by the deepest block (blocks * 8 <= CHUNK).
+                unsafe {
+                    match group.len() {
+                        5 => x86::hash_avx512::<5>(packed_t, group, blocks, out_g),
+                        4 => x86::hash_avx512::<4>(packed_t, group, blocks, out_g),
+                        3 => x86::hash_avx512::<3>(packed_t, group, blocks, out_g),
+                        2 => x86::hash_avx512::<2>(packed_t, group, blocks, out_g),
+                        _ => x86::hash_avx512::<1>(packed_t, group, blocks, out_g),
+                    }
+                }
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        BatchKernel::Avx2 => {
+            let blocks = n.div_ceil(4);
+            for (g0, group) in inits.chunks(5).enumerate() {
+                let out_g = &mut out[g0 * 5 * CHUNK..];
+                // SAFETY: Avx2 is only selected when detected; bounds as above.
+                unsafe {
+                    match group.len() {
+                        5 => x86::hash_avx2::<5>(packed_t, group, blocks, out_g),
+                        4 => x86::hash_avx2::<4>(packed_t, group, blocks, out_g),
+                        3 => x86::hash_avx2::<3>(packed_t, group, blocks, out_g),
+                        2 => x86::hash_avx2::<2>(packed_t, group, blocks, out_g),
+                        _ => x86::hash_avx2::<1>(packed_t, group, blocks, out_g),
+                    }
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        BatchKernel::Avx512 | BatchKernel::Avx2 => hash_scalar_interleaved(packed_t, inits, n, out),
+        BatchKernel::Scalar => hash_scalar_interleaved(packed_t, inits, n, out),
+    }
+}
+
+/// The software fallback: per tag, 8 keys' chains interleaved in scalar
+/// registers — wider than `hash_packed_many`'s `d + 2` interleave, and with
+/// fully independent chains (no cross-key dependency at all).
+fn hash_scalar_interleaved(packed_t: &[u8], inits: &[u64], n: usize, out: &mut [u64]) {
+    let blocks = n.div_ceil(BLOCK);
+    for (t, &init) in inits.iter().enumerate() {
+        for blk in 0..blocks {
+            let j = blk * BLOCK;
+            let mut s = [init; BLOCK];
+            for i in 0..KEY_BYTES {
+                let row = &packed_t[blk * BLOCK_BYTES + i * BLOCK..][..BLOCK];
+                for l in 0..BLOCK {
+                    s[l] = (s[l] ^ row[l] as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
+            for l in 0..BLOCK {
+                out[t * CHUNK + j + l] = avalanche(s[l]);
+            }
+        }
+    }
+}
+
+/// Prefetches the cache line holding `p` into all levels (no-op off x86_64).
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; any address is allowed, it cannot fault.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The SIMD kernels. Both evaluate exactly
+    //! `avalanche((...((init ^ b0) * P ^ b1) * P ... ^ b12) * P)` per lane —
+    //! xor, shift and wrapping multiply are exact integer ops, so the lanes
+    //! are bit-identical to the scalar chain by construction.
+
+    use super::{BLOCK, BLOCK_BYTES, CHUNK, KEY_BYTES};
+    use crate::flow::{AVALANCHE_MUL2, FNV_PRIME, TAG_MUL};
+    use crate::FlowKey;
+    use core::arch::x86_64::*;
+
+    /// `vpermt2b` index vector for the 8×16 key transpose: output byte
+    /// `i * 8 + l` of half `half` takes source byte `l * 16 + half * 8 + i`
+    /// of the two concatenated 64-byte AoS key registers.
+    const fn transpose_idx(half: usize) -> [u8; 64] {
+        let mut idx = [0u8; 64];
+        let mut i = 0;
+        while i < 8 {
+            let mut l = 0;
+            while l < 8 {
+                idx[i * 8 + l] = (l * 16 + half * 8 + i) as u8;
+                l += 1;
+            }
+            i += 1;
+        }
+        idx
+    }
+
+    static IDX_LO: [u8; 64] = transpose_idx(0);
+    static IDX_HI: [u8; 64] = transpose_idx(1);
+
+    /// One key's 16 packed bytes in an xmm, built from registers (no stack
+    /// round-trip). SSE4.1 ⊂ the callers' AVX-512 feature set, so this
+    /// inlines into them.
+    #[inline]
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn key_xmm(flow: &FlowKey) -> __m128i {
+        let v = flow.pack_u128();
+        _mm_insert_epi64::<1>(_mm_cvtsi64_si128(v as u64 as i64), (v >> 64) as i64)
+    }
+
+    /// Four keys' xmm registers stacked into one 64-byte register.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn stack4(k0: __m128i, k1: __m128i, k2: __m128i, k3: __m128i) -> __m512i {
+        let r = _mm512_inserti32x4::<1>(_mm512_castsi128_si512(k0), k1);
+        let r = _mm512_inserti32x4::<2>(r, k2);
+        _mm512_inserti32x4::<3>(r, k3)
+    }
+
+    /// Packs up to `CHUNK` keys block-major: 8 keys are widened to 16-byte
+    /// register lanes, stacked into two 64-byte registers and transposed
+    /// into byte-row order by two `vpermt2b`s — the whole block never
+    /// touches memory until the final two stores. (An earlier variant
+    /// staged the keys through a 128-byte stack buffer; the vector loads
+    /// then stalled on store-to-load-forwarding misses against the scalar
+    /// byte stores, costing more than the transpose itself.) Bytes written
+    /// are identical to [`super::pack_transpose_scalar`] for lanes `< n`;
+    /// tail lanes of a ragged last block are zero here and stale there —
+    /// both unread garbage.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`, `avx512bw` and `avx512vbmi` at runtime.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vbmi")]
+    pub(super) unsafe fn pack_transpose_vbmi(chunk: &[(FlowKey, u64, i64)], packed_t: &mut [u8]) {
+        debug_assert_eq!(packed_t.len(), (CHUNK / BLOCK) * BLOCK_BYTES);
+        let idx_lo = _mm512_loadu_si512(IDX_LO.as_ptr() as *const __m512i);
+        let idx_hi = _mm512_loadu_si512(IDX_HI.as_ptr() as *const __m512i);
+        let mut blocks = chunk.chunks_exact(BLOCK);
+        let mut dst = packed_t.as_mut_ptr();
+        for recs in blocks.by_ref() {
+            let a = stack4(
+                key_xmm(&recs[0].0),
+                key_xmm(&recs[1].0),
+                key_xmm(&recs[2].0),
+                key_xmm(&recs[3].0),
+            );
+            let b = stack4(
+                key_xmm(&recs[4].0),
+                key_xmm(&recs[5].0),
+                key_xmm(&recs[6].0),
+                key_xmm(&recs[7].0),
+            );
+            _mm512_storeu_si512(dst as *mut __m512i, _mm512_permutex2var_epi8(a, idx_lo, b));
+            _mm512_storeu_si512(
+                dst.add(64) as *mut __m512i,
+                _mm512_permutex2var_epi8(a, idx_hi, b),
+            );
+            dst = dst.add(BLOCK_BYTES);
+        }
+        let tail = blocks.remainder();
+        if !tail.is_empty() {
+            let mut keys = [_mm_setzero_si128(); BLOCK];
+            for (l, (flow, _, _)) in tail.iter().enumerate() {
+                keys[l] = key_xmm(flow);
+            }
+            let a = stack4(keys[0], keys[1], keys[2], keys[3]);
+            let b = stack4(keys[4], keys[5], keys[6], keys[7]);
+            _mm512_storeu_si512(dst as *mut __m512i, _mm512_permutex2var_epi8(a, idx_lo, b));
+            _mm512_storeu_si512(
+                dst.add(64) as *mut __m512i,
+                _mm512_permutex2var_epi8(a, idx_hi, b),
+            );
+        }
+    }
+
+    /// Finishing avalanche on one 8-lane state vector. (Inlines into the
+    /// `avx512f,avx512dq` callers, which enable a superset of features.)
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512dq")]
+    unsafe fn avalanche512(x: __m512i, m1: __m512i, m2: __m512i) -> __m512i {
+        let mut x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 30));
+        x = _mm512_mullo_epi64(x, m1);
+        x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 27));
+        x = _mm512_mullo_epi64(x, m2);
+        _mm512_xor_si512(x, _mm512_srli_epi64(x, 31))
+    }
+
+    /// 8 keys per 512-bit register, `G` tag chains per block, **two blocks
+    /// in flight**: `vpmullq` is long-latency (~15 cycles) and each chain
+    /// is 13 serial multiplies, so `G` chains alone leave the multiplier
+    /// mostly idle — 2×`G` independent chains turn the block loop from
+    /// latency-bound (~24 cycles/key at `G = 5`) to throughput-bound
+    /// (~14 cycles/key).
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` and `avx512dq` at runtime. `out` must hold
+    /// `G * CHUNK` u64s and `blocks * 8 <= CHUNK`.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn hash_avx512<const G: usize>(
+        packed_t: &[u8],
+        inits: &[u64],
+        blocks: usize,
+        out: &mut [u64],
+    ) {
+        debug_assert_eq!(inits.len(), G);
+        debug_assert!(blocks * BLOCK <= CHUNK);
+        debug_assert!(out.len() >= G * CHUNK);
+        let prime = _mm512_set1_epi64(FNV_PRIME as i64);
+        let m1 = _mm512_set1_epi64(TAG_MUL as i64);
+        let m2 = _mm512_set1_epi64(AVALANCHE_MUL2 as i64);
+        let mut blk = 0;
+        while blk + 2 <= blocks {
+            let p0 = packed_t.as_ptr().add(blk * BLOCK_BYTES);
+            let p1 = p0.add(BLOCK_BYTES);
+            let mut s0 = [_mm512_setzero_si512(); G];
+            let mut s1 = [_mm512_setzero_si512(); G];
+            for g in 0..G {
+                s0[g] = _mm512_set1_epi64(inits[g] as i64);
+                s1[g] = s0[g];
+            }
+            for i in 0..KEY_BYTES {
+                // One 8-byte row load per block feeds all G chains.
+                let b0 = _mm512_cvtepu8_epi64(_mm_loadl_epi64(p0.add(i * BLOCK) as *const __m128i));
+                let b1 = _mm512_cvtepu8_epi64(_mm_loadl_epi64(p1.add(i * BLOCK) as *const __m128i));
+                for g in 0..G {
+                    s0[g] = _mm512_mullo_epi64(_mm512_xor_si512(s0[g], b0), prime);
+                    s1[g] = _mm512_mullo_epi64(_mm512_xor_si512(s1[g], b1), prime);
+                }
+            }
+            let j = blk * BLOCK;
+            for g in 0..G {
+                let o = out.as_mut_ptr().add(g * CHUNK + j);
+                _mm512_storeu_si512(o as *mut __m512i, avalanche512(s0[g], m1, m2));
+                _mm512_storeu_si512(o.add(BLOCK) as *mut __m512i, avalanche512(s1[g], m1, m2));
+            }
+            blk += 2;
+        }
+        if blk < blocks {
+            let p0 = packed_t.as_ptr().add(blk * BLOCK_BYTES);
+            let mut st = [_mm512_setzero_si512(); G];
+            for g in 0..G {
+                st[g] = _mm512_set1_epi64(inits[g] as i64);
+            }
+            for i in 0..KEY_BYTES {
+                let b = _mm512_cvtepu8_epi64(_mm_loadl_epi64(p0.add(i * BLOCK) as *const __m128i));
+                for s in st.iter_mut() {
+                    *s = _mm512_mullo_epi64(_mm512_xor_si512(*s, b), prime);
+                }
+            }
+            for (g, &s) in st.iter().enumerate() {
+                let o = out.as_mut_ptr().add(g * CHUNK + blk * BLOCK);
+                _mm512_storeu_si512(o as *mut __m512i, avalanche512(s, m1, m2));
+            }
+        }
+    }
+
+    /// Full 64-bit low-half product from 32×32 partials (AVX2 has no
+    /// `vpmullq`): `lo64(a*b) = lo(a_lo*b_lo) + ((a_hi*b_lo + a_lo*b_hi) << 32)`.
+    #[inline(always)]
+    unsafe fn mullo64_avx2(a: __m256i, b: __m256i, b_hi: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(a, b);
+        let c1 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+        let c2 = _mm256_mul_epu32(a, b_hi);
+        _mm256_add_epi64(lo, _mm256_slli_epi64(_mm256_add_epi64(c1, c2), 32))
+    }
+
+    /// 4 keys per 256-bit register, `G` tag chains interleaved per block.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` at runtime. `out` must hold `G * CHUNK` u64s and
+    /// `blocks * 4 <= CHUNK`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn hash_avx2<const G: usize>(
+        packed_t: &[u8],
+        inits: &[u64],
+        blocks: usize,
+        out: &mut [u64],
+    ) {
+        debug_assert_eq!(inits.len(), G);
+        debug_assert!(blocks * 4 <= CHUNK);
+        debug_assert!(out.len() >= G * CHUNK);
+        let prime = _mm256_set1_epi64x(FNV_PRIME as i64);
+        let prime_hi = _mm256_srli_epi64(prime, 32);
+        let m1 = _mm256_set1_epi64x(TAG_MUL as i64);
+        let m1_hi = _mm256_srli_epi64(m1, 32);
+        let m2 = _mm256_set1_epi64x(AVALANCHE_MUL2 as i64);
+        let m2_hi = _mm256_srli_epi64(m2, 32);
+        for blk in 0..blocks {
+            let j = blk * 4;
+            // 4 records = half an 8-record transpose block; `j % 8` selects
+            // which half of each byte-row.
+            let base = packed_t
+                .as_ptr()
+                .add((j / BLOCK) * BLOCK_BYTES + (j % BLOCK));
+            let mut st = [_mm256_setzero_si256(); G];
+            for g in 0..G {
+                st[g] = _mm256_set1_epi64x(inits[g] as i64);
+            }
+            for i in 0..KEY_BYTES {
+                let four = (base.add(i * BLOCK) as *const i32).read_unaligned();
+                let b = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(four));
+                for s in st.iter_mut() {
+                    *s = mullo64_avx2(_mm256_xor_si256(*s, b), prime, prime_hi);
+                }
+            }
+            for (g, &s) in st.iter().enumerate() {
+                let mut x = s;
+                x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+                x = mullo64_avx2(x, m1, m1_hi);
+                x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+                x = mullo64_avx2(x, m2, m2_hi);
+                x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+                _mm256_storeu_si256(out.as_mut_ptr().add(g * CHUNK + j) as *mut __m256i, x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernels_here() -> Vec<BatchKernel> {
+        let mut ks = vec![BatchKernel::Scalar];
+        if supported(BatchKernel::Avx2) {
+            ks.push(BatchKernel::Avx2);
+        }
+        if supported(BatchKernel::Avx512) {
+            ks.push(BatchKernel::Avx512);
+        }
+        ks
+    }
+
+    /// Every kernel must reproduce `FlowKey::hash_packed` bit-for-bit for
+    /// every tag, including ragged chunk tails.
+    #[test]
+    fn kernels_match_scalar_hash_bit_for_bit() {
+        let seed = 0x5EED_CAFE;
+        let tags = [LANE_TAG, 0u64, 1, 2, HEAVY_TAG];
+        let inits: Vec<u64> = tags.iter().map(|&t| chain_init(seed, t)).collect();
+        for &n in &[1usize, 7, 8, 9, 63, 255, 256] {
+            let keys: Vec<FlowKey> = (0..n as u64)
+                .map(|i| FlowKey::from_id(i * 7919 + 3))
+                .collect();
+            let mut packed_t = vec![0u8; (CHUNK / BLOCK) * BLOCK_BYTES];
+            for (j, k) in keys.iter().enumerate() {
+                for (i, &b) in k.pack().iter().enumerate() {
+                    packed_t[packed_pos(i, j)] = b;
+                }
+            }
+            for kernel in kernels_here() {
+                let mut out = vec![0u64; tags.len() * CHUNK];
+                hash_chunk(kernel, &packed_t, &inits, n, &mut out);
+                for (t, &tag) in tags.iter().enumerate() {
+                    for (j, k) in keys.iter().enumerate() {
+                        assert_eq!(
+                            out[t * CHUNK + j],
+                            FlowKey::hash_packed(&k.pack(), tag, seed),
+                            "kernel {kernel:?}, tag {tag:#x}, key {j}, n {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Staged indices must equal the scalar placement-derived ones.
+    #[test]
+    fn staged_indices_match_scalar_placement() {
+        let config = SketchConfig::builder()
+            .rows(3)
+            .width(64)
+            .levels(4)
+            .topk(16)
+            .max_windows(256)
+            .heavy_rows(16)
+            .build();
+        let chunk: Vec<(FlowKey, u64, i64)> = (0..100u64)
+            .map(|i| (FlowKey::from_id(i * 31), i / 4, 100 + i as i64))
+            .collect();
+        for kernel in kernels_here() {
+            let mut scratch = BatchScratch::new(&config, true);
+            scratch.force_kernel(kernel);
+            scratch.stage(&config, &chunk);
+            for (j, (flow, window, value)) in chunk.iter().enumerate() {
+                let p = config.place(flow);
+                for r in 0..config.rows {
+                    let want = r * config.width + config.light_col_placed(&p, r);
+                    assert_eq!(
+                        scratch.light_idx[r * CHUNK + j] as usize,
+                        want,
+                        "kernel {kernel:?}, row {r}, record {j}"
+                    );
+                }
+                assert_eq!(
+                    scratch.heavy_idx[j] as usize,
+                    config.heavy_slot_placed(&p),
+                    "kernel {kernel:?}, record {j}"
+                );
+                assert_eq!(scratch.windows[j], *window);
+                assert_eq!(scratch.values[j], *value);
+            }
+        }
+    }
+
+    /// Deep sketches (rows > 4, beyond the Placement prehash limit) must
+    /// still derive identical indices: tag groups split at 5 chains.
+    #[test]
+    fn deep_row_configs_split_tag_groups_correctly() {
+        let config = SketchConfig::builder()
+            .rows(6)
+            .width(64)
+            .levels(4)
+            .topk(16)
+            .max_windows(256)
+            .heavy_rows(16)
+            .build();
+        let chunk: Vec<(FlowKey, u64, i64)> =
+            (0..50u64).map(|i| (FlowKey::from_id(i), 0, 1)).collect();
+        for kernel in kernels_here() {
+            let mut scratch = BatchScratch::new(&config, true);
+            scratch.force_kernel(kernel);
+            scratch.stage(&config, &chunk);
+            for (j, (flow, _, _)) in chunk.iter().enumerate() {
+                for r in 0..config.rows {
+                    let want = r * config.width + config.light_col(flow, r);
+                    assert_eq!(scratch.light_idx[r * CHUNK + j] as usize, want);
+                }
+                assert_eq!(scratch.heavy_idx[j] as usize, config.heavy_slot(flow));
+            }
+        }
+    }
+
+    /// A shard slice must reject foreign flows instead of folding them into
+    /// the wrong buckets.
+    #[test]
+    #[should_panic(expected = "routed to a lane outside")]
+    fn misrouted_flow_panics_in_stage() {
+        let config = SketchConfig::builder()
+            .rows(3)
+            .width(64)
+            .levels(4)
+            .topk(16)
+            .max_windows(256)
+            .heavy_rows(16)
+            .build();
+        let slice = config.shard_slice(0, 2);
+        // Find a flow the slice does NOT own.
+        let foreign = (0..10_000u64)
+            .map(FlowKey::from_id)
+            .find(|k| !slice.owns_flow(k))
+            .expect("some flow lands in the other shard");
+        let mut scratch = BatchScratch::new(&slice, true);
+        scratch.stage(&slice, &[(foreign, 0, 1)]);
+    }
+
+    #[test]
+    fn active_kernel_is_supported() {
+        assert!(supported(active_kernel()));
+    }
+
+    /// Diagnostic (not a gate): per-phase wall time of the batch pipeline,
+    /// for attributing a throughput regression to pack, hash, derive or the
+    /// fold without rebuilding the bench harness. Ignored by default; run
+    /// with: cargo test --release -p wavesketch --lib -- --ignored
+    /// phase_timing --nocapture
+    #[test]
+    #[ignore = "manual perf diagnostic, prints timings"]
+    fn phase_timing() {
+        use std::time::Instant;
+        let n: u64 = 4_000_000;
+        let flows = 512u64;
+        // splitmix-driven stream mimicking the bench workload shape.
+        let mut s = 0xBE9Cu64;
+        let mut rnd = move || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut x = s;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+            x ^ (x >> 31)
+        };
+        let mut window = 0u64;
+        let stream: Vec<(FlowKey, u64, i64)> = (0..n)
+            .map(|_| {
+                if rnd() % 5 == 0 {
+                    window = (window + 1).min(4000);
+                }
+                (
+                    FlowKey::from_id(rnd() % flows),
+                    window,
+                    64 + (rnd() % 1436) as i64,
+                )
+            })
+            .collect();
+        let config = SketchConfig::builder().build();
+        let nf = n as f64;
+        let report = |name: &str, f: &mut dyn FnMut() -> u64| {
+            let mut best = u64::MAX;
+            let mut acc = 0;
+            for _ in 0..3 {
+                let t = Instant::now();
+                acc = f();
+                best = best.min(t.elapsed().as_nanos() as u64);
+            }
+            println!("{name:26}{:6.1} ns/u  [{acc:x}]", best as f64 / nf);
+        };
+
+        let mut scratch = BatchScratch::new(&config, true);
+        report("stage (pack+hash+derive):", &mut || {
+            let mut acc = 0u64;
+            for chunk in stream.chunks(CHUNK) {
+                scratch.stage(&config, chunk);
+                acc ^= scratch.light_idx[0] as u64 ^ scratch.heavy_idx[0] as u64;
+            }
+            acc
+        });
+
+        let mut scratch = BatchScratch::new(&config, true);
+        report("pack only:", &mut || {
+            let mut acc = 0u64;
+            for chunk in stream.chunks(CHUNK) {
+                for (j, (_, window, value)) in chunk.iter().enumerate() {
+                    scratch.windows[j] = *window;
+                    scratch.values[j] = *value;
+                }
+                #[cfg(target_arch = "x86_64")]
+                if scratch.vbmi {
+                    unsafe { x86::pack_transpose_vbmi(chunk, &mut scratch.packed_t) };
+                } else {
+                    pack_transpose_scalar(chunk, &mut scratch.packed_t);
+                }
+                acc ^= scratch.packed_t[0] as u64;
+            }
+            acc
+        });
+
+        let chunks = stream.len() / CHUNK;
+        let mut scratch2 = BatchScratch::new(&config, true);
+        scratch2.stage(&config, &stream[..CHUNK]);
+        report("hash only:", &mut || {
+            let mut acc = 0u64;
+            for _ in 0..chunks {
+                hash_chunk(
+                    scratch2.kernel,
+                    &scratch2.packed_t,
+                    &scratch2.inits,
+                    CHUNK,
+                    &mut scratch2.hashes,
+                );
+                acc ^= scratch2.hashes[0];
+            }
+            acc
+        });
+
+        report("full update_batch[256]:", &mut || {
+            let mut sketch = crate::FullWaveSketch::new(config.clone());
+            for chunk in stream.chunks(CHUNK) {
+                sketch.update_batch(chunk);
+            }
+            sketch.heavy_flows().len() as u64
+        });
+
+        report("basic update_batch[256]:", &mut || {
+            let mut sketch = crate::BasicWaveSketch::new(config.clone());
+            for chunk in stream.chunks(CHUNK) {
+                sketch.update_batch(chunk);
+            }
+            sketch.active_buckets() as u64
+        });
+
+        report("full scalar:", &mut || {
+            let mut sketch = crate::FullWaveSketch::new(config.clone());
+            for (flow, w, v) in &stream {
+                sketch.update(flow, *w, *v);
+            }
+            sketch.heavy_flows().len() as u64
+        });
+
+        report("basic scalar:", &mut || {
+            let mut sketch = crate::BasicWaveSketch::new(config.clone());
+            for (flow, w, v) in &stream {
+                sketch.update(flow, *w, *v);
+            }
+            sketch.active_buckets() as u64
+        });
+    }
+}

@@ -6,10 +6,10 @@ use crate::select::SelectorKind;
 
 /// Hash tag reserved for the lane hash. Light rows use tags `0..d` (small)
 /// and the heavy part uses `0xFF`, so `0xFE` yields an independent stream.
-const LANE_TAG: u64 = 0xFE;
+pub(crate) const LANE_TAG: u64 = 0xFE;
 
 /// Hash tag of the heavy part (see [`SketchConfig::heavy_slot`]).
-const HEAVY_TAG: u64 = 0xFF;
+pub(crate) const HEAVY_TAG: u64 = 0xFF;
 
 /// How many light-row hashes a [`Placement`] can carry precomputed. Configs
 /// with more rows fall back to hashing rows lazily (still correct, just not
@@ -20,7 +20,7 @@ const MAX_PREHASH_ROWS: usize = 4;
 /// of two — the common case, since widths, lane counts and heavy-row counts
 /// default to powers of two. The result is identical for every input.
 #[inline]
-fn fast_mod(h: u64, m: u64) -> u64 {
+pub(crate) fn fast_mod(h: u64, m: u64) -> u64 {
     if m.is_power_of_two() {
         h & (m - 1)
     } else {

@@ -60,6 +60,20 @@ impl FlowKey {
         out
     }
 
+    /// [`Self::pack`] widened to a little-endian `u128` (bytes 13..16 zero):
+    /// byte `k` of the result equals `pack()[k]`. Built entirely in
+    /// registers — the batch pack phase feeds SIMD lanes from this and a
+    /// 13-byte stack array would stall every vector load on
+    /// store-to-load-forwarding misses.
+    #[inline]
+    pub(crate) fn pack_u128(&self) -> u128 {
+        u32::from_le_bytes(self.src_ip) as u128
+            | (u32::from_le_bytes(self.dst_ip) as u128) << 32
+            | (self.src_port.swap_bytes() as u128) << 64
+            | (self.dst_port.swap_bytes() as u128) << 80
+            | (self.proto as u128) << 96
+    }
+
     /// Hash of the key for row `row` under `seed`.
     ///
     /// This is a seeded FNV-1a/xor-fold construction: cheap, deterministic and
@@ -98,29 +112,53 @@ impl FlowKey {
         rows: [u64; N],
         seed: u64,
     ) -> [u64; N] {
-        let base: u64 = 0xcbf2_9ce4_8422_2325 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut h = [0u64; N];
         for (state, row) in h.iter_mut().zip(rows) {
-            *state = base ^ (row.wrapping_add(1)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            *state = chain_init(seed, row);
         }
         for &byte in packed {
             let b = byte as u64;
             for state in &mut h {
-                *state = (*state ^ b).wrapping_mul(0x0000_0100_0000_01b3);
+                *state = (*state ^ b).wrapping_mul(FNV_PRIME);
             }
         }
         // Final avalanche (splitmix64 finalizer) so low bits are well mixed
         // before the caller reduces modulo a small width.
         for state in &mut h {
-            let mut x = *state;
-            x ^= x >> 30;
-            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            x ^= x >> 27;
-            x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
-            *state = x ^ (x >> 31);
+            *state = avalanche(*state);
         }
         h
     }
+}
+
+/// FNV-1a offset basis (the `base` of every chain before seed/tag mixing).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Multiplier folding the seed into the chain's initial state.
+pub(crate) const SEED_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Multiplier folding the row tag into the initial state; also the first
+/// multiplier of the splitmix64 avalanche.
+pub(crate) const TAG_MUL: u64 = 0xbf58_476d_1ce4_e5b9;
+/// Second multiplier of the splitmix64 avalanche.
+pub(crate) const AVALANCHE_MUL2: u64 = 0x94d0_49bb_1331_11eb;
+
+/// Initial FNV state for `(seed, tag)` — the per-chain seed/tag mixing of
+/// [`FlowKey::hash_packed_many`], shared with the batch kernels
+/// ([`crate::batch`]) so both paths stay bit-identical by construction.
+#[inline]
+pub(crate) fn chain_init(seed: u64, tag: u64) -> u64 {
+    (FNV_OFFSET ^ seed.wrapping_mul(SEED_MUL)) ^ tag.wrapping_add(1).wrapping_mul(TAG_MUL)
+}
+
+/// The splitmix64 finalizer applied to every finished FNV chain.
+#[inline]
+pub(crate) fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(TAG_MUL);
+    x ^= x >> 27;
+    x = x.wrapping_mul(AVALANCHE_MUL2);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -167,6 +205,20 @@ mod tests {
                 assert_eq!(batch[i], FlowKey::hash_packed(&p, t, 0x5EED), "tag {t}");
             }
         }
+    }
+
+    #[test]
+    fn pack_u128_matches_pack_bytes() {
+        // The SIMD pack path widens through pack_u128; byte k of the LE u128
+        // must equal pack()[k] for the kernels to stay bit-identical.
+        for id in 0..100u64 {
+            let k = FlowKey::from_id(id);
+            let bytes = k.pack_u128().to_le_bytes();
+            assert_eq!(&bytes[..13], &k.pack(), "id {id}");
+            assert_eq!(&bytes[13..], &[0, 0, 0], "high bytes must be zero");
+        }
+        let k = FlowKey::from_v4([1, 2, 3, 4], [5, 6, 7, 8], 0x1234, 0x5678, 6);
+        assert_eq!(&k.pack_u128().to_le_bytes()[..13], &k.pack());
     }
 
     #[test]

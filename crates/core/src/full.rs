@@ -14,6 +14,7 @@
 
 use crate::arena::BucketArena;
 use crate::basic::{BasicWaveSketch, WindowSeries};
+use crate::batch::{prefetch_read, BatchScratch, CHUNK};
 use crate::config::SketchConfig;
 use crate::flow::FlowKey;
 use crate::report::{BucketReport, SketchReport};
@@ -49,6 +50,9 @@ pub struct FullWaveSketch {
     /// Heavy candidates evicted since the last drain (their history lives in
     /// the light part).
     evictions: u64,
+    /// Lazily-built staging buffers for [`Self::update_batch`] (with the
+    /// heavy-tag chain), reused across batches.
+    batch: Option<Box<BatchScratch>>,
 }
 
 impl FullWaveSketch {
@@ -62,6 +66,7 @@ impl FullWaveSketch {
             heavy,
             light,
             evictions: 0,
+            batch: None,
         }
     }
 
@@ -91,6 +96,14 @@ impl FullWaveSketch {
         self.light.update_placed(&p, window, value);
 
         let idx = self.config.heavy_slot_placed(&p);
+        self.heavy_vote(idx, flow, window, value);
+    }
+
+    /// The heavy part's majority-vote machine for one packet at slot `idx` —
+    /// the only state shared between records of a batch, so the batch path
+    /// replays it record-by-record in original order.
+    #[inline]
+    fn heavy_vote(&mut self, idx: usize, flow: &FlowKey, window: u64, value: i64) {
         let slot = &mut self.slots[idx];
         match slot.key {
             None => {
@@ -116,6 +129,46 @@ impl FullWaveSketch {
                 }
             }
         }
+    }
+
+    /// Records a burst of `(flow, window, value)` updates through the batch
+    /// pipeline: one SIMD hashing pass covers the lane, all `d` light rows
+    /// *and* the heavy slot of every record, then the light rows are applied
+    /// row-phased with prefetch and the heavy vote machine is replayed in
+    /// original record order.
+    ///
+    /// Bit-identical to per-record [`Self::update`] calls: the light and
+    /// heavy parts share no state, light buckets preserve per-bucket record
+    /// order under row-phasing (see [`BasicWaveSketch::update_batch`]), and
+    /// the vote machine — the only cross-record dependency — runs strictly
+    /// in order.
+    pub fn update_batch(&mut self, records: &[(FlowKey, u64, i64)]) {
+        const PF: usize = 16;
+        let mut scratch = self
+            .batch
+            .take()
+            .unwrap_or_else(|| Box::new(BatchScratch::new(&self.config, true)));
+        for chunk in records.chunks(CHUNK) {
+            let n = chunk.len();
+            scratch.stage(&self.config, chunk);
+            for row in 0..self.config.rows {
+                let idx = &scratch.light_idx[row * CHUNK..row * CHUNK + n];
+                self.light
+                    .arena_mut()
+                    .apply_batch(idx, &scratch.windows, &scratch.values, n);
+            }
+            for j in 0..n {
+                if j + PF < n {
+                    let b = scratch.heavy_idx[j + PF] as usize;
+                    prefetch_read(&self.slots[b]);
+                    self.heavy.prefetch_header(b);
+                }
+                let idx = scratch.heavy_idx[j] as usize;
+                let flow = scratch.keys[j];
+                self.heavy_vote(idx, &flow, scratch.windows[j], scratch.values[j]);
+            }
+        }
+        self.batch = Some(scratch);
     }
 
     /// True if `flow` currently holds a heavy-part slot.

@@ -60,6 +60,7 @@
 pub mod aggevict;
 pub mod arena;
 pub mod basic;
+pub mod batch;
 pub mod bucket;
 pub mod config;
 pub mod flow;
@@ -75,6 +76,7 @@ pub mod streaming;
 pub use aggevict::AggEvictBuffer;
 pub use arena::BucketArena;
 pub use basic::BasicWaveSketch;
+pub use batch::{active_kernel, BatchKernel};
 pub use bucket::WaveBucket;
 pub use config::{Placement, SketchConfig, SketchConfigBuilder};
 pub use flow::FlowKey;

@@ -29,6 +29,10 @@ use crate::report::SketchReport;
 pub struct ShardedWaveSketch {
     config: SketchConfig,
     shards: Vec<FullWaveSketch>,
+    /// Per-shard sub-batch buffers for [`Self::update_batch`], reused across
+    /// calls (cleared, never shrunk) so routing allocates only until each
+    /// buffer has grown to the workload's burst size.
+    route: Vec<Vec<(FlowKey, u64, i64)>>,
 }
 
 impl ShardedWaveSketch {
@@ -42,7 +46,11 @@ impl ShardedWaveSketch {
         let shards = (0..shard_count)
             .map(|s| FullWaveSketch::new(config.shard_slice(s, shard_count)))
             .collect();
-        Self { config, shards }
+        Self {
+            config,
+            shards,
+            route: vec![Vec::new(); shard_count],
+        }
     }
 
     /// The global (unsliced) configuration.
@@ -68,13 +76,30 @@ impl ShardedWaveSketch {
         self.shards[s].update(flow, window, value);
     }
 
-    /// Records a batch of updates, routing each to its owning shard.
+    /// Records a batch of updates: routes each record to its owning shard's
+    /// sub-batch (a stable partition — per-shard record order is the arrival
+    /// order), then runs every shard's SIMD batch pipeline
+    /// ([`FullWaveSketch::update_batch`]) over its sub-batch.
     ///
-    /// Semantically identical to calling [`Self::update`] per entry; the
-    /// batched form is the natural unit for handing work to shard threads.
+    /// Bit-identical to calling [`Self::update`] per entry: shards share no
+    /// state, so only the per-shard order matters, and that is preserved.
+    /// Short bursts skip staging entirely — below one hash block per shard
+    /// the scalar path's interleaved hashing is already optimal.
     pub fn update_batch(&mut self, batch: &[(FlowKey, u64, i64)]) {
-        for (flow, window, value) in batch {
-            self.update(flow, *window, *value);
+        if batch.len() < 8 * self.shards.len() {
+            for (flow, window, value) in batch {
+                self.update(flow, *window, *value);
+            }
+            return;
+        }
+        for sub in &mut self.route {
+            sub.clear();
+        }
+        for rec in batch {
+            self.route[self.config.shard_of(&rec.0, self.shards.len())].push(*rec);
+        }
+        for (shard, sub) in self.shards.iter_mut().zip(&self.route) {
+            shard.update_batch(sub);
         }
     }
 

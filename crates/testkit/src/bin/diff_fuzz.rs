@@ -3,10 +3,15 @@
 //! Runs [`umon_testkit::diff_run`] for `--seeds` consecutive seeds starting
 //! at `--start`, each across all three workload kinds. Prints a repro
 //! command for every failure and exits nonzero if any invariant broke.
+//!
+//! `UMON_DIFF_BATCH=<burst>` routes the Basic/Full/HW variants through
+//! `update_batch` in bursts of that size so the oracle pins the staged
+//! ingest path; combine with `UMON_BATCH_KERNEL=scalar` to pin the
+//! kernel fallback (ci.sh runs both configurations every time).
 
 use std::time::Instant;
 
-use umon_testkit::{diff_run, DiffConfig, DiffStats, StreamKind};
+use umon_testkit::{batch_burst_from_env, diff_run, DiffConfig, DiffStats, StreamKind};
 
 fn usage() -> ! {
     eprintln!("usage: diff_fuzz [--seeds N] [--start S]");
@@ -29,6 +34,14 @@ fn main() {
             "--start" => start = value("--start"),
             _ => usage(),
         }
+    }
+
+    match batch_burst_from_env() {
+        Some(burst) => println!(
+            "diff_fuzz: batch ingest path, burst {burst}, kernel {}",
+            wavesketch::active_kernel().name()
+        ),
+        None => println!("diff_fuzz: scalar (per-record) ingest path"),
     }
 
     let t0 = Instant::now();

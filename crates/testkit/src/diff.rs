@@ -66,6 +66,23 @@ pub struct DiffConfig {
     pub query_sample: usize,
     /// Factor for the value-scaling metamorphic check.
     pub scale_factor: i64,
+    /// When `Some(n)`, the Basic/Full/HW variants ingest through
+    /// `update_batch` in bursts of `n` records instead of per-record
+    /// `update`, so every oracle and cross-variant invariant in this file
+    /// pins the staged SIMD path too. `None` keeps the scalar loop.
+    pub batch_burst: Option<usize>,
+}
+
+/// Reads the `UMON_DIFF_BATCH` burst-size toggle ci.sh uses to force the
+/// batch ingest path through the fuzzer (0 or unset → scalar loop). The
+/// kernel the staged path then picks is controlled independently by
+/// `UMON_BATCH_KERNEL` in `wavesketch::batch`, so CI sweeps both the SIMD
+/// kernel and its scalar fallback through the same invariants.
+pub fn batch_burst_from_env() -> Option<usize> {
+    std::env::var("UMON_DIFF_BATCH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 impl DiffConfig {
@@ -96,6 +113,41 @@ impl DiffConfig {
             shard_counts: vec![2, 4],
             query_sample: 16,
             scale_factor: 3,
+            batch_burst: batch_burst_from_env(),
+        }
+    }
+}
+
+/// Drives a Full sketch over the stream through whichever ingest path the
+/// config selects. Burst sizes are taken as-is (ci.sh picks one that is not
+/// a multiple of the staging CHUNK so remainder handling stays covered).
+fn drive_full(sketch: &mut FullWaveSketch, stream: &[(FlowKey, u64, i64)], cfg: &DiffConfig) {
+    match cfg.batch_burst {
+        Some(burst) => {
+            for chunk in stream.chunks(burst) {
+                sketch.update_batch(chunk);
+            }
+        }
+        None => {
+            for (f, w, v) in stream {
+                sketch.update(f, *w, *v);
+            }
+        }
+    }
+}
+
+/// [`drive_full`] for the Basic (light-only) sketch.
+fn drive_basic(sketch: &mut BasicWaveSketch, stream: &[(FlowKey, u64, i64)], cfg: &DiffConfig) {
+    match cfg.batch_burst {
+        Some(burst) => {
+            for chunk in stream.chunks(burst) {
+                sketch.update_batch(chunk);
+            }
+        }
+        None => {
+            for (f, w, v) in stream {
+                sketch.update(f, *w, *v);
+            }
         }
     }
 }
@@ -256,9 +308,7 @@ pub fn diff_run(seed: u64, cfg: &DiffConfig) -> Result<DiffStats, DiffError> {
 
     // 3 + 4: Basic sketch vs the per-cell oracle, plus query lower bounds.
     let mut basic = BasicWaveSketch::new(cfg.sketch.clone());
-    for (f, w, v) in &stream {
-        basic.update(f, *w, *v);
-    }
+    drive_basic(&mut basic, &stream, cfg);
     for flow in &sample {
         let truth_total = oracle.flow_total(flow) as f64;
         let est = basic
@@ -298,9 +348,7 @@ pub fn diff_run(seed: u64, cfg: &DiffConfig) -> Result<DiffStats, DiffError> {
         }
     }
     let mut full = FullWaveSketch::new(cfg.sketch.clone());
-    for (f, w, v) in &stream {
-        full.update(f, *w, *v);
-    }
+    drive_full(&mut full, &stream, cfg);
     let expected_heavy: Vec<(FlowKey, i64)> = slots
         .iter()
         .filter_map(|&(k, vote, _)| k.map(|k| (k, vote)))
@@ -413,9 +461,7 @@ pub fn diff_run(seed: u64, cfg: &DiffConfig) -> Result<DiffStats, DiffError> {
     };
     let hw_params = CheckParams::from_config(&hw_cfg);
     let mut hw = FullWaveSketch::new(hw_cfg.clone());
-    for (f, w, v) in &stream {
-        hw.update(f, *w, *v);
-    }
+    drive_full(&mut hw, &stream, cfg);
     let hw_report = hw.drain();
     stats.light_epochs += oracle
         .check_light_drain(&hw_report.light, &hw_params)
@@ -435,10 +481,10 @@ pub fn diff_run(seed: u64, cfg: &DiffConfig) -> Result<DiffStats, DiffError> {
     let shuffled = shuffle_within_windows(&stream, seed ^ 0xA5A5_5A5A_F00D_BEEF);
     let mut basic_p = BasicWaveSketch::new(cfg.sketch.clone());
     let mut full_p = FullWaveSketch::new(cfg.sketch.clone());
+    drive_basic(&mut basic_p, &shuffled, cfg);
+    drive_full(&mut full_p, &shuffled, cfg);
     let mut per_flow_p: BTreeMap<FlowKey, WaveBucket> = BTreeMap::new();
     for (f, w, v) in &shuffled {
-        basic_p.update(f, *w, *v);
-        full_p.update(f, *w, *v);
         per_flow_p
             .entry(*f)
             .or_insert_with(|| WaveBucket::new(&cfg.sketch))
@@ -466,9 +512,7 @@ pub fn diff_run(seed: u64, cfg: &DiffConfig) -> Result<DiffStats, DiffError> {
     // 9: value scaling.
     let scaled = scale_values(&stream, cfg.scale_factor);
     let mut full_s = FullWaveSketch::new(cfg.sketch.clone());
-    for (f, w, v) in &scaled {
-        full_s.update(f, *w, *v);
-    }
+    drive_full(&mut full_s, &scaled, cfg);
     if full_s.drain() != scale_report(&full_report, cfg.scale_factor) {
         return Err(fail(format!(
             "scaling values by {} did not scale the full drain's coefficients by {}",
@@ -559,5 +603,25 @@ mod tests {
     fn runs_are_deterministic() {
         let cfg = DiffConfig::quick(StreamKind::Skewed);
         assert_eq!(diff_run(42, &cfg).unwrap(), diff_run(42, &cfg).unwrap());
+    }
+
+    #[test]
+    fn batch_ingest_survives_the_full_differential() {
+        // Belt-and-braces alongside the ci.sh env toggle: pin the staged
+        // batch path against every invariant in this file even when the
+        // suite runs without UMON_DIFF_BATCH set. Burst 257 is deliberately
+        // not a multiple of the staging CHUNK (256) so remainder handling
+        // stays covered, and the batch run must produce coverage counters
+        // identical to the scalar run's — same streams, same epochs, same
+        // drains.
+        for kind in StreamKind::ALL {
+            let mut cfg = DiffConfig::quick(kind);
+            cfg.batch_burst = None;
+            let scalar = diff_run(0xBA7C, &cfg).unwrap();
+            cfg.batch_burst = Some(257);
+            let batched = diff_run(0xBA7C, &cfg).unwrap();
+            assert_eq!(scalar, batched);
+            assert!(batched.drains_compared >= 6);
+        }
     }
 }

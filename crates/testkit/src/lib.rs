@@ -46,7 +46,7 @@ pub mod replay;
 pub mod retention;
 pub mod stream;
 
-pub use diff::{diff_run, DiffConfig, DiffError, DiffStats};
+pub use diff::{batch_burst_from_env, diff_run, DiffConfig, DiffError, DiffStats};
 pub use faults::{collection_diff_run, flow_id_of, CollectionDiffConfig, CollectionDiffStats};
 pub use oracle::{CheckParams, EpochTruth, Oracle};
 pub use replay::{replay_host_records, ReplayStats};

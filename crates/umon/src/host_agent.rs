@@ -81,6 +81,11 @@ pub struct HostAgent {
     sketch: FullWaveSketch,
     current_period: Option<u64>,
     finished: Vec<PeriodReport>,
+    /// Staging buffer for [`Self::ingest`]: records of the current period
+    /// accumulate here and flush through the sketch's batch pipeline. Always
+    /// empty between calls (drained at every period boundary and at the end
+    /// of each ingest slice), so mixing `ingest` and `observe` stays sound.
+    ingest_buf: Vec<(FlowKey, u64, i64)>,
     /// Total packets observed.
     pub packets: u64,
     /// Total bytes observed.
@@ -97,6 +102,7 @@ impl HostAgent {
             sketch,
             current_period: None,
             finished: Vec::new(),
+            ingest_buf: Vec::new(),
             packets: 0,
             bytes: 0,
         }
@@ -121,12 +127,40 @@ impl HostAgent {
         self.bytes += bytes as u64;
     }
 
-    /// Convenience: feeds every record of this host from a simulation tap.
+    /// Feeds every record of this host from a simulation tap, batching
+    /// consecutive same-period records through the sketch's SIMD batch
+    /// pipeline ([`FullWaveSketch::update_batch`]). Bit-identical to calling
+    /// [`Self::observe`] per record: the staging buffer flushes *before*
+    /// every period drain and again at the end of the slice, so drains see
+    /// exactly the records a scalar replay would have applied.
     pub fn ingest(&mut self, records: &[TxRecord]) {
         for r in records {
-            if r.host == self.host {
-                self.observe(r.flow.0, r.ts_ns, r.bytes);
+            if r.host != self.host {
+                continue;
             }
+            let period = r.ts_ns / self.config.period_ns;
+            match self.current_period {
+                None => self.current_period = Some(period),
+                Some(cur) if period > cur => {
+                    self.flush_ingest_buf();
+                    self.flush_period(cur);
+                    self.current_period = Some(period);
+                }
+                _ => {}
+            }
+            let window = r.ts_ns >> self.config.window_shift;
+            self.ingest_buf
+                .push((FlowKey::from_id(r.flow.0), window, r.bytes as i64));
+            self.packets += 1;
+            self.bytes += r.bytes as u64;
+        }
+        self.flush_ingest_buf();
+    }
+
+    fn flush_ingest_buf(&mut self) {
+        if !self.ingest_buf.is_empty() {
+            self.sketch.update_batch(&self.ingest_buf);
+            self.ingest_buf.clear();
         }
     }
 

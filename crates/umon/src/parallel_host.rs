@@ -32,9 +32,9 @@ fn shard_worker(mut sketch: FullWaveSketch, rx: mpsc::Receiver<ShardMsg>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Batch(batch) => {
-                for (flow, window, value) in &batch {
-                    sketch.update(flow, *window, *value);
-                }
+                // The batch is pre-routed (every record belongs to this
+                // shard), so it feeds the SIMD batch pipeline directly.
+                sketch.update_batch(&batch);
             }
             ShardMsg::Drain(reply) => {
                 // The agent waits on the reply; a dropped receiver means the

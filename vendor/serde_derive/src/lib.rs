@@ -13,7 +13,11 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// Parsed shape of the deriving struct.
 struct StructShape {
     name: String,
-    fields: Vec<String>,
+    /// Field name plus whether its type is spelled `Option<…>` — Option
+    /// fields tolerate a missing key on deserialize (upstream serde's
+    /// behavior), which lets bench-file schemas grow new optional sections
+    /// without invalidating committed files.
+    fields: Vec<(String, bool)>,
 }
 
 fn parse_struct(input: TokenStream) -> StructShape {
@@ -67,10 +71,17 @@ fn parse_struct(input: TokenStream) -> StructShape {
                 j += 1;
             }
         }
-        match &body[j] {
-            TokenTree::Ident(id) => fields.push(id.to_string()),
+        let field_name = match &body[j] {
+            TokenTree::Ident(id) => id.to_string(),
             other => panic!("expected field name in {name}, found {other}"),
-        }
+        };
+        // Peek past the `:` at the type's leading ident to spot `Option<…>`.
+        let is_option = matches!(
+            (&body.get(j + 1), &body.get(j + 2)),
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Ident(ty)))
+                if p.as_char() == ':' && ty.to_string() == "Option"
+        );
+        fields.push((field_name, is_option));
         // Skip to the comma that ends this field (groups are single trees, so
         // a top-level comma always terminates the field).
         while j < body.len() {
@@ -92,7 +103,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let entries: String = shape
         .fields
         .iter()
-        .map(|f| {
+        .map(|(f, _)| {
             format!(
                 "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
             )
@@ -116,7 +127,18 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let fields: String = shape
         .fields
         .iter()
-        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.expect_field(\"{f}\")?)?,"))
+        .map(|(f, is_option)| {
+            if *is_option {
+                // Missing key → Null → None, so files written before an
+                // optional section existed keep loading.
+                format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                         v.field(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
+                )
+            } else {
+                format!("{f}: ::serde::Deserialize::from_value(v.expect_field(\"{f}\")?)?,")
+            }
+        })
         .collect();
     let code = format!(
         "impl ::serde::Deserialize for {name} {{\n\
