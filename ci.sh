@@ -32,6 +32,13 @@ echo "==> diff_fuzz smoke: batch ingest path, scalar fallback kernel"
 UMON_DIFF_BATCH=257 UMON_BATCH_KERNEL=scalar timeout 300 \
   cargo run --release -q -p umon-testkit --bin diff_fuzz -- --seeds 32
 
+# Fixed-seed parallel-vs-sequential netsim equivalence smoke: each seed's
+# workload runs sequentially and at 1/2/4 partitions on the k=4 fat-tree;
+# the full trace must be byte-identical and the drained host reports
+# bit-identical (DESIGN.md §16). Deterministic, like diff_fuzz above.
+echo "==> sim_equivalence smoke: 4 seeds x {1,2,4} partitions"
+timeout 300 cargo run --release -q -p umon-testkit --bin sim_equivalence -- --seeds 4
+
 # Fixed-seed collection-plane fault-injection smoke: period reports replayed
 # over lossless, lossy and retransmission-healed transports against the
 # collector's degradation contract (DESIGN.md §9). Deterministic, like

@@ -30,8 +30,10 @@ use umon::switch_agent::MirroredPacket;
 use umon::{Analyzer, HostAgent, HostAgentConfig, QueryScratch, RetentionPolicy};
 use umon_bench::frontier;
 use umon_netsim::{
-    CongestionControl, FlowId, FlowSpec, SchedulerKind, SimConfig, Simulator, Topology,
+    run_parallel, CongestionControl, FlowId, FlowSpec, SchedulerKind, SimConfig, Simulator,
+    Topology,
 };
+use umon_workloads::{WorkloadKind, WorkloadParams};
 use wavesketch::{BasicWaveSketch, FlowKey, FullWaveSketch, SketchConfig};
 
 const CORE_UPDATES_FULL_RUN: u64 = 4_000_000;
@@ -46,6 +48,16 @@ const WIDE_HEAVY_ROWS: usize = 4_096;
 const WIDE_FLOWS: u64 = 100_000;
 const NETSIM_SEED: u64 = 1;
 const REPS: usize = 5;
+/// Scaling-surface knobs: arrival window + simulated horizon per fat-tree
+/// arity, sized so a point stays in seconds even at k=16 (1024 hosts), and
+/// fewer reps than [`REPS`] because each rep is long enough to be stable.
+const SCALING_REPS: usize = 3;
+const SCALING_K4_DURATION_NS: u64 = 2_000_000;
+const SCALING_K4_END_NS: u64 = 3_000_000;
+const SCALING_K8_DURATION_NS: u64 = 1_000_000;
+const SCALING_K8_END_NS: u64 = 2_000_000;
+const SCALING_K16_DURATION_NS: u64 = 250_000;
+const SCALING_K16_END_NS: u64 = 1_000_000;
 
 const ANALYZER_SEED: u64 = 0xA11A;
 const ANALYZER_HOSTS: usize = 8;
@@ -127,6 +139,34 @@ struct NetsimMeasure {
     notes: String,
 }
 
+/// One point of the parallel-scaling surface: a Hadoop-mix cluster workload
+/// on a `k`-ary fat-tree run through `run_parallel` with `partitions`
+/// threads. `peak_rss_kb` is per-point (the watermark is reset before each
+/// measurement, see [`reset_peak_rss`]) and `speedup_vs_single_thread`
+/// compares against the `partitions == 1` point of the same `k` in the same
+/// run.
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct NetsimScalingPoint {
+    k: u64,
+    flows: u64,
+    partitions: u64,
+    wall_ns: u64,
+    events: u64,
+    events_per_sec: f64,
+    peak_rss_kb: u64,
+    speedup_vs_single_thread: f64,
+}
+
+/// The `scaling` section of `BENCH_netsim.json`: the k=4 single-thread
+/// reference point measured in the same run (so cross-k comparisons are
+/// machine-honest), then the (k, partitions) surface.
+#[derive(Debug, Serialize, Deserialize, Clone)]
+struct NetsimScaling {
+    baseline_k4_single_thread: NetsimScalingPoint,
+    points: Vec<NetsimScalingPoint>,
+    notes: String,
+}
+
 #[derive(Debug, Serialize, Deserialize, Default)]
 struct NetsimBench {
     schema: u32,
@@ -135,6 +175,7 @@ struct NetsimBench {
     baseline: Option<NetsimMeasure>,
     current: Option<NetsimMeasure>,
     current_heap: Option<NetsimMeasure>,
+    scaling: Option<NetsimScaling>,
     speedup_vs_baseline: Option<f64>,
 }
 
@@ -226,6 +267,18 @@ fn cpu_notes() -> String {
     )
 }
 
+/// Resets the kernel's peak-RSS watermark (`VmHWM`) down to the *current*
+/// RSS by writing `5` to `/proc/self/clear_refs`. The watermark is
+/// process-wide, so without this every netsim figure inherits whatever the
+/// core and analyzer benches allocated earlier in the same invocation — the
+/// 128.6 → 198.4 MB "regression" a past BENCH_netsim.json showed was
+/// exactly that pollution (core's wide-sketch sweep ran first), not a
+/// simulator change. Best-effort: kernels without `clear_refs` support
+/// leave the watermark unchanged.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 /// Peak resident set size of this process, from `/proc/self/status` (kB).
 fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
@@ -275,10 +328,16 @@ fn wide_config() -> SketchConfig {
 }
 
 /// Minimum-of-`REPS` wall time for `f`, freshly constructing state each rep.
-fn time_min<F: FnMut() -> u64>(mut f: F) -> (u64, u64) {
+fn time_min<F: FnMut() -> u64>(f: F) -> (u64, u64) {
+    time_min_of(REPS, f)
+}
+
+/// Minimum-of-`reps` wall time for `f`; the scaling surface uses fewer reps
+/// than [`REPS`] because each point is seconds, not milliseconds.
+fn time_min_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> (u64, u64) {
     let mut best = u64::MAX;
     let mut checksum = 0u64;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let start = Instant::now();
         checksum = f();
         best = best.min(start.elapsed().as_nanos() as u64);
@@ -425,6 +484,7 @@ fn netsim_config(end_ns: u64) -> SimConfig {
 }
 
 fn bench_netsim(end_ns: u64, use_heap: bool) -> NetsimMeasure {
+    reset_peak_rss();
     let mut events = 0u64;
     let (wall_ns, _) = time_min(|| {
         let topo = Topology::fat_tree(4, 100.0, 1000);
@@ -444,6 +504,104 @@ fn bench_netsim(end_ns: u64, use_heap: bool) -> NetsimMeasure {
         events_per_sec: events as f64 / (wall_ns as f64 / 1e9),
         peak_rss_kb: peak_rss_kb(),
         notes: String::new(),
+    }
+}
+
+/// Scaling-surface workload: Hadoop mix at 0.25 load on the k-ary fat-tree,
+/// with the arrival window shortened from the paper's 20 ms so each
+/// (k, partitions) point finishes in seconds. Deterministic in
+/// [`NETSIM_SEED`].
+fn scaling_flows(k: usize, duration_ns: u64) -> Vec<FlowSpec> {
+    let mut params = WorkloadParams::cluster(WorkloadKind::Hadoop, 0.25, k, NETSIM_SEED);
+    params.duration_ns = duration_ns;
+    params.generate()
+}
+
+/// Measures one point of the scaling surface: min-of-[`SCALING_REPS`] wall
+/// time for `run_parallel` on the k-ary fat-tree cluster workload. The RSS
+/// watermark is reset first so `peak_rss_kb` is this point's own footprint.
+fn bench_scaling_point(
+    k: usize,
+    partitions: usize,
+    duration_ns: u64,
+    end_ns: u64,
+) -> NetsimScalingPoint {
+    reset_peak_rss();
+    let flows = scaling_flows(k, duration_ns);
+    let num_flows = flows.len() as u64;
+    let mut events = 0u64;
+    let (wall_ns, _) = time_min_of(SCALING_REPS, || {
+        let topo = Topology::fat_tree(k, 100.0, 1000);
+        let result = run_parallel(topo, flows.clone(), netsim_config(end_ns), partitions)
+            .expect("standard fat-trees have non-zero cut latency");
+        events = result.events_processed;
+        events
+    });
+    NetsimScalingPoint {
+        k: k as u64,
+        flows: num_flows,
+        partitions: partitions as u64,
+        wall_ns,
+        events,
+        events_per_sec: events as f64 / (wall_ns as f64 / 1e9),
+        peak_rss_kb: peak_rss_kb(),
+        speedup_vs_single_thread: 1.0, // filled in against the P=1 point
+    }
+}
+
+/// The parallel-scaling surface: k=4 single-thread reference, then k=8 and
+/// k=16 at 1/2/4 partitions. Every number comes from the same process and
+/// machine, so the ratios are honest; the notes record how many hardware
+/// threads the host actually had, because conservative-window parallelism
+/// can only buy wall-clock on a multi-core host.
+fn bench_scaling() -> NetsimScaling {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let baseline = bench_scaling_point(4, 1, SCALING_K4_DURATION_NS, SCALING_K4_END_NS);
+    println!(
+        "  scaling k=4  p=1: {:>10.0} events/sec ({} events, {} flows, {:.1} MB)",
+        baseline.events_per_sec,
+        baseline.events,
+        baseline.flows,
+        baseline.peak_rss_kb as f64 / 1024.0
+    );
+    let mut points = Vec::new();
+    for &(k, duration_ns, end_ns) in &[
+        (8usize, SCALING_K8_DURATION_NS, SCALING_K8_END_NS),
+        (16, SCALING_K16_DURATION_NS, SCALING_K16_END_NS),
+    ] {
+        let mut single_thread_ev = f64::NAN;
+        for &partitions in &[1usize, 2, 4] {
+            let mut point = bench_scaling_point(k, partitions, duration_ns, end_ns);
+            if partitions == 1 {
+                single_thread_ev = point.events_per_sec;
+            }
+            point.speedup_vs_single_thread = point.events_per_sec / single_thread_ev;
+            println!(
+                "  scaling k={k:<2} p={partitions}: {:>10.0} events/sec ({} events, {} flows, \
+                 {:.1} MB, {:.2}x vs p=1)",
+                point.events_per_sec,
+                point.events,
+                point.flows,
+                point.peak_rss_kb as f64 / 1024.0,
+                point.speedup_vs_single_thread
+            );
+            points.push(point);
+        }
+    }
+    NetsimScaling {
+        baseline_k4_single_thread: baseline,
+        points,
+        notes: format!(
+            "hadoop mix at 0.25 load, arrival windows {}/{}/{} us for k=4/8/16, \
+             min of {SCALING_REPS} reps; host has {cores} hardware thread(s) — \
+             conservative-window parallelism needs >= partitions cores for \
+             wall-clock speedup, so on a 1-core host multi-partition points \
+             measure synchronization overhead, not speedup; {}",
+            SCALING_K4_DURATION_NS / 1000,
+            SCALING_K8_DURATION_NS / 1000,
+            SCALING_K16_DURATION_NS / 1000,
+            cpu_notes()
+        ),
     }
 }
 
@@ -811,6 +969,11 @@ fn record_netsim(root: &Path, as_baseline: Option<&str>) {
             );
             netsim_file.current = Some(calendar);
             netsim_file.current_heap = Some(heap);
+            println!(
+                "netsim scaling: hadoop cluster workloads, k=4/8/16 x 1/2/4 partitions \
+                 x {SCALING_REPS} reps ..."
+            );
+            netsim_file.scaling = Some(bench_scaling());
         }
     }
     if let (Some(b), Some(c)) = (&netsim_file.baseline, &netsim_file.current) {
@@ -1131,6 +1294,48 @@ fn smoke() {
         "speedup_vs_baseline",
         netsim_file.speedup_vs_baseline,
     );
+    require_finite(
+        "BENCH_netsim.json",
+        "scaling.baseline_k4_single_thread",
+        "events_per_sec",
+        netsim_file
+            .scaling
+            .as_ref()
+            .map(|s| s.baseline_k4_single_thread.events_per_sec),
+    );
+    let scaling = netsim_file.scaling.as_ref().expect("checked above");
+    if scaling.points.is_empty() {
+        eprintln!("FAIL BENCH_netsim.json: scaling.points is empty");
+        std::process::exit(1);
+    }
+    for p in &scaling.points {
+        let label = format!("k={} partitions={}", p.k, p.partitions);
+        require_finite(
+            "BENCH_netsim.json",
+            "scaling.points",
+            &format!("events_per_sec[{label}]"),
+            Some(p.events_per_sec),
+        );
+        require_finite(
+            "BENCH_netsim.json",
+            "scaling.points",
+            &format!("speedup_vs_single_thread[{label}]"),
+            Some(p.speedup_vs_single_thread),
+        );
+        if p.partitions == 0 || p.events == 0 || p.peak_rss_kb == 0 {
+            eprintln!("FAIL BENCH_netsim.json: scaling point {label} has a zero field");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "BENCH_netsim: committed scaling surface has {} points over k={{{}}}",
+        scaling.points.len(),
+        {
+            let mut ks: Vec<u64> = scaling.points.iter().map(|p| p.k).collect();
+            ks.dedup();
+            ks.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        }
+    );
     let committed_queries = require_finite(
         "BENCH_analyzer.json",
         "current",
@@ -1260,6 +1465,25 @@ fn smoke() {
         "events_per_sec",
         Some(netsim.events_per_sec),
     );
+    // Parallel gate: the sharded simulator must dispatch exactly the events
+    // the sequential run does (cheap proxy for the bit-identical contract;
+    // the full trace diff lives in the sim_equivalence suite).
+    let mut par_config = netsim_config(2_000_000);
+    par_config.scheduler = SchedulerKind::Calendar;
+    let par = run_parallel(
+        Topology::fat_tree(4, 100.0, 1000),
+        netsim_flows(1024),
+        par_config,
+        2,
+    )
+    .expect("k=4 fat-tree partitions cleanly");
+    if par.events_processed != netsim.events {
+        eprintln!(
+            "FAIL netsim: 2-partition run dispatched {} events, sequential dispatched {}",
+            par.events_processed, netsim.events
+        );
+        std::process::exit(1);
+    }
     let analyzer = bench_analyzer(ANALYZER_SWEEPS_SMOKE);
     let fresh_queries = require_finite(
         "BENCH_analyzer.json",

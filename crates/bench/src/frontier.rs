@@ -98,7 +98,7 @@ pub struct ScenarioFrontier {
 /// Runs one scenario through the simulator (PFC fabric and failure schedule
 /// as the scenario demands) and returns the host egress tap.
 pub fn run_scenario(scenario: &Scenario) -> (Vec<TxRecord>, u64) {
-    let topo = Topology::fat_tree(4, 100.0, 1000);
+    let topo = Topology::fat_tree(scenario.topo_k, 100.0, 1000);
     let config = SimConfig {
         end_ns: scenario.end_ns,
         seed: FRONTIER_SEED,
@@ -158,7 +158,7 @@ fn truth_curve(oracle: &Oracle, flow: u64) -> Option<(BTreeMap<u64, f64>, u64, u
 /// Scores every scheme at every budget on one simulated record stream.
 pub fn evaluate_scenario(scenario: &Scenario, smoke: bool) -> ScenarioFrontier {
     let (records, sim_end_ns) = run_scenario(scenario);
-    let num_hosts = 16;
+    let num_hosts = scenario.topo_k.pow(3) / 4;
 
     // Partition per source host; records arrive time-ordered.
     let mut per_host: Vec<Vec<&TxRecord>> = vec![Vec::new(); num_hosts];

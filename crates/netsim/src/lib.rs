@@ -18,15 +18,23 @@
 //!   distributions.
 //!
 //! Everything is seeded and deterministic: the same [`sim::SimConfig`] and
-//! flow list reproduce the same packet trace bit-for-bit.
+//! flow list reproduce the same packet trace bit-for-bit — on one thread or
+//! many: [`parallel::run_parallel`] shards the topology into logical
+//! processes (one per fat-tree pod plus the core, [`partition`]) under
+//! conservative lookahead sync and produces bit-identical results to
+//! [`sim::Simulator::run`] for any seed and partition count.
 //!
-//! The simulator is synchronous and event-driven — a CPU-bound workload with
-//! no blocking I/O, hence no async runtime (see DESIGN.md §5).
+//! The sequential simulator is synchronous and event-driven — a CPU-bound
+//! workload with no blocking I/O, hence no async runtime (see DESIGN.md §5);
+//! the parallel runner uses scoped OS threads with parking barriers, not an
+//! async runtime, for the same reason.
 
 pub mod dcqcn;
 pub mod dctcp;
 pub mod failure;
 pub mod packet;
+pub mod parallel;
+pub mod partition;
 pub mod queue;
 pub mod sched;
 pub mod sim;
@@ -36,6 +44,8 @@ pub mod trace;
 
 pub use failure::{FailureEvent, FailureSchedule};
 pub use packet::{EcnCodepoint, FlowId, Packet, PacketKind};
+pub use parallel::run_parallel;
+pub use partition::{PartitionError, PartitionPlan};
 pub use queue::{EcnConfig, OutPort};
 pub use sched::{CalendarQueue, SchedulerKind};
 pub use sim::{CongestionControl, FlowSpec, PfcConfig, SimConfig, SimResult, Simulator};

@@ -1,0 +1,169 @@
+//! Topology partitioning for the parallel simulator: maps the topology's
+//! locality zones (pods + core for a fat-tree, halves for a dumbbell) onto
+//! `P` logical processes and derives the conservative lookahead from the
+//! links that cross partition boundaries.
+//!
+//! The lookahead is the minimum propagation latency over *cut* links only:
+//! an event dispatched at local time `t` can schedule work on a remote
+//! partition no earlier than `t + lookahead`, because the only
+//! cross-partition interactions — packet arrivals and PFC pause frames —
+//! travel a physical link and are delayed by its `latency_ns`. A cut link
+//! with zero latency would make the lookahead zero and conservative
+//! synchronization degenerate to lockstep, so such topologies are rejected
+//! at plan construction with [`PartitionError::ZeroLookahead`].
+
+use std::fmt;
+
+use crate::topology::{NodeId, Topology};
+
+/// Why a topology cannot be partitioned as requested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A link crossing a partition boundary has `latency_ns == 0`, which
+    /// would force a zero lookahead: conservative sync needs every
+    /// cross-partition interaction to be delayed by at least one
+    /// nanosecond. Carries the offending link's endpoints.
+    ZeroLookahead {
+        /// `(node, port)` of the zero-latency cut link's first endpoint.
+        a: (NodeId, usize),
+        /// `(node, port)` of its second endpoint.
+        b: (NodeId, usize),
+    },
+    /// `num_partitions` was zero.
+    NoPartitions,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::ZeroLookahead { a, b } => write!(
+                f,
+                "cannot partition: link between node {} port {} and node {} port {} \
+                 crosses a partition boundary with latency 0 ns, so the conservative \
+                 lookahead would be zero; give cut links nonzero latency or run \
+                 single-partition",
+                a.0, a.1, b.0, b.1
+            ),
+            PartitionError::NoPartitions => write!(f, "cannot partition into zero partitions"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A validated assignment of nodes to partitions plus the derived sync
+/// parameters.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// Number of logical processes (threads) the plan targets.
+    pub num_partitions: usize,
+    /// `node_partition[node]` = owning partition in `0..num_partitions`.
+    pub node_partition: Vec<usize>,
+    /// Conservative lookahead: minimum `latency_ns` over cut links, or
+    /// `u64::MAX` when nothing is cut (single partition — no sync needed).
+    pub lookahead_ns: u64,
+    /// Number of links whose endpoints live in different partitions.
+    pub cut_links: usize,
+}
+
+impl PartitionPlan {
+    /// Derives a plan mapping the topology's zones round-robin onto
+    /// `num_partitions` processes (zone `z` → partition `z %
+    /// num_partitions`). With more partitions than zones the surplus
+    /// partitions stay empty but the plan is still valid — they simply run
+    /// out of events immediately each round.
+    pub fn new(topo: &Topology, num_partitions: usize) -> Result<Self, PartitionError> {
+        if num_partitions == 0 {
+            return Err(PartitionError::NoPartitions);
+        }
+        let node_partition: Vec<usize> = (0..topo.num_nodes())
+            .map(|n| topo.zone(n) % num_partitions)
+            .collect();
+        let mut lookahead_ns = u64::MAX;
+        let mut cut_links = 0usize;
+        for link in &topo.links {
+            if node_partition[link.a.0] != node_partition[link.b.0] {
+                cut_links += 1;
+                if link.latency_ns == 0 {
+                    return Err(PartitionError::ZeroLookahead {
+                        a: link.a,
+                        b: link.b,
+                    });
+                }
+                lookahead_ns = lookahead_ns.min(link.latency_ns);
+            }
+        }
+        Ok(Self {
+            num_partitions,
+            node_partition,
+            lookahead_ns,
+            cut_links,
+        })
+    }
+
+    /// The partition owning `node`.
+    pub fn owner(&self, node: NodeId) -> usize {
+        self.node_partition[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_k4_four_partitions_cut_only_core_links() {
+        let t = Topology::fat_tree(4, 100.0, 1000);
+        let plan = PartitionPlan::new(&t, 4).unwrap();
+        // Zones 0..3 (pods) map to partitions 0..3; the core zone (4) wraps
+        // to partition 0 — so pods 1..3 reach the core over cut links, and
+        // pod 0 shares the core's partition.
+        assert_eq!(plan.owner(0), 0);
+        assert_eq!(plan.owner(15), 3);
+        assert_eq!(plan.owner(32), 0); // core
+        assert_eq!(plan.lookahead_ns, 1000);
+        // 16 agg↔core links total, minus pod 0's 4 intra-partition ones.
+        assert_eq!(plan.cut_links, 12);
+    }
+
+    #[test]
+    fn single_partition_has_no_cuts_and_infinite_lookahead() {
+        let t = Topology::fat_tree(4, 100.0, 1000);
+        let plan = PartitionPlan::new(&t, 1).unwrap();
+        assert_eq!(plan.cut_links, 0);
+        assert_eq!(plan.lookahead_ns, u64::MAX);
+        assert!(plan.node_partition.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn more_partitions_than_zones_is_valid() {
+        let t = Topology::dumbbell(2, 100.0, 1000);
+        let plan = PartitionPlan::new(&t, 4).unwrap();
+        assert_eq!(plan.num_partitions, 4);
+        // Only partitions 0 and 1 own nodes; the bottleneck is cut.
+        assert_eq!(plan.cut_links, 1);
+        assert_eq!(plan.lookahead_ns, 1000);
+    }
+
+    #[test]
+    fn zero_latency_cut_link_is_rejected_with_a_clear_error() {
+        // Dumbbell with 0 ns links: the bottleneck is cut at 2 partitions.
+        let t = Topology::dumbbell(1, 100.0, 0);
+        let err = PartitionPlan::new(&t, 2).unwrap_err();
+        assert!(matches!(err, PartitionError::ZeroLookahead { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("latency 0 ns"), "message explains: {msg}");
+        assert!(msg.contains("lookahead"), "message names lookahead: {msg}");
+        // The same topology is fine single-partition (nothing is cut).
+        assert!(PartitionPlan::new(&t, 1).is_ok());
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let t = Topology::dumbbell(1, 100.0, 1000);
+        assert_eq!(
+            PartitionPlan::new(&t, 0).unwrap_err(),
+            PartitionError::NoPartitions
+        );
+    }
+}

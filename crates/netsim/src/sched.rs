@@ -2,31 +2,39 @@
 //! allocation-free calendar queue (timing wheel), selectable per run via
 //! [`SchedulerKind`].
 //!
-//! Both schedulers implement the same total order — `(time, seq)` ascending,
-//! where `seq` is the global, monotonically increasing schedule counter — so
-//! a simulation produces bit-identical traces under either. The calendar
-//! queue is the default: after warm-up its steady state performs zero heap
-//! allocation (slots are `VecDeque`s that retain capacity across drains, and
-//! the overflow heap keeps its backing buffer), and both push and pop are
-//! O(1) for the near-future events that dominate a packet simulation.
+//! Both schedulers implement the same total order — `(time, prio)` ascending
+//! — so a simulation produces bit-identical traces under either. `prio` is a
+//! globally-stable priority assigned by the simulator: the high bits are a
+//! per-creator-node schedule counter and the low bits the creator node id,
+//! which makes the order independent of *when* an event was pushed relative
+//! to events created by other nodes. That independence is what lets the
+//! parallel engine replay the exact sequential order: each partition pushes
+//! its events whenever its thread gets to them, yet `(time, prio)` sorts
+//! them into the same sequence a single-threaded run produces.
 //!
-//! # Wheel layout and the overflow tie-break
+//! The calendar queue is the default: after warm-up its steady state
+//! performs zero heap allocation (slots are `VecDeque`s that retain capacity
+//! across drains, and the overflow heap keeps its backing buffer), and both
+//! push and pop are O(1)-ish for the near-future events that dominate a
+//! packet simulation.
+//!
+//! # Wheel layout
 //!
 //! The wheel has [`WHEEL_SLOTS`] slots of 1 ns each, indexed by
 //! `time & (WHEEL_SLOTS - 1)`. An event within the horizon
-//! (`time - cursor < WHEEL_SLOTS`) is appended to its slot; because the
-//! horizon never exceeds one wheel revolution, every event in a slot carries
-//! the *same* timestamp, so slot FIFO order is exactly `seq` order and no
-//! per-slot sort is ever needed. Events at or beyond the horizon go to a
-//! small overflow heap ordered by `(time, seq)`.
+//! (`time - cursor < WHEEL_SLOTS`) is inserted into its slot in `prio`
+//! order; because the horizon never exceeds one wheel revolution, every
+//! event in a slot carries the *same* timestamp, so the slot is already
+//! sorted by the full `(time, prio)` key. Unlike the historical
+//! insertion-order FIFO, the ordered insert is required because priorities
+//! are no longer monotone in push order (a node with a low counter can push
+//! after a node with a high one). The common case — appending the largest
+//! priority — stays O(1). Events at or beyond the horizon go to a small
+//! overflow heap ordered by `(time, prio)`.
 //!
-//! When the overflow head and the next wheel slot carry the same timestamp
-//! `T`, the overflow event must pop first. Proof: an event lands in overflow
-//! only if `T - now >= H` at schedule time, and in a slot only if
-//! `T - now' < H`; `now` is nondecreasing over a run, so the overflow event
-//! was scheduled at a strictly earlier `now` and therefore holds a strictly
-//! smaller `seq` than every slot event at `T`. Draining overflow first at
-//! equal timestamps is thus precisely `(time, seq)` order.
+//! On pop, the head of the next occupied slot and the overflow head are
+//! compared by `(time, prio)` and the smaller key wins, which is exactly the
+//! global order.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -35,7 +43,7 @@ use std::collections::{BinaryHeap, VecDeque};
 /// simulation result — only its speed and allocation profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
-    /// `BinaryHeap<(time, seq)>` — the original scheduler. O(log n)
+    /// `BinaryHeap<(time, prio)>` — the original scheduler. O(log n)
     /// push/pop; kept as the differential reference and for the perf gate's
     /// heap-vs-calendar comparison.
     Heap,
@@ -53,17 +61,18 @@ pub const WHEEL_SLOTS: usize = 1 << 16;
 const WHEEL_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
 const HORIZON: u64 = WHEEL_SLOTS as u64;
 
-/// A queued item: `(time, seq)` carries the total order, `item` rides along.
+/// A queued item: `(time, prio)` carries the total order, `item` rides
+/// along.
 #[derive(Debug)]
 pub struct Entry<T> {
     time: u64,
-    seq: u64,
+    prio: u64,
     item: T,
 }
 
 impl<T> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.prio == other.prio
     }
 }
 impl<T> Eq for Entry<T> {}
@@ -74,17 +83,17 @@ impl<T> PartialOrd for Entry<T> {
 }
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.prio).cmp(&(other.time, other.prio))
     }
 }
 
-/// Calendar queue: a timing wheel of per-nanosecond FIFO slots plus an
-/// overflow heap for events beyond the horizon.
+/// Calendar queue: a timing wheel of per-nanosecond slots (sorted by
+/// priority) plus an overflow heap for events beyond the horizon.
 #[derive(Debug)]
 pub struct CalendarQueue<T> {
     /// `slots[time & WHEEL_MASK]`; within the horizon each slot holds events
-    /// of exactly one timestamp, in insertion (= `seq`) order.
-    slots: Vec<VecDeque<(u64, T)>>,
+    /// of exactly one timestamp, kept sorted ascending by `prio`.
+    slots: Vec<VecDeque<(u64, u64, T)>>,
     /// One bit per slot: set iff the slot is nonempty. Scanned a word
     /// (64 slots) at a time to find the next occupied slot.
     occupied: Vec<u64>,
@@ -120,55 +129,77 @@ impl<T> CalendarQueue<T> {
         self.len() == 0
     }
 
-    /// Queues `item` at `time`. `seq` must come from a single monotone
-    /// counter shared by all pushes; `time` must be `>=` the timestamp of
-    /// the last popped event (no scheduling into the past).
-    pub fn push(&mut self, time: u64, seq: u64, item: T) {
+    /// Queues `item` at `time` with priority `prio`. `time` must be `>=`
+    /// the timestamp of the last popped event (no scheduling into the
+    /// past); priorities within a timestamp may arrive in any order.
+    pub fn push(&mut self, time: u64, prio: u64, item: T) {
         debug_assert!(time >= self.cursor, "scheduling into the past");
         if time - self.cursor >= HORIZON {
-            self.overflow.push(Reverse(Entry { time, seq, item }));
+            self.overflow.push(Reverse(Entry { time, prio, item }));
         } else {
             let idx = (time & WHEEL_MASK) as usize;
-            debug_assert!(self.slots[idx].iter().all(|(t, _)| *t == time));
-            self.slots[idx].push_back((time, item));
+            let slot = &mut self.slots[idx];
+            debug_assert!(slot.iter().all(|(t, _, _)| *t == time));
+            // Ordered insert by priority. The fast path — the new event has
+            // the largest priority seen in this slot — is an O(1) append
+            // and covers the monotone single-creator case.
+            match slot.back() {
+                Some(&(_, p, _)) if p > prio => {
+                    let at = slot.partition_point(|&(_, p, _)| p < prio);
+                    slot.insert(at, (time, prio, item));
+                }
+                _ => slot.push_back((time, prio, item)),
+            }
             self.occupied[idx / 64] |= 1 << (idx % 64);
             self.wheel_len += 1;
         }
     }
 
-    /// Removes and returns the earliest `(time, item)`, breaking timestamp
-    /// ties by `seq` (see the module docs for why overflow wins ties).
-    pub fn pop(&mut self) -> Option<(u64, T)> {
-        let wheel_time = self.next_wheel_time();
-        let overflow_time = self.overflow.peek().map(|Reverse(e)| e.time);
-        let take_overflow = match (wheel_time, overflow_time) {
+    /// Removes and returns the earliest `(time, prio, item)` in `(time,
+    /// prio)` order.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        let wheel_key = self.next_wheel_key();
+        let overflow_key = self.overflow.peek().map(|Reverse(e)| (e.time, e.prio));
+        let take_overflow = match (wheel_key, overflow_key) {
             (None, None) => return None,
             (None, Some(_)) => true,
             (Some(_), None) => false,
-            (Some(tw), Some(to)) => to <= tw,
+            (Some(kw), Some(ko)) => ko < kw,
         };
         if take_overflow {
             let Reverse(e) = self.overflow.pop().expect("peeked nonempty");
             self.cursor = e.time;
-            Some((e.time, e.item))
+            Some((e.time, e.prio, e.item))
         } else {
-            let tw = wheel_time.expect("wheel branch");
+            let (tw, _) = wheel_key.expect("wheel branch");
             self.cursor = tw;
             let idx = (tw & WHEEL_MASK) as usize;
-            let (t, item) = self.slots[idx].pop_front().expect("occupied slot");
+            let (t, p, item) = self.slots[idx].pop_front().expect("occupied slot");
             debug_assert_eq!(t, tw);
             if self.slots[idx].is_empty() {
                 self.occupied[idx / 64] &= !(1 << (idx % 64));
             }
             self.wheel_len -= 1;
-            Some((tw, item))
+            Some((tw, p, item))
         }
     }
 
-    /// Timestamp of the earliest wheel event, scanning the occupancy bitmap
-    /// from the cursor's slot. Every wheel event lies within one revolution
-    /// of the cursor, so the first set bit found (cyclically) is the answer.
-    fn next_wheel_time(&self) -> Option<u64> {
+    /// Timestamp of the earliest queued event without removing it.
+    pub fn next_time(&self) -> Option<u64> {
+        let wheel = self.next_wheel_key().map(|(t, _)| t);
+        let over = self.overflow.peek().map(|Reverse(e)| e.time);
+        match (wheel, over) {
+            (None, None) => None,
+            (Some(t), None) | (None, Some(t)) => Some(t),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        }
+    }
+
+    /// `(time, prio)` of the earliest wheel event, scanning the occupancy
+    /// bitmap from the cursor's slot. Every wheel event lies within one
+    /// revolution of the cursor, so the first set bit found (cyclically) is
+    /// the earliest slot, and its front holds the smallest priority.
+    fn next_wheel_key(&self) -> Option<(u64, u64)> {
         if self.wheel_len == 0 {
             return None;
         }
@@ -181,7 +212,8 @@ impl<T> CalendarQueue<T> {
             if word != 0 {
                 let bit = word_idx * 64 + word.trailing_zeros() as usize;
                 let dist = (bit + WHEEL_SLOTS - start) % WHEEL_SLOTS;
-                return Some(self.cursor + dist as u64);
+                let (_, p, _) = self.slots[bit].front().expect("occupied slot");
+                return Some((self.cursor + dist as u64, *p));
             }
             word_idx = (word_idx + 1) % (WHEEL_SLOTS / 64);
             word = self.occupied[word_idx];
@@ -198,7 +230,7 @@ impl<T> Default for CalendarQueue<T> {
 }
 
 /// The simulator's event queue: one of the two schedulers, behind a common
-/// push/pop interface. Both pop in `(time, seq)` order.
+/// push/pop interface. Both pop in `(time, prio)` order.
 #[derive(Debug)]
 pub enum EventQueue<T> {
     /// Binary-heap scheduler.
@@ -216,19 +248,36 @@ impl<T> EventQueue<T> {
         }
     }
 
-    /// Queues `item` at `time` with monotone tie-break counter `seq`.
-    pub fn push(&mut self, time: u64, seq: u64, item: T) {
+    /// Queues `item` at `time` with priority `prio`.
+    pub fn push(&mut self, time: u64, prio: u64, item: T) {
         match self {
-            Self::Heap(h) => h.push(Reverse(Entry { time, seq, item })),
-            Self::Calendar(c) => c.push(time, seq, item),
+            Self::Heap(h) => h.push(Reverse(Entry { time, prio, item })),
+            Self::Calendar(c) => c.push(time, prio, item),
         }
     }
 
-    /// Removes and returns the earliest `(time, item)`.
-    pub fn pop(&mut self) -> Option<(u64, T)> {
+    /// Removes and returns the earliest `(time, prio, item)`.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
         match self {
-            Self::Heap(h) => h.pop().map(|Reverse(e)| (e.time, e.item)),
+            Self::Heap(h) => h.pop().map(|Reverse(e)| (e.time, e.prio, e.item)),
             Self::Calendar(c) => c.pop(),
+        }
+    }
+
+    /// Timestamp of the earliest queued event without removing it. Used by
+    /// the parallel engine to publish each partition's local lower bound.
+    pub fn next_time(&self) -> Option<u64> {
+        match self {
+            Self::Heap(h) => h.peek().map(|Reverse(e)| e.time),
+            Self::Calendar(c) => c.next_time(),
+        }
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Self::Heap(h) => h.is_empty(),
+            Self::Calendar(c) => c.is_empty(),
         }
     }
 }
@@ -240,21 +289,24 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     /// Drives both schedulers with an identical push/pop schedule and
-    /// asserts they emit identical `(time, item)` sequences. Delays span
-    /// zero-delay, in-horizon and far-overflow cases; pops interleave with
-    /// pushes the way a simulation's event loop does.
+    /// asserts they emit identical `(time, prio, item)` sequences. Delays
+    /// span zero-delay, in-horizon and far-overflow cases; pops interleave
+    /// with pushes the way a simulation's event loop does, and priorities
+    /// are deliberately non-monotone in push order (shuffled within bursts)
+    /// to exercise the ordered slot insert.
     #[test]
     fn calendar_matches_heap_order() {
         for seed in 0..8u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let mut heap = EventQueue::new(SchedulerKind::Heap);
             let mut cal = EventQueue::new(SchedulerKind::Calendar);
-            let mut seq = 0u64;
+            let mut prio = 0u64;
             let mut now = 0u64;
             let mut popped = 0usize;
             let mut pushed = 0usize;
             while popped < 20_000 {
                 let burst = rng.gen_range(0..4);
+                let mut batch = Vec::new();
                 for _ in 0..burst {
                     let delay = match rng.gen_range(0..10) {
                         0 => 0,                                    // zero-delay reschedule
@@ -262,15 +314,22 @@ mod tests {
                         7 | 8 => rng.gen_range(2_000..HORIZON),    // timers within horizon
                         _ => rng.gen_range(HORIZON..20 * HORIZON), // overflow
                     };
-                    seq += 1;
-                    heap.push(now + delay, seq, seq);
-                    cal.push(now + delay, seq, seq);
+                    prio += 1;
+                    batch.push((now + delay, prio));
+                }
+                // Push in shuffled order — priorities need not be monotone.
+                while !batch.is_empty() {
+                    let i = rng.gen_range(0..batch.len());
+                    let (t, p) = batch.swap_remove(i);
+                    heap.push(t, p, p);
+                    cal.push(t, p, p);
                     pushed += 1;
                 }
                 if pushed > popped {
                     let h = heap.pop().expect("heap nonempty");
                     let c = cal.pop().expect("calendar nonempty");
                     assert_eq!(h, c, "seed {seed}: divergence at pop {popped}");
+                    assert_eq!(heap.next_time(), cal.next_time());
                     assert!(h.0 >= now, "time went backwards");
                     now = h.0;
                     popped += 1;
@@ -288,34 +347,38 @@ mod tests {
         }
     }
 
-    /// Overflow events must win timestamp ties: they were scheduled at a
-    /// strictly earlier `now`, hence hold smaller `seq`.
+    /// Timestamp ties between overflow and wheel resolve by priority in
+    /// both directions — the overflow event is no longer assumed older.
     #[test]
-    fn overflow_wins_timestamp_ties() {
+    fn timestamp_ties_resolve_by_priority() {
         let mut q = CalendarQueue::new();
         let t = 2 * HORIZON; // beyond horizon as seen from cursor 0
-        q.push(t, 1, "overflow");
+        q.push(t, 5, "overflow");
         // Advance the cursor to within a horizon of `t`.
-        q.push(t - 10, 2, "stepping stone");
-        assert_eq!(q.pop(), Some((t - 10, "stepping stone")));
-        // Now `t` is in-horizon; this lands on the wheel at the same time.
-        q.push(t, 3, "wheel");
-        assert_eq!(q.pop(), Some((t, "overflow")));
-        assert_eq!(q.pop(), Some((t, "wheel")));
+        q.push(t - 10, 1, "stepping stone");
+        assert_eq!(q.pop(), Some((t - 10, 1, "stepping stone")));
+        // Now `t` is in-horizon; these land on the wheel at the same time,
+        // straddling the overflow event's priority.
+        q.push(t, 3, "wheel-low");
+        q.push(t, 8, "wheel-high");
+        assert_eq!(q.next_time(), Some(t));
+        assert_eq!(q.pop(), Some((t, 3, "wheel-low")));
+        assert_eq!(q.pop(), Some((t, 5, "overflow")));
+        assert_eq!(q.pop(), Some((t, 8, "wheel-high")));
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
     }
 
-    /// Same-slot FIFO: equal timestamps within the horizon pop in push
-    /// (= seq) order.
+    /// Equal timestamps within the horizon pop in priority order no matter
+    /// the push order.
     #[test]
-    fn same_time_fifo() {
+    fn same_time_pops_in_priority_order() {
         let mut q = CalendarQueue::new();
-        for i in 0..100u64 {
+        for i in (0..100u64).rev() {
             q.push(42, i, i);
         }
         for i in 0..100u64 {
-            assert_eq!(q.pop(), Some((42, i)));
+            assert_eq!(q.pop(), Some((42, i, i)));
         }
         assert_eq!(q.pop(), None);
     }
@@ -327,10 +390,11 @@ mod tests {
         let mut q = CalendarQueue::new();
         q.push(10 * HORIZON + 3, 1, ());
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop(), Some((10 * HORIZON + 3, ())));
+        assert_eq!(q.next_time(), Some(10 * HORIZON + 3));
+        assert_eq!(q.pop(), Some((10 * HORIZON + 3, 1, ())));
         // After the jump the wheel window follows the new cursor.
         q.push(10 * HORIZON + 4, 2, ());
-        assert_eq!(q.pop(), Some((10 * HORIZON + 4, ())));
+        assert_eq!(q.pop(), Some((10 * HORIZON + 4, 2, ())));
     }
 
     /// Slot reuse across wheel revolutions: once drained, a slot accepts
@@ -338,15 +402,15 @@ mod tests {
     #[test]
     fn wheel_wraps_cleanly() {
         let mut q = CalendarQueue::new();
-        let mut seq = 0u64;
+        let mut prio = 0u64;
         let mut now = 0u64;
         for round in 0..5u64 {
             for k in 0..64u64 {
-                seq += 1;
-                q.push(round * HORIZON + k * 1000, seq, round * 1000 + k);
+                prio += 1;
+                q.push(round * HORIZON + k * 1000, prio, round * 1000 + k);
             }
             for k in 0..64u64 {
-                let (t, item) = q.pop().expect("queued");
+                let (t, _, item) = q.pop().expect("queued");
                 assert_eq!(t, round * HORIZON + k * 1000);
                 assert_eq!(item, round * 1000 + k);
                 assert!(t >= now);

@@ -16,19 +16,43 @@
 //! * Losses are not retransmitted (the evaluation workloads are ECN-governed
 //!   and virtually loss-free; conservation is asserted instead — see the
 //!   integration tests).
+//!
+//! ## Determinism and the priority scheme
+//!
+//! Every scheduled event carries a priority `(counter << NODE_BITS) |
+//! creator`, where `creator` is the node whose event is currently being
+//! dispatched and `counter` is that node's private schedule count. The
+//! global dispatch order is `(time, prio)` ascending. Because a node's
+//! counter depends only on that node's own dispatch sequence — never on how
+//! events from *other* nodes interleave — the order is identical whether
+//! the simulation runs on one thread or partitioned across many (see
+//! [`crate::parallel`]). Randomness follows the same discipline: each node
+//! owns a private `ChaCha8` stream, so RED marking and fault-injection
+//! draws depend only on that node's packet sequence.
 
 use crate::dcqcn::{DcqcnParams, DcqcnState};
 use crate::dctcp::{DctcpParams, DctcpState};
 use crate::failure::{FailureEvent, FailureSchedule};
 use crate::packet::{FlowId, Packet, PacketKind};
+use crate::partition::PartitionPlan;
 use crate::queue::{EcnConfig, EnqueueOutcome, OutPort};
 use crate::sched::{EventQueue, SchedulerKind};
 use crate::telemetry::{
-    ClockModel, EpisodeTracker, MirrorCandidate, QueueEpisode, QueueLengthDist, Telemetry, TxRecord,
+    ClockModel, EpisodeTracker, MirrorCandidate, QueueEpisode, QueueLengthDist, TapTags, Telemetry,
+    TxRecord,
 };
 use crate::topology::{NodeId, PortId, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, Mutex};
+
+/// Bits of an event priority reserved for the creator node id; the upper
+/// bits hold that node's schedule counter (counter-major comparison, node id
+/// as the final tie-break). 20 bits ≈ 1M nodes, leaving 44-bit counters.
+pub(crate) const NODE_BITS: u32 = 20;
+
+/// A cross-partition event in flight: `(time, prio, event)`.
+pub(crate) type OutboundEvent = (u64, u64, Event);
 
 /// Which congestion-control algorithm drives a flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,7 +147,7 @@ pub struct SimConfig {
     /// Collect the time-weighted queue-length distribution.
     pub collect_queue_dist: bool,
     /// Event scheduler implementation. Never affects results, only speed
-    /// (both schedulers pop in identical `(time, seq)` order).
+    /// (both schedulers pop in identical `(time, prio)` order).
     pub scheduler: SchedulerKind,
     /// Scheduled fabric failures (link flaps, forced PFC pause storms).
     /// Empty by default; see [`crate::failure`] for the model.
@@ -185,7 +209,7 @@ pub struct SimResult {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Event {
+pub(crate) enum Event {
     FlowStart {
         flow: usize,
     },
@@ -228,8 +252,24 @@ enum Event {
 
 /// `Packet` wrapped for the event queue (needs `Eq` for the heap tuple).
 #[derive(Debug, Clone, PartialEq)]
-struct PacketBox(Packet);
+pub(crate) struct PacketBox(Packet);
 impl Eq for PacketBox {}
+
+/// Partition-mode context: which logical process this simulator instance
+/// is, buffered outbound cross-partition events, and the `(time, prio)`
+/// tags the merge step uses to interleave telemetry records into the exact
+/// sequential order (see [`crate::parallel`]).
+pub(crate) struct PartCtx {
+    /// This instance's partition id.
+    pub(crate) id: usize,
+    /// The shared partition plan (node → partition, lookahead).
+    pub(crate) plan: Arc<PartitionPlan>,
+    /// Cross-partition events created this window, keyed by destination.
+    pub(crate) outbound: Vec<Vec<OutboundEvent>>,
+    /// Per-tap dispatch tags, one per telemetry record pushed during the
+    /// run phase.
+    pub(crate) tags: TapTags,
+}
 
 struct FlowRt {
     spec: FlowSpec,
@@ -271,12 +311,21 @@ struct FlowRt {
 /// assert_eq!(result.telemetry.tx_records.len(), 100); // 100 × 1000 B packets
 /// ```
 pub struct Simulator {
-    topo: Topology,
+    topo: Arc<Topology>,
     config: SimConfig,
     clocks: ClockModel,
-    rng: ChaCha8Rng,
+    /// One private RNG stream per node (RED marking, random-loss draws):
+    /// a node's draw sequence depends only on its own dispatch sequence.
+    node_rng: Vec<ChaCha8Rng>,
     now: u64,
-    seq: u64,
+    /// Per-node schedule counters — the high bits of event priorities.
+    sched_count: Vec<u64>,
+    /// Owner node of the event currently being dispatched (the creator of
+    /// everything scheduled from inside this dispatch).
+    cur_node: NodeId,
+    /// Priority of the event currently being dispatched (tags telemetry
+    /// pushes in partition mode).
+    cur_prio: u64,
     events_processed: u64,
     events: EventQueue<Event>,
     /// `ports[node][port]`.
@@ -289,15 +338,50 @@ pub struct Simulator {
     /// Per (node, port): true while the attached link is failed.
     link_down: Vec<Vec<bool>>,
     telemetry: Telemetry,
+    /// `Some` when this instance is one logical process of a parallel run.
+    part: Option<Box<PartCtx>>,
 }
 
 impl Simulator {
     /// Builds a simulator over `topo` running `flows`.
     pub fn new(topo: Topology, flows: Vec<FlowSpec>, config: SimConfig) -> Self {
+        Self::build(Arc::new(topo), flows, config, None)
+    }
+
+    /// Builds one logical process of a parallel run: partition `id` of
+    /// `plan`. It seeds and dispatches only events owned by its nodes and
+    /// buffers cross-partition events into `PartCtx::outbound`.
+    pub(crate) fn new_partition(
+        topo: Arc<Topology>,
+        flows: Vec<FlowSpec>,
+        config: SimConfig,
+        plan: Arc<PartitionPlan>,
+        id: usize,
+    ) -> Self {
+        let outbound = vec![Vec::new(); plan.num_partitions];
+        let part = PartCtx {
+            id,
+            plan,
+            outbound,
+            tags: TapTags::default(),
+        };
+        Self::build(topo, flows, config, Some(Box::new(part)))
+    }
+
+    fn build(
+        topo: Arc<Topology>,
+        flows: Vec<FlowSpec>,
+        config: SimConfig,
+        part: Option<Box<PartCtx>>,
+    ) -> Self {
         let clocks = if config.clock_error_ns == 0 {
             ClockModel::perfect(topo.num_nodes())
         } else {
             ClockModel::ptp(topo.num_nodes(), config.clock_error_ns, config.seed)
+        };
+        let owned = |node: NodeId| match &part {
+            Some(p) => p.plan.owner(node) == p.id,
+            None => true,
         };
         let mut ports = Vec::with_capacity(topo.num_nodes());
         let mut trackers = Vec::with_capacity(topo.num_nodes());
@@ -317,14 +401,24 @@ impl Simulator {
                     n
                 ]);
                 trackers.push(vec![EpisodeTracker::new(config.ecn.kmin); n]);
-                dists.push(if config.collect_queue_dist {
+                // Queue distributions are the large per-port allocation;
+                // a partition only ever observes its own switches.
+                dists.push(if config.collect_queue_dist && owned(node) {
                     vec![QueueLengthDist::new(1024); n]
                 } else {
                     Vec::new()
                 });
             }
         }
-        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let node_rng = (0..topo.num_nodes())
+            .map(|node| {
+                ChaCha8Rng::seed_from_u64(splitmix64(
+                    config
+                        .seed
+                        .wrapping_add((node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                ))
+            })
+            .collect();
         let flow_rts = flows
             .into_iter()
             .map(|spec| FlowRt {
@@ -353,12 +447,13 @@ impl Simulator {
         }
         let events = EventQueue::new(config.scheduler);
         Self {
-            topo,
             config,
             clocks,
-            rng,
+            node_rng,
             now: 0,
-            seq: 0,
+            sched_count: vec![0; topo.num_nodes()],
+            cur_node: 0,
+            cur_prio: 0,
             events_processed: 0,
             events,
             pfc_asserting: ports.iter().map(|ps| vec![false; ps.len()]).collect(),
@@ -368,32 +463,176 @@ impl Simulator {
             episode_trackers: trackers,
             queue_dists: dists,
             telemetry: Telemetry::default(),
+            part,
+            topo,
         }
     }
 
+    /// The node whose state machine an event belongs to: flow-clocking
+    /// events belong to the flow's source host, everything else names its
+    /// node explicitly. The owner both dispatches the event and acts as
+    /// creator for everything scheduled from inside that dispatch.
+    fn event_owner(&self, ev: &Event) -> NodeId {
+        match *ev {
+            Event::FlowStart { flow }
+            | Event::FlowSend { flow }
+            | Event::AlphaTimer { flow, .. }
+            | Event::RateTimer { flow, .. } => self.flows[flow].spec.src,
+            Event::Departure { node, .. }
+            | Event::Arrival { node, .. }
+            | Event::Pause { node, .. }
+            | Event::LinkState { node, .. } => node,
+        }
+    }
+
+    /// Allocates the next priority for an event created by `creator`.
+    fn next_prio(&mut self, creator: NodeId) -> u64 {
+        debug_assert!((creator as u64) < (1u64 << NODE_BITS), "node id overflow");
+        let c = &mut self.sched_count[creator];
+        *c += 1;
+        (*c << NODE_BITS) | creator as u64
+    }
+
+    /// Schedules `event` from inside a dispatch: the creator is the node
+    /// whose event is currently executing. In partition mode, events owned
+    /// by a remote partition are buffered outbound instead of queued — the
+    /// conservative lookahead guarantees they cannot be due before the
+    /// current synchronization window closes.
     fn schedule(&mut self, time: u64, event: Event) {
-        self.seq += 1;
-        self.events.push(time, self.seq, event);
+        let prio = self.next_prio(self.cur_node);
+        if let Some(part) = self.part.as_mut() {
+            let owner = match event {
+                Event::FlowStart { flow }
+                | Event::FlowSend { flow }
+                | Event::AlphaTimer { flow, .. }
+                | Event::RateTimer { flow, .. } => self.flows[flow].spec.src,
+                Event::Departure { node, .. }
+                | Event::Arrival { node, .. }
+                | Event::Pause { node, .. }
+                | Event::LinkState { node, .. } => node,
+            };
+            let dest = part.plan.owner(owner);
+            if dest != part.id {
+                debug_assert!(
+                    matches!(event, Event::Arrival { .. } | Event::Pause { .. }),
+                    "only link-delayed events may cross partitions"
+                );
+                debug_assert!(
+                    time >= self.now + part.plan.lookahead_ns,
+                    "cross-partition event inside the lookahead window"
+                );
+                part.outbound[dest].push((time, prio, event));
+                return;
+            }
+        }
+        self.events.push(time, prio, event);
+    }
+
+    /// Schedules an event during initialization (failure expansion, flow
+    /// starts), before any dispatch: the creator is the event's own owner.
+    /// Counters advance identically in every partition — each one iterates
+    /// the full init list — but only the owner keeps the event.
+    fn schedule_init(&mut self, time: u64, event: Event) {
+        let owner = self.event_owner(&event);
+        let prio = self.next_prio(owner);
+        if let Some(part) = self.part.as_ref() {
+            if part.plan.owner(owner) != part.id {
+                return;
+            }
+        }
+        self.events.push(time, prio, event);
+    }
+
+    /// True if this instance owns `node` (always, outside partition mode).
+    fn owns(&self, node: NodeId) -> bool {
+        match &self.part {
+            Some(p) => p.plan.owner(node) == p.id,
+            None => true,
+        }
+    }
+
+    /// Seeds the initial event population: expanded failure schedule plus
+    /// one `FlowStart` per flow.
+    pub(crate) fn seed_initial_events(&mut self) {
+        self.schedule_failures();
+        for f in 0..self.flows.len() {
+            let start = self.flows[f].spec.start_ns;
+            self.schedule_init(start, Event::FlowStart { flow: f });
+        }
     }
 
     /// Runs to completion (event queue empty or `end_ns` reached) and
     /// returns the telemetry and flow statistics.
     pub fn run(mut self) -> SimResult {
-        self.schedule_failures();
-        for f in 0..self.flows.len() {
-            let start = self.flows[f].spec.start_ns;
-            self.schedule(start, Event::FlowStart { flow: f });
-        }
-        while let Some((time, event)) = self.events.pop() {
+        self.seed_initial_events();
+        while let Some((time, prio, event)) = self.events.pop() {
             if time > self.config.end_ns {
                 self.now = self.config.end_ns;
                 break;
             }
             self.now = time;
             self.events_processed += 1;
+            self.cur_prio = prio;
+            self.cur_node = self.event_owner(&event);
             self.dispatch(event);
         }
         self.finish()
+    }
+
+    /// Partition-mode event loop for one synchronization window: dispatches
+    /// every local event strictly before `upper` (and never past `end_ns` —
+    /// those stay queued, matching the sequential early-exit).
+    pub(crate) fn process_window(&mut self, upper: u64) {
+        let upper = upper.min(self.config.end_ns.saturating_add(1));
+        while let Some(t) = self.events.next_time() {
+            if t >= upper {
+                break;
+            }
+            let (time, prio, event) = self.events.pop().expect("peeked nonempty");
+            self.now = time;
+            self.events_processed += 1;
+            self.cur_prio = prio;
+            self.cur_node = self.event_owner(&event);
+            self.dispatch(event);
+        }
+    }
+
+    /// Timestamp of this partition's earliest pending event.
+    pub(crate) fn next_event_time(&self) -> Option<u64> {
+        self.events.next_time()
+    }
+
+    /// True time of the last dispatched event.
+    pub(crate) fn last_dispatch_time(&self) -> u64 {
+        self.now
+    }
+
+    /// Moves this window's outbound cross-partition events into the shared
+    /// mailboxes (one per destination partition).
+    pub(crate) fn flush_outbound(&mut self, mailboxes: &[Mutex<Vec<OutboundEvent>>]) {
+        let part = self.part.as_mut().expect("partition mode");
+        for (dest, batch) in part.outbound.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                mailboxes[dest].lock().expect("mailbox").append(batch);
+            }
+        }
+    }
+
+    /// Accepts a batch of cross-partition events delivered at a barrier.
+    /// Priorities were assigned by the creators; `(time, prio)` slots them
+    /// into exactly the sequential order.
+    pub(crate) fn deliver(&mut self, batch: &mut Vec<OutboundEvent>) {
+        for (time, prio, event) in batch.drain(..) {
+            self.events.push(time, prio, event);
+        }
+    }
+
+    /// Partition-mode finish: close episodes/distributions at the *global*
+    /// end time and hand back the per-tap dispatch tags for the merge.
+    pub(crate) fn finish_partition(mut self, global_end: u64) -> (SimResult, TapTags) {
+        let tags = std::mem::take(&mut self.part.as_mut().expect("partition mode").tags);
+        self.now = global_end;
+        (self.finish(), tags)
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -429,22 +668,23 @@ impl Simulator {
                     down_ns,
                     up_ns,
                 } => {
-                    self.schedule(
-                        down_ns,
-                        Event::LinkState {
-                            node,
-                            port,
-                            up: false,
-                        },
-                    );
-                    self.schedule(
-                        up_ns,
-                        Event::LinkState {
-                            node,
-                            port,
-                            up: true,
-                        },
-                    );
+                    // A flap changes both endpoints of the duplex link, which
+                    // may live in different partitions: expand it into one
+                    // LinkState per endpoint, named endpoint first so the
+                    // record order matches the pre-split trace.
+                    let (peer, peer_port) = self.topo.link_at(node, port).peer(node);
+                    for up in [false, true] {
+                        let t = if up { up_ns } else { down_ns };
+                        self.schedule_init(t, Event::LinkState { node, port, up });
+                        self.schedule_init(
+                            t,
+                            Event::LinkState {
+                                node: peer,
+                                port: peer_port,
+                                up,
+                            },
+                        );
+                    }
                 }
                 FailureEvent::PauseStorm {
                     node,
@@ -456,7 +696,7 @@ impl Simulator {
                 } => {
                     for c in 0..cycles as u64 {
                         let t = start_ns + c * (pause_ns + gap_ns);
-                        self.schedule(
+                        self.schedule_init(
                             t,
                             Event::Pause {
                                 node,
@@ -465,7 +705,7 @@ impl Simulator {
                                 triggered_by: node,
                             },
                         );
-                        self.schedule(
+                        self.schedule_init(
                             t + pause_ns,
                             Event::Pause {
                                 node,
@@ -480,34 +720,37 @@ impl Simulator {
         }
     }
 
-    /// A link flap takes effect: both endpoints of the duplex link change
-    /// state together. On recovery, any endpoint with queued work and an
-    /// idle, unpaused serializer restarts it.
+    /// One endpoint of a link flap takes effect (the schedule expands a flap
+    /// into one event per endpoint — they may live in different partitions).
+    /// On recovery, an endpoint with queued work and an idle, unpaused
+    /// serializer restarts it.
     fn on_link_state(&mut self, node: NodeId, port: PortId, up: bool) {
-        let link = *self.topo.link_at(node, port);
-        let (peer, peer_port) = link.peer(node);
-        for (n, p) in [(node, port), (peer, peer_port)] {
-            self.link_down[n][p] = !up;
-            self.telemetry
-                .link_records
-                .push(crate::telemetry::LinkRecord {
-                    node: n,
-                    port: p,
-                    ts_ns: self.now,
-                    up,
-                });
-            let prt = &mut self.ports[n][p];
-            if up && !prt.busy && !prt.is_paused() && prt.head().is_some() {
-                prt.busy = true;
-                let head_size = prt.head().expect("checked").size;
-                let tx = self.topo.link_at(n, p).tx_time_ns(head_size);
-                self.schedule(self.now + tx, Event::Departure { node: n, port: p });
-            }
+        self.link_down[node][port] = !up;
+        if let Some(p) = self.part.as_mut() {
+            p.tags.link.push((self.now, self.cur_prio));
+        }
+        self.telemetry
+            .link_records
+            .push(crate::telemetry::LinkRecord {
+                node,
+                port,
+                ts_ns: self.now,
+                up,
+            });
+        let prt = &mut self.ports[node][port];
+        if up && !prt.busy && !prt.is_paused() && prt.head().is_some() {
+            prt.busy = true;
+            let head_size = prt.head().expect("checked").size;
+            let tx = self.topo.link_at(node, port).tx_time_ns(head_size);
+            self.schedule(self.now + tx, Event::Departure { node, port });
         }
     }
 
     /// A PFC pause/resume frame takes effect at (node, port).
     fn on_pause(&mut self, node: NodeId, port: PortId, on: bool, triggered_by: NodeId) {
+        if let Some(p) = self.part.as_mut() {
+            p.tags.pause.push((self.now, self.cur_prio));
+        }
         self.telemetry
             .pause_records
             .push(crate::telemetry::PauseRecord {
@@ -649,6 +892,9 @@ impl Simulator {
     fn host_transmit(&mut self, host: NodeId, pkt: Packet) {
         if pkt.is_data() {
             self.telemetry.injected_bytes += pkt.size as u64;
+            if let Some(p) = self.part.as_mut() {
+                p.tags.tx.push((self.now, self.cur_prio));
+            }
             self.telemetry.tx_records.push(TxRecord {
                 host,
                 flow: pkt.flow,
@@ -662,7 +908,7 @@ impl Simulator {
     /// Enqueues at (node, port) and kicks the serializer if idle.
     fn enqueue_port(&mut self, node: NodeId, port: PortId, pkt: Packet) {
         let (flow, psn, bytes, is_data) = (pkt.flow, pkt.psn, pkt.size, pkt.is_data());
-        let outcome = self.ports[node][port].enqueue(pkt, &mut self.rng);
+        let outcome = self.ports[node][port].enqueue(pkt, &mut self.node_rng[node]);
         if outcome == EnqueueOutcome::Dropped {
             self.telemetry.drops += 1;
         }
@@ -671,6 +917,9 @@ impl Simulator {
         // at the congested egress queue, so the candidate carries this
         // switch's local timestamp and egress port.
         if outcome == EnqueueOutcome::QueuedMarked && is_data && !self.topo.is_host(node) {
+            if let Some(p) = self.part.as_mut() {
+                p.tags.mirror.push((self.now, self.cur_prio));
+            }
             self.telemetry.mirror_candidates.push(MirrorCandidate {
                 switch: node,
                 port,
@@ -685,6 +934,9 @@ impl Simulator {
             if outcome != EnqueueOutcome::Dropped && is_data && !self.topo.is_host(node) {
                 let qlen = self.ports[node][port].qlen_bytes();
                 if qlen >= threshold {
+                    if let Some(p) = self.part.as_mut() {
+                        p.tags.burst.push((self.now, self.cur_prio));
+                    }
                     self.telemetry
                         .burst_records
                         .push(crate::telemetry::BurstRecord {
@@ -702,6 +954,9 @@ impl Simulator {
             && self.config.deflect_on_drop
             && !self.topo.is_host(node)
         {
+            if let Some(p) = self.part.as_mut() {
+                p.tags.drop.push((self.now, self.cur_prio));
+            }
             self.telemetry
                 .drop_records
                 .push(crate::telemetry::DropRecord {
@@ -737,6 +992,9 @@ impl Simulator {
         if self.link_down[node][port] {
             self.telemetry.link_losses += 1;
             if pkt.is_data() && self.config.deflect_on_drop && !self.topo.is_host(node) {
+                if let Some(p) = self.part.as_mut() {
+                    p.tags.drop.push((self.now, self.cur_prio));
+                }
                 self.telemetry
                     .drop_records
                     .push(crate::telemetry::DropRecord {
@@ -778,7 +1036,10 @@ impl Simulator {
         // Fault injection: random link/ASIC loss at switch ingress.
         if self.config.random_loss_probability > 0.0
             && !self.topo.is_host(node)
-            && rand::Rng::gen_bool(&mut self.rng, self.config.random_loss_probability)
+            && rand::Rng::gen_bool(
+                &mut self.node_rng[node],
+                self.config.random_loss_probability,
+            )
         {
             self.telemetry.drops += 1;
             self.telemetry.random_losses += 1;
@@ -931,6 +1192,9 @@ impl Simulator {
             }
         }
         if let Some((start, end, max)) = self.episode_trackers[node][port].observe(self.now, qlen) {
+            if let Some(p) = self.part.as_mut() {
+                p.tags.episode.push((self.now, self.cur_prio));
+            }
             self.telemetry.episodes.push(QueueEpisode {
                 switch: node,
                 port,
@@ -976,8 +1240,13 @@ impl Simulator {
     }
 
     fn finish(mut self) -> SimResult {
-        // Close open episodes and the queue distribution.
+        // Close open episodes and the queue distribution. In partition mode
+        // only owned switches carry state (and only they have dists
+        // allocated); the merge reassembles the global picture.
         for node in self.topo.num_hosts..self.topo.num_nodes() {
+            if !self.owns(node) {
+                continue;
+            }
             for port in 0..self.topo.ports(node) {
                 if let Some((start, end, max)) = self.episode_trackers[node][port].flush(self.now) {
                     self.telemetry.episodes.push(QueueEpisode {
@@ -993,6 +1262,9 @@ impl Simulator {
         if self.config.collect_queue_dist {
             let mut merged = QueueLengthDist::new(1024);
             for node in self.topo.num_hosts..self.topo.num_nodes() {
+                if !self.owns(node) {
+                    continue;
+                }
                 for port in 0..self.topo.ports(node) {
                     self.queue_dists[node][port].finish(self.now);
                     merged.merge(&self.queue_dists[node][port]);

@@ -328,6 +328,32 @@ pub struct Telemetry {
     pub injected_bytes: u64,
 }
 
+/// Per-tap dispatch tags collected by one partition of a parallel run: for
+/// every run-phase record pushed into the matching [`Telemetry`] vector, the
+/// `(time, prio)` of the event whose dispatch produced it. `(time, prio)` is
+/// the global dispatch order, so a stable sort of the concatenated
+/// per-partition records by their tags reproduces the sequential record
+/// order exactly (records born inside the same dispatch share a tag and keep
+/// their relative order — they always come from one partition).
+#[derive(Debug, Default)]
+pub(crate) struct TapTags {
+    /// Tags for `tx_records`.
+    pub(crate) tx: Vec<(u64, u64)>,
+    /// Tags for `mirror_candidates`.
+    pub(crate) mirror: Vec<(u64, u64)>,
+    /// Tags for run-phase `episodes` (the finish-phase flush is sorted by
+    /// `(switch, port)` instead — it happens after the last dispatch).
+    pub(crate) episode: Vec<(u64, u64)>,
+    /// Tags for `pause_records`.
+    pub(crate) pause: Vec<(u64, u64)>,
+    /// Tags for `link_records`.
+    pub(crate) link: Vec<(u64, u64)>,
+    /// Tags for `drop_records`.
+    pub(crate) drop: Vec<(u64, u64)>,
+    /// Tags for `burst_records`.
+    pub(crate) burst: Vec<(u64, u64)>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,6 +51,12 @@ pub struct Topology {
     port_link: Vec<Vec<usize>>,
     /// `routes[switch][dst_host]` = candidate egress ports (ECMP set).
     routes: Vec<Vec<Vec<PortId>>>,
+    /// `zones[node]` = partition zone: a builder-assigned locality group
+    /// (fat-tree: one zone per pod plus one for the core layer; dumbbell:
+    /// left/right halves). The parallel simulator maps zones onto logical
+    /// processes; nodes in one zone never split across partitions, so the
+    /// dense intra-pod traffic stays partition-local.
+    zones: Vec<usize>,
 }
 
 impl Topology {
@@ -90,6 +96,18 @@ impl Topology {
     /// ECMP candidate count (for tests).
     pub fn route_candidates(&self, switch: NodeId, dst_host: NodeId) -> usize {
         self.routes[switch - self.num_hosts][dst_host].len()
+    }
+
+    /// The partition zone of `node` (see the `zones` field).
+    pub fn zone(&self, node: NodeId) -> usize {
+        self.zones[node]
+    }
+
+    /// Number of distinct partition zones. Topologies built by
+    /// [`Topology::from_edges`] directly have a single zone (no parallelism
+    /// available); the fat-tree and dumbbell builders assign finer zones.
+    pub fn num_zones(&self) -> usize {
+        self.zones.iter().copied().max().unwrap_or(0) + 1
     }
 
     /// Generic constructor from an edge list. `edges` entries are
@@ -160,6 +178,7 @@ impl Topology {
             links,
             port_link,
             routes,
+            zones: vec![0; num_nodes],
         }
     }
 
@@ -204,7 +223,27 @@ impl Topology {
                 }
             }
         }
-        Self::from_edges(num_hosts, num_switches, &edges)
+        let mut topo = Self::from_edges(num_hosts, num_switches, &edges);
+        // Zones: one per pod (its hosts + edge + agg switches), plus a
+        // dedicated zone `k` for the core layer. Pod-local traffic — the
+        // bulk of every workload — never crosses a zone boundary.
+        for pod in 0..k {
+            for e in 0..half {
+                for h in 0..half {
+                    topo.zones[pod * half * half + e * half + h] = pod;
+                }
+                topo.zones[edge(pod, e)] = pod;
+            }
+            for a in 0..half {
+                topo.zones[agg(pod, a)] = pod;
+            }
+        }
+        for i in 0..half {
+            for j in 0..half {
+                topo.zones[core(i, j)] = k;
+            }
+        }
+        topo
     }
 
     /// A dumbbell: `n` sender hosts and `n` receiver hosts joined by two
@@ -222,7 +261,14 @@ impl Topology {
             edges.push((h, right, bw_gbps, latency_ns));
         }
         edges.push((left, right, bw_gbps, latency_ns));
-        Self::from_edges(num_hosts, 2, &edges)
+        let mut topo = Self::from_edges(num_hosts, 2, &edges);
+        // Zones: senders + left switch vs receivers + right switch. The
+        // only cut link is the bottleneck itself.
+        for h in n..2 * n {
+            topo.zones[h] = 1;
+        }
+        topo.zones[right] = 1;
+        topo
     }
 }
 
@@ -386,6 +432,41 @@ mod tests {
         let first_edge = t.num_hosts;
         let remote_host = t.num_hosts - 1;
         assert_eq!(t.route_candidates(first_edge, remote_host), 4);
+    }
+
+    #[test]
+    fn fat_tree_zones_follow_pods_plus_core() {
+        let t = Topology::fat_tree(4, 100.0, 1000);
+        assert_eq!(t.num_zones(), 5); // 4 pods + core
+        for host in 0..16 {
+            assert_eq!(t.zone(host), host / 4, "host {host} zone follows pod");
+        }
+        // Edge and agg switches share their pod's zone.
+        for pod in 0..4 {
+            for i in 0..2 {
+                assert_eq!(t.zone(16 + pod * 2 + i), pod, "edge zone");
+                assert_eq!(t.zone(24 + pod * 2 + i), pod, "agg zone");
+            }
+        }
+        // Core switches form their own zone.
+        for c in 32..36 {
+            assert_eq!(t.zone(c), 4, "core zone");
+        }
+    }
+
+    #[test]
+    fn dumbbell_zones_split_at_the_bottleneck() {
+        let t = Topology::dumbbell(2, 100.0, 1000);
+        assert_eq!(t.num_zones(), 2);
+        assert_eq!((t.zone(0), t.zone(1)), (0, 0));
+        assert_eq!((t.zone(2), t.zone(3)), (1, 1));
+        assert_eq!((t.zone(4), t.zone(5)), (0, 1)); // left/right switches
+    }
+
+    #[test]
+    fn from_edges_topologies_are_single_zone() {
+        let t = Topology::from_edges(2, 1, &[(0, 2, 10.0, 100), (1, 2, 10.0, 100)]);
+        assert_eq!(t.num_zones(), 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! agents without re-simulating.
 
 use crate::packet::FlowId;
-use crate::telemetry::{LinkRecord, MirrorCandidate, PauseRecord, TxRecord};
+use crate::telemetry::{LinkRecord, MirrorCandidate, PauseRecord, Telemetry, TxRecord};
 use std::io::{BufRead, Write};
 
 /// Writes TX records as `tx,host,flow,ts_ns,bytes` lines.
@@ -63,6 +63,44 @@ pub fn write_link_records<W: Write>(out: &mut W, records: &[LinkRecord]) -> std:
         )?;
     }
     Ok(())
+}
+
+/// Writes every telemetry tap in a fixed section order (tx, ce, pause,
+/// link, drop, burst) plus the scalar counters as a trailing `sum` line.
+/// This is the byte-comparable surface the parallel-vs-sequential
+/// equivalence suite diffs: two runs are equivalent iff their full traces
+/// are identical bytes.
+pub fn write_full_trace<W: Write>(out: &mut W, t: &Telemetry) -> std::io::Result<()> {
+    write_tx_records(out, &t.tx_records)?;
+    write_mirror_candidates(out, &t.mirror_candidates)?;
+    write_pause_records(out, &t.pause_records)?;
+    write_link_records(out, &t.link_records)?;
+    for d in &t.drop_records {
+        writeln!(
+            out,
+            "drop,{},{},{},{},{},{}",
+            d.switch, d.port, d.ts_ns, d.flow.0, d.psn, d.bytes
+        )?;
+    }
+    for b in &t.burst_records {
+        writeln!(
+            out,
+            "burst,{},{},{},{},{}",
+            b.switch, b.port, b.ts_ns, b.flow.0, b.qlen_bytes
+        )?;
+    }
+    for e in &t.episodes {
+        writeln!(
+            out,
+            "episode,{},{},{},{},{}",
+            e.switch, e.port, e.start_ns, e.end_ns, e.max_qlen
+        )?;
+    }
+    writeln!(
+        out,
+        "sum,{},{},{},{},{}",
+        t.drops, t.random_losses, t.link_losses, t.delivered_bytes, t.injected_bytes
+    )
 }
 
 /// An error from trace parsing: the line number and a description.

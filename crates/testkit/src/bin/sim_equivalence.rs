@@ -1,0 +1,73 @@
+//! Fixed-seed parallel-vs-sequential simulator equivalence smoke for CI and
+//! local debugging.
+//!
+//! Runs [`umon_testkit::sim_equivalence_run`] for `--seeds` consecutive
+//! seeds starting at `--start`: each seed simulates a mixed DCQCN/DCTCP
+//! workload on the k=4 fat-tree sequentially, then re-runs it at 1/2/4
+//! partitions and demands a byte-identical full trace and bit-identical
+//! drained host reports (DESIGN.md §16). Prints a repro command for every
+//! failure and exits nonzero on any divergence.
+
+use std::time::Instant;
+
+use umon_testkit::{sim_equivalence_run, SimEquivalenceConfig, SimEquivalenceStats};
+
+fn usage() -> ! {
+    eprintln!("usage: sim_equivalence [--seeds N] [--start S]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut seeds = 4u64;
+    let mut start = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a numeric argument");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = value("--seeds"),
+            "--start" => start = value("--start"),
+            _ => usage(),
+        }
+    }
+
+    let cfg = SimEquivalenceConfig::quick();
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    let mut failures = 0u64;
+    let mut totals = SimEquivalenceStats::default();
+    for seed in start..start.saturating_add(seeds) {
+        match sim_equivalence_run(seed, &cfg) {
+            Ok(stats) => {
+                totals.partition_counts += stats.partition_counts;
+                totals.trace_bytes += stats.trace_bytes;
+                totals.reports += stats.reports;
+                totals.events += stats.events;
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL: {e}");
+                eprintln!(
+                    "  repro: cargo run -p umon-testkit --bin sim_equivalence -- --seeds 1 --start {seed}"
+                );
+            }
+        }
+        runs += 1;
+    }
+    println!(
+        "sim_equivalence: {runs} seeds x {} partition counts, {failures} failures in {:.2?}",
+        cfg.partition_counts.len(),
+        t0.elapsed()
+    );
+    println!(
+        "  coverage: {} parallel runs diffed, {} trace bytes, {} host reports, {} reference events",
+        totals.partition_counts, totals.trace_bytes, totals.reports, totals.events
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -32,6 +32,11 @@
 //! collection plane must heal torn segment tails, and a long bounded run
 //! must hold resident state under the budget (DESIGN.md §12, §14).
 //!
+//! [`sim_equivalence_run`] turns the parallel simulator's determinism
+//! promise into a differential: one seed's workload run sequentially and at
+//! several partition counts must serialize to byte-identical full traces
+//! and drain bit-identical host reports (DESIGN.md §16).
+//!
 //! [`replay_host_records`] closes the loop with the simulator: it feeds
 //! `netsim` TX records (e.g. parsed back from a trace CSV) through a real
 //! [`umon::HostAgent`] and validates every uploaded period report against a
@@ -44,6 +49,7 @@ pub mod golden_query;
 pub mod oracle;
 pub mod replay;
 pub mod retention;
+pub mod sim_equivalence;
 pub mod stream;
 
 pub use diff::{batch_burst_from_env, diff_run, DiffConfig, DiffError, DiffStats};
@@ -54,6 +60,7 @@ pub use retention::{
     cold_soak_run, retention_diff_run, retention_soak_run, RetentionDiffConfig, RetentionDiffStats,
     RetentionSoakStats,
 };
+pub use sim_equivalence::{sim_equivalence_run, SimEquivalenceConfig, SimEquivalenceStats};
 pub use stream::{
     gen_stream, scale_values, shuffle_within_windows, StreamConfig, StreamKind, Update,
 };

@@ -1,0 +1,262 @@
+//! Parallel-vs-sequential simulator equivalence differential.
+//!
+//! The sharded netsim runner ([`umon_netsim::run_parallel`]) promises
+//! results *bit-identical* to the sequential [`umon_netsim::Simulator`] for
+//! any seed and partition count (DESIGN.md §16). This module enforces that
+//! promise end to end, on the two surfaces downstream consumers actually
+//! read:
+//!
+//! * the **full trace CSV** ([`umon_netsim::trace::write_full_trace`]) —
+//!   every telemetry tap serialized in a fixed section order, diffed as raw
+//!   bytes, and
+//! * the **drained host reports** — each host's TX records fed through a
+//!   real [`umon::HostAgent`] and the resulting [`umon::PeriodReport`]s
+//!   compared field by field (every coefficient is an integer, so `==` is
+//!   bit-identity).
+//!
+//! One seed → one sequential reference run → the same workload re-run at
+//! each requested partition count; any divergence reports the seed, the
+//! partition count and the first differing trace line.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use umon::{HostAgent, HostAgentConfig, PeriodReport};
+use umon_netsim::trace::write_full_trace;
+use umon_netsim::{
+    run_parallel, CongestionControl, FlowId, FlowSpec, SimConfig, SimResult, Simulator, Topology,
+};
+use wavesketch::SketchConfig;
+
+/// Shape of one equivalence run.
+#[derive(Debug, Clone)]
+pub struct SimEquivalenceConfig {
+    /// Partition counts to compare against the sequential reference.
+    pub partition_counts: Vec<usize>,
+    /// Flows generated over the k=4 fat-tree.
+    pub flows: usize,
+    /// Simulated horizon in ns.
+    pub end_ns: u64,
+    /// Per-host clock error bound in ns (exercises the local-timestamp
+    /// path the host agents consume).
+    pub clock_error_ns: i64,
+}
+
+impl SimEquivalenceConfig {
+    /// The CI smoke shape: 1/2/4 partitions on the k=4 fat-tree, enough
+    /// flows and horizon that every telemetry tap has records, small enough
+    /// that one seed stays under a few seconds.
+    pub fn quick() -> Self {
+        Self {
+            partition_counts: vec![1, 2, 4],
+            flows: 192,
+            end_ns: 2_000_000,
+            clock_error_ns: 100,
+        }
+    }
+}
+
+/// Coverage counters from one equivalence run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimEquivalenceStats {
+    /// Partition counts compared against the sequential reference.
+    pub partition_counts: usize,
+    /// Size of the (identical) trace surface, in bytes.
+    pub trace_bytes: usize,
+    /// Host period reports compared (per run pair).
+    pub reports: usize,
+    /// Events the sequential reference dispatched.
+    pub events: u64,
+}
+
+/// Mixed DCQCN/DCTCP traffic over the 16 hosts of the k=4 fat-tree,
+/// deterministic in `seed`: random distinct (src, dst) pairs, heavy-tailed
+/// sizes, arrivals over the first half of the horizon so flows finish (and
+/// FCTs land in the drained stats) inside it.
+fn gen_flows(seed: u64, n: usize, end_ns: u64) -> Vec<FlowSpec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51E9_01AD);
+    (0..n)
+        .map(|i| {
+            let src = rng.gen_range(0..16usize);
+            let dst = loop {
+                let d = rng.gen_range(0..16usize);
+                if d != src {
+                    break d;
+                }
+            };
+            FlowSpec {
+                id: FlowId(i as u64),
+                src,
+                dst,
+                size_bytes: if rng.gen_bool(0.2) {
+                    rng.gen_range(30_000..120_000)
+                } else {
+                    rng.gen_range(1_000..10_000)
+                },
+                start_ns: rng.gen_range(0..end_ns / 2),
+                cc: if rng.gen_bool(0.5) {
+                    CongestionControl::Dcqcn
+                } else {
+                    CongestionControl::Dctcp
+                },
+            }
+        })
+        .collect()
+}
+
+/// Host-agent shape for the report comparison: small sketch, 1 ms periods
+/// so a 2 ms run drains multiple reports per host.
+fn agent_config() -> HostAgentConfig {
+    HostAgentConfig {
+        sketch: SketchConfig::builder()
+            .rows(2)
+            .width(64)
+            .levels(5)
+            .topk(16)
+            .max_windows(512)
+            .heavy_rows(16)
+            .build(),
+        period_ns: 1_000_000,
+        window_shift: 13,
+    }
+}
+
+fn full_trace(result: &SimResult) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_full_trace(&mut buf, &result.telemetry).expect("Vec<u8> writes are infallible");
+    buf
+}
+
+/// Drains every host's TX records through a fresh [`HostAgent`].
+fn drain_reports(result: &SimResult) -> Vec<PeriodReport> {
+    let cfg = agent_config();
+    (0..16usize)
+        .flat_map(|host| {
+            let mut agent = HostAgent::new(host, cfg.clone());
+            agent.ingest(&result.telemetry.tx_records);
+            agent.finish()
+        })
+        .collect()
+}
+
+/// First line index (0-based) where the two traces differ, for diagnostics.
+fn first_diff_line(a: &[u8], b: &[u8]) -> (usize, String, String) {
+    let a_lines: Vec<&[u8]> = a.split(|&c| c == b'\n').collect();
+    let b_lines: Vec<&[u8]> = b.split(|&c| c == b'\n').collect();
+    for (i, (la, lb)) in a_lines.iter().zip(b_lines.iter()).enumerate() {
+        if la != lb {
+            return (
+                i,
+                String::from_utf8_lossy(la).into_owned(),
+                String::from_utf8_lossy(lb).into_owned(),
+            );
+        }
+    }
+    let i = a_lines.len().min(b_lines.len());
+    (
+        i,
+        format!("{} lines total", a_lines.len()),
+        format!("{} lines total", b_lines.len()),
+    )
+}
+
+/// Runs one seed through the sequential simulator and every requested
+/// partition count, asserting byte-identical traces and bit-identical host
+/// reports. Returns coverage counters or the first divergence.
+pub fn sim_equivalence_run(
+    seed: u64,
+    cfg: &SimEquivalenceConfig,
+) -> Result<SimEquivalenceStats, String> {
+    let topo = || Topology::fat_tree(4, 100.0, 1000);
+    let flows = gen_flows(seed, cfg.flows, cfg.end_ns);
+    let sim_config = SimConfig {
+        end_ns: cfg.end_ns,
+        seed,
+        clock_error_ns: cfg.clock_error_ns,
+        ..SimConfig::default()
+    };
+
+    let reference = Simulator::new(topo(), flows.clone(), sim_config.clone()).run();
+    let ref_trace = full_trace(&reference);
+    let ref_reports = drain_reports(&reference);
+    if reference.telemetry.tx_records.is_empty() {
+        return Err(format!("seed {seed}: workload produced no TX records"));
+    }
+
+    let mut stats = SimEquivalenceStats {
+        trace_bytes: ref_trace.len(),
+        events: reference.events_processed,
+        ..SimEquivalenceStats::default()
+    };
+    for &p in &cfg.partition_counts {
+        let result = run_parallel(topo(), flows.clone(), sim_config.clone(), p)
+            .map_err(|e| format!("seed {seed}: partition plan rejected at p={p}: {e}"))?;
+        let trace = full_trace(&result);
+        if trace != ref_trace {
+            let (line, seq, par) = first_diff_line(&ref_trace, &trace);
+            return Err(format!(
+                "seed {seed}: trace diverges at p={p}, line {line}: sequential {seq:?} vs parallel {par:?}"
+            ));
+        }
+        let reports = drain_reports(&result);
+        if reports.len() != ref_reports.len() {
+            return Err(format!(
+                "seed {seed}: {} host reports at p={p}, sequential drained {}",
+                reports.len(),
+                ref_reports.len()
+            ));
+        }
+        for (a, b) in ref_reports.iter().zip(reports.iter()) {
+            if a.period != b.period
+                || a.host != b.host
+                || a.config_fingerprint != b.config_fingerprint
+                || a.report != b.report
+            {
+                return Err(format!(
+                    "seed {seed}: host {} period {} report differs at p={p}",
+                    a.host, a.period
+                ));
+            }
+        }
+        stats.reports += reports.len();
+        stats.partition_counts += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Debug builds are ~20x slower than release, so the unit test runs a
+    /// shrunken shape; the CI bin runs [`SimEquivalenceConfig::quick`] in
+    /// release.
+    fn tiny() -> SimEquivalenceConfig {
+        SimEquivalenceConfig {
+            partition_counts: vec![2],
+            flows: 48,
+            end_ns: 400_000,
+            clock_error_ns: 100,
+        }
+    }
+
+    #[test]
+    fn equivalence_holds_on_a_tiny_workload() {
+        let stats = sim_equivalence_run(7, &tiny()).expect("parallel == sequential");
+        assert_eq!(stats.partition_counts, 1);
+        assert!(stats.trace_bytes > 0);
+        assert!(stats.reports > 0, "hosts must drain reports");
+        assert!(stats.events > 0);
+    }
+
+    #[test]
+    fn divergence_reporting_names_the_seed() {
+        // Not a divergence run — just pins the error-path formatting by
+        // requesting an impossible partition plan (0 partitions).
+        let cfg = SimEquivalenceConfig {
+            partition_counts: vec![0],
+            ..tiny()
+        };
+        let err = sim_equivalence_run(3, &cfg).unwrap_err();
+        assert!(err.contains("seed 3"), "error must carry the seed: {err}");
+    }
+}

@@ -68,6 +68,27 @@ impl WorkloadParams {
         }
     }
 
+    /// Cluster-scale parameters for a k-ary fat-tree (`k³/4` hosts): the
+    /// parallel-simulator scaling benchmarks' workload. k=8 gives 128
+    /// hosts, k=16 gives 1024 — tens of thousands of flows over the
+    /// paper's 20 ms arrival window (override `duration_ns` to trade flow
+    /// count for run time).
+    pub fn cluster(kind: WorkloadKind, load: f64, k: usize, seed: u64) -> Self {
+        assert!(
+            k >= 4 && k.is_multiple_of(2),
+            "fat-tree arity must be even and ≥ 4"
+        );
+        Self {
+            kind,
+            load,
+            num_hosts: k * k * k / 4,
+            link_gbps: 100.0,
+            duration_ns: 20_000_000,
+            seed,
+            cc: CongestionControl::Dcqcn,
+        }
+    }
+
     /// Expected flow count: `load · hosts · rate · duration / mean_size`.
     pub fn expected_flows(&self) -> f64 {
         let bytes_per_ns = self.link_gbps / 8.0; // per host
@@ -249,6 +270,24 @@ mod tests {
         let lo = WorkloadParams::paper(WorkloadKind::Hadoop, 0.15, 7).generate();
         let hi = WorkloadParams::paper(WorkloadKind::Hadoop, 0.35, 7).generate();
         assert!(hi.len() > lo.len());
+    }
+
+    #[test]
+    fn cluster_params_scale_hosts_with_fat_tree_arity() {
+        let k8 = WorkloadParams::cluster(WorkloadKind::Hadoop, 0.25, 8, 1);
+        assert_eq!(k8.num_hosts, 128);
+        let k16 = WorkloadParams::cluster(WorkloadKind::Hadoop, 0.25, 16, 1);
+        assert_eq!(k16.num_hosts, 1024);
+        // Tens of thousands of flows over the full paper window at k=8.
+        assert!(k8.expected_flows() > 10_000.0, "{}", k8.expected_flows());
+        // A shortened window still yields a dense, valid flow list.
+        let flows = WorkloadParams {
+            duration_ns: 500_000,
+            ..k8
+        }
+        .generate();
+        assert!(flows.len() > 300, "{} flows", flows.len());
+        assert!(flows.iter().all(|f| f.src < 128 && f.dst < 128));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub use custom::{parse_flow_specs, write_flow_specs, FlowSpecError};
 pub use dist::{hadoop, websearch, FlowSizeDistribution};
 pub use generate::{incast_burst, on_off_background, WorkloadKind, WorkloadParams};
 pub use scenario::{
-    allreduce, failure_plan, incast_storm, scenario_matrix, AllreduceConfig, AllreducePattern,
-    FailurePlanConfig, IncastStormConfig, Scenario,
+    allreduce, cluster_scenarios, failure_plan, incast_storm, scenario_matrix, AllreduceConfig,
+    AllreducePattern, FailurePlanConfig, IncastStormConfig, Scenario,
 };
 pub use stats::{cdf_points, inter_arrival_cdf, WorkloadStats};

@@ -308,6 +308,8 @@ pub fn failure_plan(topo: &Topology, cfg: &FailurePlanConfig) -> FailureSchedule
 pub struct Scenario {
     /// Stable name (used in result filenames — lowercase, underscores).
     pub name: String,
+    /// Fat-tree arity the scenario is sized for (`k³/4` hosts).
+    pub topo_k: usize,
     /// The flows to simulate.
     pub flows: Vec<FlowSpec>,
     /// Injected fabric failures (often empty).
@@ -337,6 +339,7 @@ pub fn scenario_matrix(seed: u64, smoke: bool) -> Vec<Scenario> {
         }
         out.push(Scenario {
             name: format!("incast_{cc_name}"),
+            topo_k: 4,
             flows: incast_storm(0, &storm),
             failures: FailureSchedule::none(),
             needs_pfc: false,
@@ -350,6 +353,7 @@ pub fn scenario_matrix(seed: u64, smoke: bool) -> Vec<Scenario> {
         }
         out.push(Scenario {
             name: format!("allreduce_{cc_name}"),
+            topo_k: 4,
             flows: allreduce(0, &ar),
             failures: FailureSchedule::none(),
             needs_pfc: false,
@@ -368,6 +372,7 @@ pub fn scenario_matrix(seed: u64, smoke: bool) -> Vec<Scenario> {
     plan.flaps = 0; // a pure pause-storm plan on a lossless fabric
     out.push(Scenario {
         name: "pfc_storm".to_string(),
+        topo_k: 4,
         flows: incast_storm(0, &storm),
         failures: failure_plan(&topo, &plan),
         needs_pfc: true,
@@ -383,6 +388,7 @@ pub fn scenario_matrix(seed: u64, smoke: bool) -> Vec<Scenario> {
     plan.storms = 0; // a pure link-flap plan on a lossy fabric
     out.push(Scenario {
         name: "link_flap".to_string(),
+        topo_k: 4,
         flows: allreduce(0, &ar),
         failures: failure_plan(&topo, &plan),
         needs_pfc: false,
@@ -392,9 +398,83 @@ pub fn scenario_matrix(seed: u64, smoke: bool) -> Vec<Scenario> {
     out
 }
 
+/// The cluster-scale extension of the matrix: k=8 and k=16 fat-trees under
+/// Poisson Hadoop traffic plus a pod-crossing incast storm — the workloads
+/// the parallel simulator's scaling benchmarks run (ROADMAP item 1 × item
+/// 5). Kept separate from [`scenario_matrix`] so the frontier sweep's cost
+/// stays bounded; the netsim scaling bench consumes these directly. `smoke`
+/// shrinks the arrival window for CI.
+pub fn cluster_scenarios(seed: u64, smoke: bool) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for k in [8usize, 16] {
+        let num_hosts = k * k * k / 4;
+        let params = crate::WorkloadParams {
+            duration_ns: if smoke { 100_000 } else { 2_000_000 },
+            ..crate::WorkloadParams::cluster(crate::WorkloadKind::Hadoop, 0.25, k, seed)
+        };
+        let mut flows = params.generate();
+        // A synchronized cross-pod incast riding on the Poisson background:
+        // pods' worth of senders into host 0 midway through the window.
+        let fan_in = num_hosts / 8;
+        // Distinct senders spread across pods, never the victim (7 is
+        // coprime to both 127 and 1023, so the map below is injective).
+        let senders: Vec<usize> = (1..=fan_in)
+            .map(|i| 1 + (i * 7) % (num_hosts - 1))
+            .collect();
+        flows.extend(incast_burst(
+            flows.len() as u64,
+            &senders,
+            0,
+            32_000,
+            params.duration_ns / 2,
+            2_000,
+            seed,
+            CongestionControl::Dcqcn,
+        ));
+        out.push(Scenario {
+            name: format!("cluster_k{k}_hadoop"),
+            topo_k: k,
+            flows,
+            failures: FailureSchedule::none(),
+            needs_pfc: false,
+            end_ns: params.duration_ns + 1_000_000,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cluster_scenarios_cover_k8_and_k16_with_valid_hosts() {
+        let scenarios = cluster_scenarios(3, true);
+        assert_eq!(scenarios.len(), 2);
+        for (s, k) in scenarios.iter().zip([8usize, 16]) {
+            assert_eq!(s.topo_k, k);
+            let hosts = k * k * k / 4;
+            assert!(!s.flows.is_empty(), "{}", s.name);
+            assert!(
+                s.flows
+                    .iter()
+                    .all(|f| f.src < hosts && f.dst < hosts && f.src != f.dst),
+                "{}: hosts in range",
+                s.name
+            );
+            // Flow ids must stay dense for the simulator's fast lookup.
+            assert!(s
+                .flows
+                .iter()
+                .enumerate()
+                .all(|(i, f)| f.id == FlowId(i as u64)));
+        }
+        // Determinism.
+        let again = cluster_scenarios(3, true);
+        for (a, b) in scenarios.iter().zip(&again) {
+            assert_eq!(a.flows, b.flows);
+        }
+    }
 
     #[test]
     fn incast_storm_conserves_total_bytes_and_is_deterministic() {

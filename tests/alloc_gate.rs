@@ -293,12 +293,12 @@ fn calendar_queue_cycle_is_allocation_free() {
             q.push(now + delay, *seq, step);
             in_flight += 1;
             if in_flight > 4 {
-                let (t, _) = q.pop().expect("event in flight");
+                let (t, _, _) = q.pop().expect("event in flight");
                 now = t;
                 in_flight -= 1;
             }
         }
-        while let Some((t, _)) = q.pop() {
+        while let Some((t, _, _)) = q.pop() {
             now = t;
         }
         now
